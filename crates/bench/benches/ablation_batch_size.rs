@@ -1,0 +1,28 @@
+//! §IV-C4 ablation — batch-read size (`innodb_ndp_max_pages_look_ahead`):
+//! run-time and request count vs look-ahead. Large batches amortize
+//! requests and engage more Page Stores in parallel (the paper's
+//! "typically around a thousand pages").
+
+use taurus_bench::*;
+
+fn main() {
+    header("Ablation: NDP batch size (innodb_ndp_max_pages_look_ahead, §IV-C4)");
+    println!("{:>10} {:>12} {:>12} {:>14}", "look-ahead", "wall (ms)", "requests", "bytes (KB)");
+    for look_ahead in [4usize, 16, 64, 256, 1024] {
+        let mut cfg = bench_config(true);
+        cfg.ndp.max_pages_look_ahead = look_ahead;
+        let db = setup(0.02, cfg);
+        let q6 = &taurus_tpch::micro_queries()[4];
+        measure(&db, q6, None); // warm tree internals
+        let before = db.metrics().snapshot();
+        let m = measure(&db, q6, None);
+        let d = db.metrics().snapshot().since(&before);
+        println!(
+            "{:>10} {:>12.1} {:>12} {:>14}",
+            look_ahead,
+            ms(m.wall),
+            d.net_read_requests,
+            d.net_bytes_from_storage / 1024
+        );
+    }
+}

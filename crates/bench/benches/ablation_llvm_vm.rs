@@ -1,0 +1,98 @@
+//! §V-B2 ablation — compiled predicate evaluation (the "LLVM" register VM
+//! over raw record bytes) vs the classical tree-walking interpreter over
+//! materialized rows. Criterion micro-benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use taurus_common::{DataType, Date32, Dec, Value};
+use taurus_expr::ast::Expr;
+use taurus_expr::compile::lower;
+use taurus_expr::vm::CompiledPredicate;
+use taurus_page::{encode_record, RecordLayout, RecordMeta, RecordView};
+
+fn layout() -> RecordLayout {
+    RecordLayout::new(vec![
+        DataType::Decimal { precision: 15, scale: 2 }, // qty
+        DataType::Decimal { precision: 15, scale: 2 }, // extendedprice
+        DataType::Decimal { precision: 15, scale: 2 }, // discount
+        DataType::Date,                                // shipdate
+        DataType::Char(10),                            // shipmode
+    ])
+}
+
+fn q6_predicate() -> Expr {
+    Expr::and(vec![
+        Expr::ge(Expr::col(3), Expr::date("1994-01-01")),
+        Expr::lt(Expr::col(3), Expr::date("1995-01-01")),
+        Expr::between(Expr::col(2), Expr::dec("0.05"), Expr::dec("0.07")),
+        Expr::lt(Expr::col(0), Expr::int(24)),
+    ])
+}
+
+fn bench(c: &mut Criterion) {
+    let l = layout();
+    // 1024 synthetic records.
+    let mut records: Vec<Vec<u8>> = Vec::new();
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    for i in 0..1024i64 {
+        let row = vec![
+            Value::Decimal(Dec::new((i % 50) as i128 * 100, 2)),
+            Value::Decimal(Dec::new(90000 + i as i128, 2)),
+            Value::Decimal(Dec::new((i % 11) as i128, 2)),
+            Value::Date(Date32::from_ymd(1994, 1, 1).add_days((i % 600) as i32)),
+            Value::str(["MAIL", "SHIP", "AIR"][(i % 3) as usize]),
+        ];
+        let mut b = Vec::new();
+        encode_record(&l, &row, RecordMeta::ordinary(1), None, &mut b).unwrap();
+        records.push(b);
+        rows.push(row);
+    }
+    let pred = q6_predicate();
+    let ir = lower(&pred).unwrap();
+    let identity: Vec<u16> = (0..5).collect();
+    let compiled = CompiledPredicate::compile(&ir, &l, &identity).unwrap();
+
+    c.bench_function("classical_interpreter_1k_rows", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for r in &rows {
+                if taurus_expr::eval::eval_pred(&pred, r).unwrap() == Some(true) {
+                    n += 1;
+                }
+            }
+            std::hint::black_box(n)
+        })
+    });
+    c.bench_function("compiled_vm_1k_records", |b| {
+        let mut offsets = Vec::new();
+        b.iter(|| {
+            let mut n = 0;
+            for bytes in &records {
+                let v = RecordView::new(bytes, &l);
+                if compiled.eval_record(&v, &mut offsets).unwrap()
+                    == taurus_expr::vm::TriBool::True
+                {
+                    n += 1;
+                }
+            }
+            std::hint::black_box(n)
+        })
+    });
+    // Include decode cost on the interpreter side (the realistic path:
+    // classical evaluation materializes rows first).
+    c.bench_function("decode_plus_interpreter_1k_records", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for bytes in &records {
+                let v = RecordView::new(bytes, &l);
+                let row = v.values();
+                if taurus_expr::eval::eval_pred(&pred, &row).unwrap() == Some(true) {
+                    n += 1;
+                }
+            }
+            std::hint::black_box(n)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! §IV-D2 ablation — resource control / best-effort NDP: force skip rates
+//! on the Page Stores and show that results stay correct while compute-
+//! side completion grows; NDP benefit is page-scoped, "not all-or-nothing".
+
+use taurus_bench::*;
+use taurus_pagestore::SkipPolicy;
+
+fn main() {
+    header("Ablation: resource control / best-effort NDP (§IV-D2)");
+    let db = setup(0.02, bench_config(true));
+    let q6 = &taurus_tpch::micro_queries()[4];
+    println!(
+        "{:>12} {:>12} {:>12} {:>12} {:>14}",
+        "skip", "wall (ms)", "NDP pages", "raw pages", "bytes (KB)"
+    );
+    for (name, policy) in [
+        ("none", SkipPolicy::None),
+        ("every 4th", SkipPolicy::EveryNth(4)),
+        ("every 2nd", SkipPolicy::EveryNth(2)),
+        ("all", SkipPolicy::All),
+    ] {
+        for ps in db.sal().page_stores() {
+            ps.set_skip_policy(policy.clone());
+        }
+        db.buffer_pool().clear();
+        let m = measure(&db, q6, None);
+        println!(
+            "{:>12} {:>12.1} {:>12} {:>12} {:>14}",
+            name,
+            ms(m.wall),
+            m.pages_ndp,
+            m.pages_raw,
+            m.bytes_from_storage / 1024
+        );
+    }
+    for ps in db.sal().page_stores() {
+        ps.set_skip_policy(SkipPolicy::None);
+    }
+}

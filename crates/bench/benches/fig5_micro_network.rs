@@ -1,0 +1,28 @@
+//! Fig. 5 — "Network read reduction with NDP" (§VII-A).
+//!
+//! The Listing-5 COUNT(*) variants plus TPC-H Q1/Q6 over the lineitem
+//! table; bytes shipped storage→compute with NDP off vs on. Paper shape:
+//! near-total reduction for Q0/Q001/Q002/Q6, smaller but large for Q1.
+
+use taurus_bench::*;
+
+fn main() {
+    header("Fig. 5: network read reduction with NDP (micro benchmark)");
+    let off = setup(MICRO_SF, bench_config(false));
+    let on = setup(MICRO_SF, bench_config(true));
+    println!(
+        "{:<6} {:>14} {:>14} {:>12}",
+        "query", "bytes NDP-off", "bytes NDP-on", "reduction %"
+    );
+    for q in taurus_tpch::micro_queries() {
+        let a = measure(&off, &q, None);
+        let b = measure(&on, &q, None);
+        println!(
+            "{:<6} {:>14} {:>14} {:>11.1}%",
+            q.name,
+            a.bytes_from_storage,
+            b.bytes_from_storage,
+            reduction(b.bytes_from_storage as f64, a.bytes_from_storage as f64)
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Fig. 6 — "Run time reduction with NDP and PQ" (§VII-A).
+//!
+//! Relative run-time reduction vs single-threaded NDP-off execution, for
+//! PQ-only, NDP-only, and NDP+PQ. A shared bandwidth limiter makes raw
+//! scans I/O-bound, reproducing the paper's "PQ-only bottlenecks on I/O
+//! below the theoretical maximum; NDP+PQ reaches it" shape.
+
+use taurus_bench::*;
+
+const PQ: usize = 8; // paper: 32 threads; scaled to laptop cores
+
+fn main() {
+    header("Fig. 6: run time reduction vs serial NDP-off (micro benchmark)");
+    let theoretical = (1.0 - 1.0 / PQ as f64) * 100.0;
+    println!("(PQ degree {PQ}; theoretical maximum reduction {theoretical:.1}%)");
+    // Shared-wire bandwidth: sized so a full raw lineitem transfer takes
+    // several times its compute cost (the paper's 25 Gbps vs ~1 TB).
+    let mut limited_off = bench_config(false);
+    limited_off.network.bandwidth_bytes_per_sec = Some(300_000_000);
+    let mut limited_on = bench_config(true);
+    limited_on.network.bandwidth_bytes_per_sec = Some(300_000_000);
+
+    let off = setup(MICRO_SF, limited_off);
+    let on = setup(MICRO_SF, limited_on);
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>12} | {:>9} {:>9} {:>9}",
+        "query", "serial ms", "PQ-only ms", "NDP ms", "NDP+PQ ms", "PQ-only%", "NDP%", "NDP+PQ%"
+    );
+    for q in taurus_tpch::micro_queries() {
+        let base = measure(&off, &q, None);
+        let pq_only = measure(&off, &q, Some(PQ));
+        let ndp_only = measure(&on, &q, None);
+        let both = measure(&on, &q, Some(PQ));
+        println!(
+            "{:<6} {:>12.1} {:>12.1} {:>12.1} {:>12.1} | {:>8.1}% {:>8.1}% {:>8.1}%",
+            q.name,
+            ms(base.wall),
+            ms(pq_only.wall),
+            ms(ndp_only.wall),
+            ms(both.wall),
+            reduction(ms(pq_only.wall), ms(base.wall)),
+            reduction(ms(ndp_only.wall), ms(base.wall)),
+            reduction(ms(both.wall), ms(base.wall)),
+        );
+    }
+}

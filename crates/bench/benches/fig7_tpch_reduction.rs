@@ -1,0 +1,48 @@
+//! Fig. 7 — "CPU time and network traffic reduction with NDP, TPC-H"
+//! (§VII-C). All 22 queries run in sequence without restarting (the
+//! paper's protocol — which is what sets up the Q4 buffer-pool anomaly),
+//! NDP off vs on; SQL-node CPU and bytes-from-storage reductions.
+
+use taurus_bench::*;
+
+fn main() {
+    header("Fig. 7: CPU and network reduction with NDP (TPC-H, in sequence)");
+    let off = setup(BENCH_SF, bench_config(false));
+    let on = setup(BENCH_SF, bench_config(true));
+    println!(
+        "{:<5} {:>12} {:>12} {:>8} | {:>12} {:>12} {:>8}",
+        "query", "net off(KB)", "net on(KB)", "net red%", "cpu off(ms)", "cpu on(ms)", "cpu red%"
+    );
+    let (mut tot_net_off, mut tot_net_on, mut tot_cpu_off, mut tot_cpu_on) =
+        (0u64, 0u64, 0u64, 0u64);
+    let mut winners = 0;
+    for q in taurus_tpch::tpch_queries() {
+        let a = measure(&off, &q, None);
+        let b = measure(&on, &q, None);
+        let net_red = reduction(b.bytes_from_storage as f64, a.bytes_from_storage as f64);
+        let cpu_red = reduction(b.cpu_ns as f64, a.cpu_ns as f64);
+        if net_red > 1.0 {
+            winners += 1;
+        }
+        tot_net_off += a.bytes_from_storage;
+        tot_net_on += b.bytes_from_storage;
+        tot_cpu_off += a.cpu_ns;
+        tot_cpu_on += b.cpu_ns;
+        println!(
+            "{:<5} {:>12} {:>12} {:>7.1}% | {:>12.1} {:>12.1} {:>7.1}%",
+            q.name,
+            a.bytes_from_storage / 1024,
+            b.bytes_from_storage / 1024,
+            net_red,
+            a.cpu_ns as f64 / 1e6,
+            b.cpu_ns as f64 / 1e6,
+            cpu_red,
+        );
+    }
+    println!(
+        "TOTAL: network reduced {:.1}% (paper: 63%), CPU reduced {:.1}% (paper: 50%), {} of 22 queries benefited (paper: 18)",
+        reduction(tot_net_on as f64, tot_net_off as f64),
+        reduction(tot_cpu_on as f64, tot_cpu_off as f64),
+        winners
+    );
+}

@@ -1,0 +1,45 @@
+//! Fig. 8 — "Run time reduction with NDP" for the 22 TPC-H queries
+//! (§VII-D), including the Q4 buffer-pool anomaly detail: with NDP on,
+//! Q1–Q3 leave almost no lineitem pages in the buffer pool, so Q4's
+//! NL-join lookups start cold (paper: 1,272,972 vs 24,186 pages).
+
+use taurus_bench::*;
+
+fn main() {
+    header("Fig. 8: run time reduction with NDP (TPC-H, in sequence)");
+    let off = setup(BENCH_SF, bench_config(false));
+    let on = setup(BENCH_SF, bench_config(true));
+    println!("{:<5} {:>12} {:>12} {:>9}", "query", "off (ms)", "on (ms)", "red %");
+    let (mut tot_off, mut tot_on) = (0.0f64, 0.0f64);
+    let li_off = off.table("lineitem").unwrap().primary.tree.def.space;
+    let li_on = on.table("lineitem").unwrap().primary.tree.def.space;
+    let mut bp_counts = (0usize, 0usize);
+    for (i, q) in taurus_tpch::tpch_queries().into_iter().enumerate() {
+        if i == 3 {
+            // Right before Q4: count cached lineitem pages (the anomaly).
+            bp_counts = (
+                off.buffer_pool().count_pages_in_space(li_off),
+                on.buffer_pool().count_pages_in_space(li_on),
+            );
+        }
+        let a = measure(&off, &q, None);
+        let b = measure(&on, &q, None);
+        tot_off += ms(a.wall);
+        tot_on += ms(b.wall);
+        println!(
+            "{:<5} {:>12.1} {:>12.1} {:>8.1}%",
+            q.name,
+            ms(a.wall),
+            ms(b.wall),
+            reduction(ms(b.wall), ms(a.wall))
+        );
+    }
+    println!(
+        "TOTAL: run time reduced {:.1}% (paper: 28%)",
+        reduction(tot_on, tot_off)
+    );
+    println!(
+        "Q4 buffer-pool experiment: lineitem pages cached after Q1-Q3: NDP-off={} NDP-on={} (paper: 1,272,972 vs 24,186)",
+        bp_counts.0, bp_counts.1
+    );
+}

@@ -1,0 +1,31 @@
+//! Fig. 9 — "Further run time reduction from PQ" (§VII-E): with NDP on,
+//! the PQ-capable queries at degree 16 vs serial. The paper's shape: six
+//! near the theoretical maximum, Q15 at about half (its NL stage is
+//! serial).
+
+use taurus_bench::*;
+
+const PQ: usize = 8; // paper: 16; scaled to laptop cores
+
+fn main() {
+    header("Fig. 9: further run time reduction from PQ (NDP on)");
+    let theoretical = (1.0 - 1.0 / PQ as f64) * 100.0;
+    println!("(degree {PQ}; theoretical maximum {theoretical:.1}%)");
+    let on = setup(BENCH_SF, bench_config(true));
+    println!("{:<5} {:>12} {:>12} {:>9}", "query", "serial ms", "PQ ms", "red %");
+    for q in taurus_tpch::tpch_queries() {
+        if !q.pq_capable {
+            continue;
+        }
+        let serial = measure(&on, &q, None);
+        let parallel = measure(&on, &q, Some(PQ));
+        println!(
+            "{:<5} {:>12.1} {:>12.1} {:>8.1}%",
+            q.name,
+            ms(serial.wall),
+            ms(parallel.wall),
+            reduction(ms(parallel.wall), ms(serial.wall))
+        );
+    }
+    println!("(queries absent from this table run fully serial plans, as in the paper)");
+}

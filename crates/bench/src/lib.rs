@@ -1,0 +1,101 @@
+//! Shared harness for the figure-regeneration benchmarks (§VII).
+//!
+//! Each `cargo bench` target prints the rows of one of the paper's figures
+//! (or an ablation). Absolute numbers differ from the paper's testbed —
+//! the *shapes* are what EXPERIMENTS.md compares: who wins, by what rough
+//! factor, where the crossovers fall.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use taurus_common::{ClusterConfig, MetricsSnapshot};
+use taurus_ndp::TaurusDb;
+use taurus_tpch::Query;
+
+/// Default scale factor for the TPC-H benches (paper: 100 GB; here a
+/// laptop-scale slice with the same distributions).
+pub const BENCH_SF: f64 = 0.02;
+/// Scale factor for the §VII-A micro benchmark (paper: 1 TB).
+pub const MICRO_SF: f64 = 0.05;
+pub const SEED: u64 = 42;
+
+/// Cluster configuration mirroring the paper's setup, scaled (4 Page
+/// Stores; buffer pool ≈ 20 % of data like 20 GB / 100 GB).
+pub fn bench_config(ndp: bool) -> ClusterConfig {
+    let mut cfg = ClusterConfig::default();
+    cfg.n_page_stores = 4;
+    cfg.replication = 3;
+    cfg.pagestore_ndp_threads = 4;
+    cfg.slice_pages = 128;
+    cfg.buffer_pool_pages = 700; // ~11 MB vs ~55 MB of SF 0.02 data
+    cfg.ndp.enabled = ndp;
+    cfg.ndp.min_io_pages = 64; // the paper's 10,000-page gate, scaled
+    cfg.ndp.max_pages_look_ahead = 1024;
+    // The paper's cluster moves pages over a real (25 Gbps, shared) NIC;
+    // without a wire model, shipping 16 KB costs the same as shipping 48
+    // bytes and Fig. 7/8's run-time effects vanish.
+    cfg.network.bandwidth_bytes_per_sec = Some(250_000_000);
+    cfg
+}
+
+/// Build + load a database.
+pub fn setup(sf: f64, cfg: ClusterConfig) -> Arc<TaurusDb> {
+    let db = TaurusDb::new(cfg);
+    taurus_tpch::load(&db, sf, SEED).expect("load tpch");
+    db
+}
+
+/// One measured query execution.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    pub wall: Duration,
+    /// SQL-node CPU nanoseconds (query thread + PQ workers).
+    pub cpu_ns: u64,
+    /// Bytes shipped storage -> compute.
+    pub bytes_from_storage: u64,
+    pub pages_ndp: u64,
+    pub pages_raw: u64,
+    pub rows: usize,
+}
+
+/// Run one query, measuring wall, SQL-node CPU and network bytes.
+pub fn measure(db: &TaurusDb, q: &Query, pq: Option<usize>) -> Measurement {
+    let before = db.metrics().snapshot();
+    let t0 = std::time::Instant::now();
+    let rows = {
+        let _cpu = taurus_common::metrics::CpuGuard::new(&db.metrics().compute_cpu_ns);
+        (q.run)(db, pq).unwrap_or_else(|e| panic!("{} failed: {e}", q.name))
+    };
+    let wall = t0.elapsed();
+    let d = db.metrics().snapshot().since(&before);
+    Measurement {
+        wall,
+        cpu_ns: d.compute_cpu_ns,
+        bytes_from_storage: d.net_bytes_from_storage,
+        pages_ndp: d.pages_shipped_ndp + d.pages_shipped_empty,
+        pages_raw: d.pages_shipped_raw,
+        rows: rows.len(),
+    }
+}
+
+/// Percentage reduction, the figures' common y-axis.
+pub fn reduction(on: f64, off: f64) -> f64 {
+    if off <= 0.0 {
+        return 0.0;
+    }
+    (1.0 - on / off) * 100.0
+}
+
+pub fn snapshot_delta(db: &TaurusDb, before: &MetricsSnapshot) -> MetricsSnapshot {
+    db.metrics().snapshot().since(before)
+}
+
+/// Pretty milliseconds.
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+pub fn header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}

@@ -1,0 +1,149 @@
+//! Cluster and NDP configuration knobs.
+//!
+//! Every tunable the paper names has a field here:
+//! `innodb_ndp_max_pages_look_ahead` (§IV-C4), the ≥10,000-page NDP gate
+//! (§VII-C, scaled down), the Page Store NDP thread pool and queue
+//! (§IV-D2), the descriptor cache toggle (§IV-D1) and the network model
+//! that reproduces the I/O-bound behaviour of §VII-A.
+
+/// NDP behaviour knobs (compute-node side decisions + Page Store limits).
+#[derive(Clone, Debug)]
+pub struct NdpConfig {
+    /// Master switch; `false` forces the classical scan path everywhere so
+    /// that "non-NDP queries do not suffer any performance penalties".
+    pub enabled: bool,
+    /// `innodb_ndp_max_pages_look_ahead`: maximum pages per batch read and,
+    /// equally, the scan's buffer-pool NDP-frame quota (§IV-C4).
+    pub max_pages_look_ahead: usize,
+    /// Minimum *estimated physical I/O* (pages not already cached) for a
+    /// scan to qualify for NDP. Paper value 10,000; scaled default 64.
+    pub min_io_pages: u64,
+    /// Enable NDP column projection when the projected width is at most
+    /// this fraction of the full row width (§V-A "width reduction is high
+    /// enough").
+    pub projection_width_threshold: f64,
+    /// Enable NDP predicate pushdown only when the estimated filter factor
+    /// (fraction surviving) is at most this value (§V-B1 "sufficiently
+    /// selective"). Default 1.0: the paper's own micro-benchmark pushes
+    /// predicates with ~0.97 filter factors (Q001), so the gate defaults
+    /// open; lower it to study the trade-off.
+    pub predicate_max_filter_factor: f64,
+    /// Page Store descriptor cache (§IV-D1).
+    pub descriptor_cache: bool,
+}
+
+impl Default for NdpConfig {
+    fn default() -> Self {
+        NdpConfig {
+            enabled: true,
+            max_pages_look_ahead: 1024,
+            min_io_pages: 64,
+            projection_width_threshold: 0.8,
+            predicate_max_filter_factor: 1.0,
+            descriptor_cache: true,
+        }
+    }
+}
+
+/// Simulated network model applied at the SAL boundary.
+#[derive(Clone, Debug, Default)]
+pub struct NetworkConfig {
+    /// Shared bandwidth across all compute<->storage transfers, in bytes
+    /// per second of simulated wall time. `None` = infinite (metering only).
+    pub bandwidth_bytes_per_sec: Option<u64>,
+    /// Fixed per-request latency in microseconds.
+    pub latency_us: u64,
+}
+
+/// Whole-cluster configuration.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Regular page size; InnoDB default 16 KB.
+    pub page_size: usize,
+    /// Pages per slice (the paper's 10 GB placement unit, scaled).
+    pub slice_pages: u32,
+    /// Number of Page Store servers.
+    pub n_page_stores: usize,
+    /// Page Store replicas per slice (paper: 3).
+    pub replication: usize,
+    /// Number of Log Store servers (paper: logs written in triplicate).
+    pub n_log_stores: usize,
+    /// Compute-node buffer pool capacity, in pages.
+    pub buffer_pool_pages: usize,
+    /// Worker threads per Page Store dedicated to NDP (§IV-D2).
+    pub pagestore_ndp_threads: usize,
+    /// Bounded NDP request queue per Page Store; overflow => best-effort
+    /// skip, raw page returned (§IV-D2). Sized to absorb a full batch
+    /// (look-ahead) per tenant; shrink it to provoke skips.
+    pub pagestore_ndp_queue: usize,
+    /// Page versions retained per page for LSN-versioned batch reads.
+    pub pagestore_versions_retained: usize,
+    pub ndp: NdpConfig,
+    pub network: NetworkConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            page_size: 16 * 1024,
+            slice_pages: 256,
+            n_page_stores: 4,
+            replication: 3,
+            n_log_stores: 3,
+            buffer_pool_pages: 2048,
+            pagestore_ndp_threads: 4,
+            pagestore_ndp_queue: 2048,
+            pagestore_versions_retained: 8,
+            ndp: NdpConfig::default(),
+            network: NetworkConfig::default(),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Small configuration for unit tests: tiny pool, tiny slices, so that
+    /// eviction / multi-slice / multi-store paths all get exercised on
+    /// small data.
+    pub fn small_for_tests() -> Self {
+        ClusterConfig {
+            page_size: 4 * 1024,
+            slice_pages: 8,
+            n_page_stores: 3,
+            replication: 2,
+            n_log_stores: 3,
+            buffer_pool_pages: 64,
+            pagestore_ndp_threads: 2,
+            pagestore_ndp_queue: 16,
+            pagestore_versions_retained: 8,
+            ndp: NdpConfig { min_io_pages: 1, max_pages_look_ahead: 16, ..NdpConfig::default() },
+            network: NetworkConfig::default(),
+        }
+    }
+
+    /// Replicas actually used (cannot exceed the number of Page Stores).
+    pub fn effective_replication(&self) -> usize {
+        self.replication.min(self.n_page_stores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_scale_map() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.page_size, 16 * 1024);
+        assert_eq!(c.n_page_stores, 4);
+        assert_eq!(c.replication, 3);
+        assert_eq!(c.ndp.max_pages_look_ahead, 1024);
+        assert!(c.ndp.enabled);
+    }
+
+    #[test]
+    fn effective_replication_caps_at_store_count() {
+        let mut c = ClusterConfig::default();
+        c.n_page_stores = 2;
+        assert_eq!(c.effective_replication(), 2);
+    }
+}

@@ -1,0 +1,54 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Unified error enum. Kept small and explicit: database substrates report
+/// structural corruption distinctly from user-level type/parse problems so
+/// tests can assert on the failure class.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Malformed literal (decimal/date parse failures etc.).
+    Parse(String),
+    /// Type mismatch at runtime (e.g. comparing a date to a string column).
+    Type(String),
+    /// Arithmetic fault (division by zero, overflow).
+    Arithmetic(String),
+    /// Structural corruption: bad page checksums, broken record chains.
+    Corruption(String),
+    /// Referenced object (page, slice, table, index) does not exist.
+    NotFound(String),
+    /// Operation rejected in the current state (e.g. write in a read-only
+    /// transaction, descriptor/page version no longer retained).
+    InvalidState(String),
+    /// Catch-all for internal invariant breaks; always a bug.
+    Internal(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Type(m) => write!(f, "type error: {m}"),
+            Error::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
+            Error::Corruption(m) => write!(f, "corruption: {m}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::InvalidState(m) => write!(f, "invalid state: {m}"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_class_and_message() {
+        let e = Error::Corruption("bad checksum on 3:7".into());
+        assert_eq!(e.to_string(), "corruption: bad checksum on 3:7");
+    }
+}

@@ -1,0 +1,91 @@
+//! Identifier newtypes used across the cluster.
+//!
+//! The database is divided into *spaces* (one per index, like an InnoDB
+//! tablespace). A space is a linear array of fixed-size pages addressed by
+//! [`PageNo`]; contiguous runs of pages form *slices* (the paper's 10 GB
+//! placement unit, scaled down here) which are the unit of distribution
+//! across Page Stores.
+
+use std::fmt;
+
+/// Log sequence number. Strictly increasing across the whole cluster; every
+/// redo record and every page version carries one.
+pub type Lsn = u64;
+
+/// Transaction identifier. Assigned in increasing order by the transaction
+/// manager; record headers store the id of the last writer.
+pub type TrxId = u64;
+
+/// Identifies one B+ tree (a "tablespace"): primary index or secondary index.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct SpaceId(pub u32);
+
+/// Page number within a space.
+pub type PageNo = u32;
+
+/// Index identifier stored in page headers (diagnostics / sanity checks).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct IndexId(pub u64);
+
+/// Global page address: (space, page number).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageRef {
+    pub space: SpaceId,
+    pub page_no: PageNo,
+}
+
+impl PageRef {
+    pub fn new(space: SpaceId, page_no: PageNo) -> Self {
+        PageRef { space, page_no }
+    }
+}
+
+impl fmt::Debug for PageRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.space.0, self.page_no)
+    }
+}
+
+/// A slice: a contiguous range of `slice_pages` pages within one space.
+/// Slices are the unit of placement/replication across Page Stores.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SliceId {
+    pub space: SpaceId,
+    /// Index of the slice within the space: `page_no / slice_pages`.
+    pub seq: u32,
+}
+
+impl SliceId {
+    /// Slice containing `page_no` given the configured pages-per-slice.
+    pub fn of(space: SpaceId, page_no: PageNo, slice_pages: u32) -> Self {
+        SliceId { space, seq: page_no / slice_pages }
+    }
+}
+
+impl fmt::Debug for SliceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}/{}", self.space.0, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_of_maps_page_ranges() {
+        let sp = SpaceId(7);
+        assert_eq!(SliceId::of(sp, 0, 256).seq, 0);
+        assert_eq!(SliceId::of(sp, 255, 256).seq, 0);
+        assert_eq!(SliceId::of(sp, 256, 256).seq, 1);
+        assert_eq!(SliceId::of(sp, 1000, 256).seq, 3);
+    }
+
+    #[test]
+    fn page_ref_orders_by_space_then_page() {
+        let a = PageRef::new(SpaceId(1), 9);
+        let b = PageRef::new(SpaceId(2), 0);
+        assert!(a < b);
+        assert_eq!(format!("{a:?}"), "1:9");
+    }
+}

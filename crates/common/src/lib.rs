@@ -1,0 +1,21 @@
+//! Shared foundation types for the Taurus NDP reproduction.
+//!
+//! This crate holds everything the rest of the workspace agrees on:
+//! SQL values and data types ([`value`]), table schemas and key encoding
+//! ([`schema`]), error handling ([`error`]), engine/cluster configuration
+//! ([`config`]) and the metrics registry used to reproduce the paper's
+//! network/CPU measurements ([`metrics`]).
+
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod metrics;
+pub mod schema;
+pub mod value;
+
+pub use config::{ClusterConfig, NdpConfig, NetworkConfig};
+pub use error::{Error, Result};
+pub use ids::{IndexId, Lsn, PageNo, PageRef, SliceId, SpaceId, TrxId};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use schema::{Column, IndexDef, KeyComparator, TableSchema};
+pub use value::{DataType, Date32, Dec, Value};

@@ -1,0 +1,553 @@
+//! The Taurus engine facade: catalog, transactions, DML, and the glue
+//! between B+ trees, the buffer pool, the undo log, and the SAL.
+//!
+//! This is the "compute node": everything here runs on query/loader
+//! threads whose CPU time lands in `compute_cpu_ns`, while Page Store work
+//! happens on the storage side. All page mutations flow through
+//! [`SpaceStore::write`], which mirrors each operation into the buffer
+//! pool and ships it as redo through the SAL — the master never writes
+//! pages, only log records (§II).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use taurus_btree::builder::bulk_build;
+use taurus_btree::{BTree, RedoOp, TreeStore};
+use taurus_bufferpool::BufferPool;
+use taurus_common::schema::{IndexDef, Row, TableSchema};
+use taurus_common::{
+    ClusterConfig, Error, IndexId, Lsn, Metrics, PageNo, PageRef, Result, SliceId, SpaceId,
+    TrxId, Value,
+};
+use taurus_mvcc::{ReadView, TrxManager, UndoLog};
+use taurus_page::{Page, RecordView};
+use taurus_pagestore::{RedoBody, RedoRecord};
+use taurus_sal::Sal;
+
+/// Storage adapter for one space (one B+ tree): implements [`TreeStore`]
+/// over the buffer pool + SAL.
+pub struct SpaceStore {
+    pub space: SpaceId,
+    sal: Arc<Sal>,
+    bp: Arc<BufferPool>,
+    next_page: AtomicU32,
+    latch: RwLock<()>,
+    page_size: usize,
+    slice_pages: u32,
+}
+
+impl SpaceStore {
+    fn new(space: SpaceId, sal: Arc<Sal>, bp: Arc<BufferPool>, cfg: &ClusterConfig) -> SpaceStore {
+        SpaceStore {
+            space,
+            sal,
+            bp,
+            next_page: AtomicU32::new(0),
+            latch: RwLock::new(()),
+            page_size: cfg.page_size,
+            slice_pages: cfg.slice_pages,
+        }
+    }
+
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    pub fn buffer_pool(&self) -> &Arc<BufferPool> {
+        &self.bp
+    }
+
+    pub fn sal(&self) -> &Arc<Sal> {
+        &self.sal
+    }
+
+    fn pref(&self, page_no: PageNo) -> PageRef {
+        PageRef::new(self.space, page_no)
+    }
+
+    /// Mirror one op into the buffer pool (only if the page is cached),
+    /// keeping cached pages byte-identical to what Page Stores will hold.
+    fn mirror_to_bp(&self, op: &RedoOp) {
+        match op {
+            RedoOp::NewPage(p) => {
+                self.bp.insert(self.pref(p.page_no()), Arc::new(p.clone()));
+            }
+            RedoOp::InsertRecord { page_no, slot_idx, rec } => {
+                self.bp.update(self.pref(*page_no), |pg| {
+                    pg.insert_at_slot(*slot_idx as usize, rec).expect("bp mirror insert");
+                });
+            }
+            RedoOp::SetDeleteMark { page_no, rec_at, mark } => {
+                self.bp.update(self.pref(*page_no), |pg| {
+                    taurus_page::record::set_delete_mark(pg.raw_mut(), *rec_at as usize, *mark);
+                });
+            }
+            RedoOp::WriteBytes { page_no, at, bytes } => {
+                self.bp.update(self.pref(*page_no), |pg| {
+                    pg.raw_mut()[*at as usize..*at as usize + bytes.len()]
+                        .copy_from_slice(bytes);
+                });
+            }
+            RedoOp::SetPrev { page_no, prev } => {
+                self.bp.update(self.pref(*page_no), |pg| pg.set_prev(*prev));
+            }
+        }
+    }
+
+    fn to_redo(&self, op: RedoOp) -> RedoRecord {
+        let (page_no, body) = match op {
+            RedoOp::NewPage(p) => (p.page_no(), RedoBody::NewPage(p.into_bytes())),
+            RedoOp::InsertRecord { page_no, slot_idx, rec } => {
+                (page_no, RedoBody::InsertRecord { slot_idx, rec })
+            }
+            RedoOp::SetDeleteMark { page_no, rec_at, mark } => {
+                (page_no, RedoBody::SetDeleteMark { rec_at, mark })
+            }
+            RedoOp::WriteBytes { page_no, at, bytes } => {
+                (page_no, RedoBody::WriteBytes { at, bytes })
+            }
+            RedoOp::SetPrev { page_no, prev } => (page_no, RedoBody::SetPrev(prev)),
+        };
+        RedoRecord { lsn: 0, space: self.space, page_no, body }
+    }
+}
+
+impl TreeStore for SpaceStore {
+    fn read(&self, page_no: PageNo) -> Result<Arc<Page>> {
+        let pref = self.pref(page_no);
+        if let Some(p) = self.bp.get(pref) {
+            return Ok(p);
+        }
+        let p = self.sal.read_page(pref, None)?;
+        self.bp.insert(pref, p.clone());
+        Ok(p)
+    }
+
+    fn allocate(&self) -> PageNo {
+        let no = self.next_page.fetch_add(1, Ordering::SeqCst);
+        self.sal.ensure_slice(SliceId::of(self.space, no, self.slice_pages));
+        no
+    }
+
+    fn write(&self, ops: Vec<RedoOp>) -> Result<()> {
+        for op in &ops {
+            self.mirror_to_bp(op);
+        }
+        let records: Vec<RedoRecord> = ops.into_iter().map(|op| self.to_redo(op)).collect();
+        self.sal.write_log(records)?;
+        Ok(())
+    }
+
+    fn structure_latch(&self) -> &RwLock<()> {
+        &self.latch
+    }
+
+    fn current_lsn(&self) -> Lsn {
+        self.sal.current_lsn()
+    }
+}
+
+/// Per-column statistics gathered at load time (the optimizer's "table
+/// statistics" for width and filter-factor estimation, §V-A/§V-B1).
+#[derive(Clone, Debug, Default)]
+pub struct ColumnStats {
+    pub min: Option<Value>,
+    pub max: Option<Value>,
+    /// Approximate distinct count (exact for small loads).
+    pub ndv: u64,
+    /// Observed average byte width.
+    pub avg_width: f64,
+}
+
+#[derive(Clone, Debug, Default)]
+pub struct TableStats {
+    pub row_count: u64,
+    pub leaf_pages: u64,
+    pub avg_row_width: f64,
+    pub columns: Vec<ColumnStats>,
+}
+
+/// An index attached to a table: the tree plus its storage adapter.
+pub struct TableIndex {
+    pub tree: BTree,
+    pub store: Arc<SpaceStore>,
+}
+
+/// A table: primary index, secondary indexes, statistics.
+pub struct Table {
+    pub schema: Arc<TableSchema>,
+    pub primary: TableIndex,
+    pub secondaries: Vec<TableIndex>,
+    pub stats: RwLock<TableStats>,
+}
+
+impl Table {
+    /// The index used by a scan: 0 = primary, i+1 = secondaries[i].
+    pub fn index(&self, which: usize) -> &TableIndex {
+        if which == 0 {
+            &self.primary
+        } else {
+            &self.secondaries[which - 1]
+        }
+    }
+
+    pub fn find_index(&self, name: &str) -> Option<usize> {
+        if self.primary.tree.def.name == name {
+            return Some(0);
+        }
+        self.secondaries
+            .iter()
+            .position(|s| s.tree.def.name == name)
+            .map(|i| i + 1)
+    }
+}
+
+/// The database engine.
+pub struct TaurusDb {
+    cfg: ClusterConfig,
+    sal: Arc<Sal>,
+    bp: Arc<BufferPool>,
+    pub trx: TrxManager,
+    pub undo: UndoLog,
+    metrics: Arc<Metrics>,
+    catalog: RwLock<HashMap<String, Arc<Table>>>,
+    next_space: AtomicU32,
+    next_index_id: AtomicU64,
+}
+
+impl TaurusDb {
+    /// Bring up a database over a fresh simulated cluster.
+    pub fn new(cfg: ClusterConfig) -> Arc<TaurusDb> {
+        let metrics = Metrics::shared();
+        Self::with_metrics(cfg, metrics)
+    }
+
+    pub fn with_metrics(cfg: ClusterConfig, metrics: Arc<Metrics>) -> Arc<TaurusDb> {
+        let sal = Sal::new(cfg.clone(), metrics.clone());
+        let bp = BufferPool::new(cfg.buffer_pool_pages, metrics.clone());
+        Arc::new(TaurusDb {
+            cfg,
+            sal,
+            bp,
+            trx: TrxManager::new(),
+            undo: UndoLog::new(),
+            metrics,
+            catalog: RwLock::new(HashMap::new()),
+            next_space: AtomicU32::new(1),
+            next_index_id: AtomicU64::new(1),
+        })
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    pub fn sal(&self) -> &Arc<Sal> {
+        &self.sal
+    }
+
+    pub fn buffer_pool(&self) -> &Arc<BufferPool> {
+        &self.bp
+    }
+
+    /// Create a table with its primary index and the named secondary
+    /// indexes (`(name, key columns)`).
+    pub fn create_table(
+        self: &Arc<Self>,
+        schema: Arc<TableSchema>,
+        secondary_indexes: &[(&str, Vec<usize>)],
+    ) -> Result<Arc<Table>> {
+        let mut catalog = self.catalog.write();
+        if catalog.contains_key(&schema.name) {
+            return Err(Error::InvalidState(format!("table {} exists", schema.name)));
+        }
+        let mk_index = |name: String, key_cols: Vec<usize>, is_primary: bool| {
+            let space = SpaceId(self.next_space.fetch_add(1, Ordering::SeqCst));
+            let index_id = IndexId(self.next_index_id.fetch_add(1, Ordering::SeqCst));
+            let def = IndexDef {
+                name,
+                index_id,
+                space,
+                table: schema.clone(),
+                key_cols,
+                is_primary,
+            };
+            let store =
+                Arc::new(SpaceStore::new(space, self.sal.clone(), self.bp.clone(), &self.cfg));
+            TableIndex { tree: BTree::new(def), store }
+        };
+        let primary = mk_index(format!("{}_pk", schema.name), schema.pk.clone(), true);
+        let secondaries = secondary_indexes
+            .iter()
+            .map(|(n, cols)| mk_index((*n).to_string(), cols.clone(), false))
+            .collect();
+        let table = Arc::new(Table {
+            schema: schema.clone(),
+            primary,
+            secondaries,
+            stats: RwLock::new(TableStats::default()),
+        });
+        catalog.insert(schema.name.clone(), table.clone());
+        Ok(table)
+    }
+
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.catalog
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("table {name}")))
+    }
+
+    pub fn tables(&self) -> Vec<Arc<Table>> {
+        self.catalog.read().values().cloned().collect()
+    }
+
+    /// Bulk load rows (sorted or not — they are sorted here) as the
+    /// bootstrap transaction, building all indexes bottom-up and gathering
+    /// statistics.
+    pub fn bulk_load(&self, table: &Table, mut rows: Vec<Row>) -> Result<u64> {
+        let n = rows.len() as u64;
+        // Gather stats on the way in.
+        let mut stats = TableStats {
+            row_count: n,
+            leaf_pages: 0,
+            avg_row_width: 0.0,
+            columns: vec![ColumnStats::default(); table.schema.columns.len()],
+        };
+        let mut distinct: Vec<std::collections::HashSet<String>> =
+            vec![std::collections::HashSet::new(); table.schema.columns.len()];
+        let mut width_sum = 0u64;
+        for row in &rows {
+            for (c, v) in row.iter().enumerate() {
+                let cs = &mut stats.columns[c];
+                if cs.min.as_ref().map(|m| v.cmp_total(m).is_lt()).unwrap_or(true) {
+                    cs.min = Some(v.clone());
+                }
+                if cs.max.as_ref().map(|m| v.cmp_total(m).is_gt()).unwrap_or(true) {
+                    cs.max = Some(v.clone());
+                }
+                let w = match v {
+                    Value::Str(s) => s.len(),
+                    _ => table.schema.columns[c].dtype.fixed_width().unwrap_or(8),
+                };
+                cs.avg_width += w as f64;
+                width_sum += w as u64;
+                if distinct[c].len() < 4096 {
+                    distinct[c].insert(v.to_string());
+                }
+            }
+        }
+        for (c, d) in distinct.iter().enumerate() {
+            stats.columns[c].ndv = d.len() as u64;
+            if n > 0 {
+                stats.columns[c].avg_width /= n as f64;
+            }
+        }
+        stats.avg_row_width = if n > 0 { width_sum as f64 / n as f64 } else { 0.0 };
+
+        // Primary: sort by PK and build.
+        let ptree = &table.primary.tree;
+        rows.sort_by(|a, b| ptree.key_of_row(a).cmp(&ptree.key_of_row(b)));
+        let leaves = bulk_build(
+            ptree,
+            table.primary.store.as_ref(),
+            self.cfg.page_size,
+            rows.iter().cloned(),
+            taurus_mvcc::BOOTSTRAP_TRX,
+        )?;
+        stats.leaf_pages = leaves as u64;
+
+        // Secondaries: project stored columns, sort, build.
+        for sec in &table.secondaries {
+            let stored = sec.tree.def.stored_cols();
+            let mut sec_rows: Vec<Row> = rows
+                .iter()
+                .map(|r| stored.iter().map(|&c| r[c].clone()).collect())
+                .collect();
+            let stree = &sec.tree;
+            sec_rows.sort_by(|a, b| stree.key_of_row(a).cmp(&stree.key_of_row(b)));
+            bulk_build(
+                stree,
+                sec.store.as_ref(),
+                self.cfg.page_size,
+                sec_rows.into_iter(),
+                taurus_mvcc::BOOTSTRAP_TRX,
+            )?;
+        }
+        *table.stats.write() = stats;
+        Ok(n)
+    }
+
+    // --- transactions -------------------------------------------------------
+
+    pub fn begin(&self) -> TrxId {
+        self.trx.begin()
+    }
+
+    pub fn commit(&self, trx: TrxId) {
+        self.trx.end(trx);
+    }
+
+    /// Roll back: restore previous images from the undo log, then end.
+    pub fn rollback(&self, trx: TrxId) -> Result<()> {
+        let entries = self.undo.take_for_rollback(trx);
+        for (space, key, entry) in entries {
+            let table = self
+                .tables()
+                .into_iter()
+                .find(|t| {
+                    t.primary.tree.def.space == space
+                        || t.secondaries.iter().any(|s| s.tree.def.space == space)
+                })
+                .ok_or_else(|| Error::Internal(format!("no table for space {space:?}")))?;
+            let idx = if table.primary.tree.def.space == space {
+                &table.primary
+            } else {
+                table
+                    .secondaries
+                    .iter()
+                    .find(|s| s.tree.def.space == space)
+                    .expect("matched above")
+            };
+            let store = idx.store.as_ref();
+            match entry.prev_image {
+                Some(img) => {
+                    // Restore the previous image in place.
+                    let loc = idx.tree.get(store, &key)?.ok_or_else(|| {
+                        Error::Internal("rolled-back record vanished".into())
+                    })?;
+                    let mut img = img;
+                    img[1..5].copy_from_slice(&loc.bytes[1..5]); // keep chain + heap_no
+                    store.write(vec![RedoOp::WriteBytes {
+                        page_no: loc.page_no,
+                        at: loc.rec_at,
+                        bytes: img,
+                    }])?;
+                }
+                None => {
+                    // The write was an insert: make the row permanently
+                    // invisible (delete-marked as the bootstrap writer).
+                    idx.tree.set_delete_mark(store, &key, taurus_mvcc::BOOTSTRAP_TRX, true)?;
+                }
+            }
+        }
+        self.trx.end(trx);
+        Ok(())
+    }
+
+    pub fn read_view(&self, trx: TrxId) -> ReadView {
+        self.trx.read_view(trx)
+    }
+
+    // --- DML ------------------------------------------------------------------
+
+    /// Insert one row under `trx`.
+    pub fn insert_row(&self, table: &Table, trx: TrxId, row: &Row) -> Result<()> {
+        let pkey = table.primary.tree.key_of_row(row);
+        table.primary.tree.insert(table.primary.store.as_ref(), row, trx)?;
+        self.undo.push(table.primary.tree.def.space, &pkey, trx, None);
+        for sec in &table.secondaries {
+            let stored = sec.tree.def.stored_cols();
+            let srow: Row = stored.iter().map(|&c| row[c].clone()).collect();
+            let skey = sec.tree.key_of_row(&srow);
+            sec.tree.insert(sec.store.as_ref(), &srow, trx)?;
+            self.undo.push(sec.tree.def.space, &skey, trx, None);
+        }
+        Ok(())
+    }
+
+    /// Read the newest version of a row by primary key (no MVCC filtering).
+    fn newest_row(&self, table: &Table, pkey: &[u8]) -> Result<Option<Row>> {
+        match table.primary.tree.get(table.primary.store.as_ref(), pkey)? {
+            None => Ok(None),
+            Some(loc) => {
+                let v = RecordView::new(&loc.bytes, &table.primary.tree.leaf_layout);
+                Ok(Some(v.values()))
+            }
+        }
+    }
+
+    /// Delete (mark) a row by primary key values under `trx`.
+    pub fn delete_row(&self, table: &Table, trx: TrxId, pk_values: &[Value]) -> Result<()> {
+        let pkey = table.primary.tree.encode_search_key(pk_values);
+        let row = self
+            .newest_row(table, &pkey)?
+            .ok_or_else(|| Error::NotFound("row to delete".into()))?;
+        let old =
+            table
+                .primary
+                .tree
+                .set_delete_mark(table.primary.store.as_ref(), &pkey, trx, true)?;
+        self.undo.push(table.primary.tree.def.space, &pkey, trx, Some(old));
+        for sec in &table.secondaries {
+            let stored = sec.tree.def.stored_cols();
+            let srow: Row = stored.iter().map(|&c| row[c].clone()).collect();
+            let skey = sec.tree.key_of_row(&srow);
+            let old = sec.tree.set_delete_mark(sec.store.as_ref(), &skey, trx, true)?;
+            self.undo.push(sec.tree.def.space, &skey, trx, Some(old));
+        }
+        Ok(())
+    }
+
+    /// Update a row (primary key unchanged, fixed-width columns only).
+    pub fn update_row(&self, table: &Table, trx: TrxId, new_row: &Row) -> Result<()> {
+        let pkey = table.primary.tree.key_of_row(new_row);
+        let old_row = self
+            .newest_row(table, &pkey)?
+            .ok_or_else(|| Error::NotFound("row to update".into()))?;
+        let old_img =
+            table.primary.tree.update_in_place(table.primary.store.as_ref(), new_row, trx)?;
+        self.undo.push(table.primary.tree.def.space, &pkey, trx, Some(old_img));
+        for sec in &table.secondaries {
+            let stored = sec.tree.def.stored_cols();
+            let old_s: Row = stored.iter().map(|&c| old_row[c].clone()).collect();
+            let new_s: Row = stored.iter().map(|&c| new_row[c].clone()).collect();
+            let old_key = sec.tree.key_of_row(&old_s);
+            let new_key = sec.tree.key_of_row(&new_s);
+            if old_key == new_key {
+                if old_s != new_s {
+                    let img = sec.tree.update_in_place(sec.store.as_ref(), &new_s, trx)?;
+                    self.undo.push(sec.tree.def.space, &old_key, trx, Some(img));
+                }
+            } else {
+                // Key change: delete-mark old entry, insert new one.
+                let img = sec.tree.set_delete_mark(sec.store.as_ref(), &old_key, trx, true)?;
+                self.undo.push(sec.tree.def.space, &old_key, trx, Some(img));
+                sec.tree.insert(sec.store.as_ref(), &new_s, trx)?;
+                self.undo.push(sec.tree.def.space, &new_key, trx, None);
+            }
+        }
+        Ok(())
+    }
+
+    /// MVCC point lookup: the version of the row visible to `view`.
+    pub fn lookup_row(
+        &self,
+        table: &Table,
+        view: &ReadView,
+        pk_values: &[Value],
+    ) -> Result<Option<Row>> {
+        let pkey = table.primary.tree.encode_search_key(pk_values);
+        let loc = match table.primary.tree.get(table.primary.store.as_ref(), &pkey)? {
+            None => return Ok(None),
+            Some(l) => l,
+        };
+        let space = table.primary.tree.def.space;
+        let image = match self.undo.reconstruct(space, &pkey, &loc.bytes, view) {
+            Some(img) => img,
+            None => return Ok(None),
+        };
+        let v = RecordView::new(&image, &table.primary.tree.leaf_layout);
+        if v.delete_mark() {
+            return Ok(None);
+        }
+        Ok(Some(v.values()))
+    }
+}

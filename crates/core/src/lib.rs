@@ -1,0 +1,32 @@
+//! `taurus-ndp` — the paper's primary contribution: near-data processing
+//! engineered into an InnoDB-style storage engine over disaggregated
+//! storage.
+//!
+//! * [`engine`] — the compute-node engine: catalog, transactions (MVCC +
+//!   undo), DML, bulk load, and the [`engine::SpaceStore`] adapter that
+//!   routes every page mutation through the buffer pool and the SAL as
+//!   redo.
+//! * [`scan`] — the scans: the classical page-at-a-time path and the NDP
+//!   path (descriptor build, level-1 batch extraction, buffer-pool overlap
+//!   handling, ordered NDP-page consumption, InnoDB-side completion of
+//!   raw/ambiguous work), plus PQ range partitioning.
+//!
+//! The executor above talks only to [`scan::scan`] through
+//! [`scan::ScanConsumer`] — it cannot tell whether filtering, projection,
+//! or aggregation happened in a Page Store or on the compute node, which
+//! is exactly the paper's encapsulation claim.
+
+pub mod engine;
+pub mod scan;
+
+pub use engine::{ColumnStats, SpaceStore, Table, TableIndex, TableStats, TaurusDb};
+pub use scan::{
+    build_descriptor, partition_ranges, scan, NdpChoice, ScanAggregation, ScanConsumer,
+    ScanSpec, ScanStats,
+};
+
+// Re-export the vocabulary types users need alongside the engine.
+pub use taurus_btree::ScanRange;
+pub use taurus_common::{ClusterConfig, Metrics, MetricsSnapshot, NdpConfig, NetworkConfig};
+pub use taurus_expr::agg::{AggFunc, AggSpec, AggState};
+pub use taurus_mvcc::ReadView;

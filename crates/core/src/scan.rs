@@ -1,0 +1,654 @@
+//! Scans: the regular InnoDB path and the NDP path (§III, §IV-C).
+//!
+//! The NDP scan is where the paper's machinery comes together:
+//!
+//! 1. descend to level 1 under the shared structure latch, extract up to
+//!    `innodb_ndp_max_pages_look_ahead` child leaf page numbers bounded by
+//!    the scan range, and capture the LSN (§IV-C4);
+//! 2. check the buffer pool: already-cached pages are *copied* into the
+//!    NDP area (no I/O, completed by InnoDB — §IV-C4), the rest go into
+//!    one batch read that the SAL fans out across Page Stores;
+//! 3. consume the returned pages **in logical page order** regardless of
+//!    Page Store completion order ("the logical page ordering is enforced
+//!    in the frontend storage engine" — §IV-D), releasing each NDP frame
+//!    as soon as its page is drained;
+//! 4. complete whatever NDP work storage did not do: raw pages (resource
+//!    control skips), buffer-pool copies, and ambiguous records (full
+//!    read-view visibility + undo reconstruction) — the four cases of
+//!    §V-B1.
+//!
+//! Everything above the scan sees only rows and aggregate partials through
+//! [`ScanConsumer`] — "the MySQL query execution layers above the storage
+//! engine are unaware of NDP processing".
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use taurus_btree::{ScanRange, TreeStore};
+use taurus_common::{Error, PageNo, PageRef, Result, Value};
+use taurus_expr::agg::{AggSpec, AggState};
+use taurus_expr::ast::Expr;
+use taurus_expr::descriptor::{NdpAggSpec, NdpDescriptor};
+use taurus_mvcc::ReadView;
+use taurus_page::{Page, PageType, RecType, RecordLayout, RecordView};
+use taurus_pagestore::PagePayload;
+
+use crate::engine::{Table, TableIndex, TaurusDb};
+
+/// Aggregation requested from a scan (column refs are *table* columns).
+#[derive(Clone, Debug)]
+pub struct ScanAggregation {
+    pub specs: Vec<AggSpec>,
+    /// GROUP BY columns; must be a prefix of the chosen index key.
+    pub group_cols: Vec<usize>,
+}
+
+/// The optimizer's per-table-access NDP decision (§IV-B): any subset of
+/// {projection, predicate, aggregation} may be enabled.
+#[derive(Clone, Debug, Default)]
+pub struct NdpChoice {
+    /// Table columns to keep (key columns are added automatically).
+    pub projection: Option<Vec<usize>>,
+    /// Pushed predicate over table columns. When aggregation is pushed,
+    /// this predicate must subsume the scan's range condition (the
+    /// optimizer guarantees it; see DESIGN.md).
+    pub predicate: Option<Expr>,
+    pub aggregation: Option<ScanAggregation>,
+}
+
+impl NdpChoice {
+    pub fn is_empty(&self) -> bool {
+        self.projection.is_none() && self.predicate.is_none() && self.aggregation.is_none()
+    }
+}
+
+/// A fully-specified table access.
+#[derive(Clone, Debug)]
+pub struct ScanSpec {
+    /// Which index: 0 = primary, i+1 = secondaries[i].
+    pub index: usize,
+    pub range: ScanRange,
+    /// NDP decision; `None` = classical scan.
+    pub ndp: Option<NdpChoice>,
+    /// Table columns the scan delivers, in this order. All must be stored
+    /// in the chosen index.
+    pub output_cols: Vec<usize>,
+}
+
+/// Receives scan output. Rows arrive in index-key order; aggregate
+/// partials follow their carrier row immediately.
+pub trait ScanConsumer {
+    /// A row (values in `output_cols` order). Return `false` to stop.
+    fn on_row(&mut self, row: &[Value]) -> Result<bool>;
+    /// Partial aggregate states attached to the just-delivered carrier row.
+    fn on_partial(&mut self, states: Vec<AggState>) -> Result<bool>;
+}
+
+/// Scan-side statistics for one execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ScanStats {
+    pub rows_delivered: u64,
+    pub pages_total: u64,
+    pub pages_from_cache: u64,
+    pub pages_ndp: u64,
+    pub pages_raw: u64,
+    pub partials_merged: u64,
+    pub ambiguous_resolved: u64,
+}
+
+/// Build the NDP descriptor for a choice (col refs rebased onto record
+/// positions — the Page Store needs no table schema).
+pub fn build_descriptor(
+    index: &TableIndex,
+    choice: &NdpChoice,
+    low_watermark: u64,
+) -> Result<NdpDescriptor> {
+    let tree = &index.tree;
+    let stored = tree.def.stored_cols();
+    let pos_of = |table_col: usize| -> Result<u16> {
+        stored
+            .iter()
+            .position(|&c| c == table_col)
+            .map(|p| p as u16)
+            .ok_or_else(|| {
+                Error::InvalidState(format!(
+                    "column {table_col} not stored in index {}",
+                    tree.def.name
+                ))
+            })
+    };
+    let key_positions: Vec<u16> = tree.key_positions.iter().map(|&p| p as u16).collect();
+    let projection = match &choice.projection {
+        None => None,
+        Some(cols) => {
+            let mut keep: Vec<u16> = cols.iter().map(|&c| pos_of(c)).collect::<Result<_>>()?;
+            keep.extend_from_slice(&key_positions);
+            if let Some(agg) = &choice.aggregation {
+                for s in &agg.specs {
+                    if let Some(c) = s.col {
+                        keep.push(pos_of(c as usize)?);
+                    }
+                }
+            }
+            keep.sort_unstable();
+            keep.dedup();
+            Some(keep)
+        }
+    };
+    let predicate_bitcode = match &choice.predicate {
+        None => None,
+        Some(e) => {
+            let remapped = e.remap_columns(&|c| {
+                stored.iter().position(|&s| s == c).expect("predicate col stored")
+            });
+            Some(taurus_expr::compile::lower(&remapped)?.encode_bitcode())
+        }
+    };
+    let aggregation = match &choice.aggregation {
+        None => None,
+        Some(a) => Some(NdpAggSpec {
+            specs: a
+                .specs
+                .iter()
+                .map(|s| {
+                    Ok(AggSpec {
+                        func: s.func,
+                        col: match s.col {
+                            Some(c) => Some(pos_of(c as usize)?),
+                            None => None,
+                        },
+                    })
+                })
+                .collect::<Result<_>>()?,
+            group_cols: a
+                .group_cols
+                .iter()
+                .map(|&c| pos_of(c))
+                .collect::<Result<_>>()?,
+        }),
+    };
+    let d = NdpDescriptor {
+        index_id: tree.def.index_id.0,
+        record_dtypes: tree.leaf_layout.dtypes.clone(),
+        key_positions,
+        projection,
+        predicate_bitcode,
+        aggregation,
+        low_watermark,
+    };
+    d.validate()?;
+    Ok(d)
+}
+
+/// Pre-resolved machinery for one scan execution.
+struct ScanCtx<'a> {
+    db: &'a TaurusDb,
+    index: &'a TableIndex,
+    spec: &'a ScanSpec,
+    view: &'a ReadView,
+    watermark: u64,
+    /// Output columns as record positions (full layout).
+    out_pos: Vec<usize>,
+    /// Projected layout + output positions within it (when projecting).
+    proj: Option<(RecordLayout, Vec<usize>)>,
+    /// Record positions kept by the projection (resolved once).
+    proj_keep: Vec<usize>,
+    /// Pushed predicate rebased to record positions (compute-side
+    /// completion uses the classical interpreter, like InnoDB calling the
+    /// executor's evaluation callbacks).
+    pred_record: Option<Expr>,
+    stats: ScanStats,
+}
+
+impl<'a> ScanCtx<'a> {
+    fn new(
+        db: &'a TaurusDb,
+        table: &'a Table,
+        spec: &'a ScanSpec,
+        view: &'a ReadView,
+    ) -> Result<ScanCtx<'a>> {
+        let index = table.index(spec.index);
+        let stored = index.tree.def.stored_cols();
+        let out_pos: Vec<usize> = spec
+            .output_cols
+            .iter()
+            .map(|&c| {
+                stored.iter().position(|&s| s == c).ok_or_else(|| {
+                    Error::InvalidState(format!(
+                        "output column {c} not stored in index {}",
+                        index.tree.def.name
+                    ))
+                })
+            })
+            .collect::<Result<_>>()?;
+        let choice = spec.ndp.as_ref();
+        let watermark = view.low_watermark();
+        let mut proj_keep: Vec<usize> = Vec::new();
+        let proj = match choice.and_then(|c| c.projection.as_ref()) {
+            None => None,
+            Some(_) => {
+                // Mirror build_descriptor's keep-set computation.
+                let desc = build_descriptor(index, choice.unwrap(), watermark)?;
+                let keep = desc.projection.expect("projection requested");
+                let keep_usize: Vec<usize> = keep.iter().map(|&k| k as usize).collect();
+                let layout = index.tree.leaf_layout.project(&keep_usize);
+                let out_in_proj: Vec<usize> = out_pos
+                    .iter()
+                    .map(|&p| {
+                        keep_usize.iter().position(|&k| k == p).ok_or_else(|| {
+                            Error::InvalidState(format!(
+                                "output position {p} dropped by NDP projection"
+                            ))
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                proj_keep = keep_usize;
+                Some((layout, out_in_proj))
+            }
+        };
+        let pred_record = choice.and_then(|c| c.predicate.as_ref()).map(|e| {
+            e.remap_columns(&|c| stored.iter().position(|&s| s == c).expect("stored"))
+        });
+        Ok(ScanCtx {
+            db,
+            index,
+            spec,
+            view,
+            watermark,
+            out_pos,
+            proj,
+            proj_keep,
+            pred_record,
+            stats: ScanStats::default(),
+        })
+    }
+
+    fn layout(&self) -> &RecordLayout {
+        &self.index.tree.leaf_layout
+    }
+
+    /// Are all records of this page within the scan range? (First/last key
+    /// check — avoids per-record range checks on interior pages.)
+    fn page_fully_in_range(&self, page: &Page, layout_probe: &RecordLayout) -> bool {
+        let mut first: Option<u16> = None;
+        let mut last: Option<u16> = None;
+        for off in page.iter_chain() {
+            if first.is_none() {
+                first = Some(off);
+            }
+            last = Some(off);
+        }
+        let (Some(f), Some(l)) = (first, last) else { return true };
+        let key_of = |off: u16| -> Option<Vec<u8>> {
+            let bytes = page.record_at(off);
+            let probe = RecordView::new(bytes, layout_probe);
+            match probe.rec_type() {
+                RecType::Ordinary => {
+                    let v = RecordView::new(bytes, self.layout());
+                    Some(self.index.tree.key_of_leaf_record(&v))
+                }
+                RecType::NdpProjection | RecType::NdpAggregate => {
+                    // Projected records always carry the key columns
+                    // (§V-A); extract the key through the projected layout.
+                    let (pl, _) = self.proj.as_ref()?;
+                    let v = RecordView::new(bytes, pl);
+                    Some(self.key_of_projected(&v))
+                }
+                _ => None,
+            }
+        };
+        match (key_of(f), key_of(l)) {
+            (Some(fk), Some(lk)) => {
+                self.spec.range.contains(&fk) && self.spec.range.contains(&lk)
+            }
+            _ => false,
+        }
+    }
+
+    /// Encoded key of a record in the projected layout.
+    fn key_of_projected(&self, v: &RecordView<'_>) -> Vec<u8> {
+        let key_vals: Vec<Value> = self
+            .index
+            .tree
+            .key_positions
+            .iter()
+            .map(|&kp| {
+                let pos =
+                    self.proj_keep.iter().position(|&k| k == kp).expect("keys kept");
+                v.value(pos)
+            })
+            .collect();
+        taurus_common::schema::encode_key(&key_vals, &self.index.tree.def.key_dtypes())
+    }
+
+    /// Deliver one full-layout record (visible, already filtered).
+    fn deliver_full(
+        &mut self,
+        view_rec: &RecordView<'_>,
+        consumer: &mut dyn ScanConsumer,
+    ) -> Result<bool> {
+        let row: Vec<Value> = self.out_pos.iter().map(|&p| view_rec.value(p)).collect();
+        self.stats.rows_delivered += 1;
+        consumer.on_row(&row)
+    }
+
+    /// Full compute-side processing of one record image (ambiguous / raw /
+    /// cached pages): visibility, undo rebuild, delete-mark, predicate.
+    fn process_full_record(
+        &mut self,
+        bytes: &[u8],
+        layout: &RecordLayout,
+        check_range: bool,
+        consumer: &mut dyn ScanConsumer,
+    ) -> Result<bool> {
+        let v = RecordView::new(bytes, layout);
+        let key = self.index.tree.key_of_leaf_record(&v);
+        let image;
+        let rec = if self.view.visible(v.trx_id()) {
+            v
+        } else {
+            self.stats.ambiguous_resolved += 1;
+            match self.db.undo.reconstruct(self.index.tree.def.space, &key, bytes, self.view)
+            {
+                None => return Ok(true),
+                Some(img) => {
+                    image = img;
+                    RecordView::new(&image, layout)
+                }
+            }
+        };
+        if rec.delete_mark() {
+            return Ok(true);
+        }
+        if check_range && !self.spec.range.contains(&key) {
+            return Ok(true);
+        }
+        if let Some(pred) = &self.pred_record {
+            let vals = rec.values();
+            if taurus_expr::eval::eval_pred(pred, &vals)? != Some(true) {
+                return Ok(true);
+            }
+        }
+        let row: Vec<Value> = self.out_pos.iter().map(|&p| rec.value(p)).collect();
+        self.stats.rows_delivered += 1;
+        consumer.on_row(&row)
+    }
+
+    /// Consume one page in any form. Returns false when the consumer asked
+    /// to stop.
+    fn consume_page(
+        &mut self,
+        page: &Page,
+        was_processed_by_storage: bool,
+        consumer: &mut dyn ScanConsumer,
+    ) -> Result<bool> {
+        self.stats.pages_total += 1;
+        if page.page_type() == PageType::NdpEmpty {
+            return Ok(true);
+        }
+        let full_layout = self.layout().clone();
+        let check_range = !self.page_fully_in_range(page, &full_layout);
+        if !was_processed_by_storage {
+            // Raw or cached page: InnoDB completes all requested NDP work.
+            self.db.metrics().add(|m| &m.ndp_completed_on_compute, 1);
+            for off in page.iter_chain() {
+                if !self.process_full_record(page.record_at(off), &full_layout, check_range, consumer)?
+                {
+                    return Ok(false);
+                }
+            }
+            return Ok(true);
+        }
+        // An NDP page: mixed record types (§IV-C2).
+        for off in page.iter_chain() {
+            let bytes = page.record_at(off);
+            let probe = RecordView::new(bytes, &full_layout);
+            match probe.rec_type() {
+                RecType::Ordinary => {
+                    if probe.trx_id() < self.watermark {
+                        // Visible survivor: storage already filtered it.
+                        if check_range {
+                            let key = self.index.tree.key_of_leaf_record(&probe);
+                            if !self.spec.range.contains(&key) {
+                                continue;
+                            }
+                        }
+                        if !self.deliver_full(&probe, consumer)? {
+                            return Ok(false);
+                        }
+                    } else {
+                        // Ambiguous: InnoDB does visibility/undo/predicate.
+                        if !self.process_full_record(bytes, &full_layout, check_range, consumer)?
+                        {
+                            return Ok(false);
+                        }
+                    }
+                }
+                RecType::NdpProjection | RecType::NdpAggregate => {
+                    let (pl, out_in_proj) = self
+                        .proj
+                        .as_ref()
+                        .map(|(l, o)| (l.clone(), o.clone()))
+                        .unwrap_or_else(|| (full_layout.clone(), self.out_pos.clone()));
+                    let v = RecordView::new(bytes, &pl);
+                    if check_range {
+                        let key = if self.proj.is_some() {
+                            self.key_of_projected(&v)
+                        } else {
+                            self.index.tree.key_of_leaf_record(&v)
+                        };
+                        if !self.spec.range.contains(&key) {
+                            continue;
+                        }
+                    }
+                    let row: Vec<Value> =
+                        out_in_proj.iter().map(|&p| v.value(p)).collect();
+                    self.stats.rows_delivered += 1;
+                    if !consumer.on_row(&row)? {
+                        return Ok(false);
+                    }
+                    if probe.rec_type() == RecType::NdpAggregate {
+                        let payload = v
+                            .agg_payload()
+                            .ok_or_else(|| Error::Corruption("agg record without payload".into()))?;
+                        let states = taurus_expr::agg::decode_states(payload)?;
+                        self.stats.partials_merged += 1;
+                        if !consumer.on_partial(states)? {
+                            return Ok(false);
+                        }
+                    }
+                }
+                other => {
+                    return Err(Error::Corruption(format!(
+                        "unexpected record type {other:?} in NDP page"
+                    )))
+                }
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// Execute a scan against `table`, delivering into `consumer`.
+pub fn scan(
+    db: &TaurusDb,
+    table: &Table,
+    spec: &ScanSpec,
+    view: &ReadView,
+    consumer: &mut dyn ScanConsumer,
+) -> Result<ScanStats> {
+    let mut ctx = ScanCtx::new(db, table, spec, view)?;
+    match &spec.ndp {
+        Some(choice) if !choice.is_empty() && db.config().ndp.enabled => {
+            ndp_scan(&mut ctx, choice, consumer)?;
+        }
+        _ => {
+            regular_scan(&mut ctx, consumer)?;
+        }
+    }
+    db.metrics().add(|m| &m.rows_scanned, ctx.stats.rows_delivered);
+    Ok(ctx.stats)
+}
+
+/// The classical InnoDB scan: one page at a time through the buffer pool;
+/// no batch reads (§I), all filtering above.
+fn regular_scan(ctx: &mut ScanCtx<'_>, consumer: &mut dyn ScanConsumer) -> Result<ScanStats> {
+    let store = ctx.index.store.clone();
+    let tree = &ctx.index.tree;
+    let mut page = match tree.seek_leaf(store.as_ref(), &ctx.spec.range)? {
+        Some(p) => p,
+        None => return Ok(ctx.stats),
+    };
+    loop {
+        ctx.stats.pages_total += 1;
+        let full = ctx.layout().clone();
+        let check_range = !ctx.page_fully_in_range(&page, &full);
+        let mut past_end = false;
+        for off in page.iter_chain() {
+            let bytes = page.record_at(off);
+            if check_range {
+                let v = RecordView::new(bytes, &full);
+                let key = tree.key_of_leaf_record(&v);
+                if ctx.spec.range.past_upper(&key) {
+                    past_end = true;
+                    break;
+                }
+            }
+            if !ctx.process_full_record(bytes, &full, check_range, consumer)? {
+                return Ok(ctx.stats);
+            }
+        }
+        if past_end {
+            break;
+        }
+        match page.next() {
+            taurus_page::NO_PAGE => break,
+            next => {
+                // Stop early if the next page starts past the range.
+                page = store.read(next)?;
+                if let Some(first_off) = page.iter_chain().next() {
+                    let v = RecordView::new(page.record_at(first_off), ctx.layout());
+                    let key = tree.key_of_leaf_record(&v);
+                    if ctx.spec.range.past_upper(&key) {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    Ok(ctx.stats)
+}
+
+/// The NDP scan (§IV-C4): batch extraction → BP overlap check → SAL fan-out
+/// → ordered consumption with immediate frame release.
+fn ndp_scan(
+    ctx: &mut ScanCtx<'_>,
+    choice: &NdpChoice,
+    consumer: &mut dyn ScanConsumer,
+) -> Result<ScanStats> {
+    let tree = &ctx.index.tree;
+    let store = ctx.index.store.clone();
+    let bp = store.buffer_pool().clone();
+    let space = tree.def.space;
+    let descriptor = Arc::new(build_descriptor(ctx.index, choice, ctx.watermark)?.encode());
+    let look_ahead = ctx.db.config().ndp.max_pages_look_ahead.max(1);
+    let mut resume: Option<Vec<u8>> = None;
+
+    loop {
+        let (pages, lsn, next_resume) =
+            tree.collect_leaf_batch(store.as_ref(), &ctx.spec.range, resume.as_deref(), look_ahead)?;
+        if pages.is_empty() {
+            break;
+        }
+        // Buffer-pool overlap: cached pages are copied to the NDP area and
+        // completed by InnoDB; only misses go into the batch read.
+        let mut cached: HashMap<PageNo, Arc<Page>> = HashMap::new();
+        let mut missing: Vec<PageNo> = Vec::with_capacity(pages.len());
+        for &no in &pages {
+            let pref = PageRef::new(space, no);
+            match bp.get(pref) {
+                Some(p) => {
+                    cached.insert(no, p);
+                }
+                None => missing.push(no),
+            }
+        }
+        let mut fetched: HashMap<PageNo, PagePayload> = HashMap::new();
+        if !missing.is_empty() {
+            for r in store.sal().batch_read(space, &missing, lsn, descriptor.clone())? {
+                fetched.insert(r.page_no, r.payload);
+            }
+        }
+        // Consume strictly in logical page order.
+        for &no in &pages {
+            let stop = if let Some(p) = cached.remove(&no) {
+                ctx.stats.pages_from_cache += 1;
+                // Copy into the NDP area (frame released on drop).
+                let guard = bp.alloc_ndp_frame(p)?;
+                !ctx.consume_page(guard.page(), false, consumer)?
+            } else {
+                match fetched.remove(&no) {
+                    Some(PagePayload::Ndp(p)) => {
+                        ctx.stats.pages_ndp += 1;
+                        let guard = bp.alloc_ndp_frame(p)?;
+                        !ctx.consume_page(guard.page(), true, consumer)?
+                    }
+                    Some(PagePayload::Raw(p)) => {
+                        ctx.stats.pages_raw += 1;
+                        let guard = bp.alloc_ndp_frame(p)?;
+                        !ctx.consume_page(guard.page(), false, consumer)?
+                    }
+                    None => {
+                        return Err(Error::Internal(format!("page {no} missing from batch")))
+                    }
+                }
+            };
+            if stop {
+                return Ok(ctx.stats);
+            }
+        }
+        match next_resume {
+            Some(k) => resume = Some(k),
+            None => break,
+        }
+    }
+    Ok(ctx.stats)
+}
+
+/// Split a table access into `parts` disjoint ranges along level-1
+/// boundaries — the PQ partitioning of §VI-1. Returns at most `parts`
+/// ranges covering `range` exactly.
+pub fn partition_ranges(
+    table: &Table,
+    index: usize,
+    range: &ScanRange,
+    parts: usize,
+) -> Result<Vec<ScanRange>> {
+    let idx = table.index(index);
+    let leaves = idx.tree.n_leaves().max(1) as usize;
+    let per = leaves.div_ceil(parts.max(1)).max(1);
+    let mut boundaries: Vec<Vec<u8>> = Vec::new();
+    let mut resume: Option<Vec<u8>> = None;
+    loop {
+        let (pages, _, next) =
+            idx.tree.collect_leaf_batch(idx.store.as_ref(), range, resume.as_deref(), per)?;
+        if pages.is_empty() {
+            break;
+        }
+        match next {
+            Some(k) => {
+                boundaries.push(k.clone());
+                resume = Some(k);
+            }
+            None => break,
+        }
+    }
+    let mut ranges = Vec::with_capacity(boundaries.len() + 1);
+    let mut lower = range.lower.clone();
+    for b in boundaries {
+        ranges.push(ScanRange { lower: lower.clone(), upper: Some((b.clone(), false)) });
+        lower = Some((b, true));
+    }
+    ranges.push(ScanRange { lower, upper: range.upper.clone() });
+    Ok(ranges)
+}

@@ -1,0 +1,537 @@
+//! End-to-end NDP scan correctness: the central invariant is that a scan
+//! with NDP enabled produces *exactly* the rows and aggregates of the
+//! classical scan — under filtering, projection, aggregation, resource-
+//! control skips, buffer-pool overlap, MVCC with concurrent writers, and
+//! range boundaries.
+
+use std::sync::Arc;
+
+use taurus_common::schema::{Column, TableSchema};
+use taurus_common::{ClusterConfig, DataType, Date32, Dec, Value};
+use taurus_expr::agg::{AggSpec, AggState};
+use taurus_expr::ast::Expr;
+use taurus_ndp::{
+    scan, NdpChoice, ScanAggregation, ScanConsumer, ScanRange, ScanSpec, TaurusDb,
+};
+use taurus_pagestore::SkipPolicy;
+
+fn schema() -> Arc<TableSchema> {
+    TableSchema::new(
+        "orders_like",
+        vec![
+            Column::new("grp", DataType::BigInt),      // 0: group key (pk prefix)
+            Column::new("id", DataType::BigInt),       // 1: pk suffix
+            Column::new("qty", DataType::Int),         // 2
+            Column::new("price", DataType::Decimal { precision: 15, scale: 2 }), // 3
+            Column::new("d", DataType::Date),          // 4
+            Column::new("mode", DataType::Char(10)),   // 5
+            Column::new("note", DataType::Varchar(40)),// 6
+        ],
+        vec![0, 1],
+    )
+}
+
+fn sample_rows(n: i64) -> Vec<Vec<Value>> {
+    let modes = ["MAIL", "SHIP", "AIR", "RAIL", "TRUCK"];
+    (0..n)
+        .map(|i| {
+            vec![
+                Value::Int(i / 50),
+                Value::Int(i),
+                Value::Int((i * 7) % 50),
+                Value::Decimal(Dec::new(((i % 1000) * 100 + 25) as i128, 2)),
+                Value::Date(Date32::from_ymd(1994, 1, 1).add_days((i % 730) as i32)),
+                Value::str(modes[(i % 5) as usize]),
+                Value::str(format!("note for row {i} with some padding")),
+            ]
+        })
+        .collect()
+}
+
+fn fresh_db(rows: i64) -> (Arc<TaurusDb>, Arc<taurus_ndp::Table>) {
+    let mut cfg = ClusterConfig::small_for_tests();
+    cfg.page_size = 2048;
+    cfg.buffer_pool_pages = 32; // small: most pages are NOT cached
+    cfg.slice_pages = 16;
+    cfg.ndp.max_pages_look_ahead = 11; // odd: exercises resume paths
+    let db = TaurusDb::new(cfg);
+    let t = db.create_table(schema(), &[]).unwrap();
+    db.bulk_load(&t, sample_rows(rows)).unwrap();
+    db.buffer_pool().clear(); // cold start
+    (db, t)
+}
+
+/// Collects rows and merges partials onto running aggregate states.
+struct Collector {
+    rows: Vec<Vec<Value>>,
+    agg: Option<(Vec<AggSpec>, Vec<AggState>, Vec<usize>)>, // specs, states, input cols (row-relative)
+    stop_after: Option<usize>,
+}
+
+impl Collector {
+    fn plain() -> Collector {
+        Collector { rows: Vec::new(), agg: None, stop_after: None }
+    }
+
+    /// Aggregating collector: `inputs[i]` = position in the delivered row
+    /// of the i-th aggregate's input (usize::MAX for COUNT(*)).
+    fn aggregating(specs: Vec<AggSpec>, inputs: Vec<usize>, dtypes: Vec<Option<DataType>>) -> Collector {
+        let states =
+            specs.iter().zip(&dtypes).map(|(s, dt)| AggState::new(s, *dt)).collect();
+        Collector { rows: Vec::new(), agg: Some((specs, states, inputs)), stop_after: None }
+    }
+}
+
+impl ScanConsumer for Collector {
+    fn on_row(&mut self, row: &[Value]) -> taurus_common::Result<bool> {
+        if let Some((_, states, inputs)) = &mut self.agg {
+            for (st, &inp) in states.iter_mut().zip(inputs.iter()) {
+                if inp == usize::MAX {
+                    st.update(&Value::Int(1));
+                } else {
+                    st.update(&row[inp]);
+                }
+            }
+        }
+        self.rows.push(row.to_vec());
+        if let Some(n) = self.stop_after {
+            return Ok(self.rows.len() < n);
+        }
+        Ok(true)
+    }
+
+    fn on_partial(&mut self, states: Vec<AggState>) -> taurus_common::Result<bool> {
+        let (_, mine, _) = self.agg.as_mut().expect("partials only in agg scans");
+        for (m, s) in mine.iter_mut().zip(&states) {
+            m.merge(s).unwrap();
+        }
+        Ok(true)
+    }
+}
+
+fn run(db: &TaurusDb, t: &taurus_ndp::Table, spec: &ScanSpec, mut c: Collector) -> Collector {
+    let view = db.read_view(0);
+    scan(db, t, spec, &view, &mut c).unwrap();
+    c
+}
+
+fn q6ish_predicate() -> Expr {
+    Expr::and(vec![
+        Expr::ge(Expr::col(4), Expr::date("1994-06-01")),
+        Expr::lt(Expr::col(4), Expr::date("1995-06-01")),
+        Expr::lt(Expr::col(2), Expr::int(25)),
+    ])
+}
+
+#[test]
+fn filter_pushdown_matches_classical() {
+    let (db, t) = fresh_db(4000);
+    let base = ScanSpec {
+        index: 0,
+        range: ScanRange::full(),
+        ndp: None,
+        output_cols: vec![0, 1, 2, 3, 4, 5, 6],
+    };
+    // Classical: scan all, filter on the compute node.
+    let all = run(&db, &t, &base, Collector::plain());
+    let pred = q6ish_predicate();
+    let expected: Vec<Vec<Value>> = all
+        .rows
+        .iter()
+        .filter(|r| taurus_expr::eval::eval_pred(&pred, r).unwrap() == Some(true))
+        .cloned()
+        .collect();
+    assert!(!expected.is_empty() && expected.len() < all.rows.len());
+
+    db.buffer_pool().clear();
+    let ndp_spec = ScanSpec {
+        ndp: Some(NdpChoice { predicate: Some(pred), ..Default::default() }),
+        ..base
+    };
+    let before = db.metrics().snapshot();
+    let got = run(&db, &t, &ndp_spec, Collector::plain());
+    let delta = db.metrics().snapshot().since(&before);
+    assert_eq!(got.rows, expected, "NDP filter must equal compute-side filter");
+    assert!(delta.pages_shipped_ndp > 0, "storage must actually have processed pages");
+    assert!(delta.ps_records_filtered > 0);
+}
+
+#[test]
+fn projection_pushdown_matches_and_ships_less() {
+    let (db, t) = fresh_db(4000);
+    let base = ScanSpec {
+        index: 0,
+        range: ScanRange::full(),
+        ndp: None,
+        output_cols: vec![1, 3],
+    };
+    let before_off = db.metrics().snapshot();
+    let expected = run(&db, &t, &base, Collector::plain());
+    let bytes_off = db.metrics().snapshot().since(&before_off).net_bytes_from_storage;
+
+    db.buffer_pool().clear();
+    let ndp_spec = ScanSpec {
+        ndp: Some(NdpChoice { projection: Some(vec![1, 3]), ..Default::default() }),
+        ..base.clone()
+    };
+    let before_on = db.metrics().snapshot();
+    let got = run(&db, &t, &ndp_spec, Collector::plain());
+    let bytes_on = db.metrics().snapshot().since(&before_on).net_bytes_from_storage;
+    assert_eq!(got.rows, expected.rows);
+    assert!(
+        bytes_on * 2 < bytes_off,
+        "projection should cut network bytes: {bytes_on} vs {bytes_off}"
+    );
+}
+
+#[test]
+fn scalar_aggregation_pushdown_matches() {
+    let (db, t) = fresh_db(3000);
+    // SELECT COUNT(*), SUM(price) WHERE qty < 25 — NDP fully pushed.
+    let pred = Expr::lt(Expr::col(2), Expr::int(25));
+    let specs = vec![AggSpec::count_star(), AggSpec::sum(3)];
+    let dtypes = vec![None, Some(DataType::Decimal { precision: 15, scale: 2 })];
+
+    // Reference: classical scan + compute-side aggregation.
+    let classical = ScanSpec {
+        index: 0,
+        range: ScanRange::full(),
+        ndp: None,
+        output_cols: vec![3],
+    };
+    let all = run(&db, &t, &classical, Collector::plain());
+    // Re-filter manually: fetch qty too for the reference.
+    let ref_spec = ScanSpec {
+        index: 0,
+        range: ScanRange::full(),
+        ndp: None,
+        output_cols: vec![2, 3],
+    };
+    let all2 = run(&db, &t, &ref_spec, Collector::plain());
+    let mut expect_count = 0i64;
+    let mut expect_sum = AggState::new(&specs[1], dtypes[1]);
+    for r in &all2.rows {
+        if r[0].cmp_sql(&Value::Int(25)) == Some(std::cmp::Ordering::Less) {
+            expect_count += 1;
+            expect_sum.update(&r[1]);
+        }
+    }
+    drop(all);
+
+    db.buffer_pool().clear();
+    let ndp_spec = ScanSpec {
+        index: 0,
+        range: ScanRange::full(),
+        ndp: Some(NdpChoice {
+            predicate: Some(pred),
+            aggregation: Some(ScanAggregation { specs: specs.clone(), group_cols: vec![] }),
+            ..Default::default()
+        }),
+        output_cols: vec![3],
+    };
+    let got = run(
+        &db,
+        &t,
+        &ndp_spec,
+        Collector::aggregating(specs.clone(), vec![usize::MAX, 0], dtypes.clone()),
+    );
+    let (_, states, _) = got.agg.as_ref().unwrap();
+    assert_eq!(states[0].finalize(), Value::Int(expect_count));
+    assert_eq!(states[1].finalize(), expect_sum.finalize());
+    // Far fewer rows crossed the consumer than exist in the table.
+    assert!(got.rows.len() < 3000 / 2, "aggregation should collapse rows: {}", got.rows.len());
+}
+
+#[test]
+fn grouped_aggregation_pushdown_matches() {
+    let (db, t) = fresh_db(3000);
+    // GROUP BY grp (pk prefix): SUM(qty), COUNT(*).
+    let specs = vec![AggSpec::sum(2), AggSpec::count_star()];
+    let _dtypes: Vec<Option<DataType>> = vec![Some(DataType::Int), None];
+    // Reference.
+    let ref_spec = ScanSpec {
+        index: 0,
+        range: ScanRange::full(),
+        ndp: None,
+        output_cols: vec![0, 2],
+    };
+    let all = run(&db, &t, &ref_spec, Collector::plain());
+    let mut expect: std::collections::BTreeMap<i64, (i128, i64)> = Default::default();
+    for r in &all.rows {
+        let e = expect.entry(r[0].as_int().unwrap()).or_insert((0, 0));
+        e.0 += r[1].as_int().unwrap() as i128;
+        e.1 += 1;
+    }
+
+    db.buffer_pool().clear();
+    let ndp_spec = ScanSpec {
+        index: 0,
+        range: ScanRange::full(),
+        ndp: Some(NdpChoice {
+            aggregation: Some(ScanAggregation { specs: specs.clone(), group_cols: vec![0] }),
+            ..Default::default()
+        }),
+        output_cols: vec![0, 2],
+    };
+    // Stream-aggregate by group on the consumer side.
+    struct GroupAgg {
+        cur: Option<i64>,
+        states: Vec<AggState>,
+        out: std::collections::BTreeMap<i64, (i128, i64)>,
+    }
+    impl GroupAgg {
+        fn flush(&mut self) {
+            if let Some(g) = self.cur.take() {
+                let sum = match self.states[0].finalize() {
+                    Value::Int(v) => v as i128,
+                    Value::Decimal(d) => d.raw,
+                    Value::Null => 0,
+                    other => panic!("{other:?}"),
+                };
+                let cnt = match self.states[1].finalize() {
+                    Value::Int(v) => v,
+                    other => panic!("{other:?}"),
+                };
+                self.out.insert(g, (sum, cnt));
+            }
+        }
+        fn reset(&mut self) {
+            self.states = vec![
+                AggState::new(&AggSpec::sum(2), Some(DataType::Int)),
+                AggState::new(&AggSpec::count_star(), None),
+            ];
+        }
+    }
+    impl ScanConsumer for GroupAgg {
+        fn on_row(&mut self, row: &[Value]) -> taurus_common::Result<bool> {
+            let g = row[0].as_int().unwrap();
+            if self.cur != Some(g) {
+                self.flush();
+                self.reset();
+                self.cur = Some(g);
+            }
+            self.states[0].update(&row[1]);
+            self.states[1].update(&Value::Int(1));
+            Ok(true)
+        }
+        fn on_partial(&mut self, states: Vec<AggState>) -> taurus_common::Result<bool> {
+            for (m, s) in self.states.iter_mut().zip(&states) {
+                m.merge(s).unwrap();
+            }
+            Ok(true)
+        }
+    }
+    let mut ga = GroupAgg { cur: None, states: Vec::new(), out: Default::default() };
+    ga.reset();
+    let view = db.read_view(0);
+    scan(&db, &t, &ndp_spec, &view, &mut ga).unwrap();
+    ga.flush();
+    assert_eq!(ga.out, expect);
+}
+
+#[test]
+fn resource_control_skips_are_transparent() {
+    let (db, t) = fresh_db(3000);
+    let pred = q6ish_predicate();
+    let base = ScanSpec {
+        index: 0,
+        range: ScanRange::full(),
+        ndp: Some(NdpChoice {
+            predicate: Some(pred.clone()),
+            projection: Some(vec![1, 2, 3, 4]),
+            ..Default::default()
+        }),
+        output_cols: vec![1, 3],
+    };
+    let clean = run(&db, &t, &base, Collector::plain());
+    // Now force skips on every store: every 2nd page comes back raw.
+    for ps in db.sal().page_stores() {
+        ps.set_skip_policy(SkipPolicy::EveryNth(2));
+    }
+    db.buffer_pool().clear();
+    let before = db.metrics().snapshot();
+    let skipped = run(&db, &t, &base, Collector::plain());
+    let delta = db.metrics().snapshot().since(&before);
+    assert_eq!(clean.rows, skipped.rows, "skips must be invisible to results");
+    assert!(delta.ps_ndp_skipped > 0);
+    assert!(delta.ndp_completed_on_compute > 0, "InnoDB must have completed raw pages");
+    // All skipped: still identical.
+    for ps in db.sal().page_stores() {
+        ps.set_skip_policy(SkipPolicy::All);
+    }
+    db.buffer_pool().clear();
+    let all_skipped = run(&db, &t, &base, Collector::plain());
+    assert_eq!(clean.rows, all_skipped.rows);
+    for ps in db.sal().page_stores() {
+        ps.set_skip_policy(SkipPolicy::None);
+    }
+}
+
+#[test]
+fn buffer_pool_overlap_pages_are_copied_not_fetched() {
+    let (db, t) = fresh_db(1500);
+    let base = ScanSpec {
+        index: 0,
+        range: ScanRange::full(),
+        ndp: Some(NdpChoice {
+            predicate: Some(Expr::lt(Expr::col(2), Expr::int(10))),
+            ..Default::default()
+        }),
+        output_cols: vec![1, 2],
+    };
+    // Warm the pool with a classical scan first.
+    let warm_spec = ScanSpec { ndp: None, ..base.clone() };
+    let expected = run(&db, &t, &warm_spec, Collector::plain());
+    // Delivered rows are (id, qty): qty is at position 1 here.
+    let pred = Expr::lt(Expr::col(1), Expr::int(10));
+    let expected: Vec<_> = expected
+        .rows
+        .into_iter()
+        .filter(|r| taurus_expr::eval::eval_pred(&pred, r).unwrap() == Some(true))
+        .collect();
+    let before = db.metrics().snapshot();
+    let got = run(&db, &t, &base, Collector::plain());
+    let delta = db.metrics().snapshot().since(&before);
+    assert_eq!(got.rows, expected);
+    assert!(
+        delta.ndp_completed_on_compute > 0,
+        "cached pages must be completed on the compute node"
+    );
+}
+
+#[test]
+fn range_scan_with_ndp_respects_boundaries() {
+    let (db, t) = fresh_db(4000);
+    let idx = &t.primary;
+    let lo = idx.tree.encode_search_key(&[Value::Int(10)]); // grp = 10..20
+    let hi = idx.tree.encode_search_key(&[Value::Int(20)]);
+    let range = ScanRange { lower: Some((lo, true)), upper: Some((hi, false)) };
+    let base = ScanSpec {
+        index: 0,
+        range: range.clone(),
+        ndp: None,
+        output_cols: vec![0, 1],
+    };
+    let expected = run(&db, &t, &base, Collector::plain());
+    assert!(!expected.rows.is_empty());
+    assert!(expected.rows.iter().all(|r| {
+        let g = r[0].as_int().unwrap();
+        (10..20).contains(&g)
+    }));
+    db.buffer_pool().clear();
+    let ndp_spec = ScanSpec {
+        ndp: Some(NdpChoice { projection: Some(vec![0, 1]), ..Default::default() }),
+        ..base
+    };
+    let got = run(&db, &t, &ndp_spec, Collector::plain());
+    assert_eq!(got.rows, expected.rows);
+}
+
+#[test]
+fn mvcc_concurrent_writer_is_invisible_to_old_view() {
+    let (db, t) = fresh_db(500);
+    let base = ScanSpec {
+        index: 0,
+        range: ScanRange::full(),
+        ndp: Some(NdpChoice {
+            predicate: Some(Expr::ge(Expr::col(2), Expr::int(0))),
+            ..Default::default()
+        }),
+        output_cols: vec![0, 1, 2],
+    };
+    // Reader snapshots now.
+    let reader = db.begin();
+    let view = db.read_view(reader);
+    // A concurrent transaction updates qty of id 0..20 and deletes id 30.
+    let writer = db.begin();
+    for i in 0..20i64 {
+        let mut row = sample_rows(500)[i as usize].clone();
+        row[2] = Value::Int(999); // would fail the reader's data expectations
+        db.update_row(&t, writer, &row).unwrap();
+    }
+    db.delete_row(&t, writer, &[Value::Int(30 / 50), Value::Int(30)]).unwrap();
+
+    db.buffer_pool().clear();
+    let mut c = Collector::plain();
+    scan(&db, &t, &base, &view, &mut c).unwrap();
+    // The reader must see the ORIGINAL values everywhere.
+    assert_eq!(c.rows.len(), 500, "deleted row must still be visible to the old view");
+    for r in &c.rows {
+        assert_ne!(r[2], Value::Int(999), "update by concurrent trx leaked in");
+    }
+    // After commit, a fresh view sees the new data (19+1 modified rows).
+    db.commit(writer);
+    db.commit(reader);
+    let fresh = db.read_view(0);
+    let mut c2 = Collector::plain();
+    scan(&db, &t, &base, &fresh, &mut c2).unwrap();
+    assert_eq!(c2.rows.len(), 499);
+    let nines = c2.rows.iter().filter(|r| r[2] == Value::Int(999)).count();
+    assert_eq!(nines, 20);
+}
+
+#[test]
+fn rollback_restores_old_images() {
+    let (db, t) = fresh_db(300);
+    let writer = db.begin();
+    let mut row = sample_rows(300)[10].clone();
+    row[2] = Value::Int(777);
+    db.update_row(&t, writer, &row).unwrap();
+    db.delete_row(&t, writer, &[Value::Int(11 / 50), Value::Int(11)]).unwrap();
+    db.rollback(writer).unwrap();
+    let view = db.read_view(0);
+    let got = db
+        .lookup_row(&t, &view, &[Value::Int(10 / 50), Value::Int(10)])
+        .unwrap()
+        .unwrap();
+    assert_eq!(got[2], sample_rows(300)[10][2]);
+    assert!(db
+        .lookup_row(&t, &view, &[Value::Int(11 / 50), Value::Int(11)])
+        .unwrap()
+        .is_some());
+}
+
+#[test]
+fn early_stop_via_consumer() {
+    let (db, t) = fresh_db(2000);
+    let spec = ScanSpec {
+        index: 0,
+        range: ScanRange::full(),
+        ndp: Some(NdpChoice { projection: Some(vec![0, 1]), ..Default::default() }),
+        output_cols: vec![0, 1],
+    };
+    let mut c = Collector::plain();
+    c.stop_after = Some(17);
+    let view = db.read_view(0);
+    scan(&db, &t, &spec, &view, &mut c).unwrap();
+    assert_eq!(c.rows.len(), 17);
+}
+
+#[test]
+fn partition_ranges_cover_disjointly() {
+    let (db, t) = fresh_db(4000);
+    let parts = taurus_ndp::partition_ranges(&t, 0, &ScanRange::full(), 4).unwrap();
+    assert!(parts.len() >= 2, "expected multiple partitions, got {}", parts.len());
+    let mut total = 0usize;
+    let mut all_rows: Vec<Vec<Value>> = Vec::new();
+    for r in &parts {
+        let spec = ScanSpec {
+            index: 0,
+            range: r.clone(),
+            ndp: None,
+            output_cols: vec![0, 1],
+        };
+        let c = run(&db, &t, &spec, Collector::plain());
+        total += c.rows.len();
+        all_rows.extend(c.rows);
+    }
+    assert_eq!(total, 4000, "partitions must cover every row exactly once");
+    // Rows must still be globally sorted when concatenated in order.
+    let keys: Vec<(i64, i64)> = all_rows
+        .iter()
+        .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    assert_eq!(keys, sorted);
+}

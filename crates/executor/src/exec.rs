@@ -1,0 +1,681 @@
+//! The Volcano-style executor.
+//!
+//! Operators materialize row vectors between pipeline breakers, but scans
+//! fuse residual filtering and aggregation into the consumer so a table
+//! scan never materializes more than survives. The executor is the "SQL
+//! layer" of the paper: it provides the evaluation and accumulation
+//! callbacks, evaluates residual predicates, and merges NDP aggregate
+//! partials — without knowing whether the work below happened in a Page
+//! Store or on the compute node.
+
+use std::collections::HashMap;
+
+use taurus_common::schema::Row;
+use taurus_common::{Dec, Error, Result, Value};
+use taurus_expr::agg::{AggSpec, AggState};
+use taurus_expr::ast::Expr;
+use taurus_expr::eval::{eval, eval_pred};
+use taurus_expr::ir::encode_value;
+use taurus_ndp::ReadView;
+use taurus_ndp::{scan, NdpChoice, ScanConsumer, ScanRange, ScanSpec, TaurusDb};
+use taurus_optimizer::plan::{
+    AggFuncEx, AggItem, AggScanNode, HashAggNode, JoinType, LookupJoinNode, Plan, ScanNode,
+};
+
+/// Execution context for one query.
+pub struct ExecContext<'a> {
+    pub db: &'a TaurusDb,
+    pub view: ReadView,
+}
+
+impl<'a> ExecContext<'a> {
+    pub fn new(db: &'a TaurusDb) -> ExecContext<'a> {
+        ExecContext { db, view: db.read_view(0) }
+    }
+}
+
+/// Execute a plan to completion.
+pub fn execute(plan: &Plan, ctx: &ExecContext<'_>) -> Result<Vec<Row>> {
+    match plan {
+        Plan::Scan(s) => exec_scan(s, ctx, None),
+        Plan::AggScan(a) => {
+            let partials = exec_agg_scan_partials(a, ctx, None)?;
+            finalize_agg_groups(partials)
+        }
+        Plan::LookupJoin(j) => exec_lookup_join(j, ctx, None),
+        Plan::HashJoin(j) => exec_hash_join(j, ctx),
+        Plan::HashAgg(a) => {
+            let partials = exec_hash_agg_partials(a, ctx, None)?;
+            finalize_agg_groups(partials)
+        }
+        Plan::Project(p) => {
+            let input = execute(&p.input, ctx)?;
+            input
+                .into_iter()
+                .map(|r| p.exprs.iter().map(|e| eval(e, &r)).collect())
+                .collect()
+        }
+        Plan::Filter(f) => {
+            let input = execute(&f.input, ctx)?;
+            let mut out = Vec::new();
+            for r in input {
+                if eval_pred(&f.predicate, &r)? == Some(true) {
+                    out.push(r);
+                }
+            }
+            Ok(out)
+        }
+        Plan::Sort(s) => {
+            let mut rows = execute(&s.input, ctx)?;
+            rows.sort_by(|a, b| {
+                for (pos, desc) in &s.keys {
+                    let ord = a[*pos].cmp_total(&b[*pos]);
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            if let Some(n) = s.limit {
+                rows.truncate(n);
+            }
+            Ok(rows)
+        }
+        Plan::Limit { input, n } => {
+            let mut rows = execute(input, ctx)?;
+            rows.truncate(*n);
+            Ok(rows)
+        }
+        Plan::Exchange(e) => crate::parallel::exec_exchange(e, ctx),
+    }
+}
+
+// --- scans -------------------------------------------------------------------
+
+/// Resolve a [`RangeSpec`] (literal key values) into encoded bounds.
+fn encode_range(
+    node: &ScanNode,
+    ctx: &ExecContext<'_>,
+) -> Result<ScanRange> {
+    let table = ctx.db.table(&node.table)?;
+    let tree = &table.index(node.index).tree;
+    let enc = |b: &Option<(Vec<Value>, bool)>| {
+        b.as_ref().map(|(vals, inc)| (tree.encode_search_key(vals), *inc))
+    };
+    Ok(ScanRange { lower: enc(&node.range.lower), upper: enc(&node.range.upper) })
+}
+
+/// Build the core [`ScanSpec`] for a scan node.
+fn scan_spec(
+    node: &ScanNode,
+    ctx: &ExecContext<'_>,
+    range_override: Option<ScanRange>,
+    extra_ndp_agg: Option<&NdpChoice>,
+) -> Result<ScanSpec> {
+    let range = match range_override {
+        Some(r) => r,
+        None => encode_range(node, ctx)?,
+    };
+    let ndp = match (&node.ndp, extra_ndp_agg) {
+        (_, Some(full_choice)) => Some(full_choice.clone()),
+        (Some(d), None) => Some(d.choice.clone()),
+        (None, None) => None,
+    };
+    Ok(ScanSpec { index: node.index, range, ndp, output_cols: node.output.clone() })
+}
+
+/// Map table-column expressions onto scan-output positions.
+fn remap_to_output(e: &Expr, output: &[usize]) -> Expr {
+    e.remap_columns(&|c| {
+        output
+            .iter()
+            .position(|&o| o == c)
+            .unwrap_or_else(|| panic!("column {c} not in scan output {output:?}"))
+    })
+}
+
+struct RowCollector {
+    rows: Vec<Row>,
+    residual: Vec<Expr>,
+}
+
+impl ScanConsumer for RowCollector {
+    fn on_row(&mut self, row: &[Value]) -> Result<bool> {
+        for p in &self.residual {
+            if eval_pred(p, row)? != Some(true) {
+                return Ok(true);
+            }
+        }
+        self.rows.push(row.to_vec());
+        Ok(true)
+    }
+
+    fn on_partial(&mut self, _states: Vec<AggState>) -> Result<bool> {
+        Err(Error::Internal("plain scan received aggregate partials".into()))
+    }
+}
+
+/// Run a plain scan: residual filtering fused into the consumer.
+pub(crate) fn exec_scan(
+    node: &ScanNode,
+    ctx: &ExecContext<'_>,
+    range_override: Option<ScanRange>,
+) -> Result<Vec<Row>> {
+    let table = ctx.db.table(&node.table)?;
+    let spec = scan_spec(node, ctx, range_override, None)?;
+    let residual: Vec<Expr> = node
+        .residual_conjuncts()
+        .into_iter()
+        .map(|e| remap_to_output(e, &node.output))
+        .collect();
+    let mut c = RowCollector { rows: Vec::new(), residual };
+    scan(ctx.db, &table, &spec, &ctx.view, &mut c)?;
+    Ok(c.rows)
+}
+
+// --- aggregation -------------------------------------------------------------
+
+/// Executor-side aggregate state (supports AVG via SUM+COUNT).
+#[derive(Clone, Debug)]
+pub(crate) enum AggStateEx {
+    Simple(AggState),
+    Avg { sum: AggState, count: i64 },
+}
+
+impl AggStateEx {
+    pub(crate) fn new(item: &AggItem, dtypes: &[taurus_common::DataType]) -> AggStateEx {
+        let input_dtype = item.input.as_ref().and_then(|e| e.dtype(dtypes).ok());
+        match item.func {
+            AggFuncEx::Avg => AggStateEx::Avg {
+                sum: AggState::new(&AggSpec { func: taurus_expr::agg::AggFunc::Sum, col: None }, input_dtype),
+                count: 0,
+            },
+            f => {
+                let func = f.storage_func().expect("non-AVG");
+                AggStateEx::Simple(AggState::new(&AggSpec { func, col: None }, input_dtype))
+            }
+        }
+    }
+
+    pub(crate) fn update(&mut self, v: &Value) {
+        match self {
+            AggStateEx::Simple(s) => s.update(v),
+            AggStateEx::Avg { sum, count } => {
+                if !v.is_null() {
+                    sum.update(v);
+                    *count += 1;
+                }
+            }
+        }
+    }
+
+    /// Merge storage partials. An AVG state consumes *two* storage states
+    /// (SUM + COUNT — the §III decomposition); others consume one.
+    /// Returns how many were consumed.
+    pub(crate) fn merge_partial(&mut self, others: &[AggState]) -> Result<usize> {
+        match self {
+            AggStateEx::Simple(s) => {
+                s.merge(
+                    others
+                        .first()
+                        .ok_or_else(|| Error::Internal("missing storage partial".into()))?,
+                )?;
+                Ok(1)
+            }
+            AggStateEx::Avg { sum, count } => {
+                let (s, c) = match others {
+                    [s, c, ..] => (s, c),
+                    _ => return Err(Error::Internal("AVG needs SUM+COUNT partials".into())),
+                };
+                sum.merge(s)?;
+                match c {
+                    AggState::Count(n) => *count += n,
+                    other => {
+                        return Err(Error::Internal(format!(
+                            "AVG count partial is {other:?}"
+                        )))
+                    }
+                }
+                Ok(2)
+            }
+        }
+    }
+
+    pub(crate) fn merge_ex(&mut self, other: &AggStateEx) -> Result<()> {
+        match (self, other) {
+            (AggStateEx::Simple(a), AggStateEx::Simple(b)) => a.merge(b),
+            (AggStateEx::Avg { sum: s1, count: c1 }, AggStateEx::Avg { sum: s2, count: c2 }) => {
+                s1.merge(s2)?;
+                *c1 += c2;
+                Ok(())
+            }
+            _ => Err(Error::Internal("mismatched executor agg states".into())),
+        }
+    }
+
+    pub(crate) fn finalize(&self) -> Value {
+        match self {
+            AggStateEx::Simple(s) => s.finalize(),
+            AggStateEx::Avg { sum, count } => {
+                if *count == 0 {
+                    return Value::Null;
+                }
+                match sum.finalize() {
+                    Value::Null => Value::Null,
+                    Value::Int(v) => Value::Decimal(
+                        Dec::from_int(v).div(Dec::from_int(*count)).expect("count>0"),
+                    ),
+                    Value::Decimal(d) => {
+                        Value::Decimal(d.div(Dec::from_int(*count)).expect("count>0"))
+                    }
+                    Value::Double(d) => Value::Double(d / *count as f64),
+                    other => other,
+                }
+            }
+        }
+    }
+}
+
+/// Partially-aggregated groups keyed by encoded group values; mergeable
+/// across PQ workers.
+pub(crate) type AggPartials = Vec<(Vec<u8>, Row, Vec<AggStateEx>)>;
+
+pub(crate) fn group_key_bytes(vals: &[Value]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 8);
+    for v in vals {
+        encode_value(v, &mut out);
+    }
+    out
+}
+
+/// Merge partial group lists (leader side of PQ / plain finalize input).
+pub(crate) fn merge_partial_groups(parts: Vec<AggPartials>) -> Result<AggPartials> {
+    let mut map: HashMap<Vec<u8>, (Row, Vec<AggStateEx>)> = HashMap::new();
+    let mut order: Vec<Vec<u8>> = Vec::new();
+    for part in parts {
+        for (key, gvals, states) in part {
+            match map.get_mut(&key) {
+                None => {
+                    order.push(key.clone());
+                    map.insert(key, (gvals, states));
+                }
+                Some((_, mine)) => {
+                    for (m, s) in mine.iter_mut().zip(&states) {
+                        m.merge_ex(s)?;
+                    }
+                }
+            }
+        }
+    }
+    order.sort_unstable();
+    Ok(order
+        .into_iter()
+        .map(|k| {
+            let (g, s) = map.remove(&k).expect("present");
+            (k, g, s)
+        })
+        .collect())
+}
+
+pub(crate) fn finalize_agg_groups(partials: AggPartials) -> Result<Vec<Row>> {
+    Ok(partials
+        .into_iter()
+        .map(|(_, mut gvals, states)| {
+            gvals.extend(states.iter().map(|s| s.finalize()));
+            gvals
+        })
+        .collect())
+}
+
+/// Stream-aggregating consumer for `AggScan` (group = index prefix, so
+/// rows arrive grouped; partials attach to the current group).
+struct StreamAggConsumer<'a> {
+    /// Positions of group columns within the delivered row.
+    group_pos: Vec<usize>,
+    /// Agg input expressions remapped to delivered-row positions.
+    inputs: Vec<Option<Expr>>,
+    items: &'a [AggItem],
+    dtypes: Vec<taurus_common::DataType>,
+    residual: Vec<Expr>,
+    current: Option<(Vec<u8>, Row, Vec<AggStateEx>)>,
+    done: AggPartials,
+}
+
+impl StreamAggConsumer<'_> {
+    fn fresh_states(&self) -> Vec<AggStateEx> {
+        self.items.iter().map(|i| AggStateEx::new(i, &self.dtypes)).collect()
+    }
+
+    fn flush(&mut self) {
+        if let Some(g) = self.current.take() {
+            self.done.push(g);
+        }
+    }
+}
+
+impl ScanConsumer for StreamAggConsumer<'_> {
+    fn on_row(&mut self, row: &[Value]) -> Result<bool> {
+        for p in &self.residual {
+            if eval_pred(p, row)? != Some(true) {
+                return Ok(true);
+            }
+        }
+        let gvals: Row = self.group_pos.iter().map(|&p| row[p].clone()).collect();
+        let key = group_key_bytes(&gvals);
+        let switch = match &self.current {
+            Some((k, _, _)) => *k != key,
+            None => true,
+        };
+        if switch {
+            self.flush();
+            self.current = Some((key, gvals, self.fresh_states()));
+        }
+        let (_, _, states) = self.current.as_mut().expect("set above");
+        for (st, input) in states.iter_mut().zip(&self.inputs) {
+            match input {
+                None => st.update(&Value::Int(1)),
+                Some(e) => st.update(&eval(e, row)?),
+            }
+        }
+        Ok(true)
+    }
+
+    fn on_partial(&mut self, states: Vec<AggState>) -> Result<bool> {
+        let (_, _, mine) = self
+            .current
+            .as_mut()
+            .ok_or_else(|| Error::Internal("partial before carrier row".into()))?;
+        let mut at = 0usize;
+        for m in mine.iter_mut() {
+            at += m.merge_partial(&states[at..])?;
+        }
+        if at != states.len() {
+            return Err(Error::Internal(format!(
+                "storage sent {} partial states, consumed {at}",
+                states.len()
+            )));
+        }
+        Ok(true)
+    }
+}
+
+/// Run an AggScan, returning mergeable partial groups.
+pub(crate) fn exec_agg_scan_partials(
+    node: &AggScanNode,
+    ctx: &ExecContext<'_>,
+    range_override: Option<ScanRange>,
+) -> Result<AggPartials> {
+    let table = ctx.db.table(&node.scan.table)?;
+    let dtypes = table.schema.dtypes();
+    let spec = scan_spec(&node.scan, ctx, range_override, None)?;
+    let group_pos: Vec<usize> = node
+        .group_cols
+        .iter()
+        .map(|c| {
+            node.scan.output.iter().position(|o| o == c).unwrap_or_else(|| {
+                panic!("group column {c} not in scan output")
+            })
+        })
+        .collect();
+    let inputs: Vec<Option<Expr>> = node
+        .aggs
+        .iter()
+        .map(|a| a.input.as_ref().map(|e| remap_to_output(e, &node.scan.output)))
+        .collect();
+    let residual: Vec<Expr> = node
+        .scan
+        .residual_conjuncts()
+        .into_iter()
+        .map(|e| remap_to_output(e, &node.scan.output))
+        .collect();
+    let scalar = node.group_cols.is_empty();
+    let mut c = StreamAggConsumer {
+        group_pos,
+        inputs,
+        items: &node.aggs,
+        dtypes,
+        residual,
+        current: None,
+        done: Vec::new(),
+    };
+    if scalar {
+        // Scalar aggregation always has exactly one group.
+        c.current = Some((Vec::new(), Vec::new(), c.fresh_states()));
+    }
+    scan(ctx.db, &table, &spec, &ctx.view, &mut c)?;
+    c.flush();
+    Ok(c.done)
+}
+
+/// Run a generic HashAgg, returning mergeable partial groups. When the
+/// input is a scan and `range_override` is given, the scan is bounded (PQ
+/// worker path).
+pub(crate) fn exec_hash_agg_partials(
+    node: &HashAggNode,
+    ctx: &ExecContext<'_>,
+    range_override: Option<ScanRange>,
+) -> Result<AggPartials> {
+    let rows = match (&*node.input, range_override) {
+        (Plan::Scan(s), ro) => exec_scan(s, ctx, ro)?,
+        (other, None) => execute(other, ctx)?,
+        (_, Some(_)) => {
+            return Err(Error::Internal(
+                "partitioned HashAgg requires a Scan input".into(),
+            ))
+        }
+    };
+    // Input dtypes are unknowable in general; agg inputs are evaluated per
+    // row, so states infer their shape from the first value.
+    let dtypes: Vec<taurus_common::DataType> = Vec::new();
+    let mut map: HashMap<Vec<u8>, (Row, Vec<AggStateEx>)> = HashMap::new();
+    for row in rows {
+        let gvals: Row =
+            node.group.iter().map(|e| eval(e, &row)).collect::<Result<_>>()?;
+        let key = group_key_bytes(&gvals);
+        let entry = map.entry(key).or_insert_with(|| {
+            (
+                gvals.clone(),
+                node.aggs.iter().map(|i| AggStateEx::new(i, &dtypes)).collect(),
+            )
+        });
+        for (st, item) in entry.1.iter_mut().zip(&node.aggs) {
+            match &item.input {
+                None => st.update(&Value::Int(1)),
+                Some(e) => st.update(&eval(e, &row)?),
+            }
+        }
+    }
+    if map.is_empty() && node.group.is_empty() {
+        // Scalar aggregate over an empty input: one all-initial group.
+        let states: Vec<AggStateEx> =
+            node.aggs.iter().map(|i| AggStateEx::new(i, &dtypes)).collect();
+        return Ok(vec![(Vec::new(), Vec::new(), states)]);
+    }
+    let mut out: AggPartials =
+        map.into_iter().map(|(k, (g, s))| (k, g, s)).collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+// --- joins -------------------------------------------------------------------
+
+pub(crate) fn exec_lookup_join(
+    node: &LookupJoinNode,
+    ctx: &ExecContext<'_>,
+    outer_range_override: Option<ScanRange>,
+) -> Result<Vec<Row>> {
+    let outer_rows = match (&*node.outer, outer_range_override) {
+        (Plan::Scan(s), ro) => exec_scan(s, ctx, ro)?,
+        (other, None) => execute(other, ctx)?,
+        (_, Some(_)) => {
+            return Err(Error::Internal(
+                "partitioned LookupJoin requires a Scan outer".into(),
+            ))
+        }
+    };
+    let table = ctx.db.table(&node.table)?;
+    let tree = &table.index(node.index).tree;
+    // Columns the inner scan must deliver: requested outputs + predicate
+    // columns (the `on` references inner columns via inner_output only).
+    let mut fetch: Vec<usize> = node.inner_output.clone();
+    for p in &node.inner_predicate {
+        fetch.extend(p.columns());
+    }
+    fetch.sort_unstable();
+    fetch.dedup();
+    let inner_preds: Vec<Expr> =
+        node.inner_predicate.iter().map(|e| remap_to_output(e, &fetch)).collect();
+    let out_pos: Vec<usize> = node
+        .inner_output
+        .iter()
+        .map(|c| fetch.iter().position(|f| f == c).expect("subset"))
+        .collect();
+    // When the chosen (secondary) index does not store every needed
+    // column, the lookup finds primary keys and fetches the full row from
+    // the primary index — InnoDB's non-covering-secondary path.
+    let idx_stored = tree.def.stored_cols();
+    let covering = fetch.iter().all(|c| idx_stored.contains(c));
+    let pk_cols = table.schema.pk.clone();
+
+    let mut out: Vec<Row> = Vec::new();
+    for orow in outer_rows {
+        let key_vals: Vec<Value> =
+            node.outer_key_cols.iter().map(|&p| orow[p].clone()).collect();
+        if key_vals.iter().any(|v| v.is_null()) {
+            match node.join {
+                JoinType::Anti => out.push(orow),
+                JoinType::LeftOuter => {
+                    let mut r = orow.clone();
+                    r.extend(std::iter::repeat_n(Value::Null, node.inner_output.len()));
+                    out.push(r);
+                }
+                _ => {}
+            }
+            continue;
+        }
+        let range = ScanRange::point(tree.encode_search_key(&key_vals));
+        let c = if covering {
+            let spec = ScanSpec {
+                index: node.index,
+                range,
+                ndp: None, // point lookups never qualify for NDP (§IV-B)
+                output_cols: fetch.clone(),
+            };
+            let mut c = RowCollector { rows: Vec::new(), residual: inner_preds.clone() };
+            scan(ctx.db, &table, &spec, &ctx.view, &mut c)?;
+            c
+        } else {
+            // Secondary hit -> primary row fetch, then filter.
+            let spec = ScanSpec {
+                index: node.index,
+                range,
+                ndp: None,
+                output_cols: pk_cols.clone(),
+            };
+            let mut keys = RowCollector { rows: Vec::new(), residual: Vec::new() };
+            scan(ctx.db, &table, &spec, &ctx.view, &mut keys)?;
+            let mut c = RowCollector { rows: Vec::new(), residual: Vec::new() };
+            'rows: for pk in keys.rows {
+                if let Some(full) = ctx.db.lookup_row(&table, &ctx.view, &pk)? {
+                    let projected: Row = fetch.iter().map(|&f| full[f].clone()).collect();
+                    for p in &inner_preds {
+                        if eval_pred(p, &projected)? != Some(true) {
+                            continue 'rows;
+                        }
+                    }
+                    c.rows.push(projected);
+                }
+            }
+            c
+        };
+        let mut matched = false;
+        for irow in &c.rows {
+            let mut combined = orow.clone();
+            combined.extend(out_pos.iter().map(|&p| irow[p].clone()));
+            if let Some(on) = &node.on {
+                if eval_pred(on, &combined)? != Some(true) {
+                    continue;
+                }
+            }
+            matched = true;
+            match node.join {
+                JoinType::Inner | JoinType::LeftOuter => out.push(combined),
+                JoinType::Semi | JoinType::Anti => break,
+            }
+        }
+        match node.join {
+            JoinType::Semi if matched => out.push(orow),
+            JoinType::Anti if !matched => out.push(orow),
+            JoinType::LeftOuter if !matched => {
+                let mut r = orow.clone();
+                r.extend(std::iter::repeat_n(Value::Null, node.inner_output.len()));
+                out.push(r);
+            }
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
+fn exec_hash_join(
+    node: &taurus_optimizer::plan::HashJoinNode,
+    ctx: &ExecContext<'_>,
+) -> Result<Vec<Row>> {
+    let left = execute(&node.left, ctx)?;
+    let right = execute(&node.right, ctx)?;
+    let mut build: HashMap<Vec<u8>, Vec<usize>> = HashMap::new();
+    for (i, r) in right.iter().enumerate() {
+        let kv: Row = node.right_keys.iter().map(|&p| r[p].clone()).collect();
+        if kv.iter().any(|v| v.is_null()) {
+            continue;
+        }
+        build.entry(group_key_bytes(&kv)).or_default().push(i);
+    }
+    let right_width = right.first().map(|r| r.len()).unwrap_or(0);
+    let mut out = Vec::new();
+    for l in left {
+        let kv: Row = node.left_keys.iter().map(|&p| l[p].clone()).collect();
+        let matches = if kv.iter().any(|v| v.is_null()) {
+            None
+        } else {
+            build.get(&group_key_bytes(&kv))
+        };
+        match node.join {
+            JoinType::Inner => {
+                if let Some(idxs) = matches {
+                    for &i in idxs {
+                        let mut row = l.clone();
+                        row.extend(right[i].iter().cloned());
+                        out.push(row);
+                    }
+                }
+            }
+            JoinType::LeftOuter => match matches {
+                Some(idxs) if !idxs.is_empty() => {
+                    for &i in idxs {
+                        let mut row = l.clone();
+                        row.extend(right[i].iter().cloned());
+                        out.push(row);
+                    }
+                }
+                _ => {
+                    let mut row = l.clone();
+                    row.extend(std::iter::repeat_n(Value::Null, right_width));
+                    out.push(row);
+                }
+            },
+            JoinType::Semi => {
+                if matches.map(|m| !m.is_empty()).unwrap_or(false) {
+                    out.push(l);
+                }
+            }
+            JoinType::Anti => {
+                if !matches.map(|m| !m.is_empty()).unwrap_or(false) {
+                    out.push(l);
+                }
+            }
+        }
+    }
+    Ok(out)
+}

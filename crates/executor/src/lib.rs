@@ -1,0 +1,40 @@
+//! The Volcano executor and parallel query (§III, §VI).
+//!
+//! [`exec`] implements the operators (NDP-aware scans, stream/hash
+//! aggregation with partial-merge support, NL lookup joins, hash joins,
+//! project/filter/sort/limit); [`parallel`] implements PQ: range
+//! partitioning, per-worker partial aggregation, leader merge.
+
+pub mod exec;
+pub mod parallel;
+
+pub use exec::{execute, ExecContext};
+
+use taurus_common::metrics::CpuGuard;
+use taurus_common::schema::Row;
+use taurus_common::{MetricsSnapshot, Result};
+use taurus_ndp::TaurusDb;
+use taurus_optimizer::plan::Plan;
+
+/// A query's results plus the measurements the paper's figures are made of.
+#[derive(Clone, Debug)]
+pub struct QueryRun {
+    pub rows: Vec<Row>,
+    pub wall: std::time::Duration,
+    /// Metrics delta over the run (network bytes, SQL-node CPU, pages...).
+    pub delta: MetricsSnapshot,
+}
+
+/// Execute a plan, measuring wall time, SQL-node CPU and network traffic.
+pub fn run_query(db: &TaurusDb, plan: &Plan) -> Result<QueryRun> {
+    let before = db.metrics().snapshot();
+    let t0 = std::time::Instant::now();
+    let rows = {
+        let _cpu = CpuGuard::new(&db.metrics().compute_cpu_ns);
+        let ctx = ExecContext::new(db);
+        execute(plan, &ctx)?
+    };
+    let wall = t0.elapsed();
+    let delta = db.metrics().snapshot().since(&before);
+    Ok(QueryRun { rows, wall, delta })
+}

@@ -1,0 +1,124 @@
+//! Parallel query (§VI): "a table or range scan can be range-partitioned
+//! into many sub-scans that are processed in parallel by a pool of worker
+//! threads", each sub-scan independently NDP-capable — giving, together
+//! with SAL fan-out and Page Store worker pools, the paper's three levels
+//! of parallelism.
+//!
+//! Worker threads are *compute-node* threads: their CPU accrues to
+//! `compute_cpu_ns`, exactly like the paper's SQL-node accounting. Partial
+//! aggregation follows §III: "AVG is computed by keeping SUM and COUNT
+//! values per thread, and a separate 'leader' thread then aggregates the
+//! partial values."
+
+use taurus_common::metrics::CpuGuard;
+use taurus_common::schema::Row;
+use taurus_common::{Error, Result};
+use taurus_ndp::{partition_ranges, ScanRange};
+use taurus_optimizer::plan::{ExchangeNode, Plan};
+
+use crate::exec::{
+    exec_agg_scan_partials, exec_hash_agg_partials, exec_lookup_join, exec_scan,
+    finalize_agg_groups, merge_partial_groups, AggPartials, ExecContext,
+};
+
+/// Partition the scan underneath `child` and run one worker per range.
+pub(crate) fn exec_exchange(node: &ExchangeNode, ctx: &ExecContext<'_>) -> Result<Vec<Row>> {
+    let degree = node.degree.max(1);
+    // Locate the partitionable scan.
+    let scan_node = match &*node.child {
+        Plan::Scan(s) => s,
+        Plan::AggScan(a) => &a.scan,
+        Plan::HashAgg(h) => match &*h.input {
+            Plan::Scan(s) => s,
+            _ => {
+                return Err(Error::InvalidState(
+                    "Exchange(HashAgg) requires a Scan input".into(),
+                ))
+            }
+        },
+        Plan::LookupJoin(j) => match &*j.outer {
+            Plan::Scan(s) => s,
+            _ => {
+                return Err(Error::InvalidState(
+                    "Exchange(LookupJoin) requires a Scan outer".into(),
+                ))
+            }
+        },
+        other => {
+            return Err(Error::InvalidState(format!(
+                "Exchange cannot partition {other:?}"
+            )))
+        }
+    };
+    let table = ctx.db.table(&scan_node.table)?;
+    let tree = &table.index(scan_node.index).tree;
+    let enc = |b: &Option<(Vec<taurus_common::Value>, bool)>| {
+        b.as_ref().map(|(vals, inc)| (tree.encode_search_key(vals), *inc))
+    };
+    let base_range = ScanRange {
+        lower: enc(&scan_node.range.lower),
+        upper: enc(&scan_node.range.upper),
+    };
+    let parts = partition_ranges(&table, scan_node.index, &base_range, degree)?;
+
+    enum WorkerOut {
+        Rows(Vec<Row>),
+        Partials(AggPartials),
+    }
+
+    let results: Vec<Result<WorkerOut>> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .iter()
+            .map(|range| {
+                let range = range.clone();
+                let child = &node.child;
+                let db = ctx.db;
+                let view = ctx.view.clone();
+                s.spawn(move |_| -> Result<WorkerOut> {
+                    // PQ workers are compute threads (SQL-node CPU).
+                    let _cpu = CpuGuard::new(&db.metrics().compute_cpu_ns);
+                    let wctx = ExecContext { db, view };
+                    match &**child {
+                        Plan::Scan(sn) => {
+                            Ok(WorkerOut::Rows(exec_scan(sn, &wctx, Some(range))?))
+                        }
+                        Plan::AggScan(a) => Ok(WorkerOut::Partials(
+                            exec_agg_scan_partials(a, &wctx, Some(range))?,
+                        )),
+                        Plan::HashAgg(h) => Ok(WorkerOut::Partials(
+                            exec_hash_agg_partials(h, &wctx, Some(range))?,
+                        )),
+                        Plan::LookupJoin(j) => {
+                            Ok(WorkerOut::Rows(exec_lookup_join(j, &wctx, Some(range))?))
+                        }
+                        _ => unreachable!("validated above"),
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("pq worker panicked")).collect()
+    })
+    .expect("pq scope");
+
+    // Leader merge.
+    let mut rows: Vec<Row> = Vec::new();
+    let mut partials: Vec<AggPartials> = Vec::new();
+    let mut saw_partials = false;
+    for r in results {
+        match r? {
+            WorkerOut::Rows(mut rs) => rows.append(&mut rs),
+            WorkerOut::Partials(p) => {
+                saw_partials = true;
+                partials.push(p);
+            }
+        }
+    }
+    if saw_partials {
+        let merged = merge_partial_groups(partials)?;
+        // A scalar aggregate may produce one group per worker with the
+        // same (empty) key — merge_partial_groups already folded them.
+        finalize_agg_groups(merged)
+    } else {
+        Ok(rows)
+    }
+}

@@ -1,0 +1,316 @@
+//! Lowering expression trees to IR — the compute-node half of the paper's
+//! LLVM workflow (§V-B2, steps 1–2): the optimizer's chosen predicates are
+//! "traversed bottom-up, and the IR code is emitted along the way", with
+//! AND/OR short-circuiting compiled to conditional branches exactly like
+//! Listing 4's `br i1 %cmp` pattern.
+
+use taurus_common::{Error, Result, Value};
+
+use crate::ast::{CmpOp, Expr};
+use crate::ir::{IrInstr, IrProgram, Reg};
+
+/// Maximum registers a single predicate program may use. Predicates are
+/// small conjunction/disjunction trees; the cap bounds the Page Store's
+/// per-record evaluation state.
+pub const MAX_REGS: usize = 64;
+
+struct Lowering {
+    instrs: Vec<IrInstr>,
+    consts: Vec<Value>,
+    next_reg: u16,
+}
+
+impl Lowering {
+    fn alloc(&mut self) -> Result<Reg> {
+        if self.next_reg as usize >= MAX_REGS {
+            return Err(Error::InvalidState(format!(
+                "predicate needs more than {MAX_REGS} registers; not NDP-eligible"
+            )));
+        }
+        let r = self.next_reg;
+        self.next_reg += 1;
+        Ok(r)
+    }
+
+    fn konst(&mut self, v: Value) -> u16 {
+        if let Some(i) = self.consts.iter().position(|c| c == &v) {
+            return i as u16;
+        }
+        self.consts.push(v);
+        (self.consts.len() - 1) as u16
+    }
+
+    fn emit(&mut self, i: IrInstr) -> u16 {
+        self.instrs.push(i);
+        (self.instrs.len() - 1) as u16
+    }
+
+    fn here(&self) -> u16 {
+        self.instrs.len() as u16
+    }
+
+    fn patch_target(&mut self, at: u16, target: u16) {
+        match &mut self.instrs[at as usize] {
+            IrInstr::BrFalse { target: t, .. }
+            | IrInstr::BrTrue { target: t, .. }
+            | IrInstr::Jmp { target: t } => *t = target,
+            other => panic!("patching non-branch {other:?}"),
+        }
+    }
+
+    fn lower(&mut self, e: &Expr) -> Result<Reg> {
+        Ok(match e {
+            Expr::Col(i) => {
+                let dst = self.alloc()?;
+                let col = u16::try_from(*i)
+                    .map_err(|_| Error::Internal("column index overflow".into()))?;
+                self.emit(IrInstr::LoadCol { dst, col });
+                dst
+            }
+            Expr::Lit(v) => {
+                let idx = self.konst(v.clone());
+                let dst = self.alloc()?;
+                self.emit(IrInstr::LoadConst { dst, idx });
+                dst
+            }
+            Expr::Cmp(op, a, b) => {
+                let ra = self.lower(a)?;
+                let rb = self.lower(b)?;
+                let dst = self.alloc()?;
+                self.emit(IrInstr::Cmp { op: *op, dst, a: ra, b: rb });
+                dst
+            }
+            Expr::And(xs) => self.lower_junction(xs, true)?,
+            Expr::Or(xs) => self.lower_junction(xs, false)?,
+            Expr::Not(a) => {
+                let ra = self.lower(a)?;
+                let dst = self.alloc()?;
+                self.emit(IrInstr::Not { dst, a: ra });
+                dst
+            }
+            Expr::Arith(op, a, b) => {
+                let ra = self.lower(a)?;
+                let rb = self.lower(b)?;
+                let dst = self.alloc()?;
+                self.emit(IrInstr::Arith { op: *op, dst, a: ra, b: rb });
+                dst
+            }
+            Expr::Neg(a) => {
+                let ra = self.lower(a)?;
+                let dst = self.alloc()?;
+                self.emit(IrInstr::Neg { dst, a: ra });
+                dst
+            }
+            Expr::Like { expr, pattern, negated } => {
+                let ra = self.lower(expr)?;
+                let p = self.konst(Value::str(pattern));
+                let dst = self.alloc()?;
+                self.emit(IrInstr::Like { dst, a: ra, pattern: p, negated: *negated });
+                dst
+            }
+            Expr::InList { expr, list, negated } => {
+                if list.is_empty() {
+                    return Err(Error::InvalidState("empty IN list".into()));
+                }
+                let ra = self.lower(expr)?;
+                // IN consts must be contiguous: append unconditionally.
+                let first = self.consts.len() as u16;
+                for v in list {
+                    self.consts.push(v.clone());
+                }
+                let dst = self.alloc()?;
+                self.emit(IrInstr::InList {
+                    dst,
+                    a: ra,
+                    first,
+                    count: list.len() as u16,
+                    negated: *negated,
+                });
+                dst
+            }
+            Expr::Between { expr, lo, hi } => {
+                // v >= lo AND v <= hi with v evaluated exactly once.
+                let rv = self.lower(expr)?;
+                let rlo = self.lower(lo)?;
+                let rhi = self.lower(hi)?;
+                let c1 = self.alloc()?;
+                self.emit(IrInstr::Cmp { op: CmpOp::Ge, dst: c1, a: rv, b: rlo });
+                let c2 = self.alloc()?;
+                self.emit(IrInstr::Cmp { op: CmpOp::Le, dst: c2, a: rv, b: rhi });
+                let dst = self.alloc()?;
+                self.emit(IrInstr::And { dst, a: c1, b: c2 });
+                dst
+            }
+            Expr::IsNull { expr, negated } => {
+                let ra = self.lower(expr)?;
+                let dst = self.alloc()?;
+                self.emit(IrInstr::IsNull { dst, a: ra, negated: *negated });
+                dst
+            }
+            Expr::ExtractYear(a) => {
+                let ra = self.lower(a)?;
+                let dst = self.alloc()?;
+                self.emit(IrInstr::ExtractYear { dst, a: ra });
+                dst
+            }
+            Expr::Substr { expr, from, len } => {
+                let ra = self.lower(expr)?;
+                let dst = self.alloc()?;
+                self.emit(IrInstr::Substr {
+                    dst,
+                    a: ra,
+                    from: *from as u16,
+                    len: *len as u16,
+                });
+                dst
+            }
+            Expr::Case { .. } => {
+                // Not on the NDP allow-list (§V-B1): the optimizer keeps
+                // CASE as a residual; reaching here is a planner bug.
+                return Err(Error::InvalidState("CASE is not NDP-pushable".into()));
+            }
+        })
+    }
+
+    /// Short-circuiting AND (`all=true`) / OR (`all=false`) over the parts.
+    ///
+    /// Emits, per part, a conditional branch to the short-circuit exit —
+    /// the analogue of Listing 4's `b_and_cont`/`b_or_cont` blocks — then a
+    /// three-valued merge for the fall-through path (NULLs cannot take the
+    /// shortcut).
+    fn lower_junction(&mut self, xs: &[Expr], all: bool) -> Result<Reg> {
+        assert!(xs.len() >= 2, "Expr::and/or normalize single elements");
+        let dst = self.alloc()?;
+        let mut shortcut_brs = Vec::with_capacity(xs.len());
+        let mut part_regs = Vec::with_capacity(xs.len());
+        for x in xs {
+            let r = self.lower(x)?;
+            let br = if all {
+                self.emit(IrInstr::BrFalse { cond: r, target: 0 })
+            } else {
+                self.emit(IrInstr::BrTrue { cond: r, target: 0 })
+            };
+            shortcut_brs.push(br);
+            part_regs.push(r);
+        }
+        // Fall-through: merge NULL-aware.
+        let mut acc = part_regs[0];
+        for &r in &part_regs[1..] {
+            let m = self.alloc()?;
+            if all {
+                self.emit(IrInstr::And { dst: m, a: acc, b: r });
+            } else {
+                self.emit(IrInstr::Or { dst: m, a: acc, b: r });
+            }
+            acc = m;
+        }
+        self.emit(IrInstr::Mov { dst, src: acc });
+        let jmp_end = self.emit(IrInstr::Jmp { target: 0 });
+        // Short-circuit exit: definite FALSE (AND) / TRUE (OR).
+        let sc = self.here();
+        let idx = self.konst(Value::Int(if all { 0 } else { 1 }));
+        self.emit(IrInstr::LoadConst { dst, idx });
+        let end = self.here();
+        for br in shortcut_brs {
+            self.patch_target(br, sc);
+        }
+        self.patch_target(jmp_end, end);
+        Ok(dst)
+    }
+}
+
+/// Lower a predicate (or scalar expression) into a validated [`IrProgram`].
+pub fn lower(expr: &Expr) -> Result<IrProgram> {
+    let mut l = Lowering { instrs: Vec::new(), consts: Vec::new(), next_reg: 0 };
+    let result = l.lower(expr)?;
+    l.emit(IrInstr::Ret { src: result });
+    let prog = IrProgram { instrs: l.instrs, consts: l.consts, n_regs: l.next_reg };
+    prog.validate()?;
+    Ok(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listing_4_shape_has_shortcut_branches() {
+        // (a > 1 AND b > 2) OR c >= 3 — the paper's running example.
+        let e = Expr::or(vec![
+            Expr::and(vec![
+                Expr::gt(Expr::col(0), Expr::int(1)),
+                Expr::gt(Expr::col(1), Expr::int(2)),
+            ]),
+            Expr::ge(Expr::col(2), Expr::int(3)),
+        ]);
+        let p = lower(&e).unwrap();
+        let brs = p
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, IrInstr::BrFalse { .. } | IrInstr::BrTrue { .. }))
+            .count();
+        assert!(brs >= 3, "expected short-circuit branches, got {:?}", p.instrs);
+        assert!(matches!(p.instrs.last(), Some(IrInstr::Ret { .. })));
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn consts_are_deduplicated() {
+        let e = Expr::and(vec![
+            Expr::gt(Expr::col(0), Expr::int(10)),
+            Expr::lt(Expr::col(1), Expr::int(10)),
+        ]);
+        let p = lower(&e).unwrap();
+        let tens = p.consts.iter().filter(|c| **c == Value::Int(10)).count();
+        assert_eq!(tens, 1);
+    }
+
+    #[test]
+    fn between_evaluates_operand_once() {
+        let e = Expr::between(Expr::col(0), Expr::dec("0.05"), Expr::dec("0.07"));
+        let p = lower(&e).unwrap();
+        let loads = p
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, IrInstr::LoadCol { col: 0, .. }))
+            .count();
+        assert_eq!(loads, 1);
+    }
+
+    #[test]
+    fn case_is_rejected() {
+        let e = Expr::Case {
+            branches: vec![(Expr::eq(Expr::col(0), Expr::int(1)), Expr::int(1))],
+            else_: Box::new(Expr::int(0)),
+        };
+        assert!(lower(&e).is_err());
+    }
+
+    #[test]
+    fn register_budget_enforced() {
+        // A pathological 100-way conjunction must be rejected, not miscompiled.
+        let parts: Vec<Expr> =
+            (0..100).map(|i| Expr::gt(Expr::col(0), Expr::int(i))).collect();
+        assert!(lower(&Expr::and(parts)).is_err());
+    }
+
+    #[test]
+    fn branches_are_forward_only() {
+        let e = Expr::or(vec![
+            Expr::and(vec![
+                Expr::gt(Expr::col(0), Expr::int(1)),
+                Expr::like(Expr::col(3), "PROMO%"),
+            ]),
+            Expr::in_list(Expr::col(2), vec![Value::str("MAIL"), Value::str("SHIP")]),
+        ]);
+        let p = lower(&e).unwrap();
+        for (i, ins) in p.instrs.iter().enumerate() {
+            if let IrInstr::BrFalse { target, .. }
+            | IrInstr::BrTrue { target, .. }
+            | IrInstr::Jmp { target } = ins
+            {
+                assert!(*target as usize > i, "backward branch at {i}: {ins:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! The NDP descriptor (§IV-C1): everything a Page Store needs to process
+//! pages on behalf of one table access.
+//!
+//! Contents mirror the paper's list: "the number and data types of the
+//! index columns and the lengths of the fixed-length columns; the columns
+//! to be projected, if any; the encoded filtering predicates in the LLVM IR
+//! format, if any; the aggregation functions to call and the GROUP BY
+//! columns, if any; a transaction ID that represents an MVCC read-view low
+//! watermark."
+//!
+//! All column references are *record positions* (the compute node resolves
+//! table columns to physical positions when building the descriptor), so
+//! the Page Store plugin needs no table schema. The descriptor crosses the
+//! network as "a type-less byte stream" that the DBMS-specific plugin
+//! interprets; [`NdpDescriptor::encode`]/[`NdpDescriptor::decode`] define
+//! the InnoDB plugin's interpretation, and [`fnv64`] provides the
+//! descriptor-cache key (§IV-D1).
+
+use taurus_common::{DataType, Error, Result, TrxId};
+
+use crate::agg::AggSpec;
+
+/// Aggregation request within a descriptor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NdpAggSpec {
+    /// Aggregates to maintain; `col` fields are record positions.
+    pub specs: Vec<AggSpec>,
+    /// GROUP BY columns as record positions. Must be a prefix of the index
+    /// key (§V-C: "the index access chosen must satisfy the grouping
+    /// column requirement"). Empty = scalar aggregation, which also enables
+    /// cross-page aggregation within a batch request.
+    pub group_cols: Vec<u16>,
+}
+
+/// The descriptor shipped with every NDP batch read.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NdpDescriptor {
+    /// Index identity (sanity check against the page header).
+    pub index_id: u64,
+    /// Data types of the columns stored in leaf records, in record order.
+    pub record_dtypes: Vec<DataType>,
+    /// Record positions of the index key columns, in key order. Projection
+    /// always retains these (InnoDB needs them for cursor re-positioning,
+    /// §V-A).
+    pub key_positions: Vec<u16>,
+    /// Record positions to keep, ascending, superset of `key_positions`;
+    /// `None` = no NDP column projection.
+    pub projection: Option<Vec<u16>>,
+    /// Serialized predicate IR (see `crate::ir`); `None` = no NDP filtering.
+    pub predicate_bitcode: Option<Vec<u8>>,
+    /// Aggregation request; `None` = no NDP aggregation.
+    pub aggregation: Option<NdpAggSpec>,
+    /// MVCC low watermark: records with `trx_id <` this are visible;
+    /// the rest are ambiguous and returned unmodified.
+    pub low_watermark: TrxId,
+}
+
+fn push_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn read_u16(buf: &[u8], at: &mut usize) -> Result<u16> {
+    let s = buf
+        .get(*at..*at + 2)
+        .ok_or_else(|| Error::Corruption("truncated descriptor".into()))?;
+    *at += 2;
+    Ok(u16::from_le_bytes(s.try_into().unwrap()))
+}
+
+fn encode_dtype(dt: &DataType, out: &mut Vec<u8>) {
+    out.push(dt.tag());
+    match dt {
+        DataType::Decimal { precision, scale } => {
+            out.push(*precision);
+            out.push(*scale);
+        }
+        DataType::Char(n) | DataType::Varchar(n) => push_u16(out, *n),
+        _ => {}
+    }
+}
+
+fn decode_dtype(buf: &[u8], at: &mut usize) -> Result<DataType> {
+    let err = || Error::Corruption("truncated descriptor dtype".into());
+    let tag = *buf.get(*at).ok_or_else(err)?;
+    *at += 1;
+    Ok(match tag {
+        0 => DataType::Int,
+        1 => DataType::BigInt,
+        2 => {
+            let precision = *buf.get(*at).ok_or_else(err)?;
+            let scale = *buf.get(*at + 1).ok_or_else(err)?;
+            *at += 2;
+            DataType::Decimal { precision, scale }
+        }
+        3 => DataType::Date,
+        4 => DataType::Char(read_u16(buf, at)?),
+        5 => DataType::Varchar(read_u16(buf, at)?),
+        6 => DataType::Double,
+        other => return Err(Error::Corruption(format!("bad dtype tag {other}"))),
+    })
+}
+
+impl NdpDescriptor {
+    /// Does this descriptor request any NDP work at all?
+    pub fn requests_work(&self) -> bool {
+        self.projection.is_some() || self.predicate_bitcode.is_some() || self.aggregation.is_some()
+    }
+
+    /// Serialize to the type-less byte stream carried by batch reads.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(b"DESC");
+        out.extend_from_slice(&self.index_id.to_le_bytes());
+        out.extend_from_slice(&self.low_watermark.to_le_bytes());
+        push_u16(&mut out, self.record_dtypes.len() as u16);
+        for dt in &self.record_dtypes {
+            encode_dtype(dt, &mut out);
+        }
+        push_u16(&mut out, self.key_positions.len() as u16);
+        for k in &self.key_positions {
+            push_u16(&mut out, *k);
+        }
+        match &self.projection {
+            None => out.push(0),
+            Some(keep) => {
+                out.push(1);
+                push_u16(&mut out, keep.len() as u16);
+                for k in keep {
+                    push_u16(&mut out, *k);
+                }
+            }
+        }
+        match &self.predicate_bitcode {
+            None => out.push(0),
+            Some(bc) => {
+                out.push(1);
+                push_u16(&mut out, bc.len() as u16);
+                out.extend_from_slice(bc);
+            }
+        }
+        match &self.aggregation {
+            None => out.push(0),
+            Some(agg) => {
+                out.push(1);
+                push_u16(&mut out, agg.specs.len() as u16);
+                for s in &agg.specs {
+                    s.encode(&mut out);
+                }
+                push_u16(&mut out, agg.group_cols.len() as u16);
+                for g in &agg.group_cols {
+                    push_u16(&mut out, *g);
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode and structurally validate a descriptor byte stream.
+    pub fn decode(buf: &[u8]) -> Result<NdpDescriptor> {
+        let err = || Error::Corruption("truncated descriptor".into());
+        if buf.len() < 20 || &buf[..4] != b"DESC" {
+            return Err(Error::Corruption("bad descriptor magic".into()));
+        }
+        let index_id = u64::from_le_bytes(buf[4..12].try_into().unwrap());
+        let low_watermark = u64::from_le_bytes(buf[12..20].try_into().unwrap());
+        let mut at = 20usize;
+        let n_cols = read_u16(buf, &mut at)? as usize;
+        let mut record_dtypes = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            record_dtypes.push(decode_dtype(buf, &mut at)?);
+        }
+        let n_keys = read_u16(buf, &mut at)? as usize;
+        let mut key_positions = Vec::with_capacity(n_keys);
+        for _ in 0..n_keys {
+            key_positions.push(read_u16(buf, &mut at)?);
+        }
+        let has_proj = *buf.get(at).ok_or_else(err)? != 0;
+        at += 1;
+        let projection = if has_proj {
+            let n = read_u16(buf, &mut at)? as usize;
+            let mut keep = Vec::with_capacity(n);
+            for _ in 0..n {
+                keep.push(read_u16(buf, &mut at)?);
+            }
+            Some(keep)
+        } else {
+            None
+        };
+        let has_pred = *buf.get(at).ok_or_else(err)? != 0;
+        at += 1;
+        let predicate_bitcode = if has_pred {
+            let n = read_u16(buf, &mut at)? as usize;
+            let bc = buf.get(at..at + n).ok_or_else(err)?.to_vec();
+            at += n;
+            Some(bc)
+        } else {
+            None
+        };
+        let has_agg = *buf.get(at).ok_or_else(err)? != 0;
+        at += 1;
+        let aggregation = if has_agg {
+            let n = read_u16(buf, &mut at)? as usize;
+            let mut specs = Vec::with_capacity(n);
+            for _ in 0..n {
+                specs.push(AggSpec::decode(buf, &mut at)?);
+            }
+            let ng = read_u16(buf, &mut at)? as usize;
+            let mut group_cols = Vec::with_capacity(ng);
+            for _ in 0..ng {
+                group_cols.push(read_u16(buf, &mut at)?);
+            }
+            Some(NdpAggSpec { specs, group_cols })
+        } else {
+            None
+        };
+        let d = NdpDescriptor {
+            index_id,
+            record_dtypes,
+            key_positions,
+            projection,
+            predicate_bitcode,
+            aggregation,
+            low_watermark,
+        };
+        d.validate()?;
+        Ok(d)
+    }
+
+    /// Cross-field validation (the plugin's defensive checks).
+    pub fn validate(&self) -> Result<()> {
+        let n = self.record_dtypes.len() as u16;
+        let in_range = |c: u16| -> Result<()> {
+            if c >= n {
+                return Err(Error::Corruption(format!(
+                    "descriptor column {c} out of record range {n}"
+                )));
+            }
+            Ok(())
+        };
+        for &k in &self.key_positions {
+            in_range(k)?;
+        }
+        if let Some(keep) = &self.projection {
+            if keep.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(Error::Corruption("projection not strictly ascending".into()));
+            }
+            for &k in keep {
+                in_range(k)?;
+            }
+            for &k in &self.key_positions {
+                if !keep.contains(&k) {
+                    return Err(Error::Corruption(format!(
+                        "projection drops key column {k} (cursor repositioning needs it)"
+                    )));
+                }
+            }
+        }
+        if let Some(agg) = &self.aggregation {
+            for s in &agg.specs {
+                if let Some(c) = s.col {
+                    in_range(c)?;
+                    // Aggregated columns must survive projection: the
+                    // carrier record's own values feed the executor.
+                    if let Some(keep) = &self.projection {
+                        if !keep.contains(&c) {
+                            return Err(Error::Corruption(format!(
+                                "aggregate input {c} dropped by projection"
+                            )));
+                        }
+                    }
+                }
+            }
+            for (i, &g) in agg.group_cols.iter().enumerate() {
+                in_range(g)?;
+                // GROUP BY must be an index-key prefix.
+                if self.key_positions.get(i) != Some(&g) {
+                    return Err(Error::Corruption(
+                        "GROUP BY columns are not an index-key prefix".into(),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a over the descriptor bytes — the Page Store descriptor-cache key
+/// ("computed by applying a hash function to the NDP descriptor fields",
+/// §IV-D1).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Expr;
+    use crate::compile::lower;
+
+    fn sample() -> NdpDescriptor {
+        let pred = lower(&Expr::and(vec![
+            Expr::ge(Expr::col(2), Expr::date("1994-01-01")),
+            Expr::lt(Expr::col(2), Expr::date("1995-01-01")),
+        ]))
+        .unwrap();
+        NdpDescriptor {
+            index_id: 42,
+            record_dtypes: vec![
+                DataType::BigInt,
+                DataType::Int,
+                DataType::Date,
+                DataType::Decimal { precision: 15, scale: 2 },
+                DataType::Varchar(44),
+            ],
+            key_positions: vec![0, 1],
+            projection: Some(vec![0, 1, 2, 3]),
+            predicate_bitcode: Some(pred.encode_bitcode()),
+            aggregation: Some(NdpAggSpec {
+                specs: vec![AggSpec::sum(3), AggSpec::count_star()],
+                group_cols: vec![],
+            }),
+            low_watermark: 17,
+        }
+    }
+
+    #[test]
+    fn roundtrip_full() {
+        let d = sample();
+        let bytes = d.encode();
+        let back = NdpDescriptor::decode(&bytes).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn roundtrip_minimal() {
+        let d = NdpDescriptor {
+            index_id: 1,
+            record_dtypes: vec![DataType::Int],
+            key_positions: vec![0],
+            projection: None,
+            predicate_bitcode: None,
+            aggregation: None,
+            low_watermark: 2,
+        };
+        assert_eq!(NdpDescriptor::decode(&d.encode()).unwrap(), d);
+        assert!(!d.requests_work());
+        assert!(sample().requests_work());
+    }
+
+    #[test]
+    fn validation_catches_dropped_key_column() {
+        let mut d = sample();
+        d.projection = Some(vec![0, 2, 3]); // drops key col 1
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_group_by_non_prefix() {
+        let mut d = sample();
+        d.aggregation = Some(NdpAggSpec { specs: vec![AggSpec::count_star()], group_cols: vec![2] });
+        assert!(d.validate().is_err());
+        // A proper key prefix passes.
+        d.aggregation = Some(NdpAggSpec { specs: vec![AggSpec::count_star()], group_cols: vec![0] });
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_aggregate_dropped_by_projection() {
+        let mut d = sample();
+        d.aggregation = Some(NdpAggSpec { specs: vec![AggSpec::sum(4)], group_cols: vec![] });
+        assert!(d.validate().is_err(), "col 4 is not in the projection");
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(NdpDescriptor::decode(b"????????").is_err());
+        let mut bytes = sample().encode();
+        bytes.truncate(bytes.len() / 2);
+        assert!(NdpDescriptor::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn fnv_hash_distinguishes_descriptors() {
+        let a = sample();
+        let mut b = sample();
+        b.low_watermark += 1;
+        assert_ne!(fnv64(&a.encode()), fnv64(&b.encode()));
+        assert_eq!(fnv64(&a.encode()), fnv64(&sample().encode()));
+    }
+}

@@ -1,0 +1,20 @@
+//! Multi-version concurrency control: transaction ids, read views, and the
+//! compute-node undo log.
+//!
+//! The NDP-relevant split (§IV-D, §V-A): Page Stores receive only a single
+//! *low-watermark* transaction id inside the descriptor ("a complete list
+//! of active transactions is not included to reduce CPU overhead in Page
+//! Stores"). Records below the watermark are definitely visible; everything
+//! else is *ambiguous* and must be shipped back unmodified, because only
+//! the compute node holds the full read view and the undo chains needed to
+//! reconstruct older versions.
+
+pub mod trx;
+pub mod undo;
+
+pub use trx::{ReadView, TrxManager};
+pub use undo::{UndoLog, UndoRecord};
+
+/// The bootstrap/loader transaction id: data loaded at id 1 is visible to
+/// every read view.
+pub const BOOTSTRAP_TRX: taurus_common::TrxId = 1;

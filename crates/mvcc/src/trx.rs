@@ -1,0 +1,182 @@
+//! Transaction manager and read views (InnoDB-style).
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use taurus_common::TrxId;
+
+/// Allocates transaction ids and tracks the active set.
+pub struct TrxManager {
+    next_id: AtomicU64,
+    active: Mutex<BTreeSet<TrxId>>,
+}
+
+impl Default for TrxManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TrxManager {
+    pub fn new() -> TrxManager {
+        // Id 1 is the bootstrap loader (always committed); real
+        // transactions start at 2.
+        TrxManager { next_id: AtomicU64::new(2), active: Mutex::new(BTreeSet::new()) }
+    }
+
+    /// Start a transaction: allocate the next id and mark it active.
+    pub fn begin(&self) -> TrxId {
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        self.active.lock().insert(id);
+        id
+    }
+
+    /// Commit (or finish rolling back): remove from the active set.
+    pub fn end(&self, id: TrxId) {
+        self.active.lock().remove(&id);
+    }
+
+    pub fn is_active(&self, id: TrxId) -> bool {
+        self.active.lock().contains(&id)
+    }
+
+    /// Build a consistent read view for `creator` (0 for an autonomous
+    /// read-only snapshot).
+    pub fn read_view(&self, creator: TrxId) -> ReadView {
+        let active = self.active.lock();
+        let low_limit = self.next_id.load(Ordering::SeqCst);
+        let ids: Vec<TrxId> = active.iter().copied().filter(|&id| id != creator).collect();
+        let up_limit = ids.first().copied().unwrap_or(low_limit);
+        ReadView { low_limit, up_limit, active: ids, creator }
+    }
+
+    /// Oldest id any *future* read view could consider invisible; undo
+    /// entries older than the view horizon of every active transaction can
+    /// be purged.
+    pub fn oldest_active(&self) -> TrxId {
+        self.active
+            .lock()
+            .first()
+            .copied()
+            .unwrap_or_else(|| self.next_id.load(Ordering::SeqCst))
+    }
+}
+
+/// A consistent snapshot: which transaction ids are visible.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReadView {
+    /// Ids `>= low_limit` started after the view: invisible.
+    pub low_limit: TrxId,
+    /// Ids `< up_limit` committed before any active transaction: visible.
+    pub up_limit: TrxId,
+    /// Ids active at view creation (excluding the creator): invisible.
+    pub active: Vec<TrxId>,
+    /// The transaction this view belongs to (sees its own writes).
+    pub creator: TrxId,
+}
+
+impl ReadView {
+    /// Full visibility check — only possible on the compute node.
+    pub fn visible(&self, trx_id: TrxId) -> bool {
+        if trx_id == self.creator {
+            return true;
+        }
+        if trx_id < self.up_limit {
+            return true;
+        }
+        if trx_id >= self.low_limit {
+            return false;
+        }
+        !self.active.binary_search(&trx_id).is_ok()
+    }
+
+    /// The single transaction id shipped to Page Stores in the NDP
+    /// descriptor (§IV-C1): records with `trx_id <` this are certainly
+    /// visible; the rest are ambiguous. Conservative by construction —
+    /// even the creator's own writes are "ambiguous" to a Page Store and
+    /// get resolved on the compute node.
+    pub fn low_watermark(&self) -> TrxId {
+        self.up_limit
+    }
+
+    /// A view that sees everything (used by bulk loaders / DDL).
+    pub fn all_visible() -> ReadView {
+        ReadView { low_limit: TrxId::MAX, up_limit: TrxId::MAX, active: Vec::new(), creator: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_monotonic_and_active_tracked() {
+        let tm = TrxManager::new();
+        let a = tm.begin();
+        let b = tm.begin();
+        assert!(b > a);
+        assert!(tm.is_active(a) && tm.is_active(b));
+        tm.end(a);
+        assert!(!tm.is_active(a));
+    }
+
+    #[test]
+    fn read_view_visibility_rules() {
+        let tm = TrxManager::new();
+        let t_old = tm.begin(); // 2
+        tm.end(t_old); // committed before the view
+        let t_active = tm.begin(); // 3, still running
+        let me = tm.begin(); // 4
+        let view = tm.read_view(me);
+        assert!(view.visible(crate::BOOTSTRAP_TRX));
+        assert!(view.visible(t_old), "committed-before must be visible");
+        assert!(!view.visible(t_active), "concurrent active must be invisible");
+        assert!(view.visible(me), "own writes visible");
+        let t_future = tm.begin();
+        assert!(!view.visible(t_future), "started-after must be invisible");
+    }
+
+    #[test]
+    fn low_watermark_is_conservative() {
+        let tm = TrxManager::new();
+        let t1 = tm.begin();
+        let me = tm.begin();
+        let view = tm.read_view(me);
+        let wm = view.low_watermark();
+        // Everything below the watermark must be visible under the full rules.
+        for id in 1..wm {
+            assert!(view.visible(id), "id {id} below watermark {wm} but invisible");
+        }
+        // The active transaction must NOT be below the watermark.
+        assert!(t1 >= wm);
+        tm.end(t1);
+        tm.end(me);
+    }
+
+    #[test]
+    fn watermark_with_no_active_transactions() {
+        let tm = TrxManager::new();
+        let view = tm.read_view(0);
+        // Everything allocated so far is visible; watermark = next id.
+        assert_eq!(view.low_watermark(), view.up_limit);
+        assert!(view.visible(1));
+    }
+
+    #[test]
+    fn all_visible_view() {
+        let v = ReadView::all_visible();
+        assert!(v.visible(1));
+        assert!(v.visible(1 << 40));
+    }
+
+    #[test]
+    fn oldest_active_drives_purge_horizon() {
+        let tm = TrxManager::new();
+        let a = tm.begin();
+        let _b = tm.begin();
+        assert_eq!(tm.oldest_active(), a);
+        tm.end(a);
+        assert_eq!(tm.oldest_active(), _b);
+    }
+}

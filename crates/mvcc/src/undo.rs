@@ -1,0 +1,234 @@
+//! The compute-node undo log.
+//!
+//! Page Stores cannot traverse undo chains ("the required undo records may
+//! reside in other Page Stores" — §IV-A); in this reproduction the same
+//! boundary holds because undo lives here, on the compute node, keyed by
+//! (space, primary key). Every write pushes the *previous* record image;
+//! version reconstruction walks the chain newest→oldest until it reaches an
+//! image whose embedded trx_id is visible to the read view.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use taurus_common::{SpaceId, TrxId};
+
+use crate::trx::ReadView;
+
+/// One undo entry: the record image *before* the write (None = the write
+/// was the row's insertion).
+#[derive(Clone, Debug, PartialEq)]
+pub struct UndoRecord {
+    /// The transaction that performed the write this entry undoes.
+    pub writer: TrxId,
+    /// Previous record image (full record bytes, including header);
+    /// `None` if the row did not exist before.
+    pub prev_image: Option<Vec<u8>>,
+}
+
+type RowKey = (u32, Vec<u8>);
+
+/// Undo chains for all rows, plus a per-transaction index for rollback.
+#[derive(Default)]
+pub struct UndoLog {
+    chains: Mutex<HashMap<RowKey, Vec<UndoRecord>>>,
+    by_trx: Mutex<HashMap<TrxId, Vec<RowKey>>>,
+}
+
+/// Extract the writer trx id embedded in a record image (header offset 5).
+fn image_trx(image: &[u8]) -> TrxId {
+    u64::from_le_bytes(image[5..13].try_into().expect("record image too short"))
+}
+
+impl UndoLog {
+    pub fn new() -> UndoLog {
+        UndoLog::default()
+    }
+
+    /// Record an undo entry for a write by `writer` to `key` in `space`.
+    pub fn push(&self, space: SpaceId, key: &[u8], writer: TrxId, prev_image: Option<Vec<u8>>) {
+        let k = (space.0, key.to_vec());
+        self.chains
+            .lock()
+            .entry(k.clone())
+            .or_default()
+            .push(UndoRecord { writer, prev_image });
+        self.by_trx.lock().entry(writer).or_default().push(k);
+    }
+
+    /// Reconstruct the version of a row visible to `view`, starting from
+    /// the current on-page image. Returns:
+    /// * `Some(image)` — the visible version (may be `current` itself);
+    /// * `None` — no version is visible (row created after the view).
+    ///
+    /// This is the InnoDB-side handling of *ambiguous* records returned by
+    /// Page Stores (§IV-D).
+    pub fn reconstruct(
+        &self,
+        space: SpaceId,
+        key: &[u8],
+        current: &[u8],
+        view: &ReadView,
+    ) -> Option<Vec<u8>> {
+        if view.visible(image_trx(current)) {
+            return Some(current.to_vec());
+        }
+        let chains = self.chains.lock();
+        let chain = chains.get(&(space.0, key.to_vec()))?;
+        // Walk newest -> oldest. chain[i].prev_image is the image before
+        // the i-th write; the image after write i carries writer's trx id.
+        for entry in chain.iter().rev() {
+            match &entry.prev_image {
+                None => return None, // reached the insertion; row invisible
+                Some(img) => {
+                    if view.visible(image_trx(img)) {
+                        return Some(img.clone());
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Pop all undo entries of `trx` for rollback, newest first. The caller
+    /// (engine) re-applies the previous images to the tree.
+    pub fn take_for_rollback(&self, trx: TrxId) -> Vec<(SpaceId, Vec<u8>, UndoRecord)> {
+        let keys = self.by_trx.lock().remove(&trx).unwrap_or_default();
+        let mut chains = self.chains.lock();
+        let mut out = Vec::new();
+        for (space, key) in keys.into_iter().rev() {
+            if let Some(chain) = chains.get_mut(&(space, key.clone())) {
+                // The newest entry by this trx must be at the tail (a trx's
+                // writes to one row are sequential).
+                if let Some(pos) = chain.iter().rposition(|e| e.writer == trx) {
+                    let entry = chain.remove(pos);
+                    out.push((SpaceId(space), key, entry));
+                }
+            }
+        }
+        out
+    }
+
+    /// Drop chains no future view can need: every entry's writer committed
+    /// before `horizon` *and* the current row versions (trx < horizon) are
+    /// visible to everyone.
+    pub fn purge(&self, horizon: TrxId) {
+        let mut chains = self.chains.lock();
+        chains.retain(|_, chain| {
+            chain.retain(|e| e.writer >= horizon);
+            !chain.is_empty()
+        });
+    }
+
+    pub fn chain_len(&self, space: SpaceId, key: &[u8]) -> usize {
+        self.chains.lock().get(&(space.0, key.to_vec())).map_or(0, |c| c.len())
+    }
+
+    pub fn total_entries(&self) -> usize {
+        self.chains.lock().values().map(|c| c.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trx::TrxManager;
+
+    /// Build a minimal record image: 13-byte header with trx at offset 5,
+    /// one payload byte identifying the version.
+    fn image(trx: TrxId, version: u8) -> Vec<u8> {
+        let mut b = vec![0u8; 14];
+        b[5..13].copy_from_slice(&trx.to_le_bytes());
+        b[13] = version;
+        b
+    }
+
+    #[test]
+    fn reconstruct_walks_to_visible_version() {
+        let tm = TrxManager::new();
+        let undo = UndoLog::new();
+        let sp = SpaceId(1);
+        let key = b"k1";
+
+        let t1 = tm.begin(); // insert
+        undo.push(sp, key, t1, None);
+        tm.end(t1);
+
+        let reader = tm.begin();
+        let view = tm.read_view(reader); // sees t1 only
+
+        let t2 = tm.begin(); // concurrent update, invisible to reader
+        undo.push(sp, key, t2, Some(image(t1, 1)));
+        let current = image(t2, 2);
+
+        let got = undo.reconstruct(sp, key, &current, &view).unwrap();
+        assert_eq!(got, image(t1, 1), "must rebuild the t1 version");
+
+        // A fresh view (after t2 commits) sees the current image directly.
+        tm.end(t2);
+        tm.end(reader);
+        let v2 = tm.read_view(0);
+        assert_eq!(undo.reconstruct(sp, key, &current, &v2).unwrap(), current);
+    }
+
+    #[test]
+    fn row_created_after_view_is_absent() {
+        let tm = TrxManager::new();
+        let undo = UndoLog::new();
+        let sp = SpaceId(1);
+        let reader = tm.begin();
+        let view = tm.read_view(reader);
+        let t2 = tm.begin();
+        undo.push(sp, b"new", t2, None);
+        let current = image(t2, 1);
+        assert_eq!(undo.reconstruct(sp, b"new", &current, &view), None);
+    }
+
+    #[test]
+    fn multi_version_chain_selects_correct_snapshot() {
+        let tm = TrxManager::new();
+        let undo = UndoLog::new();
+        let sp = SpaceId(1);
+        let key = b"row";
+        // v1 by t1, v2 by t2, v3 by t3, each committed in turn, with a
+        // reader snapshotted between t2 and t3.
+        let t1 = tm.begin();
+        undo.push(sp, key, t1, None);
+        tm.end(t1);
+        let t2 = tm.begin();
+        undo.push(sp, key, t2, Some(image(t1, 1)));
+        tm.end(t2);
+        let reader = tm.begin();
+        let view = tm.read_view(reader);
+        let t3 = tm.begin();
+        undo.push(sp, key, t3, Some(image(t2, 2)));
+        let current = image(t3, 3);
+        assert_eq!(undo.reconstruct(sp, key, &current, &view).unwrap(), image(t2, 2));
+    }
+
+    #[test]
+    fn rollback_returns_entries_newest_first() {
+        let tm = TrxManager::new();
+        let undo = UndoLog::new();
+        let sp = SpaceId(2);
+        let t = tm.begin();
+        undo.push(sp, b"a", t, None);
+        undo.push(sp, b"b", t, Some(image(1, 0)));
+        let entries = undo.take_for_rollback(t);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].1, b"b".to_vec());
+        assert_eq!(entries[1].1, b"a".to_vec());
+        assert_eq!(undo.total_entries(), 0);
+    }
+
+    #[test]
+    fn purge_drops_old_entries() {
+        let undo = UndoLog::new();
+        let sp = SpaceId(1);
+        undo.push(sp, b"x", 5, None);
+        undo.push(sp, b"x", 9, Some(image(5, 1)));
+        undo.push(sp, b"y", 3, None);
+        undo.purge(6);
+        assert_eq!(undo.chain_len(sp, b"x"), 1);
+        assert_eq!(undo.chain_len(sp, b"y"), 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! EXPLAIN output, shaped like the paper's Listing 2: table accesses that
+//! received NDP annotations print `Using pushed NDP condition (...)`,
+//! `Using pushed NDP columns`, and `Using pushed NDP aggregate`.
+
+use taurus_expr::ast::Expr;
+use taurus_ndp::TaurusDb;
+
+use crate::plan::{Plan, ScanNode};
+
+/// Render a plan tree with NDP annotations.
+pub fn explain(plan: &Plan, db: &TaurusDb) -> String {
+    let mut out = String::new();
+    render(plan, db, 0, &mut out);
+    out
+}
+
+fn pad(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+    out.push_str("-> ");
+}
+
+fn line(depth: usize, out: &mut String, s: &str) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+    out.push_str("   ");
+    out.push_str(s);
+    out.push('\n');
+}
+
+/// Rewrite `colN` references into real column names for readability.
+fn pretty_expr(e: &Expr, db: &TaurusDb, table: &str) -> String {
+    let mut s = e.to_string();
+    if let Ok(t) = db.table(table) {
+        // Replace longest indexes first so col12 is not clobbered by col1.
+        let mut order: Vec<usize> = (0..t.schema.columns.len()).collect();
+        order.sort_by_key(|i| std::cmp::Reverse(*i));
+        for i in order {
+            s = s.replace(&format!("col{i}"), &t.schema.columns[i].name);
+        }
+    }
+    s
+}
+
+fn render_scan(s: &ScanNode, db: &TaurusDb, depth: usize, out: &mut String, agg: bool) {
+    pad(depth, out);
+    let index_name = db
+        .table(&s.table)
+        .ok()
+        .map(|t| t.index(s.index).tree.def.name.clone())
+        .unwrap_or_else(|| format!("#{}", s.index));
+    let kind = if s.range.lower.is_none() && s.range.upper.is_none() {
+        "Index scan"
+    } else {
+        "Index range scan"
+    };
+    out.push_str(&format!("{kind} on {} using {index_name}\n", s.table));
+    match &s.ndp {
+        Some(d) => {
+            if let Some(p) = &d.choice.predicate {
+                line(
+                    depth,
+                    out,
+                    &format!("Using pushed NDP condition {}", pretty_expr(p, db, &s.table)),
+                );
+            }
+            if d.choice.projection.is_some() {
+                line(depth, out, "Using pushed NDP columns");
+            }
+            if d.choice.aggregation.is_some() {
+                line(depth, out, "Using pushed NDP aggregate");
+            }
+            let residual = s.residual_conjuncts();
+            if !residual.is_empty() {
+                let txt = residual
+                    .iter()
+                    .map(|e| pretty_expr(e, db, &s.table))
+                    .collect::<Vec<_>>()
+                    .join(" AND ");
+                line(depth, out, &format!("Residual condition: {txt}"));
+            }
+        }
+        None => {
+            if !s.predicate.is_empty() {
+                let txt = s
+                    .predicate
+                    .iter()
+                    .map(|e| pretty_expr(e, db, &s.table))
+                    .collect::<Vec<_>>()
+                    .join(" AND ");
+                line(depth, out, &format!("Condition: {txt}"));
+            }
+        }
+    }
+    if agg {
+        line(depth, out, "Aggregate during scan");
+    }
+}
+
+fn render(plan: &Plan, db: &TaurusDb, depth: usize, out: &mut String) {
+    match plan {
+        Plan::Scan(s) => render_scan(s, db, depth, out, false),
+        Plan::AggScan(a) => render_scan(&a.scan, db, depth, out, true),
+        Plan::LookupJoin(j) => {
+            pad(depth, out);
+            out.push_str(&format!(
+                "Nested-loop {:?} join: lookup {} per outer row\n",
+                j.join, j.table
+            ));
+            render(&j.outer, db, depth + 1, out);
+        }
+        Plan::HashJoin(j) => {
+            pad(depth, out);
+            out.push_str(&format!("Hash {:?} join\n", j.join));
+            render(&j.left, db, depth + 1, out);
+            render(&j.right, db, depth + 1, out);
+        }
+        Plan::HashAgg(a) => {
+            pad(depth, out);
+            out.push_str(&format!(
+                "Aggregate ({} groups cols, {} aggs)\n",
+                a.group.len(),
+                a.aggs.len()
+            ));
+            render(&a.input, db, depth + 1, out);
+        }
+        Plan::Project(p) => {
+            pad(depth, out);
+            out.push_str("Project\n");
+            render(&p.input, db, depth + 1, out);
+        }
+        Plan::Filter(f) => {
+            pad(depth, out);
+            out.push_str("Filter\n");
+            render(&f.input, db, depth + 1, out);
+        }
+        Plan::Sort(s) => {
+            pad(depth, out);
+            match s.limit {
+                Some(n) => out.push_str(&format!("Sort (top {n})\n")),
+                None => out.push_str("Sort\n"),
+            }
+            render(&s.input, db, depth + 1, out);
+        }
+        Plan::Limit { input, n } => {
+            pad(depth, out);
+            out.push_str(&format!("Limit {n}\n"));
+            render(input, db, depth + 1, out);
+        }
+        Plan::Exchange(e) => {
+            pad(depth, out);
+            out.push_str(&format!("Gather (parallel query, degree {})\n", e.degree));
+            render(&e.child, db, depth + 1, out);
+        }
+    }
+}

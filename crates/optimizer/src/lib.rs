@@ -1,0 +1,14 @@
+//! The query optimizer layer: programmatic plan construction, the §IV-B
+//! NDP post-processing pass, selectivity estimation, and EXPLAIN output
+//! shaped like the paper's Listing 2.
+
+pub mod explain;
+pub mod ndp_post;
+pub mod plan;
+
+pub use explain::explain;
+pub use ndp_post::{estimate_filter_factor, ndp_post_process, NdpReport};
+pub use plan::{
+    AggFuncEx, AggItem, AggScanNode, ExchangeNode, FilterNode, HashAggNode, HashJoinNode,
+    JoinType, LookupJoinNode, NdpDecision, Plan, ProjectNode, RangeSpec, ScanNode, SortNode,
+};

@@ -1,0 +1,380 @@
+//! The NDP post-processing step (§IV-B).
+//!
+//! Taurus deliberately does *not* fold NDP into plan enumeration: "finalize
+//! a query plan without considering NDP, and then consider enabling NDP for
+//! each of the table accesses in the plan." This pass is that step. For
+//! each access it decides, independently (§III: "the three decisions are
+//! taken independently"):
+//!
+//! * **predicate pushdown** — only allow-listed operators/types (§V-B1),
+//!   only if the estimated filter factor is good enough;
+//! * **column projection** — only if the width reduction clears the
+//!   threshold (§V-A);
+//! * **aggregation** — only on an [`crate::plan::AggScanNode`] (the last
+//!   and only table of its block) with no residual predicates, bare-column
+//!   inputs, and an index-satisfied GROUP BY (§V-C);
+//!
+//! all gated by the *estimated physical I/O* rule: "NDP is enabled on a
+//! scan only if the scan is estimated to cause at least 10,000 pages of
+//! I/O", where pages already resident in the buffer pool do not count
+//! (§VII-C footnote 4 — the reason Q11/Q17/Q19/Q20 see no NDP).
+
+use taurus_common::{DataType, Result, Value};
+use taurus_expr::agg::AggSpec;
+use taurus_expr::ast::{CmpOp, Expr};
+use taurus_ndp::{NdpChoice, ScanAggregation, TableStats, TaurusDb};
+
+use crate::plan::{AggScanNode, NdpDecision, Plan, RangeSpec, ScanNode};
+
+/// Why a table access did or did not get each NDP feature (EXPLAIN food).
+#[derive(Clone, Debug, Default)]
+pub struct NdpReport {
+    pub table: String,
+    pub est_io_pages: f64,
+    pub cached_pages: u64,
+    pub gated_by_io: bool,
+    pub pushed_predicates: usize,
+    pub filter_factor: f64,
+    pub projection: bool,
+    pub width_ratio: f64,
+    pub aggregation: bool,
+}
+
+/// Run the pass over a finalized plan. Returns one report per table access
+/// (pre-order).
+pub fn ndp_post_process(plan: &mut Plan, db: &TaurusDb) -> Result<Vec<NdpReport>> {
+    let mut reports = Vec::new();
+    process(plan, db, &mut reports)?;
+    Ok(reports)
+}
+
+fn process(plan: &mut Plan, db: &TaurusDb, out: &mut Vec<NdpReport>) -> Result<()> {
+    match plan {
+        Plan::Scan(s) => {
+            let r = decide_scan(s, None, db)?;
+            out.push(r);
+        }
+        Plan::AggScan(a) => {
+            let AggScanNode { scan, group_cols, aggs } = a;
+            let r = decide_scan(scan, Some((group_cols, aggs)), db)?;
+            out.push(r);
+        }
+        Plan::LookupJoin(j) => process(&mut j.outer, db, out)?,
+        Plan::HashJoin(j) => {
+            process(&mut j.left, db, out)?;
+            process(&mut j.right, db, out)?;
+        }
+        Plan::HashAgg(a) => process(&mut a.input, db, out)?,
+        Plan::Project(p) => process(&mut p.input, db, out)?,
+        Plan::Filter(p) => process(&mut p.input, db, out)?,
+        Plan::Sort(s) => process(&mut s.input, db, out)?,
+        Plan::Limit { input, .. } => process(input, db, out)?,
+        Plan::Exchange(e) => process(&mut e.child, db, out)?,
+    }
+    Ok(())
+}
+
+#[allow(clippy::type_complexity)]
+fn decide_scan(
+    node: &mut ScanNode,
+    agg: Option<(&Vec<usize>, &Vec<crate::plan::AggItem>)>,
+    db: &TaurusDb,
+) -> Result<NdpReport> {
+    let cfg = db.config().ndp.clone();
+    let table = db.table(&node.table)?;
+    let idx = table.index(node.index);
+    let stats = table.stats.read().clone();
+    let mut report = NdpReport { table: node.table.clone(), ..Default::default() };
+    node.ndp = None;
+    if !cfg.enabled {
+        return Ok(report);
+    }
+
+    // --- the I/O gate ------------------------------------------------------
+    let leaves = idx.tree.n_leaves() as f64;
+    let range_frac = estimate_range_fraction(&node.range, node, &table, &stats);
+    let cached = idx
+        .store
+        .buffer_pool()
+        .count_pages_in_space(idx.tree.def.space)
+        .min(idx.tree.n_leaves() as usize) as f64;
+    // Cached pages reduce expected physical I/O uniformly over the range.
+    let est_io = (leaves * range_frac - cached * range_frac).max(0.0);
+    report.est_io_pages = est_io;
+    report.cached_pages = cached as u64;
+    if est_io < cfg.min_io_pages as f64 {
+        report.gated_by_io = true;
+        return Ok(report);
+    }
+
+    let dtypes: Vec<DataType> = table.schema.dtypes();
+    let mut choice = NdpChoice::default();
+    let mut pushed: Vec<usize> = Vec::new();
+
+    // --- predicate pushdown (§V-B1) ----------------------------------------
+    let eligible: Vec<usize> = node
+        .predicate
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| {
+            e.is_ndp_supported(&dtypes) && taurus_expr::compile::lower(e).is_ok()
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if !eligible.is_empty() {
+        let ff: f64 = eligible
+            .iter()
+            .map(|&i| estimate_filter_factor(&node.predicate[i], &table, &stats))
+            .product::<f64>()
+            .clamp(0.0005, 1.0);
+        report.filter_factor = ff;
+        if ff <= cfg.predicate_max_filter_factor {
+            let conjuncts: Vec<Expr> =
+                eligible.iter().map(|&i| node.predicate[i].clone()).collect();
+            choice.predicate = Some(Expr::and(conjuncts));
+            pushed = eligible;
+            report.pushed_predicates = pushed.len();
+        }
+    }
+
+    // --- projection (§V-A) ---------------------------------------------------
+    // Needed: declared outputs + columns of residual conjuncts.
+    let mut needed: Vec<usize> = node.output.clone();
+    for (i, e) in node.predicate.iter().enumerate() {
+        if !pushed.contains(&i) {
+            needed.extend(e.columns());
+        }
+    }
+    for &k in &table.schema.pk {
+        needed.push(k);
+    }
+    needed.sort_unstable();
+    needed.dedup();
+    let full_width: f64 = stats
+        .columns
+        .iter()
+        .map(|c| c.avg_width.max(1.0))
+        .sum::<f64>()
+        .max(1.0);
+    let kept_width: f64 = needed
+        .iter()
+        .map(|&c| stats.columns.get(c).map(|s| s.avg_width.max(1.0)).unwrap_or(8.0))
+        .sum();
+    report.width_ratio = kept_width / full_width;
+    // Only meaningful when this index stores more than what we need.
+    let stored = idx.tree.def.stored_cols();
+    let narrowing_possible = needed.len() < stored.len();
+    if narrowing_possible && report.width_ratio <= cfg.projection_width_threshold {
+        let keep: Vec<usize> =
+            needed.iter().copied().filter(|c| stored.contains(c)).collect();
+        choice.projection = Some(keep);
+        report.projection = true;
+    }
+
+    // --- aggregation (§V-C) ---------------------------------------------------
+    if let Some((group_cols, aggs)) = agg {
+        let residual_empty = pushed.len() == node.predicate.len();
+        let range_covered = matches!(
+            (&node.range.lower, &node.range.upper),
+            (None, None)
+        ) || !pushed.is_empty();
+        let inputs_are_columns = aggs.iter().all(|a| {
+            let col_input = matches!(&a.input, None | Some(Expr::Col(_)));
+            // AVG decomposes into SUM + COUNT ("the calculation of AVG is
+            // pushed down as well", §III) — pushable iff its input is a
+            // bare column.
+            col_input
+                && (a.func.storage_func().is_some()
+                    || (a.func == crate::plan::AggFuncEx::Avg && a.input.is_some()))
+        });
+        let key_cols = &idx.tree.def.key_cols;
+        let group_is_prefix = group_cols.len() <= key_cols.len()
+            && group_cols.iter().zip(key_cols.iter()).all(|(a, b)| a == b);
+        if residual_empty && range_covered && inputs_are_columns && group_is_prefix {
+            let mut specs: Vec<AggSpec> = Vec::with_capacity(aggs.len());
+            for a in aggs {
+                let col = a.input.as_ref().map(|e| match e {
+                    Expr::Col(c) => *c as u16,
+                    _ => unreachable!("checked"),
+                });
+                match a.func.storage_func() {
+                    Some(f) => specs.push(AggSpec { func: f, col }),
+                    None => {
+                        // AVG -> SUM + COUNT pair.
+                        let c = col.expect("checked");
+                        specs.push(AggSpec { func: taurus_expr::agg::AggFunc::Sum, col: Some(c) });
+                        specs.push(AggSpec {
+                            func: taurus_expr::agg::AggFunc::Count,
+                            col: Some(c),
+                        });
+                    }
+                }
+            }
+            choice.aggregation =
+                Some(ScanAggregation { specs, group_cols: group_cols.clone() });
+            report.aggregation = true;
+            // Group columns must survive projection for the carrier rows.
+            if let Some(keep) = &mut choice.projection {
+                for g in group_cols {
+                    if !keep.contains(g) {
+                        keep.push(*g);
+                    }
+                }
+                keep.sort_unstable();
+            }
+        }
+    }
+
+    if !choice.is_empty() {
+        node.ndp = Some(NdpDecision { choice, pushed });
+    }
+    Ok(report)
+}
+
+/// Fraction of the index the range covers (1.0 = full scan).
+fn estimate_range_fraction(
+    range: &RangeSpec,
+    node: &ScanNode,
+    table: &taurus_ndp::Table,
+    stats: &TableStats,
+) -> f64 {
+    if range.lower.is_none() && range.upper.is_none() {
+        return 1.0;
+    }
+    // Point access?
+    if let (Some((lo, _)), Some((hi, _))) = (&range.lower, &range.upper) {
+        if lo == hi {
+            let key_cols = &table.index(node.index).tree.def.key_cols;
+            if lo.len() == key_cols.len() {
+                return (1.0 / stats.row_count.max(1) as f64).min(1.0);
+            }
+        }
+    }
+    // First-column interpolation.
+    let idx = table.index(node.index);
+    let first_key_col = idx.tree.def.key_cols[0];
+    let cs = match stats.columns.get(first_key_col) {
+        Some(c) => c,
+        None => return 0.3,
+    };
+    let (Some(min), Some(max)) = (&cs.min, &cs.max) else { return 0.3 };
+    let (Some(min), Some(max)) = (value_as_f64(min), value_as_f64(max)) else {
+        return 0.3;
+    };
+    if max <= min {
+        return 1.0;
+    }
+    let lo = range
+        .lower
+        .as_ref()
+        .and_then(|(v, _)| v.first())
+        .and_then(value_as_f64)
+        .unwrap_or(min);
+    let hi = range
+        .upper
+        .as_ref()
+        .and_then(|(v, _)| v.first())
+        .and_then(value_as_f64)
+        .unwrap_or(max);
+    ((hi - lo) / (max - min)).clamp(0.001, 1.0)
+}
+
+fn value_as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(x) => Some(*x as f64),
+        Value::Decimal(d) => Some(d.to_f64()),
+        Value::Date(d) => Some(d.0 as f64),
+        Value::Double(x) => Some(*x),
+        _ => None,
+    }
+}
+
+/// Estimate the fraction of rows satisfying `e` ("the optimizer then
+/// calculates the filter factors of the predicates", §V-B1).
+pub fn estimate_filter_factor(
+    e: &Expr,
+    table: &taurus_ndp::Table,
+    stats: &TableStats,
+) -> f64 {
+    match e {
+        Expr::And(xs) => xs
+            .iter()
+            .map(|x| estimate_filter_factor(x, table, stats))
+            .product::<f64>()
+            .clamp(0.0, 1.0),
+        Expr::Or(xs) => xs
+            .iter()
+            .map(|x| estimate_filter_factor(x, table, stats))
+            .sum::<f64>()
+            .clamp(0.0, 1.0),
+        Expr::Not(x) => 1.0 - estimate_filter_factor(x, table, stats),
+        Expr::Cmp(op, a, b) => {
+            let (col, lit, op) = match (&**a, &**b) {
+                (Expr::Col(c), Expr::Lit(v)) => (*c, v.clone(), *op),
+                (Expr::Lit(v), Expr::Col(c)) => (*c, v.clone(), op.flip()),
+                _ => return 0.33,
+            };
+            let cs = match stats.columns.get(col) {
+                Some(c) => c,
+                None => return 0.33,
+            };
+            match op {
+                CmpOp::Eq => 1.0 / cs.ndv.max(1) as f64,
+                CmpOp::Ne => 1.0 - 1.0 / cs.ndv.max(1) as f64,
+                CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+                    let (Some(min), Some(max)) = (&cs.min, &cs.max) else { return 0.33 };
+                    let (Some(min), Some(max), Some(v)) =
+                        (value_as_f64(min), value_as_f64(max), value_as_f64(&lit))
+                    else {
+                        return 0.33;
+                    };
+                    if max <= min {
+                        return 0.5;
+                    }
+                    let frac = ((v - min) / (max - min)).clamp(0.0, 1.0);
+                    match op {
+                        CmpOp::Lt | CmpOp::Le => frac.max(0.001),
+                        _ => (1.0 - frac).max(0.001),
+                    }
+                }
+            }
+        }
+        Expr::Between { expr, lo, hi } => {
+            let a = estimate_filter_factor(
+                &Expr::ge((**expr).clone(), (**lo).clone()),
+                table,
+                stats,
+            );
+            let b = estimate_filter_factor(
+                &Expr::le((**expr).clone(), (**hi).clone()),
+                table,
+                stats,
+            );
+            (a + b - 1.0).clamp(0.001, 1.0)
+        }
+        Expr::InList { list, negated, .. } => {
+            let base = (list.len() as f64 * 0.05).clamp(0.01, 0.9);
+            if *negated {
+                1.0 - base
+            } else {
+                base
+            }
+        }
+        Expr::Like { pattern, negated, .. } => {
+            let base = if pattern.starts_with('%') { 0.09 } else { 0.05 };
+            if *negated {
+                1.0 - base
+            } else {
+                base
+            }
+        }
+        Expr::IsNull { negated, .. } => {
+            if *negated {
+                0.95
+            } else {
+                0.05
+            }
+        }
+        _ => 0.33,
+    }
+}

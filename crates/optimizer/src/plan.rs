@@ -1,0 +1,309 @@
+//! Query plans.
+//!
+//! Plans are built programmatically (the reproduction's stand-in for
+//! MySQL's parser + join-order search — join orders are fixed by the
+//! builders exactly as the paper describes MySQL choosing them), then run
+//! through the optimizer's classical checks and the §IV-B *NDP
+//! post-processing step*, which annotates table accesses with their
+//! [`NdpChoice`] without touching plan shape.
+
+use taurus_common::Value;
+use taurus_expr::agg::AggFunc;
+use taurus_expr::ast::Expr;
+use taurus_ndp::NdpChoice;
+
+/// Key-range endpoints for an index access, as literal key values (a
+/// prefix of the index key).
+#[derive(Clone, Debug, Default)]
+pub struct RangeSpec {
+    pub lower: Option<(Vec<Value>, bool)>,
+    pub upper: Option<(Vec<Value>, bool)>,
+}
+
+impl RangeSpec {
+    pub fn full() -> RangeSpec {
+        RangeSpec::default()
+    }
+
+    pub fn point(key: Vec<Value>) -> RangeSpec {
+        RangeSpec { lower: Some((key.clone(), true)), upper: Some((key, true)) }
+    }
+}
+
+/// One table access. `predicate` holds the *classically pushed-down*
+/// conjuncts (§V-B1: "MySQL's query optimizer always pushes down
+/// predicates into a table access when possible") — including any
+/// conjuncts that the range already encodes. The NDP pass selects a subset
+/// of them for storage-side evaluation; the executor evaluates the rest as
+/// residuals.
+#[derive(Clone, Debug)]
+pub struct ScanNode {
+    pub table: String,
+    /// 0 = primary, i+1 = secondaries[i].
+    pub index: usize,
+    pub range: RangeSpec,
+    /// Conjuncts of the access-level predicate (table columns).
+    pub predicate: Vec<Expr>,
+    /// Table columns delivered by the scan, in order. Must cover every
+    /// column referenced by `predicate` conjuncts that could stay residual.
+    pub output: Vec<usize>,
+    /// Filled in by NDP post-processing; `None` until then (or when NDP is
+    /// not worthwhile). `pushed` lists which `predicate` conjuncts went to
+    /// storage.
+    pub ndp: Option<NdpDecision>,
+}
+
+/// Outcome of the §IV-B post-processing for one table access.
+#[derive(Clone, Debug, Default)]
+pub struct NdpDecision {
+    pub choice: NdpChoice,
+    /// Indices into `ScanNode::predicate` that were pushed.
+    pub pushed: Vec<usize>,
+}
+
+impl ScanNode {
+    pub fn new(table: &str, output: Vec<usize>) -> ScanNode {
+        ScanNode {
+            table: table.to_string(),
+            index: 0,
+            range: RangeSpec::full(),
+            predicate: Vec::new(),
+            output,
+            ndp: None,
+        }
+    }
+
+    pub fn with_predicate(mut self, conjuncts: Vec<Expr>) -> ScanNode {
+        self.predicate = conjuncts;
+        self
+    }
+
+    pub fn with_index(mut self, index: usize) -> ScanNode {
+        self.index = index;
+        self
+    }
+
+    pub fn with_range(mut self, range: RangeSpec) -> ScanNode {
+        self.range = range;
+        self
+    }
+
+    /// Conjuncts the executor must still evaluate.
+    pub fn residual_conjuncts(&self) -> Vec<&Expr> {
+        match &self.ndp {
+            None => self.predicate.iter().collect(),
+            Some(d) => self
+                .predicate
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !d.pushed.contains(i))
+                .map(|(_, e)| e)
+                .collect(),
+        }
+    }
+}
+
+/// Aggregate item: function + input expression over table/input columns
+/// (`None` for COUNT(*)). AVG is decomposed by builders that feed
+/// [`Plan::Exchange`]; elsewhere the executor handles it as SUM/COUNT.
+#[derive(Clone, Debug)]
+pub struct AggItem {
+    pub func: AggFuncEx,
+    pub input: Option<Expr>,
+}
+
+/// Aggregate functions at the plan level (superset of the storage-side
+/// [`AggFunc`]: AVG exists only here).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AggFuncEx {
+    CountStar,
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+impl AggFuncEx {
+    /// The storage-side function, if directly pushable.
+    pub fn storage_func(&self) -> Option<AggFunc> {
+        Some(match self {
+            AggFuncEx::CountStar => AggFunc::CountStar,
+            AggFuncEx::Count => AggFunc::Count,
+            AggFuncEx::Sum => AggFunc::Sum,
+            AggFuncEx::Min => AggFunc::Min,
+            AggFuncEx::Max => AggFunc::Max,
+            AggFuncEx::Avg => return None,
+        })
+    }
+}
+
+/// Aggregation fused onto a single table scan — the only shape eligible
+/// for NDP aggregation (§V-C: the table must be the last access of its
+/// block with no residual predicates).
+#[derive(Clone, Debug)]
+pub struct AggScanNode {
+    pub scan: ScanNode,
+    /// GROUP BY columns (table columns). Must be empty (scalar) or a
+    /// prefix of the chosen index key; output order is group order.
+    pub group_cols: Vec<usize>,
+    /// Aggregates; inputs are expressions over *table* columns.
+    pub aggs: Vec<AggItem>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JoinType {
+    Inner,
+    /// Left rows with no match pass through (right side NULL-padded).
+    LeftOuter,
+    /// Emit left row iff a match exists.
+    Semi,
+    /// Emit left row iff no match exists.
+    Anti,
+}
+
+/// Nested-loop join driven by inner-index lookups (MySQL's NL join; the
+/// plan shape of Q4/Q19 in §VII).
+#[derive(Clone, Debug)]
+pub struct LookupJoinNode {
+    pub outer: Box<Plan>,
+    pub table: String,
+    pub index: usize,
+    /// Positions in the outer row forming the inner index key prefix.
+    pub outer_key_cols: Vec<usize>,
+    /// Extra predicate over (outer row ++ inner row) columns: outer
+    /// positions first, then inner `output` positions.
+    pub on: Option<Expr>,
+    /// Inner table columns appended to matching output rows.
+    pub inner_output: Vec<usize>,
+    pub join: JoinType,
+    /// Inner-side access predicate (inner table columns).
+    pub inner_predicate: Vec<Expr>,
+}
+
+/// Hash join; build side is the right child.
+#[derive(Clone, Debug)]
+pub struct HashJoinNode {
+    pub left: Box<Plan>,
+    pub right: Box<Plan>,
+    pub left_keys: Vec<usize>,
+    pub right_keys: Vec<usize>,
+    pub join: JoinType,
+}
+
+/// Generic hash aggregation over any input.
+#[derive(Clone, Debug)]
+pub struct HashAggNode {
+    pub input: Box<Plan>,
+    /// Group expressions over the input row (empty = scalar).
+    pub group: Vec<Expr>,
+    pub aggs: Vec<AggItem>,
+}
+
+#[derive(Clone, Debug)]
+pub struct ProjectNode {
+    pub input: Box<Plan>,
+    pub exprs: Vec<Expr>,
+}
+
+#[derive(Clone, Debug)]
+pub struct FilterNode {
+    pub input: Box<Plan>,
+    pub predicate: Expr,
+}
+
+#[derive(Clone, Debug)]
+pub struct SortNode {
+    pub input: Box<Plan>,
+    /// (position, descending).
+    pub keys: Vec<(usize, bool)>,
+    pub limit: Option<usize>,
+}
+
+/// Parallel query (§VI): run `child` over `degree` partitions of its
+/// (outer-most) scan, merging at the leader. Supported children: `Scan`,
+/// `AggScan`, `HashAgg(Scan)`, `LookupJoin` with a `Scan` outer.
+#[derive(Clone, Debug)]
+pub struct ExchangeNode {
+    pub child: Box<Plan>,
+    pub degree: usize,
+}
+
+/// A query plan.
+#[derive(Clone, Debug)]
+pub enum Plan {
+    Scan(ScanNode),
+    AggScan(AggScanNode),
+    LookupJoin(LookupJoinNode),
+    HashJoin(HashJoinNode),
+    HashAgg(HashAggNode),
+    Project(ProjectNode),
+    Filter(FilterNode),
+    Sort(SortNode),
+    Limit { input: Box<Plan>, n: usize },
+    Exchange(ExchangeNode),
+}
+
+impl Plan {
+    pub fn project(self, exprs: Vec<Expr>) -> Plan {
+        Plan::Project(ProjectNode { input: Box::new(self), exprs })
+    }
+
+    pub fn filter(self, predicate: Expr) -> Plan {
+        Plan::Filter(FilterNode { input: Box::new(self), predicate })
+    }
+
+    pub fn sort(self, keys: Vec<(usize, bool)>) -> Plan {
+        Plan::Sort(SortNode { input: Box::new(self), keys, limit: None })
+    }
+
+    pub fn top_n(self, keys: Vec<(usize, bool)>, n: usize) -> Plan {
+        Plan::Sort(SortNode { input: Box::new(self), keys, limit: Some(n) })
+    }
+
+    pub fn limit(self, n: usize) -> Plan {
+        Plan::Limit { input: Box::new(self), n }
+    }
+
+    pub fn exchange(self, degree: usize) -> Plan {
+        Plan::Exchange(ExchangeNode { child: Box::new(self), degree })
+    }
+
+    /// Visit every scan node mutably (the NDP pass and tests use this).
+    pub fn for_each_scan_mut(&mut self, f: &mut impl FnMut(&mut ScanNode, bool)) {
+        match self {
+            Plan::Scan(s) => f(s, false),
+            Plan::AggScan(a) => f(&mut a.scan, true),
+            Plan::LookupJoin(j) => j.outer.for_each_scan_mut(f),
+            Plan::HashJoin(j) => {
+                j.left.for_each_scan_mut(f);
+                j.right.for_each_scan_mut(f);
+            }
+            Plan::HashAgg(a) => a.input.for_each_scan_mut(f),
+            Plan::Project(p) => p.input.for_each_scan_mut(f),
+            Plan::Filter(p) => p.input.for_each_scan_mut(f),
+            Plan::Sort(s) => s.input.for_each_scan_mut(f),
+            Plan::Limit { input, .. } => input.for_each_scan_mut(f),
+            Plan::Exchange(e) => e.child.for_each_scan_mut(f),
+        }
+    }
+
+    /// Visit every scan node immutably.
+    pub fn for_each_scan(&self, f: &mut impl FnMut(&ScanNode, bool)) {
+        match self {
+            Plan::Scan(s) => f(s, false),
+            Plan::AggScan(a) => f(&a.scan, true),
+            Plan::LookupJoin(j) => j.outer.for_each_scan(f),
+            Plan::HashJoin(j) => {
+                j.left.for_each_scan(f);
+                j.right.for_each_scan(f);
+            }
+            Plan::HashAgg(a) => a.input.for_each_scan(f),
+            Plan::Project(p) => p.input.for_each_scan(f),
+            Plan::Filter(p) => p.input.for_each_scan(f),
+            Plan::Sort(s) => s.input.for_each_scan(f),
+            Plan::Limit { input, .. } => input.for_each_scan(f),
+            Plan::Exchange(e) => e.child.for_each_scan(f),
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Unit tests for the §IV-B NDP post-processing decisions: the I/O gate,
+//! buffer-pool awareness, the predicate allow-list, the width threshold,
+//! and the §V-C aggregation rules.
+
+use std::sync::Arc;
+
+use taurus_common::schema::{Column, TableSchema};
+use taurus_common::{ClusterConfig, DataType, Dec, Value};
+use taurus_expr::ast::Expr;
+use taurus_ndp::TaurusDb;
+use taurus_optimizer::ndp_post::ndp_post_process;
+use taurus_optimizer::plan::{AggFuncEx, AggItem, AggScanNode, Plan, ScanNode};
+
+fn wide_schema() -> Arc<TableSchema> {
+    TableSchema::new(
+        "t",
+        vec![
+            Column::new("id", DataType::BigInt),
+            Column::new("v", DataType::Int),
+            Column::new("price", DataType::Decimal { precision: 15, scale: 2 }),
+            Column::new("pad1", DataType::Varchar(100)),
+            Column::new("pad2", DataType::Varchar(100)),
+        ],
+        vec![0],
+    )
+}
+
+fn load(db: &Arc<TaurusDb>, rows: i64) -> Arc<taurus_ndp::Table> {
+    let t = db.create_table(wide_schema(), &[]).unwrap();
+    let data: Vec<Vec<Value>> = (0..rows)
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                Value::Int(i % 100),
+                Value::Decimal(Dec::new((i % 500) as i128, 2)),
+                Value::str(format!("{:0>90}", i)),
+                Value::str(format!("{:0>90}", i)),
+            ]
+        })
+        .collect();
+    db.bulk_load(&t, data).unwrap();
+    db.buffer_pool().clear();
+    t
+}
+
+fn mk_db(min_io: u64) -> Arc<TaurusDb> {
+    let mut cfg = ClusterConfig::small_for_tests();
+    cfg.ndp.min_io_pages = min_io;
+    cfg.buffer_pool_pages = 64;
+    TaurusDb::new(cfg)
+}
+
+#[test]
+fn io_gate_blocks_small_scans() {
+    let db = mk_db(10_000);
+    load(&db, 2000);
+    let mut plan = Plan::Scan(
+        ScanNode::new("t", vec![0, 1]).with_predicate(vec![Expr::lt(Expr::col(1), Expr::int(5))]),
+    );
+    let reports = ndp_post_process(&mut plan, &db).unwrap();
+    assert!(reports[0].gated_by_io);
+    match &plan {
+        Plan::Scan(s) => assert!(s.ndp.is_none()),
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn cached_pages_reduce_estimated_io() {
+    // The §VII-C footnote-4 effect: a fully cached table does not qualify.
+    let db = mk_db(4);
+    let t = load(&db, 800);
+    // Warm ALL pages via a classical full read.
+    let view = db.read_view(0);
+    let spec = taurus_ndp::ScanSpec {
+        index: 0,
+        range: taurus_ndp::ScanRange::full(),
+        ndp: None,
+        output_cols: vec![0],
+    };
+    struct Sink;
+    impl taurus_ndp::ScanConsumer for Sink {
+        fn on_row(&mut self, _r: &[Value]) -> taurus_common::Result<bool> {
+            Ok(true)
+        }
+        fn on_partial(
+            &mut self,
+            _s: Vec<taurus_ndp::AggState>,
+        ) -> taurus_common::Result<bool> {
+            Ok(true)
+        }
+    }
+    // Grow the pool so everything fits, then warm it.
+    let leaves = t.primary.tree.n_leaves();
+    assert!(leaves > 4);
+    let mut cfg = db.config().clone();
+    cfg.buffer_pool_pages = leaves as usize * 4;
+    let db2 = TaurusDb::new(cfg);
+    let t2 = load(&db2, 800);
+    taurus_ndp::scan(&db2, &t2, &spec, &view, &mut Sink).unwrap();
+    let mut plan = Plan::Scan(
+        ScanNode::new("t", vec![0, 1]).with_predicate(vec![Expr::lt(Expr::col(1), Expr::int(5))]),
+    );
+    let reports = ndp_post_process(&mut plan, &db2).unwrap();
+    assert!(reports[0].cached_pages > 0);
+    assert!(
+        reports[0].gated_by_io,
+        "warm buffer pool must disqualify the scan: {:?}",
+        reports[0]
+    );
+}
+
+#[test]
+fn unselective_predicate_not_pushed_but_projection_is() {
+    // Tighten the filter-factor gate (default is open, 1.0) to exercise
+    // the §V-B1 selectivity rule.
+    let mut cfg = ClusterConfig::small_for_tests();
+    cfg.ndp.min_io_pages = 1;
+    cfg.ndp.predicate_max_filter_factor = 0.95;
+    cfg.buffer_pool_pages = 64;
+    let db = TaurusDb::new(cfg);
+    load(&db, 2000);
+    // v < 99 keeps ~99 % of rows: above the 0.95 filter-factor threshold.
+    let mut plan = Plan::Scan(
+        ScanNode::new("t", vec![0, 1])
+            .with_predicate(vec![Expr::lt(Expr::col(1), Expr::int(99))]),
+    );
+    let reports = ndp_post_process(&mut plan, &db).unwrap();
+    assert!(reports[0].filter_factor > 0.9);
+    match &plan {
+        Plan::Scan(s) => {
+            let d = s.ndp.as_ref().expect("projection should still fire");
+            assert!(d.choice.predicate.is_none(), "predicate must not be pushed");
+            assert!(d.choice.projection.is_some(), "narrow outputs on a wide row");
+            // Unpushed conjunct stays residual.
+            assert_eq!(s.residual_conjuncts().len(), 1);
+        }
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn case_predicate_stays_residual() {
+    let db = mk_db(1);
+    load(&db, 2000);
+    let case = Expr::gt(
+        Expr::Case {
+            branches: vec![(Expr::lt(Expr::col(1), Expr::int(10)), Expr::int(1))],
+            else_: Box::new(Expr::int(0)),
+        },
+        Expr::int(0),
+    );
+    let selective = Expr::lt(Expr::col(1), Expr::int(3));
+    let mut plan = Plan::Scan(
+        ScanNode::new("t", vec![0, 1]).with_predicate(vec![case, selective]),
+    );
+    ndp_post_process(&mut plan, &db).unwrap();
+    match &plan {
+        Plan::Scan(s) => {
+            let d = s.ndp.as_ref().expect("ndp fires");
+            assert_eq!(d.pushed.len(), 1, "only the allow-listed conjunct goes");
+            assert_eq!(s.residual_conjuncts().len(), 1, "CASE stays with the executor");
+        }
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn aggregation_requires_no_residual() {
+    let db = mk_db(1);
+    load(&db, 2000);
+    let case = Expr::gt(
+        Expr::Case {
+            branches: vec![(Expr::lt(Expr::col(1), Expr::int(10)), Expr::int(1))],
+            else_: Box::new(Expr::int(0)),
+        },
+        Expr::int(0),
+    );
+    let mut plan = Plan::AggScan(AggScanNode {
+        scan: ScanNode::new("t", vec![1, 2]).with_predicate(vec![case]),
+        group_cols: vec![],
+        aggs: vec![AggItem { func: AggFuncEx::Sum, input: Some(Expr::col(2)) }],
+    });
+    let reports = ndp_post_process(&mut plan, &db).unwrap();
+    assert!(
+        !reports[0].aggregation,
+        "residual CASE must block aggregation pushdown (§V-C)"
+    );
+}
+
+#[test]
+fn aggregation_pushes_avg_as_sum_count() {
+    let db = mk_db(1);
+    load(&db, 2000);
+    let mut plan = Plan::AggScan(AggScanNode {
+        scan: ScanNode::new("t", vec![1, 2])
+            .with_predicate(vec![Expr::lt(Expr::col(1), Expr::int(50))]),
+        group_cols: vec![],
+        aggs: vec![AggItem { func: AggFuncEx::Avg, input: Some(Expr::col(2)) }],
+    });
+    let reports = ndp_post_process(&mut plan, &db).unwrap();
+    assert!(reports[0].aggregation);
+    match &plan {
+        Plan::AggScan(a) => {
+            let agg = a.scan.ndp.as_ref().unwrap().choice.aggregation.as_ref().unwrap();
+            assert_eq!(agg.specs.len(), 2, "AVG decomposes into SUM + COUNT");
+        }
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn grouping_must_be_index_prefix() {
+    let db = mk_db(1);
+    load(&db, 2000);
+    // GROUP BY a non-key column: no aggregation pushdown.
+    let mut plan = Plan::AggScan(AggScanNode {
+        scan: ScanNode::new("t", vec![1, 2])
+            .with_predicate(vec![Expr::lt(Expr::col(1), Expr::int(50))]),
+        group_cols: vec![1],
+        aggs: vec![AggItem { func: AggFuncEx::CountStar, input: None }],
+    });
+    let reports = ndp_post_process(&mut plan, &db).unwrap();
+    assert!(!reports[0].aggregation, "non-prefix GROUP BY must not push");
+    // GROUP BY the key prefix: pushes.
+    let mut plan2 = Plan::AggScan(AggScanNode {
+        scan: ScanNode::new("t", vec![0, 1, 2])
+            .with_predicate(vec![Expr::lt(Expr::col(1), Expr::int(50))]),
+        group_cols: vec![0],
+        aggs: vec![AggItem { func: AggFuncEx::CountStar, input: None }],
+    });
+    let reports2 = ndp_post_process(&mut plan2, &db).unwrap();
+    assert!(reports2[0].aggregation);
+}
+
+#[test]
+fn ndp_disabled_config_disables_everything() {
+    let mut cfg = ClusterConfig::small_for_tests();
+    cfg.ndp.enabled = false;
+    cfg.ndp.min_io_pages = 1;
+    let db = TaurusDb::new(cfg);
+    load(&db, 2000);
+    let mut plan = Plan::Scan(
+        ScanNode::new("t", vec![0, 1]).with_predicate(vec![Expr::lt(Expr::col(1), Expr::int(5))]),
+    );
+    ndp_post_process(&mut plan, &db).unwrap();
+    match &plan {
+        Plan::Scan(s) => assert!(s.ndp.is_none()),
+        _ => unreachable!(),
+    }
+}

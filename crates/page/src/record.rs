@@ -1,0 +1,491 @@
+//! The record (row) format.
+//!
+//! Layout of one record inside a page:
+//!
+//! ```text
+//! +--------+---------+----------+---------+-------------+------------------+
+//! | info   | next    | heap_no  | trx_id  | null bitmap | var-length array |
+//! | 1 byte | 2 bytes | 2 bytes  | 8 bytes | ceil(n/8)   | 2 bytes per      |
+//! |        |         |          |         |             | varchar column   |
+//! +--------+---------+----------+---------+-------------+------------------+
+//! | column images (fixed-width columns occupy their width even when NULL) |
+//! +------------------------------------------------------------------------+
+//! | [NDP aggregate records only] u16 payload length + opaque payload       |
+//! +------------------------------------------------------------------------+
+//! ```
+//!
+//! `info` packs the record type in its low 3 bits — the values of the
+//! paper's Listing 3 (`REC_STATUS_ORDINARY` … `REC_STATUS_NDP_AGGREGATE`)
+//! — and the delete mark in bit 3. `next` is the in-page offset of the next
+//! record in key order (0 = end of chain), which is what keeps NDP pages
+//! consumable by the unchanged page-cursor code path (§IV-C2).
+
+use taurus_common::{DataType, Error, Result, Value};
+
+/// Record type codes, numerically identical to the paper's Listing 3.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum RecType {
+    /// `REC_STATUS_ORDINARY`: a regular user record (full layout).
+    Ordinary = 0,
+    /// `REC_STATUS_NODE_PTR`: B+ tree internal entry (key bytes + child).
+    NodePtr = 1,
+    /// `REC_STATUS_INFIMUM` (kept for format parity; this implementation
+    /// uses a header chain pointer instead of a materialized infimum).
+    Infimum = 2,
+    /// `REC_STATUS_SUPREMUM` (see [`RecType::Infimum`]).
+    Supremum = 3,
+    /// `REC_STATUS_NDP_PROJECTION`: columns were projected away in the
+    /// Page Store; the record uses the *projected* layout.
+    NdpProjection = 4,
+    /// `REC_STATUS_NDP_AGGREGATE`: the record carries an aggregation
+    /// payload covering itself and previously-aggregated rows.
+    NdpAggregate = 5,
+}
+
+impl RecType {
+    pub fn from_u8(v: u8) -> Result<RecType> {
+        Ok(match v {
+            0 => RecType::Ordinary,
+            1 => RecType::NodePtr,
+            2 => RecType::Infimum,
+            3 => RecType::Supremum,
+            4 => RecType::NdpProjection,
+            5 => RecType::NdpAggregate,
+            other => return Err(Error::Corruption(format!("bad record type {other}"))),
+        })
+    }
+}
+
+const DELETE_MARK_BIT: u8 = 0x08;
+/// Fixed header length before the null bitmap.
+pub const REC_HDR_LEN: usize = 13;
+
+/// Non-column metadata carried by every record.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RecordMeta {
+    pub rec_type: RecType,
+    pub delete_mark: bool,
+    pub heap_no: u16,
+    pub trx_id: u64,
+}
+
+impl RecordMeta {
+    pub fn ordinary(trx_id: u64) -> Self {
+        RecordMeta { rec_type: RecType::Ordinary, delete_mark: false, heap_no: 0, trx_id }
+    }
+}
+
+/// Describes the columns physically present in a record, in record order.
+///
+/// A full-table layout describes ordinary records; a *projected* layout
+/// (subset of columns) describes `NdpProjection` records. Both kinds can
+/// coexist in one NDP page, disambiguated by the record type (§IV-C2).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecordLayout {
+    pub dtypes: Vec<DataType>,
+    /// For each column: `Some(i)` if it is the i-th varchar column.
+    var_index: Vec<Option<usize>>,
+    pub n_var: usize,
+    bitmap_len: usize,
+}
+
+impl RecordLayout {
+    pub fn new(dtypes: Vec<DataType>) -> Self {
+        let mut var_index = Vec::with_capacity(dtypes.len());
+        let mut n_var = 0;
+        for dt in &dtypes {
+            if dt.fixed_width().is_none() {
+                var_index.push(Some(n_var));
+                n_var += 1;
+            } else {
+                var_index.push(None);
+            }
+        }
+        let bitmap_len = dtypes.len().div_ceil(8);
+        RecordLayout { dtypes, var_index, n_var, bitmap_len }
+    }
+
+    /// Header length = fixed header + null bitmap + var-length array.
+    pub fn header_len(&self) -> usize {
+        REC_HDR_LEN + self.bitmap_len + 2 * self.n_var
+    }
+
+    pub fn n_cols(&self) -> usize {
+        self.dtypes.len()
+    }
+
+    /// Build the layout for a projected subset (`keep` = positions into
+    /// this layout, in record order).
+    pub fn project(&self, keep: &[usize]) -> RecordLayout {
+        RecordLayout::new(keep.iter().map(|&i| self.dtypes[i]).collect())
+    }
+}
+
+/// Encode a record. `agg_payload` must be `Some` iff
+/// `meta.rec_type == RecType::NdpAggregate`.
+pub fn encode_record(
+    layout: &RecordLayout,
+    values: &[Value],
+    meta: RecordMeta,
+    agg_payload: Option<&[u8]>,
+    out: &mut Vec<u8>,
+) -> Result<()> {
+    assert_eq!(values.len(), layout.n_cols(), "value count != layout width");
+    debug_assert_eq!(
+        agg_payload.is_some(),
+        meta.rec_type == RecType::NdpAggregate,
+        "aggregate payload presence must match record type"
+    );
+    let start = out.len();
+    let info = (meta.rec_type as u8) | if meta.delete_mark { DELETE_MARK_BIT } else { 0 };
+    out.push(info);
+    out.extend_from_slice(&0u16.to_le_bytes()); // next: fixed up by the page
+    out.extend_from_slice(&meta.heap_no.to_le_bytes());
+    out.extend_from_slice(&meta.trx_id.to_le_bytes());
+    // Null bitmap.
+    let bitmap_at = out.len();
+    out.resize(bitmap_at + layout.bitmap_len, 0);
+    for (i, v) in values.iter().enumerate() {
+        if v.is_null() {
+            out[bitmap_at + i / 8] |= 1 << (i % 8);
+        }
+    }
+    // Var-length array (filled in as we encode the data below).
+    let varlen_at = out.len();
+    out.resize(varlen_at + 2 * layout.n_var, 0);
+    // Column images.
+    for (i, (v, dt)) in values.iter().zip(&layout.dtypes).enumerate() {
+        let col_start = out.len();
+        if v.is_null() {
+            if let Some(w) = dt.fixed_width() {
+                out.resize(col_start + w, 0);
+            }
+            // NULL varchar: zero length, nothing to write.
+        } else {
+            v.encode_column(dt, out)?;
+        }
+        if let Some(vi) = layout.var_index[i] {
+            let len = (out.len() - col_start) as u16;
+            out[varlen_at + 2 * vi..varlen_at + 2 * vi + 2].copy_from_slice(&len.to_le_bytes());
+        }
+    }
+    if let Some(p) = agg_payload {
+        let len = u16::try_from(p.len())
+            .map_err(|_| Error::Internal("aggregate payload too large".into()))?;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(p);
+    }
+    debug_assert!(out.len() - start >= layout.header_len());
+    Ok(())
+}
+
+/// Zero-copy reader over one encoded record.
+#[derive(Clone, Copy)]
+pub struct RecordView<'a> {
+    bytes: &'a [u8],
+    layout: &'a RecordLayout,
+}
+
+impl<'a> RecordView<'a> {
+    /// `bytes` must begin at the record header; it may extend past the
+    /// record's end (e.g. the rest of the page).
+    pub fn new(bytes: &'a [u8], layout: &'a RecordLayout) -> Self {
+        RecordView { bytes, layout }
+    }
+
+    pub fn rec_type(&self) -> RecType {
+        RecType::from_u8(self.bytes[0] & 0x07).expect("validated on write")
+    }
+
+    pub fn delete_mark(&self) -> bool {
+        self.bytes[0] & DELETE_MARK_BIT != 0
+    }
+
+    pub fn next_offset(&self) -> u16 {
+        u16::from_le_bytes([self.bytes[1], self.bytes[2]])
+    }
+
+    pub fn heap_no(&self) -> u16 {
+        u16::from_le_bytes([self.bytes[3], self.bytes[4]])
+    }
+
+    pub fn trx_id(&self) -> u64 {
+        u64::from_le_bytes(self.bytes[5..13].try_into().unwrap())
+    }
+
+    pub fn is_null(&self, col: usize) -> bool {
+        self.bytes[REC_HDR_LEN + col / 8] & (1 << (col % 8)) != 0
+    }
+
+    fn var_len(&self, vi: usize) -> usize {
+        let at = REC_HDR_LEN + self.layout.bitmap_len + 2 * vi;
+        u16::from_le_bytes([self.bytes[at], self.bytes[at + 1]]) as usize
+    }
+
+    /// Byte offset (within the record) where column `col`'s image starts.
+    fn col_offset(&self, col: usize) -> usize {
+        let mut off = self.layout.header_len();
+        for i in 0..col {
+            off += match self.layout.var_index[i] {
+                Some(vi) => self.var_len(vi),
+                None => self.layout.dtypes[i].fixed_width().unwrap(),
+            };
+        }
+        off
+    }
+
+    fn col_len(&self, col: usize) -> usize {
+        match self.layout.var_index[col] {
+            Some(vi) => self.var_len(vi),
+            None => self.layout.dtypes[col].fixed_width().unwrap(),
+        }
+    }
+
+    /// Raw image of column `col` (empty for NULL varchar; zeroed bytes for
+    /// NULL fixed-width columns — check [`RecordView::is_null`] first).
+    pub fn field_bytes(&self, col: usize) -> &'a [u8] {
+        let off = self.col_offset(col);
+        &self.bytes[off..off + self.col_len(col)]
+    }
+
+    /// Decode column `col` into a [`Value`] (NULL-aware).
+    pub fn value(&self, col: usize) -> Value {
+        if self.is_null(col) {
+            Value::Null
+        } else {
+            Value::decode_column(&self.layout.dtypes[col], self.field_bytes(col))
+        }
+    }
+
+    /// Decode all columns.
+    pub fn values(&self) -> Vec<Value> {
+        (0..self.layout.n_cols()).map(|c| self.value(c)).collect()
+    }
+
+    /// Fill `offsets` with each column's start offset plus one final
+    /// end-of-data offset. Used by the predicate VM so repeated field access
+    /// is O(1).
+    pub fn fill_offsets(&self, offsets: &mut Vec<u32>) {
+        offsets.clear();
+        let mut off = self.layout.header_len() as u32;
+        for i in 0..self.layout.n_cols() {
+            offsets.push(off);
+            off += self.col_len(i) as u32;
+        }
+        offsets.push(off);
+    }
+
+    /// Length of the column-data portion (header through last column).
+    fn data_end(&self) -> usize {
+        self.col_offset(self.layout.n_cols())
+    }
+
+    /// Aggregate payload of an `NdpAggregate` record.
+    pub fn agg_payload(&self) -> Option<&'a [u8]> {
+        if self.rec_type() != RecType::NdpAggregate {
+            return None;
+        }
+        let at = self.data_end();
+        let len = u16::from_le_bytes([self.bytes[at], self.bytes[at + 1]]) as usize;
+        Some(&self.bytes[at + 2..at + 2 + len])
+    }
+
+    /// Total encoded length of this record, including any aggregate suffix.
+    pub fn total_len(&self) -> usize {
+        let end = self.data_end();
+        if self.rec_type() == RecType::NdpAggregate {
+            let len = u16::from_le_bytes([self.bytes[end], self.bytes[end + 1]]) as usize;
+            end + 2 + len
+        } else {
+            end
+        }
+    }
+
+    pub fn raw(&self) -> &'a [u8] {
+        &self.bytes[..self.total_len()]
+    }
+
+    /// The backing slice this view was constructed over (starts at the
+    /// record header, may extend past the record's end). Offsets from
+    /// [`RecordView::fill_offsets`] index into this slice.
+    pub fn backing(&self) -> &'a [u8] {
+        self.bytes
+    }
+
+    pub fn layout(&self) -> &'a RecordLayout {
+        self.layout
+    }
+}
+
+/// Rewrite a record's `next` chain pointer in place.
+pub fn set_next_offset(page: &mut [u8], rec_at: usize, next: u16) {
+    page[rec_at + 1..rec_at + 3].copy_from_slice(&next.to_le_bytes());
+}
+
+/// Set or clear a record's delete mark in place.
+pub fn set_delete_mark(page: &mut [u8], rec_at: usize, mark: bool) {
+    if mark {
+        page[rec_at] |= DELETE_MARK_BIT;
+    } else {
+        page[rec_at] &= !DELETE_MARK_BIT;
+    }
+}
+
+/// Overwrite a record's trx_id in place (update-in-place path).
+pub fn set_trx_id(page: &mut [u8], rec_at: usize, trx_id: u64) {
+    page[rec_at + 5..rec_at + 13].copy_from_slice(&trx_id.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taurus_common::{Date32, Dec};
+
+    fn lineitem_ish_layout() -> RecordLayout {
+        RecordLayout::new(vec![
+            DataType::BigInt,                               // orderkey
+            DataType::Int,                                  // linenumber
+            DataType::Decimal { precision: 15, scale: 2 },  // price
+            DataType::Date,                                 // shipdate
+            DataType::Char(1),                              // returnflag
+            DataType::Varchar(44),                          // comment
+        ])
+    }
+
+    fn sample_values() -> Vec<Value> {
+        vec![
+            Value::Int(42),
+            Value::Int(3),
+            Value::Decimal(Dec::parse("901.00").unwrap()),
+            Value::Date(Date32::parse("1994-02-01").unwrap()),
+            Value::str("R"),
+            Value::str("carefully final packages"),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_ordinary_record() {
+        let layout = lineitem_ish_layout();
+        let vals = sample_values();
+        let mut buf = Vec::new();
+        encode_record(&layout, &vals, RecordMeta::ordinary(77), None, &mut buf).unwrap();
+        let view = RecordView::new(&buf, &layout);
+        assert_eq!(view.rec_type(), RecType::Ordinary);
+        assert!(!view.delete_mark());
+        assert_eq!(view.trx_id(), 77);
+        assert_eq!(view.values(), vals);
+        assert_eq!(view.total_len(), buf.len());
+    }
+
+    #[test]
+    fn roundtrip_with_nulls() {
+        let layout = lineitem_ish_layout();
+        let vals = vec![
+            Value::Int(1),
+            Value::Null,
+            Value::Null,
+            Value::Date(Date32::parse("1994-02-01").unwrap()),
+            Value::Null,
+            Value::Null,
+        ];
+        let mut buf = Vec::new();
+        encode_record(&layout, &vals, RecordMeta::ordinary(1), None, &mut buf).unwrap();
+        let view = RecordView::new(&buf, &layout);
+        assert_eq!(view.values(), vals);
+        assert!(view.is_null(1) && view.is_null(2) && view.is_null(4) && view.is_null(5));
+        assert!(!view.is_null(0));
+    }
+
+    #[test]
+    fn aggregate_record_carries_payload() {
+        let layout = lineitem_ish_layout();
+        let vals = sample_values();
+        let meta = RecordMeta {
+            rec_type: RecType::NdpAggregate,
+            delete_mark: false,
+            heap_no: 9,
+            trx_id: 5,
+        };
+        let payload = vec![1u8, 2, 3, 4, 5];
+        let mut buf = Vec::new();
+        encode_record(&layout, &vals, meta, Some(&payload), &mut buf).unwrap();
+        // Tack extra bytes on to prove total_len isolates the record.
+        buf.extend_from_slice(&[0xAA; 7]);
+        let view = RecordView::new(&buf, &layout);
+        assert_eq!(view.rec_type(), RecType::NdpAggregate);
+        assert_eq!(view.agg_payload().unwrap(), &payload[..]);
+        assert_eq!(view.total_len(), buf.len() - 7);
+        assert_eq!(view.values(), vals);
+    }
+
+    #[test]
+    fn projected_layout_reads_subset() {
+        let full = lineitem_ish_layout();
+        let keep = [2usize, 3];
+        let proj = full.project(&keep);
+        let vals = sample_values();
+        let pvals: Vec<Value> = keep.iter().map(|&i| vals[i].clone()).collect();
+        let meta = RecordMeta {
+            rec_type: RecType::NdpProjection,
+            delete_mark: false,
+            heap_no: 0,
+            trx_id: 5,
+        };
+        let mut buf = Vec::new();
+        encode_record(&proj, &pvals, meta, None, &mut buf).unwrap();
+        let view = RecordView::new(&buf, &proj);
+        assert_eq!(view.rec_type(), RecType::NdpProjection);
+        assert_eq!(view.values(), pvals);
+        // Projection dropped the varchar: narrower record.
+        let mut fullbuf = Vec::new();
+        encode_record(&full, &vals, RecordMeta::ordinary(5), None, &mut fullbuf).unwrap();
+        assert!(buf.len() < fullbuf.len());
+    }
+
+    #[test]
+    fn in_place_mutators() {
+        let layout = lineitem_ish_layout();
+        let mut buf = Vec::new();
+        encode_record(&layout, &sample_values(), RecordMeta::ordinary(7), None, &mut buf)
+            .unwrap();
+        set_next_offset(&mut buf, 0, 1234);
+        set_delete_mark(&mut buf, 0, true);
+        set_trx_id(&mut buf, 0, 99);
+        let view = RecordView::new(&buf, &layout);
+        assert_eq!(view.next_offset(), 1234);
+        assert!(view.delete_mark());
+        assert_eq!(view.trx_id(), 99);
+        set_delete_mark(&mut buf, 0, false);
+        assert!(!RecordView::new(&buf, &layout).delete_mark());
+    }
+
+    #[test]
+    fn fill_offsets_matches_field_bytes() {
+        let layout = lineitem_ish_layout();
+        let mut buf = Vec::new();
+        encode_record(&layout, &sample_values(), RecordMeta::ordinary(7), None, &mut buf)
+            .unwrap();
+        let view = RecordView::new(&buf, &layout);
+        let mut offs = Vec::new();
+        view.fill_offsets(&mut offs);
+        assert_eq!(offs.len(), layout.n_cols() + 1);
+        for c in 0..layout.n_cols() {
+            let s = offs[c] as usize;
+            let e = s + view.field_bytes(c).len();
+            assert_eq!(&buf[s..e], view.field_bytes(c));
+            assert_eq!(offs[c + 1] as usize, e);
+        }
+    }
+
+    #[test]
+    fn rec_type_codes_match_listing_3() {
+        assert_eq!(RecType::Ordinary as u8, 0);
+        assert_eq!(RecType::NodePtr as u8, 1);
+        assert_eq!(RecType::Infimum as u8, 2);
+        assert_eq!(RecType::Supremum as u8, 3);
+        assert_eq!(RecType::NdpProjection as u8, 4);
+        assert_eq!(RecType::NdpAggregate as u8, 5);
+        assert!(RecType::from_u8(6).is_err());
+    }
+}

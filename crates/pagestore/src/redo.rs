@@ -1,0 +1,283 @@
+//! Redo log records.
+//!
+//! Taurus masters never write pages — only log records (§II). Page Stores
+//! apply these records to keep pages up to date; every application creates
+//! a new page *version* stamped with the record's LSN, which is what lets
+//! NDP batch reads request "page versions matching the LSN value"
+//! (§IV-C4) while the B+ tree keeps changing.
+
+use taurus_common::{Error, Lsn, PageNo, Result, SliceId, SpaceId};
+use taurus_page::Page;
+
+/// Physical redo operations. Record-level bodies keep log volume small;
+/// `NewPage` carries a full image (page creation, bulk load, splits).
+#[derive(Clone, Debug, PartialEq)]
+pub enum RedoBody {
+    /// Install a complete page image.
+    NewPage(Vec<u8>),
+    /// Insert an encoded record at the given slot position.
+    InsertRecord { slot_idx: u16, rec: Vec<u8> },
+    /// Set or clear the delete mark of the record at `rec_at`.
+    SetDeleteMark { rec_at: u16, mark: bool },
+    /// Overwrite bytes at an offset (update-in-place of fixed-width
+    /// columns and header fields).
+    WriteBytes { at: u16, bytes: Vec<u8> },
+    /// Update the leaf chain neighbour pointers.
+    SetNext(PageNo),
+    SetPrev(PageNo),
+    /// Drop the page (space deallocation).
+    FreePage,
+}
+
+/// One redo record: target page + operation + LSN.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RedoRecord {
+    pub lsn: Lsn,
+    pub space: SpaceId,
+    pub page_no: PageNo,
+    pub body: RedoBody,
+}
+
+impl RedoRecord {
+    pub fn slice(&self, slice_pages: u32) -> SliceId {
+        SliceId::of(self.space, self.page_no, slice_pages)
+    }
+
+    /// Apply to a page image, stamping the LSN. `None` result = page freed.
+    pub fn apply(&self, page: &mut Option<Page>) -> Result<()> {
+        match &self.body {
+            RedoBody::NewPage(img) => {
+                let mut p = Page::from_bytes(img.clone())?;
+                p.set_lsn(self.lsn);
+                *page = Some(p);
+                return Ok(());
+            }
+            RedoBody::FreePage => {
+                *page = None;
+                return Ok(());
+            }
+            _ => {}
+        }
+        let p = page.as_mut().ok_or_else(|| {
+            Error::Corruption(format!(
+                "redo {:?} for missing page {:?}:{}",
+                self.body, self.space, self.page_no
+            ))
+        })?;
+        match &self.body {
+            RedoBody::InsertRecord { slot_idx, rec } => {
+                p.insert_at_slot(*slot_idx as usize, rec)?;
+            }
+            RedoBody::SetDeleteMark { rec_at, mark } => {
+                taurus_page::record::set_delete_mark(
+                    p.raw_mut(),
+                    *rec_at as usize,
+                    *mark,
+                );
+            }
+            RedoBody::WriteBytes { at, bytes } => {
+                let at = *at as usize;
+                if at + bytes.len() > p.byte_len() {
+                    return Err(Error::Corruption("WriteBytes out of page".into()));
+                }
+                p.raw_mut()[at..at + bytes.len()].copy_from_slice(bytes);
+            }
+            RedoBody::SetNext(n) => p.set_next(*n),
+            RedoBody::SetPrev(n) => p.set_prev(*n),
+            RedoBody::NewPage(_) | RedoBody::FreePage => unreachable!(),
+        }
+        p.set_lsn(self.lsn);
+        Ok(())
+    }
+
+    // --- wire encoding (for Log Stores and network byte accounting) -------
+
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.lsn.to_le_bytes());
+        out.extend_from_slice(&self.space.0.to_le_bytes());
+        out.extend_from_slice(&self.page_no.to_le_bytes());
+        match &self.body {
+            RedoBody::NewPage(img) => {
+                out.push(0);
+                out.extend_from_slice(&(img.len() as u32).to_le_bytes());
+                out.extend_from_slice(img);
+            }
+            RedoBody::InsertRecord { slot_idx, rec } => {
+                out.push(1);
+                out.extend_from_slice(&slot_idx.to_le_bytes());
+                out.extend_from_slice(&(rec.len() as u32).to_le_bytes());
+                out.extend_from_slice(rec);
+            }
+            RedoBody::SetDeleteMark { rec_at, mark } => {
+                out.push(2);
+                out.extend_from_slice(&rec_at.to_le_bytes());
+                out.push(*mark as u8);
+            }
+            RedoBody::WriteBytes { at, bytes } => {
+                out.push(3);
+                out.extend_from_slice(&at.to_le_bytes());
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(bytes);
+            }
+            RedoBody::SetNext(n) => {
+                out.push(4);
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+            RedoBody::SetPrev(n) => {
+                out.push(5);
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+            RedoBody::FreePage => out.push(6),
+        }
+    }
+
+    pub fn decode(buf: &[u8], at: &mut usize) -> Result<RedoRecord> {
+        let err = || Error::Corruption("truncated redo record".into());
+        let take = |at: &mut usize, n: usize| -> Result<&[u8]> {
+            let s = buf.get(*at..*at + n).ok_or_else(err)?;
+            *at += n;
+            Ok(s)
+        };
+        let lsn = u64::from_le_bytes(take(at, 8)?.try_into().unwrap());
+        let space = SpaceId(u32::from_le_bytes(take(at, 4)?.try_into().unwrap()));
+        let page_no = u32::from_le_bytes(take(at, 4)?.try_into().unwrap());
+        let tag = take(at, 1)?[0];
+        let body = match tag {
+            0 => {
+                let n = u32::from_le_bytes(take(at, 4)?.try_into().unwrap()) as usize;
+                RedoBody::NewPage(take(at, n)?.to_vec())
+            }
+            1 => {
+                let slot_idx = u16::from_le_bytes(take(at, 2)?.try_into().unwrap());
+                let n = u32::from_le_bytes(take(at, 4)?.try_into().unwrap()) as usize;
+                RedoBody::InsertRecord { slot_idx, rec: take(at, n)?.to_vec() }
+            }
+            2 => {
+                let rec_at = u16::from_le_bytes(take(at, 2)?.try_into().unwrap());
+                let mark = take(at, 1)?[0] != 0;
+                RedoBody::SetDeleteMark { rec_at, mark }
+            }
+            3 => {
+                let a = u16::from_le_bytes(take(at, 2)?.try_into().unwrap());
+                let n = u32::from_le_bytes(take(at, 4)?.try_into().unwrap()) as usize;
+                RedoBody::WriteBytes { at: a, bytes: take(at, n)?.to_vec() }
+            }
+            4 => RedoBody::SetNext(u32::from_le_bytes(take(at, 4)?.try_into().unwrap())),
+            5 => RedoBody::SetPrev(u32::from_le_bytes(take(at, 4)?.try_into().unwrap())),
+            6 => RedoBody::FreePage,
+            other => return Err(Error::Corruption(format!("bad redo tag {other}"))),
+        };
+        Ok(RedoRecord { lsn, space, page_no, body })
+    }
+
+    /// Serialize a batch (one Log Store append / one SAL distribution).
+    pub fn encode_batch(records: &[RedoRecord]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(records.len() * 32);
+        out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+        for r in records {
+            r.encode(&mut out);
+        }
+        out
+    }
+
+    pub fn decode_batch(buf: &[u8]) -> Result<Vec<RedoRecord>> {
+        if buf.len() < 4 {
+            return Err(Error::Corruption("truncated redo batch".into()));
+        }
+        let n = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+        let mut at = 4usize;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(RedoRecord::decode(buf, &mut at)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taurus_common::{DataType, Value};
+    use taurus_page::{encode_record, RecordLayout, RecordMeta};
+
+    fn rec(k: i64) -> Vec<u8> {
+        let l = RecordLayout::new(vec![DataType::BigInt]);
+        let mut b = Vec::new();
+        encode_record(&l, &[Value::Int(k)], RecordMeta::ordinary(1), None, &mut b).unwrap();
+        b
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let records = vec![
+            RedoRecord {
+                lsn: 10,
+                space: SpaceId(1),
+                page_no: 5,
+                body: RedoBody::NewPage(
+                    Page::new_index(1024, SpaceId(1), 5, 9, 0).into_bytes(),
+                ),
+            },
+            RedoRecord {
+                lsn: 11,
+                space: SpaceId(1),
+                page_no: 5,
+                body: RedoBody::InsertRecord { slot_idx: 0, rec: rec(7) },
+            },
+            RedoRecord {
+                lsn: 12,
+                space: SpaceId(1),
+                page_no: 5,
+                body: RedoBody::SetDeleteMark { rec_at: 48, mark: true },
+            },
+            RedoRecord { lsn: 13, space: SpaceId(1), page_no: 5, body: RedoBody::SetNext(6) },
+            RedoRecord { lsn: 14, space: SpaceId(1), page_no: 9, body: RedoBody::FreePage },
+        ];
+        let bytes = RedoRecord::encode_batch(&records);
+        assert_eq!(RedoRecord::decode_batch(&bytes).unwrap(), records);
+    }
+
+    #[test]
+    fn apply_sequence_builds_page() {
+        let img = Page::new_index(1024, SpaceId(1), 5, 9, 0).into_bytes();
+        let mut page: Option<Page> = None;
+        RedoRecord { lsn: 1, space: SpaceId(1), page_no: 5, body: RedoBody::NewPage(img) }
+            .apply(&mut page)
+            .unwrap();
+        RedoRecord {
+            lsn: 2,
+            space: SpaceId(1),
+            page_no: 5,
+            body: RedoBody::InsertRecord { slot_idx: 0, rec: rec(7) },
+        }
+        .apply(&mut page)
+        .unwrap();
+        RedoRecord {
+            lsn: 3,
+            space: SpaceId(1),
+            page_no: 5,
+            body: RedoBody::InsertRecord { slot_idx: 1, rec: rec(9) },
+        }
+        .apply(&mut page)
+        .unwrap();
+        let p = page.as_ref().unwrap();
+        assert_eq!(p.n_recs(), 2);
+        assert_eq!(p.lsn(), 3);
+        RedoRecord { lsn: 4, space: SpaceId(1), page_no: 5, body: RedoBody::FreePage }
+            .apply(&mut page)
+            .unwrap();
+        assert!(page.is_none());
+    }
+
+    #[test]
+    fn apply_to_missing_page_is_corruption() {
+        let mut page: Option<Page> = None;
+        let r = RedoRecord {
+            lsn: 2,
+            space: SpaceId(1),
+            page_no: 5,
+            body: RedoBody::SetNext(6),
+        };
+        assert!(matches!(r.apply(&mut page), Err(Error::Corruption(_))));
+    }
+}

@@ -1,0 +1,463 @@
+//! The Page Store server (§II, §IV-D).
+//!
+//! A Page Store hosts *slices* from multiple tenants, applies redo records
+//! to keep pages up to date, and serves page reads — plain or NDP. Pages
+//! are kept as LSN-stamped version chains so an NDP batch read can request
+//! "those page versions matching the LSN value" captured under the B-tree
+//! latches (§IV-C4), shielding the batch from concurrent tree changes.
+//!
+//! NDP processing runs on the dedicated bounded pool ([`crate::resource`]);
+//! any page that cannot be processed (queue full, injected skip, plugin
+//! error) is returned **raw** and the compute node finishes the job.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use crossbeam::channel::bounded;
+use parking_lot::RwLock;
+use taurus_common::{Error, Lsn, Metrics, PageNo, Result, SliceId};
+use taurus_page::Page;
+
+use crate::cache::{CachedDescriptor, DescriptorCache};
+use crate::plugin::{InnodbNdpPlugin, NdpPlugin};
+use crate::redo::RedoRecord;
+use crate::resource::{NdpPool, SkipPolicy};
+
+/// Page Store tuning knobs (subset of the cluster config).
+#[derive(Clone, Debug)]
+pub struct PageStoreConfig {
+    pub versions_retained: usize,
+    pub ndp_threads: usize,
+    pub ndp_queue: usize,
+    pub descriptor_cache: bool,
+    pub slice_pages: u32,
+}
+
+impl Default for PageStoreConfig {
+    fn default() -> Self {
+        PageStoreConfig {
+            versions_retained: 8,
+            ndp_threads: 4,
+            ndp_queue: 64,
+            descriptor_cache: true,
+            slice_pages: 256,
+        }
+    }
+}
+
+struct VersionChain {
+    /// (lsn, page) pairs, oldest front, newest back. `None` page = freed.
+    versions: VecDeque<(Lsn, Option<Arc<Page>>)>,
+}
+
+struct Slice {
+    pages: HashMap<PageNo, VersionChain>,
+    applied_lsn: Lsn,
+}
+
+/// One NDP batch read bound for one slice of one Page Store.
+#[derive(Clone)]
+pub struct NdpBatchRequest {
+    pub slice: SliceId,
+    pub pages: Vec<PageNo>,
+    /// Serve page versions as of this LSN.
+    pub read_lsn: Lsn,
+    /// The type-less descriptor byte stream (§IV-D).
+    pub descriptor: Arc<Vec<u8>>,
+}
+
+/// What came back for one page.
+#[derive(Clone, Debug)]
+pub enum PagePayload {
+    /// NDP-processed (possibly the header-only empty marker).
+    Ndp(Arc<Page>),
+    /// Unprocessed page — NDP was skipped; InnoDB completes the work.
+    Raw(Arc<Page>),
+}
+
+impl PagePayload {
+    pub fn byte_len(&self) -> usize {
+        match self {
+            PagePayload::Ndp(p) | PagePayload::Raw(p) => p.byte_len(),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct PageResult {
+    pub page_no: PageNo,
+    pub payload: PagePayload,
+}
+
+/// A multi-tenant Page Store server.
+pub struct PageStore {
+    id: usize,
+    cfg: PageStoreConfig,
+    slices: RwLock<HashMap<SliceId, Slice>>,
+    pool: Arc<NdpPool>,
+    cache: DescriptorCache,
+    plugin: Arc<dyn NdpPlugin>,
+    metrics: Arc<Metrics>,
+    skip_policy: RwLock<SkipPolicy>,
+    skip_counter: AtomicU64,
+}
+
+impl PageStore {
+    pub fn new(id: usize, cfg: PageStoreConfig, metrics: Arc<Metrics>) -> Arc<PageStore> {
+        Arc::new(PageStore {
+            id,
+            pool: NdpPool::new(cfg.ndp_threads, cfg.ndp_queue),
+            cache: DescriptorCache::new(cfg.descriptor_cache, metrics.clone()),
+            cfg,
+            slices: RwLock::new(HashMap::new()),
+            plugin: Arc::new(InnodbNdpPlugin),
+            metrics,
+            skip_policy: RwLock::new(SkipPolicy::None),
+            skip_counter: AtomicU64::new(0),
+        })
+    }
+
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Inject a deterministic skip pattern (tests, resource-control bench).
+    pub fn set_skip_policy(&self, p: SkipPolicy) {
+        *self.skip_policy.write() = p;
+    }
+
+    pub fn descriptor_cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    pub fn create_slice(&self, slice: SliceId) {
+        self.slices
+            .write()
+            .entry(slice)
+            .or_insert_with(|| Slice { pages: HashMap::new(), applied_lsn: 0 });
+    }
+
+    pub fn has_slice(&self, slice: SliceId) -> bool {
+        self.slices.read().contains_key(&slice)
+    }
+
+    pub fn applied_lsn(&self, slice: SliceId) -> Lsn {
+        self.slices.read().get(&slice).map(|s| s.applied_lsn).unwrap_or(0)
+    }
+
+    /// Apply a batch of redo records addressed to this store's slices.
+    /// Records must arrive in LSN order (the SAL guarantees this).
+    pub fn apply_redo(&self, records: &[RedoRecord]) -> Result<()> {
+        let mut slices = self.slices.write();
+        for r in records {
+            let sid = r.slice(self.cfg.slice_pages);
+            let slice = slices.get_mut(&sid).ok_or_else(|| {
+                Error::NotFound(format!("slice {sid:?} on page store {}", self.id))
+            })?;
+            let chain = slice
+                .pages
+                .entry(r.page_no)
+                .or_insert_with(|| VersionChain { versions: VecDeque::new() });
+            let mut page: Option<Page> = chain
+                .versions
+                .back()
+                .and_then(|(_, p)| p.as_ref().map(|a| (**a).clone()));
+            r.apply(&mut page)?;
+            chain.versions.push_back((r.lsn, page.map(Arc::new)));
+            while chain.versions.len() > self.cfg.versions_retained {
+                chain.versions.pop_front();
+            }
+            if r.lsn > slice.applied_lsn {
+                slice.applied_lsn = r.lsn;
+            }
+        }
+        Ok(())
+    }
+
+    /// Read the newest page version with `lsn <= at_lsn` (or the newest
+    /// overall when `at_lsn` is `None`).
+    pub fn read_page(
+        &self,
+        slice: SliceId,
+        page_no: PageNo,
+        at_lsn: Option<Lsn>,
+    ) -> Result<Arc<Page>> {
+        let slices = self.slices.read();
+        let s = slices
+            .get(&slice)
+            .ok_or_else(|| Error::NotFound(format!("slice {slice:?}")))?;
+        let chain = s
+            .pages
+            .get(&page_no)
+            .ok_or_else(|| Error::NotFound(format!("page {page_no} in {slice:?}")))?;
+        let pick = match at_lsn {
+            None => chain.versions.back(),
+            Some(lsn) => chain.versions.iter().rev().find(|(l, _)| *l <= lsn),
+        };
+        match pick {
+            Some((_, Some(p))) => Ok(p.clone()),
+            Some((_, None)) => Err(Error::NotFound(format!("page {page_no} freed"))),
+            None => Err(Error::InvalidState(format!(
+                "page {page_no}: no version at or before lsn {at_lsn:?} retained"
+            ))),
+        }
+    }
+
+    /// Serve an NDP batch read (§IV-D). Every page comes back either NDP-
+    /// processed or raw; the response preserves request order.
+    pub fn serve_ndp_batch(&self, req: &NdpBatchRequest) -> Result<Vec<PageResult>> {
+        let cd = self.cache.get_or_prepare(&req.descriptor)?;
+        // Materialize the requested versions first (regular read path).
+        let mut pages: Vec<(PageNo, Arc<Page>)> = Vec::with_capacity(req.pages.len());
+        for &no in &req.pages {
+            pages.push((no, self.read_page(req.slice, no, Some(req.read_lsn))?));
+        }
+
+        let scalar_agg = cd
+            .desc
+            .aggregation
+            .as_ref()
+            .map(|a| a.group_cols.is_empty())
+            .unwrap_or(false);
+
+        if !cd.desc.requests_work() {
+            // Pure batched read: no NDP processing requested.
+            return Ok(pages
+                .into_iter()
+                .map(|(page_no, p)| PageResult { page_no, payload: PagePayload::Raw(p) })
+                .collect());
+        }
+
+        if scalar_agg {
+            return self.serve_scalar_batch(cd, pages);
+        }
+        self.serve_parallel_pages(cd, pages)
+    }
+
+    /// Cross-page (scalar) aggregation: the whole sub-batch is one
+    /// sequential job on the NDP pool (§V-C case 2).
+    fn serve_scalar_batch(
+        &self,
+        cd: Arc<CachedDescriptor>,
+        pages: Vec<(PageNo, Arc<Page>)>,
+    ) -> Result<Vec<PageResult>> {
+        // Resource control applies to the whole cross-page job: a scalar
+        // aggregation batch is one unit of NDP work.
+        let skip_all = {
+            let policy = self.skip_policy.read();
+            matches!(&*policy, SkipPolicy::All)
+                || policy.should_skip(&self.skip_counter, pages.first().map(|p| p.0).unwrap_or(0))
+        };
+        let (tx, rx) = bounded(1);
+        let plugin = self.plugin.clone();
+        let metrics = self.metrics.clone();
+        let job_pages = pages.clone();
+        let submitted = !skip_all
+            && self.pool.try_submit(move || {
+                let _cpu = taurus_common::metrics::CpuGuard::new(&metrics.ps_cpu_ns);
+                let out = plugin.process_batch(&cd, &job_pages);
+                let _ = tx.send(out);
+            });
+        if !submitted {
+            self.metrics.add(|m| &m.ps_ndp_skipped, pages.len() as u64);
+            return Ok(pages
+                .into_iter()
+                .map(|(page_no, p)| PageResult { page_no, payload: PagePayload::Raw(p) })
+                .collect());
+        }
+        match rx.recv().map_err(|_| Error::Internal("ndp worker died".into()))? {
+            Ok((results, stats)) => {
+                self.metrics.add(|m| &m.ps_pages_processed, results.len() as u64);
+                self.metrics.add(|m| &m.ps_records_filtered, stats.records_filtered);
+                self.metrics.add(|m| &m.ps_records_aggregated, stats.records_aggregated);
+                let by_no: HashMap<PageNo, Page> = results.into_iter().collect();
+                Ok(pages
+                    .into_iter()
+                    .map(|(page_no, raw)| match by_no.get(&page_no) {
+                        Some(ndp) => PageResult {
+                            page_no,
+                            payload: PagePayload::Ndp(Arc::new(ndp.clone())),
+                        },
+                        None => PageResult { page_no, payload: PagePayload::Raw(raw) },
+                    })
+                    .collect())
+            }
+            Err(_) => {
+                // Plugin failure: degrade to raw pages, never fail the read.
+                self.metrics.add(|m| &m.ps_ndp_skipped, pages.len() as u64);
+                Ok(pages
+                    .into_iter()
+                    .map(|(page_no, p)| PageResult { page_no, payload: PagePayload::Raw(p) })
+                    .collect())
+            }
+        }
+    }
+
+    /// Independent pages: one pool job each, processed "concurrently,
+    /// independently, and in any order" (§IV-D); results re-ordered to
+    /// match the request.
+    fn serve_parallel_pages(
+        &self,
+        cd: Arc<CachedDescriptor>,
+        pages: Vec<(PageNo, Arc<Page>)>,
+    ) -> Result<Vec<PageResult>> {
+        let n = pages.len();
+        let (tx, rx) = bounded(n.max(1));
+        let mut payloads: Vec<Option<PagePayload>> = vec![None; n];
+        let mut submitted = 0usize;
+        for (idx, (no, page)) in pages.iter().enumerate() {
+            let skip = {
+                let policy = self.skip_policy.read();
+                policy.should_skip(&self.skip_counter, *no)
+            };
+            if skip {
+                self.metrics.add(|m| &m.ps_ndp_skipped, 1);
+                payloads[idx] = Some(PagePayload::Raw(page.clone()));
+                continue;
+            }
+            let cd = cd.clone();
+            let plugin = self.plugin.clone();
+            let metrics = self.metrics.clone();
+            let job_page = page.clone();
+            let tx = tx.clone();
+            let ok = self.pool.try_submit(move || {
+                let _cpu = taurus_common::metrics::CpuGuard::new(&metrics.ps_cpu_ns);
+                let out = plugin.process_page(&cd, &job_page);
+                let _ = tx.send((idx, out));
+            });
+            if ok {
+                submitted += 1;
+            } else {
+                // Queue full: best-effort skip (§IV-D2).
+                self.metrics.add(|m| &m.ps_ndp_skipped, 1);
+                payloads[idx] = Some(PagePayload::Raw(page.clone()));
+            }
+            let _ = no;
+        }
+        for _ in 0..submitted {
+            let (idx, out) = rx
+                .recv()
+                .map_err(|_| Error::Internal("ndp worker died".into()))?;
+            match out {
+                Ok((ndp_page, stats)) => {
+                    self.metrics.add(|m| &m.ps_pages_processed, 1);
+                    self.metrics.add(|m| &m.ps_records_filtered, stats.records_filtered);
+                    self.metrics.add(|m| &m.ps_records_aggregated, stats.records_aggregated);
+                    payloads[idx] = Some(PagePayload::Ndp(Arc::new(ndp_page)));
+                }
+                Err(_) => {
+                    self.metrics.add(|m| &m.ps_ndp_skipped, 1);
+                    payloads[idx] = Some(PagePayload::Raw(pages[idx].1.clone()));
+                }
+            }
+        }
+        Ok(pages
+            .iter()
+            .zip(payloads)
+            .map(|((no, raw), p)| PageResult {
+                page_no: *no,
+                payload: p.unwrap_or_else(|| PagePayload::Raw(raw.clone())),
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taurus_common::SpaceId;
+
+    fn store() -> Arc<PageStore> {
+        PageStore::new(
+            0,
+            PageStoreConfig { slice_pages: 8, ..Default::default() },
+            Metrics::shared(),
+        )
+    }
+
+    fn new_page_redo(space: u32, page_no: PageNo, lsn: Lsn) -> RedoRecord {
+        RedoRecord {
+            lsn,
+            space: SpaceId(space),
+            page_no,
+            body: crate::redo::RedoBody::NewPage(
+                Page::new_index(1024, SpaceId(space), page_no, 7, 0).into_bytes(),
+            ),
+        }
+    }
+
+    #[test]
+    fn apply_redo_creates_versions_and_reads_by_lsn() {
+        let ps = store();
+        let sid = SliceId::of(SpaceId(1), 3, 8);
+        ps.create_slice(sid);
+        ps.apply_redo(&[new_page_redo(1, 3, 10)]).unwrap();
+        ps.apply_redo(&[RedoRecord {
+            lsn: 20,
+            space: SpaceId(1),
+            page_no: 3,
+            body: crate::redo::RedoBody::SetNext(4),
+        }])
+        .unwrap();
+        assert_eq!(ps.applied_lsn(sid), 20);
+        let v10 = ps.read_page(sid, 3, Some(10)).unwrap();
+        assert_eq!(v10.next(), taurus_page::NO_PAGE);
+        let v20 = ps.read_page(sid, 3, Some(25)).unwrap();
+        assert_eq!(v20.next(), 4);
+        let newest = ps.read_page(sid, 3, None).unwrap();
+        assert_eq!(newest.lsn(), 20);
+        // Before the page existed.
+        assert!(ps.read_page(sid, 3, Some(5)).is_err());
+    }
+
+    #[test]
+    fn version_chain_is_trimmed() {
+        let ps = PageStore::new(
+            0,
+            PageStoreConfig { versions_retained: 3, slice_pages: 8, ..Default::default() },
+            Metrics::shared(),
+        );
+        let sid = SliceId::of(SpaceId(1), 0, 8);
+        ps.create_slice(sid);
+        ps.apply_redo(&[new_page_redo(1, 0, 1)]).unwrap();
+        for lsn in 2..10 {
+            ps.apply_redo(&[RedoRecord {
+                lsn,
+                space: SpaceId(1),
+                page_no: 0,
+                body: crate::redo::RedoBody::SetNext(lsn as u32),
+            }])
+            .unwrap();
+        }
+        // Old versions gone.
+        assert!(ps.read_page(sid, 0, Some(3)).is_err());
+        assert!(ps.read_page(sid, 0, Some(9)).is_ok());
+    }
+
+    #[test]
+    fn missing_slice_is_not_found() {
+        let ps = store();
+        let sid = SliceId::of(SpaceId(9), 0, 8);
+        assert!(matches!(ps.read_page(sid, 0, None), Err(Error::NotFound(_))));
+        assert!(ps.apply_redo(&[new_page_redo(9, 0, 1)]).is_err());
+    }
+
+    #[test]
+    fn freed_page_not_served() {
+        let ps = store();
+        let sid = SliceId::of(SpaceId(1), 0, 8);
+        ps.create_slice(sid);
+        ps.apply_redo(&[new_page_redo(1, 0, 1)]).unwrap();
+        ps.apply_redo(&[RedoRecord {
+            lsn: 2,
+            space: SpaceId(1),
+            page_no: 0,
+            body: crate::redo::RedoBody::FreePage,
+        }])
+        .unwrap();
+        assert!(ps.read_page(sid, 0, None).is_err());
+        // The old version is still readable at its LSN (snapshot reads).
+        assert!(ps.read_page(sid, 0, Some(1)).is_ok());
+    }
+}

@@ -1,0 +1,426 @@
+//! The Storage Abstraction Layer (§II).
+//!
+//! The SAL runs on the database server and "isolates the database frontend
+//! from the underlying complexity of remote storage": it writes log records
+//! to Log Stores (in triplicate), distributes them to the Page Stores
+//! hosting the affected slices, routes page reads, and — for NDP — "splits
+//! a batch read into multiple sub-batches, based on where the pages are
+//! located … and concurrently sends the sub-batches to Page Stores, with
+//! the effect that multiple Page Stores are engaged in parallel" (§VI-2).
+//!
+//! Every byte crossing this layer is metered by [`network::Network`].
+
+pub mod network;
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use taurus_common::{
+    ClusterConfig, Error, Lsn, Metrics, PageNo, PageRef, Result, SliceId, SpaceId,
+};
+use taurus_logstore::LogStore;
+use taurus_page::Page;
+use taurus_pagestore::{
+    NdpBatchRequest, PagePayload, PageResult, PageStore, PageStoreConfig, RedoRecord,
+};
+
+pub use network::{Direction, Network};
+
+/// Fixed per-request framing overhead we charge on the wire (headers,
+/// page ids, LSN), so "bytes" stay honest without a real RPC layer.
+const REQ_HEADER_BYTES: u64 = 32;
+const PER_PAGE_ID_BYTES: u64 = 8;
+const PER_PAGE_RESULT_HEADER: u64 = 16;
+
+/// The Storage Abstraction Layer: slice placement, log fan-out, page-read
+/// routing, batch splitting.
+pub struct Sal {
+    cfg: ClusterConfig,
+    page_stores: Vec<Arc<PageStore>>,
+    log_stores: Vec<Arc<LogStore>>,
+    placement: RwLock<HashMap<SliceId, Vec<usize>>>,
+    next_lsn: AtomicU64,
+    network: Arc<Network>,
+    metrics: Arc<Metrics>,
+    rr_counter: AtomicU64,
+}
+
+impl Sal {
+    /// Bring up a full storage cluster (Page Stores + Log Stores) per the
+    /// configuration.
+    pub fn new(cfg: ClusterConfig, metrics: Arc<Metrics>) -> Arc<Sal> {
+        let ps_cfg = PageStoreConfig {
+            versions_retained: cfg.pagestore_versions_retained,
+            ndp_threads: cfg.pagestore_ndp_threads,
+            ndp_queue: cfg.pagestore_ndp_queue,
+            descriptor_cache: cfg.ndp.descriptor_cache,
+            slice_pages: cfg.slice_pages,
+        };
+        let page_stores = (0..cfg.n_page_stores)
+            .map(|i| PageStore::new(i, ps_cfg.clone(), metrics.clone()))
+            .collect();
+        let log_stores = (0..cfg.n_log_stores).map(|i| Arc::new(LogStore::new(i))).collect();
+        let network = Network::new(&cfg.network, metrics.clone());
+        Arc::new(Sal {
+            cfg,
+            page_stores,
+            log_stores,
+            placement: RwLock::new(HashMap::new()),
+            next_lsn: AtomicU64::new(1),
+            network,
+            metrics,
+            rr_counter: AtomicU64::new(0),
+        })
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    pub fn page_stores(&self) -> &[Arc<PageStore>] {
+        &self.page_stores
+    }
+
+    pub fn log_stores(&self) -> &[Arc<LogStore>] {
+        &self.log_stores
+    }
+
+    /// The newest allocated LSN (all redo up to here has been applied —
+    /// this simulation applies synchronously on the write path).
+    pub fn current_lsn(&self) -> Lsn {
+        self.next_lsn.load(Ordering::SeqCst).saturating_sub(1)
+    }
+
+    fn slice_of(&self, space: SpaceId, page_no: PageNo) -> SliceId {
+        SliceId::of(space, page_no, self.cfg.slice_pages)
+    }
+
+    /// Ensure a slice exists, choosing replicas round-robin across Page
+    /// Stores (the multi-tenant placement of §II).
+    pub fn ensure_slice(&self, slice: SliceId) -> Vec<usize> {
+        if let Some(r) = self.placement.read().get(&slice) {
+            return r.clone();
+        }
+        let mut w = self.placement.write();
+        if let Some(r) = w.get(&slice) {
+            return r.clone();
+        }
+        let n = self.page_stores.len();
+        let k = self.cfg.effective_replication();
+        let start = (self.rr_counter.fetch_add(1, Ordering::Relaxed) as usize) % n;
+        let replicas: Vec<usize> = (0..k).map(|i| (start + i) % n).collect();
+        for &r in &replicas {
+            self.page_stores[r].create_slice(slice);
+        }
+        w.insert(slice, replicas.clone());
+        replicas
+    }
+
+    fn replicas_for(&self, slice: SliceId) -> Result<Vec<usize>> {
+        self.placement
+            .read()
+            .get(&slice)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("slice {slice:?} has no placement")))
+    }
+
+    /// Write path (§II): assign LSNs, append to all Log Stores (triplicate
+    /// durability), then distribute records to the Page Store replicas of
+    /// each affected slice and apply.
+    pub fn write_log(&self, mut records: Vec<RedoRecord>) -> Result<Lsn> {
+        if records.is_empty() {
+            return Ok(self.current_lsn());
+        }
+        let n = records.len() as u64;
+        let base = self.next_lsn.fetch_add(n, Ordering::SeqCst);
+        for (i, r) in records.iter_mut().enumerate() {
+            r.lsn = base + i as u64;
+        }
+        let batch = RedoRecord::encode_batch(&records);
+        for ls in &self.log_stores {
+            self.network.transfer(Direction::ToStorage, batch.len() as u64);
+            ls.append(&batch);
+            self.metrics.add(|m| &m.log_bytes_appended, batch.len() as u64);
+            // Durability ack.
+            self.network.transfer(Direction::FromStorage, 16);
+        }
+        // Distribute to Page Stores by slice.
+        let mut by_slice: HashMap<SliceId, Vec<RedoRecord>> = HashMap::new();
+        for r in records {
+            by_slice.entry(r.slice(self.cfg.slice_pages)).or_default().push(r);
+        }
+        for (slice, recs) in by_slice {
+            let replicas = self.ensure_slice(slice);
+            let bytes = RedoRecord::encode_batch(&recs).len() as u64;
+            for &ps in &replicas {
+                self.network.transfer(Direction::ToStorage, bytes);
+                self.page_stores[ps].apply_redo(&recs)?;
+            }
+        }
+        Ok(base + n - 1)
+    }
+
+    /// Regular single-page read (the non-NDP scan path — "a regular InnoDB
+    /// scan does not perform batch reads", §I).
+    pub fn read_page(&self, pref: PageRef, at_lsn: Option<Lsn>) -> Result<Arc<Page>> {
+        let slice = self.slice_of(pref.space, pref.page_no);
+        let replicas = self.replicas_for(slice)?;
+        self.metrics.add(|m| &m.net_read_requests, 1);
+        self.network.transfer(Direction::ToStorage, REQ_HEADER_BYTES + PER_PAGE_ID_BYTES);
+        let mut last_err = Error::NotFound(format!("page {pref:?}"));
+        for &ps in &replicas {
+            match self.page_stores[ps].read_page(slice, pref.page_no, at_lsn) {
+                Ok(p) => {
+                    self.network.transfer(
+                        Direction::FromStorage,
+                        p.byte_len() as u64 + PER_PAGE_RESULT_HEADER,
+                    );
+                    self.metrics.add(|m| &m.pages_shipped_raw, 1);
+                    return Ok(p);
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    /// NDP batch read (§IV-C4, §VI-2): split by slice, dispatch sub-batches
+    /// concurrently, reassemble in request order.
+    pub fn batch_read(
+        &self,
+        space: SpaceId,
+        pages: &[PageNo],
+        read_lsn: Lsn,
+        descriptor: Arc<Vec<u8>>,
+    ) -> Result<Vec<PageResult>> {
+        // Group into per-slice sub-batches, preserving order within each.
+        let mut sub: HashMap<SliceId, Vec<PageNo>> = HashMap::new();
+        for &p in pages {
+            sub.entry(self.slice_of(space, p)).or_default().push(p);
+        }
+        let mut jobs: Vec<(SliceId, Vec<PageNo>, usize)> = Vec::with_capacity(sub.len());
+        for (slice, nos) in sub {
+            let replicas = self.replicas_for(slice)?;
+            jobs.push((slice, nos, replicas[0]));
+        }
+
+        let results: Vec<Result<Vec<PageResult>>> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = jobs
+                .iter()
+                .map(|(slice, nos, ps)| {
+                    let descriptor = descriptor.clone();
+                    let network = self.network.clone();
+                    let metrics = self.metrics.clone();
+                    let store = self.page_stores[*ps].clone();
+                    let slice = *slice;
+                    let nos = nos.clone();
+                    s.spawn(move |_| {
+                        metrics.add(|m| &m.net_read_requests, 1);
+                        network.transfer(
+                            Direction::ToStorage,
+                            REQ_HEADER_BYTES
+                                + descriptor.len() as u64
+                                + PER_PAGE_ID_BYTES * nos.len() as u64,
+                        );
+                        let req = NdpBatchRequest { slice, pages: nos, read_lsn, descriptor };
+                        let out = store.serve_ndp_batch(&req)?;
+                        let mut bytes = 0u64;
+                        for r in &out {
+                            bytes += r.payload.byte_len() as u64 + PER_PAGE_RESULT_HEADER;
+                            match &r.payload {
+                                PagePayload::Ndp(p) => {
+                                    if p.page_type() == taurus_page::PageType::NdpEmpty {
+                                        metrics.add(|m| &m.pages_shipped_empty, 1);
+                                    } else {
+                                        metrics.add(|m| &m.pages_shipped_ndp, 1);
+                                    }
+                                }
+                                PagePayload::Raw(_) => {
+                                    metrics.add(|m| &m.pages_shipped_raw, 1);
+                                }
+                            }
+                        }
+                        network.transfer(Direction::FromStorage, bytes);
+                        Ok(out)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("sal dispatch thread")).collect()
+        })
+        .expect("sal scope");
+
+        // Reassemble in the caller's page order.
+        let mut by_page: HashMap<PageNo, PageResult> = HashMap::with_capacity(pages.len());
+        for r in results {
+            for pr in r? {
+                by_page.insert(pr.page_no, pr);
+            }
+        }
+        pages
+            .iter()
+            .map(|p| {
+                by_page
+                    .remove(p)
+                    .ok_or_else(|| Error::Internal(format!("page {p} missing from batch")))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taurus_common::{DataType, Value};
+    use taurus_expr::descriptor::NdpDescriptor;
+    use taurus_page::{encode_record, RecordLayout, RecordMeta};
+    use taurus_pagestore::RedoBody;
+
+    fn test_cfg() -> ClusterConfig {
+        let mut cfg = ClusterConfig::small_for_tests();
+        cfg.slice_pages = 4; // tiny slices => multi-slice batches
+        cfg.n_page_stores = 3;
+        cfg.replication = 2;
+        cfg
+    }
+
+    fn leaf_image(space: u32, page_no: u32, keys: &[i64]) -> Vec<u8> {
+        let l = RecordLayout::new(vec![DataType::BigInt]);
+        let mut p = Page::new_index(1024, SpaceId(space), page_no, 7, 0);
+        for &k in keys {
+            let mut b = Vec::new();
+            encode_record(&l, &[Value::Int(k)], RecordMeta::ordinary(1), None, &mut b)
+                .unwrap();
+            p.append_record(&b).unwrap();
+        }
+        p.into_bytes()
+    }
+
+    fn no_work_descriptor() -> Arc<Vec<u8>> {
+        Arc::new(
+            NdpDescriptor {
+                index_id: 7,
+                record_dtypes: vec![DataType::BigInt],
+                key_positions: vec![0],
+                projection: None,
+                predicate_bitcode: None,
+                aggregation: None,
+                low_watermark: 100,
+            }
+            .encode(),
+        )
+    }
+
+    #[test]
+    fn write_log_triplicates_and_applies_to_replicas() {
+        let m = Metrics::shared();
+        let sal = Sal::new(test_cfg(), m.clone());
+        let space = SpaceId(1);
+        sal.ensure_slice(SliceId::of(space, 0, 4));
+        let lsn = sal
+            .write_log(vec![RedoRecord {
+                lsn: 0,
+                space,
+                page_no: 0,
+                body: RedoBody::NewPage(leaf_image(1, 0, &[1, 2, 3])),
+            }])
+            .unwrap();
+        assert!(lsn >= 1);
+        // All three log stores got the batch.
+        for ls in sal.log_stores() {
+            assert_eq!(ls.len(), 1);
+        }
+        // Exactly `replication` page stores can serve the page.
+        let served = sal
+            .page_stores()
+            .iter()
+            .filter(|ps| ps.read_page(SliceId::of(space, 0, 4), 0, None).is_ok())
+            .count();
+        assert_eq!(served, 2);
+        assert!(m.snapshot().log_bytes_appended > 0);
+    }
+
+    #[test]
+    fn lsns_are_monotonic_across_batches() {
+        let sal = Sal::new(test_cfg(), Metrics::shared());
+        let space = SpaceId(2);
+        sal.ensure_slice(SliceId::of(space, 0, 4));
+        let l1 = sal
+            .write_log(vec![RedoRecord {
+                lsn: 0,
+                space,
+                page_no: 0,
+                body: RedoBody::NewPage(leaf_image(2, 0, &[1])),
+            }])
+            .unwrap();
+        let l2 = sal
+            .write_log(vec![
+                RedoRecord { lsn: 0, space, page_no: 0, body: RedoBody::SetNext(1) },
+                RedoRecord { lsn: 0, space, page_no: 0, body: RedoBody::SetPrev(9) },
+            ])
+            .unwrap();
+        assert!(l2 > l1);
+        assert_eq!(sal.current_lsn(), l2);
+    }
+
+    #[test]
+    fn read_page_meters_network() {
+        let m = Metrics::shared();
+        let sal = Sal::new(test_cfg(), m.clone());
+        let space = SpaceId(1);
+        sal.ensure_slice(SliceId::of(space, 0, 4));
+        sal.write_log(vec![RedoRecord {
+            lsn: 0,
+            space,
+            page_no: 0,
+            body: RedoBody::NewPage(leaf_image(1, 0, &[1, 2])),
+        }])
+        .unwrap();
+        let before = m.snapshot();
+        let p = sal.read_page(PageRef::new(space, 0), None).unwrap();
+        assert_eq!(p.n_recs(), 2);
+        let d = m.snapshot().since(&before);
+        assert_eq!(d.pages_shipped_raw, 1);
+        assert!(d.net_bytes_from_storage >= 1024);
+        assert!(d.net_bytes_to_storage >= REQ_HEADER_BYTES);
+    }
+
+    #[test]
+    fn batch_read_splits_by_slice_and_reassembles_in_order() {
+        let m = Metrics::shared();
+        let sal = Sal::new(test_cfg(), m.clone());
+        let space = SpaceId(3);
+        // 12 pages over slices {0..3},{4..7},{8..11}: 3 slices.
+        let mut recs = Vec::new();
+        for no in 0..12u32 {
+            sal.ensure_slice(SliceId::of(space, no, 4));
+            recs.push(RedoRecord {
+                lsn: 0,
+                space,
+                page_no: no,
+                body: RedoBody::NewPage(leaf_image(3, no, &[no as i64])),
+            });
+        }
+        sal.write_log(recs).unwrap();
+        let pages: Vec<PageNo> = (0..12).collect();
+        let before = m.snapshot();
+        let out = sal
+            .batch_read(space, &pages, sal.current_lsn(), no_work_descriptor())
+            .unwrap();
+        assert_eq!(out.len(), 12);
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(r.page_no, i as u32, "order must match the request");
+        }
+        let d = m.snapshot().since(&before);
+        assert_eq!(d.net_read_requests, 3, "one sub-batch per slice");
+        assert_eq!(d.pages_shipped_raw, 12);
+    }
+
+    #[test]
+    fn batch_read_unknown_slice_fails() {
+        let sal = Sal::new(test_cfg(), Metrics::shared());
+        let r = sal.batch_read(SpaceId(9), &[0, 1], 1, no_work_descriptor());
+        assert!(r.is_err());
+    }
+}

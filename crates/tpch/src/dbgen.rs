@@ -1,0 +1,410 @@
+//! Deterministic TPC-H-shaped data generation (a laptop-scale dbgen).
+//!
+//! Cardinalities scale with SF exactly like the spec (lineitem ≈ 6M·SF);
+//! value distributions, column widths, date ranges and the spec's quirks
+//! that the queries depend on are preserved: only two thirds of customers
+//! place orders (Q13/Q22), `l_shipdate = o_orderdate + 1..121`,
+//! part types/containers/brands come from the spec word lists, comments
+//! have spec-like widths so projection benefits are realistic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use taurus_common::schema::Row;
+use taurus_common::{Date32, Dec, Value};
+
+pub const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
+    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
+    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
+    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"];
+const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const SHIP_INSTRUCT: [&str; 4] =
+    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const TYPE_SYL1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+const TYPE_SYL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+const TYPE_SYL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+const CONTAINER_SYL1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
+const CONTAINER_SYL2: [&str; 8] =
+    ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+const NAME_WORDS: [&str; 24] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched",
+    "blue", "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate",
+    "coral", "cornflower", "cream", "cyan", "dark", "deep", "forest", "green",
+];
+const COMMENT_WORDS: [&str; 20] = [
+    "carefully", "quickly", "furiously", "slyly", "blithely", "deposits", "packages",
+    "requests", "accounts", "instructions", "theodolites", "platelets", "pinto", "beans",
+    "foxes", "ideas", "dependencies", "excuses", "asymptotes", "pearls",
+];
+
+/// All eight tables' rows for one scale factor.
+pub struct TpchData {
+    pub region: Vec<Row>,
+    pub nation: Vec<Row>,
+    pub supplier: Vec<Row>,
+    pub customer: Vec<Row>,
+    pub part: Vec<Row>,
+    pub partsupp: Vec<Row>,
+    pub orders: Vec<Row>,
+    pub lineitem: Vec<Row>,
+}
+
+pub fn cardinalities(sf: f64) -> (usize, usize, usize, usize, usize) {
+    let supplier = ((10_000.0 * sf) as usize).max(10);
+    let part = ((200_000.0 * sf) as usize).max(50);
+    let customer = ((150_000.0 * sf) as usize).max(30);
+    let orders = customer * 10;
+    let partsupp = part * 4;
+    (supplier, part, customer, orders, partsupp)
+}
+
+fn comment(rng: &mut StdRng, max: usize) -> Value {
+    let n_words = rng.gen_range(3..8);
+    let mut s = String::new();
+    for i in 0..n_words {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(COMMENT_WORDS[rng.gen_range(0..COMMENT_WORDS.len())]);
+        if s.len() > max.saturating_sub(12) {
+            break;
+        }
+    }
+    s.truncate(max);
+    Value::str(s)
+}
+
+/// Occasionally plant the Q13/Q16/Q21-relevant phrases.
+fn order_comment(rng: &mut StdRng) -> Value {
+    if rng.gen_bool(0.02) {
+        Value::str("handle special requests carefully special requests")
+    } else {
+        comment(rng, 79)
+    }
+}
+
+fn supplier_comment(rng: &mut StdRng) -> Value {
+    if rng.gen_bool(0.01) {
+        Value::str("Customer recent Complaints about deliveries")
+    } else {
+        comment(rng, 101)
+    }
+}
+
+fn money(rng: &mut StdRng, lo: i64, hi: i64) -> Value {
+    Value::Decimal(Dec::new(rng.gen_range(lo * 100..hi * 100) as i128, 2))
+}
+
+fn phone(rng: &mut StdRng, nation: i64) -> Value {
+    Value::str(format!(
+        "{:02}-{:03}-{:03}-{:04}",
+        nation + 10,
+        rng.gen_range(100..1000),
+        rng.gen_range(100..1000),
+        rng.gen_range(1000..10_000)
+    ))
+}
+
+/// Generate the full dataset, deterministically for a given (sf, seed).
+pub fn generate(sf: f64, seed: u64) -> TpchData {
+    let (n_supp, n_part, n_cust, n_ord, n_ps) = cardinalities(sf);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let region: Vec<Row> = REGIONS
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            vec![Value::Int(i as i64), Value::str(*name), comment(&mut rng, 152)]
+        })
+        .collect();
+
+    let nation: Vec<Row> = NATIONS
+        .iter()
+        .enumerate()
+        .map(|(i, (name, region))| {
+            vec![
+                Value::Int(i as i64),
+                Value::str(*name),
+                Value::Int(*region),
+                comment(&mut rng, 152),
+            ]
+        })
+        .collect();
+
+    let supplier: Vec<Row> = (0..n_supp)
+        .map(|i| {
+            let nk = rng.gen_range(0..25i64);
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::str(format!("Supplier#{:09}", i + 1)),
+                Value::str(format!("addr {} supplier lane", i + 1)),
+                Value::Int(nk),
+                phone(&mut rng, nk),
+                money(&mut rng, -999, 9999),
+                supplier_comment(&mut rng),
+            ]
+        })
+        .collect();
+
+    let customer: Vec<Row> = (0..n_cust)
+        .map(|i| {
+            let nk = rng.gen_range(0..25i64);
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::str(format!("Customer#{:09}", i + 1)),
+                Value::str(format!("addr {} customer way", i + 1)),
+                Value::Int(nk),
+                phone(&mut rng, nk),
+                money(&mut rng, -999, 9999),
+                Value::str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]),
+                comment(&mut rng, 117),
+            ]
+        })
+        .collect();
+
+    let part: Vec<Row> = (0..n_part)
+        .map(|i| {
+            let w = |r: &mut StdRng| NAME_WORDS[r.gen_range(0..NAME_WORDS.len())];
+            let name = format!(
+                "{} {} {} {} {}",
+                w(&mut rng),
+                w(&mut rng),
+                w(&mut rng),
+                w(&mut rng),
+                w(&mut rng)
+            );
+            let m = rng.gen_range(1..6);
+            let brand = format!("Brand#{}{}", m, rng.gen_range(1..6));
+            let ptype = format!(
+                "{} {} {}",
+                TYPE_SYL1[rng.gen_range(0..6)],
+                TYPE_SYL2[rng.gen_range(0..5)],
+                TYPE_SYL3[rng.gen_range(0..5)]
+            );
+            let container = format!(
+                "{} {}",
+                CONTAINER_SYL1[rng.gen_range(0..5)],
+                CONTAINER_SYL2[rng.gen_range(0..8)]
+            );
+            // Spec: retail price ~ 900 + key-derived drift.
+            let price = 90_000 + (i as i128 % 20_001) * 10 / 2;
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::str(name),
+                Value::str(format!("Manufacturer#{m}")),
+                Value::str(brand),
+                Value::str(ptype),
+                Value::Int(rng.gen_range(1..51)),
+                Value::str(container),
+                Value::Decimal(Dec::new(price, 2)),
+                comment(&mut rng, 23),
+            ]
+        })
+        .collect();
+
+    let partsupp: Vec<Row> = (0..n_ps)
+        .map(|i| {
+            let partkey = (i / 4) as i64 + 1;
+            let suppkey = ((partkey as usize + (i % 4) * (n_supp / 4 + 1)) % n_supp) as i64 + 1;
+            vec![
+                Value::Int(partkey),
+                Value::Int(suppkey),
+                Value::Int(rng.gen_range(1..10_000)),
+                money(&mut rng, 1, 1000),
+                comment(&mut rng, 199),
+            ]
+        })
+        .collect();
+
+    let start = Date32::from_ymd(1992, 1, 1);
+    let end = Date32::from_ymd(1998, 8, 2);
+    let date_span = (end.0 - start.0 - 151) as i32;
+
+    let mut orders: Vec<Row> = Vec::with_capacity(n_ord);
+    let mut lineitem: Vec<Row> = Vec::with_capacity(n_ord * 4);
+    for i in 0..n_ord {
+        let orderkey = i as i64 + 1;
+        // Only two thirds of customers have orders (spec: custkey % 3 != 0).
+        let mut custkey = rng.gen_range(1..=n_cust as i64);
+        if custkey % 3 == 0 {
+            custkey = (custkey % (n_cust as i64 - 1)) + 1;
+            if custkey % 3 == 0 {
+                custkey += 1;
+            }
+        }
+        let odate = start.add_days(rng.gen_range(0..date_span));
+        let n_lines = rng.gen_range(1..8);
+        let mut total = Dec::new(0, 2);
+        let mut all_f = true;
+        let mut all_o = true;
+        for ln in 0..n_lines {
+            let partkey = rng.gen_range(1..=n_part as i64);
+            let suppkey = ((partkey as usize + (ln % 4) * (n_supp / 4 + 1)) % n_supp) as i64 + 1;
+            let qty = rng.gen_range(1..51i64);
+            let retail = 90_000 + ((partkey - 1) as i128 % 20_001) * 10 / 2;
+            let extprice = Dec::new(retail * qty as i128, 2);
+            let discount = Dec::new(rng.gen_range(0..11), 2);
+            let tax = Dec::new(rng.gen_range(0..9), 2);
+            let shipdate = odate.add_days(rng.gen_range(1..122));
+            let commitdate = odate.add_days(rng.gen_range(30..91));
+            let receiptdate = shipdate.add_days(rng.gen_range(1..31));
+            let today = Date32::from_ymd(1995, 6, 17);
+            let (rf, ls) = if receiptdate <= today {
+                (if rng.gen_bool(0.5) { "R" } else { "A" }, "F")
+            } else {
+                ("N", "O")
+            };
+            if ls == "F" {
+                all_o = false;
+            } else {
+                all_f = false;
+            }
+            total = total.add(extprice);
+            lineitem.push(vec![
+                Value::Int(orderkey),
+                Value::Int(partkey),
+                Value::Int(suppkey),
+                Value::Int(ln as i64 + 1),
+                Value::Decimal(Dec::new(qty as i128 * 100, 2)),
+                Value::Decimal(extprice),
+                Value::Decimal(discount),
+                Value::Decimal(tax),
+                Value::str(rf),
+                Value::str(ls),
+                Value::Date(shipdate),
+                Value::Date(commitdate),
+                Value::Date(receiptdate),
+                Value::str(SHIP_INSTRUCT[rng.gen_range(0..4)]),
+                Value::str(SHIP_MODES[rng.gen_range(0..7)]),
+                comment(&mut rng, 44),
+            ]);
+        }
+        let status = if all_f {
+            "F"
+        } else if all_o {
+            "O"
+        } else {
+            "P"
+        };
+        orders.push(vec![
+            Value::Int(orderkey),
+            Value::Int(custkey),
+            Value::str(status),
+            Value::Decimal(total),
+            Value::Date(odate),
+            Value::str(PRIORITIES[rng.gen_range(0..5)]),
+            Value::str(format!("Clerk#{:09}", rng.gen_range(1..1000))),
+            Value::Int(0),
+            order_comment(&mut rng),
+        ]);
+    }
+
+    TpchData { region, nation, supplier, customer, part, partsupp, orders, lineitem }
+}
+
+/// Create the schema and load a full dataset into `db`.
+pub fn load(
+    db: &std::sync::Arc<taurus_ndp::TaurusDb>,
+    sf: f64,
+    seed: u64,
+) -> taurus_common::Result<TpchData2> {
+    let tables = crate::schema::create_all(db)?;
+    let data = generate(sf, seed);
+    db.bulk_load(&tables[0], data.region.clone())?;
+    db.bulk_load(&tables[1], data.nation.clone())?;
+    db.bulk_load(&tables[2], data.supplier.clone())?;
+    db.bulk_load(&tables[3], data.customer.clone())?;
+    db.bulk_load(&tables[4], data.part.clone())?;
+    db.bulk_load(&tables[5], data.partsupp.clone())?;
+    db.bulk_load(&tables[6], data.orders.clone())?;
+    db.bulk_load(&tables[7], data.lineitem.clone())?;
+    // Start every experiment cold, like the paper's fresh-server runs.
+    db.buffer_pool().clear();
+    Ok(TpchData2 { rows: data })
+}
+
+/// Loaded dataset handle (kept for test cross-checks).
+pub struct TpchData2 {
+    pub rows: TpchData,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = generate(0.001, 42);
+        let b = generate(0.001, 42);
+        assert_eq!(a.lineitem.len(), b.lineitem.len());
+        assert_eq!(a.lineitem[0], b.lineitem[0]);
+        assert_eq!(a.orders[10], b.orders[10]);
+        let c = generate(0.001, 43);
+        assert_ne!(a.lineitem[0], c.lineitem[0]);
+    }
+
+    #[test]
+    fn cardinalities_scale() {
+        let (s, p, c, o, ps) = cardinalities(0.01);
+        assert_eq!(s, 100);
+        assert_eq!(p, 2000);
+        assert_eq!(c, 1500);
+        assert_eq!(o, 15_000);
+        assert_eq!(ps, 8000);
+        let d = generate(0.001, 1);
+        assert_eq!(d.region.len(), 5);
+        assert_eq!(d.nation.len(), 25);
+        // ~4 lineitems per order.
+        let ratio = d.lineitem.len() as f64 / d.orders.len() as f64;
+        assert!((2.0..6.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn orders_skip_every_third_customer() {
+        let d = generate(0.005, 7);
+        assert!(d
+            .orders
+            .iter()
+            .all(|o| o[1].as_int().unwrap() % 3 != 0));
+    }
+
+    #[test]
+    fn lineitem_dates_follow_order_date() {
+        let d = generate(0.001, 9);
+        let odates: std::collections::HashMap<i64, Date32> = d
+            .orders
+            .iter()
+            .map(|o| (o[0].as_int().unwrap(), o[4].as_date().unwrap()))
+            .collect();
+        for l in &d.lineitem {
+            let ok = l[0].as_int().unwrap();
+            let od = odates[&ok];
+            let ship = l[10].as_date().unwrap();
+            let receipt = l[12].as_date().unwrap();
+            assert!(ship.0 > od.0 && ship.0 <= od.0 + 121);
+            assert!(receipt.0 > ship.0 && receipt.0 <= ship.0 + 30);
+        }
+    }
+
+    #[test]
+    fn returnflag_consistent_with_linestatus() {
+        let d = generate(0.001, 11);
+        for l in &d.lineitem {
+            let rf = l[8].as_str().unwrap().to_string();
+            let ls = l[9].as_str().unwrap().to_string();
+            match ls.as_str() {
+                "O" => assert_eq!(rf, "N"),
+                "F" => assert!(rf == "R" || rf == "A"),
+                other => panic!("bad linestatus {other}"),
+            }
+        }
+    }
+}

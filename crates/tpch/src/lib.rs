@@ -1,0 +1,13 @@
+//! TPC-H for the Taurus NDP reproduction: a deterministic dbgen-shaped
+//! generator ([`dbgen`]), the eight table schemas with the secondary
+//! indexes the paper's plans use ([`schema`]), and plan builders for all
+//! 22 queries plus the §VII-A micro-benchmark ([`queries1`], [`queries2`]).
+
+pub mod dbgen;
+pub mod queries1;
+pub mod queries2;
+pub mod schema;
+
+pub use dbgen::{generate, load, TpchData};
+pub use queries1::optimized;
+pub use queries2::{micro_queries, tpch_queries, Query};

@@ -1,0 +1,179 @@
+//! The eight TPC-H table schemas (spec column order) and the secondary
+//! indexes the paper's plans rely on (e.g. the Q002 secondary-index scan
+//! and the Q14/Q17/Q19 lookups of lineitem by part key).
+
+use std::sync::Arc;
+
+use taurus_common::schema::{Column, TableSchema};
+use taurus_common::DataType;
+use taurus_ndp::{Table, TaurusDb};
+
+fn dec() -> DataType {
+    DataType::Decimal { precision: 15, scale: 2 }
+}
+
+pub fn region() -> Arc<TableSchema> {
+    TableSchema::new(
+        "region",
+        vec![
+            Column::new("r_regionkey", DataType::BigInt),
+            Column::new("r_name", DataType::Char(25)),
+            Column::new("r_comment", DataType::Varchar(152)),
+        ],
+        vec![0],
+    )
+}
+
+pub fn nation() -> Arc<TableSchema> {
+    TableSchema::new(
+        "nation",
+        vec![
+            Column::new("n_nationkey", DataType::BigInt),
+            Column::new("n_name", DataType::Char(25)),
+            Column::new("n_regionkey", DataType::BigInt),
+            Column::new("n_comment", DataType::Varchar(152)),
+        ],
+        vec![0],
+    )
+}
+
+pub fn supplier() -> Arc<TableSchema> {
+    TableSchema::new(
+        "supplier",
+        vec![
+            Column::new("s_suppkey", DataType::BigInt),
+            Column::new("s_name", DataType::Char(25)),
+            Column::new("s_address", DataType::Varchar(40)),
+            Column::new("s_nationkey", DataType::BigInt),
+            Column::new("s_phone", DataType::Char(15)),
+            Column::new("s_acctbal", dec()),
+            Column::new("s_comment", DataType::Varchar(101)),
+        ],
+        vec![0],
+    )
+}
+
+pub fn customer() -> Arc<TableSchema> {
+    TableSchema::new(
+        "customer",
+        vec![
+            Column::new("c_custkey", DataType::BigInt),
+            Column::new("c_name", DataType::Varchar(25)),
+            Column::new("c_address", DataType::Varchar(40)),
+            Column::new("c_nationkey", DataType::BigInt),
+            Column::new("c_phone", DataType::Char(15)),
+            Column::new("c_acctbal", dec()),
+            Column::new("c_mktsegment", DataType::Char(10)),
+            Column::new("c_comment", DataType::Varchar(117)),
+        ],
+        vec![0],
+    )
+}
+
+pub fn part() -> Arc<TableSchema> {
+    TableSchema::new(
+        "part",
+        vec![
+            Column::new("p_partkey", DataType::BigInt),
+            Column::new("p_name", DataType::Varchar(55)),
+            Column::new("p_mfgr", DataType::Char(25)),
+            Column::new("p_brand", DataType::Char(10)),
+            Column::new("p_type", DataType::Varchar(25)),
+            Column::new("p_size", DataType::Int),
+            Column::new("p_container", DataType::Char(10)),
+            Column::new("p_retailprice", dec()),
+            Column::new("p_comment", DataType::Varchar(23)),
+        ],
+        vec![0],
+    )
+}
+
+pub fn partsupp() -> Arc<TableSchema> {
+    TableSchema::new(
+        "partsupp",
+        vec![
+            Column::new("ps_partkey", DataType::BigInt),
+            Column::new("ps_suppkey", DataType::BigInt),
+            Column::new("ps_availqty", DataType::Int),
+            Column::new("ps_supplycost", dec()),
+            Column::new("ps_comment", DataType::Varchar(199)),
+        ],
+        vec![0, 1],
+    )
+}
+
+pub fn orders() -> Arc<TableSchema> {
+    TableSchema::new(
+        "orders",
+        vec![
+            Column::new("o_orderkey", DataType::BigInt),
+            Column::new("o_custkey", DataType::BigInt),
+            Column::new("o_orderstatus", DataType::Char(1)),
+            Column::new("o_totalprice", dec()),
+            Column::new("o_orderdate", DataType::Date),
+            Column::new("o_orderpriority", DataType::Char(15)),
+            Column::new("o_clerk", DataType::Char(15)),
+            Column::new("o_shippriority", DataType::Int),
+            Column::new("o_comment", DataType::Varchar(79)),
+        ],
+        vec![0],
+    )
+}
+
+pub fn lineitem() -> Arc<TableSchema> {
+    TableSchema::new(
+        "lineitem",
+        vec![
+            Column::new("l_orderkey", DataType::BigInt),      // 0
+            Column::new("l_partkey", DataType::BigInt),       // 1
+            Column::new("l_suppkey", DataType::BigInt),       // 2
+            Column::new("l_linenumber", DataType::Int),       // 3
+            Column::new("l_quantity", dec()),                 // 4
+            Column::new("l_extendedprice", dec()),            // 5
+            Column::new("l_discount", dec()),                 // 6
+            Column::new("l_tax", dec()),                      // 7
+            Column::new("l_returnflag", DataType::Char(1)),   // 8
+            Column::new("l_linestatus", DataType::Char(1)),   // 9
+            Column::new("l_shipdate", DataType::Date),        // 10
+            Column::new("l_commitdate", DataType::Date),      // 11
+            Column::new("l_receiptdate", DataType::Date),     // 12
+            Column::new("l_shipinstruct", DataType::Char(25)),// 13
+            Column::new("l_shipmode", DataType::Char(10)),    // 14
+            Column::new("l_comment", DataType::Varchar(44)),  // 15
+        ],
+        vec![0, 3],
+    )
+}
+
+/// Create all eight tables with their secondary indexes.
+pub fn create_all(db: &Arc<TaurusDb>) -> taurus_common::Result<Vec<Arc<Table>>> {
+    Ok(vec![
+        db.create_table(region(), &[])?,
+        db.create_table(nation(), &[])?,
+        db.create_table(supplier(), &[])?,
+        db.create_table(customer(), &[])?,
+        db.create_table(part(), &[])?,
+        // ps_suppkey lookups for Q11/Q20.
+        db.create_table(partsupp(), &[("i_ps_suppkey", vec![1])])?,
+        // o_custkey lookups for Q13/Q22.
+        db.create_table(orders(), &[("i_o_custkey", vec![1])])?,
+        // l_suppkey (the paper's Q002 secondary scan) and l_partkey
+        // (Q14/Q17/Q19 NL-join lookups).
+        db.create_table(
+            lineitem(),
+            &[("i_l_suppkey", vec![2]), ("i_l_partkey", vec![1])],
+        )?,
+    ])
+}
+
+/// Well-known index positions for plan builders.
+pub mod idx {
+    /// partsupp secondary: ps_suppkey.
+    pub const PS_SUPPKEY: usize = 1;
+    /// lineitem secondary: l_suppkey.
+    pub const L_SUPPKEY: usize = 1;
+    /// lineitem secondary: l_partkey.
+    pub const L_PARTKEY: usize = 2;
+    /// orders secondary: o_custkey.
+    pub const O_CUSTKEY: usize = 1;
+}

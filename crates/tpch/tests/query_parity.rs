@@ -1,0 +1,160 @@
+//! The reproduction's master correctness gate: every TPC-H query (and
+//! every micro-benchmark query) must produce byte-identical results with
+//! NDP off, NDP on, NDP on with forced resource-control skips, and NDP+PQ.
+
+use std::sync::Arc;
+
+use taurus_common::schema::Row;
+use taurus_common::{ClusterConfig, Value};
+use taurus_ndp::TaurusDb;
+use taurus_pagestore::SkipPolicy;
+use taurus_tpch::{load, micro_queries, tpch_queries};
+
+const SF: f64 = 0.002;
+
+fn db_with(ndp: bool) -> Arc<TaurusDb> {
+    let mut cfg = ClusterConfig::default();
+    cfg.buffer_pool_pages = 256; // far smaller than the data
+    cfg.slice_pages = 32;
+    cfg.ndp.enabled = ndp;
+    cfg.ndp.min_io_pages = 8;
+    cfg.ndp.max_pages_look_ahead = 64;
+    let db = TaurusDb::new(cfg);
+    load(&db, SF, 7).unwrap();
+    db
+}
+
+fn fmt_rows(rows: &[Row]) -> Vec<String> {
+    rows.iter()
+        .map(|r| {
+            r.iter()
+                .map(|v| match v {
+                    // Doubles can round differently across plans; compare
+                    // with bounded precision.
+                    Value::Double(d) => format!("{d:.4}"),
+                    other => other.to_string(),
+                })
+                .collect::<Vec<_>>()
+                .join("|")
+        })
+        .collect()
+}
+
+#[test]
+fn all_queries_ndp_on_equals_off() {
+    let off = db_with(false);
+    let on = db_with(true);
+    for q in tpch_queries() {
+        let a = (q.run)(&off, None).unwrap_or_else(|e| panic!("{} (NDP off): {e}", q.name));
+        let b = (q.run)(&on, None).unwrap_or_else(|e| panic!("{} (NDP on): {e}", q.name));
+        assert_eq!(
+            fmt_rows(&a),
+            fmt_rows(&b),
+            "{}: NDP on/off result mismatch",
+            q.name
+        );
+        // Tiny-SF runs can legitimately zero out the most selective
+        // queries; everything else must return rows.
+        let may_be_empty = matches!(q.name, "Q2" | "Q18" | "Q19" | "Q20" | "Q21");
+        assert!(!a.is_empty() || may_be_empty, "{}: empty result", q.name);
+    }
+}
+
+#[test]
+fn micro_queries_ndp_on_equals_off() {
+    let off = db_with(false);
+    let on = db_with(true);
+    for q in micro_queries() {
+        let a = (q.run)(&off, None).unwrap();
+        let b = (q.run)(&on, None).unwrap();
+        assert_eq!(fmt_rows(&a), fmt_rows(&b), "{}: mismatch", q.name);
+    }
+    // Q0 must count every lineitem row.
+    let rows = (micro_queries()[0].run)(&on, None).unwrap();
+    let expect = on.table("lineitem").unwrap().stats.read().row_count as i64;
+    assert_eq!(rows[0][0], Value::Int(expect));
+}
+
+#[test]
+fn queries_survive_forced_ndp_skips() {
+    let on = db_with(true);
+    let reference: Vec<Vec<String>> = tpch_queries()
+        .iter()
+        .map(|q| fmt_rows(&(q.run)(&on, None).unwrap()))
+        .collect();
+    for ps in on.sal().page_stores() {
+        ps.set_skip_policy(SkipPolicy::EveryNth(3));
+    }
+    on.buffer_pool().clear();
+    for (q, expect) in tpch_queries().iter().zip(&reference) {
+        let got = fmt_rows(&(q.run)(&on, None).unwrap());
+        assert_eq!(&got, expect, "{}: mismatch under forced skips", q.name);
+    }
+    for ps in on.sal().page_stores() {
+        ps.set_skip_policy(SkipPolicy::None);
+    }
+}
+
+#[test]
+fn pq_equals_serial() {
+    let on = db_with(true);
+    for q in tpch_queries().iter().chain(micro_queries().iter()) {
+        if !q.pq_capable {
+            continue;
+        }
+        let serial = fmt_rows(&(q.run)(&on, None).unwrap());
+        let parallel = fmt_rows(&(q.run)(&on, Some(4)).unwrap());
+        assert_eq!(serial, parallel, "{}: PQ result mismatch", q.name);
+    }
+}
+
+#[test]
+fn q6_matches_brute_force() {
+    let on = db_with(true);
+    let data = taurus_tpch::generate(SF, 7);
+    let d0 = taurus_common::Date32::parse("1994-01-01").unwrap();
+    let d1 = taurus_common::Date32::parse("1995-01-01").unwrap();
+    let mut expect = taurus_common::Dec::new(0, 4);
+    for l in &data.lineitem {
+        let sd = l[10].as_date().unwrap();
+        let disc = l[6].as_dec().unwrap();
+        let qty = l[4].as_dec().unwrap();
+        if sd >= d0
+            && sd < d1
+            && disc.cmp_dec(taurus_common::Dec::parse("0.05").unwrap()).is_ge()
+            && disc.cmp_dec(taurus_common::Dec::parse("0.07").unwrap()).is_le()
+            && qty.cmp_dec(taurus_common::Dec::from_int(24)).is_lt()
+        {
+            expect = expect.add(l[5].as_dec().unwrap().mul(disc));
+        }
+    }
+    let got = taurus_tpch::queries1::q6(&on, None).unwrap();
+    assert_eq!(got[0][0].as_dec().unwrap().cmp_dec(expect), std::cmp::Ordering::Equal);
+}
+
+#[test]
+fn q1_matches_brute_force_counts() {
+    let on = db_with(true);
+    let data = taurus_tpch::generate(SF, 7);
+    let cutoff = taurus_common::Date32::parse("1998-09-02").unwrap();
+    let mut groups: std::collections::BTreeMap<(String, String), i64> = Default::default();
+    for l in &data.lineitem {
+        if l[10].as_date().unwrap() <= cutoff {
+            let k = (
+                l[8].as_str().unwrap().to_string(),
+                l[9].as_str().unwrap().to_string(),
+            );
+            *groups.entry(k).or_insert(0) += 1;
+        }
+    }
+    let rows = taurus_tpch::queries1::q1(&on, None).unwrap();
+    assert_eq!(rows.len(), groups.len());
+    for r in &rows {
+        let k = (
+            r[0].as_str().unwrap().to_string(),
+            r[1].as_str().unwrap().to_string(),
+        );
+        // count(*) is the last output column.
+        assert_eq!(r[r.len() - 1], Value::Int(groups[&k]), "group {k:?}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Quickstart: the paper's §III worked example.
+//!
+//! Creates the `Worker` table, loads rows, runs the Listing-1 query
+//! (`SELECT AVG(salary) FROM Worker WHERE age < 40 AND joindate >= '2010-01-01'
+//! AND joindate < '2010-01-01' + INTERVAL 1 YEAR`) with NDP, and prints the
+//! Listing-2-style EXPLAIN plus the network/CPU effect.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use taurus::prelude::*;
+
+fn main() -> Result<()> {
+    // A small simulated cluster: 4 Page Stores, 3 Log Stores.
+    let mut cfg = ClusterConfig::default();
+    cfg.buffer_pool_pages = 128;
+    cfg.ndp.min_io_pages = 4;
+    let db = TaurusDb::new(cfg);
+
+    // CREATE TABLE Worker (id BIGINT PRIMARY KEY, age INT,
+    //                      joindate DATE, salary DECIMAL(15,2), name VARCHAR(32))
+    let schema = TableSchema::new(
+        "worker",
+        vec![
+            Column::new("id", DataType::BigInt),
+            Column::new("age", DataType::Int),
+            Column::new("joindate", DataType::Date),
+            Column::new("salary", DataType::Decimal { precision: 15, scale: 2 }),
+            Column::new("name", DataType::Varchar(32)),
+        ],
+        vec![0],
+    );
+    let table = db.create_table(schema, &[])?;
+
+    // Load 50,000 workers through the write path (log records to Log
+    // Stores, redo applied by Page Stores).
+    let rows: Vec<Row> = (0..50_000i64)
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                Value::Int(20 + (i * 7) % 45),
+                Value::Date(Date32::from_ymd(2005, 1, 1).add_days(((i * 13) % 3650) as i32)),
+                Value::Decimal(Dec::new((3000 + (i * 31) % 7000) as i128 * 100, 2)),
+                Value::str(format!("worker-{i}")),
+            ]
+        })
+        .collect();
+    db.bulk_load(&table, rows)?;
+    db.buffer_pool().clear(); // cold start
+
+    // The Listing-1 query as a plan: AVG pushes down as SUM+COUNT.
+    let start = Date32::parse("2010-01-01").unwrap();
+    let build_plan = || {
+        Plan::AggScan(AggScanNode {
+            scan: ScanNode::new("worker", vec![1, 2, 3]).with_predicate(vec![
+                Expr::lt(Expr::col(1), Expr::int(40)),
+                Expr::ge(Expr::col(2), Expr::lit(Value::Date(start))),
+                Expr::lt(Expr::col(2), Expr::lit(Value::Date(start.add_years(1)))),
+            ]),
+            group_cols: vec![],
+            aggs: vec![AggItem { func: AggFuncEx::Avg, input: Some(Expr::col(3)) }],
+        })
+    };
+
+    // NDP off: a plan that never went through the post-processing pass
+    // runs the classical scan path.
+    {
+        let plan = build_plan();
+        let run = run_query(&db, &plan)?;
+        println!("-- NDP off --");
+        println!("AVG(salary) = {}", run.rows[0][0]);
+        println!(
+            "bytes from storage: {} KB, SQL-node CPU: {:.1} ms, wall: {:.1} ms",
+            run.delta.net_bytes_from_storage / 1024,
+            run.delta.compute_cpu_ns as f64 / 1e6,
+            run.wall.as_secs_f64() * 1e3
+        );
+    }
+
+    // NDP on: run the optimizer's post-processing pass, print EXPLAIN.
+    db.buffer_pool().clear();
+    let mut plan = build_plan();
+    let reports = ndp_post_process(&mut plan, &db)?;
+    println!("\n-- EXPLAIN (with NDP annotations, cf. the paper's Listing 2) --");
+    print!("{}", explain(&plan, &db));
+    for r in &reports {
+        println!(
+            "   [{}] est_io={:.0} pages, filter_factor={:.3}, projection={}, aggregate={}",
+            r.table, r.est_io_pages, r.filter_factor, r.projection, r.aggregation
+        );
+    }
+
+    let run = run_query(&db, &plan)?;
+    println!("\n-- NDP on --");
+    println!("AVG(salary) = {}", run.rows[0][0]);
+    println!(
+        "bytes from storage: {} KB, SQL-node CPU: {:.1} ms, wall: {:.1} ms",
+        run.delta.net_bytes_from_storage / 1024,
+        run.delta.compute_cpu_ns as f64 / 1e6,
+        run.wall.as_secs_f64() * 1e3
+    );
+    println!(
+        "pages: {} NDP-processed, {} empty-after-filter markers, {} raw",
+        run.delta.pages_shipped_ndp,
+        run.delta.pages_shipped_empty,
+        run.delta.pages_shipped_raw
+    );
+    Ok(())
+}

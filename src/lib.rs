@@ -1,0 +1,41 @@
+//! # taurus — Near Data Processing in Taurus Database, reproduced in Rust
+//!
+//! An executable reproduction of *Near Data Processing in Taurus Database*
+//! (ICDE 2022): a compute/storage-disaggregated MySQL/InnoDB-style engine
+//! whose Page Stores evaluate pushed-down selection, projection and
+//! aggregation — plus the full TPC-H evaluation harness that regenerates
+//! the paper's figures.
+//!
+//! Start with [`prelude`] and `examples/quickstart.rs`.
+
+pub use taurus_btree as btree;
+pub use taurus_bufferpool as bufferpool;
+pub use taurus_common as common;
+pub use taurus_executor as executor;
+pub use taurus_expr as expr;
+pub use taurus_logstore as logstore;
+pub use taurus_mvcc as mvcc;
+pub use taurus_ndp as ndp;
+pub use taurus_optimizer as optimizer;
+pub use taurus_page as page;
+pub use taurus_pagestore as pagestore;
+pub use taurus_sal as sal;
+pub use taurus_tpch as tpch;
+
+/// The commonly-used surface of the whole system.
+pub mod prelude {
+    pub use taurus_common::schema::{Column, Row, TableSchema};
+    pub use taurus_common::{
+        ClusterConfig, DataType, Date32, Dec, Error, Metrics, MetricsSnapshot, NdpConfig,
+        Result, Value,
+    };
+    pub use taurus_executor::{execute, run_query, ExecContext, QueryRun};
+    pub use taurus_expr::ast::Expr;
+    pub use taurus_ndp::{
+        scan, NdpChoice, ScanAggregation, ScanConsumer, ScanRange, ScanSpec, Table, TaurusDb,
+    };
+    pub use taurus_optimizer::{explain, ndp_post_process};
+    pub use taurus_optimizer::plan::{
+        AggFuncEx, AggItem, AggScanNode, JoinType, Plan, RangeSpec, ScanNode,
+    };
+}

@@ -1,0 +1,139 @@
+//! Cross-crate integration through the public `taurus` API: DDL, DML,
+//! transactions, planning, EXPLAIN, and query execution.
+
+use taurus::prelude::*;
+use taurus::optimizer::plan::AggScanNode;
+
+fn worker_db() -> (std::sync::Arc<TaurusDb>, std::sync::Arc<Table>) {
+    let mut cfg = ClusterConfig::small_for_tests();
+    cfg.ndp.min_io_pages = 1;
+    let db = TaurusDb::new(cfg);
+    // "The query only projects one column out of many" (§III) — the wide
+    // columns are what makes NDP column projection worthwhile.
+    let schema = TableSchema::new(
+        "worker",
+        vec![
+            Column::new("id", DataType::BigInt),
+            Column::new("age", DataType::Int),
+            Column::new("joindate", DataType::Date),
+            Column::new("salary", DataType::Decimal { precision: 15, scale: 2 }),
+            Column::new("name", DataType::Varchar(40)),
+            Column::new("resume", DataType::Varchar(120)),
+        ],
+        vec![0],
+    );
+    let t = db.create_table(schema, &[]).unwrap();
+    let rows: Vec<Row> = (0..2000i64)
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                Value::Int(20 + i % 50),
+                Value::Date(Date32::from_ymd(2008, 1, 1).add_days((i % 2000) as i32)),
+                Value::Decimal(Dec::new((40_000 + i * 13) as i128, 2)),
+                Value::str(format!("worker number {i}")),
+                Value::str(format!("joined the company and wrote code, id {i}, more text here")),
+            ]
+        })
+        .collect();
+    db.bulk_load(&t, rows).unwrap();
+    db.buffer_pool().clear();
+    (db, t)
+}
+
+fn listing1_plan() -> Plan {
+    let start = Date32::parse("2010-01-01").unwrap();
+    Plan::AggScan(AggScanNode {
+        scan: ScanNode::new("worker", vec![1, 2, 3]).with_predicate(vec![
+            Expr::lt(Expr::col(1), Expr::int(40)),
+            Expr::ge(Expr::col(2), Expr::lit(Value::Date(start))),
+            Expr::lt(Expr::col(2), Expr::lit(Value::Date(start.add_years(1)))),
+        ]),
+        group_cols: vec![],
+        aggs: vec![AggItem { func: AggFuncEx::Avg, input: Some(Expr::col(3)) }],
+    })
+}
+
+#[test]
+fn explain_prints_listing2_annotations() {
+    let (db, _t) = worker_db();
+    let mut plan = listing1_plan();
+    ndp_post_process(&mut plan, &db).unwrap();
+    let text = explain(&plan, &db);
+    assert!(text.contains("Using pushed NDP condition"), "{text}");
+    assert!(text.contains("Using pushed NDP columns"), "{text}");
+    assert!(text.contains("Using pushed NDP aggregate"), "{text}");
+    assert!(text.contains("joindate"), "column names resolved: {text}");
+}
+
+#[test]
+fn listing1_avg_matches_with_and_without_ndp() {
+    let (db, _t) = worker_db();
+    let plain = run_query(&db, &listing1_plan()).unwrap();
+    let mut optimized = listing1_plan();
+    ndp_post_process(&mut optimized, &db).unwrap();
+    db.buffer_pool().clear();
+    let ndp = run_query(&db, &optimized).unwrap();
+    assert_eq!(plain.rows, ndp.rows);
+    assert!(matches!(ndp.rows[0][0], Value::Decimal(_)));
+}
+
+#[test]
+fn transactions_commit_rollback_through_api() {
+    let (db, t) = worker_db();
+    let view0 = db.read_view(0);
+    // Committed insert becomes visible; rolled-back one never does.
+    let t1 = db.begin();
+    db.insert_row(&t, t1, &vec![
+        Value::Int(99_991),
+        Value::Int(30),
+        Value::Date(Date32::parse("2012-05-01").unwrap()),
+        Value::Decimal(Dec::new(1, 2)),
+        Value::str("committed worker"),
+        Value::str("n/a"),
+    ])
+    .unwrap();
+    db.commit(t1);
+    let t2 = db.begin();
+    db.insert_row(&t, t2, &vec![
+        Value::Int(99_992),
+        Value::Int(31),
+        Value::Date(Date32::parse("2012-05-01").unwrap()),
+        Value::Decimal(Dec::new(2, 2)),
+        Value::str("rolled-back worker"),
+        Value::str("n/a"),
+    ])
+    .unwrap();
+    db.rollback(t2).unwrap();
+    let view1 = db.read_view(0);
+    assert!(db.lookup_row(&t, &view1, &[Value::Int(99_991)]).unwrap().is_some());
+    assert!(db.lookup_row(&t, &view1, &[Value::Int(99_992)]).unwrap().is_none());
+    // The old snapshot sees neither.
+    assert!(db.lookup_row(&t, &view0, &[Value::Int(99_991)]).unwrap().is_none());
+}
+
+#[test]
+fn ndp_gate_respects_min_io_pages() {
+    // With a huge min-IO threshold, the post-processing pass must refuse
+    // NDP (the paper's Q11/Q17/Q19/Q20 behaviour).
+    let (db, _t) = worker_db();
+    let mut plan = listing1_plan();
+    // Rebuild the db config path: clone a config with a huge gate.
+    let mut cfg = db.config().clone();
+    cfg.ndp.min_io_pages = 1_000_000;
+    let db2 = TaurusDb::new(cfg);
+    let schema = db.table("worker").unwrap().schema.clone();
+    let t2 = db2.create_table(schema, &[]).unwrap();
+    db2.bulk_load(&t2, vec![vec![
+        Value::Int(1),
+        Value::Int(30),
+        Value::Date(Date32::parse("2010-06-01").unwrap()),
+        Value::Decimal(Dec::new(100, 2)),
+        Value::str("only worker"),
+        Value::str("n/a"),
+    ]])
+    .unwrap();
+    let reports = ndp_post_process(&mut plan, &db2).unwrap();
+    assert!(reports[0].gated_by_io);
+    let text = explain(&plan, &db2);
+    assert!(!text.contains("Using pushed NDP"), "{text}");
+}

@@ -1,0 +1,186 @@
+//! Property-based tests for the reproduction's master invariants:
+//!
+//! 1. An NDP scan returns exactly what the classical scan returns, for
+//!    random data, random predicates, random projections, and random
+//!    resource-control skip patterns.
+//! 2. Rows always arrive in index-key order.
+//! 3. Record encode/decode round-trips for arbitrary values.
+
+use proptest::prelude::*;
+use taurus::prelude::*;
+use taurus::ndp::ScanConsumer;
+use taurus::pagestore::SkipPolicy;
+
+fn schema() -> std::sync::Arc<TableSchema> {
+    TableSchema::new(
+        "t",
+        vec![
+            Column::new("k", DataType::BigInt),
+            Column::new("a", DataType::Int),
+            Column::new("d", DataType::Decimal { precision: 15, scale: 2 }),
+            Column::new("s", DataType::Varchar(16)),
+        ],
+        vec![0],
+    )
+}
+
+#[derive(Clone, Debug)]
+struct Dataset {
+    rows: Vec<(i64, i32, i64, String)>,
+}
+
+fn dataset() -> impl Strategy<Value = Dataset> {
+    proptest::collection::vec(
+        (0i64..5000, any::<i32>(), -10_000i64..10_000, "[a-z]{0,12}"),
+        20..400,
+    )
+    .prop_map(|mut rows| {
+        rows.sort_by_key(|r| r.0);
+        rows.dedup_by_key(|r| r.0);
+        Dataset { rows }
+    })
+}
+
+/// A random single-conjunct predicate over the table.
+fn predicate() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (any::<i32>()).prop_map(|v| Expr::lt(Expr::col(1), Expr::int(v as i64))),
+        (-10_000i64..10_000)
+            .prop_map(|v| Expr::ge(Expr::col(2), Expr::lit(Value::Decimal(Dec::new(v as i128, 2))))),
+        "[a-z]{0,3}".prop_map(|s| Expr::like(Expr::col(3), &format!("{s}%"))),
+        (0i64..5000).prop_map(|v| Expr::gt(Expr::col(0), Expr::int(v))),
+    ]
+}
+
+struct Rows(Vec<Row>);
+
+impl ScanConsumer for Rows {
+    fn on_row(&mut self, row: &[Value]) -> Result<bool> {
+        self.0.push(row.to_vec());
+        Ok(true)
+    }
+    fn on_partial(&mut self, _s: Vec<taurus::ndp::AggState>) -> Result<bool> {
+        panic!("no aggregation in these scans")
+    }
+}
+
+fn build_db(data: &Dataset) -> (std::sync::Arc<TaurusDb>, std::sync::Arc<Table>) {
+    let mut cfg = ClusterConfig::small_for_tests();
+    cfg.page_size = 2048;
+    cfg.buffer_pool_pages = 16;
+    cfg.ndp.max_pages_look_ahead = 5;
+    let db = TaurusDb::new(cfg);
+    let t = db.create_table(schema(), &[]).unwrap();
+    let rows: Vec<Row> = data
+        .rows
+        .iter()
+        .map(|(k, a, d, s)| {
+            vec![
+                Value::Int(*k),
+                Value::Int(*a as i64),
+                Value::Decimal(Dec::new(*d as i128, 2)),
+                Value::str(s),
+            ]
+        })
+        .collect();
+    db.bulk_load(&t, rows).unwrap();
+    db.buffer_pool().clear();
+    (db, t)
+}
+
+fn run_scan(
+    db: &TaurusDb,
+    t: &Table,
+    ndp: Option<NdpChoice>,
+    output: Vec<usize>,
+) -> Vec<Row> {
+    let spec = ScanSpec { index: 0, range: ScanRange::full(), ndp, output_cols: output };
+    let mut c = Rows(Vec::new());
+    let view = db.read_view(0);
+    scan(db, t, &spec, &view, &mut c).unwrap();
+    c.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn ndp_scan_equals_classical(data in dataset(), pred in predicate(), skip in 0u64..4) {
+        let (db, t) = build_db(&data);
+        // Classical reference: full scan + compute-side filter.
+        let all = run_scan(&db, &t, None, vec![0, 1, 2, 3]);
+        let expected: Vec<Row> = all
+            .into_iter()
+            .filter(|r| taurus::expr::eval::eval_pred(&pred, r).unwrap() == Some(true))
+            .collect();
+        // NDP with injected skip pattern.
+        let policy = match skip {
+            0 => SkipPolicy::None,
+            1 => SkipPolicy::EveryNth(2),
+            2 => SkipPolicy::EveryNth(3),
+            _ => SkipPolicy::All,
+        };
+        for ps in db.sal().page_stores() {
+            ps.set_skip_policy(policy.clone());
+        }
+        db.buffer_pool().clear();
+        let got = run_scan(
+            &db,
+            &t,
+            Some(NdpChoice {
+                predicate: Some(pred.clone()),
+                projection: Some(vec![0, 1, 2, 3]),
+                ..Default::default()
+            }),
+            vec![0, 1, 2, 3],
+        );
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn scan_rows_arrive_in_key_order(data in dataset()) {
+        let (db, t) = build_db(&data);
+        let rows = run_scan(
+            &db,
+            &t,
+            Some(NdpChoice { projection: Some(vec![0]), ..Default::default() }),
+            vec![0],
+        );
+        let keys: Vec<i64> = rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&keys, &sorted);
+        prop_assert_eq!(keys.len(), data.rows.len());
+    }
+
+    #[test]
+    fn record_roundtrip(k in any::<i64>(), a in any::<i32>(), d in -1_000_000i64..1_000_000, s in "[a-zA-Z0-9 ]{0,16}") {
+        use taurus::page::{encode_record, RecordLayout, RecordMeta, RecordView};
+        let layout = RecordLayout::new(vec![
+            DataType::BigInt,
+            DataType::Int,
+            DataType::Decimal { precision: 15, scale: 2 },
+            DataType::Varchar(16),
+        ]);
+        let vals = vec![
+            Value::Int(k),
+            Value::Int(a as i64),
+            Value::Decimal(Dec::new(d as i128, 2)),
+            Value::str(&s),
+        ];
+        let mut buf = Vec::new();
+        encode_record(&layout, &vals, RecordMeta::ordinary(7), None, &mut buf).unwrap();
+        let view = RecordView::new(&buf, &layout);
+        prop_assert_eq!(view.values(), vals);
+        prop_assert_eq!(view.trx_id(), 7);
+        prop_assert_eq!(view.total_len(), buf.len());
+    }
+
+    #[test]
+    fn key_encoding_preserves_order(a in any::<i64>(), b in any::<i64>()) {
+        use taurus::common::schema::encode_key;
+        let ka = encode_key(&[Value::Int(a)], &[DataType::BigInt]);
+        let kb = encode_key(&[Value::Int(b)], &[DataType::BigInt]);
+        prop_assert_eq!(a.cmp(&b), ka.cmp(&kb));
+    }
+}
