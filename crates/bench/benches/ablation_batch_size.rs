@@ -7,7 +7,10 @@ use taurus_bench::*;
 
 fn main() {
     header("Ablation: NDP batch size (innodb_ndp_max_pages_look_ahead, §IV-C4)");
-    println!("{:>10} {:>12} {:>12} {:>14}", "look-ahead", "wall (ms)", "requests", "bytes (KB)");
+    println!(
+        "{:>10} {:>12} {:>12} {:>14}",
+        "look-ahead", "wall (ms)", "requests", "bytes (KB)"
+    );
     for look_ahead in [4usize, 16, 64, 256, 1024] {
         let mut cfg = bench_config(true);
         cfg.ndp.max_pages_look_ahead = look_ahead;

@@ -11,11 +11,20 @@ use taurus_page::{encode_record, RecordLayout, RecordMeta, RecordView};
 
 fn layout() -> RecordLayout {
     RecordLayout::new(vec![
-        DataType::Decimal { precision: 15, scale: 2 }, // qty
-        DataType::Decimal { precision: 15, scale: 2 }, // extendedprice
-        DataType::Decimal { precision: 15, scale: 2 }, // discount
-        DataType::Date,                                // shipdate
-        DataType::Char(10),                            // shipmode
+        DataType::Decimal {
+            precision: 15,
+            scale: 2,
+        }, // qty
+        DataType::Decimal {
+            precision: 15,
+            scale: 2,
+        }, // extendedprice
+        DataType::Decimal {
+            precision: 15,
+            scale: 2,
+        }, // discount
+        DataType::Date,     // shipdate
+        DataType::Char(10), // shipmode
     ])
 }
 
@@ -68,8 +77,7 @@ fn bench(c: &mut Criterion) {
             let mut n = 0;
             for bytes in &records {
                 let v = RecordView::new(bytes, &l);
-                if compiled.eval_record(&v, &mut offsets).unwrap()
-                    == taurus_expr::vm::TriBool::True
+                if compiled.eval_record(&v, &mut offsets).unwrap() == taurus_expr::vm::TriBool::True
                 {
                     n += 1;
                 }

@@ -9,7 +9,10 @@ fn main() {
     header("Fig. 8: run time reduction with NDP (TPC-H, in sequence)");
     let off = setup(BENCH_SF, bench_config(false));
     let on = setup(BENCH_SF, bench_config(true));
-    println!("{:<5} {:>12} {:>12} {:>9}", "query", "off (ms)", "on (ms)", "red %");
+    println!(
+        "{:<5} {:>12} {:>12} {:>9}",
+        "query", "off (ms)", "on (ms)", "red %"
+    );
     let (mut tot_off, mut tot_on) = (0.0f64, 0.0f64);
     let li_off = off.table("lineitem").unwrap().primary.tree.def.space;
     let li_on = on.table("lineitem").unwrap().primary.tree.def.space;

@@ -12,7 +12,10 @@ fn main() {
     let theoretical = (1.0 - 1.0 / PQ as f64) * 100.0;
     println!("(degree {PQ}; theoretical maximum {theoretical:.1}%)");
     let on = setup(BENCH_SF, bench_config(true));
-    println!("{:<5} {:>12} {:>12} {:>9}", "query", "serial ms", "PQ ms", "red %");
+    println!(
+        "{:<5} {:>12} {:>12} {:>9}",
+        "query", "serial ms", "PQ ms", "red %"
+    );
     for q in taurus_tpch::tpch_queries() {
         if !q.pq_capable {
             continue;

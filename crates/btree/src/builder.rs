@@ -58,7 +58,10 @@ pub fn bulk_build(
 ) -> Result<u32> {
     let _x = store.structure_latch().write();
     let reserve = fill_reserve(page_size);
-    let mut lb = LevelBuilder { store, pending: Vec::new() };
+    let mut lb = LevelBuilder {
+        store,
+        pending: Vec::new(),
+    };
 
     // --- leaves -----------------------------------------------------------
     // (first_key, page_no) of each completed leaf.

@@ -32,10 +32,25 @@ use taurus_page::{encode_record, Page, RecType, RecordLayout, RecordMeta, Record
 #[derive(Clone, Debug)]
 pub enum RedoOp {
     NewPage(Page),
-    InsertRecord { page_no: PageNo, slot_idx: u16, rec: Vec<u8> },
-    SetDeleteMark { page_no: PageNo, rec_at: u16, mark: bool },
-    WriteBytes { page_no: PageNo, at: u16, bytes: Vec<u8> },
-    SetPrev { page_no: PageNo, prev: PageNo },
+    InsertRecord {
+        page_no: PageNo,
+        slot_idx: u16,
+        rec: Vec<u8>,
+    },
+    SetDeleteMark {
+        page_no: PageNo,
+        rec_at: u16,
+        mark: bool,
+    },
+    WriteBytes {
+        page_no: PageNo,
+        at: u16,
+        bytes: Vec<u8>,
+    },
+    SetPrev {
+        page_no: PageNo,
+        prev: PageNo,
+    },
 }
 
 /// The tree's view of its storage (implemented by the engine: buffer pool
@@ -66,7 +81,10 @@ impl ScanRange {
     }
 
     pub fn point(key: Vec<u8>) -> ScanRange {
-        ScanRange { lower: Some((key.clone(), true)), upper: Some((key, true)) }
+        ScanRange {
+            lower: Some((key.clone(), true)),
+            upper: Some((key, true)),
+        }
     }
 
     /// Does `key` fall within the range? Prefix bounds use group semantics:
@@ -185,8 +203,11 @@ impl BTree {
 
     /// Encode the index key of a *stored row* (leaf-record column order).
     pub fn key_of_row(&self, stored_row: &[Value]) -> Vec<u8> {
-        let vals: Vec<Value> =
-            self.key_positions.iter().map(|&p| stored_row[p].clone()).collect();
+        let vals: Vec<Value> = self
+            .key_positions
+            .iter()
+            .map(|&p| stored_row[p].clone())
+            .collect();
         encode_key(&vals, &self.key_dtypes)
     }
 
@@ -226,7 +247,10 @@ impl BTree {
         let (idx, exact) = page.lower_bound(key, self.node_key_extractor());
         let n = page.n_slots() as usize;
         let pick = if exact { idx } else { idx.saturating_sub(1) }.min(n.saturating_sub(1));
-        let off = page.slot_offsets().nth(pick).expect("non-empty internal page");
+        let off = page
+            .slot_offsets()
+            .nth(pick)
+            .expect("non-empty internal page");
         let rec = RecordView::new(page.record_at(off), &self.node_layout);
         self.node_child(&rec)
     }
@@ -260,7 +284,11 @@ impl BTree {
         }
         let off = leaf.slot_offsets().nth(idx).unwrap();
         let view = RecordView::new(leaf.record_at(off), &self.leaf_layout);
-        Ok(Some(RecordLoc { page_no: leaf.page_no(), rec_at: off, bytes: view.raw().to_vec() }))
+        Ok(Some(RecordLoc {
+            page_no: leaf.page_no(),
+            rec_at: off,
+            bytes: view.raw().to_vec(),
+        }))
     }
 
     /// Insert a stored row. Duplicate full keys are rejected.
@@ -268,7 +296,13 @@ impl BTree {
         let _x = store.structure_latch().write();
         let key = self.key_of_row(row);
         let mut rec = Vec::with_capacity(64);
-        encode_record(&self.leaf_layout, row, RecordMeta::ordinary(trx_id), None, &mut rec)?;
+        encode_record(
+            &self.leaf_layout,
+            row,
+            RecordMeta::ordinary(trx_id),
+            None,
+            &mut rec,
+        )?;
         if self.root() == NO_PAGE {
             return Err(Error::InvalidState(
                 "insert into un-built tree: bulk_build first (0 rows is fine)".into(),
@@ -304,14 +338,17 @@ impl BTree {
     ) -> Result<()> {
         let mut recs: Vec<Vec<u8>> = leaf
             .slot_offsets()
-            .map(|off| RecordView::new(leaf.record_at(off), &self.leaf_layout).raw().to_vec())
+            .map(|off| {
+                RecordView::new(leaf.record_at(off), &self.leaf_layout)
+                    .raw()
+                    .to_vec()
+            })
             .collect();
         recs.insert(insert_idx, rec);
         let mid = recs.len() / 2;
         let right_no = store.allocate();
         let page_size = leaf.byte_len();
-        let mut left =
-            Page::new_index(page_size, leaf.space(), leaf.page_no(), leaf.index_id(), 0);
+        let mut left = Page::new_index(page_size, leaf.space(), leaf.page_no(), leaf.index_id(), 0);
         let mut right = Page::new_index(page_size, leaf.space(), right_no, leaf.index_id(), 0);
         for r in &recs[..mid] {
             left.append_record(r)?;
@@ -325,7 +362,10 @@ impl BTree {
         right.set_next(leaf.next());
         let mut ops = Vec::with_capacity(4);
         if leaf.next() != NO_PAGE {
-            ops.push(RedoOp::SetPrev { page_no: leaf.next(), prev: right_no });
+            ops.push(RedoOp::SetPrev {
+                page_no: leaf.next(),
+                prev: right_no,
+            });
         }
         ops.push(RedoOp::NewPage(left));
         ops.push(RedoOp::NewPage(right));
@@ -419,7 +459,10 @@ impl BTree {
                 right.set_prev(parent.page_no());
                 right.set_next(parent.next());
                 if parent.next() != NO_PAGE {
-                    ops.push(RedoOp::SetPrev { page_no: parent.next(), prev: right_no });
+                    ops.push(RedoOp::SetPrev {
+                        page_no: parent.next(),
+                        prev: right_no,
+                    });
                 }
                 let up_sep = RecordView::new(&recs[mid], &self.node_layout)
                     .field_bytes(0)
@@ -447,7 +490,11 @@ impl BTree {
             .get(store, key)?
             .ok_or_else(|| Error::NotFound(format!("key in {}", self.def.name)))?;
         store.write(vec![
-            RedoOp::SetDeleteMark { page_no: loc.page_no, rec_at: loc.rec_at, mark },
+            RedoOp::SetDeleteMark {
+                page_no: loc.page_no,
+                rec_at: loc.rec_at,
+                mark,
+            },
             RedoOp::WriteBytes {
                 page_no: loc.page_no,
                 at: loc.rec_at + 5,
@@ -473,7 +520,13 @@ impl BTree {
             .get(store, &key)?
             .ok_or_else(|| Error::NotFound(format!("key in {}", self.def.name)))?;
         let mut rec = Vec::with_capacity(loc.bytes.len());
-        encode_record(&self.leaf_layout, row, RecordMeta::ordinary(trx_id), None, &mut rec)?;
+        encode_record(
+            &self.leaf_layout,
+            row,
+            RecordMeta::ordinary(trx_id),
+            None,
+            &mut rec,
+        )?;
         if rec.len() != loc.bytes.len() {
             return Err(Error::InvalidState(
                 "variable-length update would move the record; unsupported".into(),
@@ -490,11 +543,7 @@ impl BTree {
     }
 
     /// Find the first leaf whose records may intersect `range`.
-    pub fn seek_leaf(
-        &self,
-        store: &dyn TreeStore,
-        range: &ScanRange,
-    ) -> Result<Option<Arc<Page>>> {
+    pub fn seek_leaf(&self, store: &dyn TreeStore, range: &ScanRange) -> Result<Option<Arc<Page>>> {
         if self.root() == NO_PAGE {
             return Ok(None);
         }
@@ -538,7 +587,11 @@ impl BTree {
         }
         if self.height() <= 1 {
             // Root is the only leaf: nothing to batch beyond it.
-            let pages = if resume_at.is_some() { Vec::new() } else { vec![self.root()] };
+            let pages = if resume_at.is_some() {
+                Vec::new()
+            } else {
+                vec![self.root()]
+            };
             return Ok((pages, lsn, None));
         }
         let start_key: Option<&[u8]> = match (resume_at, &range.lower) {

@@ -52,11 +52,19 @@ impl TreeStore for MemStore {
                 RedoOp::NewPage(p) => {
                     pages.insert(p.page_no(), Arc::new(p));
                 }
-                RedoOp::InsertRecord { page_no, slot_idx, rec } => {
+                RedoOp::InsertRecord {
+                    page_no,
+                    slot_idx,
+                    rec,
+                } => {
                     let p = pages.get_mut(&page_no).unwrap();
                     Arc::make_mut(p).insert_at_slot(slot_idx as usize, &rec)?;
                 }
-                RedoOp::SetDeleteMark { page_no, rec_at, mark } => {
+                RedoOp::SetDeleteMark {
+                    page_no,
+                    rec_at,
+                    mark,
+                } => {
                     let p = pages.get_mut(&page_no).unwrap();
                     taurus_page::record::set_delete_mark(
                         Arc::make_mut(p).raw_mut(),
@@ -108,7 +116,11 @@ fn test_tree() -> BTree {
 }
 
 fn row(id: i64) -> Vec<Value> {
-    vec![Value::Int(id), Value::Int((id * 7 % 100) as i64), Value::str(format!("name-{id}"))]
+    vec![
+        Value::Int(id),
+        Value::Int(id * 7 % 100),
+        Value::str(format!("name-{id}")),
+    ]
 }
 
 const PAGE: usize = 1024;
@@ -142,7 +154,10 @@ fn scan_keys(tree: &BTree, store: &MemStore) -> Vec<i64> {
 #[test]
 fn bulk_build_preserves_order_and_counts() {
     let (tree, store) = build(500);
-    assert!(tree.height() >= 2, "500 rows on 1 KB pages must not fit one leaf");
+    assert!(
+        tree.height() >= 2,
+        "500 rows on 1 KB pages must not fit one leaf"
+    );
     assert!(tree.n_leaves() > 4);
     let keys = scan_keys(&tree, &store);
     assert_eq!(keys.len(), 500);
@@ -153,7 +168,11 @@ fn bulk_build_preserves_order_and_counts() {
 #[test]
 fn bulk_build_deep_tree() {
     let (tree, store) = build(5000);
-    assert!(tree.height() >= 3, "expected a level-2 tree, got {}", tree.height());
+    assert!(
+        tree.height() >= 3,
+        "expected a level-2 tree, got {}",
+        tree.height()
+    );
     let keys = scan_keys(&tree, &store);
     assert_eq!(keys.len(), 5000);
     assert_eq!(keys[0], 0);
@@ -174,13 +193,17 @@ fn empty_build_then_insert() {
 #[test]
 fn point_lookup_hit_and_miss() {
     let (tree, store) = build(200);
-    let hit = tree.get(&store, &tree.encode_search_key(&[Value::Int(42 * 2)])).unwrap();
+    let hit = tree
+        .get(&store, &tree.encode_search_key(&[Value::Int(42 * 2)]))
+        .unwrap();
     assert!(hit.is_some());
     let rec = hit.unwrap();
     let v = RecordView::new(&rec.bytes, &tree.leaf_layout);
     assert_eq!(v.value(0), Value::Int(84));
     // Odd keys were never inserted.
-    let miss = tree.get(&store, &tree.encode_search_key(&[Value::Int(85)])).unwrap();
+    let miss = tree
+        .get(&store, &tree.encode_search_key(&[Value::Int(85)]))
+        .unwrap();
     assert!(miss.is_none());
 }
 
@@ -290,13 +313,25 @@ fn batch_extraction_respects_range_boundaries() {
     let (tree, store) = build(2000); // keys 0..3998 even
     let lo = tree.encode_search_key(&[Value::Int(1000)]);
     let hi = tree.encode_search_key(&[Value::Int(1400)]);
-    let range = ScanRange { lower: Some((lo, true)), upper: Some((hi, true)) };
-    let (pages, _, resume) = tree.collect_leaf_batch(&store, &range, None, 10_000).unwrap();
+    let range = ScanRange {
+        lower: Some((lo, true)),
+        upper: Some((hi, true)),
+    };
+    let (pages, _, resume) = tree
+        .collect_leaf_batch(&store, &range, None, 10_000)
+        .unwrap();
     assert!(resume.is_none());
     // The selected leaves must cover [1000,1400] and little more.
-    let full =
-        tree.collect_leaf_batch(&store, &ScanRange::full(), None, 10_000).unwrap().0;
-    assert!(pages.len() < full.len() / 2, "{} vs {}", pages.len(), full.len());
+    let full = tree
+        .collect_leaf_batch(&store, &ScanRange::full(), None, 10_000)
+        .unwrap()
+        .0;
+    assert!(
+        pages.len() < full.len() / 2,
+        "{} vs {}",
+        pages.len(),
+        full.len()
+    );
     // All keys in range appear in the collected pages.
     let mut seen = Vec::new();
     for no in &pages {
@@ -318,18 +353,20 @@ fn batch_extraction_respects_range_boundaries() {
 fn batch_extraction_single_leaf_tree() {
     let (tree, store) = build(5);
     assert_eq!(tree.height(), 1);
-    let (pages, _, resume) =
-        tree.collect_leaf_batch(&store, &ScanRange::full(), None, 10).unwrap();
+    let (pages, _, resume) = tree
+        .collect_leaf_batch(&store, &ScanRange::full(), None, 10)
+        .unwrap();
     assert_eq!(pages, vec![tree.root()]);
     assert!(resume.is_none());
 }
 
 #[test]
 fn scan_range_semantics() {
-    let k = |v: i64| {
-        taurus_common::schema::encode_key(&[Value::Int(v)], &[DataType::BigInt])
+    let k = |v: i64| taurus_common::schema::encode_key(&[Value::Int(v)], &[DataType::BigInt]);
+    let r = ScanRange {
+        lower: Some((k(10), true)),
+        upper: Some((k(20), false)),
     };
-    let r = ScanRange { lower: Some((k(10), true)), upper: Some((k(20), false)) };
     assert!(!r.contains(&k(9)));
     assert!(r.contains(&k(10)));
     assert!(r.contains(&k(19)));
@@ -339,12 +376,14 @@ fn scan_range_semantics() {
     // Prefix semantics on a composite key.
     let dts = [DataType::BigInt, DataType::BigInt];
     let prefix = taurus_common::schema::encode_key(&[Value::Int(5)], &dts[..1]);
-    let full_key =
-        taurus_common::schema::encode_key(&[Value::Int(5), Value::Int(99)], &dts);
+    let full_key = taurus_common::schema::encode_key(&[Value::Int(5), Value::Int(99)], &dts);
     let pr = ScanRange {
         lower: Some((prefix.clone(), true)),
         upper: Some((prefix.clone(), true)),
     };
-    assert!(pr.contains(&full_key), "key extending an inclusive prefix bound matches");
+    assert!(
+        pr.contains(&full_key),
+        "key extending an inclusive prefix bound matches"
+    );
     assert!(!pr.past_upper(&full_key));
 }

@@ -176,13 +176,21 @@ impl BufferPool {
             self.metrics.add(|m| &m.bp_evictions, evicted);
         }
         self.metrics.add(|m| &m.bp_ndp_frames, 1);
-        Ok(NdpFrameGuard { pool: Arc::clone(self), page })
+        Ok(NdpFrameGuard {
+            pool: Arc::clone(self),
+            page,
+        })
     }
 
     /// Pages cached for a given space — the counter behind the paper's Q4
     /// buffer-pool experiment (§VII-D: lineitem pages present after Q1–Q3).
     pub fn count_pages_in_space(&self, space: SpaceId) -> usize {
-        self.inner.lock().map.keys().filter(|p| p.space == space).count()
+        self.inner
+            .lock()
+            .map
+            .keys()
+            .filter(|p| p.space == space)
+            .count()
     }
 
     /// Drop everything (used between benchmark runs for cold-cache starts).

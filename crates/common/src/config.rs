@@ -115,7 +115,11 @@ impl ClusterConfig {
             pagestore_ndp_threads: 2,
             pagestore_ndp_queue: 16,
             pagestore_versions_retained: 8,
-            ndp: NdpConfig { min_io_pages: 1, max_pages_look_ahead: 16, ..NdpConfig::default() },
+            ndp: NdpConfig {
+                min_io_pages: 1,
+                max_pages_look_ahead: 16,
+                ..NdpConfig::default()
+            },
             network: NetworkConfig::default(),
         }
     }

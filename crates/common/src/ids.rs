@@ -58,7 +58,10 @@ pub struct SliceId {
 impl SliceId {
     /// Slice containing `page_no` given the configured pages-per-slice.
     pub fn of(space: SpaceId, page_no: PageNo, slice_pages: u32) -> Self {
-        SliceId { space, seq: page_no / slice_pages }
+        SliceId {
+            space,
+            seq: page_no / slice_pages,
+        }
     }
 }
 

@@ -16,7 +16,10 @@ use std::sync::Arc;
 /// which is precisely why the paper's "CPU freed on the SQL node" effect is
 /// directly observable in-process.
 pub fn thread_cpu_ns() -> u64 {
-    let mut ts = libc::timespec { tv_sec: 0, tv_nsec: 0 };
+    let mut ts = libc::timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
     // SAFETY: ts is a valid out-pointer; CLOCK_THREAD_CPUTIME_ID is portable
     // on Linux which is the only supported bench platform.
     let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
@@ -34,14 +37,18 @@ pub struct CpuGuard<'a> {
 
 impl<'a> CpuGuard<'a> {
     pub fn new(counter: &'a AtomicU64) -> Self {
-        CpuGuard { counter, start: thread_cpu_ns() }
+        CpuGuard {
+            counter,
+            start: thread_cpu_ns(),
+        }
     }
 }
 
 impl Drop for CpuGuard<'_> {
     fn drop(&mut self) {
         let end = thread_cpu_ns();
-        self.counter.fetch_add(end.saturating_sub(self.start), Ordering::Relaxed);
+        self.counter
+            .fetch_add(end.saturating_sub(self.start), Ordering::Relaxed);
     }
 }
 
@@ -207,8 +214,14 @@ mod tests {
 
     #[test]
     fn reduction_pct_formula() {
-        let base = MetricsSnapshot { net_bytes_from_storage: 1000, ..Default::default() };
-        let ndp = MetricsSnapshot { net_bytes_from_storage: 10, ..Default::default() };
+        let base = MetricsSnapshot {
+            net_bytes_from_storage: 1000,
+            ..Default::default()
+        };
+        let ndp = MetricsSnapshot {
+            net_bytes_from_storage: 10,
+            ..Default::default()
+        };
         let r = ndp.reduction_pct(&base, |s| s.net_bytes_from_storage);
         assert!((r - 99.0).abs() < 1e-9);
     }

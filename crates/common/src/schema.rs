@@ -25,11 +25,19 @@ pub struct Column {
 
 impl Column {
     pub fn new(name: &str, dtype: DataType) -> Self {
-        Column { name: name.to_string(), dtype, nullable: false }
+        Column {
+            name: name.to_string(),
+            dtype,
+            nullable: false,
+        }
     }
 
     pub fn nullable(name: &str, dtype: DataType) -> Self {
-        Column { name: name.to_string(), dtype, nullable: true }
+        Column {
+            name: name.to_string(),
+            dtype,
+            nullable: true,
+        }
     }
 }
 
@@ -48,7 +56,11 @@ impl TableSchema {
         for &c in &pk {
             assert!(c < columns.len(), "pk column {c} out of range");
         }
-        Arc::new(TableSchema { name: name.to_string(), columns, pk })
+        Arc::new(TableSchema {
+            name: name.to_string(),
+            columns,
+            pk,
+        })
     }
 
     pub fn col_index(&self, name: &str) -> Result<usize> {
@@ -165,7 +177,11 @@ pub fn encode_key_part(v: &Value, dtype: &DataType, out: &mut Vec<u8>) {
         }
         (DataType::Double, Value::Double(x)) => {
             let bits = x.to_bits();
-            let flipped = if bits & (1 << 63) != 0 { !bits } else { bits | (1 << 63) };
+            let flipped = if bits & (1 << 63) != 0 {
+                !bits
+            } else {
+                bits | (1 << 63)
+            };
             out.extend_from_slice(&flipped.to_be_bytes());
         }
         (dt, v) => panic!("key encoding mismatch: {v:?} as {dt:?}"),
@@ -204,7 +220,10 @@ mod tests {
     #[test]
     fn int_keys_order_across_sign() {
         let vals = [-5i64, -1, 0, 1, 100, i64::MAX];
-        let keys: Vec<_> = vals.iter().map(|&v| k1(Value::Int(v), DataType::BigInt)).collect();
+        let keys: Vec<_> = vals
+            .iter()
+            .map(|&v| k1(Value::Int(v), DataType::BigInt))
+            .collect();
         for w in keys.windows(2) {
             assert!(w[0] < w[1]);
         }
@@ -214,15 +233,27 @@ mod tests {
     fn decimal_and_date_keys_order() {
         let d1 = k1(
             Value::Decimal(Dec::parse("-3.50").unwrap()),
-            DataType::Decimal { precision: 15, scale: 2 },
+            DataType::Decimal {
+                precision: 15,
+                scale: 2,
+            },
         );
         let d2 = k1(
             Value::Decimal(Dec::parse("3.49").unwrap()),
-            DataType::Decimal { precision: 15, scale: 2 },
+            DataType::Decimal {
+                precision: 15,
+                scale: 2,
+            },
         );
         assert!(d1 < d2);
-        let a = k1(Value::Date(Date32::parse("1994-01-01").unwrap()), DataType::Date);
-        let b = k1(Value::Date(Date32::parse("1994-01-02").unwrap()), DataType::Date);
+        let a = k1(
+            Value::Date(Date32::parse("1994-01-01").unwrap()),
+            DataType::Date,
+        );
+        let b = k1(
+            Value::Date(Date32::parse("1994-01-02").unwrap()),
+            DataType::Date,
+        );
         assert!(a < b);
     }
 
@@ -251,15 +282,24 @@ mod tests {
     fn composite_key_orders_lexicographically() {
         let dts = [DataType::Int, DataType::Date];
         let a = encode_key(
-            &[Value::Int(1), Value::Date(Date32::parse("1998-01-01").unwrap())],
+            &[
+                Value::Int(1),
+                Value::Date(Date32::parse("1998-01-01").unwrap()),
+            ],
             &dts,
         );
         let b = encode_key(
-            &[Value::Int(1), Value::Date(Date32::parse("1998-01-02").unwrap())],
+            &[
+                Value::Int(1),
+                Value::Date(Date32::parse("1998-01-02").unwrap()),
+            ],
             &dts,
         );
         let c = encode_key(
-            &[Value::Int(2), Value::Date(Date32::parse("1990-01-01").unwrap())],
+            &[
+                Value::Int(2),
+                Value::Date(Date32::parse("1990-01-01").unwrap()),
+            ],
             &dts,
         );
         assert!(a < b && b < c);
@@ -271,8 +311,10 @@ mod tests {
     #[test]
     fn double_keys_order_including_negatives() {
         let vals = [-10.5, -0.0, 0.0, 0.25, 7e9];
-        let keys: Vec<_> =
-            vals.iter().map(|&v| k1(Value::Double(v), DataType::Double)).collect();
+        let keys: Vec<_> = vals
+            .iter()
+            .map(|&v| k1(Value::Double(v), DataType::Double))
+            .collect();
         for w in keys.windows(2) {
             assert!(w[0] <= w[1]);
         }

@@ -112,7 +112,10 @@ impl Dec {
     }
 
     pub fn from_int(v: i64) -> Self {
-        Dec { raw: v as i128, scale: 0 }
+        Dec {
+            raw: v as i128,
+            scale: 0,
+        }
     }
 
     /// Parse `-123.45` style literals.
@@ -139,7 +142,10 @@ impl Dec {
         if neg {
             raw = -raw;
         }
-        Ok(Dec { raw, scale: frac_part.len() as u8 })
+        Ok(Dec {
+            raw,
+            scale: frac_part.len() as u8,
+        })
     }
 
     /// Rescale to `scale`, truncating toward zero if narrowing.
@@ -164,16 +170,25 @@ impl Dec {
 
     pub fn add(self, o: Dec) -> Dec {
         let (a, b, s) = Dec::align(self, o);
-        Dec { raw: a + b, scale: s }
+        Dec {
+            raw: a + b,
+            scale: s,
+        }
     }
 
     pub fn sub(self, o: Dec) -> Dec {
         let (a, b, s) = Dec::align(self, o);
-        Dec { raw: a - b, scale: s }
+        Dec {
+            raw: a - b,
+            scale: s,
+        }
     }
 
     pub fn mul(self, o: Dec) -> Dec {
-        Dec { raw: self.raw * o.raw, scale: self.scale + o.scale }
+        Dec {
+            raw: self.raw * o.raw,
+            scale: self.scale + o.scale,
+        }
     }
 
     /// Division extends the dividend scale by 4 digits (MySQL's
@@ -184,11 +199,17 @@ impl Dec {
         }
         let target = self.scale + 4;
         let num = self.raw * POW10[(target - self.scale + o.scale) as usize];
-        Ok(Dec { raw: num / o.raw, scale: target })
+        Ok(Dec {
+            raw: num / o.raw,
+            scale: target,
+        })
     }
 
     pub fn neg(self) -> Dec {
-        Dec { raw: -self.raw, scale: self.scale }
+        Dec {
+            raw: -self.raw,
+            scale: self.scale,
+        }
     }
 
     pub fn cmp_dec(self, o: Dec) -> Ordering {
@@ -326,6 +347,48 @@ pub enum Value {
     Double(f64),
 }
 
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Value {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Double(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::str(v)
+    }
+}
+
+impl From<Date32> for Value {
+    fn from(v: Date32) -> Value {
+        Value::Date(v)
+    }
+}
+
+impl From<Dec> for Value {
+    fn from(v: Dec) -> Value {
+        Value::Decimal(v)
+    }
+}
+
 impl Value {
     pub fn str(s: impl AsRef<str>) -> Value {
         Value::Str(Arc::from(s.as_ref()))
@@ -386,9 +449,7 @@ impl Value {
             (Int(a), Decimal(b)) => Some(Dec::from_int(*a).cmp_dec(*b)),
             (Decimal(a), Int(b)) => Some(a.cmp_dec(Dec::from_int(*b))),
             (Date(a), Date(b)) => Some(a.cmp(b)),
-            (Str(a), Str(b)) => {
-                Some(a.trim_end_matches(' ').cmp(b.trim_end_matches(' ')))
-            }
+            (Str(a), Str(b)) => Some(a.trim_end_matches(' ').cmp(b.trim_end_matches(' '))),
             (Double(a), Double(b)) => a.partial_cmp(b),
             (Double(a), Int(b)) => a.partial_cmp(&(*b as f64)),
             (Int(a), Double(b)) => (*a as f64).partial_cmp(b),
@@ -429,8 +490,7 @@ impl Value {
     pub fn encode_column(&self, dtype: &DataType, out: &mut Vec<u8>) -> Result<()> {
         match (dtype, self) {
             (DataType::Int, Value::Int(v)) => {
-                let v = i32::try_from(*v)
-                    .map_err(|_| Error::Type(format!("int overflow: {v}")))?;
+                let v = i32::try_from(*v).map_err(|_| Error::Type(format!("int overflow: {v}")))?;
                 out.extend_from_slice(&v.to_le_bytes());
             }
             (DataType::BigInt, Value::Int(v)) => out.extend_from_slice(&v.to_le_bytes()),
@@ -465,12 +525,8 @@ impl Value {
     /// Decode a column byte image produced by [`Value::encode_column`].
     pub fn decode_column(dtype: &DataType, bytes: &[u8]) -> Value {
         match dtype {
-            DataType::Int => {
-                Value::Int(i32::from_le_bytes(bytes[..4].try_into().unwrap()) as i64)
-            }
-            DataType::BigInt => {
-                Value::Int(i64::from_le_bytes(bytes[..8].try_into().unwrap()))
-            }
+            DataType::Int => Value::Int(i32::from_le_bytes(bytes[..4].try_into().unwrap()) as i64),
+            DataType::BigInt => Value::Int(i64::from_le_bytes(bytes[..8].try_into().unwrap())),
             DataType::Decimal { scale, .. } => Value::Decimal(Dec {
                 raw: i64::from_le_bytes(bytes[..8].try_into().unwrap()) as i128,
                 scale: *scale,
@@ -482,14 +538,14 @@ impl Value {
             // semantics), so compute-node rows and storage-side byte slices
             // compare identically.
             DataType::Char(_) => Value::Str(Arc::from(
-                std::str::from_utf8(bytes).unwrap_or("\u{fffd}").trim_end_matches(' '),
+                std::str::from_utf8(bytes)
+                    .unwrap_or("\u{fffd}")
+                    .trim_end_matches(' '),
             )),
             DataType::Varchar(_) => {
                 Value::Str(Arc::from(std::str::from_utf8(bytes).unwrap_or("\u{fffd}")))
             }
-            DataType::Double => {
-                Value::Double(f64::from_le_bytes(bytes[..8].try_into().unwrap()))
-            }
+            DataType::Double => Value::Double(f64::from_le_bytes(bytes[..8].try_into().unwrap())),
         }
     }
 }
@@ -568,9 +624,27 @@ mod tests {
         // The paper's Listing 1 predicate: joindate < DATE'2010-01-01' + INTERVAL 1 YEAR.
         let d = Date32::parse("2010-01-01").unwrap();
         assert_eq!(d.add_years(1).to_string(), "2011-01-01");
-        assert_eq!(Date32::parse("1995-03-31").unwrap().add_months(1).to_string(), "1995-04-30");
-        assert_eq!(Date32::parse("1998-07-01").unwrap().add_days(-90).to_string(), "1998-04-02");
-        assert_eq!(Date32::parse("1996-01-31").unwrap().add_months(13).to_string(), "1997-02-28");
+        assert_eq!(
+            Date32::parse("1995-03-31")
+                .unwrap()
+                .add_months(1)
+                .to_string(),
+            "1995-04-30"
+        );
+        assert_eq!(
+            Date32::parse("1998-07-01")
+                .unwrap()
+                .add_days(-90)
+                .to_string(),
+            "1998-04-02"
+        );
+        assert_eq!(
+            Date32::parse("1996-01-31")
+                .unwrap()
+                .add_months(13)
+                .to_string(),
+            "1997-02-28"
+        );
     }
 
     #[test]
@@ -597,10 +671,16 @@ mod tests {
             (DataType::Int, Value::Int(-42)),
             (DataType::BigInt, Value::Int(1 << 40)),
             (
-                DataType::Decimal { precision: 15, scale: 2 },
+                DataType::Decimal {
+                    precision: 15,
+                    scale: 2,
+                },
                 Value::Decimal(Dec::parse("90449.25").unwrap()),
             ),
-            (DataType::Date, Value::Date(Date32::parse("1994-01-01").unwrap())),
+            (
+                DataType::Date,
+                Value::Date(Date32::parse("1994-01-01").unwrap()),
+            ),
             (DataType::Char(10), Value::str("BUILDING")),
             (DataType::Varchar(44), Value::str("deposits sleep quickly")),
             (DataType::Double, Value::Double(3.25)),

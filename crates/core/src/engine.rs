@@ -18,8 +18,8 @@ use taurus_btree::{BTree, RedoOp, TreeStore};
 use taurus_bufferpool::BufferPool;
 use taurus_common::schema::{IndexDef, Row, TableSchema};
 use taurus_common::{
-    ClusterConfig, Error, IndexId, Lsn, Metrics, PageNo, PageRef, Result, SliceId, SpaceId,
-    TrxId, Value,
+    ClusterConfig, Error, IndexId, Lsn, Metrics, PageNo, PageRef, Result, SliceId, SpaceId, TrxId,
+    Value,
 };
 use taurus_mvcc::{ReadView, TrxManager, UndoLog};
 use taurus_page::{Page, RecordView};
@@ -74,20 +74,28 @@ impl SpaceStore {
             RedoOp::NewPage(p) => {
                 self.bp.insert(self.pref(p.page_no()), Arc::new(p.clone()));
             }
-            RedoOp::InsertRecord { page_no, slot_idx, rec } => {
+            RedoOp::InsertRecord {
+                page_no,
+                slot_idx,
+                rec,
+            } => {
                 self.bp.update(self.pref(*page_no), |pg| {
-                    pg.insert_at_slot(*slot_idx as usize, rec).expect("bp mirror insert");
+                    pg.insert_at_slot(*slot_idx as usize, rec)
+                        .expect("bp mirror insert");
                 });
             }
-            RedoOp::SetDeleteMark { page_no, rec_at, mark } => {
+            RedoOp::SetDeleteMark {
+                page_no,
+                rec_at,
+                mark,
+            } => {
                 self.bp.update(self.pref(*page_no), |pg| {
                     taurus_page::record::set_delete_mark(pg.raw_mut(), *rec_at as usize, *mark);
                 });
             }
             RedoOp::WriteBytes { page_no, at, bytes } => {
                 self.bp.update(self.pref(*page_no), |pg| {
-                    pg.raw_mut()[*at as usize..*at as usize + bytes.len()]
-                        .copy_from_slice(bytes);
+                    pg.raw_mut()[*at as usize..*at as usize + bytes.len()].copy_from_slice(bytes);
                 });
             }
             RedoOp::SetPrev { page_no, prev } => {
@@ -99,18 +107,27 @@ impl SpaceStore {
     fn to_redo(&self, op: RedoOp) -> RedoRecord {
         let (page_no, body) = match op {
             RedoOp::NewPage(p) => (p.page_no(), RedoBody::NewPage(p.into_bytes())),
-            RedoOp::InsertRecord { page_no, slot_idx, rec } => {
-                (page_no, RedoBody::InsertRecord { slot_idx, rec })
-            }
-            RedoOp::SetDeleteMark { page_no, rec_at, mark } => {
-                (page_no, RedoBody::SetDeleteMark { rec_at, mark })
-            }
+            RedoOp::InsertRecord {
+                page_no,
+                slot_idx,
+                rec,
+            } => (page_no, RedoBody::InsertRecord { slot_idx, rec }),
+            RedoOp::SetDeleteMark {
+                page_no,
+                rec_at,
+                mark,
+            } => (page_no, RedoBody::SetDeleteMark { rec_at, mark }),
             RedoOp::WriteBytes { page_no, at, bytes } => {
                 (page_no, RedoBody::WriteBytes { at, bytes })
             }
             RedoOp::SetPrev { page_no, prev } => (page_no, RedoBody::SetPrev(prev)),
         };
-        RedoRecord { lsn: 0, space: self.space, page_no, body }
+        RedoRecord {
+            lsn: 0,
+            space: self.space,
+            page_no,
+            body,
+        }
     }
 }
 
@@ -127,7 +144,8 @@ impl TreeStore for SpaceStore {
 
     fn allocate(&self) -> PageNo {
         let no = self.next_page.fetch_add(1, Ordering::SeqCst);
-        self.sal.ensure_slice(SliceId::of(self.space, no, self.slice_pages));
+        self.sal
+            .ensure_slice(SliceId::of(self.space, no, self.slice_pages));
         no
     }
 
@@ -278,9 +296,16 @@ impl TaurusDb {
                 key_cols,
                 is_primary,
             };
-            let store =
-                Arc::new(SpaceStore::new(space, self.sal.clone(), self.bp.clone(), &self.cfg));
-            TableIndex { tree: BTree::new(def), store }
+            let store = Arc::new(SpaceStore::new(
+                space,
+                self.sal.clone(),
+                self.bp.clone(),
+                &self.cfg,
+            ));
+            TableIndex {
+                tree: BTree::new(def),
+                store,
+            }
         };
         let primary = mk_index(format!("{}_pk", schema.name), schema.pk.clone(), true);
         let secondaries = secondary_indexes
@@ -327,10 +352,20 @@ impl TaurusDb {
         for row in &rows {
             for (c, v) in row.iter().enumerate() {
                 let cs = &mut stats.columns[c];
-                if cs.min.as_ref().map(|m| v.cmp_total(m).is_lt()).unwrap_or(true) {
+                if cs
+                    .min
+                    .as_ref()
+                    .map(|m| v.cmp_total(m).is_lt())
+                    .unwrap_or(true)
+                {
                     cs.min = Some(v.clone());
                 }
-                if cs.max.as_ref().map(|m| v.cmp_total(m).is_gt()).unwrap_or(true) {
+                if cs
+                    .max
+                    .as_ref()
+                    .map(|m| v.cmp_total(m).is_gt())
+                    .unwrap_or(true)
+                {
                     cs.max = Some(v.clone());
                 }
                 let w = match v {
@@ -350,11 +385,15 @@ impl TaurusDb {
                 stats.columns[c].avg_width /= n as f64;
             }
         }
-        stats.avg_row_width = if n > 0 { width_sum as f64 / n as f64 } else { 0.0 };
+        stats.avg_row_width = if n > 0 {
+            width_sum as f64 / n as f64
+        } else {
+            0.0
+        };
 
         // Primary: sort by PK and build.
         let ptree = &table.primary.tree;
-        rows.sort_by(|a, b| ptree.key_of_row(a).cmp(&ptree.key_of_row(b)));
+        rows.sort_by_key(|r| ptree.key_of_row(r));
         let leaves = bulk_build(
             ptree,
             table.primary.store.as_ref(),
@@ -372,7 +411,7 @@ impl TaurusDb {
                 .map(|r| stored.iter().map(|&c| r[c].clone()).collect())
                 .collect();
             let stree = &sec.tree;
-            sec_rows.sort_by(|a, b| stree.key_of_row(a).cmp(&stree.key_of_row(b)));
+            sec_rows.sort_by_key(|r| stree.key_of_row(r));
             bulk_build(
                 stree,
                 sec.store.as_ref(),
@@ -420,9 +459,10 @@ impl TaurusDb {
             match entry.prev_image {
                 Some(img) => {
                     // Restore the previous image in place.
-                    let loc = idx.tree.get(store, &key)?.ok_or_else(|| {
-                        Error::Internal("rolled-back record vanished".into())
-                    })?;
+                    let loc = idx
+                        .tree
+                        .get(store, &key)?
+                        .ok_or_else(|| Error::Internal("rolled-back record vanished".into()))?;
                     let mut img = img;
                     img[1..5].copy_from_slice(&loc.bytes[1..5]); // keep chain + heap_no
                     store.write(vec![RedoOp::WriteBytes {
@@ -434,7 +474,8 @@ impl TaurusDb {
                 None => {
                     // The write was an insert: make the row permanently
                     // invisible (delete-marked as the bootstrap writer).
-                    idx.tree.set_delete_mark(store, &key, taurus_mvcc::BOOTSTRAP_TRX, true)?;
+                    idx.tree
+                        .set_delete_mark(store, &key, taurus_mvcc::BOOTSTRAP_TRX, true)?;
                 }
             }
         }
@@ -451,8 +492,12 @@ impl TaurusDb {
     /// Insert one row under `trx`.
     pub fn insert_row(&self, table: &Table, trx: TrxId, row: &Row) -> Result<()> {
         let pkey = table.primary.tree.key_of_row(row);
-        table.primary.tree.insert(table.primary.store.as_ref(), row, trx)?;
-        self.undo.push(table.primary.tree.def.space, &pkey, trx, None);
+        table
+            .primary
+            .tree
+            .insert(table.primary.store.as_ref(), row, trx)?;
+        self.undo
+            .push(table.primary.tree.def.space, &pkey, trx, None);
         for sec in &table.secondaries {
             let stored = sec.tree.def.stored_cols();
             let srow: Row = stored.iter().map(|&c| row[c].clone()).collect();
@@ -485,12 +530,15 @@ impl TaurusDb {
                 .primary
                 .tree
                 .set_delete_mark(table.primary.store.as_ref(), &pkey, trx, true)?;
-        self.undo.push(table.primary.tree.def.space, &pkey, trx, Some(old));
+        self.undo
+            .push(table.primary.tree.def.space, &pkey, trx, Some(old));
         for sec in &table.secondaries {
             let stored = sec.tree.def.stored_cols();
             let srow: Row = stored.iter().map(|&c| row[c].clone()).collect();
             let skey = sec.tree.key_of_row(&srow);
-            let old = sec.tree.set_delete_mark(sec.store.as_ref(), &skey, trx, true)?;
+            let old = sec
+                .tree
+                .set_delete_mark(sec.store.as_ref(), &skey, trx, true)?;
             self.undo.push(sec.tree.def.space, &skey, trx, Some(old));
         }
         Ok(())
@@ -503,8 +551,12 @@ impl TaurusDb {
             .newest_row(table, &pkey)?
             .ok_or_else(|| Error::NotFound("row to update".into()))?;
         let old_img =
-            table.primary.tree.update_in_place(table.primary.store.as_ref(), new_row, trx)?;
-        self.undo.push(table.primary.tree.def.space, &pkey, trx, Some(old_img));
+            table
+                .primary
+                .tree
+                .update_in_place(table.primary.store.as_ref(), new_row, trx)?;
+        self.undo
+            .push(table.primary.tree.def.space, &pkey, trx, Some(old_img));
         for sec in &table.secondaries {
             let stored = sec.tree.def.stored_cols();
             let old_s: Row = stored.iter().map(|&c| old_row[c].clone()).collect();
@@ -518,7 +570,9 @@ impl TaurusDb {
                 }
             } else {
                 // Key change: delete-mark old entry, insert new one.
-                let img = sec.tree.set_delete_mark(sec.store.as_ref(), &old_key, trx, true)?;
+                let img = sec
+                    .tree
+                    .set_delete_mark(sec.store.as_ref(), &old_key, trx, true)?;
                 self.undo.push(sec.tree.def.space, &old_key, trx, Some(img));
                 sec.tree.insert(sec.store.as_ref(), &new_s, trx)?;
                 self.undo.push(sec.tree.def.space, &new_key, trx, None);
@@ -535,7 +589,11 @@ impl TaurusDb {
         pk_values: &[Value],
     ) -> Result<Option<Row>> {
         let pkey = table.primary.tree.encode_search_key(pk_values);
-        let loc = match table.primary.tree.get(table.primary.store.as_ref(), &pkey)? {
+        let loc = match table
+            .primary
+            .tree
+            .get(table.primary.store.as_ref(), &pkey)?
+        {
             None => return Ok(None),
             Some(l) => l,
         };

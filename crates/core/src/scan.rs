@@ -139,7 +139,10 @@ pub fn build_descriptor(
         None => None,
         Some(e) => {
             let remapped = e.remap_columns(&|c| {
-                stored.iter().position(|&s| s == c).expect("predicate col stored")
+                stored
+                    .iter()
+                    .position(|&s| s == c)
+                    .expect("predicate col stored")
             });
             Some(taurus_expr::compile::lower(&remapped)?.encode_bitcode())
         }
@@ -246,9 +249,9 @@ impl<'a> ScanCtx<'a> {
                 Some((layout, out_in_proj))
             }
         };
-        let pred_record = choice.and_then(|c| c.predicate.as_ref()).map(|e| {
-            e.remap_columns(&|c| stored.iter().position(|&s| s == c).expect("stored"))
-        });
+        let pred_record = choice
+            .and_then(|c| c.predicate.as_ref())
+            .map(|e| e.remap_columns(&|c| stored.iter().position(|&s| s == c).expect("stored")));
         Ok(ScanCtx {
             db,
             index,
@@ -278,7 +281,9 @@ impl<'a> ScanCtx<'a> {
             }
             last = Some(off);
         }
-        let (Some(f), Some(l)) = (first, last) else { return true };
+        let (Some(f), Some(l)) = (first, last) else {
+            return true;
+        };
         let key_of = |off: u16| -> Option<Vec<u8>> {
             let bytes = page.record_at(off);
             let probe = RecordView::new(bytes, layout_probe);
@@ -298,9 +303,7 @@ impl<'a> ScanCtx<'a> {
             }
         };
         match (key_of(f), key_of(l)) {
-            (Some(fk), Some(lk)) => {
-                self.spec.range.contains(&fk) && self.spec.range.contains(&lk)
-            }
+            (Some(fk), Some(lk)) => self.spec.range.contains(&fk) && self.spec.range.contains(&lk),
             _ => false,
         }
     }
@@ -313,8 +316,11 @@ impl<'a> ScanCtx<'a> {
             .key_positions
             .iter()
             .map(|&kp| {
-                let pos =
-                    self.proj_keep.iter().position(|&k| k == kp).expect("keys kept");
+                let pos = self
+                    .proj_keep
+                    .iter()
+                    .position(|&k| k == kp)
+                    .expect("keys kept");
                 v.value(pos)
             })
             .collect();
@@ -348,7 +354,10 @@ impl<'a> ScanCtx<'a> {
             v
         } else {
             self.stats.ambiguous_resolved += 1;
-            match self.db.undo.reconstruct(self.index.tree.def.space, &key, bytes, self.view)
+            match self
+                .db
+                .undo
+                .reconstruct(self.index.tree.def.space, &key, bytes, self.view)
             {
                 None => return Ok(true),
                 Some(img) => {
@@ -392,8 +401,12 @@ impl<'a> ScanCtx<'a> {
             // Raw or cached page: InnoDB completes all requested NDP work.
             self.db.metrics().add(|m| &m.ndp_completed_on_compute, 1);
             for off in page.iter_chain() {
-                if !self.process_full_record(page.record_at(off), &full_layout, check_range, consumer)?
-                {
+                if !self.process_full_record(
+                    page.record_at(off),
+                    &full_layout,
+                    check_range,
+                    consumer,
+                )? {
                     return Ok(false);
                 }
             }
@@ -418,8 +431,7 @@ impl<'a> ScanCtx<'a> {
                         }
                     } else {
                         // Ambiguous: InnoDB does visibility/undo/predicate.
-                        if !self.process_full_record(bytes, &full_layout, check_range, consumer)?
-                        {
+                        if !self.process_full_record(bytes, &full_layout, check_range, consumer)? {
                             return Ok(false);
                         }
                     }
@@ -441,16 +453,15 @@ impl<'a> ScanCtx<'a> {
                             continue;
                         }
                     }
-                    let row: Vec<Value> =
-                        out_in_proj.iter().map(|&p| v.value(p)).collect();
+                    let row: Vec<Value> = out_in_proj.iter().map(|&p| v.value(p)).collect();
                     self.stats.rows_delivered += 1;
                     if !consumer.on_row(&row)? {
                         return Ok(false);
                     }
                     if probe.rec_type() == RecType::NdpAggregate {
-                        let payload = v
-                            .agg_payload()
-                            .ok_or_else(|| Error::Corruption("agg record without payload".into()))?;
+                        let payload = v.agg_payload().ok_or_else(|| {
+                            Error::Corruption("agg record without payload".into())
+                        })?;
                         let states = taurus_expr::agg::decode_states(payload)?;
                         self.stats.partials_merged += 1;
                         if !consumer.on_partial(states)? {
@@ -486,7 +497,8 @@ pub fn scan(
             regular_scan(&mut ctx, consumer)?;
         }
     }
-    db.metrics().add(|m| &m.rows_scanned, ctx.stats.rows_delivered);
+    db.metrics()
+        .add(|m| &m.rows_scanned, ctx.stats.rows_delivered);
     Ok(ctx.stats)
 }
 
@@ -555,8 +567,12 @@ fn ndp_scan(
     let mut resume: Option<Vec<u8>> = None;
 
     loop {
-        let (pages, lsn, next_resume) =
-            tree.collect_leaf_batch(store.as_ref(), &ctx.spec.range, resume.as_deref(), look_ahead)?;
+        let (pages, lsn, next_resume) = tree.collect_leaf_batch(
+            store.as_ref(),
+            &ctx.spec.range,
+            resume.as_deref(),
+            look_ahead,
+        )?;
         if pages.is_empty() {
             break;
         }
@@ -575,7 +591,10 @@ fn ndp_scan(
         }
         let mut fetched: HashMap<PageNo, PagePayload> = HashMap::new();
         if !missing.is_empty() {
-            for r in store.sal().batch_read(space, &missing, lsn, descriptor.clone())? {
+            for r in store
+                .sal()
+                .batch_read(space, &missing, lsn, descriptor.clone())?
+            {
                 fetched.insert(r.page_no, r.payload);
             }
         }
@@ -598,9 +617,7 @@ fn ndp_scan(
                         let guard = bp.alloc_ndp_frame(p)?;
                         !ctx.consume_page(guard.page(), false, consumer)?
                     }
-                    None => {
-                        return Err(Error::Internal(format!("page {no} missing from batch")))
-                    }
+                    None => return Err(Error::Internal(format!("page {no} missing from batch"))),
                 }
             };
             if stop {
@@ -631,7 +648,8 @@ pub fn partition_ranges(
     let mut resume: Option<Vec<u8>> = None;
     loop {
         let (pages, _, next) =
-            idx.tree.collect_leaf_batch(idx.store.as_ref(), range, resume.as_deref(), per)?;
+            idx.tree
+                .collect_leaf_batch(idx.store.as_ref(), range, resume.as_deref(), per)?;
         if pages.is_empty() {
             break;
         }
@@ -646,9 +664,15 @@ pub fn partition_ranges(
     let mut ranges = Vec::with_capacity(boundaries.len() + 1);
     let mut lower = range.lower.clone();
     for b in boundaries {
-        ranges.push(ScanRange { lower: lower.clone(), upper: Some((b.clone(), false)) });
+        ranges.push(ScanRange {
+            lower: lower.clone(),
+            upper: Some((b.clone(), false)),
+        });
         lower = Some((b, true));
     }
-    ranges.push(ScanRange { lower, upper: range.upper.clone() });
+    ranges.push(ScanRange {
+        lower,
+        upper: range.upper.clone(),
+    });
     Ok(ranges)
 }

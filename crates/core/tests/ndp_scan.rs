@@ -10,22 +10,26 @@ use taurus_common::schema::{Column, TableSchema};
 use taurus_common::{ClusterConfig, DataType, Date32, Dec, Value};
 use taurus_expr::agg::{AggSpec, AggState};
 use taurus_expr::ast::Expr;
-use taurus_ndp::{
-    scan, NdpChoice, ScanAggregation, ScanConsumer, ScanRange, ScanSpec, TaurusDb,
-};
+use taurus_ndp::{scan, NdpChoice, ScanAggregation, ScanConsumer, ScanRange, ScanSpec, TaurusDb};
 use taurus_pagestore::SkipPolicy;
 
 fn schema() -> Arc<TableSchema> {
     TableSchema::new(
         "orders_like",
         vec![
-            Column::new("grp", DataType::BigInt),      // 0: group key (pk prefix)
-            Column::new("id", DataType::BigInt),       // 1: pk suffix
-            Column::new("qty", DataType::Int),         // 2
-            Column::new("price", DataType::Decimal { precision: 15, scale: 2 }), // 3
-            Column::new("d", DataType::Date),          // 4
-            Column::new("mode", DataType::Char(10)),   // 5
-            Column::new("note", DataType::Varchar(40)),// 6
+            Column::new("grp", DataType::BigInt), // 0: group key (pk prefix)
+            Column::new("id", DataType::BigInt),  // 1: pk suffix
+            Column::new("qty", DataType::Int),    // 2
+            Column::new(
+                "price",
+                DataType::Decimal {
+                    precision: 15,
+                    scale: 2,
+                },
+            ), // 3
+            Column::new("d", DataType::Date),     // 4
+            Column::new("mode", DataType::Char(10)), // 5
+            Column::new("note", DataType::Varchar(40)), // 6
         ],
         vec![0, 1],
     )
@@ -70,15 +74,30 @@ struct Collector {
 
 impl Collector {
     fn plain() -> Collector {
-        Collector { rows: Vec::new(), agg: None, stop_after: None }
+        Collector {
+            rows: Vec::new(),
+            agg: None,
+            stop_after: None,
+        }
     }
 
     /// Aggregating collector: `inputs[i]` = position in the delivered row
     /// of the i-th aggregate's input (usize::MAX for COUNT(*)).
-    fn aggregating(specs: Vec<AggSpec>, inputs: Vec<usize>, dtypes: Vec<Option<DataType>>) -> Collector {
-        let states =
-            specs.iter().zip(&dtypes).map(|(s, dt)| AggState::new(s, *dt)).collect();
-        Collector { rows: Vec::new(), agg: Some((specs, states, inputs)), stop_after: None }
+    fn aggregating(
+        specs: Vec<AggSpec>,
+        inputs: Vec<usize>,
+        dtypes: Vec<Option<DataType>>,
+    ) -> Collector {
+        let states = specs
+            .iter()
+            .zip(&dtypes)
+            .map(|(s, dt)| AggState::new(s, *dt))
+            .collect();
+        Collector {
+            rows: Vec::new(),
+            agg: Some((specs, states, inputs)),
+            stop_after: None,
+        }
     }
 }
 
@@ -145,14 +164,23 @@ fn filter_pushdown_matches_classical() {
 
     db.buffer_pool().clear();
     let ndp_spec = ScanSpec {
-        ndp: Some(NdpChoice { predicate: Some(pred), ..Default::default() }),
+        ndp: Some(NdpChoice {
+            predicate: Some(pred),
+            ..Default::default()
+        }),
         ..base
     };
     let before = db.metrics().snapshot();
     let got = run(&db, &t, &ndp_spec, Collector::plain());
     let delta = db.metrics().snapshot().since(&before);
-    assert_eq!(got.rows, expected, "NDP filter must equal compute-side filter");
-    assert!(delta.pages_shipped_ndp > 0, "storage must actually have processed pages");
+    assert_eq!(
+        got.rows, expected,
+        "NDP filter must equal compute-side filter"
+    );
+    assert!(
+        delta.pages_shipped_ndp > 0,
+        "storage must actually have processed pages"
+    );
     assert!(delta.ps_records_filtered > 0);
 }
 
@@ -167,16 +195,27 @@ fn projection_pushdown_matches_and_ships_less() {
     };
     let before_off = db.metrics().snapshot();
     let expected = run(&db, &t, &base, Collector::plain());
-    let bytes_off = db.metrics().snapshot().since(&before_off).net_bytes_from_storage;
+    let bytes_off = db
+        .metrics()
+        .snapshot()
+        .since(&before_off)
+        .net_bytes_from_storage;
 
     db.buffer_pool().clear();
     let ndp_spec = ScanSpec {
-        ndp: Some(NdpChoice { projection: Some(vec![1, 3]), ..Default::default() }),
+        ndp: Some(NdpChoice {
+            projection: Some(vec![1, 3]),
+            ..Default::default()
+        }),
         ..base.clone()
     };
     let before_on = db.metrics().snapshot();
     let got = run(&db, &t, &ndp_spec, Collector::plain());
-    let bytes_on = db.metrics().snapshot().since(&before_on).net_bytes_from_storage;
+    let bytes_on = db
+        .metrics()
+        .snapshot()
+        .since(&before_on)
+        .net_bytes_from_storage;
     assert_eq!(got.rows, expected.rows);
     assert!(
         bytes_on * 2 < bytes_off,
@@ -190,7 +229,13 @@ fn scalar_aggregation_pushdown_matches() {
     // SELECT COUNT(*), SUM(price) WHERE qty < 25 — NDP fully pushed.
     let pred = Expr::lt(Expr::col(2), Expr::int(25));
     let specs = vec![AggSpec::count_star(), AggSpec::sum(3)];
-    let dtypes = vec![None, Some(DataType::Decimal { precision: 15, scale: 2 })];
+    let dtypes = vec![
+        None,
+        Some(DataType::Decimal {
+            precision: 15,
+            scale: 2,
+        }),
+    ];
 
     // Reference: classical scan + compute-side aggregation.
     let classical = ScanSpec {
@@ -224,7 +269,10 @@ fn scalar_aggregation_pushdown_matches() {
         range: ScanRange::full(),
         ndp: Some(NdpChoice {
             predicate: Some(pred),
-            aggregation: Some(ScanAggregation { specs: specs.clone(), group_cols: vec![] }),
+            aggregation: Some(ScanAggregation {
+                specs: specs.clone(),
+                group_cols: vec![],
+            }),
             ..Default::default()
         }),
         output_cols: vec![3],
@@ -239,7 +287,11 @@ fn scalar_aggregation_pushdown_matches() {
     assert_eq!(states[0].finalize(), Value::Int(expect_count));
     assert_eq!(states[1].finalize(), expect_sum.finalize());
     // Far fewer rows crossed the consumer than exist in the table.
-    assert!(got.rows.len() < 3000 / 2, "aggregation should collapse rows: {}", got.rows.len());
+    assert!(
+        got.rows.len() < 3000 / 2,
+        "aggregation should collapse rows: {}",
+        got.rows.len()
+    );
 }
 
 #[test]
@@ -268,7 +320,10 @@ fn grouped_aggregation_pushdown_matches() {
         index: 0,
         range: ScanRange::full(),
         ndp: Some(NdpChoice {
-            aggregation: Some(ScanAggregation { specs: specs.clone(), group_cols: vec![0] }),
+            aggregation: Some(ScanAggregation {
+                specs: specs.clone(),
+                group_cols: vec![0],
+            }),
             ..Default::default()
         }),
         output_cols: vec![0, 2],
@@ -321,7 +376,11 @@ fn grouped_aggregation_pushdown_matches() {
             Ok(true)
         }
     }
-    let mut ga = GroupAgg { cur: None, states: Vec::new(), out: Default::default() };
+    let mut ga = GroupAgg {
+        cur: None,
+        states: Vec::new(),
+        out: Default::default(),
+    };
     ga.reset();
     let view = db.read_view(0);
     scan(&db, &t, &ndp_spec, &view, &mut ga).unwrap();
@@ -352,9 +411,15 @@ fn resource_control_skips_are_transparent() {
     let before = db.metrics().snapshot();
     let skipped = run(&db, &t, &base, Collector::plain());
     let delta = db.metrics().snapshot().since(&before);
-    assert_eq!(clean.rows, skipped.rows, "skips must be invisible to results");
+    assert_eq!(
+        clean.rows, skipped.rows,
+        "skips must be invisible to results"
+    );
     assert!(delta.ps_ndp_skipped > 0);
-    assert!(delta.ndp_completed_on_compute > 0, "InnoDB must have completed raw pages");
+    assert!(
+        delta.ndp_completed_on_compute > 0,
+        "InnoDB must have completed raw pages"
+    );
     // All skipped: still identical.
     for ps in db.sal().page_stores() {
         ps.set_skip_policy(SkipPolicy::All);
@@ -380,7 +445,10 @@ fn buffer_pool_overlap_pages_are_copied_not_fetched() {
         output_cols: vec![1, 2],
     };
     // Warm the pool with a classical scan first.
-    let warm_spec = ScanSpec { ndp: None, ..base.clone() };
+    let warm_spec = ScanSpec {
+        ndp: None,
+        ..base.clone()
+    };
     let expected = run(&db, &t, &warm_spec, Collector::plain());
     // Delivered rows are (id, qty): qty is at position 1 here.
     let pred = Expr::lt(Expr::col(1), Expr::int(10));
@@ -405,7 +473,10 @@ fn range_scan_with_ndp_respects_boundaries() {
     let idx = &t.primary;
     let lo = idx.tree.encode_search_key(&[Value::Int(10)]); // grp = 10..20
     let hi = idx.tree.encode_search_key(&[Value::Int(20)]);
-    let range = ScanRange { lower: Some((lo, true)), upper: Some((hi, false)) };
+    let range = ScanRange {
+        lower: Some((lo, true)),
+        upper: Some((hi, false)),
+    };
     let base = ScanSpec {
         index: 0,
         range: range.clone(),
@@ -420,7 +491,10 @@ fn range_scan_with_ndp_respects_boundaries() {
     }));
     db.buffer_pool().clear();
     let ndp_spec = ScanSpec {
-        ndp: Some(NdpChoice { projection: Some(vec![0, 1]), ..Default::default() }),
+        ndp: Some(NdpChoice {
+            projection: Some(vec![0, 1]),
+            ..Default::default()
+        }),
         ..base
     };
     let got = run(&db, &t, &ndp_spec, Collector::plain());
@@ -449,13 +523,18 @@ fn mvcc_concurrent_writer_is_invisible_to_old_view() {
         row[2] = Value::Int(999); // would fail the reader's data expectations
         db.update_row(&t, writer, &row).unwrap();
     }
-    db.delete_row(&t, writer, &[Value::Int(30 / 50), Value::Int(30)]).unwrap();
+    db.delete_row(&t, writer, &[Value::Int(30 / 50), Value::Int(30)])
+        .unwrap();
 
     db.buffer_pool().clear();
     let mut c = Collector::plain();
     scan(&db, &t, &base, &view, &mut c).unwrap();
     // The reader must see the ORIGINAL values everywhere.
-    assert_eq!(c.rows.len(), 500, "deleted row must still be visible to the old view");
+    assert_eq!(
+        c.rows.len(),
+        500,
+        "deleted row must still be visible to the old view"
+    );
     for r in &c.rows {
         assert_ne!(r[2], Value::Int(999), "update by concurrent trx leaked in");
     }
@@ -477,7 +556,8 @@ fn rollback_restores_old_images() {
     let mut row = sample_rows(300)[10].clone();
     row[2] = Value::Int(777);
     db.update_row(&t, writer, &row).unwrap();
-    db.delete_row(&t, writer, &[Value::Int(11 / 50), Value::Int(11)]).unwrap();
+    db.delete_row(&t, writer, &[Value::Int(11 / 50), Value::Int(11)])
+        .unwrap();
     db.rollback(writer).unwrap();
     let view = db.read_view(0);
     let got = db
@@ -497,7 +577,10 @@ fn early_stop_via_consumer() {
     let spec = ScanSpec {
         index: 0,
         range: ScanRange::full(),
-        ndp: Some(NdpChoice { projection: Some(vec![0, 1]), ..Default::default() }),
+        ndp: Some(NdpChoice {
+            projection: Some(vec![0, 1]),
+            ..Default::default()
+        }),
         output_cols: vec![0, 1],
     };
     let mut c = Collector::plain();
@@ -511,7 +594,11 @@ fn early_stop_via_consumer() {
 fn partition_ranges_cover_disjointly() {
     let (db, t) = fresh_db(4000);
     let parts = taurus_ndp::partition_ranges(&t, 0, &ScanRange::full(), 4).unwrap();
-    assert!(parts.len() >= 2, "expected multiple partitions, got {}", parts.len());
+    assert!(
+        parts.len() >= 2,
+        "expected multiple partitions, got {}",
+        parts.len()
+    );
     let mut total = 0usize;
     let mut all_rows: Vec<Vec<Value>> = Vec::new();
     for r in &parts {

@@ -1,0 +1,397 @@
+//! The query-builder expression DSL: expression trees over *named*
+//! columns.
+//!
+//! [`crate::QueryBuilder`] resolves these against the target table's
+//! schema when the plan is built, so callers write `col("l_shipdate")`
+//! instead of hard-coding column positions — unknown names surface as
+//! [`Error::NameResolution`] before anything executes. The node set
+//! mirrors the executor's [`Expr`]; lowering is a 1:1 structural map plus
+//! name lookup.
+//!
+//! Literal ergonomics: the comparison/arithmetic methods take
+//! `impl Into<QExpr>`, and `i64`, `&str`, [`Value`], [`Date32`] and
+//! [`Dec`] all convert — `col("age").lt(40)` just works. `date("...")`
+//! and `dec("...")` parse SQL literals (panicking on malformed program
+//! text, exactly like [`Expr::date`]).
+
+use taurus_common::schema::TableSchema;
+use taurus_common::{Date32, Dec, Error, Result, Value};
+use taurus_expr::ast::{ArithOp, CmpOp, Expr};
+
+/// An unresolved expression over a table's columns (by name or position).
+#[derive(Clone, Debug)]
+pub enum QExpr {
+    /// Column reference by name; resolved against the table schema.
+    Col(String),
+    /// Column reference by position (bounds-checked at build time).
+    Nth(usize),
+    Lit(Value),
+    Cmp(CmpOp, Box<QExpr>, Box<QExpr>),
+    And(Vec<QExpr>),
+    Or(Vec<QExpr>),
+    Not(Box<QExpr>),
+    Arith(ArithOp, Box<QExpr>, Box<QExpr>),
+    Neg(Box<QExpr>),
+    Like {
+        expr: Box<QExpr>,
+        pattern: String,
+        negated: bool,
+    },
+    InList {
+        expr: Box<QExpr>,
+        list: Vec<Value>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<QExpr>,
+        lo: Box<QExpr>,
+        hi: Box<QExpr>,
+    },
+    IsNull {
+        expr: Box<QExpr>,
+        negated: bool,
+    },
+    ExtractYear(Box<QExpr>),
+}
+
+/// Reference a column by name.
+pub fn col(name: &str) -> QExpr {
+    QExpr::Col(name.to_string())
+}
+
+/// Reference a column by schema position.
+pub fn nth(position: usize) -> QExpr {
+    QExpr::Nth(position)
+}
+
+/// An explicit literal (when `Into<QExpr>` inference is not enough).
+pub fn lit(v: impl Into<Value>) -> QExpr {
+    QExpr::Lit(v.into())
+}
+
+/// A DATE literal, e.g. `date("1994-01-01")`. Panics on malformed program
+/// text (literals are code, not data).
+pub fn date(s: &str) -> QExpr {
+    QExpr::Lit(Value::Date(Date32::parse(s).expect("literal date")))
+}
+
+/// A DECIMAL literal, e.g. `dec("0.05")`. Panics on malformed program text.
+pub fn dec(s: &str) -> QExpr {
+    QExpr::Lit(Value::Decimal(Dec::parse(s).expect("literal decimal")))
+}
+
+impl From<i64> for QExpr {
+    fn from(v: i64) -> QExpr {
+        QExpr::Lit(Value::Int(v))
+    }
+}
+
+impl From<i32> for QExpr {
+    fn from(v: i32) -> QExpr {
+        QExpr::Lit(Value::Int(v as i64))
+    }
+}
+
+impl From<f64> for QExpr {
+    fn from(v: f64) -> QExpr {
+        QExpr::Lit(Value::Double(v))
+    }
+}
+
+impl From<&str> for QExpr {
+    fn from(v: &str) -> QExpr {
+        QExpr::Lit(Value::str(v))
+    }
+}
+
+impl From<Value> for QExpr {
+    fn from(v: Value) -> QExpr {
+        QExpr::Lit(v)
+    }
+}
+
+impl From<Date32> for QExpr {
+    fn from(v: Date32) -> QExpr {
+        QExpr::Lit(Value::Date(v))
+    }
+}
+
+impl From<Dec> for QExpr {
+    fn from(v: Dec) -> QExpr {
+        QExpr::Lit(Value::Decimal(v))
+    }
+}
+
+macro_rules! cmp_method {
+    ($($name:ident => $op:expr),* $(,)?) => {$(
+        pub fn $name(self, rhs: impl Into<QExpr>) -> QExpr {
+            QExpr::Cmp($op, Box::new(self), Box::new(rhs.into()))
+        }
+    )*};
+}
+
+macro_rules! arith_method {
+    ($($name:ident => $op:expr),* $(,)?) => {$(
+        pub fn $name(self, rhs: impl Into<QExpr>) -> QExpr {
+            QExpr::Arith($op, Box::new(self), Box::new(rhs.into()))
+        }
+    )*};
+}
+
+impl QExpr {
+    cmp_method! {
+        eq => CmpOp::Eq,
+        ne => CmpOp::Ne,
+        lt => CmpOp::Lt,
+        le => CmpOp::Le,
+        gt => CmpOp::Gt,
+        ge => CmpOp::Ge,
+    }
+
+    arith_method! {
+        add => ArithOp::Add,
+        sub => ArithOp::Sub,
+        mul => ArithOp::Mul,
+        div => ArithOp::Div,
+    }
+
+    pub fn and(self, rhs: impl Into<QExpr>) -> QExpr {
+        match self {
+            QExpr::And(mut xs) => {
+                xs.push(rhs.into());
+                QExpr::And(xs)
+            }
+            other => QExpr::And(vec![other, rhs.into()]),
+        }
+    }
+
+    pub fn or(self, rhs: impl Into<QExpr>) -> QExpr {
+        match self {
+            QExpr::Or(mut xs) => {
+                xs.push(rhs.into());
+                QExpr::Or(xs)
+            }
+            other => QExpr::Or(vec![other, rhs.into()]),
+        }
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> QExpr {
+        QExpr::Not(Box::new(self))
+    }
+
+    pub fn neg(self) -> QExpr {
+        QExpr::Neg(Box::new(self))
+    }
+
+    pub fn like(self, pattern: &str) -> QExpr {
+        QExpr::Like {
+            expr: Box::new(self),
+            pattern: pattern.to_string(),
+            negated: false,
+        }
+    }
+
+    pub fn not_like(self, pattern: &str) -> QExpr {
+        QExpr::Like {
+            expr: Box::new(self),
+            pattern: pattern.to_string(),
+            negated: true,
+        }
+    }
+
+    pub fn in_list<V: Into<Value>>(self, list: impl IntoIterator<Item = V>) -> QExpr {
+        QExpr::InList {
+            expr: Box::new(self),
+            list: list.into_iter().map(Into::into).collect(),
+            negated: false,
+        }
+    }
+
+    pub fn between(self, lo: impl Into<QExpr>, hi: impl Into<QExpr>) -> QExpr {
+        QExpr::Between {
+            expr: Box::new(self),
+            lo: Box::new(lo.into()),
+            hi: Box::new(hi.into()),
+        }
+    }
+
+    pub fn is_null(self) -> QExpr {
+        QExpr::IsNull {
+            expr: Box::new(self),
+            negated: false,
+        }
+    }
+
+    pub fn is_not_null(self) -> QExpr {
+        QExpr::IsNull {
+            expr: Box::new(self),
+            negated: true,
+        }
+    }
+
+    pub fn extract_year(self) -> QExpr {
+        QExpr::ExtractYear(Box::new(self))
+    }
+
+    /// Lower to an executor [`Expr`] with column references resolved
+    /// against `schema` (positions into the table schema).
+    pub fn resolve(&self, schema: &TableSchema) -> Result<Expr> {
+        let rebox = |e: &QExpr| -> Result<Box<Expr>> { Ok(Box::new(e.resolve(schema)?)) };
+        Ok(match self {
+            QExpr::Col(name) => Expr::Col(resolve_column(schema, name)?),
+            QExpr::Nth(i) => {
+                check_position(schema, *i)?;
+                Expr::Col(*i)
+            }
+            QExpr::Lit(v) => Expr::Lit(v.clone()),
+            QExpr::Cmp(op, a, b) => Expr::Cmp(*op, rebox(a)?, rebox(b)?),
+            QExpr::And(xs) => Expr::and(
+                xs.iter()
+                    .map(|x| x.resolve(schema))
+                    .collect::<Result<_>>()?,
+            ),
+            QExpr::Or(xs) => Expr::or(
+                xs.iter()
+                    .map(|x| x.resolve(schema))
+                    .collect::<Result<_>>()?,
+            ),
+            QExpr::Not(a) => Expr::Not(rebox(a)?),
+            QExpr::Arith(op, a, b) => Expr::Arith(*op, rebox(a)?, rebox(b)?),
+            QExpr::Neg(a) => Expr::Neg(rebox(a)?),
+            QExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Expr::Like {
+                expr: rebox(expr)?,
+                pattern: pattern.clone(),
+                negated: *negated,
+            },
+            QExpr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
+                expr: rebox(expr)?,
+                list: list.clone(),
+                negated: *negated,
+            },
+            QExpr::Between { expr, lo, hi } => Expr::Between {
+                expr: rebox(expr)?,
+                lo: rebox(lo)?,
+                hi: rebox(hi)?,
+            },
+            QExpr::IsNull { expr, negated } => Expr::IsNull {
+                expr: rebox(expr)?,
+                negated: *negated,
+            },
+            QExpr::ExtractYear(a) => Expr::ExtractYear(rebox(a)?),
+        })
+    }
+}
+
+/// Resolve one column name against a schema.
+pub(crate) fn resolve_column(schema: &TableSchema, name: &str) -> Result<usize> {
+    schema
+        .columns
+        .iter()
+        .position(|c| c.name == name)
+        .ok_or_else(|| {
+            Error::NameResolution(format!(
+                "column `{name}` not found in table `{}` (columns: {})",
+                schema.name,
+                schema
+                    .columns
+                    .iter()
+                    .map(|c| c.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })
+}
+
+/// Bounds-check one positional column reference.
+pub(crate) fn check_position(schema: &TableSchema, position: usize) -> Result<()> {
+    if position >= schema.columns.len() {
+        return Err(Error::NameResolution(format!(
+            "column position {position} out of range for table `{}` ({} columns)",
+            schema.name,
+            schema.columns.len()
+        )));
+    }
+    Ok(())
+}
+
+/// A column reference accepted by [`crate::QueryBuilder::select`] and
+/// friends: either a name or a schema position.
+#[derive(Clone, Debug)]
+pub enum ColRef {
+    Name(String),
+    Position(usize),
+}
+
+impl ColRef {
+    pub(crate) fn resolve(&self, schema: &TableSchema) -> Result<usize> {
+        match self {
+            ColRef::Name(n) => resolve_column(schema, n),
+            ColRef::Position(p) => {
+                check_position(schema, *p)?;
+                Ok(*p)
+            }
+        }
+    }
+}
+
+impl From<&str> for ColRef {
+    fn from(v: &str) -> ColRef {
+        ColRef::Name(v.to_string())
+    }
+}
+
+impl From<String> for ColRef {
+    fn from(v: String) -> ColRef {
+        ColRef::Name(v)
+    }
+}
+
+impl From<usize> for ColRef {
+    fn from(v: usize) -> ColRef {
+        ColRef::Position(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taurus_common::schema::Column;
+    use taurus_common::DataType;
+
+    fn schema() -> std::sync::Arc<TableSchema> {
+        TableSchema::new(
+            "t",
+            vec![
+                Column::new("a", DataType::BigInt),
+                Column::new("b", DataType::Int),
+            ],
+            vec![0],
+        )
+    }
+
+    #[test]
+    fn resolves_names_and_positions() {
+        let s = schema();
+        let e = col("b").lt(5).and(nth(0).ge(1i64)).resolve(&s).unwrap();
+        assert_eq!(e.columns(), vec![0, 1]);
+        assert_eq!(e.to_string(), "((col1 < 5) AND (col0 >= 1))");
+    }
+
+    #[test]
+    fn unknown_name_is_name_resolution_error() {
+        let s = schema();
+        let err = col("nope").eq(1i64).resolve(&s).unwrap_err();
+        assert!(matches!(err, Error::NameResolution(_)), "{err}");
+        let err = nth(9).eq(1i64).resolve(&s).unwrap_err();
+        assert!(matches!(err, Error::NameResolution(_)), "{err}");
+    }
+}

@@ -30,7 +30,10 @@ pub struct ExecContext<'a> {
 
 impl<'a> ExecContext<'a> {
     pub fn new(db: &'a TaurusDb) -> ExecContext<'a> {
-        ExecContext { db, view: db.read_view(0) }
+        ExecContext {
+            db,
+            view: db.read_view(0),
+        }
     }
 }
 
@@ -94,20 +97,21 @@ pub fn execute(plan: &Plan, ctx: &ExecContext<'_>) -> Result<Vec<Row>> {
 // --- scans -------------------------------------------------------------------
 
 /// Resolve a [`RangeSpec`] (literal key values) into encoded bounds.
-fn encode_range(
-    node: &ScanNode,
-    ctx: &ExecContext<'_>,
-) -> Result<ScanRange> {
+fn encode_range(node: &ScanNode, ctx: &ExecContext<'_>) -> Result<ScanRange> {
     let table = ctx.db.table(&node.table)?;
     let tree = &table.index(node.index).tree;
     let enc = |b: &Option<(Vec<Value>, bool)>| {
-        b.as_ref().map(|(vals, inc)| (tree.encode_search_key(vals), *inc))
+        b.as_ref()
+            .map(|(vals, inc)| (tree.encode_search_key(vals), *inc))
     };
-    Ok(ScanRange { lower: enc(&node.range.lower), upper: enc(&node.range.upper) })
+    Ok(ScanRange {
+        lower: enc(&node.range.lower),
+        upper: enc(&node.range.upper),
+    })
 }
 
 /// Build the core [`ScanSpec`] for a scan node.
-fn scan_spec(
+pub(crate) fn scan_spec(
     node: &ScanNode,
     ctx: &ExecContext<'_>,
     range_override: Option<ScanRange>,
@@ -122,11 +126,16 @@ fn scan_spec(
         (Some(d), None) => Some(d.choice.clone()),
         (None, None) => None,
     };
-    Ok(ScanSpec { index: node.index, range, ndp, output_cols: node.output.clone() })
+    Ok(ScanSpec {
+        index: node.index,
+        range,
+        ndp,
+        output_cols: node.output.clone(),
+    })
 }
 
 /// Map table-column expressions onto scan-output positions.
-fn remap_to_output(e: &Expr, output: &[usize]) -> Expr {
+pub(crate) fn remap_to_output(e: &Expr, output: &[usize]) -> Expr {
     e.remap_columns(&|c| {
         output
             .iter()
@@ -152,7 +161,9 @@ impl ScanConsumer for RowCollector {
     }
 
     fn on_partial(&mut self, _states: Vec<AggState>) -> Result<bool> {
-        Err(Error::Internal("plain scan received aggregate partials".into()))
+        Err(Error::Internal(
+            "plain scan received aggregate partials".into(),
+        ))
     }
 }
 
@@ -169,7 +180,10 @@ pub(crate) fn exec_scan(
         .into_iter()
         .map(|e| remap_to_output(e, &node.output))
         .collect();
-    let mut c = RowCollector { rows: Vec::new(), residual };
+    let mut c = RowCollector {
+        rows: Vec::new(),
+        residual,
+    };
     scan(ctx.db, &table, &spec, &ctx.view, &mut c)?;
     Ok(c.rows)
 }
@@ -188,7 +202,13 @@ impl AggStateEx {
         let input_dtype = item.input.as_ref().and_then(|e| e.dtype(dtypes).ok());
         match item.func {
             AggFuncEx::Avg => AggStateEx::Avg {
-                sum: AggState::new(&AggSpec { func: taurus_expr::agg::AggFunc::Sum, col: None }, input_dtype),
+                sum: AggState::new(
+                    &AggSpec {
+                        func: taurus_expr::agg::AggFunc::Sum,
+                        col: None,
+                    },
+                    input_dtype,
+                ),
                 count: 0,
             },
             f => {
@@ -232,9 +252,7 @@ impl AggStateEx {
                 match c {
                     AggState::Count(n) => *count += n,
                     other => {
-                        return Err(Error::Internal(format!(
-                            "AVG count partial is {other:?}"
-                        )))
+                        return Err(Error::Internal(format!("AVG count partial is {other:?}")))
                     }
                 }
                 Ok(2)
@@ -264,7 +282,9 @@ impl AggStateEx {
                 match sum.finalize() {
                     Value::Null => Value::Null,
                     Value::Int(v) => Value::Decimal(
-                        Dec::from_int(v).div(Dec::from_int(*count)).expect("count>0"),
+                        Dec::from_int(v)
+                            .div(Dec::from_int(*count))
+                            .expect("count>0"),
                     ),
                     Value::Decimal(d) => {
                         Value::Decimal(d.div(Dec::from_int(*count)).expect("count>0"))
@@ -344,7 +364,10 @@ struct StreamAggConsumer<'a> {
 
 impl StreamAggConsumer<'_> {
     fn fresh_states(&self) -> Vec<AggStateEx> {
-        self.items.iter().map(|i| AggStateEx::new(i, &self.dtypes)).collect()
+        self.items
+            .iter()
+            .map(|i| AggStateEx::new(i, &self.dtypes))
+            .collect()
     }
 
     fn flush(&mut self) {
@@ -413,15 +436,21 @@ pub(crate) fn exec_agg_scan_partials(
         .group_cols
         .iter()
         .map(|c| {
-            node.scan.output.iter().position(|o| o == c).unwrap_or_else(|| {
-                panic!("group column {c} not in scan output")
-            })
+            node.scan
+                .output
+                .iter()
+                .position(|o| o == c)
+                .unwrap_or_else(|| panic!("group column {c} not in scan output"))
         })
         .collect();
     let inputs: Vec<Option<Expr>> = node
         .aggs
         .iter()
-        .map(|a| a.input.as_ref().map(|e| remap_to_output(e, &node.scan.output)))
+        .map(|a| {
+            a.input
+                .as_ref()
+                .map(|e| remap_to_output(e, &node.scan.output))
+        })
         .collect();
     let residual: Vec<Expr> = node
         .scan
@@ -470,13 +499,19 @@ pub(crate) fn exec_hash_agg_partials(
     let dtypes: Vec<taurus_common::DataType> = Vec::new();
     let mut map: HashMap<Vec<u8>, (Row, Vec<AggStateEx>)> = HashMap::new();
     for row in rows {
-        let gvals: Row =
-            node.group.iter().map(|e| eval(e, &row)).collect::<Result<_>>()?;
+        let gvals: Row = node
+            .group
+            .iter()
+            .map(|e| eval(e, &row))
+            .collect::<Result<_>>()?;
         let key = group_key_bytes(&gvals);
         let entry = map.entry(key).or_insert_with(|| {
             (
                 gvals.clone(),
-                node.aggs.iter().map(|i| AggStateEx::new(i, &dtypes)).collect(),
+                node.aggs
+                    .iter()
+                    .map(|i| AggStateEx::new(i, &dtypes))
+                    .collect(),
             )
         });
         for (st, item) in entry.1.iter_mut().zip(&node.aggs) {
@@ -488,12 +523,14 @@ pub(crate) fn exec_hash_agg_partials(
     }
     if map.is_empty() && node.group.is_empty() {
         // Scalar aggregate over an empty input: one all-initial group.
-        let states: Vec<AggStateEx> =
-            node.aggs.iter().map(|i| AggStateEx::new(i, &dtypes)).collect();
+        let states: Vec<AggStateEx> = node
+            .aggs
+            .iter()
+            .map(|i| AggStateEx::new(i, &dtypes))
+            .collect();
         return Ok(vec![(Vec::new(), Vec::new(), states)]);
     }
-    let mut out: AggPartials =
-        map.into_iter().map(|(k, (g, s))| (k, g, s)).collect();
+    let mut out: AggPartials = map.into_iter().map(|(k, (g, s))| (k, g, s)).collect();
     out.sort_by(|a, b| a.0.cmp(&b.0));
     Ok(out)
 }
@@ -524,8 +561,11 @@ pub(crate) fn exec_lookup_join(
     }
     fetch.sort_unstable();
     fetch.dedup();
-    let inner_preds: Vec<Expr> =
-        node.inner_predicate.iter().map(|e| remap_to_output(e, &fetch)).collect();
+    let inner_preds: Vec<Expr> = node
+        .inner_predicate
+        .iter()
+        .map(|e| remap_to_output(e, &fetch))
+        .collect();
     let out_pos: Vec<usize> = node
         .inner_output
         .iter()
@@ -540,8 +580,11 @@ pub(crate) fn exec_lookup_join(
 
     let mut out: Vec<Row> = Vec::new();
     for orow in outer_rows {
-        let key_vals: Vec<Value> =
-            node.outer_key_cols.iter().map(|&p| orow[p].clone()).collect();
+        let key_vals: Vec<Value> = node
+            .outer_key_cols
+            .iter()
+            .map(|&p| orow[p].clone())
+            .collect();
         if key_vals.iter().any(|v| v.is_null()) {
             match node.join {
                 JoinType::Anti => out.push(orow),
@@ -562,7 +605,10 @@ pub(crate) fn exec_lookup_join(
                 ndp: None, // point lookups never qualify for NDP (§IV-B)
                 output_cols: fetch.clone(),
             };
-            let mut c = RowCollector { rows: Vec::new(), residual: inner_preds.clone() };
+            let mut c = RowCollector {
+                rows: Vec::new(),
+                residual: inner_preds.clone(),
+            };
             scan(ctx.db, &table, &spec, &ctx.view, &mut c)?;
             c
         } else {
@@ -573,9 +619,15 @@ pub(crate) fn exec_lookup_join(
                 ndp: None,
                 output_cols: pk_cols.clone(),
             };
-            let mut keys = RowCollector { rows: Vec::new(), residual: Vec::new() };
+            let mut keys = RowCollector {
+                rows: Vec::new(),
+                residual: Vec::new(),
+            };
             scan(ctx.db, &table, &spec, &ctx.view, &mut keys)?;
-            let mut c = RowCollector { rows: Vec::new(), residual: Vec::new() };
+            let mut c = RowCollector {
+                rows: Vec::new(),
+                residual: Vec::new(),
+            };
             'rows: for pk in keys.rows {
                 if let Some(full) = ctx.db.lookup_row(&table, &ctx.view, &pk)? {
                     let projected: Row = fetch.iter().map(|&f| full[f].clone()).collect();

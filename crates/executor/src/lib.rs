@@ -1,14 +1,27 @@
-//! The Volcano executor and parallel query (§III, §VI).
+//! The Volcano executor, parallel query (§III, §VI), and the public
+//! query facade.
 //!
-//! [`exec`] implements the operators (NDP-aware scans, stream/hash
-//! aggregation with partial-merge support, NL lookup joins, hash joins,
-//! project/filter/sort/limit); [`parallel`] implements PQ: range
-//! partitioning, per-worker partial aggregation, leader merge.
+//! * [`session`] — the **public API**: [`Session`] owns the MVCC read
+//!   view; [`QueryBuilder`] resolves names, builds the plan, and always
+//!   routes it through the optimizer's NDP post-processing pass;
+//!   [`RowStream`] streams results without materializing scans.
+//! * [`dsl`] — named-column expression trees the builder resolves.
+//! * [`exec`] — the operators (NDP-aware scans, stream/hash aggregation
+//!   with partial-merge support, NL lookup joins, hash joins,
+//!   project/filter/sort/limit). `execute(plan, ctx)` is the legacy
+//!   escape-hatch layer the builder lowers onto.
+//! * [`parallel`] — PQ: range partitioning, per-worker partial
+//!   aggregation, leader merge.
 
+pub mod dsl;
 pub mod exec;
 pub mod parallel;
+pub mod session;
+pub mod stream;
 
 pub use exec::{execute, ExecContext};
+pub use session::{Agg, Explained, QueryBuilder, Session};
+pub use stream::RowStream;
 
 use taurus_common::metrics::CpuGuard;
 use taurus_common::schema::Row;

@@ -53,7 +53,8 @@ pub(crate) fn exec_exchange(node: &ExchangeNode, ctx: &ExecContext<'_>) -> Resul
     let table = ctx.db.table(&scan_node.table)?;
     let tree = &table.index(scan_node.index).tree;
     let enc = |b: &Option<(Vec<taurus_common::Value>, bool)>| {
-        b.as_ref().map(|(vals, inc)| (tree.encode_search_key(vals), *inc))
+        b.as_ref()
+            .map(|(vals, inc)| (tree.encode_search_key(vals), *inc))
     };
     let base_range = ScanRange {
         lower: enc(&scan_node.range.lower),
@@ -79,15 +80,17 @@ pub(crate) fn exec_exchange(node: &ExchangeNode, ctx: &ExecContext<'_>) -> Resul
                     let _cpu = CpuGuard::new(&db.metrics().compute_cpu_ns);
                     let wctx = ExecContext { db, view };
                     match &**child {
-                        Plan::Scan(sn) => {
-                            Ok(WorkerOut::Rows(exec_scan(sn, &wctx, Some(range))?))
-                        }
-                        Plan::AggScan(a) => Ok(WorkerOut::Partials(
-                            exec_agg_scan_partials(a, &wctx, Some(range))?,
-                        )),
-                        Plan::HashAgg(h) => Ok(WorkerOut::Partials(
-                            exec_hash_agg_partials(h, &wctx, Some(range))?,
-                        )),
+                        Plan::Scan(sn) => Ok(WorkerOut::Rows(exec_scan(sn, &wctx, Some(range))?)),
+                        Plan::AggScan(a) => Ok(WorkerOut::Partials(exec_agg_scan_partials(
+                            a,
+                            &wctx,
+                            Some(range),
+                        )?)),
+                        Plan::HashAgg(h) => Ok(WorkerOut::Partials(exec_hash_agg_partials(
+                            h,
+                            &wctx,
+                            Some(range),
+                        )?)),
                         Plan::LookupJoin(j) => {
                             Ok(WorkerOut::Rows(exec_lookup_join(j, &wctx, Some(range))?))
                         }
@@ -96,7 +99,10 @@ pub(crate) fn exec_exchange(node: &ExchangeNode, ctx: &ExecContext<'_>) -> Resul
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("pq worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pq worker panicked"))
+            .collect()
     })
     .expect("pq scope");
 

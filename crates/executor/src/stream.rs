@@ -1,0 +1,163 @@
+//! Streaming query results.
+//!
+//! [`RowStream`] is the default result type of the [`crate::Session`]
+//! facade: a pull-based iterator of rows. For plain table scans it is
+//! backed by the engine's push-based [`ScanConsumer`] callbacks running on
+//! a producer thread behind a small bounded channel, so the scan advances
+//! only as fast as the consumer pulls — dropping the stream early stops
+//! the scan after at most one channel's worth of look-ahead, and a full
+//! result set is never materialized at the API boundary. Pipeline-breaking
+//! plans (aggregation, joins, sorts) materialize at their breaker exactly
+//! as the Volcano executor always has, and stream the final operator's
+//! output from memory.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use taurus_common::metrics::CpuGuard;
+use taurus_common::schema::Row;
+use taurus_common::{Result, Value};
+use taurus_expr::agg::AggState;
+use taurus_expr::ast::Expr;
+use taurus_expr::eval::eval_pred;
+use taurus_ndp::{scan, ReadView, ScanConsumer, TaurusDb};
+use taurus_optimizer::plan::ScanNode;
+
+use crate::exec::{remap_to_output, scan_spec, ExecContext};
+
+/// How many rows the scan may run ahead of the consumer.
+pub(crate) const STREAM_CHANNEL_ROWS: usize = 256;
+
+/// An iterator of query result rows; see the module docs for which plans
+/// stream from storage and which stream from a materialized breaker.
+pub struct RowStream {
+    inner: StreamInner,
+}
+
+enum StreamInner {
+    /// Live scan on a producer thread; ends when the channel drains.
+    Scan {
+        rx: Receiver<Result<Row>>,
+        producer: Option<JoinHandle<()>>,
+    },
+    /// Output of a materializing operator.
+    Rows(std::vec::IntoIter<Row>),
+}
+
+impl RowStream {
+    pub(crate) fn from_rows(rows: Vec<Row>) -> RowStream {
+        RowStream {
+            inner: StreamInner::Rows(rows.into_iter()),
+        }
+    }
+
+    /// Spawn a producer thread scanning `node` under `view`, delivering
+    /// rows through a bounded channel. `project` optionally narrows each
+    /// delivered row to the given scan-output positions (the builder uses
+    /// this to hide predicate-only columns).
+    pub(crate) fn spawn_scan(
+        db: Arc<TaurusDb>,
+        node: ScanNode,
+        view: ReadView,
+        project: Option<Vec<usize>>,
+    ) -> RowStream {
+        let (tx, rx) = sync_channel::<Result<Row>>(STREAM_CHANNEL_ROWS);
+        let producer = std::thread::Builder::new()
+            .name("taurus-row-stream".into())
+            .spawn(move || {
+                // The producer is a compute-node thread: its CPU lands in
+                // `compute_cpu_ns`, like any query thread.
+                let _cpu = CpuGuard::new(&db.metrics().compute_cpu_ns);
+                let result = (|| -> Result<()> {
+                    let table = db.table(&node.table)?;
+                    let ctx = ExecContext { db: &db, view };
+                    let spec = scan_spec(&node, &ctx, None, None)?;
+                    let residual: Vec<Expr> = node
+                        .residual_conjuncts()
+                        .into_iter()
+                        .map(|e| remap_to_output(e, &node.output))
+                        .collect();
+                    let mut consumer = ChannelConsumer {
+                        tx: &tx,
+                        residual,
+                        project,
+                    };
+                    scan(ctx.db, &table, &spec, &ctx.view, &mut consumer)?;
+                    Ok(())
+                })();
+                if let Err(e) = result {
+                    // Receiver may already be gone; nothing else to do then.
+                    let _ = tx.send(Err(e));
+                }
+            })
+            .expect("spawn row-stream producer");
+        RowStream {
+            inner: StreamInner::Scan {
+                rx,
+                producer: Some(producer),
+            },
+        }
+    }
+
+    /// Drain the stream into a vector (convenience terminal).
+    pub fn collect_rows(self) -> Result<Vec<Row>> {
+        self.collect()
+    }
+}
+
+impl Iterator for RowStream {
+    type Item = Result<Row>;
+
+    fn next(&mut self) -> Option<Result<Row>> {
+        match &mut self.inner {
+            StreamInner::Scan { rx, .. } => rx.recv().ok(),
+            StreamInner::Rows(it) => it.next().map(Ok),
+        }
+    }
+}
+
+impl Drop for RowStream {
+    fn drop(&mut self) {
+        if let StreamInner::Scan { rx, producer } = &mut self.inner {
+            // Unblock the producer (its next send fails), then join it so
+            // no scan outlives the stream handle.
+            drop(std::mem::replace(rx, sync_channel(1).1));
+            if let Some(h) = producer.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// ScanConsumer that forwards surviving rows into the channel.
+struct ChannelConsumer<'a> {
+    tx: &'a SyncSender<Result<Row>>,
+    /// Residual predicate conjuncts over scan-output positions.
+    residual: Vec<Expr>,
+    /// Narrow delivered rows to these scan-output positions.
+    project: Option<Vec<usize>>,
+}
+
+impl ScanConsumer for ChannelConsumer<'_> {
+    fn on_row(&mut self, row: &[Value]) -> Result<bool> {
+        for p in &self.residual {
+            if eval_pred(p, row)? != Some(true) {
+                return Ok(true);
+            }
+        }
+        let out: Row = match &self.project {
+            Some(keep) => keep.iter().map(|&p| row[p].clone()).collect(),
+            None => row.to_vec(),
+        };
+        // A closed receiver means the consumer stopped pulling (dropped
+        // stream, early break): end the scan without error.
+        Ok(self.tx.send(Ok(out)).is_ok())
+    }
+
+    fn on_partial(&mut self, _states: Vec<AggState>) -> Result<bool> {
+        Err(taurus_common::Error::Internal(
+            "row stream received aggregate partials".into(),
+        ))
+    }
+}

@@ -60,23 +60,38 @@ pub struct AggSpec {
 
 impl AggSpec {
     pub fn count_star() -> AggSpec {
-        AggSpec { func: AggFunc::CountStar, col: None }
+        AggSpec {
+            func: AggFunc::CountStar,
+            col: None,
+        }
     }
 
     pub fn sum(col: u16) -> AggSpec {
-        AggSpec { func: AggFunc::Sum, col: Some(col) }
+        AggSpec {
+            func: AggFunc::Sum,
+            col: Some(col),
+        }
     }
 
     pub fn min(col: u16) -> AggSpec {
-        AggSpec { func: AggFunc::Min, col: Some(col) }
+        AggSpec {
+            func: AggFunc::Min,
+            col: Some(col),
+        }
     }
 
     pub fn max(col: u16) -> AggSpec {
-        AggSpec { func: AggFunc::Max, col: Some(col) }
+        AggSpec {
+            func: AggFunc::Max,
+            col: Some(col),
+        }
     }
 
     pub fn count(col: u16) -> AggSpec {
-        AggSpec { func: AggFunc::Count, col: Some(col) }
+        AggSpec {
+            func: AggFunc::Count,
+            col: Some(col),
+        }
     }
 
     pub fn encode(&self, out: &mut Vec<u8>) {
@@ -91,13 +106,13 @@ impl AggSpec {
         let err = || Error::Corruption("truncated agg spec".into());
         let func = AggFunc::from_u8(*buf.get(*at).ok_or_else(err)?)?;
         *at += 1;
-        let raw = u16::from_le_bytes(
-            buf.get(*at..*at + 2).ok_or_else(err)?.try_into().unwrap(),
-        );
+        let raw = u16::from_le_bytes(buf.get(*at..*at + 2).ok_or_else(err)?.try_into().unwrap());
         *at += 2;
         let col = if raw == u16::MAX { None } else { Some(raw) };
         if col.is_none() && func != AggFunc::CountStar {
-            return Err(Error::Corruption("non-COUNT(*) aggregate without column".into()));
+            return Err(Error::Corruption(
+                "non-COUNT(*) aggregate without column".into(),
+            ));
         }
         Ok(AggSpec { func, col })
     }
@@ -122,11 +137,20 @@ impl AggState {
         match spec.func {
             AggFunc::CountStar | AggFunc::Count => AggState::Count(0),
             AggFunc::Sum => match dtype {
-                Some(DataType::Double) => AggState::SumF64 { sum: 0.0, seen: false },
-                Some(DataType::Decimal { scale, .. }) => {
-                    AggState::SumDec { raw: 0, scale, seen: false }
-                }
-                _ => AggState::SumDec { raw: 0, scale: 0, seen: false },
+                Some(DataType::Double) => AggState::SumF64 {
+                    sum: 0.0,
+                    seen: false,
+                },
+                Some(DataType::Decimal { scale, .. }) => AggState::SumDec {
+                    raw: 0,
+                    scale,
+                    seen: false,
+                },
+                _ => AggState::SumDec {
+                    raw: 0,
+                    scale: 0,
+                    seen: false,
+                },
             },
             AggFunc::Min => AggState::Min(None),
             AggFunc::Max => AggState::Max(None),
@@ -146,7 +170,12 @@ impl AggState {
                     // Adopt a finer scale on first contact (generic
                     // executor aggregates start at scale 0).
                     if d.scale > *scale {
-                        *raw = Dec { raw: *raw, scale: *scale }.rescale(d.scale).raw;
+                        *raw = Dec {
+                            raw: *raw,
+                            scale: *scale,
+                        }
+                        .rescale(d.scale)
+                        .raw;
                         *scale = d.scale;
                     }
                     *raw += d.rescale(*scale).raw;
@@ -187,15 +216,33 @@ impl AggState {
         match (self, other) {
             (AggState::Count(a), AggState::Count(b)) => *a += b,
             (
-                AggState::SumDec { raw: a, scale: sa, seen: za },
-                AggState::SumDec { raw: b, scale: sb, seen: zb },
+                AggState::SumDec {
+                    raw: a,
+                    scale: sa,
+                    seen: za,
+                },
+                AggState::SumDec {
+                    raw: b,
+                    scale: sb,
+                    seen: zb,
+                },
             ) => {
                 // Align scales (PQ workers may have seen different inputs).
                 if *sb > *sa {
-                    *a = Dec { raw: *a, scale: *sa }.rescale(*sb).raw;
+                    *a = Dec {
+                        raw: *a,
+                        scale: *sa,
+                    }
+                    .rescale(*sb)
+                    .raw;
                     *sa = *sb;
                 }
-                let b_aligned = Dec { raw: *b, scale: *sb }.rescale(*sa).raw;
+                let b_aligned = Dec {
+                    raw: *b,
+                    scale: *sb,
+                }
+                .rescale(*sa)
+                .raw;
                 *a += b_aligned;
                 *za |= zb;
             }
@@ -241,7 +288,10 @@ impl AggState {
                     if *scale == 0 && i64::try_from(*raw).is_ok() {
                         Value::Int(*raw as i64)
                     } else {
-                        Value::Decimal(Dec { raw: *raw, scale: *scale })
+                        Value::Decimal(Dec {
+                            raw: *raw,
+                            scale: *scale,
+                        })
                     }
                 } else {
                     Value::Null
@@ -310,13 +360,15 @@ impl AggState {
                 AggState::SumDec { raw, scale, seen }
             }
             2 => {
-                let bits = u64::from_le_bytes(
-                    buf.get(*at..*at + 8).ok_or_else(err)?.try_into().unwrap(),
-                );
+                let bits =
+                    u64::from_le_bytes(buf.get(*at..*at + 8).ok_or_else(err)?.try_into().unwrap());
                 *at += 8;
                 let seen = *buf.get(*at).ok_or_else(err)? != 0;
                 *at += 1;
-                AggState::SumF64 { sum: f64::from_bits(bits), seen }
+                AggState::SumF64 {
+                    sum: f64::from_bits(bits),
+                    seen,
+                }
             }
             3 => {
                 let v = decode_value(buf, at)?;
@@ -413,7 +465,13 @@ mod tests {
     #[test]
     fn sum_decimal_scale_preserved() {
         let spec = AggSpec::sum(0);
-        let mut st = AggState::new(&spec, Some(DataType::Decimal { precision: 15, scale: 2 }));
+        let mut st = AggState::new(
+            &spec,
+            Some(DataType::Decimal {
+                precision: 15,
+                scale: 2,
+            }),
+        );
         st.update(&dec("1.25"));
         st.update(&dec("2.50"));
         st.update(&Value::Null);
@@ -423,7 +481,13 @@ mod tests {
     #[test]
     fn sum_of_nothing_is_null() {
         let spec = AggSpec::sum(0);
-        let st = AggState::new(&spec, Some(DataType::Decimal { precision: 15, scale: 2 }));
+        let st = AggState::new(
+            &spec,
+            Some(DataType::Decimal {
+                precision: 15,
+                scale: 2,
+            }),
+        );
         assert_eq!(st.finalize(), Value::Null);
     }
 
@@ -448,8 +512,16 @@ mod tests {
         let b = AggState::Min(None);
         assert!(a.merge(&b).is_err());
         // Different scales now align instead of erroring.
-        let mut s1 = AggState::SumDec { raw: 150, scale: 2, seen: true };
-        let s2 = AggState::SumDec { raw: 25000, scale: 4, seen: true };
+        let mut s1 = AggState::SumDec {
+            raw: 150,
+            scale: 2,
+            seen: true,
+        };
+        let s2 = AggState::SumDec {
+            raw: 25000,
+            scale: 4,
+            seen: true,
+        };
         s1.merge(&s2).unwrap();
         assert_eq!(s1.finalize(), Value::Decimal(Dec::parse("4.0000").unwrap()));
     }
@@ -458,8 +530,15 @@ mod tests {
     fn payload_roundtrip() {
         let states = vec![
             AggState::Count(42),
-            AggState::SumDec { raw: 123456, scale: 2, seen: true },
-            AggState::SumF64 { sum: 2.5, seen: true },
+            AggState::SumDec {
+                raw: 123456,
+                scale: 2,
+                seen: true,
+            },
+            AggState::SumF64 {
+                sum: 2.5,
+                seen: true,
+            },
             AggState::Min(Some(Value::str("ACME"))),
             AggState::Max(None),
         ];

@@ -75,16 +75,38 @@ pub enum Expr {
     Arith(ArithOp, Box<Expr>, Box<Expr>),
     Neg(Box<Expr>),
     /// SQL LIKE with `%` and `_` wildcards.
-    Like { expr: Box<Expr>, pattern: String, negated: bool },
-    InList { expr: Box<Expr>, list: Vec<Value>, negated: bool },
-    Between { expr: Box<Expr>, lo: Box<Expr>, hi: Box<Expr> },
-    IsNull { expr: Box<Expr>, negated: bool },
+    Like {
+        expr: Box<Expr>,
+        pattern: String,
+        negated: bool,
+    },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Value>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<Expr>,
+        lo: Box<Expr>,
+        hi: Box<Expr>,
+    },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
     /// Searched CASE: first branch whose condition is TRUE wins.
-    Case { branches: Vec<(Expr, Expr)>, else_: Box<Expr> },
+    Case {
+        branches: Vec<(Expr, Expr)>,
+        else_: Box<Expr>,
+    },
     /// EXTRACT(YEAR FROM date).
     ExtractYear(Box<Expr>),
     /// SUBSTRING(expr FROM `from` FOR `len`) — 1-based, byte semantics.
-    Substr { expr: Box<Expr>, from: usize, len: usize },
+    Substr {
+        expr: Box<Expr>,
+        from: usize,
+        len: usize,
+    },
 }
 
 impl Expr {
@@ -105,11 +127,15 @@ impl Expr {
     }
 
     pub fn dec(s: &str) -> Expr {
-        Expr::Lit(Value::Decimal(taurus_common::Dec::parse(s).expect("literal decimal")))
+        Expr::Lit(Value::Decimal(
+            taurus_common::Dec::parse(s).expect("literal decimal"),
+        ))
     }
 
     pub fn date(s: &str) -> Expr {
-        Expr::Lit(Value::Date(taurus_common::Date32::parse(s).expect("literal date")))
+        Expr::Lit(Value::Date(
+            taurus_common::Date32::parse(s).expect("literal date"),
+        ))
     }
 
     pub fn cmp(op: CmpOp, a: Expr, b: Expr) -> Expr {
@@ -183,19 +209,35 @@ impl Expr {
     }
 
     pub fn like(e: Expr, pattern: &str) -> Expr {
-        Expr::Like { expr: Box::new(e), pattern: pattern.to_string(), negated: false }
+        Expr::Like {
+            expr: Box::new(e),
+            pattern: pattern.to_string(),
+            negated: false,
+        }
     }
 
     pub fn not_like(e: Expr, pattern: &str) -> Expr {
-        Expr::Like { expr: Box::new(e), pattern: pattern.to_string(), negated: true }
+        Expr::Like {
+            expr: Box::new(e),
+            pattern: pattern.to_string(),
+            negated: true,
+        }
     }
 
     pub fn in_list(e: Expr, list: Vec<Value>) -> Expr {
-        Expr::InList { expr: Box::new(e), list, negated: false }
+        Expr::InList {
+            expr: Box::new(e),
+            list,
+            negated: false,
+        }
     }
 
     pub fn between(e: Expr, lo: Expr, hi: Expr) -> Expr {
-        Expr::Between { expr: Box::new(e), lo: Box::new(lo), hi: Box::new(hi) }
+        Expr::Between {
+            expr: Box::new(e),
+            lo: Box::new(lo),
+            hi: Box::new(hi),
+        }
     }
 
     /// Collect all referenced column positions (sorted, deduplicated).
@@ -257,22 +299,33 @@ impl Expr {
             Expr::Not(a) => Expr::Not(rebox(a)),
             Expr::Arith(op, a, b) => Expr::Arith(*op, rebox(a), rebox(b)),
             Expr::Neg(a) => Expr::Neg(rebox(a)),
-            Expr::Like { expr, pattern, negated } => Expr::Like {
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Expr::Like {
                 expr: rebox(expr),
                 pattern: pattern.clone(),
                 negated: *negated,
             },
-            Expr::InList { expr, list, negated } => Expr::InList {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
                 expr: rebox(expr),
                 list: list.clone(),
                 negated: *negated,
             },
-            Expr::Between { expr, lo, hi } => {
-                Expr::Between { expr: rebox(expr), lo: rebox(lo), hi: rebox(hi) }
-            }
-            Expr::IsNull { expr, negated } => {
-                Expr::IsNull { expr: rebox(expr), negated: *negated }
-            }
+            Expr::Between { expr, lo, hi } => Expr::Between {
+                expr: rebox(expr),
+                lo: rebox(lo),
+                hi: rebox(hi),
+            },
+            Expr::IsNull { expr, negated } => Expr::IsNull {
+                expr: rebox(expr),
+                negated: *negated,
+            },
             Expr::Case { branches, else_ } => Expr::Case {
                 branches: branches
                     .iter()
@@ -281,9 +334,11 @@ impl Expr {
                 else_: rebox(else_),
             },
             Expr::ExtractYear(a) => Expr::ExtractYear(rebox(a)),
-            Expr::Substr { expr, from, len } => {
-                Expr::Substr { expr: rebox(expr), from: *from, len: *len }
-            }
+            Expr::Substr { expr, from, len } => Expr::Substr {
+                expr: rebox(expr),
+                from: *from,
+                len: *len,
+            },
         }
     }
 
@@ -297,7 +352,10 @@ impl Expr {
             Expr::Lit(v) => match v {
                 Value::Null => DataType::Int,
                 Value::Int(_) => DataType::BigInt,
-                Value::Decimal(d) => DataType::Decimal { precision: 30, scale: d.scale },
+                Value::Decimal(d) => DataType::Decimal {
+                    precision: 30,
+                    scale: d.scale,
+                },
                 Value::Date(_) => DataType::Date,
                 Value::Str(s) => DataType::Varchar(s.len() as u16),
                 Value::Double(_) => DataType::Double,
@@ -320,19 +378,28 @@ impl Expr {
                             ArithOp::Mul => s1 + s2,
                             ArithOp::Div => s1 + 4,
                         };
-                        DataType::Decimal { precision: 30, scale }
+                        DataType::Decimal {
+                            precision: 30,
+                            scale,
+                        }
                     }
                     (DataType::Decimal { scale, .. }, _) | (_, DataType::Decimal { scale, .. }) => {
                         let scale = match op {
                             ArithOp::Add | ArithOp::Sub | ArithOp::Mul => scale,
                             ArithOp::Div => scale + 4,
                         };
-                        DataType::Decimal { precision: 30, scale }
+                        DataType::Decimal {
+                            precision: 30,
+                            scale,
+                        }
                     }
                     (DataType::Date, _) | (_, DataType::Date) => DataType::Date,
                     _ => {
                         if *op == ArithOp::Div {
-                            DataType::Decimal { precision: 30, scale: 4 }
+                            DataType::Decimal {
+                                precision: 30,
+                                scale: 4,
+                            }
                         } else {
                             DataType::BigInt
                         }
@@ -415,10 +482,22 @@ impl fmt::Display for Expr {
             Expr::Not(a) => write!(f, "(NOT {a})"),
             Expr::Arith(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
             Expr::Neg(a) => write!(f, "(-{a})"),
-            Expr::Like { expr, pattern, negated } => {
-                write!(f, "({expr} {}LIKE '{pattern}')", if *negated { "NOT " } else { "" })
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                write!(
+                    f,
+                    "({expr} {}LIKE '{pattern}')",
+                    if *negated { "NOT " } else { "" }
+                )
             }
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
                 for (i, v) in list.iter().enumerate() {
                     if i > 0 {
@@ -482,8 +561,14 @@ mod tests {
     #[test]
     fn dtype_decimal_arithmetic_scales() {
         let input = [
-            DataType::Decimal { precision: 15, scale: 2 },
-            DataType::Decimal { precision: 15, scale: 2 },
+            DataType::Decimal {
+                precision: 15,
+                scale: 2,
+            },
+            DataType::Decimal {
+                precision: 15,
+                scale: 2,
+            },
         ];
         let e = Expr::mul(Expr::col(0), Expr::sub(Expr::int(1), Expr::col(1)));
         match e.dtype(&input).unwrap() {

@@ -77,7 +77,12 @@ impl Lowering {
                 let ra = self.lower(a)?;
                 let rb = self.lower(b)?;
                 let dst = self.alloc()?;
-                self.emit(IrInstr::Cmp { op: *op, dst, a: ra, b: rb });
+                self.emit(IrInstr::Cmp {
+                    op: *op,
+                    dst,
+                    a: ra,
+                    b: rb,
+                });
                 dst
             }
             Expr::And(xs) => self.lower_junction(xs, true)?,
@@ -92,7 +97,12 @@ impl Lowering {
                 let ra = self.lower(a)?;
                 let rb = self.lower(b)?;
                 let dst = self.alloc()?;
-                self.emit(IrInstr::Arith { op: *op, dst, a: ra, b: rb });
+                self.emit(IrInstr::Arith {
+                    op: *op,
+                    dst,
+                    a: ra,
+                    b: rb,
+                });
                 dst
             }
             Expr::Neg(a) => {
@@ -101,14 +111,27 @@ impl Lowering {
                 self.emit(IrInstr::Neg { dst, a: ra });
                 dst
             }
-            Expr::Like { expr, pattern, negated } => {
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
                 let ra = self.lower(expr)?;
                 let p = self.konst(Value::str(pattern));
                 let dst = self.alloc()?;
-                self.emit(IrInstr::Like { dst, a: ra, pattern: p, negated: *negated });
+                self.emit(IrInstr::Like {
+                    dst,
+                    a: ra,
+                    pattern: p,
+                    negated: *negated,
+                });
                 dst
             }
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 if list.is_empty() {
                     return Err(Error::InvalidState("empty IN list".into()));
                 }
@@ -134,9 +157,19 @@ impl Lowering {
                 let rlo = self.lower(lo)?;
                 let rhi = self.lower(hi)?;
                 let c1 = self.alloc()?;
-                self.emit(IrInstr::Cmp { op: CmpOp::Ge, dst: c1, a: rv, b: rlo });
+                self.emit(IrInstr::Cmp {
+                    op: CmpOp::Ge,
+                    dst: c1,
+                    a: rv,
+                    b: rlo,
+                });
                 let c2 = self.alloc()?;
-                self.emit(IrInstr::Cmp { op: CmpOp::Le, dst: c2, a: rv, b: rhi });
+                self.emit(IrInstr::Cmp {
+                    op: CmpOp::Le,
+                    dst: c2,
+                    a: rv,
+                    b: rhi,
+                });
                 let dst = self.alloc()?;
                 self.emit(IrInstr::And { dst, a: c1, b: c2 });
                 dst
@@ -144,7 +177,11 @@ impl Lowering {
             Expr::IsNull { expr, negated } => {
                 let ra = self.lower(expr)?;
                 let dst = self.alloc()?;
-                self.emit(IrInstr::IsNull { dst, a: ra, negated: *negated });
+                self.emit(IrInstr::IsNull {
+                    dst,
+                    a: ra,
+                    negated: *negated,
+                });
                 dst
             }
             Expr::ExtractYear(a) => {
@@ -198,9 +235,17 @@ impl Lowering {
         for &r in &part_regs[1..] {
             let m = self.alloc()?;
             if all {
-                self.emit(IrInstr::And { dst: m, a: acc, b: r });
+                self.emit(IrInstr::And {
+                    dst: m,
+                    a: acc,
+                    b: r,
+                });
             } else {
-                self.emit(IrInstr::Or { dst: m, a: acc, b: r });
+                self.emit(IrInstr::Or {
+                    dst: m,
+                    a: acc,
+                    b: r,
+                });
             }
             acc = m;
         }
@@ -221,10 +266,18 @@ impl Lowering {
 
 /// Lower a predicate (or scalar expression) into a validated [`IrProgram`].
 pub fn lower(expr: &Expr) -> Result<IrProgram> {
-    let mut l = Lowering { instrs: Vec::new(), consts: Vec::new(), next_reg: 0 };
+    let mut l = Lowering {
+        instrs: Vec::new(),
+        consts: Vec::new(),
+        next_reg: 0,
+    };
     let result = l.lower(expr)?;
     l.emit(IrInstr::Ret { src: result });
-    let prog = IrProgram { instrs: l.instrs, consts: l.consts, n_regs: l.next_reg };
+    let prog = IrProgram {
+        instrs: l.instrs,
+        consts: l.consts,
+        n_regs: l.next_reg,
+    };
     prog.validate()?;
     Ok(prog)
 }
@@ -249,7 +302,11 @@ mod tests {
             .iter()
             .filter(|i| matches!(i, IrInstr::BrFalse { .. } | IrInstr::BrTrue { .. }))
             .count();
-        assert!(brs >= 3, "expected short-circuit branches, got {:?}", p.instrs);
+        assert!(
+            brs >= 3,
+            "expected short-circuit branches, got {:?}",
+            p.instrs
+        );
         assert!(matches!(p.instrs.last(), Some(IrInstr::Ret { .. })));
         p.validate().unwrap();
     }
@@ -289,8 +346,9 @@ mod tests {
     #[test]
     fn register_budget_enforced() {
         // A pathological 100-way conjunction must be rejected, not miscompiled.
-        let parts: Vec<Expr> =
-            (0..100).map(|i| Expr::gt(Expr::col(0), Expr::int(i))).collect();
+        let parts: Vec<Expr> = (0..100)
+            .map(|i| Expr::gt(Expr::col(0), Expr::int(i)))
+            .collect();
         assert!(lower(&Expr::and(parts)).is_err());
     }
 

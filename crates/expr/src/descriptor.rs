@@ -242,7 +242,9 @@ impl NdpDescriptor {
         }
         if let Some(keep) = &self.projection {
             if keep.windows(2).any(|w| w[0] >= w[1]) {
-                return Err(Error::Corruption("projection not strictly ascending".into()));
+                return Err(Error::Corruption(
+                    "projection not strictly ascending".into(),
+                ));
             }
             for &k in keep {
                 in_range(k)?;
@@ -314,7 +316,10 @@ mod tests {
                 DataType::BigInt,
                 DataType::Int,
                 DataType::Date,
-                DataType::Decimal { precision: 15, scale: 2 },
+                DataType::Decimal {
+                    precision: 15,
+                    scale: 2,
+                },
                 DataType::Varchar(44),
             ],
             key_positions: vec![0, 1],
@@ -362,17 +367,26 @@ mod tests {
     #[test]
     fn validation_catches_group_by_non_prefix() {
         let mut d = sample();
-        d.aggregation = Some(NdpAggSpec { specs: vec![AggSpec::count_star()], group_cols: vec![2] });
+        d.aggregation = Some(NdpAggSpec {
+            specs: vec![AggSpec::count_star()],
+            group_cols: vec![2],
+        });
         assert!(d.validate().is_err());
         // A proper key prefix passes.
-        d.aggregation = Some(NdpAggSpec { specs: vec![AggSpec::count_star()], group_cols: vec![0] });
+        d.aggregation = Some(NdpAggSpec {
+            specs: vec![AggSpec::count_star()],
+            group_cols: vec![0],
+        });
         d.validate().unwrap();
     }
 
     #[test]
     fn validation_catches_aggregate_dropped_by_projection() {
         let mut d = sample();
-        d.aggregation = Some(NdpAggSpec { specs: vec![AggSpec::sum(4)], group_cols: vec![] });
+        d.aggregation = Some(NdpAggSpec {
+            specs: vec![AggSpec::sum(4)],
+            group_cols: vec![],
+        });
         assert!(d.validate().is_err(), "col 4 is not in the projection");
     }
 

@@ -74,7 +74,11 @@ pub fn eval(expr: &Expr, row: &[Value]) -> Result<Value> {
             Value::Double(d) => Value::Double(-d),
             other => return Err(Error::Type(format!("cannot negate {other:?}"))),
         },
-        Expr::Like { expr, pattern, negated } => match eval(expr, row)? {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => match eval(expr, row)? {
             Value::Null => Value::Null,
             Value::Str(s) => {
                 let m = util::like_match(s.as_bytes(), pattern.as_bytes());
@@ -82,7 +86,11 @@ pub fn eval(expr: &Expr, row: &[Value]) -> Result<Value> {
             }
             other => return Err(Error::Type(format!("LIKE on {other:?}"))),
         },
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let v = eval(expr, row)?;
             if v.is_null() {
                 return Ok(Value::Null);
@@ -228,11 +236,11 @@ mod tests {
 
     fn row() -> Vec<Value> {
         vec![
-            Value::Int(35),                                     // 0: age
-            Value::Date(Date32::parse("2010-06-15").unwrap()),  // 1: joindate
-            Value::Decimal(dec("5500.00")),                     // 2: salary
-            Value::str("MAIL"),                                 // 3: shipmode
-            Value::Null,                                        // 4: always null
+            Value::Int(35),                                    // 0: age
+            Value::Date(Date32::parse("2010-06-15").unwrap()), // 1: joindate
+            Value::Decimal(dec("5500.00")),                    // 2: salary
+            Value::str("MAIL"),                                // 3: shipmode
+            Value::Null,                                       // 4: always null
         ]
     }
 
@@ -259,10 +267,22 @@ mod tests {
         let t = Expr::eq(Expr::int(1), Expr::int(1));
         let f = Expr::eq(Expr::int(1), Expr::int(2));
         let r = row();
-        assert_eq!(eval_pred(&Expr::and(vec![null_cmp.clone(), f.clone()]), &r).unwrap(), Some(false));
-        assert_eq!(eval_pred(&Expr::and(vec![null_cmp.clone(), t.clone()]), &r).unwrap(), None);
-        assert_eq!(eval_pred(&Expr::or(vec![null_cmp.clone(), t]), &r).unwrap(), Some(true));
-        assert_eq!(eval_pred(&Expr::or(vec![null_cmp.clone(), f]), &r).unwrap(), None);
+        assert_eq!(
+            eval_pred(&Expr::and(vec![null_cmp.clone(), f.clone()]), &r).unwrap(),
+            Some(false)
+        );
+        assert_eq!(
+            eval_pred(&Expr::and(vec![null_cmp.clone(), t.clone()]), &r).unwrap(),
+            None
+        );
+        assert_eq!(
+            eval_pred(&Expr::or(vec![null_cmp.clone(), t]), &r).unwrap(),
+            Some(true)
+        );
+        assert_eq!(
+            eval_pred(&Expr::or(vec![null_cmp.clone(), f]), &r).unwrap(),
+            None
+        );
         assert_eq!(eval_pred(&Expr::not(null_cmp), &r).unwrap(), None);
     }
 
@@ -320,8 +340,15 @@ mod tests {
     #[test]
     fn extract_year_and_substr() {
         let r = row();
-        assert_eq!(eval(&Expr::ExtractYear(Box::new(Expr::col(1))), &r).unwrap(), Value::Int(2010));
-        let s = Expr::Substr { expr: Box::new(Expr::col(3)), from: 1, len: 2 };
+        assert_eq!(
+            eval(&Expr::ExtractYear(Box::new(Expr::col(1))), &r).unwrap(),
+            Value::Int(2010)
+        );
+        let s = Expr::Substr {
+            expr: Box::new(Expr::col(3)),
+            from: 1,
+            len: 2,
+        };
         assert_eq!(eval(&s, &r).unwrap(), Value::str("MA"));
     }
 

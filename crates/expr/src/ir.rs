@@ -19,30 +19,96 @@ pub type Reg = u16;
 /// descriptor's column map.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub enum IrInstr {
-    LoadCol { dst: Reg, col: u16 },
-    LoadConst { dst: Reg, idx: u16 },
-    Mov { dst: Reg, src: Reg },
-    Cmp { op: CmpOp, dst: Reg, a: Reg, b: Reg },
+    LoadCol {
+        dst: Reg,
+        col: u16,
+    },
+    LoadConst {
+        dst: Reg,
+        idx: u16,
+    },
+    Mov {
+        dst: Reg,
+        src: Reg,
+    },
+    Cmp {
+        op: CmpOp,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
     /// Three-valued AND/OR merge of two already-evaluated booleans.
-    And { dst: Reg, a: Reg, b: Reg },
-    Or { dst: Reg, a: Reg, b: Reg },
-    Not { dst: Reg, a: Reg },
-    Arith { op: ArithOp, dst: Reg, a: Reg, b: Reg },
-    Neg { dst: Reg, a: Reg },
-    IsNull { dst: Reg, a: Reg, negated: bool },
+    And {
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Or {
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Not {
+        dst: Reg,
+        a: Reg,
+    },
+    Arith {
+        op: ArithOp,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Neg {
+        dst: Reg,
+        a: Reg,
+    },
+    IsNull {
+        dst: Reg,
+        a: Reg,
+        negated: bool,
+    },
     /// LIKE via the utility library; `pattern` is a const-pool index.
-    Like { dst: Reg, a: Reg, pattern: u16, negated: bool },
+    Like {
+        dst: Reg,
+        a: Reg,
+        pattern: u16,
+        negated: bool,
+    },
     /// IN over consts `[first, first+count)`.
-    InList { dst: Reg, a: Reg, first: u16, count: u16, negated: bool },
-    ExtractYear { dst: Reg, a: Reg },
-    Substr { dst: Reg, a: Reg, from: u16, len: u16 },
+    InList {
+        dst: Reg,
+        a: Reg,
+        first: u16,
+        count: u16,
+        negated: bool,
+    },
+    ExtractYear {
+        dst: Reg,
+        a: Reg,
+    },
+    Substr {
+        dst: Reg,
+        a: Reg,
+        from: u16,
+        len: u16,
+    },
     /// Jump if `cond` is definitely FALSE (NULL falls through — the 3VL
     /// refinement of Listing 4's `br i1` shortcut).
-    BrFalse { cond: Reg, target: u16 },
+    BrFalse {
+        cond: Reg,
+        target: u16,
+    },
     /// Jump if `cond` is definitely TRUE.
-    BrTrue { cond: Reg, target: u16 },
-    Jmp { target: u16 },
-    Ret { src: Reg },
+    BrTrue {
+        cond: Reg,
+        target: u16,
+    },
+    Jmp {
+        target: u16,
+    },
+    Ret {
+        src: Reg,
+    },
 }
 
 /// A complete predicate program plus its constant pool.
@@ -125,7 +191,9 @@ pub fn decode_value(buf: &[u8], at: &mut usize) -> Result<Value> {
             let bytes = take(at, len)?;
             Value::Str(std::str::from_utf8(bytes).map_err(|_| err())?.into())
         }
-        5 => Value::Double(f64::from_bits(u64::from_le_bytes(take(at, 8)?.try_into().unwrap()))),
+        5 => Value::Double(f64::from_bits(u64::from_le_bytes(
+            take(at, 8)?.try_into().unwrap(),
+        ))),
         other => return Err(Error::Corruption(format!("bad value tag {other}"))),
     })
 }
@@ -180,7 +248,11 @@ impl IrProgram {
         for _ in 0..n_instrs {
             instrs.push(decode_instr(buf, &mut at)?);
         }
-        let prog = IrProgram { instrs, consts, n_regs };
+        let prog = IrProgram {
+            instrs,
+            consts,
+            n_regs,
+        };
         prog.validate()?;
         Ok(prog)
     }
@@ -237,12 +309,20 @@ impl IrProgram {
                     reg(dst)?;
                     reg(a)?;
                 }
-                IrInstr::Like { dst, a, pattern, .. } => {
+                IrInstr::Like {
+                    dst, a, pattern, ..
+                } => {
                     reg(dst)?;
                     reg(a)?;
                     cst(pattern)?;
                 }
-                IrInstr::InList { dst, a, first, count, .. } => {
+                IrInstr::InList {
+                    dst,
+                    a,
+                    first,
+                    count,
+                    ..
+                } => {
                     reg(dst)?;
                     reg(a)?;
                     if count == 0 || first as u32 + count as u32 > nc as u32 {
@@ -365,14 +445,25 @@ fn encode_instr(ins: &IrInstr, out: &mut Vec<u8>) {
             push_u16(out, dst);
             push_u16(out, a);
         }
-        IrInstr::Like { dst, a, pattern, negated } => {
+        IrInstr::Like {
+            dst,
+            a,
+            pattern,
+            negated,
+        } => {
             out.push(10);
             out.push(negated as u8);
             push_u16(out, dst);
             push_u16(out, a);
             push_u16(out, pattern);
         }
-        IrInstr::InList { dst, a, first, count, negated } => {
+        IrInstr::InList {
+            dst,
+            a,
+            first,
+            count,
+            negated,
+        } => {
             out.push(11);
             out.push(negated as u8);
             push_u16(out, dst);
@@ -423,25 +514,48 @@ fn decode_instr(buf: &[u8], at: &mut usize) -> Result<IrInstr> {
         *at += 1;
     }
     Ok(match op {
-        0 => IrInstr::LoadCol { dst: read_u16(buf, at)?, col: read_u16(buf, at)? },
-        1 => IrInstr::LoadConst { dst: read_u16(buf, at)?, idx: read_u16(buf, at)? },
-        2 => IrInstr::Mov { dst: read_u16(buf, at)?, src: read_u16(buf, at)? },
+        0 => IrInstr::LoadCol {
+            dst: read_u16(buf, at)?,
+            col: read_u16(buf, at)?,
+        },
+        1 => IrInstr::LoadConst {
+            dst: read_u16(buf, at)?,
+            idx: read_u16(buf, at)?,
+        },
+        2 => IrInstr::Mov {
+            dst: read_u16(buf, at)?,
+            src: read_u16(buf, at)?,
+        },
         3 => IrInstr::Cmp {
             op: cmp_from(flag)?,
             dst: read_u16(buf, at)?,
             a: read_u16(buf, at)?,
             b: read_u16(buf, at)?,
         },
-        4 => IrInstr::And { dst: read_u16(buf, at)?, a: read_u16(buf, at)?, b: read_u16(buf, at)? },
-        5 => IrInstr::Or { dst: read_u16(buf, at)?, a: read_u16(buf, at)?, b: read_u16(buf, at)? },
-        6 => IrInstr::Not { dst: read_u16(buf, at)?, a: read_u16(buf, at)? },
+        4 => IrInstr::And {
+            dst: read_u16(buf, at)?,
+            a: read_u16(buf, at)?,
+            b: read_u16(buf, at)?,
+        },
+        5 => IrInstr::Or {
+            dst: read_u16(buf, at)?,
+            a: read_u16(buf, at)?,
+            b: read_u16(buf, at)?,
+        },
+        6 => IrInstr::Not {
+            dst: read_u16(buf, at)?,
+            a: read_u16(buf, at)?,
+        },
         7 => IrInstr::Arith {
             op: arith_from(flag)?,
             dst: read_u16(buf, at)?,
             a: read_u16(buf, at)?,
             b: read_u16(buf, at)?,
         },
-        8 => IrInstr::Neg { dst: read_u16(buf, at)?, a: read_u16(buf, at)? },
+        8 => IrInstr::Neg {
+            dst: read_u16(buf, at)?,
+            a: read_u16(buf, at)?,
+        },
         9 => IrInstr::IsNull {
             negated: flag != 0,
             dst: read_u16(buf, at)?,
@@ -460,17 +574,30 @@ fn decode_instr(buf: &[u8], at: &mut usize) -> Result<IrInstr> {
             first: read_u16(buf, at)?,
             count: read_u16(buf, at)?,
         },
-        12 => IrInstr::ExtractYear { dst: read_u16(buf, at)?, a: read_u16(buf, at)? },
+        12 => IrInstr::ExtractYear {
+            dst: read_u16(buf, at)?,
+            a: read_u16(buf, at)?,
+        },
         13 => IrInstr::Substr {
             dst: read_u16(buf, at)?,
             a: read_u16(buf, at)?,
             from: read_u16(buf, at)?,
             len: read_u16(buf, at)?,
         },
-        14 => IrInstr::BrFalse { cond: read_u16(buf, at)?, target: read_u16(buf, at)? },
-        15 => IrInstr::BrTrue { cond: read_u16(buf, at)?, target: read_u16(buf, at)? },
-        16 => IrInstr::Jmp { target: read_u16(buf, at)? },
-        17 => IrInstr::Ret { src: read_u16(buf, at)? },
+        14 => IrInstr::BrFalse {
+            cond: read_u16(buf, at)?,
+            target: read_u16(buf, at)?,
+        },
+        15 => IrInstr::BrTrue {
+            cond: read_u16(buf, at)?,
+            target: read_u16(buf, at)?,
+        },
+        16 => IrInstr::Jmp {
+            target: read_u16(buf, at)?,
+        },
+        17 => IrInstr::Ret {
+            src: read_u16(buf, at)?,
+        },
         other => return Err(Error::Corruption(format!("bad opcode {other}"))),
     })
 }
@@ -485,11 +612,21 @@ mod tests {
             instrs: vec![
                 IrInstr::LoadCol { dst: 0, col: 0 },
                 IrInstr::LoadConst { dst: 1, idx: 0 },
-                IrInstr::Cmp { op: CmpOp::Gt, dst: 2, a: 0, b: 1 },
+                IrInstr::Cmp {
+                    op: CmpOp::Gt,
+                    dst: 2,
+                    a: 0,
+                    b: 1,
+                },
                 IrInstr::BrFalse { cond: 2, target: 7 },
                 IrInstr::LoadCol { dst: 3, col: 1 },
                 IrInstr::LoadConst { dst: 4, idx: 1 },
-                IrInstr::Cmp { op: CmpOp::Ge, dst: 5, a: 3, b: 4 },
+                IrInstr::Cmp {
+                    op: CmpOp::Ge,
+                    dst: 5,
+                    a: 3,
+                    b: 4,
+                },
                 IrInstr::Ret { src: 5 },
             ],
             consts: vec![Value::Int(1), Value::Int(2)],
@@ -537,7 +674,10 @@ mod tests {
         assert!(p.validate().is_err());
 
         let mut p = sample_program();
-        p.instrs[3] = IrInstr::BrFalse { cond: 2, target: 200 };
+        p.instrs[3] = IrInstr::BrFalse {
+            cond: 2,
+            target: 200,
+        };
         assert!(p.validate().is_err());
 
         let mut p = sample_program();

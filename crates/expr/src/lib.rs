@@ -17,17 +17,17 @@
 
 pub mod agg;
 pub mod ast;
-pub mod descriptor;
 pub mod compile;
+pub mod descriptor;
 pub mod eval;
 pub mod ir;
 pub mod util;
 pub mod vm;
 
 pub use agg::{decode_states, encode_states, AggFunc, AggSpec, AggState};
-pub use descriptor::{fnv64, NdpAggSpec, NdpDescriptor};
 pub use ast::{ArithOp, CmpOp, Expr};
 pub use compile::lower;
+pub use descriptor::{fnv64, NdpAggSpec, NdpDescriptor};
 pub use eval::{eval, eval_pred};
 pub use ir::{IrInstr, IrProgram};
 pub use vm::{CompiledPredicate, TriBool};

@@ -110,7 +110,10 @@ mod tests {
         assert!(like_match(b"special requests", b"%special%requests%"));
         assert!(!like_match(b"special packages", b"%special%requests%"));
         // Q13 shape: NOT LIKE '%special%requests%'.
-        assert!(like_match(b"aaa special bbb requests ccc", b"%special%requests%"));
+        assert!(like_match(
+            b"aaa special bbb requests ccc",
+            b"%special%requests%"
+        ));
         // Multiple consecutive %.
         assert!(like_match(b"abc", b"%%c"));
     }
@@ -138,7 +141,12 @@ mod tests {
 
     #[test]
     fn utilfn_roundtrip() {
-        for f in [UtilFn::LikeMatch, UtilFn::ExtractYear, UtilFn::Substr, UtilFn::DecimalCmp] {
+        for f in [
+            UtilFn::LikeMatch,
+            UtilFn::ExtractYear,
+            UtilFn::Substr,
+            UtilFn::DecimalCmp,
+        ] {
             assert_eq!(UtilFn::from_u8(f as u8), Some(f));
         }
         assert_eq!(UtilFn::from_u8(77), None);

@@ -83,24 +83,91 @@ impl ConstSlot {
 /// resolved to concrete record positions and types.
 #[derive(Clone, Copy, Debug)]
 enum Op {
-    LoadField { dst: u16, pos: u16, dtype: DataType },
-    LoadConst { dst: u16, idx: u16 },
-    Mov { dst: u16, src: u16 },
-    Cmp { op: CmpOp, dst: u16, a: u16, b: u16 },
-    And { dst: u16, a: u16, b: u16 },
-    Or { dst: u16, a: u16, b: u16 },
-    Not { dst: u16, a: u16 },
-    Arith { op: ArithOp, dst: u16, a: u16, b: u16 },
-    Neg { dst: u16, a: u16 },
-    IsNull { dst: u16, a: u16, negated: bool },
-    Like { dst: u16, a: u16, pattern: u16, negated: bool },
-    InList { dst: u16, a: u16, first: u16, count: u16, negated: bool },
-    ExtractYear { dst: u16, a: u16 },
-    Substr { dst: u16, a: u16, from: u16, len: u16 },
-    BrFalse { cond: u16, target: u16 },
-    BrTrue { cond: u16, target: u16 },
-    Jmp { target: u16 },
-    Ret { src: u16 },
+    LoadField {
+        dst: u16,
+        pos: u16,
+        dtype: DataType,
+    },
+    LoadConst {
+        dst: u16,
+        idx: u16,
+    },
+    Mov {
+        dst: u16,
+        src: u16,
+    },
+    Cmp {
+        op: CmpOp,
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    And {
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    Or {
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    Not {
+        dst: u16,
+        a: u16,
+    },
+    Arith {
+        op: ArithOp,
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    Neg {
+        dst: u16,
+        a: u16,
+    },
+    IsNull {
+        dst: u16,
+        a: u16,
+        negated: bool,
+    },
+    Like {
+        dst: u16,
+        a: u16,
+        pattern: u16,
+        negated: bool,
+    },
+    InList {
+        dst: u16,
+        a: u16,
+        first: u16,
+        count: u16,
+        negated: bool,
+    },
+    ExtractYear {
+        dst: u16,
+        a: u16,
+    },
+    Substr {
+        dst: u16,
+        a: u16,
+        from: u16,
+        len: u16,
+    },
+    BrFalse {
+        cond: u16,
+        target: u16,
+    },
+    BrTrue {
+        cond: u16,
+        target: u16,
+    },
+    Jmp {
+        target: u16,
+    },
+    Ret {
+        src: u16,
+    },
 }
 
 /// A predicate compiled against one record layout.
@@ -140,7 +207,11 @@ impl CompiledPredicate {
                             "descriptor col {col} not present in record layout"
                         )));
                     }
-                    Op::LoadField { dst, pos, dtype: layout.dtypes[pos as usize] }
+                    Op::LoadField {
+                        dst,
+                        pos,
+                        dtype: layout.dtypes[pos as usize],
+                    }
                 }
                 IrInstr::LoadConst { dst, idx } => Op::LoadConst { dst, idx },
                 IrInstr::Mov { dst, src } => Op::Mov { dst, src },
@@ -151,12 +222,30 @@ impl CompiledPredicate {
                 IrInstr::Arith { op, dst, a, b } => Op::Arith { op, dst, a, b },
                 IrInstr::Neg { dst, a } => Op::Neg { dst, a },
                 IrInstr::IsNull { dst, a, negated } => Op::IsNull { dst, a, negated },
-                IrInstr::Like { dst, a, pattern, negated } => {
-                    Op::Like { dst, a, pattern, negated }
-                }
-                IrInstr::InList { dst, a, first, count, negated } => {
-                    Op::InList { dst, a, first, count, negated }
-                }
+                IrInstr::Like {
+                    dst,
+                    a,
+                    pattern,
+                    negated,
+                } => Op::Like {
+                    dst,
+                    a,
+                    pattern,
+                    negated,
+                },
+                IrInstr::InList {
+                    dst,
+                    a,
+                    first,
+                    count,
+                    negated,
+                } => Op::InList {
+                    dst,
+                    a,
+                    first,
+                    count,
+                    negated,
+                },
                 IrInstr::ExtractYear { dst, a } => Op::ExtractYear { dst, a },
                 IrInstr::Substr { dst, a, from, len } => Op::Substr { dst, a, from, len },
                 IrInstr::BrFalse { cond, target } => {
@@ -184,11 +273,7 @@ impl CompiledPredicate {
 
     /// Evaluate over raw record bytes. `offsets` is a reusable scratch
     /// buffer (filled with the record's field offsets once per record).
-    pub fn eval_record(
-        &self,
-        rec: &RecordView<'_>,
-        offsets: &mut Vec<u32>,
-    ) -> Result<TriBool> {
+    pub fn eval_record(&self, rec: &RecordView<'_>, offsets: &mut Vec<u32>) -> Result<TriBool> {
         rec.fill_offsets(offsets);
         let mut regs: [Slot<'_>; MAX_REGS] = [Slot::Null; MAX_REGS];
         let mut pc = 0usize;
@@ -210,11 +295,10 @@ impl CompiledPredicate {
                 }
                 Op::Mov { dst, src } => regs[dst as usize] = regs[src as usize],
                 Op::Cmp { op, dst, a, b } => {
-                    regs[dst as usize] =
-                        match slot_cmp(&regs[a as usize], &regs[b as usize])? {
-                            None => Slot::Null,
-                            Some(ord) => bool_slot(cmp_holds(op, ord)),
-                        };
+                    regs[dst as usize] = match slot_cmp(&regs[a as usize], &regs[b as usize])? {
+                        None => Slot::Null,
+                        Some(ord) => bool_slot(cmp_holds(op, ord)),
+                    };
                 }
                 Op::And { dst, a, b } => {
                     regs[dst as usize] =
@@ -239,16 +323,19 @@ impl CompiledPredicate {
                         Slot::Int(v) => Slot::Int(-v),
                         Slot::Dec(d) => Slot::Dec(d.neg()),
                         Slot::F64(v) => Slot::F64(-v),
-                        other => {
-                            return Err(Error::Type(format!("cannot negate {other:?}")))
-                        }
+                        other => return Err(Error::Type(format!("cannot negate {other:?}"))),
                     };
                 }
                 Op::IsNull { dst, a, negated } => {
                     let isn = matches!(regs[a as usize], Slot::Null);
                     regs[dst as usize] = bool_slot(isn != negated);
                 }
-                Op::Like { dst, a, pattern, negated } => {
+                Op::Like {
+                    dst,
+                    a,
+                    pattern,
+                    negated,
+                } => {
                     regs[dst as usize] = match regs[a as usize] {
                         Slot::Null => Slot::Null,
                         Slot::Bytes(text) => {
@@ -265,7 +352,13 @@ impl CompiledPredicate {
                         other => return Err(Error::Type(format!("LIKE on {other:?}"))),
                     };
                 }
-                Op::InList { dst, a, first, count, negated } => {
+                Op::InList {
+                    dst,
+                    a,
+                    first,
+                    count,
+                    negated,
+                } => {
                     let v = regs[a as usize];
                     regs[dst as usize] = if matches!(v, Slot::Null) {
                         Slot::Null
@@ -285,17 +378,13 @@ impl CompiledPredicate {
                     regs[dst as usize] = match regs[a as usize] {
                         Slot::Null => Slot::Null,
                         Slot::Date(d) => Slot::Int(util::extract_year(d)),
-                        other => {
-                            return Err(Error::Type(format!("EXTRACT(YEAR) on {other:?}")))
-                        }
+                        other => return Err(Error::Type(format!("EXTRACT(YEAR) on {other:?}"))),
                     };
                 }
                 Op::Substr { dst, a, from, len } => {
                     regs[dst as usize] = match regs[a as usize] {
                         Slot::Null => Slot::Null,
-                        Slot::Bytes(b) => {
-                            Slot::Bytes(util::substr(b, from as usize, len as usize))
-                        }
+                        Slot::Bytes(b) => Slot::Bytes(util::substr(b, from as usize, len as usize)),
                         other => return Err(Error::Type(format!("SUBSTR on {other:?}"))),
                     };
                 }
@@ -356,7 +445,9 @@ fn slot_bool(s: &Slot<'_>) -> Result<Option<bool>> {
     match s {
         Slot::Null => Ok(None),
         Slot::Int(v) => Ok(Some(*v != 0)),
-        other => Err(Error::Type(format!("non-boolean predicate register {other:?}"))),
+        other => Err(Error::Type(format!(
+            "non-boolean predicate register {other:?}"
+        ))),
     }
 }
 
@@ -477,17 +568,20 @@ mod tests {
     use super::*;
     use crate::ast::Expr;
     use crate::compile::lower;
-    use crate::eval::{eval_pred, eval};
+    use crate::eval::{eval, eval_pred};
     use taurus_common::{Date32, Value};
     use taurus_page::{encode_record, RecordMeta};
 
     fn layout() -> RecordLayout {
         RecordLayout::new(vec![
-            DataType::Int,                                 // 0 quantity
-            DataType::Decimal { precision: 15, scale: 2 }, // 1 discount
-            DataType::Date,                                // 2 shipdate
-            DataType::Char(10),                            // 3 shipmode
-            DataType::Varchar(25),                         // 4 type
+            DataType::Int, // 0 quantity
+            DataType::Decimal {
+                precision: 15,
+                scale: 2,
+            }, // 1 discount
+            DataType::Date, // 2 shipdate
+            DataType::Char(10), // 3 shipmode
+            DataType::Varchar(25), // 4 type
         ])
     }
 
@@ -558,13 +652,17 @@ mod tests {
             Expr::not_like(Expr::col(4), "%BRASS"),
             Expr::in_list(Expr::col(3), vec![Value::str("MAIL"), Value::str("SHIP")]),
             Expr::eq(Expr::ExtractYear(Box::new(Expr::col(2))), Expr::int(1994)),
-            Expr::IsNull { expr: Box::new(Expr::col(0)), negated: false },
-            Expr::gt(
-                Expr::mul(Expr::col(1), Expr::int(100)),
-                Expr::int(5),
-            ),
+            Expr::IsNull {
+                expr: Box::new(Expr::col(0)),
+                negated: false,
+            },
+            Expr::gt(Expr::mul(Expr::col(1), Expr::int(100)), Expr::int(5)),
             Expr::eq(
-                Expr::Substr { expr: Box::new(Expr::col(4)), from: 1, len: 5 },
+                Expr::Substr {
+                    expr: Box::new(Expr::col(4)),
+                    from: 1,
+                    len: 5,
+                },
                 Expr::str("PROMO"),
             ),
         ]
@@ -654,8 +752,15 @@ mod tests {
         let types = ["PROMO X", "SMALL Y", "STANDARD Z", "PROMO BRASS"];
         for _ in 0..500 {
             let row = vec![
-                if rng.gen_bool(0.1) { Value::Null } else { Value::Int(rng.gen_range(0..60)) },
-                Value::Decimal(Dec { raw: rng.gen_range(0..11), scale: 2 }),
+                if rng.gen_bool(0.1) {
+                    Value::Null
+                } else {
+                    Value::Int(rng.gen_range(0..60))
+                },
+                Value::Decimal(Dec {
+                    raw: rng.gen_range(0..11),
+                    scale: 2,
+                }),
                 Value::Date(Date32(rng.gen_range(8766..10592))),
                 Value::str(modes[rng.gen_range(0..modes.len())]),
                 Value::str(types[rng.gen_range(0..types.len())]),

@@ -20,7 +20,11 @@ pub struct LogStore {
 
 impl LogStore {
     pub fn new(id: usize) -> LogStore {
-        LogStore { id, segments: Mutex::new(Vec::new()), bytes: Mutex::new(0) }
+        LogStore {
+            id,
+            segments: Mutex::new(Vec::new()),
+            bytes: Mutex::new(0),
+        }
     }
 
     pub fn id(&self) -> usize {
@@ -38,7 +42,11 @@ impl LogStore {
     /// Serve batches from `offset` (read-replica catch-up path).
     pub fn read_from(&self, offset: u64, max_batches: usize) -> Vec<Vec<u8>> {
         let segs = self.segments.lock();
-        segs.iter().skip(offset as usize).take(max_batches).cloned().collect()
+        segs.iter()
+            .skip(offset as usize)
+            .take(max_batches)
+            .cloned()
+            .collect()
     }
 
     /// Number of batches stored.

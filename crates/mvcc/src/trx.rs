@@ -22,7 +22,10 @@ impl TrxManager {
     pub fn new() -> TrxManager {
         // Id 1 is the bootstrap loader (always committed); real
         // transactions start at 2.
-        TrxManager { next_id: AtomicU64::new(2), active: Mutex::new(BTreeSet::new()) }
+        TrxManager {
+            next_id: AtomicU64::new(2),
+            active: Mutex::new(BTreeSet::new()),
+        }
     }
 
     /// Start a transaction: allocate the next id and mark it active.
@@ -48,7 +51,12 @@ impl TrxManager {
         let low_limit = self.next_id.load(Ordering::SeqCst);
         let ids: Vec<TrxId> = active.iter().copied().filter(|&id| id != creator).collect();
         let up_limit = ids.first().copied().unwrap_or(low_limit);
-        ReadView { low_limit, up_limit, active: ids, creator }
+        ReadView {
+            low_limit,
+            up_limit,
+            active: ids,
+            creator,
+        }
     }
 
     /// Oldest id any *future* read view could consider invisible; undo
@@ -88,7 +96,7 @@ impl ReadView {
         if trx_id >= self.low_limit {
             return false;
         }
-        !self.active.binary_search(&trx_id).is_ok()
+        self.active.binary_search(&trx_id).is_err()
     }
 
     /// The single transaction id shipped to Page Stores in the NDP
@@ -102,7 +110,12 @@ impl ReadView {
 
     /// A view that sees everything (used by bulk loaders / DDL).
     pub fn all_visible() -> ReadView {
-        ReadView { low_limit: TrxId::MAX, up_limit: TrxId::MAX, active: Vec::new(), creator: 0 }
+        ReadView {
+            low_limit: TrxId::MAX,
+            up_limit: TrxId::MAX,
+            active: Vec::new(),
+            creator: 0,
+        }
     }
 }
 
@@ -131,7 +144,10 @@ mod tests {
         let view = tm.read_view(me);
         assert!(view.visible(crate::BOOTSTRAP_TRX));
         assert!(view.visible(t_old), "committed-before must be visible");
-        assert!(!view.visible(t_active), "concurrent active must be invisible");
+        assert!(
+            !view.visible(t_active),
+            "concurrent active must be invisible"
+        );
         assert!(view.visible(me), "own writes visible");
         let t_future = tm.begin();
         assert!(!view.visible(t_future), "started-after must be invisible");
@@ -146,7 +162,10 @@ mod tests {
         let wm = view.low_watermark();
         // Everything below the watermark must be visible under the full rules.
         for id in 1..wm {
-            assert!(view.visible(id), "id {id} below watermark {wm} but invisible");
+            assert!(
+                view.visible(id),
+                "id {id} below watermark {wm} but invisible"
+            );
         }
         // The active transaction must NOT be below the watermark.
         assert!(t1 >= wm);

@@ -120,7 +120,10 @@ impl UndoLog {
     }
 
     pub fn chain_len(&self, space: SpaceId, key: &[u8]) -> usize {
-        self.chains.lock().get(&(space.0, key.to_vec())).map_or(0, |c| c.len())
+        self.chains
+            .lock()
+            .get(&(space.0, key.to_vec()))
+            .map_or(0, |c| c.len())
     }
 
     pub fn total_entries(&self) -> usize {
@@ -202,7 +205,10 @@ mod tests {
         let t3 = tm.begin();
         undo.push(sp, key, t3, Some(image(t2, 2)));
         let current = image(t3, 3);
-        assert_eq!(undo.reconstruct(sp, key, &current, &view).unwrap(), image(t2, 2));
+        assert_eq!(
+            undo.reconstruct(sp, key, &current, &view).unwrap(),
+            image(t2, 2)
+        );
     }
 
     #[test]

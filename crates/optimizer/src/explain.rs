@@ -63,7 +63,10 @@ fn render_scan(s: &ScanNode, db: &TaurusDb, depth: usize, out: &mut String, agg:
                 line(
                     depth,
                     out,
-                    &format!("Using pushed NDP condition {}", pretty_expr(p, db, &s.table)),
+                    &format!(
+                        "Using pushed NDP condition {}",
+                        pretty_expr(p, db, &s.table)
+                    ),
                 );
             }
             if d.choice.projection.is_some() {

@@ -9,6 +9,6 @@ pub mod plan;
 pub use explain::explain;
 pub use ndp_post::{estimate_filter_factor, ndp_post_process, NdpReport};
 pub use plan::{
-    AggFuncEx, AggItem, AggScanNode, ExchangeNode, FilterNode, HashAggNode, HashJoinNode,
-    JoinType, LookupJoinNode, NdpDecision, Plan, ProjectNode, RangeSpec, ScanNode, SortNode,
+    AggFuncEx, AggItem, AggScanNode, ExchangeNode, FilterNode, HashAggNode, HashJoinNode, JoinType,
+    LookupJoinNode, NdpDecision, Plan, ProjectNode, RangeSpec, ScanNode, SortNode,
 };

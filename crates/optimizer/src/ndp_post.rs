@@ -55,7 +55,11 @@ fn process(plan: &mut Plan, db: &TaurusDb, out: &mut Vec<NdpReport>) -> Result<(
             out.push(r);
         }
         Plan::AggScan(a) => {
-            let AggScanNode { scan, group_cols, aggs } = a;
+            let AggScanNode {
+                scan,
+                group_cols,
+                aggs,
+            } = a;
             let r = decide_scan(scan, Some((group_cols, aggs)), db)?;
             out.push(r);
         }
@@ -84,7 +88,10 @@ fn decide_scan(
     let table = db.table(&node.table)?;
     let idx = table.index(node.index);
     let stats = table.stats.read().clone();
-    let mut report = NdpReport { table: node.table.clone(), ..Default::default() };
+    let mut report = NdpReport {
+        table: node.table.clone(),
+        ..Default::default()
+    };
     node.ndp = None;
     if !cfg.enabled {
         return Ok(report);
@@ -116,9 +123,7 @@ fn decide_scan(
         .predicate
         .iter()
         .enumerate()
-        .filter(|(_, e)| {
-            e.is_ndp_supported(&dtypes) && taurus_expr::compile::lower(e).is_ok()
-        })
+        .filter(|(_, e)| e.is_ndp_supported(&dtypes) && taurus_expr::compile::lower(e).is_ok())
         .map(|(i, _)| i)
         .collect();
     if !eligible.is_empty() {
@@ -129,8 +134,10 @@ fn decide_scan(
             .clamp(0.0005, 1.0);
         report.filter_factor = ff;
         if ff <= cfg.predicate_max_filter_factor {
-            let conjuncts: Vec<Expr> =
-                eligible.iter().map(|&i| node.predicate[i].clone()).collect();
+            let conjuncts: Vec<Expr> = eligible
+                .iter()
+                .map(|&i| node.predicate[i].clone())
+                .collect();
             choice.predicate = Some(Expr::and(conjuncts));
             pushed = eligible;
             report.pushed_predicates = pushed.len();
@@ -158,15 +165,24 @@ fn decide_scan(
         .max(1.0);
     let kept_width: f64 = needed
         .iter()
-        .map(|&c| stats.columns.get(c).map(|s| s.avg_width.max(1.0)).unwrap_or(8.0))
+        .map(|&c| {
+            stats
+                .columns
+                .get(c)
+                .map(|s| s.avg_width.max(1.0))
+                .unwrap_or(8.0)
+        })
         .sum();
     report.width_ratio = kept_width / full_width;
     // Only meaningful when this index stores more than what we need.
     let stored = idx.tree.def.stored_cols();
     let narrowing_possible = needed.len() < stored.len();
     if narrowing_possible && report.width_ratio <= cfg.projection_width_threshold {
-        let keep: Vec<usize> =
-            needed.iter().copied().filter(|c| stored.contains(c)).collect();
+        let keep: Vec<usize> = needed
+            .iter()
+            .copied()
+            .filter(|c| stored.contains(c))
+            .collect();
         choice.projection = Some(keep);
         report.projection = true;
     }
@@ -174,10 +190,8 @@ fn decide_scan(
     // --- aggregation (§V-C) ---------------------------------------------------
     if let Some((group_cols, aggs)) = agg {
         let residual_empty = pushed.len() == node.predicate.len();
-        let range_covered = matches!(
-            (&node.range.lower, &node.range.upper),
-            (None, None)
-        ) || !pushed.is_empty();
+        let range_covered =
+            matches!((&node.range.lower, &node.range.upper), (None, None)) || !pushed.is_empty();
         let inputs_are_columns = aggs.iter().all(|a| {
             let col_input = matches!(&a.input, None | Some(Expr::Col(_)));
             // AVG decomposes into SUM + COUNT ("the calculation of AVG is
@@ -202,7 +216,10 @@ fn decide_scan(
                     None => {
                         // AVG -> SUM + COUNT pair.
                         let c = col.expect("checked");
-                        specs.push(AggSpec { func: taurus_expr::agg::AggFunc::Sum, col: Some(c) });
+                        specs.push(AggSpec {
+                            func: taurus_expr::agg::AggFunc::Sum,
+                            col: Some(c),
+                        });
                         specs.push(AggSpec {
                             func: taurus_expr::agg::AggFunc::Count,
                             col: Some(c),
@@ -210,8 +227,10 @@ fn decide_scan(
                     }
                 }
             }
-            choice.aggregation =
-                Some(ScanAggregation { specs, group_cols: group_cols.clone() });
+            choice.aggregation = Some(ScanAggregation {
+                specs,
+                group_cols: group_cols.clone(),
+            });
             report.aggregation = true;
             // Group columns must survive projection for the carrier rows.
             if let Some(keep) = &mut choice.projection {
@@ -257,7 +276,9 @@ fn estimate_range_fraction(
         Some(c) => c,
         None => return 0.3,
     };
-    let (Some(min), Some(max)) = (&cs.min, &cs.max) else { return 0.3 };
+    let (Some(min), Some(max)) = (&cs.min, &cs.max) else {
+        return 0.3;
+    };
     let (Some(min), Some(max)) = (value_as_f64(min), value_as_f64(max)) else {
         return 0.3;
     };
@@ -291,11 +312,8 @@ fn value_as_f64(v: &Value) -> Option<f64> {
 
 /// Estimate the fraction of rows satisfying `e` ("the optimizer then
 /// calculates the filter factors of the predicates", §V-B1).
-pub fn estimate_filter_factor(
-    e: &Expr,
-    table: &taurus_ndp::Table,
-    stats: &TableStats,
-) -> f64 {
+#[allow(clippy::only_used_in_recursion)] // `table` is part of the public signature
+pub fn estimate_filter_factor(e: &Expr, table: &taurus_ndp::Table, stats: &TableStats) -> f64 {
     match e {
         Expr::And(xs) => xs
             .iter()
@@ -322,7 +340,9 @@ pub fn estimate_filter_factor(
                 CmpOp::Eq => 1.0 / cs.ndv.max(1) as f64,
                 CmpOp::Ne => 1.0 - 1.0 / cs.ndv.max(1) as f64,
                 CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
-                    let (Some(min), Some(max)) = (&cs.min, &cs.max) else { return 0.33 };
+                    let (Some(min), Some(max)) = (&cs.min, &cs.max) else {
+                        return 0.33;
+                    };
                     let (Some(min), Some(max), Some(v)) =
                         (value_as_f64(min), value_as_f64(max), value_as_f64(&lit))
                     else {
@@ -340,16 +360,10 @@ pub fn estimate_filter_factor(
             }
         }
         Expr::Between { expr, lo, hi } => {
-            let a = estimate_filter_factor(
-                &Expr::ge((**expr).clone(), (**lo).clone()),
-                table,
-                stats,
-            );
-            let b = estimate_filter_factor(
-                &Expr::le((**expr).clone(), (**hi).clone()),
-                table,
-                stats,
-            );
+            let a =
+                estimate_filter_factor(&Expr::ge((**expr).clone(), (**lo).clone()), table, stats);
+            let b =
+                estimate_filter_factor(&Expr::le((**expr).clone(), (**hi).clone()), table, stats);
             (a + b - 1.0).clamp(0.001, 1.0)
         }
         Expr::InList { list, negated, .. } => {
@@ -360,7 +374,9 @@ pub fn estimate_filter_factor(
                 base
             }
         }
-        Expr::Like { pattern, negated, .. } => {
+        Expr::Like {
+            pattern, negated, ..
+        } => {
             let base = if pattern.starts_with('%') { 0.09 } else { 0.05 };
             if *negated {
                 1.0 - base

@@ -26,7 +26,10 @@ impl RangeSpec {
     }
 
     pub fn point(key: Vec<Value>) -> RangeSpec {
-        RangeSpec { lower: Some((key.clone(), true)), upper: Some((key, true)) }
+        RangeSpec {
+            lower: Some((key.clone(), true)),
+            upper: Some((key, true)),
+        }
     }
 }
 
@@ -246,27 +249,47 @@ pub enum Plan {
 
 impl Plan {
     pub fn project(self, exprs: Vec<Expr>) -> Plan {
-        Plan::Project(ProjectNode { input: Box::new(self), exprs })
+        Plan::Project(ProjectNode {
+            input: Box::new(self),
+            exprs,
+        })
     }
 
     pub fn filter(self, predicate: Expr) -> Plan {
-        Plan::Filter(FilterNode { input: Box::new(self), predicate })
+        Plan::Filter(FilterNode {
+            input: Box::new(self),
+            predicate,
+        })
     }
 
     pub fn sort(self, keys: Vec<(usize, bool)>) -> Plan {
-        Plan::Sort(SortNode { input: Box::new(self), keys, limit: None })
+        Plan::Sort(SortNode {
+            input: Box::new(self),
+            keys,
+            limit: None,
+        })
     }
 
     pub fn top_n(self, keys: Vec<(usize, bool)>, n: usize) -> Plan {
-        Plan::Sort(SortNode { input: Box::new(self), keys, limit: Some(n) })
+        Plan::Sort(SortNode {
+            input: Box::new(self),
+            keys,
+            limit: Some(n),
+        })
     }
 
     pub fn limit(self, n: usize) -> Plan {
-        Plan::Limit { input: Box::new(self), n }
+        Plan::Limit {
+            input: Box::new(self),
+            n,
+        }
     }
 
     pub fn exchange(self, degree: usize) -> Plan {
-        Plan::Exchange(ExchangeNode { child: Box::new(self), degree })
+        Plan::Exchange(ExchangeNode {
+            child: Box::new(self),
+            degree,
+        })
     }
 
     /// Visit every scan node mutably (the NDP pass and tests use this).

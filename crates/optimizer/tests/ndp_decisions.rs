@@ -17,7 +17,13 @@ fn wide_schema() -> Arc<TableSchema> {
         vec![
             Column::new("id", DataType::BigInt),
             Column::new("v", DataType::Int),
-            Column::new("price", DataType::Decimal { precision: 15, scale: 2 }),
+            Column::new(
+                "price",
+                DataType::Decimal {
+                    precision: 15,
+                    scale: 2,
+                },
+            ),
             Column::new("pad1", DataType::Varchar(100)),
             Column::new("pad2", DataType::Varchar(100)),
         ],
@@ -83,10 +89,7 @@ fn cached_pages_reduce_estimated_io() {
         fn on_row(&mut self, _r: &[Value]) -> taurus_common::Result<bool> {
             Ok(true)
         }
-        fn on_partial(
-            &mut self,
-            _s: Vec<taurus_ndp::AggState>,
-        ) -> taurus_common::Result<bool> {
+        fn on_partial(&mut self, _s: Vec<taurus_ndp::AggState>) -> taurus_common::Result<bool> {
             Ok(true)
         }
     }
@@ -122,8 +125,7 @@ fn unselective_predicate_not_pushed_but_projection_is() {
     load(&db, 2000);
     // v < 99 keeps ~99 % of rows: above the 0.95 filter-factor threshold.
     let mut plan = Plan::Scan(
-        ScanNode::new("t", vec![0, 1])
-            .with_predicate(vec![Expr::lt(Expr::col(1), Expr::int(99))]),
+        ScanNode::new("t", vec![0, 1]).with_predicate(vec![Expr::lt(Expr::col(1), Expr::int(99))]),
     );
     let reports = ndp_post_process(&mut plan, &db).unwrap();
     assert!(reports[0].filter_factor > 0.9);
@@ -131,7 +133,10 @@ fn unselective_predicate_not_pushed_but_projection_is() {
         Plan::Scan(s) => {
             let d = s.ndp.as_ref().expect("projection should still fire");
             assert!(d.choice.predicate.is_none(), "predicate must not be pushed");
-            assert!(d.choice.projection.is_some(), "narrow outputs on a wide row");
+            assert!(
+                d.choice.projection.is_some(),
+                "narrow outputs on a wide row"
+            );
             // Unpushed conjunct stays residual.
             assert_eq!(s.residual_conjuncts().len(), 1);
         }
@@ -151,15 +156,17 @@ fn case_predicate_stays_residual() {
         Expr::int(0),
     );
     let selective = Expr::lt(Expr::col(1), Expr::int(3));
-    let mut plan = Plan::Scan(
-        ScanNode::new("t", vec![0, 1]).with_predicate(vec![case, selective]),
-    );
+    let mut plan = Plan::Scan(ScanNode::new("t", vec![0, 1]).with_predicate(vec![case, selective]));
     ndp_post_process(&mut plan, &db).unwrap();
     match &plan {
         Plan::Scan(s) => {
             let d = s.ndp.as_ref().expect("ndp fires");
             assert_eq!(d.pushed.len(), 1, "only the allow-listed conjunct goes");
-            assert_eq!(s.residual_conjuncts().len(), 1, "CASE stays with the executor");
+            assert_eq!(
+                s.residual_conjuncts().len(),
+                1,
+                "CASE stays with the executor"
+            );
         }
         _ => unreachable!(),
     }
@@ -179,7 +186,10 @@ fn aggregation_requires_no_residual() {
     let mut plan = Plan::AggScan(AggScanNode {
         scan: ScanNode::new("t", vec![1, 2]).with_predicate(vec![case]),
         group_cols: vec![],
-        aggs: vec![AggItem { func: AggFuncEx::Sum, input: Some(Expr::col(2)) }],
+        aggs: vec![AggItem {
+            func: AggFuncEx::Sum,
+            input: Some(Expr::col(2)),
+        }],
     });
     let reports = ndp_post_process(&mut plan, &db).unwrap();
     assert!(
@@ -196,13 +206,24 @@ fn aggregation_pushes_avg_as_sum_count() {
         scan: ScanNode::new("t", vec![1, 2])
             .with_predicate(vec![Expr::lt(Expr::col(1), Expr::int(50))]),
         group_cols: vec![],
-        aggs: vec![AggItem { func: AggFuncEx::Avg, input: Some(Expr::col(2)) }],
+        aggs: vec![AggItem {
+            func: AggFuncEx::Avg,
+            input: Some(Expr::col(2)),
+        }],
     });
     let reports = ndp_post_process(&mut plan, &db).unwrap();
     assert!(reports[0].aggregation);
     match &plan {
         Plan::AggScan(a) => {
-            let agg = a.scan.ndp.as_ref().unwrap().choice.aggregation.as_ref().unwrap();
+            let agg = a
+                .scan
+                .ndp
+                .as_ref()
+                .unwrap()
+                .choice
+                .aggregation
+                .as_ref()
+                .unwrap();
             assert_eq!(agg.specs.len(), 2, "AVG decomposes into SUM + COUNT");
         }
         _ => unreachable!(),
@@ -218,7 +239,10 @@ fn grouping_must_be_index_prefix() {
         scan: ScanNode::new("t", vec![1, 2])
             .with_predicate(vec![Expr::lt(Expr::col(1), Expr::int(50))]),
         group_cols: vec![1],
-        aggs: vec![AggItem { func: AggFuncEx::CountStar, input: None }],
+        aggs: vec![AggItem {
+            func: AggFuncEx::CountStar,
+            input: None,
+        }],
     });
     let reports = ndp_post_process(&mut plan, &db).unwrap();
     assert!(!reports[0].aggregation, "non-prefix GROUP BY must not push");
@@ -227,7 +251,10 @@ fn grouping_must_be_index_prefix() {
         scan: ScanNode::new("t", vec![0, 1, 2])
             .with_predicate(vec![Expr::lt(Expr::col(1), Expr::int(50))]),
         group_cols: vec![0],
-        aggs: vec![AggItem { func: AggFuncEx::CountStar, input: None }],
+        aggs: vec![AggItem {
+            func: AggFuncEx::CountStar,
+            input: None,
+        }],
     });
     let reports2 = ndp_post_process(&mut plan2, &db).unwrap();
     assert!(reports2[0].aggregation);

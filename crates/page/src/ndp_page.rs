@@ -28,7 +28,11 @@ impl NdpPageBuilder {
     pub fn new(src: &Page) -> NdpPageBuilder {
         let mut buf = vec![0u8; HEADER_LEN];
         buf.copy_from_slice(&src.bytes()[..HEADER_LEN]);
-        let mut b = NdpPageBuilder { buf, last_rec: FIRST_REC_NONE, n_recs: 0 };
+        let mut b = NdpPageBuilder {
+            buf,
+            last_rec: FIRST_REC_NONE,
+            n_recs: 0,
+        };
         b.write_u16(20, PageType::Ndp as u16);
         b.write_u16(40, 0); // n_recs
         b.write_u16(42, HEADER_LEN as u16); // heap_top
@@ -95,8 +99,17 @@ mod tests {
         encode_record(
             l,
             &[Value::Int(k)],
-            RecordMeta { rec_type: t, delete_mark: false, heap_no: 0, trx_id: 3 },
-            if t == RecType::NdpAggregate { Some(&[9, 9]) } else { None },
+            RecordMeta {
+                rec_type: t,
+                delete_mark: false,
+                heap_no: 0,
+                trx_id: 3,
+            },
+            if t == RecType::NdpAggregate {
+                Some(&[9, 9])
+            } else {
+                None
+            },
             &mut b,
         )
         .unwrap();
@@ -120,7 +133,12 @@ mod tests {
         assert!(p.verify_checksum().is_ok());
         let keys: Vec<i64> = p
             .iter_chain()
-            .map(|off| RecordView::new(p.record_at(off), &l).value(0).as_int().unwrap())
+            .map(|off| {
+                RecordView::new(p.record_at(off), &l)
+                    .value(0)
+                    .as_int()
+                    .unwrap()
+            })
             .collect();
         assert_eq!(keys, vec![1, 5, 9]);
         // Narrower than the 4 KB source.
@@ -143,7 +161,11 @@ mod tests {
             .collect();
         assert_eq!(
             types,
-            vec![RecType::Ordinary, RecType::NdpProjection, RecType::NdpAggregate]
+            vec![
+                RecType::Ordinary,
+                RecType::NdpProjection,
+                RecType::NdpAggregate
+            ]
         );
     }
 

@@ -92,7 +92,9 @@ impl Page {
         level: u16,
     ) -> Page {
         assert!(page_size >= 1024 && page_size <= u16::MAX as usize + 1);
-        let mut p = Page { buf: vec![0; page_size] };
+        let mut p = Page {
+            buf: vec![0; page_size],
+        };
         p.set_page_no(page_no);
         p.set_space_raw(space.0);
         p.set_page_type_raw(PageType::Index as u16);
@@ -343,7 +345,10 @@ impl Page {
     /// Iterate record offsets in key order by following the chain — the
     /// code path shared by regular and NDP pages.
     pub fn iter_chain(&self) -> ChainIter<'_> {
-        ChainIter { page: self, next: self.first_rec() }
+        ChainIter {
+            page: self,
+            next: self.first_rec(),
+        }
     }
 }
 
@@ -408,7 +413,12 @@ mod tests {
 
     fn chain_keys(p: &Page, l: &RecordLayout) -> Vec<i64> {
         p.iter_chain()
-            .map(|off| RecordView::new(p.record_at(off), l).value(0).as_int().unwrap())
+            .map(|off| {
+                RecordView::new(p.record_at(off), l)
+                    .value(0)
+                    .as_int()
+                    .unwrap()
+            })
             .collect()
     }
 
@@ -440,7 +450,12 @@ mod tests {
         assert_eq!(chain_keys(&p, &l), vec![10, 20, 30]);
         let slot_keys: Vec<i64> = p
             .slot_offsets()
-            .map(|off| RecordView::new(p.record_at(off), &l).value(0).as_int().unwrap())
+            .map(|off| {
+                RecordView::new(p.record_at(off), &l)
+                    .value(0)
+                    .as_int()
+                    .unwrap()
+            })
             .collect();
         assert_eq!(slot_keys, vec![10, 20, 30]);
     }

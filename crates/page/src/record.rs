@@ -72,7 +72,12 @@ pub struct RecordMeta {
 
 impl RecordMeta {
     pub fn ordinary(trx_id: u64) -> Self {
-        RecordMeta { rec_type: RecType::Ordinary, delete_mark: false, heap_no: 0, trx_id }
+        RecordMeta {
+            rec_type: RecType::Ordinary,
+            delete_mark: false,
+            heap_no: 0,
+            trx_id,
+        }
     }
 }
 
@@ -103,7 +108,12 @@ impl RecordLayout {
             }
         }
         let bitmap_len = dtypes.len().div_ceil(8);
-        RecordLayout { dtypes, var_index, n_var, bitmap_len }
+        RecordLayout {
+            dtypes,
+            var_index,
+            n_var,
+            bitmap_len,
+        }
     }
 
     /// Header length = fixed header + null bitmap + var-length array.
@@ -344,12 +354,15 @@ mod tests {
 
     fn lineitem_ish_layout() -> RecordLayout {
         RecordLayout::new(vec![
-            DataType::BigInt,                               // orderkey
-            DataType::Int,                                  // linenumber
-            DataType::Decimal { precision: 15, scale: 2 },  // price
-            DataType::Date,                                 // shipdate
-            DataType::Char(1),                              // returnflag
-            DataType::Varchar(44),                          // comment
+            DataType::BigInt, // orderkey
+            DataType::Int,    // linenumber
+            DataType::Decimal {
+                precision: 15,
+                scale: 2,
+            }, // price
+            DataType::Date,   // shipdate
+            DataType::Char(1), // returnflag
+            DataType::Varchar(44), // comment
         ])
     }
 
@@ -447,8 +460,14 @@ mod tests {
     fn in_place_mutators() {
         let layout = lineitem_ish_layout();
         let mut buf = Vec::new();
-        encode_record(&layout, &sample_values(), RecordMeta::ordinary(7), None, &mut buf)
-            .unwrap();
+        encode_record(
+            &layout,
+            &sample_values(),
+            RecordMeta::ordinary(7),
+            None,
+            &mut buf,
+        )
+        .unwrap();
         set_next_offset(&mut buf, 0, 1234);
         set_delete_mark(&mut buf, 0, true);
         set_trx_id(&mut buf, 0, 99);
@@ -464,8 +483,14 @@ mod tests {
     fn fill_offsets_matches_field_bytes() {
         let layout = lineitem_ish_layout();
         let mut buf = Vec::new();
-        encode_record(&layout, &sample_values(), RecordMeta::ordinary(7), None, &mut buf)
-            .unwrap();
+        encode_record(
+            &layout,
+            &sample_values(),
+            RecordMeta::ordinary(7),
+            None,
+            &mut buf,
+        )
+        .unwrap();
         let view = RecordView::new(&buf, &layout);
         let mut offs = Vec::new();
         view.fill_offsets(&mut offs);

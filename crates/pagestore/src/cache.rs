@@ -41,9 +41,10 @@ impl CachedDescriptor {
     pub fn prepare(bytes: &[u8]) -> Result<CachedDescriptor> {
         let desc = NdpDescriptor::decode(bytes)?;
         let layout = RecordLayout::new(desc.record_dtypes.clone());
-        let proj_layout = desc.projection.as_ref().map(|keep| {
-            layout.project(&keep.iter().map(|&k| k as usize).collect::<Vec<_>>())
-        });
+        let proj_layout = desc
+            .projection
+            .as_ref()
+            .map(|keep| layout.project(&keep.iter().map(|&k| k as usize).collect::<Vec<_>>()));
         let predicate = match &desc.predicate_bitcode {
             Some(bc) => {
                 let ir = taurus_expr::ir::IrProgram::decode_bitcode(bc)?;
@@ -54,7 +55,13 @@ impl CachedDescriptor {
             }
             None => None,
         };
-        Ok(CachedDescriptor { desc, layout, proj_layout, predicate, bytes: bytes.to_vec() })
+        Ok(CachedDescriptor {
+            desc,
+            layout,
+            proj_layout,
+            predicate,
+            bytes: bytes.to_vec(),
+        })
     }
 }
 
@@ -67,7 +74,11 @@ pub struct DescriptorCache {
 
 impl DescriptorCache {
     pub fn new(enabled: bool, metrics: Arc<Metrics>) -> DescriptorCache {
-        DescriptorCache { enabled, map: Mutex::new(HashMap::new()), metrics }
+        DescriptorCache {
+            enabled,
+            map: Mutex::new(HashMap::new()),
+            metrics,
+        }
     }
 
     /// Look up (or prepare and insert) the descriptor. Decode/compile time
@@ -86,7 +97,8 @@ impl DescriptorCache {
         self.metrics.add(|m| &m.ps_desc_cache_misses, 1);
         let t0 = std::time::Instant::now();
         let prepared = Arc::new(CachedDescriptor::prepare(bytes)?);
-        self.metrics.add(|m| &m.ps_desc_decode_ns, t0.elapsed().as_nanos() as u64);
+        self.metrics
+            .add(|m| &m.ps_desc_decode_ns, t0.elapsed().as_nanos() as u64);
         if self.enabled {
             self.map.lock().insert(key, prepared.clone());
         }

@@ -28,9 +28,7 @@ use std::sync::Arc;
 use taurus_common::{Error, PageNo, Result, TrxId, Value};
 use taurus_expr::agg::AggState;
 use taurus_expr::vm::TriBool;
-use taurus_page::{
-    encode_record, NdpPageBuilder, Page, RecType, RecordMeta, RecordView,
-};
+use taurus_page::{encode_record, NdpPageBuilder, Page, RecType, RecordMeta, RecordView};
 
 use crate::cache::CachedDescriptor;
 
@@ -95,9 +93,10 @@ impl InnodbNdpPlugin {
         payload: Option<&[u8]>,
     ) -> Result<Vec<u8>> {
         let (layout, kept): (_, Vec<Value>) = match (&cd.proj_layout, &cd.desc.projection) {
-            (Some(pl), Some(keep)) => {
-                (pl, keep.iter().map(|&k| values[k as usize].clone()).collect())
-            }
+            (Some(pl), Some(keep)) => (
+                pl,
+                keep.iter().map(|&k| values[k as usize].clone()).collect(),
+            ),
             _ => (&cd.layout, values.to_vec()),
         };
         let rec_type = match (payload.is_some(), cd.desc.projection.is_some()) {
@@ -107,7 +106,12 @@ impl InnodbNdpPlugin {
             // and stays an ordinary record.
             (false, false) => RecType::Ordinary,
         };
-        let meta = RecordMeta { rec_type, delete_mark: false, heap_no, trx_id };
+        let meta = RecordMeta {
+            rec_type,
+            delete_mark: false,
+            heap_no,
+            trx_id,
+        };
         let mut out = Vec::with_capacity(64);
         encode_record(layout, &kept, meta, payload, &mut out)?;
         Ok(out)
@@ -137,7 +141,10 @@ impl InnodbNdpPlugin {
 
     fn group_key(cd: &CachedDescriptor, view: &RecordView<'_>) -> Vec<Value> {
         let agg = cd.desc.aggregation.as_ref().expect("aggregation requested");
-        agg.group_cols.iter().map(|&g| view.value(g as usize)).collect()
+        agg.group_cols
+            .iter()
+            .map(|&g| view.value(g as usize))
+            .collect()
     }
 }
 
@@ -188,8 +195,13 @@ impl GroupAcc {
         }
         if let Some(c) = self.carrier.take() {
             let payload = taurus_expr::agg::encode_states(&self.states);
-            let bytes =
-                InnodbNdpPlugin::encode_survivor(cd, &c.values, c.trx_id, c.heap_no, Some(&payload))?;
+            let bytes = InnodbNdpPlugin::encode_survivor(
+                cd,
+                &c.values,
+                c.trx_id,
+                c.heap_no,
+                Some(&payload),
+            )?;
             out.emit(c.seq, bytes);
             stats.records_aggregated += 1;
         }
@@ -210,7 +222,11 @@ impl NdpPlugin for InnodbNdpPlugin {
         let grouped = cd.desc.aggregation.is_some();
         let mut acc = GroupAcc {
             key: None,
-            states: if grouped { Self::new_states(cd) } else { Vec::new() },
+            states: if grouped {
+                Self::new_states(cd)
+            } else {
+                Vec::new()
+            },
             carrier: None,
             ambig: Vec::new(),
         };
@@ -250,8 +266,11 @@ impl NdpPlugin for InnodbNdpPlugin {
             let values = view.values();
             if grouped {
                 let agg = cd.desc.aggregation.as_ref().unwrap();
-                let key: Vec<Value> =
-                    agg.group_cols.iter().map(|&g| values[g as usize].clone()).collect();
+                let key: Vec<Value> = agg
+                    .group_cols
+                    .iter()
+                    .map(|&g| values[g as usize].clone())
+                    .collect();
                 if acc.key.is_some() && acc.key.as_ref() != Some(&key) {
                     acc.flush(cd, &mut out, &mut stats)?;
                 }
@@ -359,7 +378,10 @@ impl NdpPlugin for InnodbNdpPlugin {
             }
             if carrier_here {
                 debug_assert!(pending.is_none());
-                pending = Some(Pending { page_idx: idx, ambig });
+                pending = Some(Pending {
+                    page_idx: idx,
+                    ambig,
+                });
             } else {
                 // No visible survivor on this page: emit its ambiguous
                 // records right away.

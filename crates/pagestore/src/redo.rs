@@ -16,12 +16,21 @@ pub enum RedoBody {
     /// Install a complete page image.
     NewPage(Vec<u8>),
     /// Insert an encoded record at the given slot position.
-    InsertRecord { slot_idx: u16, rec: Vec<u8> },
+    InsertRecord {
+        slot_idx: u16,
+        rec: Vec<u8>,
+    },
     /// Set or clear the delete mark of the record at `rec_at`.
-    SetDeleteMark { rec_at: u16, mark: bool },
+    SetDeleteMark {
+        rec_at: u16,
+        mark: bool,
+    },
     /// Overwrite bytes at an offset (update-in-place of fixed-width
     /// columns and header fields).
-    WriteBytes { at: u16, bytes: Vec<u8> },
+    WriteBytes {
+        at: u16,
+        bytes: Vec<u8>,
+    },
     /// Update the leaf chain neighbour pointers.
     SetNext(PageNo),
     SetPrev(PageNo),
@@ -69,11 +78,7 @@ impl RedoRecord {
                 p.insert_at_slot(*slot_idx as usize, rec)?;
             }
             RedoBody::SetDeleteMark { rec_at, mark } => {
-                taurus_page::record::set_delete_mark(
-                    p.raw_mut(),
-                    *rec_at as usize,
-                    *mark,
-                );
+                taurus_page::record::set_delete_mark(p.raw_mut(), *rec_at as usize, *mark);
             }
             RedoBody::WriteBytes { at, bytes } => {
                 let at = *at as usize;
@@ -150,7 +155,10 @@ impl RedoRecord {
             1 => {
                 let slot_idx = u16::from_le_bytes(take(at, 2)?.try_into().unwrap());
                 let n = u32::from_le_bytes(take(at, 4)?.try_into().unwrap()) as usize;
-                RedoBody::InsertRecord { slot_idx, rec: take(at, n)?.to_vec() }
+                RedoBody::InsertRecord {
+                    slot_idx,
+                    rec: take(at, n)?.to_vec(),
+                }
             }
             2 => {
                 let rec_at = u16::from_le_bytes(take(at, 2)?.try_into().unwrap());
@@ -160,14 +168,22 @@ impl RedoRecord {
             3 => {
                 let a = u16::from_le_bytes(take(at, 2)?.try_into().unwrap());
                 let n = u32::from_le_bytes(take(at, 4)?.try_into().unwrap()) as usize;
-                RedoBody::WriteBytes { at: a, bytes: take(at, n)?.to_vec() }
+                RedoBody::WriteBytes {
+                    at: a,
+                    bytes: take(at, n)?.to_vec(),
+                }
             }
             4 => RedoBody::SetNext(u32::from_le_bytes(take(at, 4)?.try_into().unwrap())),
             5 => RedoBody::SetPrev(u32::from_le_bytes(take(at, 4)?.try_into().unwrap())),
             6 => RedoBody::FreePage,
             other => return Err(Error::Corruption(format!("bad redo tag {other}"))),
         };
-        Ok(RedoRecord { lsn, space, page_no, body })
+        Ok(RedoRecord {
+            lsn,
+            space,
+            page_no,
+            body,
+        })
     }
 
     /// Serialize a batch (one Log Store append / one SAL distribution).
@@ -214,24 +230,38 @@ mod tests {
                 lsn: 10,
                 space: SpaceId(1),
                 page_no: 5,
-                body: RedoBody::NewPage(
-                    Page::new_index(1024, SpaceId(1), 5, 9, 0).into_bytes(),
-                ),
+                body: RedoBody::NewPage(Page::new_index(1024, SpaceId(1), 5, 9, 0).into_bytes()),
             },
             RedoRecord {
                 lsn: 11,
                 space: SpaceId(1),
                 page_no: 5,
-                body: RedoBody::InsertRecord { slot_idx: 0, rec: rec(7) },
+                body: RedoBody::InsertRecord {
+                    slot_idx: 0,
+                    rec: rec(7),
+                },
             },
             RedoRecord {
                 lsn: 12,
                 space: SpaceId(1),
                 page_no: 5,
-                body: RedoBody::SetDeleteMark { rec_at: 48, mark: true },
+                body: RedoBody::SetDeleteMark {
+                    rec_at: 48,
+                    mark: true,
+                },
             },
-            RedoRecord { lsn: 13, space: SpaceId(1), page_no: 5, body: RedoBody::SetNext(6) },
-            RedoRecord { lsn: 14, space: SpaceId(1), page_no: 9, body: RedoBody::FreePage },
+            RedoRecord {
+                lsn: 13,
+                space: SpaceId(1),
+                page_no: 5,
+                body: RedoBody::SetNext(6),
+            },
+            RedoRecord {
+                lsn: 14,
+                space: SpaceId(1),
+                page_no: 9,
+                body: RedoBody::FreePage,
+            },
         ];
         let bytes = RedoRecord::encode_batch(&records);
         assert_eq!(RedoRecord::decode_batch(&bytes).unwrap(), records);
@@ -241,14 +271,22 @@ mod tests {
     fn apply_sequence_builds_page() {
         let img = Page::new_index(1024, SpaceId(1), 5, 9, 0).into_bytes();
         let mut page: Option<Page> = None;
-        RedoRecord { lsn: 1, space: SpaceId(1), page_no: 5, body: RedoBody::NewPage(img) }
-            .apply(&mut page)
-            .unwrap();
+        RedoRecord {
+            lsn: 1,
+            space: SpaceId(1),
+            page_no: 5,
+            body: RedoBody::NewPage(img),
+        }
+        .apply(&mut page)
+        .unwrap();
         RedoRecord {
             lsn: 2,
             space: SpaceId(1),
             page_no: 5,
-            body: RedoBody::InsertRecord { slot_idx: 0, rec: rec(7) },
+            body: RedoBody::InsertRecord {
+                slot_idx: 0,
+                rec: rec(7),
+            },
         }
         .apply(&mut page)
         .unwrap();
@@ -256,16 +294,24 @@ mod tests {
             lsn: 3,
             space: SpaceId(1),
             page_no: 5,
-            body: RedoBody::InsertRecord { slot_idx: 1, rec: rec(9) },
+            body: RedoBody::InsertRecord {
+                slot_idx: 1,
+                rec: rec(9),
+            },
         }
         .apply(&mut page)
         .unwrap();
         let p = page.as_ref().unwrap();
         assert_eq!(p.n_recs(), 2);
         assert_eq!(p.lsn(), 3);
-        RedoRecord { lsn: 4, space: SpaceId(1), page_no: 5, body: RedoBody::FreePage }
-            .apply(&mut page)
-            .unwrap();
+        RedoRecord {
+            lsn: 4,
+            space: SpaceId(1),
+            page_no: 5,
+            body: RedoBody::FreePage,
+        }
+        .apply(&mut page)
+        .unwrap();
         assert!(page.is_none());
     }
 

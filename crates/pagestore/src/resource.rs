@@ -39,7 +39,7 @@ impl SkipPolicy {
             SkipPolicy::All => true,
             SkipPolicy::EveryNth(k) => {
                 let n = counter.fetch_add(1, Ordering::Relaxed);
-                n % k == 0
+                n.is_multiple_of(*k)
             }
         }
     }
@@ -73,7 +73,12 @@ impl NdpPool {
                     .expect("spawn ndp worker"),
             );
         }
-        Arc::new(NdpPool { tx: Some(tx), workers, rejected: AtomicU64::new(0), accepted: AtomicU64::new(0) })
+        Arc::new(NdpPool {
+            tx: Some(tx),
+            workers,
+            rejected: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+        })
     }
 
     /// Submit without waiting. `false` means the queue is full — the caller

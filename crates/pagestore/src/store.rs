@@ -132,10 +132,10 @@ impl PageStore {
     }
 
     pub fn create_slice(&self, slice: SliceId) {
-        self.slices
-            .write()
-            .entry(slice)
-            .or_insert_with(|| Slice { pages: HashMap::new(), applied_lsn: 0 });
+        self.slices.write().entry(slice).or_insert_with(|| Slice {
+            pages: HashMap::new(),
+            applied_lsn: 0,
+        });
     }
 
     pub fn has_slice(&self, slice: SliceId) -> bool {
@@ -143,7 +143,11 @@ impl PageStore {
     }
 
     pub fn applied_lsn(&self, slice: SliceId) -> Lsn {
-        self.slices.read().get(&slice).map(|s| s.applied_lsn).unwrap_or(0)
+        self.slices
+            .read()
+            .get(&slice)
+            .map(|s| s.applied_lsn)
+            .unwrap_or(0)
     }
 
     /// Apply a batch of redo records addressed to this store's slices.
@@ -158,7 +162,9 @@ impl PageStore {
             let chain = slice
                 .pages
                 .entry(r.page_no)
-                .or_insert_with(|| VersionChain { versions: VecDeque::new() });
+                .or_insert_with(|| VersionChain {
+                    versions: VecDeque::new(),
+                });
             let mut page: Option<Page> = chain
                 .versions
                 .back()
@@ -225,7 +231,10 @@ impl PageStore {
             // Pure batched read: no NDP processing requested.
             return Ok(pages
                 .into_iter()
-                .map(|(page_no, p)| PageResult { page_no, payload: PagePayload::Raw(p) })
+                .map(|(page_no, p)| PageResult {
+                    page_no,
+                    payload: PagePayload::Raw(p),
+                })
                 .collect());
         }
 
@@ -263,14 +272,23 @@ impl PageStore {
             self.metrics.add(|m| &m.ps_ndp_skipped, pages.len() as u64);
             return Ok(pages
                 .into_iter()
-                .map(|(page_no, p)| PageResult { page_no, payload: PagePayload::Raw(p) })
+                .map(|(page_no, p)| PageResult {
+                    page_no,
+                    payload: PagePayload::Raw(p),
+                })
                 .collect());
         }
-        match rx.recv().map_err(|_| Error::Internal("ndp worker died".into()))? {
+        match rx
+            .recv()
+            .map_err(|_| Error::Internal("ndp worker died".into()))?
+        {
             Ok((results, stats)) => {
-                self.metrics.add(|m| &m.ps_pages_processed, results.len() as u64);
-                self.metrics.add(|m| &m.ps_records_filtered, stats.records_filtered);
-                self.metrics.add(|m| &m.ps_records_aggregated, stats.records_aggregated);
+                self.metrics
+                    .add(|m| &m.ps_pages_processed, results.len() as u64);
+                self.metrics
+                    .add(|m| &m.ps_records_filtered, stats.records_filtered);
+                self.metrics
+                    .add(|m| &m.ps_records_aggregated, stats.records_aggregated);
                 let by_no: HashMap<PageNo, Page> = results.into_iter().collect();
                 Ok(pages
                     .into_iter()
@@ -279,7 +297,10 @@ impl PageStore {
                             page_no,
                             payload: PagePayload::Ndp(Arc::new(ndp.clone())),
                         },
-                        None => PageResult { page_no, payload: PagePayload::Raw(raw) },
+                        None => PageResult {
+                            page_no,
+                            payload: PagePayload::Raw(raw),
+                        },
                     })
                     .collect())
             }
@@ -288,7 +309,10 @@ impl PageStore {
                 self.metrics.add(|m| &m.ps_ndp_skipped, pages.len() as u64);
                 Ok(pages
                     .into_iter()
-                    .map(|(page_no, p)| PageResult { page_no, payload: PagePayload::Raw(p) })
+                    .map(|(page_no, p)| PageResult {
+                        page_no,
+                        payload: PagePayload::Raw(p),
+                    })
                     .collect())
             }
         }
@@ -342,8 +366,10 @@ impl PageStore {
             match out {
                 Ok((ndp_page, stats)) => {
                     self.metrics.add(|m| &m.ps_pages_processed, 1);
-                    self.metrics.add(|m| &m.ps_records_filtered, stats.records_filtered);
-                    self.metrics.add(|m| &m.ps_records_aggregated, stats.records_aggregated);
+                    self.metrics
+                        .add(|m| &m.ps_records_filtered, stats.records_filtered);
+                    self.metrics
+                        .add(|m| &m.ps_records_aggregated, stats.records_aggregated);
                     payloads[idx] = Some(PagePayload::Ndp(Arc::new(ndp_page)));
                 }
                 Err(_) => {
@@ -371,7 +397,10 @@ mod tests {
     fn store() -> Arc<PageStore> {
         PageStore::new(
             0,
-            PageStoreConfig { slice_pages: 8, ..Default::default() },
+            PageStoreConfig {
+                slice_pages: 8,
+                ..Default::default()
+            },
             Metrics::shared(),
         )
     }
@@ -415,7 +444,11 @@ mod tests {
     fn version_chain_is_trimmed() {
         let ps = PageStore::new(
             0,
-            PageStoreConfig { versions_retained: 3, slice_pages: 8, ..Default::default() },
+            PageStoreConfig {
+                versions_retained: 3,
+                slice_pages: 8,
+                ..Default::default()
+            },
             Metrics::shared(),
         );
         let sid = SliceId::of(SpaceId(1), 0, 8);
@@ -439,7 +472,10 @@ mod tests {
     fn missing_slice_is_not_found() {
         let ps = store();
         let sid = SliceId::of(SpaceId(9), 0, 8);
-        assert!(matches!(ps.read_page(sid, 0, None), Err(Error::NotFound(_))));
+        assert!(matches!(
+            ps.read_page(sid, 0, None),
+            Err(Error::NotFound(_))
+        ));
         assert!(ps.apply_redo(&[new_page_redo(9, 0, 1)]).is_err());
     }
 

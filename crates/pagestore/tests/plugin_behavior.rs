@@ -8,11 +8,11 @@ use taurus_expr::agg::{decode_states, AggSpec, AggState};
 use taurus_expr::ast::Expr;
 use taurus_expr::compile::lower;
 use taurus_expr::descriptor::{NdpAggSpec, NdpDescriptor};
+use taurus_page::{encode_record, Page, RecType, RecordLayout, RecordMeta, RecordView};
 use taurus_pagestore::{
     CachedDescriptor, InnodbNdpPlugin, NdpBatchRequest, NdpPlugin, PagePayload, PageStore,
     PageStoreConfig, RedoBody, RedoRecord, SkipPolicy,
 };
-use taurus_page::{encode_record, Page, RecType, RecordLayout, RecordMeta, RecordView};
 
 const WATERMARK: TrxId = 100;
 
@@ -85,7 +85,11 @@ fn read_ndp_page(
             };
             let v = RecordView::new(bytes, l);
             let id = v.value(0).as_int().unwrap();
-            let val = if l.n_cols() > 1 { v.value(1).as_int().ok() } else { None };
+            let val = if l.n_cols() > 1 {
+                v.value(1).as_int().ok()
+            } else {
+                None
+            };
             let agg = v.agg_payload().map(|p| decode_states(p).unwrap());
             (rt, id, val, agg)
         })
@@ -96,11 +100,24 @@ fn read_ndp_page(
 fn paper_example_page_p1_grouped_scalar_single_page() {
     // §V-C: P1 = {(1,2),(2,10)?,(3,7),(4,8)?,(5,2)}, SUM over val.
     // Expected NDP(P1) = {(2,10)?, (4,8)?, ((5,2), 9)} with 9 = 2 + 7.
-    let p1 = build_page(1, 0, &[(1, 2, false), (2, 10, true), (3, 7, false), (4, 8, true), (5, 2, false)]);
+    let p1 = build_page(
+        1,
+        0,
+        &[
+            (1, 2, false),
+            (2, 10, true),
+            (3, 7, false),
+            (4, 8, true),
+            (5, 2, false),
+        ],
+    );
     let desc = descriptor(
         None,
         None,
-        Some(NdpAggSpec { specs: vec![AggSpec::sum(1)], group_cols: vec![] }),
+        Some(NdpAggSpec {
+            specs: vec![AggSpec::sum(1)],
+            group_cols: vec![],
+        }),
     );
     let cd = cached(&desc);
     let (results, stats) = InnodbNdpPlugin
@@ -109,11 +126,24 @@ fn paper_example_page_p1_grouped_scalar_single_page() {
     assert_eq!(results.len(), 1);
     let rows = read_ndp_page(&results[0].1, &cd.layout, cd.proj_layout.as_ref());
     assert_eq!(rows.len(), 3);
-    assert_eq!((rows[0].0, rows[0].1, rows[0].2), (RecType::Ordinary, 2, Some(10)));
-    assert_eq!((rows[1].0, rows[1].1, rows[1].2), (RecType::Ordinary, 4, Some(8)));
-    assert_eq!((rows[2].0, rows[2].1, rows[2].2), (RecType::NdpAggregate, 5, Some(2)));
+    assert_eq!(
+        (rows[0].0, rows[0].1, rows[0].2),
+        (RecType::Ordinary, 2, Some(10))
+    );
+    assert_eq!(
+        (rows[1].0, rows[1].1, rows[1].2),
+        (RecType::Ordinary, 4, Some(8))
+    );
+    assert_eq!(
+        (rows[2].0, rows[2].1, rows[2].2),
+        (RecType::NdpAggregate, 5, Some(2))
+    );
     let payload = rows[2].3.as_ref().unwrap();
-    assert_eq!(payload[0].finalize(), Value::Int(9), "payload excludes the carrier's own 2");
+    assert_eq!(
+        payload[0].finalize(),
+        Value::Int(9),
+        "payload excludes the carrier's own 2"
+    );
     assert_eq!(stats.ambiguous, 2);
 }
 
@@ -121,12 +151,34 @@ fn paper_example_page_p1_grouped_scalar_single_page() {
 fn paper_example_cross_page_p1_p2() {
     // §V-C: P2 = {(11,10),(12,2)?,(13,5),(14,9)}.
     // NDP(P1,P2) = {(2,10)?,(4,8)?,(12,2)?,((14,9),26)}, 26 = 2+9+15.
-    let p1 = build_page(1, 0, &[(1, 2, false), (2, 10, true), (3, 7, false), (4, 8, true), (5, 2, false)]);
-    let p2 = build_page(1, 1, &[(11, 10, false), (12, 2, true), (13, 5, false), (14, 9, false)]);
+    let p1 = build_page(
+        1,
+        0,
+        &[
+            (1, 2, false),
+            (2, 10, true),
+            (3, 7, false),
+            (4, 8, true),
+            (5, 2, false),
+        ],
+    );
+    let p2 = build_page(
+        1,
+        1,
+        &[
+            (11, 10, false),
+            (12, 2, true),
+            (13, 5, false),
+            (14, 9, false),
+        ],
+    );
     let desc = descriptor(
         None,
         None,
-        Some(NdpAggSpec { specs: vec![AggSpec::sum(1)], group_cols: vec![] }),
+        Some(NdpAggSpec {
+            specs: vec![AggSpec::sum(1)],
+            group_cols: vec![],
+        }),
     );
     let cd = cached(&desc);
     let (results, _) = InnodbNdpPlugin
@@ -145,9 +197,16 @@ fn paper_example_cross_page_p1_p2() {
     let rows1 = read_ndp_page(by_no[&1], &cd.layout, None);
     assert_eq!(rows1.len(), 2);
     assert_eq!((rows1[0].0, rows1[0].1), (RecType::Ordinary, 12));
-    assert_eq!((rows1[1].0, rows1[1].1, rows1[1].2), (RecType::NdpAggregate, 14, Some(9)));
+    assert_eq!(
+        (rows1[1].0, rows1[1].1, rows1[1].2),
+        (RecType::NdpAggregate, 14, Some(9))
+    );
     let payload = rows1[1].3.as_ref().unwrap();
-    assert_eq!(payload[0].finalize(), Value::Int(26), "2 (P1) + 9 (P1) + 15 (P2)");
+    assert_eq!(
+        payload[0].finalize(),
+        Value::Int(26),
+        "2 (P1) + 9 (P1) + 15 (P2)"
+    );
 }
 
 #[test]
@@ -156,7 +215,13 @@ fn filtering_drops_only_visible_false_rows() {
     let p = build_page(
         1,
         0,
-        &[(1, 100, false), (2, 1, false), (3, 100, true), (4, 1, true), (5, 100, false)],
+        &[
+            (1, 100, false),
+            (2, 1, false),
+            (3, 100, true),
+            (4, 1, true),
+            (5, 100, false),
+        ],
     );
     let pred = Expr::gt(Expr::col(1), Expr::int(50));
     let desc = descriptor(None, Some(&pred), None);
@@ -164,7 +229,10 @@ fn filtering_drops_only_visible_false_rows() {
     let (out, stats) = InnodbNdpPlugin.process_page(&cd, &p).unwrap();
     let rows = read_ndp_page(&out, &cd.layout, None);
     // Visible true: 1, 5. Ambiguous (any value): 3, 4. Visible false 2: gone.
-    assert_eq!(rows.iter().map(|r| r.1).collect::<Vec<_>>(), vec![1, 3, 4, 5]);
+    assert_eq!(
+        rows.iter().map(|r| r.1).collect::<Vec<_>>(),
+        vec![1, 3, 4, 5]
+    );
     assert_eq!(stats.records_filtered, 1);
     // Ambiguous rows keep their Ordinary type and full bytes.
     assert!(rows.iter().all(|r| r.0 == RecType::Ordinary));
@@ -180,9 +248,18 @@ fn projection_narrows_visible_rows_only() {
     let (out, _) = InnodbNdpPlugin.process_page(&cd, &p).unwrap();
     let rows = read_ndp_page(&out, &cd.layout, cd.proj_layout.as_ref());
     assert_eq!(rows.len(), 3);
-    assert_eq!((rows[0].0, rows[0].1, rows[0].2), (RecType::NdpProjection, 1, None));
-    assert_eq!((rows[1].0, rows[1].1, rows[1].2), (RecType::Ordinary, 2, Some(8)));
-    assert_eq!((rows[2].0, rows[2].1, rows[2].2), (RecType::NdpProjection, 3, None));
+    assert_eq!(
+        (rows[0].0, rows[0].1, rows[0].2),
+        (RecType::NdpProjection, 1, None)
+    );
+    assert_eq!(
+        (rows[1].0, rows[1].1, rows[1].2),
+        (RecType::Ordinary, 2, Some(8))
+    );
+    assert_eq!(
+        (rows[2].0, rows[2].1, rows[2].2),
+        (RecType::NdpProjection, 3, None)
+    );
     // The projected page is narrower than the source.
     assert!(out.byte_len() < p.byte_len());
 }
@@ -221,7 +298,13 @@ fn grouped_aggregation_one_carrier_per_group() {
     let p = build_page(
         1,
         0,
-        &[(1, 10, false), (1, 20, false), (2, 5, false), (2, 6, true), (3, 1, false)],
+        &[
+            (1, 10, false),
+            (1, 20, false),
+            (2, 5, false),
+            (2, 6, true),
+            (3, 1, false),
+        ],
     );
     let desc = descriptor(
         None,
@@ -238,15 +321,28 @@ fn grouped_aggregation_one_carrier_per_group() {
     // Group 2: ambiguous (2,6) passes; carrier (2,5) payload empty partial.
     // Group 3: carrier (3,1).
     assert_eq!(rows.len(), 4);
-    assert_eq!((rows[0].0, rows[0].1, rows[0].2), (RecType::NdpAggregate, 1, Some(20)));
+    assert_eq!(
+        (rows[0].0, rows[0].1, rows[0].2),
+        (RecType::NdpAggregate, 1, Some(20))
+    );
     let pay0 = rows[0].3.as_ref().unwrap();
     assert_eq!(pay0[0].finalize(), Value::Int(10));
     assert_eq!(pay0[1].finalize(), Value::Int(1));
-    assert_eq!((rows[1].0, rows[1].1, rows[1].2), (RecType::NdpAggregate, 2, Some(5)));
+    assert_eq!(
+        (rows[1].0, rows[1].1, rows[1].2),
+        (RecType::NdpAggregate, 2, Some(5))
+    );
     let pay1 = rows[1].3.as_ref().unwrap();
-    assert_eq!(pay1[1].finalize(), Value::Int(0), "no other visible rows in group 2");
+    assert_eq!(
+        pay1[1].finalize(),
+        Value::Int(0),
+        "no other visible rows in group 2"
+    );
     assert_eq!((rows[2].0, rows[2].1), (RecType::Ordinary, 2));
-    assert_eq!((rows[3].0, rows[3].1, rows[3].2), (RecType::NdpAggregate, 3, Some(1)));
+    assert_eq!(
+        (rows[3].0, rows[3].1, rows[3].2),
+        (RecType::NdpAggregate, 3, Some(1))
+    );
 }
 
 #[test]
@@ -266,15 +362,17 @@ fn store_end_to_end_batch_with_skip_policy() {
     let metrics = Metrics::shared();
     let ps = PageStore::new(
         0,
-        PageStoreConfig { slice_pages: 64, ..Default::default() },
+        PageStoreConfig {
+            slice_pages: 64,
+            ..Default::default()
+        },
         metrics.clone(),
     );
     let sid = SliceId::of(SpaceId(1), 0, 64);
     ps.create_slice(sid);
     // Install 4 pages via redo.
     for no in 0..4u32 {
-        let rows: Vec<(i64, i64, bool)> =
-            (0..10).map(|i| (no as i64 * 10 + i, i, false)).collect();
+        let rows: Vec<(i64, i64, bool)> = (0..10).map(|i| (no as i64 * 10 + i, i, false)).collect();
         let img = build_page(1, no, &rows).into_bytes();
         ps.apply_redo(&[RedoRecord {
             lsn: no as u64 + 1,
@@ -320,7 +418,10 @@ fn store_end_to_end_batch_with_skip_policy() {
 fn batch_without_work_returns_raw_pages() {
     let ps = PageStore::new(
         0,
-        PageStoreConfig { slice_pages: 64, ..Default::default() },
+        PageStoreConfig {
+            slice_pages: 64,
+            ..Default::default()
+        },
         Metrics::shared(),
     );
     let sid = SliceId::of(SpaceId(1), 0, 64);

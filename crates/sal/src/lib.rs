@@ -61,7 +61,9 @@ impl Sal {
         let page_stores = (0..cfg.n_page_stores)
             .map(|i| PageStore::new(i, ps_cfg.clone(), metrics.clone()))
             .collect();
-        let log_stores = (0..cfg.n_log_stores).map(|i| Arc::new(LogStore::new(i))).collect();
+        let log_stores = (0..cfg.n_log_stores)
+            .map(|i| Arc::new(LogStore::new(i)))
+            .collect();
         let network = Network::new(&cfg.network, metrics.clone());
         Arc::new(Sal {
             cfg,
@@ -140,16 +142,21 @@ impl Sal {
         }
         let batch = RedoRecord::encode_batch(&records);
         for ls in &self.log_stores {
-            self.network.transfer(Direction::ToStorage, batch.len() as u64);
+            self.network
+                .transfer(Direction::ToStorage, batch.len() as u64);
             ls.append(&batch);
-            self.metrics.add(|m| &m.log_bytes_appended, batch.len() as u64);
+            self.metrics
+                .add(|m| &m.log_bytes_appended, batch.len() as u64);
             // Durability ack.
             self.network.transfer(Direction::FromStorage, 16);
         }
         // Distribute to Page Stores by slice.
         let mut by_slice: HashMap<SliceId, Vec<RedoRecord>> = HashMap::new();
         for r in records {
-            by_slice.entry(r.slice(self.cfg.slice_pages)).or_default().push(r);
+            by_slice
+                .entry(r.slice(self.cfg.slice_pages))
+                .or_default()
+                .push(r);
         }
         for (slice, recs) in by_slice {
             let replicas = self.ensure_slice(slice);
@@ -168,7 +175,8 @@ impl Sal {
         let slice = self.slice_of(pref.space, pref.page_no);
         let replicas = self.replicas_for(slice)?;
         self.metrics.add(|m| &m.net_read_requests, 1);
-        self.network.transfer(Direction::ToStorage, REQ_HEADER_BYTES + PER_PAGE_ID_BYTES);
+        self.network
+            .transfer(Direction::ToStorage, REQ_HEADER_BYTES + PER_PAGE_ID_BYTES);
         let mut last_err = Error::NotFound(format!("page {pref:?}"));
         for &ps in &replicas {
             match self.page_stores[ps].read_page(slice, pref.page_no, at_lsn) {
@@ -224,7 +232,12 @@ impl Sal {
                                 + descriptor.len() as u64
                                 + PER_PAGE_ID_BYTES * nos.len() as u64,
                         );
-                        let req = NdpBatchRequest { slice, pages: nos, read_lsn, descriptor };
+                        let req = NdpBatchRequest {
+                            slice,
+                            pages: nos,
+                            read_lsn,
+                            descriptor,
+                        };
                         let out = store.serve_ndp_batch(&req)?;
                         let mut bytes = 0u64;
                         for r in &out {
@@ -247,7 +260,10 @@ impl Sal {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("sal dispatch thread")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sal dispatch thread"))
+                .collect()
         })
         .expect("sal scope");
 
@@ -290,8 +306,7 @@ mod tests {
         let mut p = Page::new_index(1024, SpaceId(space), page_no, 7, 0);
         for &k in keys {
             let mut b = Vec::new();
-            encode_record(&l, &[Value::Int(k)], RecordMeta::ordinary(1), None, &mut b)
-                .unwrap();
+            encode_record(&l, &[Value::Int(k)], RecordMeta::ordinary(1), None, &mut b).unwrap();
             p.append_record(&b).unwrap();
         }
         p.into_bytes()
@@ -356,8 +371,18 @@ mod tests {
             .unwrap();
         let l2 = sal
             .write_log(vec![
-                RedoRecord { lsn: 0, space, page_no: 0, body: RedoBody::SetNext(1) },
-                RedoRecord { lsn: 0, space, page_no: 0, body: RedoBody::SetPrev(9) },
+                RedoRecord {
+                    lsn: 0,
+                    space,
+                    page_no: 0,
+                    body: RedoBody::SetNext(1),
+                },
+                RedoRecord {
+                    lsn: 0,
+                    space,
+                    page_no: 0,
+                    body: RedoBody::SetPrev(9),
+                },
             ])
             .unwrap();
         assert!(l2 > l1);

@@ -96,19 +96,28 @@ mod tests {
     #[test]
     fn limiter_paces_transfers() {
         let m = Metrics::shared();
-        let cfg = NetworkConfig { bandwidth_bytes_per_sec: Some(1_000_000), latency_us: 0 };
+        let cfg = NetworkConfig {
+            bandwidth_bytes_per_sec: Some(1_000_000),
+            latency_us: 0,
+        };
         let net = Network::new(&cfg, m);
         let t0 = Instant::now();
         // 200 KB at 1 MB/s ≈ 200 ms.
         net.transfer(Direction::FromStorage, 200_000);
         let dt = t0.elapsed();
-        assert!(dt >= Duration::from_millis(150), "transfer finished too fast: {dt:?}");
+        assert!(
+            dt >= Duration::from_millis(150),
+            "transfer finished too fast: {dt:?}"
+        );
     }
 
     #[test]
     fn limiter_is_shared_across_threads() {
         let m = Metrics::shared();
-        let cfg = NetworkConfig { bandwidth_bytes_per_sec: Some(1_000_000), latency_us: 0 };
+        let cfg = NetworkConfig {
+            bandwidth_bytes_per_sec: Some(1_000_000),
+            latency_us: 0,
+        };
         let net = Network::new(&cfg, m);
         let t0 = Instant::now();
         // 4 threads × 50 KB = 200 KB over a shared 1 MB/s wire ≈ 200 ms,
@@ -121,6 +130,9 @@ mod tests {
         })
         .unwrap();
         let dt = t0.elapsed();
-        assert!(dt >= Duration::from_millis(150), "shared medium not enforced: {dt:?}");
+        assert!(
+            dt >= Duration::from_millis(150),
+            "shared medium not enforced: {dt:?}"
+        );
     }
 }

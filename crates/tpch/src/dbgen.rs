@@ -13,36 +13,102 @@ use taurus_common::schema::Row;
 use taurus_common::{Date32, Dec, Value};
 
 pub const NATIONS: [(&str, i64); 25] = [
-    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
-    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
-    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
-    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
-    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3),
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
     ("UNITED STATES", 1),
 ];
 
 pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"];
 const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
-const SHIP_INSTRUCT: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const SHIP_INSTRUCT: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 const TYPE_SYL1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 const TYPE_SYL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
 const TYPE_SYL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 const CONTAINER_SYL1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
-const CONTAINER_SYL2: [&str; 8] =
-    ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+const CONTAINER_SYL2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
 const NAME_WORDS: [&str; 24] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched",
-    "blue", "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate",
-    "coral", "cornflower", "cream", "cyan", "dark", "deep", "forest", "green",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "forest",
+    "green",
 ];
 const COMMENT_WORDS: [&str; 20] = [
-    "carefully", "quickly", "furiously", "slyly", "blithely", "deposits", "packages",
-    "requests", "accounts", "instructions", "theodolites", "platelets", "pinto", "beans",
-    "foxes", "ideas", "dependencies", "excuses", "asymptotes", "pearls",
+    "carefully",
+    "quickly",
+    "furiously",
+    "slyly",
+    "blithely",
+    "deposits",
+    "packages",
+    "requests",
+    "accounts",
+    "instructions",
+    "theodolites",
+    "platelets",
+    "pinto",
+    "beans",
+    "foxes",
+    "ideas",
+    "dependencies",
+    "excuses",
+    "asymptotes",
+    "pearls",
 ];
 
 /// All eight tables' rows for one scale factor.
@@ -122,7 +188,11 @@ pub fn generate(sf: f64, seed: u64) -> TpchData {
         .iter()
         .enumerate()
         .map(|(i, name)| {
-            vec![Value::Int(i as i64), Value::str(*name), comment(&mut rng, 152)]
+            vec![
+                Value::Int(i as i64),
+                Value::str(*name),
+                comment(&mut rng, 152),
+            ]
         })
         .collect();
 
@@ -226,7 +296,7 @@ pub fn generate(sf: f64, seed: u64) -> TpchData {
 
     let start = Date32::from_ymd(1992, 1, 1);
     let end = Date32::from_ymd(1998, 8, 2);
-    let date_span = (end.0 - start.0 - 151) as i32;
+    let date_span = end.0 - start.0 - 151;
 
     let mut orders: Vec<Row> = Vec::with_capacity(n_ord);
     let mut lineitem: Vec<Row> = Vec::with_capacity(n_ord * 4);
@@ -307,7 +377,16 @@ pub fn generate(sf: f64, seed: u64) -> TpchData {
         ]);
     }
 
-    TpchData { region, nation, supplier, customer, part, partsupp, orders, lineitem }
+    TpchData {
+        region,
+        nation,
+        supplier,
+        customer,
+        part,
+        partsupp,
+        orders,
+        lineitem,
+    }
 }
 
 /// Create the schema and load a full dataset into `db`.
@@ -370,10 +449,7 @@ mod tests {
     #[test]
     fn orders_skip_every_third_customer() {
         let d = generate(0.005, 7);
-        assert!(d
-            .orders
-            .iter()
-            .all(|o| o[1].as_int().unwrap() % 3 != 0));
+        assert!(d.orders.iter().all(|o| o[1].as_int().unwrap() % 3 != 0));
     }
 
     #[test]

@@ -52,7 +52,11 @@ pub fn q12(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
             else_: Box::new(Expr::int(1)),
         },
     ]);
-    let g = hash_agg(p, vec![Expr::col(0)], vec![sum(Expr::col(1)), sum(Expr::col(2))]);
+    let g = hash_agg(
+        p,
+        vec![Expr::col(0)],
+        vec![sum(Expr::col(1)), sum(Expr::col(2))],
+    );
     finish(g.sort(vec![(0, false)]), db)
 }
 
@@ -142,10 +146,7 @@ pub fn q15(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
         .map(|r| (r[0].as_int().unwrap(), r[1].as_dec().unwrap()))
         .collect();
     // The paper's Q15 joins supplier serially (the NL stage limiting PQ).
-    let suppliers = finish(
-        Plan::Scan(ScanNode::new("supplier", vec![0, 1, 2, 4])),
-        db,
-    )?;
+    let suppliers = finish(Plan::Scan(ScanNode::new("supplier", vec![0, 1, 2, 4])), db)?;
     let mut out: Vec<Row> = suppliers
         .into_iter()
         .filter_map(|s| {
@@ -196,7 +197,10 @@ pub fn q16(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
         vec![Expr::col(0), Expr::col(1), Expr::col(2)],
         vec![count_star()],
     );
-    finish(g.sort(vec![(3, true), (0, false), (1, false), (2, false)]), db)
+    finish(
+        g.sort(vec![(3, true), (0, false), (1, false), (2, false)]),
+        db,
+    )
 }
 
 // --- Q17: small-quantity-order revenue --------------------------------------------
@@ -267,12 +271,18 @@ pub fn q18(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
 // --- Q19: discounted revenue ---------------------------------------------------------
 
 pub fn q19(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
-    let sm_containers: Vec<Value> =
-        ["SM CASE", "SM BOX", "SM PACK", "SM PKG"].iter().map(|s| Value::str(*s)).collect();
-    let med_containers: Vec<Value> =
-        ["MED BAG", "MED BOX", "MED PKG", "MED PACK"].iter().map(|s| Value::str(*s)).collect();
-    let lg_containers: Vec<Value> =
-        ["LG CASE", "LG BOX", "LG PACK", "LG PKG"].iter().map(|s| Value::str(*s)).collect();
+    let sm_containers: Vec<Value> = ["SM CASE", "SM BOX", "SM PACK", "SM PKG"]
+        .iter()
+        .map(|s| Value::str(*s))
+        .collect();
+    let med_containers: Vec<Value> = ["MED BAG", "MED BOX", "MED PKG", "MED PACK"]
+        .iter()
+        .map(|s| Value::str(*s))
+        .collect();
+    let lg_containers: Vec<Value> = ["LG CASE", "LG BOX", "LG PACK", "LG PKG"]
+        .iter()
+        .map(|s| Value::str(*s))
+        .collect();
     // Part-side union of the three branches.
     let part_pred = Expr::or(vec![
         Expr::and(vec![
@@ -322,7 +332,10 @@ pub fn q19(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
         join: JoinType::Inner,
         inner_predicate: vec![
             Expr::eq(Expr::col(13), Expr::str("DELIVER IN PERSON")),
-            Expr::in_list(Expr::col(14), vec![Value::str("AIR"), Value::str("AIR REG")]),
+            Expr::in_list(
+                Expr::col(14),
+                vec![Value::str("AIR"), Value::str("AIR REG")],
+            ),
         ],
     });
     let j = match pq {
@@ -349,10 +362,12 @@ pub fn q20(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
     // Half of 1994's shipped quantity per (part, supp).
     let qty = finish(
         hash_agg(
-            Plan::Scan(ScanNode::new("lineitem", vec![1, 2, 4, 10]).with_predicate(vec![
-                Expr::ge(Expr::col(10), Expr::date("1994-01-01")),
-                Expr::lt(Expr::col(10), Expr::date("1995-01-01")),
-            ])),
+            Plan::Scan(
+                ScanNode::new("lineitem", vec![1, 2, 4, 10]).with_predicate(vec![
+                    Expr::ge(Expr::col(10), Expr::date("1994-01-01")),
+                    Expr::lt(Expr::col(10), Expr::date("1995-01-01")),
+                ]),
+            ),
             vec![Expr::col(0), Expr::col(1)],
             vec![sum(Expr::col(2))],
         ),
@@ -463,7 +478,11 @@ pub fn q22(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
         .iter()
         .map(|s| Value::str(*s))
         .collect();
-    let cntry = |col: usize| Expr::Substr { expr: Box::new(Expr::col(col)), from: 1, len: 2 };
+    let cntry = |col: usize| Expr::Substr {
+        expr: Box::new(Expr::col(col)),
+        from: 1,
+        len: 2,
+    };
     // Phase 1: average positive balance among the country codes.
     let avg_bal = finish(
         hash_agg(
@@ -478,10 +497,12 @@ pub fn q22(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
     )?;
     let threshold = avg_bal[0][0].clone();
     // Phase 2: rich customers with no orders.
-    let rich = Plan::Scan(ScanNode::new("customer", vec![0, 4, 5]).with_predicate(vec![
-        Expr::in_list(cntry(4), codes),
-        Expr::gt(Expr::col(5), Expr::lit(threshold)),
-    ]));
+    let rich = Plan::Scan(
+        ScanNode::new("customer", vec![0, 4, 5]).with_predicate(vec![
+            Expr::in_list(cntry(4), codes),
+            Expr::gt(Expr::col(5), Expr::lit(threshold)),
+        ]),
+    );
     let anti = Plan::LookupJoin(LookupJoinNode {
         outer: Box::new(rich),
         table: "orders".into(),
@@ -564,28 +585,116 @@ pub struct Query {
 pub fn tpch_queries() -> Vec<Query> {
     use crate::queries1::*;
     vec![
-        Query { name: "Q1", run: q1, pq_capable: true },
-        Query { name: "Q2", run: q2, pq_capable: false },
-        Query { name: "Q3", run: q3, pq_capable: false },
-        Query { name: "Q4", run: q4, pq_capable: true },
-        Query { name: "Q5", run: q5, pq_capable: true },
-        Query { name: "Q6", run: q6, pq_capable: true },
-        Query { name: "Q7", run: q7, pq_capable: false },
-        Query { name: "Q8", run: q8, pq_capable: false },
-        Query { name: "Q9", run: q9, pq_capable: false },
-        Query { name: "Q10", run: q10, pq_capable: false },
-        Query { name: "Q11", run: q11, pq_capable: false },
-        Query { name: "Q12", run: q12, pq_capable: false },
-        Query { name: "Q13", run: q13, pq_capable: false },
-        Query { name: "Q14", run: q14, pq_capable: true },
-        Query { name: "Q15", run: q15, pq_capable: true },
-        Query { name: "Q16", run: q16, pq_capable: false },
-        Query { name: "Q17", run: q17, pq_capable: false },
-        Query { name: "Q18", run: q18, pq_capable: false },
-        Query { name: "Q19", run: q19, pq_capable: true },
-        Query { name: "Q20", run: q20, pq_capable: false },
-        Query { name: "Q21", run: q21, pq_capable: false },
-        Query { name: "Q22", run: q22, pq_capable: false },
+        Query {
+            name: "Q1",
+            run: q1,
+            pq_capable: true,
+        },
+        Query {
+            name: "Q2",
+            run: q2,
+            pq_capable: false,
+        },
+        Query {
+            name: "Q3",
+            run: q3,
+            pq_capable: false,
+        },
+        Query {
+            name: "Q4",
+            run: q4,
+            pq_capable: true,
+        },
+        Query {
+            name: "Q5",
+            run: q5,
+            pq_capable: true,
+        },
+        Query {
+            name: "Q6",
+            run: q6,
+            pq_capable: true,
+        },
+        Query {
+            name: "Q7",
+            run: q7,
+            pq_capable: false,
+        },
+        Query {
+            name: "Q8",
+            run: q8,
+            pq_capable: false,
+        },
+        Query {
+            name: "Q9",
+            run: q9,
+            pq_capable: false,
+        },
+        Query {
+            name: "Q10",
+            run: q10,
+            pq_capable: false,
+        },
+        Query {
+            name: "Q11",
+            run: q11,
+            pq_capable: false,
+        },
+        Query {
+            name: "Q12",
+            run: q12,
+            pq_capable: false,
+        },
+        Query {
+            name: "Q13",
+            run: q13,
+            pq_capable: false,
+        },
+        Query {
+            name: "Q14",
+            run: q14,
+            pq_capable: true,
+        },
+        Query {
+            name: "Q15",
+            run: q15,
+            pq_capable: true,
+        },
+        Query {
+            name: "Q16",
+            run: q16,
+            pq_capable: false,
+        },
+        Query {
+            name: "Q17",
+            run: q17,
+            pq_capable: false,
+        },
+        Query {
+            name: "Q18",
+            run: q18,
+            pq_capable: false,
+        },
+        Query {
+            name: "Q19",
+            run: q19,
+            pq_capable: true,
+        },
+        Query {
+            name: "Q20",
+            run: q20,
+            pq_capable: false,
+        },
+        Query {
+            name: "Q21",
+            run: q21,
+            pq_capable: false,
+        },
+        Query {
+            name: "Q22",
+            run: q22,
+            pq_capable: false,
+        },
     ]
 }
 
@@ -593,10 +702,30 @@ pub fn tpch_queries() -> Vec<Query> {
 pub fn micro_queries() -> Vec<Query> {
     use crate::queries1::{q1, q6};
     vec![
-        Query { name: "Q0", run: q0, pq_capable: true },
-        Query { name: "Q001", run: q001, pq_capable: true },
-        Query { name: "Q002", run: q002, pq_capable: true },
-        Query { name: "Q1", run: q1, pq_capable: true },
-        Query { name: "Q6", run: q6, pq_capable: true },
+        Query {
+            name: "Q0",
+            run: q0,
+            pq_capable: true,
+        },
+        Query {
+            name: "Q001",
+            run: q001,
+            pq_capable: true,
+        },
+        Query {
+            name: "Q002",
+            run: q002,
+            pq_capable: true,
+        },
+        Query {
+            name: "Q1",
+            run: q1,
+            pq_capable: true,
+        },
+        Query {
+            name: "Q6",
+            run: q6,
+            pq_capable: true,
+        },
     ]
 }

@@ -9,7 +9,10 @@ use taurus_common::DataType;
 use taurus_ndp::{Table, TaurusDb};
 
 fn dec() -> DataType {
-    DataType::Decimal { precision: 15, scale: 2 }
+    DataType::Decimal {
+        precision: 15,
+        scale: 2,
+    }
 }
 
 pub fn region() -> Arc<TableSchema> {
@@ -124,22 +127,22 @@ pub fn lineitem() -> Arc<TableSchema> {
     TableSchema::new(
         "lineitem",
         vec![
-            Column::new("l_orderkey", DataType::BigInt),      // 0
-            Column::new("l_partkey", DataType::BigInt),       // 1
-            Column::new("l_suppkey", DataType::BigInt),       // 2
-            Column::new("l_linenumber", DataType::Int),       // 3
-            Column::new("l_quantity", dec()),                 // 4
-            Column::new("l_extendedprice", dec()),            // 5
-            Column::new("l_discount", dec()),                 // 6
-            Column::new("l_tax", dec()),                      // 7
-            Column::new("l_returnflag", DataType::Char(1)),   // 8
-            Column::new("l_linestatus", DataType::Char(1)),   // 9
-            Column::new("l_shipdate", DataType::Date),        // 10
-            Column::new("l_commitdate", DataType::Date),      // 11
-            Column::new("l_receiptdate", DataType::Date),     // 12
-            Column::new("l_shipinstruct", DataType::Char(25)),// 13
-            Column::new("l_shipmode", DataType::Char(10)),    // 14
-            Column::new("l_comment", DataType::Varchar(44)),  // 15
+            Column::new("l_orderkey", DataType::BigInt),       // 0
+            Column::new("l_partkey", DataType::BigInt),        // 1
+            Column::new("l_suppkey", DataType::BigInt),        // 2
+            Column::new("l_linenumber", DataType::Int),        // 3
+            Column::new("l_quantity", dec()),                  // 4
+            Column::new("l_extendedprice", dec()),             // 5
+            Column::new("l_discount", dec()),                  // 6
+            Column::new("l_tax", dec()),                       // 7
+            Column::new("l_returnflag", DataType::Char(1)),    // 8
+            Column::new("l_linestatus", DataType::Char(1)),    // 9
+            Column::new("l_shipdate", DataType::Date),         // 10
+            Column::new("l_commitdate", DataType::Date),       // 11
+            Column::new("l_receiptdate", DataType::Date),      // 12
+            Column::new("l_shipinstruct", DataType::Char(25)), // 13
+            Column::new("l_shipmode", DataType::Char(10)),     // 14
+            Column::new("l_comment", DataType::Varchar(44)),   // 15
         ],
         vec![0, 3],
     )

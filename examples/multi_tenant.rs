@@ -4,13 +4,14 @@
 //! resource control decides to shed load), they return *raw* pages and the
 //! compute node completes the work — results never change, only where the
 //! CPU burns. This example injects increasing skip rates and shows the
-//! work migrating from the storage side to the SQL node.
+//! work migrating from the storage side to the SQL node. The query itself
+//! is ordinary `Session` API — the caller neither knows nor cares which
+//! side did the filtering.
 //!
 //! Run: `cargo run --release --example multi_tenant`
 
 use taurus::pagestore::SkipPolicy;
 use taurus::prelude::*;
-use taurus::optimizer::plan::AggScanNode;
 
 fn main() -> Result<()> {
     let mut cfg = ClusterConfig::default();
@@ -22,15 +23,14 @@ fn main() -> Result<()> {
     println!("Loading TPC-H SF 0.02...");
     taurus::tpch::load(&db, 0.02, 3)?;
 
-    let mut plan = Plan::AggScan(AggScanNode {
-        scan: ScanNode::new("lineitem", vec![4]).with_predicate(vec![Expr::lt(
-            Expr::col(4),
-            Expr::lit(Value::Decimal(Dec::new(2500, 2))),
-        )]),
-        group_cols: vec![],
-        aggs: vec![AggItem { func: AggFuncEx::CountStar, input: None }],
-    });
-    ndp_post_process(&mut plan, &db)?;
+    let session = Session::new(&db);
+    let count_cheap_items = || -> Result<QueryRun> {
+        session
+            .query("lineitem")?
+            .filter(col("l_quantity").lt(Dec::new(2500, 2)))
+            .agg(Agg::count_star())
+            .run()
+    };
 
     println!(
         "\n{:<12} {:>10} {:>12} {:>12} {:>14} {:>16}",
@@ -46,7 +46,7 @@ fn main() -> Result<()> {
             ps.set_skip_policy(policy.clone());
         }
         db.buffer_pool().clear();
-        let run = run_query(&db, &plan)?;
+        let run = count_cheap_items()?;
         println!(
             "{:<12} {:>10} {:>12} {:>12} {:>14.1} {:>16.1}",
             label,

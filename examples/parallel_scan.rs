@@ -1,11 +1,12 @@
 //! Three-level parallelism (§VI): PQ workers on the SQL node, SAL fan-out
 //! across Page Stores, and NDP worker pools inside each Page Store — all
-//! active at once on one COUNT(*) scan.
+//! active at once on one COUNT(*) scan. Through the `Session` API the
+//! whole machine is two knobs: `.parallel(degree)` and the session NDP
+//! switch.
 //!
 //! Run: `cargo run --release --example parallel_scan`
 
 use taurus::prelude::*;
-use taurus::optimizer::plan::AggScanNode;
 
 fn main() -> Result<()> {
     let mut cfg = ClusterConfig::default();
@@ -19,15 +20,6 @@ fn main() -> Result<()> {
     println!("Loading TPC-H SF 0.02...");
     taurus::tpch::load(&db, 0.02, 1)?;
 
-    let build = || {
-        Plan::AggScan(AggScanNode {
-            scan: ScanNode::new("lineitem", vec![10])
-                .with_predicate(vec![Expr::lt(Expr::col(10), Expr::date("1998-07-01"))]),
-            group_cols: vec![],
-            aggs: vec![AggItem { func: AggFuncEx::CountStar, input: None }],
-        })
-    };
-
     println!(
         "{:<28} {:>10} {:>12} {:>14}",
         "configuration", "count", "wall (ms)", "bytes (KB)"
@@ -39,15 +31,15 @@ fn main() -> Result<()> {
         ("PQ=8, NDP on (3 levels)", true, Some(8)),
     ] {
         db.buffer_pool().clear();
-        let mut plan = build();
-        if ndp {
-            ndp_post_process(&mut plan, &db)?;
+        let session = Session::new(&db).with_ndp(ndp);
+        let mut q = session
+            .query("lineitem")?
+            .filter(col("l_shipdate").lt(date("1998-07-01")))
+            .agg(Agg::count_star());
+        if let Some(d) = pq {
+            q = q.parallel(d);
         }
-        let plan = match pq {
-            Some(d) => plan.exchange(d),
-            None => plan,
-        };
-        let run = run_query(&db, &plan)?;
+        let run = q.run()?;
         println!(
             "{:<28} {:>10} {:>12.1} {:>14}",
             label,

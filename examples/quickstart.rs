@@ -1,9 +1,13 @@
-//! Quickstart: the paper's §III worked example.
+//! Quickstart: the paper's §III worked example, through the public
+//! `Session`/`QueryBuilder` API.
 //!
-//! Creates the `Worker` table, loads rows, runs the Listing-1 query
+//! Creates the `Worker` table, loads rows, and runs the Listing-1 query
 //! (`SELECT AVG(salary) FROM Worker WHERE age < 40 AND joindate >= '2010-01-01'
-//! AND joindate < '2010-01-01' + INTERVAL 1 YEAR`) with NDP, and prints the
-//! Listing-2-style EXPLAIN plus the network/CPU effect.
+//! AND joindate < '2010-01-01' + INTERVAL 1 YEAR`) twice: once with the
+//! session's NDP switch off (classical scan) and once with it on, printing
+//! the Listing-2-style EXPLAIN and the network/CPU effect. The query text
+//! is identical both times — whether filtering and aggregation happen in
+//! the Page Stores is the optimizer's decision, not the caller's.
 //!
 //! Run: `cargo run --release --example quickstart`
 
@@ -24,7 +28,13 @@ fn main() -> Result<()> {
             Column::new("id", DataType::BigInt),
             Column::new("age", DataType::Int),
             Column::new("joindate", DataType::Date),
-            Column::new("salary", DataType::Decimal { precision: 15, scale: 2 }),
+            Column::new(
+                "salary",
+                DataType::Decimal {
+                    precision: 15,
+                    scale: 2,
+                },
+            ),
             Column::new("name", DataType::Varchar(32)),
         ],
         vec![0],
@@ -47,25 +57,23 @@ fn main() -> Result<()> {
     db.bulk_load(&table, rows)?;
     db.buffer_pool().clear(); // cold start
 
-    // The Listing-1 query as a plan: AVG pushes down as SUM+COUNT.
+    // The Listing-1 query, built fluently against column *names*.
     let start = Date32::parse("2010-01-01").unwrap();
-    let build_plan = || {
-        Plan::AggScan(AggScanNode {
-            scan: ScanNode::new("worker", vec![1, 2, 3]).with_predicate(vec![
-                Expr::lt(Expr::col(1), Expr::int(40)),
-                Expr::ge(Expr::col(2), Expr::lit(Value::Date(start))),
-                Expr::lt(Expr::col(2), Expr::lit(Value::Date(start.add_years(1)))),
-            ]),
-            group_cols: vec![],
-            aggs: vec![AggItem { func: AggFuncEx::Avg, input: Some(Expr::col(3)) }],
-        })
+    let listing1 = |session: &Session| -> Result<QueryRun> {
+        session
+            .query("worker")?
+            .filter(col("age").lt(40))
+            .filter(col("joindate").ge(start))
+            .filter(col("joindate").lt(start.add_years(1)))
+            .agg(Agg::avg("salary"))
+            .run()
     };
 
-    // NDP off: a plan that never went through the post-processing pass
-    // runs the classical scan path.
+    // NDP off: the session-level optimizer switch forces the classical
+    // scan path (results never change, only where the work happens).
     {
-        let plan = build_plan();
-        let run = run_query(&db, &plan)?;
+        let session = Session::new(&db).with_ndp(false);
+        let run = listing1(&session)?;
         println!("-- NDP off --");
         println!("AVG(salary) = {}", run.rows[0][0]);
         println!(
@@ -76,20 +84,21 @@ fn main() -> Result<()> {
         );
     }
 
-    // NDP on: run the optimizer's post-processing pass, print EXPLAIN.
+    // NDP on (the default): the same query text; the builder routes the
+    // plan through the §IV-B post-processing pass automatically.
     db.buffer_pool().clear();
-    let mut plan = build_plan();
-    let reports = ndp_post_process(&mut plan, &db)?;
+    let session = Session::new(&db);
     println!("\n-- EXPLAIN (with NDP annotations, cf. the paper's Listing 2) --");
-    print!("{}", explain(&plan, &db));
-    for r in &reports {
-        println!(
-            "   [{}] est_io={:.0} pages, filter_factor={:.3}, projection={}, aggregate={}",
-            r.table, r.est_io_pages, r.filter_factor, r.projection, r.aggregation
-        );
-    }
+    let explained = session
+        .query("worker")?
+        .filter(col("age").lt(40))
+        .filter(col("joindate").ge(start))
+        .filter(col("joindate").lt(start.add_years(1)))
+        .agg(Agg::avg("salary"))
+        .explain()?;
+    print!("{explained}");
 
-    let run = run_query(&db, &plan)?;
+    let run = listing1(&session)?;
     println!("\n-- NDP on --");
     println!("AVG(salary) = {}", run.rows[0][0]);
     println!(
@@ -100,9 +109,20 @@ fn main() -> Result<()> {
     );
     println!(
         "pages: {} NDP-processed, {} empty-after-filter markers, {} raw",
-        run.delta.pages_shipped_ndp,
-        run.delta.pages_shipped_empty,
-        run.delta.pages_shipped_raw
+        run.delta.pages_shipped_ndp, run.delta.pages_shipped_empty, run.delta.pages_shipped_raw
     );
+
+    // Streaming: pull a handful of rows; the scan stops when the stream
+    // is dropped — no 50,000-row materialization.
+    println!("\n-- first 3 workers under 25, streamed --");
+    for row in session
+        .query("worker")?
+        .select(["id", "age", "name"])
+        .filter(col("age").lt(25))
+        .stream()?
+        .take(3)
+    {
+        println!("{:?}", row?);
+    }
     Ok(())
 }

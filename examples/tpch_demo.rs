@@ -2,9 +2,25 @@
 //! with NDP off and on, and prints the paper's three effects per query —
 //! network bytes, SQL-node CPU, and run time.
 //!
+//! The headline Q6 is expressed through the public `Session`/`QueryBuilder`
+//! API (with its EXPLAIN); the full 22-query sweep then runs through the
+//! TPC-H plan-builder registry, which plays the role of MySQL's parser +
+//! join-order search and lowers onto the same executor.
+//!
 //! Run: `cargo run --release --example tpch_demo`
 
 use taurus::prelude::*;
+
+/// TPC-H Q6 through the fluent API.
+fn q6(session: &Session) -> Result<QueryBuilder<'_>> {
+    Ok(session
+        .query("lineitem")?
+        .filter(col("l_shipdate").ge(date("1994-01-01")))
+        .filter(col("l_shipdate").lt(date("1995-01-01")))
+        .filter(col("l_discount").between(dec("0.05"), dec("0.07")))
+        .filter(col("l_quantity").lt(24))
+        .agg(Agg::sum(col("l_extendedprice").mul(col("l_discount")))))
+}
 
 fn main() -> Result<()> {
     let sf = 0.01;
@@ -21,9 +37,30 @@ fn main() -> Result<()> {
     let off = mk(false)?;
     let on = mk(true)?;
 
+    // Q6 through the public API, with its NDP-annotated EXPLAIN.
+    let session = Session::new(&on);
+    println!("\n-- Q6 via Session/QueryBuilder --");
+    print!("{}", q6(&session)?.explain()?);
+    let run = q6(&session)?.run()?;
+    println!(
+        "revenue = {}   ({} KB from storage, {:.1} ms SQL CPU)",
+        run.rows[0][0],
+        run.delta.net_bytes_from_storage / 1024,
+        run.delta.compute_cpu_ns as f64 / 1e6
+    );
+
     println!(
         "\n{:<5} {:>12} {:>12} {:>8} | {:>9} {:>9} {:>8} | {:>9} {:>9} {:>8}",
-        "query", "net off KB", "net on KB", "red%", "cpu off", "cpu on", "red%", "wall off", "wall on", "red%"
+        "query",
+        "net off KB",
+        "net on KB",
+        "red%",
+        "cpu off",
+        "cpu on",
+        "red%",
+        "wall off",
+        "wall on",
+        "red%"
     );
     for q in taurus::tpch::tpch_queries() {
         if !matches!(q.name, "Q1" | "Q3" | "Q6" | "Q12" | "Q14" | "Q15" | "Q19") {
@@ -33,14 +70,16 @@ fn main() -> Result<()> {
             let before = db.metrics().snapshot();
             let t0 = std::time::Instant::now();
             {
-                let _cpu = taurus::common::metrics::CpuGuard::new(
-                    &db.metrics().compute_cpu_ns,
-                );
+                let _cpu = taurus::common::metrics::CpuGuard::new(&db.metrics().compute_cpu_ns);
                 (q.run)(db, None)?;
             }
             let wall = t0.elapsed().as_secs_f64() * 1e3;
             let d = db.metrics().snapshot().since(&before);
-            Ok((d.net_bytes_from_storage, d.compute_cpu_ns as f64 / 1e6, wall))
+            Ok((
+                d.net_bytes_from_storage,
+                d.compute_cpu_ns as f64 / 1e6,
+                wall,
+            ))
         };
         let (net_a, cpu_a, wall_a) = run(&off)?;
         let (net_b, cpu_b, wall_b) = run(&on)?;

@@ -1,0 +1,90 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements just enough of the API surface (`Criterion`,
+//! `bench_function`, `Bencher::iter`, the `criterion_group!` /
+//! `criterion_main!` macros, `black_box`) to build and run the workspace
+//! benches without a registry. Measurement is a simple
+//! warmup-then-median-of-samples loop — adequate for the relative
+//! comparisons the figure benches print, with none of criterion's
+//! statistics.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warmup + calibration: find an iteration count that takes ≥ ~5 ms.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        for _ in 0..10 {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed() / iters as u32);
+        }
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.samples.sort_unstable();
+        let median = b
+            .samples
+            .get(b.samples.len() / 2)
+            .copied()
+            .unwrap_or_default();
+        println!(
+            "{name:<44} median {median:>12.2?} ({} samples)",
+            b.samples.len()
+        );
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,260 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the two pieces this workspace uses, implemented over std:
+//!
+//! * [`channel`] — a multi-producer **multi-consumer** bounded channel
+//!   (std's `mpsc` is single-consumer, so this is a small
+//!   `Mutex<VecDeque>` + two condvars implementation). A capacity of 0
+//!   (crossbeam's rendezvous channel) is approximated with capacity 1,
+//!   which is indistinguishable for the gate/handshake patterns used
+//!   here.
+//! * [`thread`] — `scope`/`spawn` with crossbeam's closure signature
+//!   (the closure receives the scope), delegating to `std::thread::scope`.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        cap: usize,
+    }
+
+    pub struct Sender<T>(Arc<Shared<T>>);
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        Full(T),
+        Disconnected(T),
+    }
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    /// Create a bounded channel. Capacity 0 (rendezvous) is approximated
+    /// with capacity 1.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap: cap.max(1),
+        });
+        (Sender(shared.clone()), Receiver(shared))
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut g = self.0.inner.lock().unwrap();
+            loop {
+                if g.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if g.queue.len() < self.0.cap {
+                    g.queue.push_back(value);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                g = self.0.not_full.wait(g).unwrap();
+            }
+        }
+
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut g = self.0.inner.lock().unwrap();
+            if g.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if g.queue.len() >= self.0.cap {
+                return Err(TrySendError::Full(value));
+            }
+            g.queue.push_back(value);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut g = self.0.inner.lock().unwrap();
+            loop {
+                if let Some(v) = g.queue.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if g.senders == 0 {
+                    return Err(RecvError);
+                }
+                g = self.0.not_empty.wait(g).unwrap();
+            }
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut g = self.0.inner.lock().unwrap();
+            loop {
+                if let Some(v) = g.queue.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if g.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self.0.not_empty.wait_timeout(g, deadline - now).unwrap();
+                g = guard;
+            }
+        }
+
+        pub fn try_recv(&self) -> Option<T> {
+            let mut g = self.0.inner.lock().unwrap();
+            let v = g.queue.pop_front();
+            if v.is_some() {
+                self.0.not_full.notify_one();
+            }
+            v
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.0.inner.lock().unwrap().senders += 1;
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.0.inner.lock().unwrap().receivers += 1;
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut g = self.0.inner.lock().unwrap();
+            g.senders -= 1;
+            if g.senders == 0 {
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut g = self.0.inner.lock().unwrap();
+            g.receivers -= 1;
+            if g.receivers == 0 {
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+}
+
+pub mod thread {
+    pub use std::thread::Result;
+
+    /// Crossbeam-style scope wrapper over `std::thread::scope`. The spawn
+    /// closure receives the scope (so nested spawns are possible), matching
+    /// crossbeam's signature `s.spawn(|s| ...)`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope; every spawned thread is joined before this
+    /// returns. Always `Ok` (a panicked child propagates as a panic, like
+    /// `std::thread::scope`), preserving crossbeam's `Result` signature.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, TrySendError};
+
+    #[test]
+    fn mpmc_bounded_roundtrip() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.recv().unwrap(), 1);
+        let rx2 = rx.clone();
+        assert_eq!(rx2.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn disconnect_is_observed() {
+        let (tx, rx) = bounded::<i32>(1);
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn scoped_threads_join() {
+        let mut data = vec![0u64; 4];
+        super::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .iter_mut()
+                .map(|slot| s.spawn(move |_| *slot = 7))
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        })
+        .unwrap();
+        assert_eq!(data, vec![7, 7, 7, 7]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Offline stand-in for the `libc` crate: only the pieces this workspace
+//! uses (`clock_gettime` with `CLOCK_THREAD_CPUTIME_ID` for per-thread
+//! CPU accounting). Declares the raw C ABI directly — std already links
+//! the platform C library, so no build script is needed.
+//!
+//! Layout matches 64-bit Linux (the only supported platform for the
+//! benches; see the workspace README).
+
+#![allow(non_camel_case_types)]
+
+pub type time_t = i64;
+pub type c_long = i64;
+pub type c_int = i32;
+pub type clockid_t = c_int;
+
+#[repr(C)]
+#[derive(Clone, Copy, Debug, Default)]
+pub struct timespec {
+    pub tv_sec: time_t,
+    pub tv_nsec: c_long,
+}
+
+pub const CLOCK_THREAD_CPUTIME_ID: clockid_t = 3;
+
+extern "C" {
+    pub fn clock_gettime(clk_id: clockid_t, tp: *mut timespec) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_cpu_clock_readable() {
+        let mut ts = timespec::default();
+        let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+        assert_eq!(rc, 0);
+        assert!(ts.tv_sec >= 0 && ts.tv_nsec >= 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Offline stand-in for the `rand` crate (the subset this workspace uses).
+//!
+//! Deterministic xorshift64* generator behind the `rand 0.8` trait names:
+//! `StdRng::seed_from_u64`, `Rng::gen_range(lo..hi)`, `Rng::gen_bool(p)`.
+//! Statistical quality is irrelevant here — the TPC-H generator only needs
+//! a stable, seedable, reasonably-mixed stream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Integer types `gen_range` can sample. Modulo reduction: the tiny bias
+/// is irrelevant for data generation.
+pub trait SampleUniform: Copy {
+    /// Sample from the half-open range `[lo, hi)`.
+    fn sample_range(next: u64, lo: Self, hi: Self) -> Self;
+    /// Sample from the closed range `[lo, hi]`.
+    fn sample_range_inclusive(next: u64, lo: Self, hi: Self) -> Self;
+}
+
+/// Range shapes accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample(self, next: u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, next: u64) -> T {
+        T::sample_range(next, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, next: u64) -> T {
+        T::sample_range_inclusive(next, *self.start(), *self.end())
+    }
+}
+
+macro_rules! impl_sample_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(next: u64, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range requires lo < hi");
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128;
+                lo.wrapping_add((next as u128 % span) as $t)
+            }
+
+            fn sample_range_inclusive(next: u64, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range requires lo <= hi");
+                let span = ((hi as i128).wrapping_sub(lo as i128) as u128).wrapping_add(1);
+                if span == 0 {
+                    return next as $t; // full domain
+                }
+                lo.wrapping_add((next as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_sample_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(next: u64, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range requires lo < hi");
+                let span = (hi as u128) - (lo as u128);
+                lo + (next as u128 % span) as $t
+            }
+
+            fn sample_range_inclusive(next: u64, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range requires lo <= hi");
+                let span = ((hi as u128) - (lo as u128)).wrapping_add(1);
+                if span == 0 {
+                    return next as $t; // full domain
+                }
+                lo + (next as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_signed!(i8, i16, i32, i64, i128, isize);
+impl_sample_unsigned!(u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    fn sample_range(next: u64, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range requires lo < hi");
+        lo + (next as f64 / u64::MAX as f64) * (hi - lo)
+    }
+
+    fn sample_range_inclusive(next: u64, lo: Self, hi: Self) -> Self {
+        Self::sample_range(next, lo, hi)
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self.next_u64())
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+pub mod rngs {
+    /// Deterministic xorshift64* state.
+    #[derive(Clone, Debug)]
+    pub struct StdRng(u64);
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // splitmix64 of the seed so that small seeds diverge quickly.
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            StdRng((z ^ (z >> 31)) | 1)
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x = a.gen_range(-50i64..50);
+            assert_eq!(x, b.gen_range(-50i64..50));
+            assert!((-50..50).contains(&x));
+        }
+        let mut c = StdRng::seed_from_u64(7);
+        let heads = (0..10_000).filter(|_| c.gen_bool(0.5)).count();
+        assert!((3000..7000).contains(&heads), "{heads}");
+    }
+
+    #[test]
+    fn usize_and_i128_ranges() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let u = r.gen_range(0usize..7);
+            assert!(u < 7);
+            let w = r.gen_range(-10i128..11);
+            assert!((-10..11).contains(&w));
+        }
+    }
+}

@@ -6,7 +6,50 @@
 //! aggregation — plus the full TPC-H evaluation harness that regenerates
 //! the paper's figures.
 //!
-//! Start with [`prelude`] and `examples/quickstart.rs`.
+//! ## The query API
+//!
+//! The public surface is a session-scoped query facade. Callers name
+//! tables and columns; NDP pushdown, read-view selection, and
+//! partial-aggregate merging are internal decisions — the API-level
+//! mirror of the paper's claim that "the MySQL query execution layers
+//! above the storage engine are unaware of NDP processing":
+//!
+//! ```no_run
+//! use taurus::prelude::*;
+//!
+//! # fn demo(db: &std::sync::Arc<TaurusDb>) -> Result<()> {
+//! let session = Session::new(db);
+//!
+//! // Scalar aggregate: AVG pushes down as SUM+COUNT when worthwhile.
+//! let rows = session
+//!     .query("worker")?
+//!     .filter(col("age").lt(40))
+//!     .agg(Agg::avg("salary"))
+//!     .collect_rows()?;
+//!
+//! // Streaming scan: rows are pulled from storage on demand; dropping
+//! // the stream early stops the scan. No full materialization.
+//! for row in session
+//!     .query("worker")?
+//!     .select(["id", "name"])
+//!     .filter(col("age").ge(60))
+//!     .stream()?
+//!     .take(10)
+//! {
+//!     println!("{:?}", row?);
+//! }
+//!
+//! // EXPLAIN shows the Listing-2-style NDP annotations and the
+//! // optimizer's per-table decision reports.
+//! println!("{}", session.query("worker")?.filter(col("age").lt(40)).explain()?);
+//! # Ok(()) }
+//! ```
+//!
+//! Start with [`prelude`] and `examples/quickstart.rs`; `DESIGN.md` maps
+//! the crate layout onto the paper's architecture. Hand-built plan trees
+//! (`taurus::optimizer::plan`) and `execute(plan, ctx)` remain available
+//! as the internal lowering target — the TPC-H plan builders and parity
+//! tests use them — but applications should not need them.
 
 pub use taurus_btree as btree;
 pub use taurus_bufferpool as bufferpool;
@@ -22,20 +65,15 @@ pub use taurus_pagestore as pagestore;
 pub use taurus_sal as sal;
 pub use taurus_tpch as tpch;
 
-/// The commonly-used surface of the whole system.
+/// The commonly-used surface of the whole system: the session/query
+/// facade, schema DDL types, and values.
 pub mod prelude {
     pub use taurus_common::schema::{Column, Row, TableSchema};
     pub use taurus_common::{
-        ClusterConfig, DataType, Date32, Dec, Error, Metrics, MetricsSnapshot, NdpConfig,
-        Result, Value,
+        ClusterConfig, DataType, Date32, Dec, Error, Metrics, MetricsSnapshot, NdpConfig, Result,
+        Value,
     };
-    pub use taurus_executor::{execute, run_query, ExecContext, QueryRun};
-    pub use taurus_expr::ast::Expr;
-    pub use taurus_ndp::{
-        scan, NdpChoice, ScanAggregation, ScanConsumer, ScanRange, ScanSpec, Table, TaurusDb,
-    };
-    pub use taurus_optimizer::{explain, ndp_post_process};
-    pub use taurus_optimizer::plan::{
-        AggFuncEx, AggItem, AggScanNode, JoinType, Plan, RangeSpec, ScanNode,
-    };
+    pub use taurus_executor::dsl::{col, date, dec, lit, nth, QExpr};
+    pub use taurus_executor::{Agg, Explained, QueryBuilder, QueryRun, RowStream, Session};
+    pub use taurus_ndp::{Table, TaurusDb};
 }

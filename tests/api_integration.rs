@@ -1,8 +1,8 @@
 //! Cross-crate integration through the public `taurus` API: DDL, DML,
-//! transactions, planning, EXPLAIN, and query execution.
+//! transactions, the `Session`/`QueryBuilder` facade, EXPLAIN, and
+//! streaming execution.
 
 use taurus::prelude::*;
-use taurus::optimizer::plan::AggScanNode;
 
 fn worker_db() -> (std::sync::Arc<TaurusDb>, std::sync::Arc<Table>) {
     let mut cfg = ClusterConfig::small_for_tests();
@@ -16,7 +16,13 @@ fn worker_db() -> (std::sync::Arc<TaurusDb>, std::sync::Arc<Table>) {
             Column::new("id", DataType::BigInt),
             Column::new("age", DataType::Int),
             Column::new("joindate", DataType::Date),
-            Column::new("salary", DataType::Decimal { precision: 15, scale: 2 }),
+            Column::new(
+                "salary",
+                DataType::Decimal {
+                    precision: 15,
+                    scale: 2,
+                },
+            ),
             Column::new("name", DataType::Varchar(40)),
             Column::new("resume", DataType::Varchar(120)),
         ],
@@ -31,7 +37,9 @@ fn worker_db() -> (std::sync::Arc<TaurusDb>, std::sync::Arc<Table>) {
                 Value::Date(Date32::from_ymd(2008, 1, 1).add_days((i % 2000) as i32)),
                 Value::Decimal(Dec::new((40_000 + i * 13) as i128, 2)),
                 Value::str(format!("worker number {i}")),
-                Value::str(format!("joined the company and wrote code, id {i}, more text here")),
+                Value::str(format!(
+                    "joined the company and wrote code, id {i}, more text here"
+                )),
             ]
         })
         .collect();
@@ -40,39 +48,41 @@ fn worker_db() -> (std::sync::Arc<TaurusDb>, std::sync::Arc<Table>) {
     (db, t)
 }
 
-fn listing1_plan() -> Plan {
+/// The §III Listing-1 query through the facade.
+fn listing1(session: &Session) -> Result<QueryBuilder<'_>> {
     let start = Date32::parse("2010-01-01").unwrap();
-    Plan::AggScan(AggScanNode {
-        scan: ScanNode::new("worker", vec![1, 2, 3]).with_predicate(vec![
-            Expr::lt(Expr::col(1), Expr::int(40)),
-            Expr::ge(Expr::col(2), Expr::lit(Value::Date(start))),
-            Expr::lt(Expr::col(2), Expr::lit(Value::Date(start.add_years(1)))),
-        ]),
-        group_cols: vec![],
-        aggs: vec![AggItem { func: AggFuncEx::Avg, input: Some(Expr::col(3)) }],
-    })
+    Ok(session
+        .query("worker")?
+        .filter(col("age").lt(40))
+        .filter(col("joindate").ge(start))
+        .filter(col("joindate").lt(start.add_years(1)))
+        .agg(Agg::avg("salary")))
 }
 
 #[test]
 fn explain_prints_listing2_annotations() {
     let (db, _t) = worker_db();
-    let mut plan = listing1_plan();
-    ndp_post_process(&mut plan, &db).unwrap();
-    let text = explain(&plan, &db);
+    let session = Session::new(&db);
+    let explained = listing1(&session).unwrap().explain().unwrap();
+    let text = explained.to_string();
     assert!(text.contains("Using pushed NDP condition"), "{text}");
     assert!(text.contains("Using pushed NDP columns"), "{text}");
     assert!(text.contains("Using pushed NDP aggregate"), "{text}");
     assert!(text.contains("joindate"), "column names resolved: {text}");
+    assert!(text.contains("est_io"), "reports rendered: {text}");
+    assert_eq!(explained.reports.len(), 1);
+    assert!(explained.reports[0].aggregation);
 }
 
 #[test]
 fn listing1_avg_matches_with_and_without_ndp() {
     let (db, _t) = worker_db();
-    let plain = run_query(&db, &listing1_plan()).unwrap();
-    let mut optimized = listing1_plan();
-    ndp_post_process(&mut optimized, &db).unwrap();
+    let plain = listing1(&Session::new(&db).with_ndp(false))
+        .unwrap()
+        .run()
+        .unwrap();
     db.buffer_pool().clear();
-    let ndp = run_query(&db, &optimized).unwrap();
+    let ndp = listing1(&Session::new(&db)).unwrap().run().unwrap();
     assert_eq!(plain.rows, ndp.rows);
     assert!(matches!(ndp.rows[0][0], Value::Decimal(_)));
 }
@@ -80,35 +90,66 @@ fn listing1_avg_matches_with_and_without_ndp() {
 #[test]
 fn transactions_commit_rollback_through_api() {
     let (db, t) = worker_db();
-    let view0 = db.read_view(0);
+    // A session opened now must never see rows committed later (its read
+    // view is fixed at creation — the paper's InnoDB MVCC behaviour).
+    let session_before = Session::new(&db);
     // Committed insert becomes visible; rolled-back one never does.
     let t1 = db.begin();
-    db.insert_row(&t, t1, &vec![
-        Value::Int(99_991),
-        Value::Int(30),
-        Value::Date(Date32::parse("2012-05-01").unwrap()),
-        Value::Decimal(Dec::new(1, 2)),
-        Value::str("committed worker"),
-        Value::str("n/a"),
-    ])
+    db.insert_row(
+        &t,
+        t1,
+        &vec![
+            Value::Int(99_991),
+            Value::Int(30),
+            Value::Date(Date32::parse("2012-05-01").unwrap()),
+            Value::Decimal(Dec::new(1, 2)),
+            Value::str("committed worker"),
+            Value::str("n/a"),
+        ],
+    )
     .unwrap();
     db.commit(t1);
     let t2 = db.begin();
-    db.insert_row(&t, t2, &vec![
-        Value::Int(99_992),
-        Value::Int(31),
-        Value::Date(Date32::parse("2012-05-01").unwrap()),
-        Value::Decimal(Dec::new(2, 2)),
-        Value::str("rolled-back worker"),
-        Value::str("n/a"),
-    ])
+    db.insert_row(
+        &t,
+        t2,
+        &vec![
+            Value::Int(99_992),
+            Value::Int(31),
+            Value::Date(Date32::parse("2012-05-01").unwrap()),
+            Value::Decimal(Dec::new(2, 2)),
+            Value::str("rolled-back worker"),
+            Value::str("n/a"),
+        ],
+    )
     .unwrap();
     db.rollback(t2).unwrap();
-    let view1 = db.read_view(0);
-    assert!(db.lookup_row(&t, &view1, &[Value::Int(99_991)]).unwrap().is_some());
-    assert!(db.lookup_row(&t, &view1, &[Value::Int(99_992)]).unwrap().is_none());
+
+    let session_after = Session::new(&db);
+    assert!(session_after
+        .lookup("worker", &[Value::Int(99_991)])
+        .unwrap()
+        .is_some());
+    assert!(session_after
+        .lookup("worker", &[Value::Int(99_992)])
+        .unwrap()
+        .is_none());
     // The old snapshot sees neither.
-    assert!(db.lookup_row(&t, &view0, &[Value::Int(99_991)]).unwrap().is_none());
+    assert!(session_before
+        .lookup("worker", &[Value::Int(99_991)])
+        .unwrap()
+        .is_none());
+
+    // The same visibility through a filtered query.
+    let rows = session_after
+        .query("worker")
+        .unwrap()
+        .select(["id", "name"])
+        .filter(col("id").ge(99_000i64))
+        .collect_rows()
+        .unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0][0], Value::Int(99_991));
 }
 
 #[test]
@@ -116,24 +157,92 @@ fn ndp_gate_respects_min_io_pages() {
     // With a huge min-IO threshold, the post-processing pass must refuse
     // NDP (the paper's Q11/Q17/Q19/Q20 behaviour).
     let (db, _t) = worker_db();
-    let mut plan = listing1_plan();
-    // Rebuild the db config path: clone a config with a huge gate.
     let mut cfg = db.config().clone();
     cfg.ndp.min_io_pages = 1_000_000;
     let db2 = TaurusDb::new(cfg);
     let schema = db.table("worker").unwrap().schema.clone();
     let t2 = db2.create_table(schema, &[]).unwrap();
-    db2.bulk_load(&t2, vec![vec![
-        Value::Int(1),
-        Value::Int(30),
-        Value::Date(Date32::parse("2010-06-01").unwrap()),
-        Value::Decimal(Dec::new(100, 2)),
-        Value::str("only worker"),
-        Value::str("n/a"),
-    ]])
+    db2.bulk_load(
+        &t2,
+        vec![vec![
+            Value::Int(1),
+            Value::Int(30),
+            Value::Date(Date32::parse("2010-06-01").unwrap()),
+            Value::Decimal(Dec::new(100, 2)),
+            Value::str("only worker"),
+            Value::str("n/a"),
+        ]],
+    )
     .unwrap();
-    let reports = ndp_post_process(&mut plan, &db2).unwrap();
-    assert!(reports[0].gated_by_io);
-    let text = explain(&plan, &db2);
-    assert!(!text.contains("Using pushed NDP"), "{text}");
+    let session = Session::new(&db2);
+    let explained = listing1(&session).unwrap().explain().unwrap();
+    assert!(explained.reports[0].gated_by_io);
+    assert!(
+        !explained.text.contains("Using pushed NDP"),
+        "{}",
+        explained.text
+    );
+    // The gated query still runs (classical path) and returns a result.
+    let rows = listing1(&session).unwrap().collect_rows().unwrap();
+    assert_eq!(rows.len(), 1);
+}
+
+#[test]
+fn row_stream_over_lineitem_does_not_materialize() {
+    // A streaming scan over TPC-H lineitem: taking a handful of rows must
+    // not scan (let alone materialize) the whole table.
+    let mut cfg = ClusterConfig::small_for_tests();
+    cfg.buffer_pool_pages = 32;
+    let db = TaurusDb::new(cfg);
+    taurus::tpch::load(&db, 0.01, 42).unwrap();
+    let total = db.table("lineitem").unwrap().stats.read().row_count;
+    assert!(total > 1000, "need a non-trivial table, got {total} rows");
+    db.buffer_pool().clear();
+
+    let session = Session::new(&db);
+    let before = db.metrics().snapshot();
+    let mut streamed: Vec<Row> = Vec::new();
+    for row in session
+        .query("lineitem")
+        .unwrap()
+        .select(["l_orderkey", "l_linenumber", "l_quantity"])
+        .stream()
+        .unwrap()
+        .take(10)
+    {
+        streamed.push(row.unwrap());
+    }
+    let delta = db.metrics().snapshot().since(&before);
+    assert_eq!(streamed.len(), 10);
+    assert!(streamed.iter().all(|r| r.len() == 3));
+    // Rows arrive in primary-key order.
+    let keys: Vec<i64> = streamed.iter().map(|r| r[0].as_int().unwrap()).collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    assert_eq!(keys, sorted);
+    // The early-stopped scan touched only the stream's look-ahead window,
+    // not the table.
+    assert!(
+        delta.rows_scanned < total / 2,
+        "streaming scanned {} of {total} rows — materialized?",
+        delta.rows_scanned
+    );
+
+    // The same stream, fully drained, equals the materializing terminal.
+    let all_streamed: Vec<Row> = session
+        .query("lineitem")
+        .unwrap()
+        .select(["l_orderkey", "l_linenumber", "l_quantity"])
+        .stream()
+        .unwrap()
+        .collect_rows()
+        .unwrap();
+    let all_collected = session
+        .query("lineitem")
+        .unwrap()
+        .select(["l_orderkey", "l_linenumber", "l_quantity"])
+        .collect_rows()
+        .unwrap();
+    assert_eq!(all_streamed.len(), total as usize);
+    assert_eq!(all_streamed, all_collected);
 }

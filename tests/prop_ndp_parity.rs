@@ -7,9 +7,10 @@
 //! 3. Record encode/decode round-trips for arbitrary values.
 
 use proptest::prelude::*;
-use taurus::prelude::*;
-use taurus::ndp::ScanConsumer;
+use taurus::expr::ast::Expr;
+use taurus::ndp::{scan, NdpChoice, ScanConsumer, ScanRange, ScanSpec};
 use taurus::pagestore::SkipPolicy;
+use taurus::prelude::*;
 
 fn schema() -> std::sync::Arc<TableSchema> {
     TableSchema::new(
@@ -17,7 +18,13 @@ fn schema() -> std::sync::Arc<TableSchema> {
         vec![
             Column::new("k", DataType::BigInt),
             Column::new("a", DataType::Int),
-            Column::new("d", DataType::Decimal { precision: 15, scale: 2 }),
+            Column::new(
+                "d",
+                DataType::Decimal {
+                    precision: 15,
+                    scale: 2,
+                },
+            ),
             Column::new("s", DataType::Varchar(16)),
         ],
         vec![0],
@@ -45,8 +52,10 @@ fn dataset() -> impl Strategy<Value = Dataset> {
 fn predicate() -> impl Strategy<Value = Expr> {
     prop_oneof![
         (any::<i32>()).prop_map(|v| Expr::lt(Expr::col(1), Expr::int(v as i64))),
-        (-10_000i64..10_000)
-            .prop_map(|v| Expr::ge(Expr::col(2), Expr::lit(Value::Decimal(Dec::new(v as i128, 2))))),
+        (-10_000i64..10_000).prop_map(|v| Expr::ge(
+            Expr::col(2),
+            Expr::lit(Value::Decimal(Dec::new(v as i128, 2)))
+        )),
         "[a-z]{0,3}".prop_map(|s| Expr::like(Expr::col(3), &format!("{s}%"))),
         (0i64..5000).prop_map(|v| Expr::gt(Expr::col(0), Expr::int(v))),
     ]
@@ -88,13 +97,13 @@ fn build_db(data: &Dataset) -> (std::sync::Arc<TaurusDb>, std::sync::Arc<Table>)
     (db, t)
 }
 
-fn run_scan(
-    db: &TaurusDb,
-    t: &Table,
-    ndp: Option<NdpChoice>,
-    output: Vec<usize>,
-) -> Vec<Row> {
-    let spec = ScanSpec { index: 0, range: ScanRange::full(), ndp, output_cols: output };
+fn run_scan(db: &TaurusDb, t: &Table, ndp: Option<NdpChoice>, output: Vec<usize>) -> Vec<Row> {
+    let spec = ScanSpec {
+        index: 0,
+        range: ScanRange::full(),
+        ndp,
+        output_cols: output,
+    };
     let mut c = Rows(Vec::new());
     let view = db.read_view(0);
     scan(db, t, &spec, &view, &mut c).unwrap();

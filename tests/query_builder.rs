@@ -1,0 +1,376 @@
+//! `QueryBuilder` error paths and builder-vs-legacy-plan parity.
+//!
+//! The parity tests are the one sanctioned place outside the optimizer /
+//! executor internals that still hand-builds `Plan` trees: they pin the
+//! builder's lowering to the legacy `execute(plan, ctx)` path.
+
+use taurus::executor::{execute, ExecContext};
+use taurus::optimizer::ndp_post::ndp_post_process;
+use taurus::optimizer::plan::{AggFuncEx, AggItem, AggScanNode, Plan, ScanNode};
+use taurus::prelude::*;
+
+fn tpch_db() -> std::sync::Arc<TaurusDb> {
+    let mut cfg = ClusterConfig::small_for_tests();
+    cfg.buffer_pool_pages = 64;
+    let db = TaurusDb::new(cfg);
+    taurus::tpch::load(&db, 0.005, 11).unwrap();
+    db.buffer_pool().clear();
+    db
+}
+
+// --- error paths -------------------------------------------------------------
+
+#[test]
+fn unknown_table_is_name_resolution_error() {
+    let db = tpch_db();
+    let session = Session::new(&db);
+    let err = match session.query("lineitems") {
+        Err(e) => e,
+        Ok(_) => panic!("unknown table accepted"),
+    };
+    assert!(matches!(err, Error::NameResolution(_)), "{err}");
+    assert!(err.to_string().contains("lineitems"), "{err}");
+    // The message helps: it lists what does exist.
+    assert!(err.to_string().contains("lineitem"), "{err}");
+}
+
+#[test]
+fn unknown_column_name_is_name_resolution_error() {
+    let db = tpch_db();
+    let session = Session::new(&db);
+    // In a filter...
+    let err = session
+        .query("lineitem")
+        .unwrap()
+        .filter(col("l_shipdat").lt(date("1998-01-01")))
+        .collect_rows()
+        .unwrap_err();
+    assert!(matches!(err, Error::NameResolution(_)), "{err}");
+    assert!(err.to_string().contains("l_shipdat"), "{err}");
+    // ...in a select...
+    let err = session
+        .query("lineitem")
+        .unwrap()
+        .select(["l_orderkey", "l_oops"])
+        .collect_rows()
+        .unwrap_err();
+    assert!(matches!(err, Error::NameResolution(_)), "{err}");
+    // ...and in an aggregate input.
+    let err = session
+        .query("lineitem")
+        .unwrap()
+        .agg(Agg::sum("l_oops"))
+        .collect_rows()
+        .unwrap_err();
+    assert!(matches!(err, Error::NameResolution(_)), "{err}");
+}
+
+#[test]
+fn out_of_range_column_position_is_name_resolution_error() {
+    let db = tpch_db();
+    let session = Session::new(&db);
+    // lineitem has 16 columns; position 16 is out of range.
+    let err = session
+        .query("lineitem")
+        .unwrap()
+        .select([0usize, 16])
+        .collect_rows()
+        .unwrap_err();
+    assert!(matches!(err, Error::NameResolution(_)), "{err}");
+    assert!(err.to_string().contains("16"), "{err}");
+    let err = session
+        .query("lineitem")
+        .unwrap()
+        .filter(nth(99).lt(1i64))
+        .collect_rows()
+        .unwrap_err();
+    assert!(matches!(err, Error::NameResolution(_)), "{err}");
+}
+
+#[test]
+fn unknown_index_is_name_resolution_error() {
+    let db = tpch_db();
+    let session = Session::new(&db);
+    let err = session
+        .query("lineitem")
+        .unwrap()
+        .via_index("i_no_such_index")
+        .collect_rows()
+        .unwrap_err();
+    assert!(matches!(err, Error::NameResolution(_)), "{err}");
+}
+
+#[test]
+fn group_by_non_key_prefix_is_unsupported() {
+    let db = tpch_db();
+    let session = Session::new(&db);
+    // lineitem's primary key is (l_orderkey, l_linenumber); grouping by
+    // l_returnflag cannot stream in index order.
+    let err = session
+        .query("lineitem")
+        .unwrap()
+        .group_by(["l_returnflag"])
+        .agg(Agg::count_star())
+        .collect_rows()
+        .unwrap_err();
+    assert!(matches!(err, Error::Unsupported(_)), "{err}");
+    assert!(err.to_string().contains("prefix"), "{err}");
+    // (l_linenumber) alone is not a prefix either — order matters.
+    let err = session
+        .query("lineitem")
+        .unwrap()
+        .group_by(["l_linenumber"])
+        .agg(Agg::count_star())
+        .collect_rows()
+        .unwrap_err();
+    assert!(matches!(err, Error::Unsupported(_)), "{err}");
+}
+
+#[test]
+fn order_by_out_of_range_position_is_rejected() {
+    let db = tpch_db();
+    let session = Session::new(&db);
+    let err = session
+        .query("lineitem")
+        .unwrap()
+        .select(["l_orderkey"])
+        .order_by(3, false)
+        .collect_rows()
+        .unwrap_err();
+    assert!(matches!(err, Error::NameResolution(_)), "{err}");
+}
+
+#[test]
+fn first_error_wins_and_chain_stays_fluent() {
+    let db = tpch_db();
+    let session = Session::new(&db);
+    // Every stage after the bad column still chains; the terminal reports
+    // the first failure.
+    let err = session
+        .query("lineitem")
+        .unwrap()
+        .filter(col("nope").lt(1i64))
+        .select(["also_nope"])
+        .group_by(["l_returnflag"])
+        .agg(Agg::count_star())
+        .collect_rows()
+        .unwrap_err();
+    assert!(err.to_string().contains("nope"), "{err}");
+}
+
+#[test]
+fn select_combined_with_aggregation_is_unsupported() {
+    let db = tpch_db();
+    let session = Session::new(&db);
+    let err = session
+        .query("lineitem")
+        .unwrap()
+        .select(["l_quantity"])
+        .group_by(["l_orderkey"])
+        .agg(Agg::sum("l_quantity"))
+        .collect_rows()
+        .unwrap_err();
+    assert!(matches!(err, Error::Unsupported(_)), "{err}");
+    assert!(err.to_string().contains("select()"), "{err}");
+}
+
+#[test]
+fn secondary_index_coverage_checked_at_build_time() {
+    let db = tpch_db();
+    let session = Session::new(&db);
+    // i_l_partkey stores only (l_partkey, l_orderkey, l_linenumber);
+    // l_comment is not covered — the builder must say so by name.
+    let err = session
+        .query("lineitem")
+        .unwrap()
+        .via_index("i_l_partkey")
+        .select(["l_partkey", "l_comment"])
+        .collect_rows()
+        .unwrap_err();
+    assert!(matches!(err, Error::Unsupported(_)), "{err}");
+    assert!(err.to_string().contains("l_comment"), "{err}");
+    assert!(err.to_string().contains("i_l_partkey"), "{err}");
+    // A covered query through the same index works.
+    let rows = session
+        .query("lineitem")
+        .unwrap()
+        .via_index("i_l_partkey")
+        .select(["l_partkey", "l_orderkey"])
+        .filter(col("l_partkey").le(2i64))
+        .collect_rows()
+        .unwrap();
+    assert!(!rows.is_empty());
+    // Rows arrive in the secondary index's key order.
+    let keys: Vec<i64> = rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    assert_eq!(keys, sorted);
+}
+
+#[test]
+fn session_refresh_keeps_transaction_identity() {
+    let db = tpch_db();
+    let trx = db.begin();
+    let t = db.table("region").unwrap();
+    let mut session = Session::for_trx(&db, trx);
+    db.insert_row(
+        &t,
+        trx,
+        &vec![
+            Value::Int(99),
+            Value::str("ATLANTIS"),
+            Value::str("uncommitted region"),
+        ],
+    )
+    .unwrap();
+    // Own uncommitted write is visible before and after refresh().
+    session.refresh();
+    assert!(session
+        .lookup("region", &[Value::Int(99)])
+        .unwrap()
+        .is_some());
+    // A plain session still cannot see it.
+    assert!(Session::new(&db)
+        .lookup("region", &[Value::Int(99)])
+        .unwrap()
+        .is_none());
+    db.rollback(trx).unwrap();
+}
+
+// --- parity with the legacy plan path ---------------------------------------
+
+/// Hand-built legacy plan, optimized and executed through the raw
+/// `execute(plan, ctx)` layer.
+fn run_legacy(db: &TaurusDb, mut plan: Plan) -> Vec<Row> {
+    ndp_post_process(&mut plan, db).unwrap();
+    execute(&plan, &ExecContext::new(db)).unwrap()
+}
+
+#[test]
+fn builder_scan_equals_legacy_plan() {
+    let db = tpch_db();
+    // Legacy: SELECT l_orderkey, l_quantity FROM lineitem
+    //         WHERE l_shipdate >= '1995-06-01'
+    let legacy = run_legacy(
+        &db,
+        Plan::Project(taurus::optimizer::plan::ProjectNode {
+            input: Box::new(Plan::Scan(
+                ScanNode::new("lineitem", vec![0, 4, 10]).with_predicate(vec![
+                    taurus::expr::ast::Expr::ge(
+                        taurus::expr::ast::Expr::col(10),
+                        taurus::expr::ast::Expr::date("1995-06-01"),
+                    ),
+                ]),
+            )),
+            exprs: vec![
+                taurus::expr::ast::Expr::col(0),
+                taurus::expr::ast::Expr::col(1),
+            ],
+        }),
+    );
+    db.buffer_pool().clear();
+    let session = Session::new(&db);
+    let built = session
+        .query("lineitem")
+        .unwrap()
+        .select(["l_orderkey", "l_quantity"])
+        .filter(col("l_shipdate").ge(date("1995-06-01")))
+        .collect_rows()
+        .unwrap();
+    assert!(!built.is_empty());
+    assert_eq!(built, legacy);
+}
+
+#[test]
+fn builder_group_agg_equals_legacy_plan() {
+    let db = tpch_db();
+    // Legacy: SELECT l_orderkey, SUM(l_quantity), COUNT(*) FROM lineitem
+    //         GROUP BY l_orderkey  (a key prefix -> AggScan)
+    let legacy = run_legacy(
+        &db,
+        Plan::AggScan(AggScanNode {
+            scan: ScanNode::new("lineitem", vec![0, 4]),
+            group_cols: vec![0],
+            aggs: vec![
+                AggItem {
+                    func: AggFuncEx::Sum,
+                    input: Some(taurus::expr::ast::Expr::col(4)),
+                },
+                AggItem {
+                    func: AggFuncEx::CountStar,
+                    input: None,
+                },
+            ],
+        }),
+    );
+    db.buffer_pool().clear();
+    let session = Session::new(&db);
+    let built = session
+        .query("lineitem")
+        .unwrap()
+        .group_by(["l_orderkey"])
+        .agg(Agg::sum("l_quantity"))
+        .agg(Agg::count_star())
+        .collect_rows()
+        .unwrap();
+    assert!(!built.is_empty());
+    assert_eq!(built, legacy);
+}
+
+#[test]
+fn builder_parallel_equals_serial() {
+    let db = tpch_db();
+    let session = Session::new(&db);
+    let q = |degree: Option<usize>| {
+        let mut q = session
+            .query("lineitem")
+            .unwrap()
+            .filter(col("l_shipdate").lt(date("1997-01-01")))
+            .agg(Agg::count_star())
+            .agg(Agg::sum("l_extendedprice"));
+        if let Some(d) = degree {
+            q = q.parallel(d);
+        }
+        q.collect_rows().unwrap()
+    };
+    let serial = q(None);
+    let parallel = q(Some(4));
+    assert_eq!(serial, parallel);
+    assert!(serial[0][0].as_int().unwrap() > 0);
+}
+
+#[test]
+fn builder_ndp_on_equals_off() {
+    let db = tpch_db();
+    let q = |session: &Session| {
+        session
+            .query("lineitem")
+            .unwrap()
+            .select(["l_orderkey", "l_shipdate", "l_quantity"])
+            .filter(col("l_quantity").lt(Dec::new(1000, 2)))
+            .collect_rows()
+            .unwrap()
+    };
+    let off = q(&Session::new(&db).with_ndp(false));
+    db.buffer_pool().clear();
+    let on = q(&Session::new(&db));
+    assert_eq!(off, on);
+}
+
+#[test]
+fn order_by_and_limit_shape_results() {
+    let db = tpch_db();
+    let session = Session::new(&db);
+    let rows = session
+        .query("orders")
+        .unwrap()
+        .select(["o_orderkey", "o_totalprice"])
+        .order_by(1, true)
+        .limit(5)
+        .collect_rows()
+        .unwrap();
+    assert_eq!(rows.len(), 5);
+    for w in rows.windows(2) {
+        assert!(w[0][1].cmp_total(&w[1][1]).is_ge(), "descending order");
+    }
+}
