@@ -1,0 +1,243 @@
+//! Row batches: the unit of the vectorized result pipeline.
+//!
+//! The paper keeps per-record work tiny inside Page Stores (the §V-B VM
+//! evaluates predicates over raw record bytes, no row materialization)
+//! and amortizes round trips with batch reads (§IV-C). [`RowBatch`] is
+//! the frontend's counterpart: scans accumulate surviving rows into one
+//! reusable batch instead of allocating a fresh `Vec<Value>` per record,
+//! and every downstream hand-off (consumer callback, stream channel
+//! message) happens once per *batch*, not once per row.
+//!
+//! Layout: a row group — one flat `Vec<Value>` holding `len * width`
+//! values in row-major order. The batch owns its values (scans release
+//! page frames as soon as a page drains, so borrowing record bytes is
+//! not an option), and `clear()` keeps the allocation so a scan reuses
+//! one buffer for its whole lifetime.
+
+use crate::schema::Row;
+use crate::value::Value;
+
+/// Default rows per scan batch ([`crate::config::ClusterConfig::scan_batch_rows`]).
+/// ~1024 rows amortizes per-batch overhead to noise while keeping a
+/// batch of typical rows comfortably cache-resident.
+pub const DEFAULT_SCAN_BATCH_ROWS: usize = 1024;
+
+/// An owned, fixed-width batch of rows in row-major order. Construct
+/// via [`RowBatch::with_capacity`] (no `Default`: a default batch would
+/// have capacity 0 and report itself full while empty).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RowBatch {
+    /// Values per row. A zero-width batch is legal (e.g. a bare
+    /// `COUNT(*)` scan delivers empty rows); `len` is tracked explicitly
+    /// so row count never depends on `width`.
+    width: usize,
+    len: usize,
+    capacity_rows: usize,
+    values: Vec<Value>,
+}
+
+impl RowBatch {
+    /// An empty batch that flushes after `capacity_rows` rows of `width`
+    /// values each.
+    pub fn with_capacity(width: usize, capacity_rows: usize) -> RowBatch {
+        let capacity_rows = capacity_rows.max(1);
+        RowBatch {
+            width,
+            len: 0,
+            capacity_rows,
+            values: Vec::with_capacity(width * capacity_rows.min(DEFAULT_SCAN_BATCH_ROWS)),
+        }
+    }
+
+    /// Values per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Rows currently buffered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Has the batch reached its flush threshold?
+    pub fn is_full(&self) -> bool {
+        self.len >= self.capacity_rows
+    }
+
+    pub fn capacity_rows(&self) -> usize {
+        self.capacity_rows
+    }
+
+    /// Append one row. The iterator must yield exactly `width` values —
+    /// enforced with a hard assert, because a wrong-width row would
+    /// silently shift every later row's slice boundaries (the check is
+    /// one integer compare per row, noise next to the extend itself).
+    pub fn push_row(&mut self, row: impl IntoIterator<Item = Value>) {
+        let before = self.values.len();
+        self.values.extend(row);
+        assert_eq!(
+            self.values.len() - before,
+            self.width,
+            "row width mismatch in RowBatch::push_row"
+        );
+        self.len += 1;
+    }
+
+    /// Borrow row `i`.
+    pub fn row(&self, i: usize) -> &[Value] {
+        let start = i * self.width;
+        &self.values[start..start + self.width]
+    }
+
+    /// Iterate the buffered rows as slices.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[Value]> {
+        // `chunks_exact(0)` panics; a zero-width batch yields `len`
+        // empty rows instead.
+        RowsIter {
+            batch: self,
+            next: 0,
+        }
+    }
+
+    /// Drop all rows, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.values.clear();
+        self.len = 0;
+    }
+
+    /// Consume the batch into an owned-row iterator (the pull side of a
+    /// stream pops rows from here locally, no channel traffic per row).
+    pub fn into_rows(self) -> RowBatchIter {
+        RowBatchIter {
+            width: self.width,
+            remaining: self.len,
+            values: self.values.into_iter(),
+        }
+    }
+
+    /// Materialize as a `Vec<Row>` (test/diagnostic convenience).
+    pub fn to_rows(&self) -> Vec<Row> {
+        self.rows().map(|r| r.to_vec()).collect()
+    }
+}
+
+struct RowsIter<'a> {
+    batch: &'a RowBatch,
+    next: usize,
+}
+
+impl<'a> Iterator for RowsIter<'a> {
+    type Item = &'a [Value];
+
+    fn next(&mut self) -> Option<&'a [Value]> {
+        if self.next >= self.batch.len {
+            return None;
+        }
+        let r = self.batch.row(self.next);
+        self.next += 1;
+        Some(r)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.batch.len - self.next;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RowsIter<'_> {}
+
+/// Owning row iterator over a consumed [`RowBatch`].
+#[derive(Debug, Default)]
+pub struct RowBatchIter {
+    width: usize,
+    remaining: usize,
+    values: std::vec::IntoIter<Value>,
+}
+
+impl RowBatchIter {
+    /// An iterator over no rows (a stream's state before its first batch).
+    pub fn empty() -> RowBatchIter {
+        RowBatchIter::default()
+    }
+}
+
+impl Iterator for RowBatchIter {
+    type Item = Row;
+
+    fn next(&mut self) -> Option<Row> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(self.values.by_ref().take(self.width).collect())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for RowBatchIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_iterate_clear_reuses_allocation() {
+        let mut b = RowBatch::with_capacity(2, 3);
+        assert!(b.is_empty() && !b.is_full());
+        for i in 0..3i64 {
+            b.push_row([Value::Int(i), Value::Int(i * 10)]);
+        }
+        assert!(b.is_full());
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.row(1), &[Value::Int(1), Value::Int(10)]);
+        let rows: Vec<_> = b.rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], &[Value::Int(2), Value::Int(20)]);
+        let cap = b.values.capacity();
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.values.capacity(), cap, "clear keeps the allocation");
+    }
+
+    #[test]
+    fn into_rows_yields_owned_rows_in_order() {
+        let mut b = RowBatch::with_capacity(2, 8);
+        b.push_row([Value::Int(1), Value::str("a")]);
+        b.push_row([Value::Int(2), Value::str("b")]);
+        let mut it = b.into_rows();
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.next(), Some(vec![Value::Int(1), Value::str("a")]));
+        assert_eq!(it.next(), Some(vec![Value::Int(2), Value::str("b")]));
+        assert_eq!(it.next(), None);
+    }
+
+    #[test]
+    fn zero_width_rows_still_count() {
+        let mut b = RowBatch::with_capacity(0, 4);
+        for _ in 0..4 {
+            b.push_row([]);
+        }
+        assert!(b.is_full());
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.rows().count(), 4);
+        let mut it = b.into_rows();
+        assert_eq!(it.len(), 4);
+        assert_eq!(it.next(), Some(Vec::new()));
+        assert_eq!(it.count(), 3);
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let mut b = RowBatch::with_capacity(1, 0);
+        assert!(!b.is_full());
+        b.push_row([Value::Null]);
+        assert!(b.is_full(), "capacity 0 clamps to 1");
+    }
+}

@@ -70,6 +70,13 @@ pub struct ClusterConfig {
     pub n_log_stores: usize,
     /// Compute-node buffer pool capacity, in pages.
     pub buffer_pool_pages: usize,
+    /// Rows per scan-result batch: the frontend scan accumulates
+    /// surviving rows into one reusable [`crate::RowBatch`] of this many
+    /// rows and hands it downstream in a single `on_batch` call (one
+    /// channel message on the streaming path). `1` degenerates to
+    /// row-at-a-time delivery; the default is
+    /// [`crate::batch::DEFAULT_SCAN_BATCH_ROWS`].
+    pub scan_batch_rows: usize,
     /// Worker threads per Page Store dedicated to NDP (§IV-D2).
     pub pagestore_ndp_threads: usize,
     /// Bounded NDP request queue per Page Store; overflow => best-effort
@@ -91,6 +98,7 @@ impl Default for ClusterConfig {
             replication: 3,
             n_log_stores: 3,
             buffer_pool_pages: 2048,
+            scan_batch_rows: crate::batch::DEFAULT_SCAN_BATCH_ROWS,
             pagestore_ndp_threads: 4,
             pagestore_ndp_queue: 2048,
             pagestore_versions_retained: 8,
@@ -112,6 +120,9 @@ impl ClusterConfig {
             replication: 2,
             n_log_stores: 3,
             buffer_pool_pages: 64,
+            // Deliberately tiny and odd: mid-page capacity flushes and
+            // partially-filled trailing batches get exercised everywhere.
+            scan_batch_rows: 7,
             pagestore_ndp_threads: 2,
             pagestore_ndp_queue: 16,
             pagestore_versions_retained: 8,

@@ -2,10 +2,12 @@
 //!
 //! This crate holds everything the rest of the workspace agrees on:
 //! SQL values and data types ([`value`]), table schemas and key encoding
-//! ([`schema`]), error handling ([`error`]), engine/cluster configuration
+//! ([`schema`]), the row batches of the vectorized result pipeline
+//! ([`batch`]), error handling ([`error`]), engine/cluster configuration
 //! ([`config`]) and the metrics registry used to reproduce the paper's
 //! network/CPU measurements ([`metrics`]).
 
+pub mod batch;
 pub mod config;
 pub mod error;
 pub mod ids;
@@ -13,6 +15,7 @@ pub mod metrics;
 pub mod schema;
 pub mod value;
 
+pub use batch::{RowBatch, RowBatchIter};
 pub use config::{ClusterConfig, NdpConfig, NetworkConfig};
 pub use error::{Error, Result};
 pub use ids::{IndexId, Lsn, PageNo, PageRef, SliceId, SpaceId, TrxId};

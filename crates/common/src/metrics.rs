@@ -101,8 +101,18 @@ metrics_struct! {
     pages_shipped_empty,
     /// Compute-node CPU nanoseconds (query threads + PQ workers).
     compute_cpu_ns,
-    /// Rows delivered by scans to the executor.
+    /// Rows delivered by scans to the executor, counted at batch
+    /// granularity when each batch is handed over (a consumer stopping
+    /// mid-batch still received the whole batch; a scan erroring out
+    /// still counts what it delivered before the error).
     rows_scanned,
+    /// Rows delivered inside scan-result batches (amortization
+    /// numerator; equals `rows_scanned` by construction — both are
+    /// charged at flush time, on every path).
+    rows_batched,
+    /// Scan-result batches handed to consumers (amortization denominator;
+    /// empty batches are never emitted).
+    batches_emitted,
     /// Pages whose NDP processing had to be completed by InnoDB on the
     /// compute node (raw fallback, cache-copied, or ambiguous-heavy).
     ndp_completed_on_compute,

@@ -27,6 +27,8 @@ pub use scan::{
 
 // Re-export the vocabulary types users need alongside the engine.
 pub use taurus_btree::ScanRange;
-pub use taurus_common::{ClusterConfig, Metrics, MetricsSnapshot, NdpConfig, NetworkConfig};
+pub use taurus_common::{
+    ClusterConfig, Metrics, MetricsSnapshot, NdpConfig, NetworkConfig, RowBatch,
+};
 pub use taurus_expr::agg::{AggFunc, AggSpec, AggState};
 pub use taurus_mvcc::ReadView;

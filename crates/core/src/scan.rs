@@ -20,12 +20,20 @@
 //! Everything above the scan sees only rows and aggregate partials through
 //! [`ScanConsumer`] — "the MySQL query execution layers above the storage
 //! engine are unaware of NDP processing".
+//!
+//! Delivery is **batch-at-a-time**: surviving rows accumulate into one
+//! reusable [`RowBatch`] (`ClusterConfig::scan_batch_rows`, default 1024)
+//! that is flushed to [`ScanConsumer::on_batch`] at capacity and at page
+//! boundaries — so page frames are still released as soon as a page
+//! drains, and nothing downstream pays a per-row hand-off. Aggregate
+//! partials force a flush first, keeping them ordered right after their
+//! carrier row.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use taurus_btree::{ScanRange, TreeStore};
-use taurus_common::{Error, PageNo, PageRef, Result, Value};
+use taurus_common::{Error, PageNo, PageRef, Result, RowBatch, Value};
 use taurus_expr::agg::{AggSpec, AggState};
 use taurus_expr::ast::Expr;
 use taurus_expr::descriptor::{NdpAggSpec, NdpDescriptor};
@@ -76,10 +84,29 @@ pub struct ScanSpec {
 }
 
 /// Receives scan output. Rows arrive in index-key order; aggregate
-/// partials follow their carrier row immediately.
+/// partials follow their carrier row immediately (the scan flushes its
+/// batch before delivering a partial).
+///
+/// The scan core only ever calls [`ScanConsumer::on_batch`]; the default
+/// implementation unbatches into [`ScanConsumer::on_row`], so simple
+/// (test/diagnostic) consumers need not know about batches, while hot
+/// consumers override `on_batch` and amortize per-row dispatch away.
 pub trait ScanConsumer {
     /// A row (values in `output_cols` order). Return `false` to stop.
     fn on_row(&mut self, row: &[Value]) -> Result<bool>;
+
+    /// A batch of rows (each in `output_cols` order). Return `false` to
+    /// stop the scan; stopping mid-batch discards the batch's remaining
+    /// rows, exactly like returning `false` from `on_row` always has.
+    fn on_batch(&mut self, batch: &RowBatch) -> Result<bool> {
+        for row in batch.rows() {
+            if !self.on_row(row)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
     /// Partial aggregate states attached to the just-delivered carrier row.
     fn on_partial(&mut self, states: Vec<AggState>) -> Result<bool>;
 }
@@ -87,6 +114,9 @@ pub trait ScanConsumer {
 /// Scan-side statistics for one execution.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct ScanStats {
+    /// Rows handed to the consumer, counted at batch granularity: a
+    /// consumer that stops mid-batch still received the whole batch, so
+    /// the count may exceed what it retained by up to one batch.
     pub rows_delivered: u64,
     pub pages_total: u64,
     pub pages_from_cache: u64,
@@ -183,7 +213,10 @@ pub fn build_descriptor(
     Ok(d)
 }
 
-/// Pre-resolved machinery for one scan execution.
+/// Pre-resolved, immutable machinery for one scan execution. Everything
+/// here is resolved **once per scan** — layouts and projection positions
+/// are borrowed from here for the whole scan, never cloned per page or
+/// per record.
 struct ScanCtx<'a> {
     db: &'a TaurusDb,
     index: &'a TableIndex,
@@ -200,7 +233,14 @@ struct ScanCtx<'a> {
     /// completion uses the classical interpreter, like InnoDB calling the
     /// executor's evaluation callbacks).
     pred_record: Option<Expr>,
+}
+
+/// The mutable side of a scan: statistics plus the one reusable output
+/// batch. Kept apart from [`ScanCtx`] so delivery can mutate it while
+/// record views still borrow the context's layouts.
+struct ScanState {
     stats: ScanStats,
+    batch: RowBatch,
 }
 
 impl<'a> ScanCtx<'a> {
@@ -262,13 +302,68 @@ impl<'a> ScanCtx<'a> {
             proj,
             proj_keep,
             pred_record,
-            stats: ScanStats::default(),
         })
     }
 
-    fn layout(&self) -> &RecordLayout {
+    fn fresh_state(&self) -> ScanState {
+        ScanState {
+            stats: ScanStats::default(),
+            batch: RowBatch::with_capacity(
+                self.out_pos.len(),
+                self.db.config().scan_batch_rows.max(1),
+            ),
+        }
+    }
+
+    /// The full leaf layout, borrowed for the scan's whole lifetime (the
+    /// index outlives the scan, so this does not tie up `self`).
+    fn layout(&self) -> &'a RecordLayout {
         &self.index.tree.leaf_layout
     }
+
+    // --- batched delivery ---------------------------------------------------
+
+    /// Append one output row to the batch, flushing at capacity. Returns
+    /// `false` when the consumer asked to stop.
+    fn push_row(
+        &self,
+        state: &mut ScanState,
+        row: impl IntoIterator<Item = Value>,
+        consumer: &mut dyn ScanConsumer,
+    ) -> Result<bool> {
+        state.batch.push_row(row);
+        if state.batch.is_full() {
+            return self.flush(state, consumer);
+        }
+        Ok(true)
+    }
+
+    /// Hand the buffered batch to the consumer (no-op when empty).
+    fn flush(&self, state: &mut ScanState, consumer: &mut dyn ScanConsumer) -> Result<bool> {
+        if state.batch.is_empty() {
+            return Ok(true);
+        }
+        // Delivery is counted here, at batch granularity: rows are
+        // "delivered" when their batch is handed over, so
+        // `rows_delivered`, `rows_scanned` and `rows_batched` all agree
+        // by construction — on every path, including scans that error
+        // out mid-way. A consumer stopping mid-batch counts the whole
+        // final batch (it received it), mirroring how the row-at-a-time
+        // path counted the row it stopped on.
+        state.stats.rows_delivered += state.batch.len() as u64;
+        self.db
+            .metrics()
+            .add(|m| &m.rows_scanned, state.batch.len() as u64);
+        self.db
+            .metrics()
+            .add(|m| &m.rows_batched, state.batch.len() as u64);
+        self.db.metrics().add(|m| &m.batches_emitted, 1);
+        let keep_going = consumer.on_batch(&state.batch)?;
+        state.batch.clear();
+        Ok(keep_going)
+    }
+
+    // --- per-record machinery ----------------------------------------------
 
     /// Are all records of this page within the scan range? (First/last key
     /// check — avoids per-record range checks on interior pages.)
@@ -329,19 +424,23 @@ impl<'a> ScanCtx<'a> {
 
     /// Deliver one full-layout record (visible, already filtered).
     fn deliver_full(
-        &mut self,
+        &self,
+        state: &mut ScanState,
         view_rec: &RecordView<'_>,
         consumer: &mut dyn ScanConsumer,
     ) -> Result<bool> {
-        let row: Vec<Value> = self.out_pos.iter().map(|&p| view_rec.value(p)).collect();
-        self.stats.rows_delivered += 1;
-        consumer.on_row(&row)
+        self.push_row(
+            state,
+            self.out_pos.iter().map(|&p| view_rec.value(p)),
+            consumer,
+        )
     }
 
     /// Full compute-side processing of one record image (ambiguous / raw /
     /// cached pages): visibility, undo rebuild, delete-mark, predicate.
     fn process_full_record(
-        &mut self,
+        &self,
+        state: &mut ScanState,
         bytes: &[u8],
         layout: &RecordLayout,
         check_range: bool,
@@ -353,7 +452,7 @@ impl<'a> ScanCtx<'a> {
         let rec = if self.view.visible(v.trx_id()) {
             v
         } else {
-            self.stats.ambiguous_resolved += 1;
+            state.stats.ambiguous_resolved += 1;
             match self
                 .db
                 .undo
@@ -378,44 +477,50 @@ impl<'a> ScanCtx<'a> {
                 return Ok(true);
             }
         }
-        let row: Vec<Value> = self.out_pos.iter().map(|&p| rec.value(p)).collect();
-        self.stats.rows_delivered += 1;
-        consumer.on_row(&row)
+        self.push_row(state, self.out_pos.iter().map(|&p| rec.value(p)), consumer)
     }
 
-    /// Consume one page in any form. Returns false when the consumer asked
-    /// to stop.
+    /// Consume one page in any form, flushing the batch at the page
+    /// boundary (so the caller may release the page frame immediately).
+    /// Returns false when the consumer asked to stop.
     fn consume_page(
-        &mut self,
+        &self,
+        state: &mut ScanState,
         page: &Page,
         was_processed_by_storage: bool,
         consumer: &mut dyn ScanConsumer,
     ) -> Result<bool> {
-        self.stats.pages_total += 1;
+        state.stats.pages_total += 1;
         if page.page_type() == PageType::NdpEmpty {
             return Ok(true);
         }
-        let full_layout = self.layout().clone();
-        let check_range = !self.page_fully_in_range(page, &full_layout);
+        let full_layout = self.layout();
+        let check_range = !self.page_fully_in_range(page, full_layout);
         if !was_processed_by_storage {
             // Raw or cached page: InnoDB completes all requested NDP work.
             self.db.metrics().add(|m| &m.ndp_completed_on_compute, 1);
             for off in page.iter_chain() {
                 if !self.process_full_record(
+                    state,
                     page.record_at(off),
-                    &full_layout,
+                    full_layout,
                     check_range,
                     consumer,
                 )? {
                     return Ok(false);
                 }
             }
-            return Ok(true);
+            return self.flush(state, consumer);
         }
-        // An NDP page: mixed record types (§IV-C2).
+        // An NDP page: mixed record types (§IV-C2). Resolve the layout the
+        // NDP records use once per page, not per record.
+        let (proj_layout, out_in_proj): (&RecordLayout, &[usize]) = match &self.proj {
+            Some((l, o)) => (l, o.as_slice()),
+            None => (full_layout, self.out_pos.as_slice()),
+        };
         for off in page.iter_chain() {
             let bytes = page.record_at(off);
-            let probe = RecordView::new(bytes, &full_layout);
+            let probe = RecordView::new(bytes, full_layout);
             match probe.rec_type() {
                 RecType::Ordinary => {
                     if probe.trx_id() < self.watermark {
@@ -426,23 +531,24 @@ impl<'a> ScanCtx<'a> {
                                 continue;
                             }
                         }
-                        if !self.deliver_full(&probe, consumer)? {
+                        if !self.deliver_full(state, &probe, consumer)? {
                             return Ok(false);
                         }
                     } else {
                         // Ambiguous: InnoDB does visibility/undo/predicate.
-                        if !self.process_full_record(bytes, &full_layout, check_range, consumer)? {
+                        if !self.process_full_record(
+                            state,
+                            bytes,
+                            full_layout,
+                            check_range,
+                            consumer,
+                        )? {
                             return Ok(false);
                         }
                     }
                 }
                 RecType::NdpProjection | RecType::NdpAggregate => {
-                    let (pl, out_in_proj) = self
-                        .proj
-                        .as_ref()
-                        .map(|(l, o)| (l.clone(), o.clone()))
-                        .unwrap_or_else(|| (full_layout.clone(), self.out_pos.clone()));
-                    let v = RecordView::new(bytes, &pl);
+                    let v = RecordView::new(bytes, proj_layout);
                     if check_range {
                         let key = if self.proj.is_some() {
                             self.key_of_projected(&v)
@@ -453,9 +559,7 @@ impl<'a> ScanCtx<'a> {
                             continue;
                         }
                     }
-                    let row: Vec<Value> = out_in_proj.iter().map(|&p| v.value(p)).collect();
-                    self.stats.rows_delivered += 1;
-                    if !consumer.on_row(&row)? {
+                    if !self.push_row(state, out_in_proj.iter().map(|&p| v.value(p)), consumer)? {
                         return Ok(false);
                     }
                     if probe.rec_type() == RecType::NdpAggregate {
@@ -463,7 +567,12 @@ impl<'a> ScanCtx<'a> {
                             Error::Corruption("agg record without payload".into())
                         })?;
                         let states = taurus_expr::agg::decode_states(payload)?;
-                        self.stats.partials_merged += 1;
+                        state.stats.partials_merged += 1;
+                        // Partials trail their carrier row immediately:
+                        // drain the batch before delivering them.
+                        if !self.flush(state, consumer)? {
+                            return Ok(false);
+                        }
                         if !consumer.on_partial(states)? {
                             return Ok(false);
                         }
@@ -476,7 +585,7 @@ impl<'a> ScanCtx<'a> {
                 }
             }
         }
-        Ok(true)
+        self.flush(state, consumer)
     }
 }
 
@@ -488,50 +597,59 @@ pub fn scan(
     view: &ReadView,
     consumer: &mut dyn ScanConsumer,
 ) -> Result<ScanStats> {
-    let mut ctx = ScanCtx::new(db, table, spec, view)?;
+    let ctx = ScanCtx::new(db, table, spec, view)?;
+    let mut state = ctx.fresh_state();
     match &spec.ndp {
         Some(choice) if !choice.is_empty() && db.config().ndp.enabled => {
-            ndp_scan(&mut ctx, choice, consumer)?;
+            ndp_scan(&ctx, &mut state, choice, consumer)?;
         }
         _ => {
-            regular_scan(&mut ctx, consumer)?;
+            regular_scan(&ctx, &mut state, consumer)?;
         }
     }
-    db.metrics()
-        .add(|m| &m.rows_scanned, ctx.stats.rows_delivered);
-    Ok(ctx.stats)
+    // Pages flush at their boundary, so this only fires for scans that
+    // ended without draining a page (defensive; stops leave no residue).
+    // All row metrics (`rows_scanned`, `rows_batched`) are charged inside
+    // `flush`, so errored scans account for what they delivered.
+    ctx.flush(&mut state, consumer)?;
+    Ok(state.stats)
 }
 
 /// The classical InnoDB scan: one page at a time through the buffer pool;
 /// no batch reads (§I), all filtering above.
-fn regular_scan(ctx: &mut ScanCtx<'_>, consumer: &mut dyn ScanConsumer) -> Result<ScanStats> {
+fn regular_scan(
+    ctx: &ScanCtx<'_>,
+    state: &mut ScanState,
+    consumer: &mut dyn ScanConsumer,
+) -> Result<()> {
     let store = ctx.index.store.clone();
     let tree = &ctx.index.tree;
+    let full = ctx.layout();
     let mut page = match tree.seek_leaf(store.as_ref(), &ctx.spec.range)? {
         Some(p) => p,
-        None => return Ok(ctx.stats),
+        None => return Ok(()),
     };
     loop {
-        ctx.stats.pages_total += 1;
-        let full = ctx.layout().clone();
-        let check_range = !ctx.page_fully_in_range(&page, &full);
+        state.stats.pages_total += 1;
+        let check_range = !ctx.page_fully_in_range(&page, full);
         let mut past_end = false;
         for off in page.iter_chain() {
             let bytes = page.record_at(off);
             if check_range {
-                let v = RecordView::new(bytes, &full);
+                let v = RecordView::new(bytes, full);
                 let key = tree.key_of_leaf_record(&v);
                 if ctx.spec.range.past_upper(&key) {
                     past_end = true;
                     break;
                 }
             }
-            if !ctx.process_full_record(bytes, &full, check_range, consumer)? {
-                return Ok(ctx.stats);
+            if !ctx.process_full_record(state, bytes, full, check_range, consumer)? {
+                return Ok(());
             }
         }
-        if past_end {
-            break;
+        // Page boundary: drain the batch before moving on (or stopping).
+        if !ctx.flush(state, consumer)? || past_end {
+            return Ok(());
         }
         match page.next() {
             taurus_page::NO_PAGE => break,
@@ -539,7 +657,7 @@ fn regular_scan(ctx: &mut ScanCtx<'_>, consumer: &mut dyn ScanConsumer) -> Resul
                 // Stop early if the next page starts past the range.
                 page = store.read(next)?;
                 if let Some(first_off) = page.iter_chain().next() {
-                    let v = RecordView::new(page.record_at(first_off), ctx.layout());
+                    let v = RecordView::new(page.record_at(first_off), full);
                     let key = tree.key_of_leaf_record(&v);
                     if ctx.spec.range.past_upper(&key) {
                         break;
@@ -548,16 +666,17 @@ fn regular_scan(ctx: &mut ScanCtx<'_>, consumer: &mut dyn ScanConsumer) -> Resul
             }
         }
     }
-    Ok(ctx.stats)
+    Ok(())
 }
 
 /// The NDP scan (§IV-C4): batch extraction → BP overlap check → SAL fan-out
 /// → ordered consumption with immediate frame release.
 fn ndp_scan(
-    ctx: &mut ScanCtx<'_>,
+    ctx: &ScanCtx<'_>,
+    state: &mut ScanState,
     choice: &NdpChoice,
     consumer: &mut dyn ScanConsumer,
-) -> Result<ScanStats> {
+) -> Result<()> {
     let tree = &ctx.index.tree;
     let store = ctx.index.store.clone();
     let bp = store.buffer_pool().clone();
@@ -601,27 +720,27 @@ fn ndp_scan(
         // Consume strictly in logical page order.
         for &no in &pages {
             let stop = if let Some(p) = cached.remove(&no) {
-                ctx.stats.pages_from_cache += 1;
+                state.stats.pages_from_cache += 1;
                 // Copy into the NDP area (frame released on drop).
                 let guard = bp.alloc_ndp_frame(p)?;
-                !ctx.consume_page(guard.page(), false, consumer)?
+                !ctx.consume_page(state, guard.page(), false, consumer)?
             } else {
                 match fetched.remove(&no) {
                     Some(PagePayload::Ndp(p)) => {
-                        ctx.stats.pages_ndp += 1;
+                        state.stats.pages_ndp += 1;
                         let guard = bp.alloc_ndp_frame(p)?;
-                        !ctx.consume_page(guard.page(), true, consumer)?
+                        !ctx.consume_page(state, guard.page(), true, consumer)?
                     }
                     Some(PagePayload::Raw(p)) => {
-                        ctx.stats.pages_raw += 1;
+                        state.stats.pages_raw += 1;
                         let guard = bp.alloc_ndp_frame(p)?;
-                        !ctx.consume_page(guard.page(), false, consumer)?
+                        !ctx.consume_page(state, guard.page(), false, consumer)?
                     }
                     None => return Err(Error::Internal(format!("page {no} missing from batch"))),
                 }
             };
             if stop {
-                return Ok(ctx.stats);
+                return Ok(());
             }
         }
         match next_resume {
@@ -629,7 +748,7 @@ fn ndp_scan(
             None => break,
         }
     }
-    Ok(ctx.stats)
+    Ok(())
 }
 
 /// Split a table access into `parts` disjoint ranges along level-1

@@ -571,8 +571,117 @@ fn rollback_restores_old_images() {
         .is_some());
 }
 
+/// The batch counters must account for every delivered row: batching is
+/// observable (`rows_batched` / `batches_emitted`) and lossless.
+#[test]
+fn batch_counters_account_for_all_rows() {
+    let (db, t) = fresh_db(2000);
+    let spec = ScanSpec {
+        index: 0,
+        range: ScanRange::full(),
+        ndp: None,
+        output_cols: vec![0, 1],
+    };
+    let batch_rows = db.config().scan_batch_rows as u64; // 7 in small_for_tests
+    let before = db.metrics().snapshot();
+    let c = run(&db, &t, &spec, Collector::plain());
+    let d = db.metrics().snapshot().since(&before);
+    assert_eq!(c.rows.len(), 2000);
+    assert_eq!(d.rows_batched, 2000, "every delivered row rides a batch");
+    assert_eq!(d.rows_batched, d.rows_scanned);
+    assert!(
+        d.batches_emitted >= 2000 / batch_rows,
+        "at least ceil(rows/batch) flushes: {}",
+        d.batches_emitted
+    );
+    assert!(
+        d.batches_emitted < 2000,
+        "batches must amortize rows, got {} batches for 2000 rows",
+        d.batches_emitted
+    );
+}
+
+/// Empty tables emit no batches; a single row makes a single-row batch.
+#[test]
+fn empty_table_and_single_row_batches() {
+    for n in [0i64, 1] {
+        let (db, t) = fresh_db(n);
+        let spec = ScanSpec {
+            index: 0,
+            range: ScanRange::full(),
+            ndp: None,
+            output_cols: vec![0, 1, 2],
+        };
+        let before = db.metrics().snapshot();
+        let c = run(&db, &t, &spec, Collector::plain());
+        let d = db.metrics().snapshot().since(&before);
+        assert_eq!(c.rows.len(), n as usize);
+        assert_eq!(d.rows_batched, n as u64);
+        assert_eq!(d.batches_emitted, n as u64, "empty batches are not emitted");
+        // The NDP path agrees.
+        db.buffer_pool().clear();
+        let ndp_spec = ScanSpec {
+            ndp: Some(NdpChoice {
+                projection: Some(vec![0, 1, 2]),
+                ..Default::default()
+            }),
+            ..spec
+        };
+        let c2 = run(&db, &t, &ndp_spec, Collector::plain());
+        assert_eq!(c2.rows, c.rows);
+    }
+}
+
+/// A batch-native consumer that stops after its first batch: the scan
+/// must terminate immediately and deliver exactly one (full) batch.
+#[test]
+fn batch_native_consumer_stops_after_first_batch() {
+    use taurus_common::RowBatch;
+    struct OneBatch {
+        rows: usize,
+        batches: usize,
+    }
+    impl ScanConsumer for OneBatch {
+        fn on_row(&mut self, _row: &[Value]) -> taurus_common::Result<bool> {
+            panic!("scan core must deliver through on_batch");
+        }
+        fn on_batch(&mut self, batch: &RowBatch) -> taurus_common::Result<bool> {
+            self.rows += batch.len();
+            self.batches += 1;
+            Ok(false)
+        }
+        fn on_partial(&mut self, _s: Vec<AggState>) -> taurus_common::Result<bool> {
+            unreachable!("plain scan has no partials")
+        }
+    }
+    let (db, t) = fresh_db(2000);
+    let spec = ScanSpec {
+        index: 0,
+        range: ScanRange::full(),
+        ndp: None,
+        output_cols: vec![0, 1],
+    };
+    let mut c = OneBatch {
+        rows: 0,
+        batches: 0,
+    };
+    let view = db.read_view(0);
+    scan(&db, &t, &spec, &view, &mut c).unwrap();
+    assert_eq!(c.batches, 1);
+    // Between 1 row and the configured capacity (exactly the capacity
+    // unless a page boundary legitimately flushed the batch earlier).
+    assert!(
+        c.rows >= 1 && c.rows <= db.config().scan_batch_rows,
+        "first batch had {} rows",
+        c.rows
+    );
+}
+
 #[test]
 fn early_stop_via_consumer() {
+    // 17 deliberately lands mid-batch (scan_batch_rows = 7 in
+    // small_for_tests): the row-level stop must hold exactly even though
+    // delivery is batched.
     let (db, t) = fresh_db(2000);
     let spec = ScanSpec {
         index: 0,

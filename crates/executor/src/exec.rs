@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 
 use taurus_common::schema::Row;
-use taurus_common::{Dec, Error, Result, Value};
+use taurus_common::{Dec, Error, Result, RowBatch, Value};
 use taurus_expr::agg::{AggSpec, AggState};
 use taurus_expr::ast::Expr;
 use taurus_expr::eval::{eval, eval_pred};
@@ -134,6 +134,17 @@ pub(crate) fn scan_spec(
     })
 }
 
+/// Does `row` pass every residual predicate conjunct? The one shared
+/// definition of residual semantics for all scan consumers.
+pub(crate) fn residual_survives(residual: &[Expr], row: &[Value]) -> Result<bool> {
+    for p in residual {
+        if eval_pred(p, row)? != Some(true) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
 /// Map table-column expressions onto scan-output positions.
 pub(crate) fn remap_to_output(e: &Expr, output: &[usize]) -> Expr {
     e.remap_columns(&|c| {
@@ -149,14 +160,29 @@ struct RowCollector {
     residual: Vec<Expr>,
 }
 
+impl RowCollector {
+    fn accept(&mut self, row: &[Value]) -> Result<()> {
+        if residual_survives(&self.residual, row)? {
+            self.rows.push(row.to_vec());
+        }
+        Ok(())
+    }
+}
+
 impl ScanConsumer for RowCollector {
     fn on_row(&mut self, row: &[Value]) -> Result<bool> {
-        for p in &self.residual {
-            if eval_pred(p, row)? != Some(true) {
-                return Ok(true);
-            }
+        self.accept(row)?;
+        Ok(true)
+    }
+
+    fn on_batch(&mut self, batch: &RowBatch) -> Result<bool> {
+        if self.residual.is_empty() {
+            // Every row survives: reserve exactly once per batch.
+            self.rows.reserve(batch.len());
         }
-        self.rows.push(row.to_vec());
+        for row in batch.rows() {
+            self.accept(row)?;
+        }
         Ok(true)
     }
 
@@ -375,14 +401,10 @@ impl StreamAggConsumer<'_> {
             self.done.push(g);
         }
     }
-}
 
-impl ScanConsumer for StreamAggConsumer<'_> {
-    fn on_row(&mut self, row: &[Value]) -> Result<bool> {
-        for p in &self.residual {
-            if eval_pred(p, row)? != Some(true) {
-                return Ok(true);
-            }
+    fn accept(&mut self, row: &[Value]) -> Result<()> {
+        if !residual_survives(&self.residual, row)? {
+            return Ok(());
         }
         let gvals: Row = self.group_pos.iter().map(|&p| row[p].clone()).collect();
         let key = group_key_bytes(&gvals);
@@ -401,6 +423,17 @@ impl ScanConsumer for StreamAggConsumer<'_> {
                 Some(e) => st.update(&eval(e, row)?),
             }
         }
+        Ok(())
+    }
+}
+
+impl ScanConsumer for StreamAggConsumer<'_> {
+    // Batches arrive through the trait's default `on_batch`, which
+    // unbatches into `on_row` with static (monomorphized) calls. The scan
+    // flushes its batch before any `on_partial`, so the carrier row is
+    // always in `current` by the time partials arrive.
+    fn on_row(&mut self, row: &[Value]) -> Result<bool> {
+        self.accept(row)?;
         Ok(true)
     }
 

@@ -9,6 +9,11 @@
 //! aggregation follows §III: "AVG is computed by keeping SUM and COUNT
 //! values per thread, and a separate 'leader' thread then aggregates the
 //! partial values."
+//!
+//! Each worker's sub-scan delivers batch-at-a-time into the shared
+//! batch-native consumers (`RowCollector` / `StreamAggConsumer`), so the
+//! per-row hand-off cost inside a worker is the same amortized cost as a
+//! serial scan; the leader then merges whole per-worker results.
 
 use taurus_common::metrics::CpuGuard;
 use taurus_common::schema::Row;
@@ -106,12 +111,24 @@ pub(crate) fn exec_exchange(node: &ExchangeNode, ctx: &ExecContext<'_>) -> Resul
     })
     .expect("pq scope");
 
-    // Leader merge.
-    let mut rows: Vec<Row> = Vec::new();
+    // Leader merge: collect every worker's output first (surfacing the
+    // first error), then concatenate rows with one exact reservation.
+    let mut outs = Vec::with_capacity(results.len());
+    for r in results {
+        outs.push(r?);
+    }
+    let total_rows: usize = outs
+        .iter()
+        .map(|o| match o {
+            WorkerOut::Rows(rs) => rs.len(),
+            WorkerOut::Partials(_) => 0,
+        })
+        .sum();
+    let mut rows: Vec<Row> = Vec::with_capacity(total_rows);
     let mut partials: Vec<AggPartials> = Vec::new();
     let mut saw_partials = false;
-    for r in results {
-        match r? {
+    for o in outs {
+        match o {
             WorkerOut::Rows(mut rs) => rows.append(&mut rs),
             WorkerOut::Partials(p) => {
                 saw_partials = true;

@@ -3,31 +3,38 @@
 //! [`RowStream`] is the default result type of the [`crate::Session`]
 //! facade: a pull-based iterator of rows. For plain table scans it is
 //! backed by the engine's push-based [`ScanConsumer`] callbacks running on
-//! a producer thread behind a small bounded channel, so the scan advances
-//! only as fast as the consumer pulls — dropping the stream early stops
-//! the scan after at most one channel's worth of look-ahead, and a full
-//! result set is never materialized at the API boundary. Pipeline-breaking
-//! plans (aggregation, joins, sorts) materialize at their breaker exactly
-//! as the Volcano executor always has, and stream the final operator's
+//! a producer thread behind a small bounded channel of **row batches**:
+//! the scan delivers whole [`RowBatch`]es, the producer sends one channel
+//! message per batch (not per row), and the iterator pops rows from its
+//! current batch locally. The scan advances only as fast as the consumer
+//! pulls — dropping the stream early stops the scan after at most one
+//! channel's worth of batch look-ahead — and a full result set is never
+//! materialized at the API boundary. Pipeline-breaking plans
+//! (aggregation, joins, sorts) materialize at their breaker exactly as
+//! the Volcano executor always has, and stream the final operator's
 //! output from memory.
 
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use taurus_common::batch::RowBatchIter;
 use taurus_common::metrics::CpuGuard;
 use taurus_common::schema::Row;
-use taurus_common::{Result, Value};
+use taurus_common::{Result, RowBatch, Value};
 use taurus_expr::agg::AggState;
 use taurus_expr::ast::Expr;
-use taurus_expr::eval::eval_pred;
 use taurus_ndp::{scan, ReadView, ScanConsumer, TaurusDb};
 use taurus_optimizer::plan::ScanNode;
 
-use crate::exec::{remap_to_output, scan_spec, ExecContext};
+use crate::exec::{remap_to_output, residual_survives, scan_spec, ExecContext};
 
-/// How many rows the scan may run ahead of the consumer.
-pub(crate) const STREAM_CHANNEL_ROWS: usize = 256;
+/// How many row batches the scan may run ahead of the consumer. The
+/// look-ahead bound is batch-granular now: up to this many queued
+/// batches plus the one being built, i.e. ~3 × `scan_batch_rows` rows
+/// of materialized look-ahead at most — kept small deliberately so an
+/// abandoned stream wastes little scan work and memory.
+pub(crate) const STREAM_CHANNEL_BATCHES: usize = 2;
 
 /// An iterator of query result rows; see the module docs for which plans
 /// stream from storage and which stream from a materialized breaker.
@@ -38,7 +45,9 @@ pub struct RowStream {
 enum StreamInner {
     /// Live scan on a producer thread; ends when the channel drains.
     Scan {
-        rx: Receiver<Result<Row>>,
+        rx: Receiver<Result<RowBatch>>,
+        /// Rows of the most recently received batch, popped locally.
+        cur: RowBatchIter,
         producer: Option<JoinHandle<()>>,
     },
     /// Output of a materializing operator.
@@ -53,48 +62,65 @@ impl RowStream {
     }
 
     /// Spawn a producer thread scanning `node` under `view`, delivering
-    /// rows through a bounded channel. `project` optionally narrows each
-    /// delivered row to the given scan-output positions (the builder uses
-    /// this to hide predicate-only columns).
+    /// row batches through a bounded channel. `project` optionally narrows
+    /// each delivered row to the given scan-output positions (the builder
+    /// uses this to hide predicate-only columns).
     pub(crate) fn spawn_scan(
         db: Arc<TaurusDb>,
         node: ScanNode,
         view: ReadView,
         project: Option<Vec<usize>>,
     ) -> RowStream {
-        let (tx, rx) = sync_channel::<Result<Row>>(STREAM_CHANNEL_ROWS);
+        let (tx, rx) = sync_channel::<Result<RowBatch>>(STREAM_CHANNEL_BATCHES);
         let producer = std::thread::Builder::new()
             .name("taurus-row-stream".into())
             .spawn(move || {
                 // The producer is a compute-node thread: its CPU lands in
                 // `compute_cpu_ns`, like any query thread.
                 let _cpu = CpuGuard::new(&db.metrics().compute_cpu_ns);
-                let result = (|| -> Result<()> {
-                    let table = db.table(&node.table)?;
-                    let ctx = ExecContext { db: &db, view };
-                    let spec = scan_spec(&node, &ctx, None, None)?;
-                    let residual: Vec<Expr> = node
-                        .residual_conjuncts()
-                        .into_iter()
-                        .map(|e| remap_to_output(e, &node.output))
-                        .collect();
-                    let mut consumer = ChannelConsumer {
-                        tx: &tx,
-                        residual,
-                        project,
-                    };
-                    scan(ctx.db, &table, &spec, &ctx.view, &mut consumer)?;
-                    Ok(())
-                })();
-                if let Err(e) = result {
+                // A panic must surface as a stream error, not as a clean
+                // (truncated!) end-of-stream: catch it and send it over.
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Result<()> {
+                        let table = db.table(&node.table)?;
+                        let ctx = ExecContext { db: &db, view };
+                        let spec = scan_spec(&node, &ctx, None, None)?;
+                        let residual: Vec<Expr> = node
+                            .residual_conjuncts()
+                            .into_iter()
+                            .map(|e| remap_to_output(e, &node.output))
+                            .collect();
+                        let mut consumer = ChannelConsumer {
+                            tx: &tx,
+                            residual,
+                            project,
+                        };
+                        scan(ctx.db, &table, &spec, &ctx.view, &mut consumer)?;
+                        Ok(())
+                    }));
+                match result {
+                    Ok(Ok(())) => {}
                     // Receiver may already be gone; nothing else to do then.
-                    let _ = tx.send(Err(e));
+                    Ok(Err(e)) => {
+                        let _ = tx.send(Err(e));
+                    }
+                    Err(panic) => {
+                        let msg = panic
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| panic.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".into());
+                        let _ = tx.send(Err(taurus_common::Error::Internal(format!(
+                            "row-stream producer panicked: {msg}"
+                        ))));
+                    }
                 }
             })
             .expect("spawn row-stream producer");
         RowStream {
             inner: StreamInner::Scan {
                 rx,
+                cur: RowBatchIter::empty(),
                 producer: Some(producer),
             },
         }
@@ -111,7 +137,16 @@ impl Iterator for RowStream {
 
     fn next(&mut self) -> Option<Result<Row>> {
         match &mut self.inner {
-            StreamInner::Scan { rx, .. } => rx.recv().ok(),
+            StreamInner::Scan { rx, cur, .. } => loop {
+                if let Some(row) = cur.next() {
+                    return Some(Ok(row));
+                }
+                match rx.recv() {
+                    Ok(Ok(batch)) => *cur = batch.into_rows(),
+                    Ok(Err(e)) => return Some(Err(e)),
+                    Err(_) => return None, // producer finished
+                }
+            },
             StreamInner::Rows(it) => it.next().map(Ok),
         }
     }
@@ -119,9 +154,10 @@ impl Iterator for RowStream {
 
 impl Drop for RowStream {
     fn drop(&mut self) {
-        if let StreamInner::Scan { rx, producer } = &mut self.inner {
+        if let StreamInner::Scan { rx, producer, .. } = &mut self.inner {
             // Unblock the producer (its next send fails), then join it so
-            // no scan outlives the stream handle.
+            // no scan outlives the stream handle. Batches already buffered
+            // locally in `cur` are simply dropped.
             drop(std::mem::replace(rx, sync_channel(1).1));
             if let Some(h) = producer.take() {
                 let _ = h.join();
@@ -130,26 +166,61 @@ impl Drop for RowStream {
     }
 }
 
-/// ScanConsumer that forwards surviving rows into the channel.
+/// ScanConsumer that forwards surviving rows into the channel, one
+/// message per batch.
 struct ChannelConsumer<'a> {
-    tx: &'a SyncSender<Result<Row>>,
+    tx: &'a SyncSender<Result<RowBatch>>,
     /// Residual predicate conjuncts over scan-output positions.
     residual: Vec<Expr>,
     /// Narrow delivered rows to these scan-output positions.
     project: Option<Vec<usize>>,
 }
 
+impl ChannelConsumer<'_> {
+    fn survives(&self, row: &[Value]) -> Result<bool> {
+        residual_survives(&self.residual, row)
+    }
+
+    fn out_width(&self, in_width: usize) -> usize {
+        self.project.as_ref().map_or(in_width, |keep| keep.len())
+    }
+
+    fn push_projected(&self, out: &mut RowBatch, row: &[Value]) {
+        match &self.project {
+            Some(keep) => out.push_row(keep.iter().map(|&p| row[p].clone())),
+            None => out.push_row(row.iter().cloned()),
+        }
+    }
+}
+
 impl ScanConsumer for ChannelConsumer<'_> {
     fn on_row(&mut self, row: &[Value]) -> Result<bool> {
-        for p in &self.residual {
-            if eval_pred(p, row)? != Some(true) {
-                return Ok(true);
+        // Row-at-a-time fallback (the scan core always batches): wrap the
+        // row in a single-row batch.
+        if !self.survives(row)? {
+            return Ok(true);
+        }
+        let mut out = RowBatch::with_capacity(self.out_width(row.len()), 1);
+        self.push_projected(&mut out, row);
+        Ok(self.tx.send(Ok(out)).is_ok())
+    }
+
+    fn on_batch(&mut self, batch: &RowBatch) -> Result<bool> {
+        if self.residual.is_empty() && self.project.is_none() {
+            // Nothing to filter or narrow: forward the batch as-is (one
+            // allocation, one value clone — no per-row rebuild).
+            return Ok(self.tx.send(Ok(batch.clone())).is_ok());
+        }
+        let mut out = RowBatch::with_capacity(self.out_width(batch.width()), batch.len());
+        for row in batch.rows() {
+            if self.survives(row)? {
+                self.push_projected(&mut out, row);
             }
         }
-        let out: Row = match &self.project {
-            Some(keep) => keep.iter().map(|&p| row[p].clone()).collect(),
-            None => row.to_vec(),
-        };
+        if out.is_empty() {
+            // Everything filtered: nothing to hand over, keep scanning.
+            return Ok(true);
+        }
         // A closed receiver means the consumer stopped pulling (dropped
         // stream, early break): end the scan without error.
         Ok(self.tx.send(Ok(out)).is_ok())

@@ -71,7 +71,7 @@ pub mod prelude {
     pub use taurus_common::schema::{Column, Row, TableSchema};
     pub use taurus_common::{
         ClusterConfig, DataType, Date32, Dec, Error, Metrics, MetricsSnapshot, NdpConfig, Result,
-        Value,
+        RowBatch, Value,
     };
     pub use taurus_executor::dsl::{col, date, dec, lit, nth, QExpr};
     pub use taurus_executor::{Agg, Explained, QueryBuilder, QueryRun, RowStream, Session};

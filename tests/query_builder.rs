@@ -357,6 +357,80 @@ fn builder_ndp_on_equals_off() {
     assert_eq!(off, on);
 }
 
+// --- batched streaming ---------------------------------------------------
+
+/// LIMIT landing mid-batch (scan_batch_rows = 7 in small_for_tests) must
+/// truncate exactly, matching a prefix of the unlimited result.
+#[test]
+fn limit_lands_mid_batch() {
+    let db = tpch_db();
+    let session = Session::new(&db);
+    let q = || {
+        session
+            .query("lineitem")
+            .unwrap()
+            .select(["l_orderkey", "l_linenumber", "l_quantity"])
+    };
+    let all = q().collect_rows().unwrap();
+    for n in [1usize, 7, 10, 20] {
+        let lim = q().limit(n).collect_rows().unwrap();
+        assert_eq!(lim.len(), n);
+        assert_eq!(lim, all[..n], "limit {n} must be a prefix");
+        // The streaming path agrees with the materializing path.
+        let streamed: Vec<Row> = q().stream().unwrap().take(n).map(|r| r.unwrap()).collect();
+        assert_eq!(streamed, all[..n]);
+    }
+}
+
+/// Dropping a stream mid-batch must unblock the producer thread and join
+/// it (the test hanging = regression); the session stays usable.
+#[test]
+fn stream_dropped_mid_batch_unblocks_producer() {
+    let db = tpch_db();
+    let session = Session::new(&db);
+    let mut stream = session.query("lineitem").unwrap().stream().unwrap();
+    for _ in 0..3 {
+        stream.next().unwrap().unwrap();
+    }
+    drop(stream); // joins the producer; must not hang
+    let rows = session.query("region").unwrap().collect_rows().unwrap();
+    assert!(!rows.is_empty(), "session survives a dropped stream");
+}
+
+/// A stream whose residual filters everything ends cleanly: no rows, no
+/// error, producer joined.
+#[test]
+fn empty_stream_terminates() {
+    let db = tpch_db();
+    let session = Session::new(&db);
+    let mut stream = session
+        .query("lineitem")
+        .unwrap()
+        .filter(col("l_orderkey").lt(0i64))
+        .stream()
+        .unwrap();
+    assert!(stream.next().is_none());
+}
+
+/// Full-stream drain equals collect_rows (one batch boundary cannot drop
+/// or duplicate rows).
+#[test]
+fn stream_drain_equals_collect() {
+    let db = tpch_db();
+    let session = Session::new(&db);
+    let q = || {
+        session
+            .query("orders")
+            .unwrap()
+            .select(["o_orderkey", "o_totalprice"])
+            .filter(col("o_orderkey").le(500i64))
+    };
+    let collected = q().collect_rows().unwrap();
+    let streamed: Vec<Row> = q().stream().unwrap().map(|r| r.unwrap()).collect();
+    assert_eq!(streamed, collected);
+    assert!(!collected.is_empty());
+}
+
 #[test]
 fn order_by_and_limit_shape_results() {
     let db = tpch_db();
