@@ -103,6 +103,23 @@ impl RowBatch {
         }
     }
 
+    /// Reserve room for `additional` more rows (one allocation instead of
+    /// per-row growth — operators that know a batch's output bound call
+    /// this once before their emit loop).
+    pub fn reserve_rows(&mut self, additional: usize) {
+        self.values.reserve(additional * self.width.max(1));
+    }
+
+    /// Keep only the first `n` rows (no-op when `n >= len`). The batch
+    /// keeps its allocation; LIMIT uses this to cut the final batch at
+    /// the row boundary.
+    pub fn truncate_rows(&mut self, n: usize) {
+        if n < self.len {
+            self.values.truncate(n * self.width);
+            self.len = n;
+        }
+    }
+
     /// Drop all rows, keeping the allocation for reuse.
     pub fn clear(&mut self) {
         self.values.clear();
@@ -231,6 +248,21 @@ mod tests {
         assert_eq!(it.len(), 4);
         assert_eq!(it.next(), Some(Vec::new()));
         assert_eq!(it.count(), 3);
+    }
+
+    #[test]
+    fn truncate_rows_cuts_at_row_boundary() {
+        let mut b = RowBatch::with_capacity(2, 4);
+        for i in 0..4i64 {
+            b.push_row([Value::Int(i), Value::Int(-i)]);
+        }
+        b.truncate_rows(9); // no-op past the end
+        assert_eq!(b.len(), 4);
+        b.truncate_rows(2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.row(1), &[Value::Int(1), Value::Int(-1)]);
+        b.truncate_rows(0);
+        assert!(b.is_empty());
     }
 
     #[test]

@@ -6,6 +6,21 @@
 //! (§IV-D2), the descriptor cache toggle (§IV-D1) and the network model
 //! that reproduces the I/O-bound behaviour of §VII-A.
 
+/// `TAURUS_SCAN_BATCH_ROWS` override for [`ClusterConfig::scan_batch_rows`]
+/// (applied by both config constructors). CI runs the whole test suite
+/// with this pinned to `1` so row-at-a-time delivery — every mid-batch
+/// edge degenerated to a batch boundary — stays a permanently exercised
+/// configuration. Invalid or zero values are ignored.
+fn scan_batch_rows_env_override(default: usize) -> usize {
+    match std::env::var("TAURUS_SCAN_BATCH_ROWS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => default,
+        },
+        Err(_) => default,
+    }
+}
+
 /// NDP behaviour knobs (compute-node side decisions + Page Store limits).
 #[derive(Clone, Debug)]
 pub struct NdpConfig {
@@ -98,7 +113,7 @@ impl Default for ClusterConfig {
             replication: 3,
             n_log_stores: 3,
             buffer_pool_pages: 2048,
-            scan_batch_rows: crate::batch::DEFAULT_SCAN_BATCH_ROWS,
+            scan_batch_rows: scan_batch_rows_env_override(crate::batch::DEFAULT_SCAN_BATCH_ROWS),
             pagestore_ndp_threads: 4,
             pagestore_ndp_queue: 2048,
             pagestore_versions_retained: 8,
@@ -122,7 +137,7 @@ impl ClusterConfig {
             buffer_pool_pages: 64,
             // Deliberately tiny and odd: mid-page capacity flushes and
             // partially-filled trailing batches get exercised everywhere.
-            scan_batch_rows: 7,
+            scan_batch_rows: scan_batch_rows_env_override(7),
             pagestore_ndp_threads: 2,
             pagestore_ndp_queue: 16,
             pagestore_versions_retained: 8,

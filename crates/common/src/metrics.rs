@@ -113,6 +113,14 @@ metrics_struct! {
     /// Scan-result batches handed to consumers (amortization denominator;
     /// empty batches are never emitted).
     batches_emitted,
+    /// Rows emitted by executor pipeline operators, charged at each
+    /// operator's emit site (`next_batch` returning a batch). One row
+    /// flowing through k operators counts k times — this is a pipeline
+    /// *traffic* counter, not a result-row counter.
+    operator_rows,
+    /// Batches emitted by executor pipeline operators (traffic
+    /// denominator for `operator_rows`; empty batches are never emitted).
+    operator_batches,
     /// Pages whose NDP processing had to be completed by InnoDB on the
     /// compute node (raw fallback, cache-copied, or ambiguous-heavy).
     ndp_completed_on_compute,

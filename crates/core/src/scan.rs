@@ -91,6 +91,13 @@ pub struct ScanSpec {
 /// implementation unbatches into [`ScanConsumer::on_row`], so simple
 /// (test/diagnostic) consumers need not know about batches, while hot
 /// consumers override `on_batch` and amortize per-row dispatch away.
+///
+/// Returning `false` is the engine's **cancellation contract**: the
+/// executor's pull pipeline maps a closed batch channel (dropped stream,
+/// satisfied LIMIT) onto it, so storage-side work — look-ahead
+/// extraction, batch reads, NDP frames — stops within one batch of the
+/// consumer losing interest. No further callback is made after a
+/// `false`.
 pub trait ScanConsumer {
     /// A row (values in `output_cols` order). Return `false` to stop.
     fn on_row(&mut self, row: &[Value]) -> Result<bool>;

@@ -594,11 +594,18 @@ fn batch_counters_account_for_all_rows() {
         "at least ceil(rows/batch) flushes: {}",
         d.batches_emitted
     );
-    assert!(
-        d.batches_emitted < 2000,
-        "batches must amortize rows, got {} batches for 2000 rows",
-        d.batches_emitted
-    );
+    // Amortization only exists for batch sizes > 1; under the degenerate
+    // row-at-a-time configuration (TAURUS_SCAN_BATCH_ROWS=1 in CI) every
+    // row is its own batch by construction.
+    if batch_rows > 1 {
+        assert!(
+            d.batches_emitted < 2000,
+            "batches must amortize rows, got {} batches for 2000 rows",
+            d.batches_emitted
+        );
+    } else {
+        assert_eq!(d.batches_emitted, 2000);
+    }
 }
 
 /// Empty tables emit no batches; a single row makes a single-row batch.

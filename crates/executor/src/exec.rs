@@ -1,12 +1,19 @@
-//! The Volcano-style executor.
+//! The executor's scan/aggregate/join machinery and the `execute()`
+//! entry point.
 //!
-//! Operators materialize row vectors between pipeline breakers, but scans
-//! fuse residual filtering and aggregation into the consumer so a table
-//! scan never materializes more than survives. The executor is the "SQL
-//! layer" of the paper: it provides the evaluation and accumulation
-//! callbacks, evaluates residual predicates, and merges NDP aggregate
-//! partials — without knowing whether the work below happened in a Page
-//! Store or on the compute node.
+//! Since the batch-native pull pipeline ([`crate::op`]) landed,
+//! `execute()` is a thin collect over the lowered operator tree: rows
+//! flow batch-at-a-time between operators, only genuine pipeline
+//! breakers (sort, aggregation, hash-join build, PQ gather) materialize,
+//! and `LIMIT` cancels its producing scans instead of truncating a
+//! materialized input. This module keeps the shared execution machinery
+//! the operators (and the PQ worker paths in [`crate::parallel`]) are
+//! built from: NDP-aware scan specs and consumers, streaming/hash
+//! aggregation with partial-merge support, and index lookup probing.
+//! The executor is the "SQL layer" of the paper: it evaluates residual
+//! predicates and merges NDP aggregate partials — without knowing
+//! whether the work below happened in a Page Store or on the compute
+//! node.
 
 use std::collections::HashMap;
 
@@ -37,61 +44,23 @@ impl<'a> ExecContext<'a> {
     }
 }
 
-/// Execute a plan to completion.
+/// Execute a plan to completion: lower it to the batch-native pull
+/// pipeline ([`crate::op`]) and collect every emitted batch. Scan
+/// producers run on scoped threads and are joined (or cancelled, on
+/// error/limit) before this returns.
 pub fn execute(plan: &Plan, ctx: &ExecContext<'_>) -> Result<Vec<Row>> {
-    match plan {
-        Plan::Scan(s) => exec_scan(s, ctx, None),
-        Plan::AggScan(a) => {
-            let partials = exec_agg_scan_partials(a, ctx, None)?;
-            finalize_agg_groups(partials)
+    crossbeam::thread::scope(|s| -> Result<Vec<Row>> {
+        let mut root = crate::op::lower(plan, ctx, s)?;
+        root.open()?;
+        let mut out: Vec<Row> = Vec::new();
+        while let Some(batch) = root.next_batch()? {
+            out.reserve(batch.len());
+            out.extend(batch.into_rows());
         }
-        Plan::LookupJoin(j) => exec_lookup_join(j, ctx, None),
-        Plan::HashJoin(j) => exec_hash_join(j, ctx),
-        Plan::HashAgg(a) => {
-            let partials = exec_hash_agg_partials(a, ctx, None)?;
-            finalize_agg_groups(partials)
-        }
-        Plan::Project(p) => {
-            let input = execute(&p.input, ctx)?;
-            input
-                .into_iter()
-                .map(|r| p.exprs.iter().map(|e| eval(e, &r)).collect())
-                .collect()
-        }
-        Plan::Filter(f) => {
-            let input = execute(&f.input, ctx)?;
-            let mut out = Vec::new();
-            for r in input {
-                if eval_pred(&f.predicate, &r)? == Some(true) {
-                    out.push(r);
-                }
-            }
-            Ok(out)
-        }
-        Plan::Sort(s) => {
-            let mut rows = execute(&s.input, ctx)?;
-            rows.sort_by(|a, b| {
-                for (pos, desc) in &s.keys {
-                    let ord = a[*pos].cmp_total(&b[*pos]);
-                    let ord = if *desc { ord.reverse() } else { ord };
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
-                }
-                std::cmp::Ordering::Equal
-            });
-            if let Some(n) = s.limit {
-                rows.truncate(n);
-            }
-            Ok(rows)
-        }
-        Plan::Limit { input, n } => {
-            let mut rows = execute(input, ctx)?;
-            rows.truncate(*n);
-            Ok(rows)
-        }
-        Plan::Exchange(e) => crate::parallel::exec_exchange(e, ctx),
-    }
+        root.close();
+        Ok(out)
+    })
+    .expect("executor scope panicked")
 }
 
 // --- scans -------------------------------------------------------------------
@@ -510,6 +479,73 @@ pub(crate) fn exec_agg_scan_partials(
     Ok(c.done)
 }
 
+/// Streaming accumulator for generic hash aggregation: rows (from any
+/// source — materialized vectors on the PQ worker path, pulled batches in
+/// the operator pipeline) update grouped states one at a time; only the
+/// grouped partials are ever held.
+pub(crate) struct HashAggAcc<'a> {
+    node: &'a HashAggNode,
+    /// Input dtypes are unknowable in general; agg inputs are evaluated
+    /// per row, so states infer their shape from the first value.
+    dtypes: Vec<taurus_common::DataType>,
+    map: HashMap<Vec<u8>, (Row, Vec<AggStateEx>)>,
+}
+
+impl<'a> HashAggAcc<'a> {
+    pub(crate) fn new(node: &'a HashAggNode) -> HashAggAcc<'a> {
+        HashAggAcc {
+            node,
+            dtypes: Vec::new(),
+            map: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn update(&mut self, row: &[Value]) -> Result<()> {
+        let gvals: Row = self
+            .node
+            .group
+            .iter()
+            .map(|e| eval(e, row))
+            .collect::<Result<_>>()?;
+        let key = group_key_bytes(&gvals);
+        let entry = self.map.entry(key).or_insert_with(|| {
+            (
+                gvals.clone(),
+                self.node
+                    .aggs
+                    .iter()
+                    .map(|i| AggStateEx::new(i, &self.dtypes))
+                    .collect(),
+            )
+        });
+        for (st, item) in entry.1.iter_mut().zip(&self.node.aggs) {
+            match &item.input {
+                None => st.update(&Value::Int(1)),
+                Some(e) => st.update(&eval(e, row)?),
+            }
+        }
+        Ok(())
+    }
+
+    /// Grouped partials in encoded-key order (deterministic regardless of
+    /// hash-map iteration order).
+    pub(crate) fn finish(self) -> AggPartials {
+        if self.map.is_empty() && self.node.group.is_empty() {
+            // Scalar aggregate over an empty input: one all-initial group.
+            let states: Vec<AggStateEx> = self
+                .node
+                .aggs
+                .iter()
+                .map(|i| AggStateEx::new(i, &self.dtypes))
+                .collect();
+            return vec![(Vec::new(), Vec::new(), states)];
+        }
+        let mut out: AggPartials = self.map.into_iter().map(|(k, (g, s))| (k, g, s)).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
 /// Run a generic HashAgg, returning mergeable partial groups. When the
 /// input is a scan and `range_override` is given, the scan is bounded (PQ
 /// worker path).
@@ -527,49 +563,170 @@ pub(crate) fn exec_hash_agg_partials(
             ))
         }
     };
-    // Input dtypes are unknowable in general; agg inputs are evaluated per
-    // row, so states infer their shape from the first value.
-    let dtypes: Vec<taurus_common::DataType> = Vec::new();
-    let mut map: HashMap<Vec<u8>, (Row, Vec<AggStateEx>)> = HashMap::new();
+    let mut acc = HashAggAcc::new(node);
     for row in rows {
-        let gvals: Row = node
-            .group
-            .iter()
-            .map(|e| eval(e, &row))
-            .collect::<Result<_>>()?;
-        let key = group_key_bytes(&gvals);
-        let entry = map.entry(key).or_insert_with(|| {
-            (
-                gvals.clone(),
-                node.aggs
-                    .iter()
-                    .map(|i| AggStateEx::new(i, &dtypes))
-                    .collect(),
-            )
-        });
-        for (st, item) in entry.1.iter_mut().zip(&node.aggs) {
-            match &item.input {
-                None => st.update(&Value::Int(1)),
-                Some(e) => st.update(&eval(e, &row)?),
-            }
-        }
+        acc.update(&row)?;
     }
-    if map.is_empty() && node.group.is_empty() {
-        // Scalar aggregate over an empty input: one all-initial group.
-        let states: Vec<AggStateEx> = node
-            .aggs
-            .iter()
-            .map(|i| AggStateEx::new(i, &dtypes))
-            .collect();
-        return Ok(vec![(Vec::new(), Vec::new(), states)]);
-    }
-    let mut out: AggPartials = map.into_iter().map(|(k, (g, s))| (k, g, s)).collect();
-    out.sort_by(|a, b| a.0.cmp(&b.0));
-    Ok(out)
+    Ok(acc.finish())
 }
 
 // --- joins -------------------------------------------------------------------
 
+/// The per-outer-row machinery of a lookup join, resolved once per join
+/// execution and shared between the streaming [`crate::op`] operator and
+/// the PQ worker path ([`exec_lookup_join`]).
+pub(crate) struct LookupProbe<'a> {
+    node: &'a LookupJoinNode,
+    table: std::sync::Arc<taurus_ndp::Table>,
+    /// Columns the inner scan must deliver: requested outputs + predicate
+    /// columns (the `on` references inner columns via inner_output only).
+    fetch: Vec<usize>,
+    /// Inner-side predicates remapped onto `fetch` positions.
+    inner_preds: Vec<Expr>,
+    /// `inner_output` positions within `fetch`.
+    out_pos: Vec<usize>,
+    /// When the chosen (secondary) index does not store every needed
+    /// column, the lookup finds primary keys and fetches the full row from
+    /// the primary index — InnoDB's non-covering-secondary path.
+    covering: bool,
+    pk_cols: Vec<usize>,
+}
+
+impl<'a> LookupProbe<'a> {
+    pub(crate) fn new(node: &'a LookupJoinNode, ctx: &ExecContext<'_>) -> Result<LookupProbe<'a>> {
+        let table = ctx.db.table(&node.table)?;
+        let mut fetch: Vec<usize> = node.inner_output.clone();
+        for p in &node.inner_predicate {
+            fetch.extend(p.columns());
+        }
+        fetch.sort_unstable();
+        fetch.dedup();
+        let inner_preds: Vec<Expr> = node
+            .inner_predicate
+            .iter()
+            .map(|e| remap_to_output(e, &fetch))
+            .collect();
+        let out_pos: Vec<usize> = node
+            .inner_output
+            .iter()
+            .map(|c| fetch.iter().position(|f| f == c).expect("subset"))
+            .collect();
+        let idx_stored = table.index(node.index).tree.def.stored_cols();
+        let covering = fetch.iter().all(|c| idx_stored.contains(c));
+        let pk_cols = table.schema.pk.clone();
+        Ok(LookupProbe {
+            node,
+            table,
+            fetch,
+            inner_preds,
+            out_pos,
+            covering,
+            pk_cols,
+        })
+    }
+
+    /// Probe the inner index for one outer row, emitting every joined
+    /// output row (join-type semantics included).
+    pub(crate) fn probe(
+        &self,
+        ctx: &ExecContext<'_>,
+        orow: &[Value],
+        emit: &mut dyn FnMut(Row),
+    ) -> Result<()> {
+        let node = self.node;
+        let key_vals: Vec<Value> = node
+            .outer_key_cols
+            .iter()
+            .map(|&p| orow[p].clone())
+            .collect();
+        if key_vals.iter().any(|v| v.is_null()) {
+            match node.join {
+                JoinType::Anti => emit(orow.to_vec()),
+                JoinType::LeftOuter => {
+                    let mut r = orow.to_vec();
+                    r.extend(std::iter::repeat_n(Value::Null, node.inner_output.len()));
+                    emit(r);
+                }
+                _ => {}
+            }
+            return Ok(());
+        }
+        let tree = &self.table.index(node.index).tree;
+        let range = ScanRange::point(tree.encode_search_key(&key_vals));
+        let c = if self.covering {
+            let spec = ScanSpec {
+                index: node.index,
+                range,
+                ndp: None, // point lookups never qualify for NDP (§IV-B)
+                output_cols: self.fetch.clone(),
+            };
+            let mut c = RowCollector {
+                rows: Vec::new(),
+                residual: self.inner_preds.clone(),
+            };
+            scan(ctx.db, &self.table, &spec, &ctx.view, &mut c)?;
+            c
+        } else {
+            // Secondary hit -> primary row fetch, then filter.
+            let spec = ScanSpec {
+                index: node.index,
+                range,
+                ndp: None,
+                output_cols: self.pk_cols.clone(),
+            };
+            let mut keys = RowCollector {
+                rows: Vec::new(),
+                residual: Vec::new(),
+            };
+            scan(ctx.db, &self.table, &spec, &ctx.view, &mut keys)?;
+            let mut c = RowCollector {
+                rows: Vec::new(),
+                residual: Vec::new(),
+            };
+            'rows: for pk in keys.rows {
+                if let Some(full) = ctx.db.lookup_row(&self.table, &ctx.view, &pk)? {
+                    let projected: Row = self.fetch.iter().map(|&f| full[f].clone()).collect();
+                    for p in &self.inner_preds {
+                        if eval_pred(p, &projected)? != Some(true) {
+                            continue 'rows;
+                        }
+                    }
+                    c.rows.push(projected);
+                }
+            }
+            c
+        };
+        let mut matched = false;
+        for irow in &c.rows {
+            let mut combined = orow.to_vec();
+            combined.extend(self.out_pos.iter().map(|&p| irow[p].clone()));
+            if let Some(on) = &node.on {
+                if eval_pred(on, &combined)? != Some(true) {
+                    continue;
+                }
+            }
+            matched = true;
+            match node.join {
+                JoinType::Inner | JoinType::LeftOuter => emit(combined),
+                JoinType::Semi | JoinType::Anti => break,
+            }
+        }
+        match node.join {
+            JoinType::Semi if matched => emit(orow.to_vec()),
+            JoinType::Anti if !matched => emit(orow.to_vec()),
+            JoinType::LeftOuter if !matched => {
+                let mut r = orow.to_vec();
+                r.extend(std::iter::repeat_n(Value::Null, node.inner_output.len()));
+                emit(r);
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+/// Run a lookup join over a materialized outer (PQ worker path, where the
+/// outer scan is range-bounded per worker).
 pub(crate) fn exec_lookup_join(
     node: &LookupJoinNode,
     ctx: &ExecContext<'_>,
@@ -584,183 +741,10 @@ pub(crate) fn exec_lookup_join(
             ))
         }
     };
-    let table = ctx.db.table(&node.table)?;
-    let tree = &table.index(node.index).tree;
-    // Columns the inner scan must deliver: requested outputs + predicate
-    // columns (the `on` references inner columns via inner_output only).
-    let mut fetch: Vec<usize> = node.inner_output.clone();
-    for p in &node.inner_predicate {
-        fetch.extend(p.columns());
-    }
-    fetch.sort_unstable();
-    fetch.dedup();
-    let inner_preds: Vec<Expr> = node
-        .inner_predicate
-        .iter()
-        .map(|e| remap_to_output(e, &fetch))
-        .collect();
-    let out_pos: Vec<usize> = node
-        .inner_output
-        .iter()
-        .map(|c| fetch.iter().position(|f| f == c).expect("subset"))
-        .collect();
-    // When the chosen (secondary) index does not store every needed
-    // column, the lookup finds primary keys and fetches the full row from
-    // the primary index — InnoDB's non-covering-secondary path.
-    let idx_stored = tree.def.stored_cols();
-    let covering = fetch.iter().all(|c| idx_stored.contains(c));
-    let pk_cols = table.schema.pk.clone();
-
+    let probe = LookupProbe::new(node, ctx)?;
     let mut out: Vec<Row> = Vec::new();
     for orow in outer_rows {
-        let key_vals: Vec<Value> = node
-            .outer_key_cols
-            .iter()
-            .map(|&p| orow[p].clone())
-            .collect();
-        if key_vals.iter().any(|v| v.is_null()) {
-            match node.join {
-                JoinType::Anti => out.push(orow),
-                JoinType::LeftOuter => {
-                    let mut r = orow.clone();
-                    r.extend(std::iter::repeat_n(Value::Null, node.inner_output.len()));
-                    out.push(r);
-                }
-                _ => {}
-            }
-            continue;
-        }
-        let range = ScanRange::point(tree.encode_search_key(&key_vals));
-        let c = if covering {
-            let spec = ScanSpec {
-                index: node.index,
-                range,
-                ndp: None, // point lookups never qualify for NDP (§IV-B)
-                output_cols: fetch.clone(),
-            };
-            let mut c = RowCollector {
-                rows: Vec::new(),
-                residual: inner_preds.clone(),
-            };
-            scan(ctx.db, &table, &spec, &ctx.view, &mut c)?;
-            c
-        } else {
-            // Secondary hit -> primary row fetch, then filter.
-            let spec = ScanSpec {
-                index: node.index,
-                range,
-                ndp: None,
-                output_cols: pk_cols.clone(),
-            };
-            let mut keys = RowCollector {
-                rows: Vec::new(),
-                residual: Vec::new(),
-            };
-            scan(ctx.db, &table, &spec, &ctx.view, &mut keys)?;
-            let mut c = RowCollector {
-                rows: Vec::new(),
-                residual: Vec::new(),
-            };
-            'rows: for pk in keys.rows {
-                if let Some(full) = ctx.db.lookup_row(&table, &ctx.view, &pk)? {
-                    let projected: Row = fetch.iter().map(|&f| full[f].clone()).collect();
-                    for p in &inner_preds {
-                        if eval_pred(p, &projected)? != Some(true) {
-                            continue 'rows;
-                        }
-                    }
-                    c.rows.push(projected);
-                }
-            }
-            c
-        };
-        let mut matched = false;
-        for irow in &c.rows {
-            let mut combined = orow.clone();
-            combined.extend(out_pos.iter().map(|&p| irow[p].clone()));
-            if let Some(on) = &node.on {
-                if eval_pred(on, &combined)? != Some(true) {
-                    continue;
-                }
-            }
-            matched = true;
-            match node.join {
-                JoinType::Inner | JoinType::LeftOuter => out.push(combined),
-                JoinType::Semi | JoinType::Anti => break,
-            }
-        }
-        match node.join {
-            JoinType::Semi if matched => out.push(orow),
-            JoinType::Anti if !matched => out.push(orow),
-            JoinType::LeftOuter if !matched => {
-                let mut r = orow.clone();
-                r.extend(std::iter::repeat_n(Value::Null, node.inner_output.len()));
-                out.push(r);
-            }
-            _ => {}
-        }
-    }
-    Ok(out)
-}
-
-fn exec_hash_join(
-    node: &taurus_optimizer::plan::HashJoinNode,
-    ctx: &ExecContext<'_>,
-) -> Result<Vec<Row>> {
-    let left = execute(&node.left, ctx)?;
-    let right = execute(&node.right, ctx)?;
-    let mut build: HashMap<Vec<u8>, Vec<usize>> = HashMap::new();
-    for (i, r) in right.iter().enumerate() {
-        let kv: Row = node.right_keys.iter().map(|&p| r[p].clone()).collect();
-        if kv.iter().any(|v| v.is_null()) {
-            continue;
-        }
-        build.entry(group_key_bytes(&kv)).or_default().push(i);
-    }
-    let right_width = right.first().map(|r| r.len()).unwrap_or(0);
-    let mut out = Vec::new();
-    for l in left {
-        let kv: Row = node.left_keys.iter().map(|&p| l[p].clone()).collect();
-        let matches = if kv.iter().any(|v| v.is_null()) {
-            None
-        } else {
-            build.get(&group_key_bytes(&kv))
-        };
-        match node.join {
-            JoinType::Inner => {
-                if let Some(idxs) = matches {
-                    for &i in idxs {
-                        let mut row = l.clone();
-                        row.extend(right[i].iter().cloned());
-                        out.push(row);
-                    }
-                }
-            }
-            JoinType::LeftOuter => match matches {
-                Some(idxs) if !idxs.is_empty() => {
-                    for &i in idxs {
-                        let mut row = l.clone();
-                        row.extend(right[i].iter().cloned());
-                        out.push(row);
-                    }
-                }
-                _ => {
-                    let mut row = l.clone();
-                    row.extend(std::iter::repeat_n(Value::Null, right_width));
-                    out.push(row);
-                }
-            },
-            JoinType::Semi => {
-                if matches.map(|m| !m.is_empty()).unwrap_or(false) {
-                    out.push(l);
-                }
-            }
-            JoinType::Anti => {
-                if !matches.map(|m| !m.is_empty()).unwrap_or(false) {
-                    out.push(l);
-                }
-            }
-        }
+        probe.probe(ctx, &orow, &mut |row| out.push(row))?;
     }
     Ok(out)
 }

@@ -1,25 +1,34 @@
-//! The Volcano executor, parallel query (§III, §VI), and the public
-//! query facade.
+//! The batch-native pull executor, parallel query (§III, §VI), and the
+//! public query facade.
 //!
 //! * [`session`] — the **public API**: [`Session`] owns the MVCC read
 //!   view; [`QueryBuilder`] resolves names, builds the plan, and always
 //!   routes it through the optimizer's NDP post-processing pass;
-//!   [`RowStream`] streams results without materializing scans.
+//!   [`RowStream`] streams *any* plan's results batch-at-a-time.
 //! * [`dsl`] — named-column expression trees the builder resolves.
-//! * [`exec`] — the operators (NDP-aware scans, stream/hash aggregation
-//!   with partial-merge support, NL lookup joins, hash joins,
-//!   project/filter/sort/limit). `execute(plan, ctx)` is the legacy
-//!   escape-hatch layer the builder lowers onto.
+//! * [`op`] — the physical operator pipeline: every [`Plan`] variant
+//!   lowers to an [`op::Operator`] with the
+//!   `open()/next_batch()/close()` pull contract; batches flow between
+//!   operators, pipeline breakers materialize only at their breaker, and
+//!   `LIMIT`/dropped streams cancel producing scans through channel
+//!   backpressure.
+//! * [`exec`] — shared execution machinery (NDP-aware scan specs and
+//!   consumers, stream/hash aggregation with partial-merge support,
+//!   lookup probing) plus `execute(plan, ctx)`, the materializing
+//!   escape hatch implemented *on top of* the pipeline (the TPC-H
+//!   builders and parity tests use it).
 //! * [`parallel`] — PQ: range partitioning, per-worker partial
-//!   aggregation, leader merge.
+//!   aggregation, leader merge (surfaced as the pipeline's `Gather`).
 
 pub mod dsl;
 pub mod exec;
+pub mod op;
 pub mod parallel;
 pub mod session;
 pub mod stream;
 
 pub use exec::{execute, ExecContext};
+pub use op::{lower, BoxOp, Operator};
 pub use session::{Agg, Explained, QueryBuilder, Session};
 pub use stream::RowStream;
 

@@ -1,0 +1,78 @@
+//! Generic hash aggregation over any input — a pipeline breaker that
+//! *consumes* streamed batches (the input is never materialized as a
+//! `Vec<Row>`; only the grouped partial states are held), then finalizes
+//! and re-emits in batches. Group output order is the encoded-group-key
+//! order, exactly as the Volcano path always produced.
+
+use taurus_common::{Result, RowBatch};
+use taurus_optimizer::plan::HashAggNode;
+
+use super::{charge_emit, BatchEmitter, BoxOp, Operator};
+use crate::exec::{finalize_agg_groups, ExecContext, HashAggAcc};
+
+pub(crate) struct HashAggOp<'r, 'env> {
+    ctx: &'env ExecContext<'env>,
+    node: &'env HashAggNode,
+    child: Option<BoxOp<'r>>,
+    out: Option<BatchEmitter>,
+}
+
+impl<'r, 'env> HashAggOp<'r, 'env> {
+    pub(crate) fn new(
+        ctx: &'env ExecContext<'env>,
+        node: &'env HashAggNode,
+        child: BoxOp<'r>,
+    ) -> HashAggOp<'r, 'env> {
+        HashAggOp {
+            ctx,
+            node,
+            child: Some(child),
+            out: None,
+        }
+    }
+}
+
+impl Operator for HashAggOp<'_, '_> {
+    fn name(&self) -> &'static str {
+        "HashAgg"
+    }
+
+    fn open(&mut self) -> Result<()> {
+        match &mut self.child {
+            Some(c) => c.open(),
+            None => Ok(()),
+        }
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+        if self.out.is_none() {
+            let mut acc = HashAggAcc::new(self.node);
+            if let Some(child) = &mut self.child {
+                while let Some(b) = child.next_batch()? {
+                    for row in b.rows() {
+                        acc.update(row)?;
+                    }
+                }
+            }
+            if let Some(mut c) = self.child.take() {
+                c.close();
+            }
+            let rows = finalize_agg_groups(acc.finish())?;
+            self.out = Some(BatchEmitter::new(rows, self.ctx.db));
+        }
+        match self.out.as_mut().and_then(BatchEmitter::next_batch) {
+            Some(b) => {
+                charge_emit(self.ctx.db, &b);
+                Ok(Some(b))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self) {
+        if let Some(mut c) = self.child.take() {
+            c.close();
+        }
+        self.out = None;
+    }
+}

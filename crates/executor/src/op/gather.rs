@@ -1,0 +1,56 @@
+//! Gather: the leader side of parallel query (§VI). The Exchange child
+//! is range-partitioned across worker threads by
+//! [`crate::parallel::exec_exchange`]; Gather is the barrier that merges
+//! per-worker rows or partial aggregate groups and re-emits the merged
+//! result in batches. PQ is inherently a pipeline breaker — the leader
+//! merge cannot begin until every worker finishes — so the materialized
+//! hand-off here is the same one the worker protocol always had.
+
+use taurus_common::{Result, RowBatch};
+use taurus_optimizer::plan::ExchangeNode;
+
+use super::{charge_emit, BatchEmitter, Operator};
+use crate::exec::ExecContext;
+use crate::parallel::exec_exchange;
+
+pub(crate) struct GatherOp<'env> {
+    ctx: &'env ExecContext<'env>,
+    node: &'env ExchangeNode,
+    out: Option<BatchEmitter>,
+}
+
+impl<'env> GatherOp<'env> {
+    pub(crate) fn new(ctx: &'env ExecContext<'env>, node: &'env ExchangeNode) -> GatherOp<'env> {
+        GatherOp {
+            ctx,
+            node,
+            out: None,
+        }
+    }
+}
+
+impl Operator for GatherOp<'_> {
+    fn name(&self) -> &'static str {
+        "Gather"
+    }
+
+    fn open(&mut self) -> Result<()> {
+        let rows = exec_exchange(self.node, self.ctx)?;
+        self.out = Some(BatchEmitter::new(rows, self.ctx.db));
+        Ok(())
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+        match self.out.as_mut().and_then(BatchEmitter::next_batch) {
+            Some(b) => {
+                charge_emit(self.ctx.db, &b);
+                Ok(Some(b))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self) {
+        self.out = None;
+    }
+}

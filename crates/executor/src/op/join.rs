@@ -1,0 +1,254 @@
+//! Join operators.
+//!
+//! [`HashJoinOp`] is a half-breaker: the build (right) side drains fully
+//! into the hash table on the first pull, the probe (left) side then
+//! streams batch-at-a-time — a `LIMIT` above stops the probe scan early,
+//! and only the build side is ever materialized.
+//!
+//! [`LookupJoinOp`] streams its outer side and does index point lookups
+//! per outer row through the shared [`LookupProbe`] machinery (also used
+//! by the PQ worker path), so it never materializes anything beyond the
+//! current output batch.
+
+use std::collections::HashMap;
+
+use taurus_common::schema::Row;
+use taurus_common::{Result, RowBatch, Value};
+use taurus_optimizer::plan::{HashJoinNode, JoinType, LookupJoinNode};
+
+use super::{charge_emit, BoxOp, Operator};
+use crate::exec::{group_key_bytes, ExecContext, LookupProbe};
+
+pub(crate) struct HashJoinOp<'r, 'env> {
+    ctx: &'env ExecContext<'env>,
+    node: &'env HashJoinNode,
+    left: Option<BoxOp<'r>>,
+    right: Option<BoxOp<'r>>,
+    build: HashMap<Vec<u8>, Vec<usize>>,
+    right_rows: Vec<Row>,
+    right_width: usize,
+    built: bool,
+}
+
+impl<'r, 'env> HashJoinOp<'r, 'env> {
+    pub(crate) fn new(
+        ctx: &'env ExecContext<'env>,
+        node: &'env HashJoinNode,
+        left: BoxOp<'r>,
+        right: BoxOp<'r>,
+    ) -> HashJoinOp<'r, 'env> {
+        HashJoinOp {
+            ctx,
+            node,
+            left: Some(left),
+            right: Some(right),
+            build: HashMap::new(),
+            right_rows: Vec::new(),
+            right_width: 0,
+            built: false,
+        }
+    }
+
+    /// Drain the build side into the hash table (first pull only).
+    fn build_side(&mut self) -> Result<()> {
+        if self.built {
+            return Ok(());
+        }
+        if let Some(right) = &mut self.right {
+            while let Some(b) = right.next_batch()? {
+                self.right_rows.reserve(b.len());
+                self.right_rows.extend(b.into_rows());
+            }
+        }
+        if let Some(mut r) = self.right.take() {
+            r.close();
+        }
+        for (i, r) in self.right_rows.iter().enumerate() {
+            let kv: Row = self.node.right_keys.iter().map(|&p| r[p].clone()).collect();
+            if kv.iter().any(|v| v.is_null()) {
+                continue;
+            }
+            self.build.entry(group_key_bytes(&kv)).or_default().push(i);
+        }
+        // The static plan width, not `right_rows.first()`: an empty build
+        // side must still NULL-pad LEFT OUTER output to the full right
+        // width (the legacy executor got this wrong and emitted unpadded
+        // rows, which blew up downstream operators indexing past them).
+        self.right_width = self.node.right.width();
+        self.built = true;
+        Ok(())
+    }
+}
+
+impl Operator for HashJoinOp<'_, '_> {
+    fn name(&self) -> &'static str {
+        "HashJoin"
+    }
+
+    fn open(&mut self) -> Result<()> {
+        if let Some(l) = &mut self.left {
+            l.open()?;
+        }
+        if let Some(r) = &mut self.right {
+            r.open()?;
+        }
+        Ok(())
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+        self.build_side()?;
+        loop {
+            let Some(left) = &mut self.left else {
+                return Ok(None);
+            };
+            let Some(b) = left.next_batch()? else {
+                if let Some(mut l) = self.left.take() {
+                    l.close();
+                }
+                return Ok(None);
+            };
+            let out_width = match self.node.join {
+                JoinType::Inner | JoinType::LeftOuter => b.width() + self.right_width,
+                JoinType::Semi | JoinType::Anti => b.width(),
+            };
+            let mut out = RowBatch::with_capacity(out_width, b.len());
+            for l in b.rows() {
+                let kv: Row = self.node.left_keys.iter().map(|&p| l[p].clone()).collect();
+                let matches = if kv.iter().any(|v| v.is_null()) {
+                    None
+                } else {
+                    self.build.get(&group_key_bytes(&kv))
+                };
+                match self.node.join {
+                    JoinType::Inner => {
+                        if let Some(idxs) = matches {
+                            // The match fanout is the one output bound the
+                            // batch pre-sizing cannot see.
+                            out.reserve_rows(idxs.len());
+                            for &i in idxs {
+                                out.push_row(
+                                    l.iter().cloned().chain(self.right_rows[i].iter().cloned()),
+                                );
+                            }
+                        }
+                    }
+                    JoinType::LeftOuter => match matches {
+                        Some(idxs) if !idxs.is_empty() => {
+                            out.reserve_rows(idxs.len());
+                            for &i in idxs {
+                                out.push_row(
+                                    l.iter().cloned().chain(self.right_rows[i].iter().cloned()),
+                                );
+                            }
+                        }
+                        _ => out.push_row(
+                            l.iter()
+                                .cloned()
+                                .chain(std::iter::repeat_n(Value::Null, self.right_width)),
+                        ),
+                    },
+                    JoinType::Semi => {
+                        if matches.map(|m| !m.is_empty()).unwrap_or(false) {
+                            out.push_row(l.iter().cloned());
+                        }
+                    }
+                    JoinType::Anti => {
+                        if !matches.map(|m| !m.is_empty()).unwrap_or(false) {
+                            out.push_row(l.iter().cloned());
+                        }
+                    }
+                }
+            }
+            if !out.is_empty() {
+                charge_emit(self.ctx.db, &out);
+                return Ok(Some(out));
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        if let Some(mut l) = self.left.take() {
+            l.close();
+        }
+        if let Some(mut r) = self.right.take() {
+            r.close();
+        }
+        self.build.clear();
+        self.right_rows.clear();
+    }
+}
+
+/// Nested-loop join driven by inner-index point lookups, streaming the
+/// outer side.
+pub(crate) struct LookupJoinOp<'r, 'env> {
+    ctx: &'env ExecContext<'env>,
+    node: &'env LookupJoinNode,
+    outer: Option<BoxOp<'r>>,
+    probe: Option<LookupProbe<'env>>,
+}
+
+impl<'r, 'env> LookupJoinOp<'r, 'env> {
+    pub(crate) fn new(
+        ctx: &'env ExecContext<'env>,
+        node: &'env LookupJoinNode,
+        outer: BoxOp<'r>,
+    ) -> LookupJoinOp<'r, 'env> {
+        LookupJoinOp {
+            ctx,
+            node,
+            outer: Some(outer),
+            probe: None,
+        }
+    }
+}
+
+impl Operator for LookupJoinOp<'_, '_> {
+    fn name(&self) -> &'static str {
+        "LookupJoin"
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.probe = Some(LookupProbe::new(self.node, self.ctx)?);
+        match &mut self.outer {
+            Some(o) => o.open(),
+            None => Ok(()),
+        }
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+        let probe = self
+            .probe
+            .as_ref()
+            .ok_or_else(|| taurus_common::Error::Internal("LookupJoin not opened".into()))?;
+        loop {
+            let Some(outer) = &mut self.outer else {
+                return Ok(None);
+            };
+            let Some(b) = outer.next_batch()? else {
+                if let Some(mut o) = self.outer.take() {
+                    o.close();
+                }
+                return Ok(None);
+            };
+            let out_width = match self.node.join {
+                JoinType::Inner | JoinType::LeftOuter => b.width() + self.node.inner_output.len(),
+                JoinType::Semi | JoinType::Anti => b.width(),
+            };
+            let mut out = RowBatch::with_capacity(out_width, b.len());
+            for orow in b.rows() {
+                probe.probe(self.ctx, orow, &mut |row| out.push_row(row))?;
+            }
+            if !out.is_empty() {
+                charge_emit(self.ctx.db, &out);
+                return Ok(Some(out));
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        if let Some(mut o) = self.outer.take() {
+            o.close();
+        }
+        self.probe = None;
+    }
+}

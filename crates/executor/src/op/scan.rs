@@ -1,0 +1,293 @@
+//! Scan leaves of the operator pipeline.
+//!
+//! [`BatchScanOp`] adapts the engine's push-based scan ([`scan`] driving
+//! [`ScanConsumer`] callbacks) to the pull contract: `open()` spawns a
+//! producer thread on the executor's scoped thread pool, the producer
+//! runs the batch-native scan core into a small bounded channel of
+//! [`RowBatch`]es, and `next_batch()` receives from it. The channel *is*
+//! the backpressure: the scan runs at most [`STREAM_CHANNEL_BATCHES`]
+//! batches ahead of the consumer, and closing the operator (dropping the
+//! receiver) makes the producer's next send fail — [`ChannelConsumer`]
+//! turns that into the `ScanConsumer` early-stop `false`, terminating
+//! the scan exactly like a row-level stop always has.
+//!
+//! [`AggScanOp`] is a pipeline breaker: index-ordered streaming
+//! aggregation (with NDP partial merging) runs to completion on open and
+//! the finalized groups re-emit in batches.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+
+use crossbeam::thread::{Scope, ScopedJoinHandle};
+use taurus_common::metrics::CpuGuard;
+use taurus_common::{Result, RowBatch, Value};
+use taurus_expr::agg::AggState;
+use taurus_expr::ast::Expr;
+use taurus_ndp::{scan, ReadView, ScanConsumer, TaurusDb};
+use taurus_optimizer::plan::{AggScanNode, ScanNode};
+
+use super::{charge_emit, BatchEmitter, Operator};
+use crate::exec::{
+    exec_agg_scan_partials, finalize_agg_groups, remap_to_output, residual_survives, scan_spec,
+    ExecContext,
+};
+use crate::stream::STREAM_CHANNEL_BATCHES;
+
+/// ScanConsumer that forwards surviving rows into a bounded channel, one
+/// message per batch. A failed send means the receiver is gone (closed
+/// operator, dropped stream): the consumer returns `false` and the scan
+/// terminates early.
+pub(crate) struct ChannelConsumer<'a> {
+    pub(crate) tx: &'a SyncSender<Result<RowBatch>>,
+    /// Residual predicate conjuncts over scan-output positions.
+    pub(crate) residual: Vec<Expr>,
+    /// Narrow delivered rows to these scan-output positions.
+    pub(crate) project: Option<Vec<usize>>,
+}
+
+impl ChannelConsumer<'_> {
+    fn survives(&self, row: &[Value]) -> Result<bool> {
+        residual_survives(&self.residual, row)
+    }
+
+    fn out_width(&self, in_width: usize) -> usize {
+        self.project.as_ref().map_or(in_width, |keep| keep.len())
+    }
+
+    fn push_projected(&self, out: &mut RowBatch, row: &[Value]) {
+        match &self.project {
+            Some(keep) => out.push_row(keep.iter().map(|&p| row[p].clone())),
+            None => out.push_row(row.iter().cloned()),
+        }
+    }
+}
+
+impl ScanConsumer for ChannelConsumer<'_> {
+    fn on_row(&mut self, row: &[Value]) -> Result<bool> {
+        // Row-at-a-time fallback (the scan core always batches): wrap the
+        // row in a single-row batch.
+        if !self.survives(row)? {
+            return Ok(true);
+        }
+        let mut out = RowBatch::with_capacity(self.out_width(row.len()), 1);
+        self.push_projected(&mut out, row);
+        Ok(self.tx.send(Ok(out)).is_ok())
+    }
+
+    fn on_batch(&mut self, batch: &RowBatch) -> Result<bool> {
+        if self.residual.is_empty() && self.project.is_none() {
+            // Nothing to filter or narrow: forward the batch as-is (one
+            // allocation, one value clone — no per-row rebuild).
+            return Ok(self.tx.send(Ok(batch.clone())).is_ok());
+        }
+        let mut out = RowBatch::with_capacity(self.out_width(batch.width()), batch.len());
+        for row in batch.rows() {
+            if self.survives(row)? {
+                self.push_projected(&mut out, row);
+            }
+        }
+        if out.is_empty() {
+            // Everything filtered: nothing to hand over, keep scanning.
+            return Ok(true);
+        }
+        // A closed receiver means the consumer stopped pulling (dropped
+        // stream, early break): end the scan without error.
+        Ok(self.tx.send(Ok(out)).is_ok())
+    }
+
+    fn on_partial(&mut self, _states: Vec<AggState>) -> Result<bool> {
+        Err(taurus_common::Error::Internal(
+            "row stream received aggregate partials".into(),
+        ))
+    }
+}
+
+/// Run one scan producer to completion: residual filtering and optional
+/// projection fused into [`ChannelConsumer`], errors and panics surfaced
+/// through the channel (a panic must not masquerade as a clean truncated
+/// end-of-stream). Shared by [`BatchScanOp`] and [`crate::RowStream`]'s
+/// bare-scan fast path.
+pub(crate) fn run_scan_producer(
+    db: &TaurusDb,
+    node: &ScanNode,
+    view: ReadView,
+    tx: &SyncSender<Result<RowBatch>>,
+    project: Option<Vec<usize>>,
+) {
+    // The producer is a compute-node thread: its CPU lands in
+    // `compute_cpu_ns`, like any query thread.
+    let _cpu = CpuGuard::new(&db.metrics().compute_cpu_ns);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Result<()> {
+        let table = db.table(&node.table)?;
+        let ctx = ExecContext { db, view };
+        let spec = scan_spec(node, &ctx, None, None)?;
+        let residual: Vec<Expr> = node
+            .residual_conjuncts()
+            .into_iter()
+            .map(|e| remap_to_output(e, &node.output))
+            .collect();
+        let mut consumer = ChannelConsumer {
+            tx,
+            residual,
+            project,
+        };
+        scan(ctx.db, &table, &spec, &ctx.view, &mut consumer)?;
+        Ok(())
+    }));
+    match result {
+        Ok(Ok(())) => {}
+        // Receiver may already be gone; nothing else to do then.
+        Ok(Err(e)) => {
+            let _ = tx.send(Err(e));
+        }
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            let _ = tx.send(Err(taurus_common::Error::Internal(format!(
+                "scan producer panicked: {msg}"
+            ))));
+        }
+    }
+}
+
+/// Pull-side of a batch-native table scan (see the module docs).
+pub(crate) struct BatchScanOp<'r, 'scope, 'env> {
+    db: &'env TaurusDb,
+    node: &'env ScanNode,
+    view: ReadView,
+    scope: &'r Scope<'scope, 'env>,
+    rx: Option<Receiver<Result<RowBatch>>>,
+    producer: Option<ScopedJoinHandle<'scope, ()>>,
+    done: bool,
+}
+
+impl<'r, 'scope, 'env> BatchScanOp<'r, 'scope, 'env>
+where
+    'env: 'scope,
+{
+    pub(crate) fn new(
+        ctx: &'env ExecContext<'env>,
+        node: &'env ScanNode,
+        scope: &'r Scope<'scope, 'env>,
+    ) -> BatchScanOp<'r, 'scope, 'env> {
+        BatchScanOp {
+            db: ctx.db,
+            node,
+            view: ctx.view.clone(),
+            scope,
+            rx: None,
+            producer: None,
+            done: false,
+        }
+    }
+
+    /// Drop the receiver (unblocking a producer mid-send) and join the
+    /// producer so no scan outlives the operator.
+    fn shutdown(&mut self) {
+        self.done = true;
+        self.rx = None;
+        if let Some(h) = self.producer.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Operator for BatchScanOp<'_, '_, '_> {
+    fn name(&self) -> &'static str {
+        "BatchScan"
+    }
+
+    fn open(&mut self) -> Result<()> {
+        if self.rx.is_some() || self.done {
+            return Ok(());
+        }
+        let (tx, rx) = sync_channel::<Result<RowBatch>>(STREAM_CHANNEL_BATCHES);
+        let db = self.db;
+        let node = self.node;
+        let view = self.view.clone();
+        self.producer = Some(
+            self.scope
+                .spawn(move |_| run_scan_producer(db, node, view, &tx, None)),
+        );
+        self.rx = Some(rx);
+        Ok(())
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+        let Some(rx) = &self.rx else {
+            return Ok(None);
+        };
+        match rx.recv() {
+            Ok(Ok(batch)) => {
+                charge_emit(self.db, &batch);
+                Ok(Some(batch))
+            }
+            Ok(Err(e)) => {
+                self.shutdown();
+                Err(e)
+            }
+            Err(_) => {
+                // Producer finished and dropped its sender.
+                self.shutdown();
+                Ok(None)
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Drop for BatchScanOp<'_, '_, '_> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Streaming (index-ordered) aggregation fused onto a scan — a pipeline
+/// breaker: groups finalize on open, then re-emit batch-at-a-time.
+pub(crate) struct AggScanOp<'env> {
+    ctx: &'env ExecContext<'env>,
+    node: &'env AggScanNode,
+    out: Option<BatchEmitter>,
+}
+
+impl<'env> AggScanOp<'env> {
+    pub(crate) fn new(ctx: &'env ExecContext<'env>, node: &'env AggScanNode) -> AggScanOp<'env> {
+        AggScanOp {
+            ctx,
+            node,
+            out: None,
+        }
+    }
+}
+
+impl Operator for AggScanOp<'_> {
+    fn name(&self) -> &'static str {
+        "AggScan"
+    }
+
+    fn open(&mut self) -> Result<()> {
+        let partials = exec_agg_scan_partials(self.node, self.ctx, None)?;
+        let rows = finalize_agg_groups(partials)?;
+        self.out = Some(BatchEmitter::new(rows, self.ctx.db));
+        Ok(())
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+        match self.out.as_mut().and_then(BatchEmitter::next_batch) {
+            Some(b) => {
+                charge_emit(self.ctx.db, &b);
+                Ok(Some(b))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self) {
+        self.out = None;
+    }
+}

@@ -13,7 +13,10 @@
 //! Each worker's sub-scan delivers batch-at-a-time into the shared
 //! batch-native consumers (`RowCollector` / `StreamAggConsumer`), so the
 //! per-row hand-off cost inside a worker is the same amortized cost as a
-//! serial scan; the leader then merges whole per-worker results.
+//! serial scan; the leader then merges whole per-worker results. In the
+//! operator pipeline this whole protocol sits behind the `Gather`
+//! operator — the leader merge is PQ's inherent pipeline breaker, and
+//! the merged result re-emits in batches.
 
 use taurus_common::metrics::CpuGuard;
 use taurus_common::schema::Row;

@@ -121,13 +121,23 @@ impl Session {
     }
 
     /// Escape hatch: run a prebuilt [`Plan`] under this session's read
-    /// view (parity tests and the TPC-H plan builders use this).
+    /// view (parity tests and the TPC-H plan builders use this). The
+    /// plan executes through the operator pipeline; this terminal merely
+    /// collects every batch.
     pub fn execute_plan(&self, plan: &Plan) -> Result<Vec<Row>> {
         let ctx = ExecContext {
             db: &self.db,
             view: self.view.clone(),
         };
         execute(plan, &ctx)
+    }
+
+    /// Escape hatch: stream a prebuilt [`Plan`] under this session's read
+    /// view. Any plan streams; pipeline breakers materialize at their
+    /// breaker inside the pipeline, and dropping the stream cancels the
+    /// producing scans.
+    pub fn stream_plan(&self, plan: Plan) -> RowStream {
+        RowStream::spawn_plan(self.db.clone(), plan, self.view.clone())
     }
 
     /// MVCC point lookup under this session's read view.
@@ -529,32 +539,19 @@ impl QueryBuilder<'_> {
         })
     }
 
-    /// Execute and stream rows. Plain scans stream straight from storage
-    /// (no full materialization); pipeline-breaking shapes (aggregates,
-    /// sorts, PQ) materialize at the breaker and stream its output.
+    /// Execute and stream rows. Every plan streams through the operator
+    /// pipeline: plain scans straight from storage, composed plans
+    /// batch-at-a-time from the lowered operator tree (pipeline breakers
+    /// — aggregates, sorts, PQ gather — materialize only at their
+    /// breaker). A full result set is never materialized at the API
+    /// boundary, and dropping the stream cancels the producing scans.
     pub fn stream(self) -> Result<RowStream> {
         let (plan, _) = self.plan()?;
-        match plan {
-            Plan::Scan(node) => Ok(RowStream::spawn_scan(
-                self.session.db.clone(),
-                node,
-                self.session.view.clone(),
-                None,
-            )),
-            Plan::Project(p) if project_is_prefix(&p.exprs) => match *p.input {
-                Plan::Scan(node) => {
-                    let keep: Vec<usize> = (0..p.exprs.len()).collect();
-                    Ok(RowStream::spawn_scan(
-                        self.session.db.clone(),
-                        node,
-                        self.session.view.clone(),
-                        Some(keep),
-                    ))
-                }
-                other => Ok(RowStream::from_rows(self.session.execute_plan(&other)?)),
-            },
-            other => Ok(RowStream::from_rows(self.session.execute_plan(&other)?)),
-        }
+        Ok(RowStream::spawn_plan(
+            self.session.db.clone(),
+            plan,
+            self.session.view.clone(),
+        ))
     }
 
     /// Execute and materialize all rows.
@@ -578,14 +575,6 @@ impl QueryBuilder<'_> {
         let delta = db.metrics().snapshot().since(&before);
         Ok(QueryRun { rows, wall, delta })
     }
-}
-
-/// Are the projection expressions exactly `col0, col1, ... colN`?
-fn project_is_prefix(exprs: &[Expr]) -> bool {
-    exprs
-        .iter()
-        .enumerate()
-        .all(|(i, e)| matches!(e, Expr::Col(c) if *c == i))
 }
 
 /// Apply ORDER BY / LIMIT with result-position validation.

@@ -1,76 +1,87 @@
 //! Streaming query results.
 //!
 //! [`RowStream`] is the default result type of the [`crate::Session`]
-//! facade: a pull-based iterator of rows. For plain table scans it is
-//! backed by the engine's push-based [`ScanConsumer`] callbacks running on
-//! a producer thread behind a small bounded channel of **row batches**:
-//! the scan delivers whole [`RowBatch`]es, the producer sends one channel
-//! message per batch (not per row), and the iterator pops rows from its
-//! current batch locally. The scan advances only as fast as the consumer
-//! pulls — dropping the stream early stops the scan after at most one
-//! channel's worth of batch look-ahead — and a full result set is never
-//! materialized at the API boundary. Pipeline-breaking plans
-//! (aggregation, joins, sorts) materialize at their breaker exactly as
-//! the Volcano executor always has, and stream the final operator's
-//! output from memory.
+//! facade: a pull-based iterator of rows backed by a producer thread and
+//! a small bounded channel of **row batches** — one channel message per
+//! batch, rows popped locally from the current batch. Since the operator
+//! pipeline landed, *any* plan streams: the producer thread lowers the
+//! plan ([`crate::op::lower`]) and pulls its root operator, so a
+//! sort-free filter/project/limit over a join or aggregate streams
+//! without materializing the full result set. Pipeline breakers
+//! (aggregation, sorts, hash-join builds, PQ gather) materialize at
+//! their breaker *inside* the pipeline and re-emit in batches.
+//!
+//! The pipeline advances only as fast as the stream is pulled. Dropping
+//! the stream closes the channel; the producer's next send fails, it
+//! stops pulling the root operator, and closing the operator tree
+//! cancels every in-flight scan (their own channel receivers disappear,
+//! surfacing as `ScanConsumer` early termination). Bare scans skip the
+//! operator hop entirely and run the scan core straight into the stream
+//! channel — the PR-2 fast path, unchanged.
 
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use taurus_common::batch::RowBatchIter;
 use taurus_common::metrics::CpuGuard;
 use taurus_common::schema::Row;
-use taurus_common::{Result, RowBatch, Value};
-use taurus_expr::agg::AggState;
+use taurus_common::{Result, RowBatch};
 use taurus_expr::ast::Expr;
-use taurus_ndp::{scan, ReadView, ScanConsumer, TaurusDb};
-use taurus_optimizer::plan::ScanNode;
+use taurus_ndp::{ReadView, TaurusDb};
+use taurus_optimizer::plan::{Plan, ScanNode};
 
-use crate::exec::{remap_to_output, residual_survives, scan_spec, ExecContext};
+use crate::exec::ExecContext;
+use crate::op::{lower, run_scan_producer};
 
-/// How many row batches the scan may run ahead of the consumer. The
-/// look-ahead bound is batch-granular now: up to this many queued
-/// batches plus the one being built, i.e. ~3 × `scan_batch_rows` rows
-/// of materialized look-ahead at most — kept small deliberately so an
+/// How many row batches the producer may run ahead of the consumer. The
+/// look-ahead bound is batch-granular: up to this many queued batches
+/// plus the one being built, i.e. ~3 × `scan_batch_rows` rows of
+/// materialized look-ahead at most — kept small deliberately so an
 /// abandoned stream wastes little scan work and memory.
 pub(crate) const STREAM_CHANNEL_BATCHES: usize = 2;
 
-/// An iterator of query result rows; see the module docs for which plans
-/// stream from storage and which stream from a materialized breaker.
+/// An iterator of query result rows; see the module docs for how plans
+/// stream and where pipeline breakers materialize. Always backed by a
+/// live producer thread behind a bounded batch channel.
 pub struct RowStream {
-    inner: StreamInner,
-}
-
-enum StreamInner {
-    /// Live scan on a producer thread; ends when the channel drains.
-    Scan {
-        rx: Receiver<Result<RowBatch>>,
-        /// Rows of the most recently received batch, popped locally.
-        cur: RowBatchIter,
-        producer: Option<JoinHandle<()>>,
-    },
-    /// Output of a materializing operator.
-    Rows(std::vec::IntoIter<Row>),
+    rx: Receiver<Result<RowBatch>>,
+    /// Rows of the most recently received batch, popped locally.
+    cur: RowBatchIter,
+    producer: Option<JoinHandle<()>>,
 }
 
 impl RowStream {
-    pub(crate) fn from_rows(rows: Vec<Row>) -> RowStream {
-        RowStream {
-            inner: StreamInner::Rows(rows.into_iter()),
+    /// Spawn a producer thread executing `plan` under `view`, delivering
+    /// row batches through a bounded channel. Bare scans (optionally
+    /// under a prefix projection, which the builder uses to hide
+    /// predicate-only columns) take the direct scan-core fast path;
+    /// everything else lowers to the operator pipeline on the producer
+    /// thread.
+    pub(crate) fn spawn_plan(db: Arc<TaurusDb>, plan: Plan, view: ReadView) -> RowStream {
+        match plan {
+            Plan::Scan(node) => RowStream::spawn_scan(db, node, view, None),
+            Plan::Project(p) if project_is_prefix(&p.exprs) => {
+                let keep: Vec<usize> = (0..p.exprs.len()).collect();
+                match *p.input {
+                    Plan::Scan(node) => RowStream::spawn_scan(db, node, view, Some(keep)),
+                    other => RowStream::spawn_pipeline(
+                        db,
+                        Plan::Project(taurus_optimizer::plan::ProjectNode {
+                            input: Box::new(other),
+                            exprs: p.exprs,
+                        }),
+                        view,
+                    ),
+                }
+            }
+            other => RowStream::spawn_pipeline(db, other, view),
         }
     }
 
-    /// Spawn a producer thread scanning `node` under `view`, delivering
-    /// row batches through a bounded channel. `project` optionally narrows
-    /// each delivered row to the given scan-output positions (the builder
-    /// uses this to hide predicate-only columns).
-    pub(crate) fn spawn_scan(
-        db: Arc<TaurusDb>,
-        node: ScanNode,
-        view: ReadView,
-        project: Option<Vec<usize>>,
-    ) -> RowStream {
+    /// The general path: lower the plan on the producer thread and pull
+    /// its root operator into the stream channel.
+    fn spawn_pipeline(db: Arc<TaurusDb>, plan: Plan, view: ReadView) -> RowStream {
         let (tx, rx) = sync_channel::<Result<RowBatch>>(STREAM_CHANNEL_BATCHES);
         let producer = std::thread::Builder::new()
             .name("taurus-row-stream".into())
@@ -82,21 +93,22 @@ impl RowStream {
                 // (truncated!) end-of-stream: catch it and send it over.
                 let result =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Result<()> {
-                        let table = db.table(&node.table)?;
                         let ctx = ExecContext { db: &db, view };
-                        let spec = scan_spec(&node, &ctx, None, None)?;
-                        let residual: Vec<Expr> = node
-                            .residual_conjuncts()
-                            .into_iter()
-                            .map(|e| remap_to_output(e, &node.output))
-                            .collect();
-                        let mut consumer = ChannelConsumer {
-                            tx: &tx,
-                            residual,
-                            project,
-                        };
-                        scan(ctx.db, &table, &spec, &ctx.view, &mut consumer)?;
-                        Ok(())
+                        crossbeam::thread::scope(|s| -> Result<()> {
+                            let mut root = lower(&plan, &ctx, s)?;
+                            root.open()?;
+                            while let Some(batch) = root.next_batch()? {
+                                if tx.send(Ok(batch)).is_err() {
+                                    // Receiver gone (dropped stream): stop
+                                    // pulling; closing the tree cancels
+                                    // every in-flight scan.
+                                    break;
+                                }
+                            }
+                            root.close();
+                            Ok(())
+                        })
+                        .expect("stream pipeline scope panicked")
                     }));
                 match result {
                     Ok(Ok(())) => {}
@@ -118,11 +130,30 @@ impl RowStream {
             })
             .expect("spawn row-stream producer");
         RowStream {
-            inner: StreamInner::Scan {
-                rx,
-                cur: RowBatchIter::empty(),
-                producer: Some(producer),
-            },
+            rx,
+            cur: RowBatchIter::empty(),
+            producer: Some(producer),
+        }
+    }
+
+    /// Fast path for bare scans: run the scan core straight into the
+    /// stream channel (no operator hop). `project` optionally narrows
+    /// each delivered row to the given scan-output positions.
+    pub(crate) fn spawn_scan(
+        db: Arc<TaurusDb>,
+        node: ScanNode,
+        view: ReadView,
+        project: Option<Vec<usize>>,
+    ) -> RowStream {
+        let (tx, rx) = sync_channel::<Result<RowBatch>>(STREAM_CHANNEL_BATCHES);
+        let producer = std::thread::Builder::new()
+            .name("taurus-row-stream".into())
+            .spawn(move || run_scan_producer(&db, &node, view, &tx, project))
+            .expect("spawn row-stream producer");
+        RowStream {
+            rx,
+            cur: RowBatchIter::empty(),
+            producer: Some(producer),
         }
     }
 
@@ -132,103 +163,39 @@ impl RowStream {
     }
 }
 
+/// Are the projection expressions exactly `col0, col1, ... colN`?
+fn project_is_prefix(exprs: &[Expr]) -> bool {
+    exprs
+        .iter()
+        .enumerate()
+        .all(|(i, e)| matches!(e, Expr::Col(c) if *c == i))
+}
+
 impl Iterator for RowStream {
     type Item = Result<Row>;
 
     fn next(&mut self) -> Option<Result<Row>> {
-        match &mut self.inner {
-            StreamInner::Scan { rx, cur, .. } => loop {
-                if let Some(row) = cur.next() {
-                    return Some(Ok(row));
-                }
-                match rx.recv() {
-                    Ok(Ok(batch)) => *cur = batch.into_rows(),
-                    Ok(Err(e)) => return Some(Err(e)),
-                    Err(_) => return None, // producer finished
-                }
-            },
-            StreamInner::Rows(it) => it.next().map(Ok),
+        loop {
+            if let Some(row) = self.cur.next() {
+                return Some(Ok(row));
+            }
+            match self.rx.recv() {
+                Ok(Ok(batch)) => self.cur = batch.into_rows(),
+                Ok(Err(e)) => return Some(Err(e)),
+                Err(_) => return None, // producer finished
+            }
         }
     }
 }
 
 impl Drop for RowStream {
     fn drop(&mut self) {
-        if let StreamInner::Scan { rx, producer, .. } = &mut self.inner {
-            // Unblock the producer (its next send fails), then join it so
-            // no scan outlives the stream handle. Batches already buffered
-            // locally in `cur` are simply dropped.
-            drop(std::mem::replace(rx, sync_channel(1).1));
-            if let Some(h) = producer.take() {
-                let _ = h.join();
-            }
+        // Unblock the producer (its next send fails), then join it so no
+        // pipeline outlives the stream handle. Batches already buffered
+        // locally in `cur` are simply dropped.
+        drop(std::mem::replace(&mut self.rx, sync_channel(1).1));
+        if let Some(h) = self.producer.take() {
+            let _ = h.join();
         }
-    }
-}
-
-/// ScanConsumer that forwards surviving rows into the channel, one
-/// message per batch.
-struct ChannelConsumer<'a> {
-    tx: &'a SyncSender<Result<RowBatch>>,
-    /// Residual predicate conjuncts over scan-output positions.
-    residual: Vec<Expr>,
-    /// Narrow delivered rows to these scan-output positions.
-    project: Option<Vec<usize>>,
-}
-
-impl ChannelConsumer<'_> {
-    fn survives(&self, row: &[Value]) -> Result<bool> {
-        residual_survives(&self.residual, row)
-    }
-
-    fn out_width(&self, in_width: usize) -> usize {
-        self.project.as_ref().map_or(in_width, |keep| keep.len())
-    }
-
-    fn push_projected(&self, out: &mut RowBatch, row: &[Value]) {
-        match &self.project {
-            Some(keep) => out.push_row(keep.iter().map(|&p| row[p].clone())),
-            None => out.push_row(row.iter().cloned()),
-        }
-    }
-}
-
-impl ScanConsumer for ChannelConsumer<'_> {
-    fn on_row(&mut self, row: &[Value]) -> Result<bool> {
-        // Row-at-a-time fallback (the scan core always batches): wrap the
-        // row in a single-row batch.
-        if !self.survives(row)? {
-            return Ok(true);
-        }
-        let mut out = RowBatch::with_capacity(self.out_width(row.len()), 1);
-        self.push_projected(&mut out, row);
-        Ok(self.tx.send(Ok(out)).is_ok())
-    }
-
-    fn on_batch(&mut self, batch: &RowBatch) -> Result<bool> {
-        if self.residual.is_empty() && self.project.is_none() {
-            // Nothing to filter or narrow: forward the batch as-is (one
-            // allocation, one value clone — no per-row rebuild).
-            return Ok(self.tx.send(Ok(batch.clone())).is_ok());
-        }
-        let mut out = RowBatch::with_capacity(self.out_width(batch.width()), batch.len());
-        for row in batch.rows() {
-            if self.survives(row)? {
-                self.push_projected(&mut out, row);
-            }
-        }
-        if out.is_empty() {
-            // Everything filtered: nothing to hand over, keep scanning.
-            return Ok(true);
-        }
-        // A closed receiver means the consumer stopped pulling (dropped
-        // stream, early break): end the scan without error.
-        Ok(self.tx.send(Ok(out)).is_ok())
-    }
-
-    fn on_partial(&mut self, _states: Vec<AggState>) -> Result<bool> {
-        Err(taurus_common::Error::Internal(
-            "row stream received aggregate partials".into(),
-        ))
     }
 }

@@ -1,17 +1,133 @@
 //! EXPLAIN output, shaped like the paper's Listing 2: table accesses that
 //! received NDP annotations print `Using pushed NDP condition (...)`,
 //! `Using pushed NDP columns`, and `Using pushed NDP aggregate`.
+//!
+//! Alongside the logical tree, EXPLAIN renders the **physical operator
+//! pipeline** the executor lowers the plan to ([`explain_physical`]):
+//! one line per pull operator with the configured batch size and, for
+//! scan leaves, the NDP decision. The mapping is the executor's `lower`
+//! pass verbatim — Scan→BatchScan, Sort(+limit)→TopN,
+//! Exchange→Gather, …
 
 use taurus_expr::ast::Expr;
 use taurus_ndp::TaurusDb;
 
 use crate::plan::{Plan, ScanNode};
 
-/// Render a plan tree with NDP annotations.
+/// Render a plan: the logical tree with NDP annotations, followed by the
+/// lowered physical operator pipeline.
 pub fn explain(plan: &Plan, db: &TaurusDb) -> String {
     let mut out = String::new();
     render(plan, db, 0, &mut out);
+    out.push_str(&explain_physical(plan, db));
     out
+}
+
+/// Render only the physical operator pipeline the plan lowers to.
+pub fn explain_physical(plan: &Plan, db: &TaurusDb) -> String {
+    let mut out = format!(
+        "Physical pipeline (batch = {} rows):\n",
+        db.config().scan_batch_rows.max(1)
+    );
+    render_physical(plan, db, 0, &mut out);
+    out
+}
+
+fn render_physical(plan: &Plan, db: &TaurusDb, depth: usize, out: &mut String) {
+    pad(depth, out);
+    match plan {
+        Plan::Scan(s) => {
+            out.push_str(&format!(
+                "BatchScan on {} via {}{}\n",
+                s.table,
+                index_name(s, db),
+                ndp_tag(s)
+            ));
+        }
+        Plan::AggScan(a) => {
+            out.push_str(&format!(
+                "AggScan on {} via {}{}\n",
+                a.scan.table,
+                index_name(&a.scan, db),
+                ndp_tag(&a.scan)
+            ));
+        }
+        Plan::LookupJoin(j) => {
+            out.push_str(&format!(
+                "LookupJoin ({:?}, inner {}, streamed outer)\n",
+                j.join, j.table
+            ));
+            render_physical(&j.outer, db, depth + 1, out);
+        }
+        Plan::HashJoin(j) => {
+            out.push_str(&format!(
+                "HashJoin ({:?}, build right, streamed probe)\n",
+                j.join
+            ));
+            render_physical(&j.left, db, depth + 1, out);
+            render_physical(&j.right, db, depth + 1, out);
+        }
+        Plan::HashAgg(a) => {
+            out.push_str("HashAgg (breaker)\n");
+            render_physical(&a.input, db, depth + 1, out);
+        }
+        Plan::Project(p) => {
+            out.push_str("Project\n");
+            render_physical(&p.input, db, depth + 1, out);
+        }
+        Plan::Filter(f) => {
+            out.push_str("Filter\n");
+            render_physical(&f.input, db, depth + 1, out);
+        }
+        Plan::Sort(s) => {
+            match s.limit {
+                Some(n) => out.push_str(&format!("TopN({n}) (breaker)\n")),
+                None => out.push_str("Sort (breaker)\n"),
+            }
+            render_physical(&s.input, db, depth + 1, out);
+        }
+        Plan::Limit { input, n } => {
+            out.push_str(&format!("Limit({n}) (early-stop)\n"));
+            render_physical(input, db, depth + 1, out);
+        }
+        Plan::Exchange(e) => {
+            out.push_str(&format!("Gather (degree {}, breaker)\n", e.degree));
+            render_physical(&e.child, db, depth + 1, out);
+        }
+    }
+}
+
+/// The chosen index's name (falls back to its ordinal when the table is
+/// unknown to this catalog).
+fn index_name(s: &ScanNode, db: &TaurusDb) -> String {
+    db.table(&s.table)
+        .ok()
+        .map(|t| t.index(s.index).tree.def.name.clone())
+        .unwrap_or_else(|| format!("#{}", s.index))
+}
+
+/// The NDP decision annotation on a physical scan leaf.
+fn ndp_tag(s: &ScanNode) -> String {
+    match &s.ndp {
+        None => " [classical]".to_string(),
+        Some(d) => {
+            let mut parts: Vec<&str> = Vec::new();
+            if d.choice.predicate.is_some() {
+                parts.push("predicate");
+            }
+            if d.choice.projection.is_some() {
+                parts.push("projection");
+            }
+            if d.choice.aggregation.is_some() {
+                parts.push("aggregation");
+            }
+            if parts.is_empty() {
+                " [classical]".to_string()
+            } else {
+                format!(" [ndp: {}]", parts.join("+"))
+            }
+        }
+    }
 }
 
 fn pad(depth: usize, out: &mut String) {

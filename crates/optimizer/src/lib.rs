@@ -6,7 +6,7 @@ pub mod explain;
 pub mod ndp_post;
 pub mod plan;
 
-pub use explain::explain;
+pub use explain::{explain, explain_physical};
 pub use ndp_post::{estimate_filter_factor, ndp_post_process, NdpReport};
 pub use plan::{
     AggFuncEx, AggItem, AggScanNode, ExchangeNode, FilterNode, HashAggNode, HashJoinNode, JoinType,

@@ -66,6 +66,14 @@ pub(crate) fn finish(mut plan: Plan, db: &TaurusDb) -> Result<Vec<Row>> {
     execute(&plan, &ExecContext::new(db))
 }
 
+/// Execute an already-optimized plan (the tail of every `qN`, which
+/// builds the plan via its `qN_plan` sibling so benches and parity tests
+/// can run the very same plan through other terminals — streaming,
+/// EXPLAIN, PQ staging).
+pub(crate) fn run_plan(plan: &Plan, db: &TaurusDb) -> Result<Vec<Row>> {
+    execute(plan, &ExecContext::new(db))
+}
+
 /// Optimize then return the plan (callers needing EXPLAIN or staging).
 pub fn optimized(mut plan: Plan, db: &TaurusDb) -> Result<Plan> {
     ndp_post_process(&mut plan, db)?;
@@ -75,6 +83,11 @@ pub fn optimized(mut plan: Plan, db: &TaurusDb) -> Result<Plan> {
 // --- Q1: pricing summary report -------------------------------------------
 
 pub fn q1(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
+    run_plan(&q1_plan(db, pq)?, db)
+}
+
+/// The optimized plan q1 executes.
+pub fn q1_plan(db: &TaurusDb, pq: Option<usize>) -> Result<Plan> {
     // Scan output: [qty, ep, disc, tax, rf, ls, sd] -> positions 0..6.
     let scan = ScanNode::new("lineitem", vec![4, 5, 6, 7, 8, 9, 10])
         .with_predicate(vec![Expr::le(Expr::col(10), Expr::date("1998-09-02"))]);
@@ -102,12 +115,17 @@ pub fn q1(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
         Some(d) => agg_plan.exchange(d),
         None => agg_plan,
     };
-    finish(agg_plan.sort(vec![(0, false), (1, false)]), db)
+    optimized(agg_plan.sort(vec![(0, false), (1, false)]), db)
 }
 
 // --- Q2: minimum cost supplier ----------------------------------------------
 
-pub fn q2(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
+pub fn q2(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
+    run_plan(&q2_plan(db, pq)?, db)
+}
+
+/// The optimized plan q2 executes.
+pub fn q2_plan(db: &TaurusDb, _pq: Option<usize>) -> Result<Plan> {
     // Europe supply costs: [ps_pk, ps_sk, cost, s_sk, s_name, s_addr,
     //                       s_nk, s_phone, s_bal, s_comment, n_nk, n_name,
     //                       n_rk, r_rk, r_name]
@@ -161,7 +179,7 @@ pub fn q2(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
         Expr::col(7),
         Expr::col(9),
     ]);
-    finish(
+    optimized(
         projected.top_n(vec![(0, true), (2, false), (1, false), (3, false)], 100),
         db,
     )
@@ -169,7 +187,12 @@ pub fn q2(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
 
 // --- Q3: shipping priority ---------------------------------------------------
 
-pub fn q3(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
+pub fn q3(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
+    run_plan(&q3_plan(db, pq)?, db)
+}
+
+/// The optimized plan q3 executes.
+pub fn q3_plan(db: &TaurusDb, _pq: Option<usize>) -> Result<Plan> {
     let customer = Plan::Scan(
         ScanNode::new("customer", vec![0, 6])
             .with_predicate(vec![Expr::eq(Expr::col(6), Expr::str("BUILDING"))]),
@@ -193,12 +216,17 @@ pub fn q3(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
     );
     // Output: l_orderkey, revenue, o_orderdate, o_shippriority.
     let p = g.project(vec![Expr::col(0), Expr::col(3), Expr::col(1), Expr::col(2)]);
-    finish(p.top_n(vec![(1, true), (2, false)], 10), db)
+    optimized(p.top_n(vec![(1, true), (2, false)], 10), db)
 }
 
 // --- Q4: order priority checking ---------------------------------------------
 
 pub fn q4(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
+    run_plan(&q4_plan(db, pq)?, db)
+}
+
+/// The optimized plan q4 executes.
+pub fn q4_plan(db: &TaurusDb, pq: Option<usize>) -> Result<Plan> {
     let orders = ScanNode::new("orders", vec![0, 4, 5]).with_predicate(vec![
         Expr::ge(Expr::col(4), Expr::date("1993-07-01")),
         Expr::lt(Expr::col(4), Expr::date("1993-10-01")),
@@ -220,12 +248,17 @@ pub fn q4(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
         None => semi,
     };
     let g = hash_agg(semi, vec![Expr::col(2)], vec![count_star()]);
-    finish(g.sort(vec![(0, false)]), db)
+    optimized(g.sort(vec![(0, false)]), db)
 }
 
 // --- Q5: local supplier volume -------------------------------------------------
 
 pub fn q5(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
+    run_plan(&q5_plan(db, pq)?, db)
+}
+
+/// The optimized plan q5 executes.
+pub fn q5_plan(db: &TaurusDb, pq: Option<usize>) -> Result<Plan> {
     let orders = ScanNode::new("orders", vec![0, 1, 4]).with_predicate(vec![
         Expr::ge(Expr::col(4), Expr::date("1994-01-01")),
         Expr::lt(Expr::col(4), Expr::date("1995-01-01")),
@@ -262,12 +295,17 @@ pub fn q5(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
     );
     let j4 = hash_join(j3, r, vec![12], vec![0], JoinType::Inner);
     let g = hash_agg(j4, vec![Expr::col(11)], vec![sum(volume(4, 5))]);
-    finish(g.sort(vec![(1, true)]), db)
+    optimized(g.sort(vec![(1, true)]), db)
 }
 
 // --- Q6: revenue change forecast ---------------------------------------------
 
 pub fn q6(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
+    run_plan(&q6_plan(db, pq)?, db)
+}
+
+/// The optimized plan q6 executes.
+pub fn q6_plan(db: &TaurusDb, pq: Option<usize>) -> Result<Plan> {
     // Scan output: [qty0, ep1, disc2, sd3].
     let scan = ScanNode::new("lineitem", vec![4, 5, 6, 10]).with_predicate(vec![
         Expr::ge(Expr::col(10), Expr::date("1994-01-01")),
@@ -284,12 +322,17 @@ pub fn q6(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
         Some(d) => agg_plan.exchange(d),
         None => agg_plan,
     };
-    finish(agg_plan, db)
+    optimized(agg_plan, db)
 }
 
 // --- Q7: volume shipping -------------------------------------------------------
 
-pub fn q7(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
+pub fn q7(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
+    run_plan(&q7_plan(db, pq)?, db)
+}
+
+/// The optimized plan q7 executes.
+pub fn q7_plan(db: &TaurusDb, _pq: Option<usize>) -> Result<Plan> {
     let lineitem = Plan::Scan(
         ScanNode::new("lineitem", vec![0, 2, 5, 6, 10]).with_predicate(vec![
             Expr::ge(Expr::col(10), Expr::date("1995-01-01")),
@@ -333,12 +376,17 @@ pub fn q7(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
         vec![Expr::col(0), Expr::col(1), Expr::col(2)],
         vec![sum(Expr::col(3))],
     );
-    finish(g.sort(vec![(0, false), (1, false), (2, false)]), db)
+    optimized(g.sort(vec![(0, false), (1, false), (2, false)]), db)
 }
 
 // --- Q8: national market share ---------------------------------------------------
 
-pub fn q8(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
+pub fn q8(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
+    run_plan(&q8_plan(db, pq)?, db)
+}
+
+/// The optimized plan q8 executes.
+pub fn q8_plan(db: &TaurusDb, _pq: Option<usize>) -> Result<Plan> {
     let lineitem = Plan::Scan(ScanNode::new("lineitem", vec![0, 1, 2, 5, 6]));
     let part = Plan::Scan(
         ScanNode::new("part", vec![0, 4]).with_predicate(vec![Expr::eq(
@@ -385,12 +433,17 @@ pub fn q8(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
         vec![sum(Expr::col(2)), sum(Expr::col(1))],
     );
     let share = g.project(vec![Expr::col(0), Expr::div(Expr::col(1), Expr::col(2))]);
-    finish(share.sort(vec![(0, false)]), db)
+    optimized(share.sort(vec![(0, false)]), db)
 }
 
 // --- Q9: product type profit ------------------------------------------------------
 
-pub fn q9(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
+pub fn q9(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
+    run_plan(&q9_plan(db, pq)?, db)
+}
+
+/// The optimized plan q9 executes.
+pub fn q9_plan(db: &TaurusDb, _pq: Option<usize>) -> Result<Plan> {
     let lineitem = Plan::Scan(ScanNode::new("lineitem", vec![0, 1, 2, 4, 5, 6]));
     let part = Plan::Scan(
         ScanNode::new("part", vec![0, 1]).with_predicate(vec![Expr::like(Expr::col(1), "%green%")]),
@@ -415,12 +468,17 @@ pub fn q9(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
         Expr::sub(volume(4, 5), Expr::mul(Expr::col(12), Expr::col(3))),
     ]);
     let g = hash_agg(p, vec![Expr::col(0), Expr::col(1)], vec![sum(Expr::col(2))]);
-    finish(g.sort(vec![(0, false), (1, true)]), db)
+    optimized(g.sort(vec![(0, false), (1, true)]), db)
 }
 
 // --- Q10: returned item reporting ---------------------------------------------------
 
-pub fn q10(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
+pub fn q10(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
+    run_plan(&q10_plan(db, pq)?, db)
+}
+
+/// The optimized plan q10 executes.
+pub fn q10_plan(db: &TaurusDb, _pq: Option<usize>) -> Result<Plan> {
     let orders = Plan::Scan(ScanNode::new("orders", vec![0, 1, 4]).with_predicate(vec![
         Expr::ge(Expr::col(4), Expr::date("1993-10-01")),
         Expr::lt(Expr::col(4), Expr::date("1994-01-01")),
@@ -461,12 +519,14 @@ pub fn q10(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
         Expr::col(3),
         Expr::col(6),
     ]);
-    finish(p.top_n(vec![(2, true)], 20), db)
+    optimized(p.top_n(vec![(2, true)], 20), db)
 }
 
 // --- Q11: important stock identification ----------------------------------------------
 
-pub fn q11(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
+/// Q11's two aggregate stages over the shared supplier→partsupp lookup
+/// plan: (per-part value sums, scalar total).
+fn q11_stages() -> (Plan, Plan) {
     // German suppliers (small), then partsupp via index lookups — which is
     // why the paper's Q11 has no NDP opportunity beyond the tiny Nation
     // scan.
@@ -492,8 +552,18 @@ pub fn q11(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
     let value = Expr::mul(Expr::col(6), Expr::col(5));
     let per_part = hash_agg(ps.clone(), vec![Expr::col(4)], vec![sum(value.clone())]);
     let total = hash_agg(ps, vec![], vec![sum(value)]);
+    (per_part, total)
+}
 
-    let per_part_rows = finish(per_part, db)?;
+/// The optimized main-stage plan q11 executes (per-part value sums; the
+/// scalar-total stage and the threshold filter run on top of it).
+pub fn q11_plan(db: &TaurusDb, _pq: Option<usize>) -> Result<Plan> {
+    optimized(q11_stages().0, db)
+}
+
+pub fn q11(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
+    let (_, total) = q11_stages();
+    let per_part_rows = run_plan(&q11_plan(db, pq)?, db)?;
     let total_rows = finish(total, db)?;
     // SUM over an empty input is NULL (no German suppliers at tiny scale
     // factors): the query result is simply empty, not an error.

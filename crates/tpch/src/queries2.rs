@@ -11,12 +11,19 @@ use taurus_optimizer::plan::{
     AggFuncEx, AggScanNode, JoinType, LookupJoinNode, Plan, RangeSpec, ScanNode,
 };
 
-use crate::queries1::{agg, avg, count_star, finish, hash_agg, hash_join, sum, volume};
+use crate::queries1::{
+    agg, avg, count_star, finish, hash_agg, hash_join, optimized, run_plan, sum, volume,
+};
 use crate::schema::idx;
 
 // --- Q12: shipping modes and order priority ------------------------------------
 
-pub fn q12(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
+pub fn q12(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
+    run_plan(&q12_plan(db, pq)?, db)
+}
+
+/// The optimized plan q12 executes.
+pub fn q12_plan(db: &TaurusDb, _pq: Option<usize>) -> Result<Plan> {
     let lineitem = Plan::Scan(
         ScanNode::new("lineitem", vec![0, 10, 11, 12, 14]).with_predicate(vec![
             Expr::in_list(Expr::col(14), vec![Value::str("MAIL"), Value::str("SHIP")]),
@@ -57,12 +64,17 @@ pub fn q12(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
         vec![Expr::col(0)],
         vec![sum(Expr::col(1)), sum(Expr::col(2))],
     );
-    finish(g.sort(vec![(0, false)]), db)
+    optimized(g.sort(vec![(0, false)]), db)
 }
 
 // --- Q13: customer distribution ----------------------------------------------
 
-pub fn q13(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
+pub fn q13(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
+    run_plan(&q13_plan(db, pq)?, db)
+}
+
+/// The optimized plan q13 executes.
+pub fn q13_plan(db: &TaurusDb, _pq: Option<usize>) -> Result<Plan> {
     let customer = Plan::Scan(ScanNode::new("customer", vec![0]));
     let orders = Plan::Scan(
         ScanNode::new("orders", vec![0, 1, 8])
@@ -76,12 +88,17 @@ pub fn q13(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
         vec![agg(AggFuncEx::Count, Some(Expr::col(1)))],
     );
     let dist = hash_agg(per_cust, vec![Expr::col(1)], vec![count_star()]);
-    finish(dist.sort(vec![(1, true), (0, true)]), db)
+    optimized(dist.sort(vec![(1, true), (0, true)]), db)
 }
 
 // --- Q14: promotion effect -----------------------------------------------------
 
 pub fn q14(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
+    run_plan(&q14_plan(db, pq)?, db)
+}
+
+/// The optimized plan q14 executes.
+pub fn q14_plan(db: &TaurusDb, pq: Option<usize>) -> Result<Plan> {
     let lineitem = ScanNode::new("lineitem", vec![1, 5, 6, 10]).with_predicate(vec![
         Expr::ge(Expr::col(10), Expr::date("1995-09-01")),
         Expr::lt(Expr::col(10), Expr::date("1995-10-01")),
@@ -113,12 +130,15 @@ pub fn q14(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
         Expr::mul(Expr::dec("100.00"), Expr::col(0)),
         Expr::col(1),
     )]);
-    finish(out, db)
+    optimized(out, db)
 }
 
 // --- Q15: top supplier ----------------------------------------------------------
 
-pub fn q15(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
+/// The optimized main-stage plan q15 executes (the revenue view:
+/// per-supplier Q1'96 revenue; the max-revenue filter and the serial
+/// supplier join run on top of it).
+pub fn q15_plan(db: &TaurusDb, pq: Option<usize>) -> Result<Plan> {
     let lineitem = ScanNode::new("lineitem", vec![2, 5, 6, 10]).with_predicate(vec![
         Expr::ge(Expr::col(10), Expr::date("1996-01-01")),
         Expr::lt(Expr::col(10), Expr::date("1996-04-01")),
@@ -133,7 +153,11 @@ pub fn q15(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
         Some(d) => rev.exchange(d),
         None => rev,
     };
-    let rev_rows = finish(rev, db)?;
+    optimized(rev, db)
+}
+
+pub fn q15(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
+    let rev_rows = run_plan(&q15_plan(db, pq)?, db)?;
     // max(total_revenue) — the view's outer scalar subquery.
     let max_rev = rev_rows
         .iter()
@@ -168,7 +192,12 @@ pub fn q15(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
 
 // --- Q16: parts/supplier relationship --------------------------------------------
 
-pub fn q16(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
+pub fn q16(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
+    run_plan(&q16_plan(db, pq)?, db)
+}
+
+/// The optimized plan q16 executes.
+pub fn q16_plan(db: &TaurusDb, _pq: Option<usize>) -> Result<Plan> {
     let part = Plan::Scan(ScanNode::new("part", vec![0, 3, 4, 5]).with_predicate(vec![
         Expr::ne(Expr::col(3), Expr::str("Brand#45")),
         Expr::not_like(Expr::col(4), "MEDIUM POLISHED%"),
@@ -197,7 +226,7 @@ pub fn q16(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
         vec![Expr::col(0), Expr::col(1), Expr::col(2)],
         vec![count_star()],
     );
-    finish(
+    optimized(
         g.sort(vec![(3, true), (0, false), (1, false), (2, false)]),
         db,
     )
@@ -205,7 +234,9 @@ pub fn q16(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
 
 // --- Q17: small-quantity-order revenue --------------------------------------------
 
-pub fn q17(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
+/// The optimized main-stage plan q17 executes (part→lineitem lookups;
+/// the correlated-average filter runs in memory on its output).
+pub fn q17_plan(db: &TaurusDb, _pq: Option<usize>) -> Result<Plan> {
     let part = ScanNode::new("part", vec![0, 3, 6]).with_predicate(vec![
         Expr::eq(Expr::col(3), Expr::str("Brand#23")),
         Expr::eq(Expr::col(6), Expr::str("MED BOX")),
@@ -222,7 +253,11 @@ pub fn q17(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
         join: JoinType::Inner,
         inner_predicate: vec![],
     });
-    let rows = finish(j, db)?;
+    optimized(j, db)
+}
+
+pub fn q17(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
+    let rows = run_plan(&q17_plan(db, pq)?, db)?;
     // Correlated avg: qty < 0.2 * avg(qty) per part.
     let mut sums: HashMap<i64, (f64, u64)> = HashMap::new();
     for r in &rows {
@@ -243,7 +278,12 @@ pub fn q17(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
 
 // --- Q18: large volume customers ----------------------------------------------------
 
-pub fn q18(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
+pub fn q18(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
+    run_plan(&q18_plan(db, pq)?, db)
+}
+
+/// The optimized plan q18 executes.
+pub fn q18_plan(db: &TaurusDb, _pq: Option<usize>) -> Result<Plan> {
     let big = hash_agg(
         Plan::Scan(ScanNode::new("lineitem", vec![0, 4])),
         vec![Expr::col(0)],
@@ -265,12 +305,17 @@ pub fn q18(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
         Expr::col(4),
         Expr::col(1),
     ]);
-    finish(p.top_n(vec![(4, true), (3, false)], 100), db)
+    optimized(p.top_n(vec![(4, true), (3, false)], 100), db)
 }
 
 // --- Q19: discounted revenue ---------------------------------------------------------
 
 pub fn q19(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
+    run_plan(&q19_plan(db, pq)?, db)
+}
+
+/// The optimized plan q19 executes.
+pub fn q19_plan(db: &TaurusDb, pq: Option<usize>) -> Result<Plan> {
     let sm_containers: Vec<Value> = ["SM CASE", "SM BOX", "SM PACK", "SM PKG"]
         .iter()
         .map(|s| Value::str(*s))
@@ -343,10 +388,29 @@ pub fn q19(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
         None => j,
     };
     let g = hash_agg(j, vec![], vec![sum(volume(5, 6))]);
-    finish(g, db)
+    optimized(g, db)
 }
 
 // --- Q20: potential part promotion -----------------------------------------------------
+
+/// The optimized main-stage plan q20 executes (Canadian suppliers; the
+/// forest-part / half-quantity stages feed the in-memory filter above
+/// this plan's output).
+pub fn q20_plan(db: &TaurusDb, _pq: Option<usize>) -> Result<Plan> {
+    optimized(
+        hash_join(
+            Plan::Scan(ScanNode::new("supplier", vec![0, 1, 2, 3])),
+            Plan::Scan(
+                ScanNode::new("nation", vec![0, 1])
+                    .with_predicate(vec![Expr::eq(Expr::col(1), Expr::str("CANADA"))]),
+            ),
+            vec![3],
+            vec![0],
+            JoinType::Inner,
+        ),
+        db,
+    )
+}
 
 pub fn q20(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
     // Forest parts.
@@ -399,19 +463,7 @@ pub fn q20(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
         }
     }
     // Canadian suppliers among them.
-    let sn = finish(
-        hash_join(
-            Plan::Scan(ScanNode::new("supplier", vec![0, 1, 2, 3])),
-            Plan::Scan(
-                ScanNode::new("nation", vec![0, 1])
-                    .with_predicate(vec![Expr::eq(Expr::col(1), Expr::str("CANADA"))]),
-            ),
-            vec![3],
-            vec![0],
-            JoinType::Inner,
-        ),
-        db,
-    )?;
+    let sn = run_plan(&q20_plan(db, _pq)?, db)?;
     let mut out: Vec<Row> = sn
         .into_iter()
         .filter(|r| good_suppliers.contains(&r[0].as_int().unwrap()))
@@ -423,7 +475,12 @@ pub fn q20(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
 
 // --- Q21: suppliers who kept orders waiting ----------------------------------------------
 
-pub fn q21(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
+pub fn q21(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
+    run_plan(&q21_plan(db, pq)?, db)
+}
+
+/// The optimized plan q21 executes.
+pub fn q21_plan(db: &TaurusDb, _pq: Option<usize>) -> Result<Plan> {
     // l1: late lines. [l_ok0, l_sk1, l_cd2, l_rd3]
     let l1 = Plan::Scan(
         ScanNode::new("lineitem", vec![0, 2, 11, 12])
@@ -468,12 +525,20 @@ pub fn q21(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
         inner_predicate: vec![Expr::gt(Expr::col(12), Expr::col(11))],
     });
     let g = hash_agg(anti, vec![Expr::col(7)], vec![count_star()]);
-    finish(g.top_n(vec![(1, true), (0, false)], 100), db)
+    optimized(g.top_n(vec![(1, true), (0, false)], 100), db)
 }
 
 // --- Q22: global sales opportunity ---------------------------------------------------------
 
-pub fn q22(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
+pub fn q22(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
+    run_plan(&q22_plan(db, pq)?, db)
+}
+
+/// The optimized main-stage plan q22 executes. Phase 1 (the scalar
+/// average-balance subquery) runs eagerly here — its result is a literal
+/// inside the returned phase-2 plan, exactly how MySQL executes the
+/// uncorrelated scalar subquery once.
+pub fn q22_plan(db: &TaurusDb, _pq: Option<usize>) -> Result<Plan> {
     let codes: Vec<Value> = ["13", "31", "23", "29", "30", "18", "17"]
         .iter()
         .map(|s| Value::str(*s))
@@ -515,13 +580,18 @@ pub fn q22(db: &TaurusDb, _pq: Option<usize>) -> Result<Vec<Row>> {
     });
     let p = anti.project(vec![cntry(1), Expr::col(2)]);
     let g = hash_agg(p, vec![Expr::col(0)], vec![count_star(), sum(Expr::col(1))]);
-    finish(g.sort(vec![(0, false)]), db)
+    optimized(g.sort(vec![(0, false)]), db)
 }
 
 // --- §VII-A micro-benchmark (Listing 5) -------------------------------------------------
 
 /// Q0: `SELECT COUNT(*) FROM lineitem` — full NDP aggregation pushdown.
 pub fn q0(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
+    run_plan(&q0_plan(db, pq)?, db)
+}
+
+/// The optimized plan q0 executes.
+pub fn q0_plan(db: &TaurusDb, pq: Option<usize>) -> Result<Plan> {
     let plan = Plan::AggScan(AggScanNode {
         scan: ScanNode::new("lineitem", vec![0]),
         group_cols: vec![],
@@ -531,11 +601,16 @@ pub fn q0(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
         Some(d) => plan.exchange(d),
         None => plan,
     };
-    finish(plan, db)
+    optimized(plan, db)
 }
 
 /// Q001: COUNT(*) with a shipdate filter — table (primary) scan.
 pub fn q001(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
+    run_plan(&q001_plan(db, pq)?, db)
+}
+
+/// The optimized plan q001 executes.
+pub fn q001_plan(db: &TaurusDb, pq: Option<usize>) -> Result<Plan> {
     let plan = Plan::AggScan(AggScanNode {
         scan: ScanNode::new("lineitem", vec![10])
             .with_predicate(vec![Expr::lt(Expr::col(10), Expr::date("1998-07-01"))]),
@@ -546,11 +621,16 @@ pub fn q001(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
         Some(d) => plan.exchange(d),
         None => plan,
     };
-    finish(plan, db)
+    optimized(plan, db)
 }
 
 /// Q002: COUNT(*) over a suppkey range — secondary index scan.
 pub fn q002(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
+    run_plan(&q002_plan(db, pq)?, db)
+}
+
+/// The optimized plan q002 executes.
+pub fn q002_plan(db: &TaurusDb, pq: Option<usize>) -> Result<Plan> {
     let n_supp = db.table("supplier")?.stats.read().row_count.max(2) as i64;
     let k = n_supp / 2;
     let plan = Plan::AggScan(AggScanNode {
@@ -568,7 +648,7 @@ pub fn q002(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
         Some(d) => plan.exchange(d),
         None => plan,
     };
-    finish(plan, db)
+    optimized(plan, db)
 }
 
 // --- registry ----------------------------------------------------------------------------
@@ -578,6 +658,13 @@ pub fn q002(db: &TaurusDb, pq: Option<usize>) -> Result<Vec<Row>> {
 pub struct Query {
     pub name: &'static str,
     pub run: fn(&TaurusDb, Option<usize>) -> Result<Vec<Row>>,
+    /// The query's optimized **main-stage** plan. For single-plan queries
+    /// (most of the suite) `run` is exactly a collect over this plan; the
+    /// multi-phase queries (Q11, Q15, Q17, Q20, Q22) post-process its
+    /// output (or, for Q22, bake an eagerly-computed scalar subquery into
+    /// it). Stream-vs-collect parity tests run this plan through both
+    /// executor terminals.
+    pub plan: fn(&TaurusDb, Option<usize>) -> Result<Plan>,
     pub pq_capable: bool,
 }
 
@@ -588,111 +675,133 @@ pub fn tpch_queries() -> Vec<Query> {
         Query {
             name: "Q1",
             run: q1,
+            plan: q1_plan,
             pq_capable: true,
         },
         Query {
             name: "Q2",
             run: q2,
+            plan: q2_plan,
             pq_capable: false,
         },
         Query {
             name: "Q3",
             run: q3,
+            plan: q3_plan,
             pq_capable: false,
         },
         Query {
             name: "Q4",
             run: q4,
+            plan: q4_plan,
             pq_capable: true,
         },
         Query {
             name: "Q5",
             run: q5,
+            plan: q5_plan,
             pq_capable: true,
         },
         Query {
             name: "Q6",
             run: q6,
+            plan: q6_plan,
             pq_capable: true,
         },
         Query {
             name: "Q7",
             run: q7,
+            plan: q7_plan,
             pq_capable: false,
         },
         Query {
             name: "Q8",
             run: q8,
+            plan: q8_plan,
             pq_capable: false,
         },
         Query {
             name: "Q9",
             run: q9,
+            plan: q9_plan,
             pq_capable: false,
         },
         Query {
             name: "Q10",
             run: q10,
+            plan: q10_plan,
             pq_capable: false,
         },
         Query {
             name: "Q11",
             run: q11,
+            plan: q11_plan,
             pq_capable: false,
         },
         Query {
             name: "Q12",
             run: q12,
+            plan: q12_plan,
             pq_capable: false,
         },
         Query {
             name: "Q13",
             run: q13,
+            plan: q13_plan,
             pq_capable: false,
         },
         Query {
             name: "Q14",
             run: q14,
+            plan: q14_plan,
             pq_capable: true,
         },
         Query {
             name: "Q15",
             run: q15,
+            plan: q15_plan,
             pq_capable: true,
         },
         Query {
             name: "Q16",
             run: q16,
+            plan: q16_plan,
             pq_capable: false,
         },
         Query {
             name: "Q17",
             run: q17,
+            plan: q17_plan,
             pq_capable: false,
         },
         Query {
             name: "Q18",
             run: q18,
+            plan: q18_plan,
             pq_capable: false,
         },
         Query {
             name: "Q19",
             run: q19,
+            plan: q19_plan,
             pq_capable: true,
         },
         Query {
             name: "Q20",
             run: q20,
+            plan: q20_plan,
             pq_capable: false,
         },
         Query {
             name: "Q21",
             run: q21,
+            plan: q21_plan,
             pq_capable: false,
         },
         Query {
             name: "Q22",
             run: q22,
+            plan: q22_plan,
             pq_capable: false,
         },
     ]
@@ -700,31 +809,36 @@ pub fn tpch_queries() -> Vec<Query> {
 
 /// The §VII-A micro-benchmark queries (Listing 5 + Q1 + Q6).
 pub fn micro_queries() -> Vec<Query> {
-    use crate::queries1::{q1, q6};
+    use crate::queries1::{q1, q1_plan, q6, q6_plan};
     vec![
         Query {
             name: "Q0",
             run: q0,
+            plan: q0_plan,
             pq_capable: true,
         },
         Query {
             name: "Q001",
             run: q001,
+            plan: q001_plan,
             pq_capable: true,
         },
         Query {
             name: "Q002",
             run: q002,
+            plan: q002_plan,
             pq_capable: true,
         },
         Query {
             name: "Q1",
             run: q1,
+            plan: q1_plan,
             pq_capable: true,
         },
         Query {
             name: "Q6",
             run: q6,
+            plan: q6_plan,
             pq_capable: true,
         },
     ]

@@ -1,0 +1,193 @@
+//! Stream-vs-collect parity through the batch-native operator pipeline.
+//!
+//! Every TPC-H (and micro-benchmark) query's main-stage plan must produce
+//! identical rows whether collected via `execute()` (a thin collect over
+//! the pipeline) or drained through `RowStream` (the same pipeline behind
+//! the bounded batch channel). A degenerate-batch matrix re-runs the
+//! composite shapes — join, aggregate, sort, LIMIT landing mid-batch,
+//! empty inputs, dropped-stream cancellation — at `scan_batch_rows ∈
+//! {1, 7, 1024}` so row-at-a-time, tiny-odd, and default batch sizes all
+//! exercise the same edges.
+
+use std::sync::Arc;
+
+use taurus_common::schema::Row;
+use taurus_common::{ClusterConfig, Value};
+use taurus_executor::Session;
+use taurus_expr::ast::Expr;
+use taurus_ndp::TaurusDb;
+use taurus_optimizer::plan::{HashAggNode, HashJoinNode, JoinType, Plan, ScanNode};
+use taurus_tpch::queries1::{q1_plan, q3_plan};
+use taurus_tpch::queries2::q12_plan;
+use taurus_tpch::{load, micro_queries, tpch_queries};
+
+const SF: f64 = 0.002;
+
+fn db_with_batch(batch: Option<usize>) -> Arc<TaurusDb> {
+    let mut cfg = ClusterConfig::default();
+    cfg.buffer_pool_pages = 256; // far smaller than the data
+    cfg.slice_pages = 32;
+    cfg.ndp.min_io_pages = 8;
+    cfg.ndp.max_pages_look_ahead = 64;
+    if let Some(b) = batch {
+        cfg.scan_batch_rows = b;
+    }
+    let db = TaurusDb::new(cfg);
+    load(&db, SF, 7).unwrap();
+    db
+}
+
+fn fmt_rows(rows: &[Row]) -> Vec<String> {
+    rows.iter()
+        .map(|r| {
+            r.iter()
+                .map(|v| match v {
+                    // Doubles can round differently across plans; compare
+                    // with bounded precision.
+                    Value::Double(d) => format!("{d:.4}"),
+                    other => other.to_string(),
+                })
+                .collect::<Vec<_>>()
+                .join("|")
+        })
+        .collect()
+}
+
+/// All 22 TPC-H queries (and the micro-benchmark queries): draining the
+/// streamed pipeline equals collecting it, row for row.
+#[test]
+fn stream_equals_collect_for_all_queries() {
+    let db = db_with_batch(None);
+    let session = Session::new(&db);
+    for q in tpch_queries().iter().chain(micro_queries().iter()) {
+        let plan = (q.plan)(&db, None).unwrap_or_else(|e| panic!("{} plan: {e}", q.name));
+        let collected = session
+            .execute_plan(&plan)
+            .unwrap_or_else(|e| panic!("{} collect: {e}", q.name));
+        let streamed: Vec<Row> = session
+            .stream_plan(plan.clone())
+            .map(|r| r.unwrap_or_else(|e| panic!("{} stream: {e}", q.name)))
+            .collect();
+        assert_eq!(
+            fmt_rows(&streamed),
+            fmt_rows(&collected),
+            "{}: stream/collect mismatch",
+            q.name
+        );
+    }
+}
+
+/// The PQ (Exchange/Gather) stage streams too: plan-level parity for the
+/// PQ-capable queries with a parallel degree.
+#[test]
+fn stream_equals_collect_under_pq() {
+    let db = db_with_batch(None);
+    let session = Session::new(&db);
+    for q in tpch_queries().iter().filter(|q| q.pq_capable) {
+        let plan = (q.plan)(&db, Some(4)).unwrap();
+        let collected = session.execute_plan(&plan).unwrap();
+        let streamed: Vec<Row> = session
+            .stream_plan(plan.clone())
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(
+            fmt_rows(&streamed),
+            fmt_rows(&collected),
+            "{}: PQ stream/collect mismatch",
+            q.name
+        );
+    }
+}
+
+/// A lineitem scan whose predicate can never match (empty input for the
+/// composite shapes).
+fn empty_lineitem() -> Plan {
+    Plan::Scan(
+        ScanNode::new("lineitem", vec![0, 5, 6])
+            .with_predicate(vec![Expr::lt(Expr::col(0), Expr::int(-1))]),
+    )
+}
+
+#[test]
+fn degenerate_batch_matrix() {
+    for batch in [1usize, 7, 1024] {
+        let db = db_with_batch(Some(batch));
+        assert_eq!(db.config().scan_batch_rows, batch);
+        let session = Session::new(&db);
+        // Composite shapes: join+agg+TopN (Q3), agg+sort (Q1),
+        // join+agg+sort (Q12).
+        let plans = [
+            ("q3", q3_plan(&db, None).unwrap()),
+            ("q1", q1_plan(&db, None).unwrap()),
+            ("q12", q12_plan(&db, None).unwrap()),
+        ];
+        for (name, plan) in &plans {
+            // Stream == collect at this batch size.
+            let collected = session.execute_plan(plan).unwrap();
+            let streamed: Vec<Row> = session
+                .stream_plan(plan.clone())
+                .map(|r| r.unwrap())
+                .collect();
+            assert_eq!(
+                fmt_rows(&streamed),
+                fmt_rows(&collected),
+                "{name} @ batch={batch}"
+            );
+            // LIMIT landing mid-batch stops after exactly n rows and
+            // matches the unlimited prefix.
+            for n in [1usize, 3, 10] {
+                let limited = session.execute_plan(&plan.clone().limit(n)).unwrap();
+                let want = n.min(collected.len());
+                assert_eq!(limited.len(), want, "{name} limit {n} @ batch={batch}");
+                assert_eq!(
+                    fmt_rows(&limited),
+                    fmt_rows(&collected[..want]),
+                    "{name} limit {n} must be a prefix @ batch={batch}"
+                );
+                let streamed_lim: Vec<Row> = session
+                    .stream_plan(plan.clone().limit(n))
+                    .map(|r| r.unwrap())
+                    .collect();
+                assert_eq!(fmt_rows(&streamed_lim), fmt_rows(&limited));
+            }
+            // Dropped-stream cancellation: pull one row, drop; the
+            // producer (and every scan under it) must stop and join —
+            // the test hanging here is the regression.
+            let mut stream = session.stream_plan(plan.clone());
+            let _ = stream.next();
+            drop(stream);
+            // The session stays fully usable afterwards.
+            let again = session.execute_plan(plan).unwrap();
+            assert_eq!(fmt_rows(&again), fmt_rows(&collected));
+        }
+        // Empty inputs through join / aggregate / sort shapes.
+        let empty_join = Plan::HashJoin(HashJoinNode {
+            left: Box::new(empty_lineitem()),
+            right: Box::new(empty_lineitem()),
+            left_keys: vec![0],
+            right_keys: vec![0],
+            join: JoinType::Inner,
+        });
+        assert!(session.execute_plan(&empty_join).unwrap().is_empty());
+        assert_eq!(session.stream_plan(empty_join.clone()).count(), 0);
+        let empty_sorted = empty_join.clone().sort(vec![(0, false)]);
+        assert_eq!(session.stream_plan(empty_sorted).count(), 0);
+        // Scalar aggregate over an empty input: exactly one group
+        // (COUNT = 0), streamed and collected alike.
+        let scalar_agg = Plan::HashAgg(HashAggNode {
+            input: Box::new(empty_lineitem()),
+            group: vec![],
+            aggs: vec![taurus_optimizer::plan::AggItem {
+                func: taurus_optimizer::plan::AggFuncEx::CountStar,
+                input: None,
+            }],
+        });
+        let collected = session.execute_plan(&scalar_agg).unwrap();
+        assert_eq!(collected, vec![vec![Value::Int(0)]]);
+        let streamed: Vec<Row> = session
+            .stream_plan(scalar_agg.clone())
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(streamed, collected, "scalar agg over empty @ batch={batch}");
+    }
+}

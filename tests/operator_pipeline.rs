@@ -1,0 +1,226 @@
+//! The batch-native pull pipeline, observed from the outside: operator
+//! traffic counters, LIMIT cancelling producing scans, dropped streams
+//! stopping mid-plan producers, and the physical EXPLAIN tree.
+
+use taurus::executor::{execute, ExecContext};
+use taurus::optimizer::ndp_post::ndp_post_process;
+use taurus::optimizer::plan::{HashJoinNode, JoinType, Plan, ScanNode};
+use taurus::prelude::*;
+
+fn tpch_db() -> std::sync::Arc<TaurusDb> {
+    let mut cfg = ClusterConfig::small_for_tests();
+    cfg.buffer_pool_pages = 64;
+    let db = TaurusDb::new(cfg);
+    taurus::tpch::load(&db, 0.005, 11).unwrap();
+    db.buffer_pool().clear();
+    db
+}
+
+fn lineitem_rows(db: &TaurusDb) -> u64 {
+    db.table("lineitem").unwrap().stats.read().row_count
+}
+
+/// A join plan whose probe side streams lineitem: orders builds the hash
+/// table, lineitem probes.
+fn join_plan(db: &TaurusDb) -> Plan {
+    let lineitem = Plan::Scan(ScanNode::new("lineitem", vec![0, 3, 4]));
+    let orders = Plan::Scan(ScanNode::new("orders", vec![0, 1]));
+    let mut plan = Plan::HashJoin(HashJoinNode {
+        left: Box::new(lineitem),
+        right: Box::new(orders),
+        left_keys: vec![0],
+        right_keys: vec![0],
+        join: JoinType::Inner,
+    });
+    ndp_post_process(&mut plan, db).unwrap();
+    plan
+}
+
+/// On a scan-only plan the operator emit counters pin against the scan
+/// core's batch counters: the BatchScan operator re-emits exactly the
+/// batches the scan flushed (no residual, no projection), so
+/// `operator_rows == rows_batched` and `operator_batches ==
+/// batches_emitted`.
+#[test]
+fn operator_counters_pin_against_scan_batches() {
+    let db = tpch_db();
+    let mut plan = Plan::Scan(ScanNode::new("lineitem", vec![0, 1, 2]));
+    ndp_post_process(&mut plan, &db).unwrap();
+    let before = db.metrics().snapshot();
+    let rows = execute(&plan, &ExecContext::new(&db)).unwrap();
+    let d = db.metrics().snapshot().since(&before);
+    assert_eq!(rows.len() as u64, lineitem_rows(&db));
+    assert_eq!(
+        d.operator_rows, d.rows_batched,
+        "scan-only: every batched row is emitted once"
+    );
+    assert_eq!(d.operator_batches, d.batches_emitted);
+    assert!(d.operator_batches > 0);
+}
+
+/// Through a two-operator pipeline (Limit over BatchScan) each row is
+/// charged at most once per operator that emits it.
+#[test]
+fn operator_counters_count_per_emit_site() {
+    let db = tpch_db();
+    let mut plan = Plan::Scan(ScanNode::new("lineitem", vec![0, 1])).limit(10);
+    ndp_post_process(&mut plan, &db).unwrap();
+    let before = db.metrics().snapshot();
+    let rows = execute(&plan, &ExecContext::new(&db)).unwrap();
+    let d = db.metrics().snapshot().since(&before);
+    assert_eq!(rows.len(), 10);
+    // Scan emits >= 10 rows (up to the channel look-ahead), Limit emits
+    // exactly 10; the sum is strictly less than two full scans.
+    assert!(
+        d.operator_rows >= 20,
+        "scan + limit both charge: {}",
+        d.operator_rows
+    );
+    assert!(
+        d.operator_rows < 2 * lineitem_rows(&db),
+        "LIMIT must not let both operators emit the full table"
+    );
+}
+
+/// `Plan::Limit` over a non-scan input stops pulling after `n` rows and
+/// cancels the producing scans: the probe-side scan of a join terminates
+/// far short of the full table.
+#[test]
+fn limit_over_join_cancels_probe_scan() {
+    let db = tpch_db();
+    let total = lineitem_rows(&db);
+    let plan = join_plan(&db).limit(5);
+    let before = db.metrics().snapshot();
+    let rows = execute(&plan, &ExecContext::new(&db)).unwrap();
+    let d = db.metrics().snapshot().since(&before);
+    assert_eq!(rows.len(), 5);
+    // The orders build side scans fully; the lineitem probe side must
+    // stop after a handful of batches (bounded channel look-ahead), not
+    // scan all of lineitem.
+    let orders = db.table("orders").unwrap().stats.read().row_count;
+    assert!(
+        d.rows_scanned < orders + total / 2,
+        "probe scan should stop early: scanned {} of {} lineitem rows",
+        d.rows_scanned - orders.min(d.rows_scanned),
+        total
+    );
+}
+
+/// Acceptance: `RowStream` streams a sort-free filter/limit plan over a
+/// join without materializing the full result set — dropping the stream
+/// early stops the producer (and its scans), observed through the scan
+/// counters freezing short of the full table.
+#[test]
+fn dropped_stream_over_join_stops_producer() {
+    let db = tpch_db();
+    let total = lineitem_rows(&db);
+    let session = Session::new(&db);
+    let plan = join_plan(&db).filter(taurus::expr::ast::Expr::ge(
+        taurus::expr::ast::Expr::col(1),
+        taurus::expr::ast::Expr::int(0),
+    ));
+    let before = db.metrics().snapshot();
+    let mut stream = session.stream_plan(plan);
+    for _ in 0..3 {
+        stream.next().unwrap().unwrap();
+    }
+    drop(stream); // joins the producer; hanging here is the regression
+    let d = db.metrics().snapshot().since(&before);
+    let orders = db.table("orders").unwrap().stats.read().row_count;
+    assert!(
+        d.rows_scanned < orders + total / 2,
+        "dropped stream must stop the probe scan: {} rows scanned",
+        d.rows_scanned
+    );
+    // Producer is joined: the counters are final. A fresh query still
+    // works on the same session.
+    let d2 = db.metrics().snapshot().since(&before);
+    assert_eq!(d.rows_scanned, d2.rows_scanned);
+    assert!(!session
+        .query("region")
+        .unwrap()
+        .collect_rows()
+        .unwrap()
+        .is_empty());
+}
+
+/// A LEFT OUTER hash join whose build side produces no rows must still
+/// NULL-pad every left row to the full static right width (the legacy
+/// executor emitted unpadded rows here, blowing up downstream operators
+/// that index past the left columns).
+#[test]
+fn left_outer_join_with_empty_build_side_null_pads() {
+    use taurus::expr::ast::Expr;
+    let db = tpch_db();
+    let lineitem = Plan::Scan(ScanNode::new("lineitem", vec![0, 4]));
+    let no_orders = Plan::Scan(
+        ScanNode::new("orders", vec![0, 1])
+            .with_predicate(vec![Expr::lt(Expr::col(0), Expr::int(-1))]),
+    );
+    let mut plan = Plan::HashJoin(HashJoinNode {
+        left: Box::new(lineitem),
+        right: Box::new(no_orders),
+        left_keys: vec![0],
+        right_keys: vec![0],
+        join: JoinType::LeftOuter,
+    });
+    ndp_post_process(&mut plan, &db).unwrap();
+    assert_eq!(plan.width(), 4);
+    let rows = execute(&plan.clone().limit(20), &ExecContext::new(&db)).unwrap();
+    assert_eq!(rows.len(), 20);
+    for r in &rows {
+        assert_eq!(r.len(), 4, "left width 2 + right width 2, NULL-padded");
+        assert!(r[2].is_null() && r[3].is_null());
+    }
+    // A downstream operator indexing into the right columns works:
+    // COUNT(o_custkey) over the join is 0, not an error.
+    let counted = execute(
+        &taurus::optimizer::plan::Plan::HashAgg(taurus::optimizer::plan::HashAggNode {
+            input: Box::new(plan),
+            group: vec![],
+            aggs: vec![taurus::optimizer::plan::AggItem {
+                func: taurus::optimizer::plan::AggFuncEx::Count,
+                input: Some(Expr::col(3)),
+            }],
+        }),
+        &ExecContext::new(&db),
+    )
+    .unwrap();
+    assert_eq!(counted, vec![vec![Value::Int(0)]]);
+}
+
+/// EXPLAIN renders the lowered physical pipeline alongside the logical
+/// tree: operator names, batch size, and per-scan NDP decisions.
+#[test]
+fn explain_renders_physical_pipeline() {
+    let db = tpch_db();
+    let session = Session::new(&db);
+    let explained = session
+        .query("lineitem")
+        .unwrap()
+        .select(["l_orderkey", "l_quantity"])
+        .filter(col("l_quantity").lt(10i64))
+        .order_by(0, false)
+        .limit(7)
+        .explain()
+        .unwrap();
+    let text = explained.to_string();
+    assert!(text.contains("Physical pipeline"), "{text}");
+    assert!(
+        text.contains(&format!("batch = {} rows", db.config().scan_batch_rows)),
+        "{text}"
+    );
+    assert!(text.contains("TopN(7)"), "{text}");
+    assert!(text.contains("BatchScan on lineitem"), "{text}");
+
+    // The physical tree names every operator of a composite plan.
+    let phys = taurus::optimizer::explain_physical(&join_plan(&db).limit(3), &db);
+    for needle in [
+        "Limit(3)",
+        "HashJoin",
+        "BatchScan on lineitem",
+        "BatchScan on orders",
+    ] {
+        assert!(phys.contains(needle), "{needle} missing from:\n{phys}");
+    }
+}
