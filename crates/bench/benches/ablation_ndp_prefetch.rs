@@ -1,0 +1,165 @@
+//! Ablation — NDP prefetch depth (`NdpConfig::prefetch_batches`): wall
+//! time of NDP scans over TPC-H `lineitem` vs how many leaf batches the
+//! scan keeps in flight.
+//!
+//! `prefetch_batches = 1` is the serial fetch-then-consume pipeline this
+//! PR replaced at the *batch* level (sub-batches within one batch already
+//! stream as Page Stores complete them); 2 is the shipped double-buffered
+//! default; 4 runs deeper. The simulated network (shared-medium
+//! bandwidth + per-request latency, as in the paper's 25 Gbps testbed
+//! model) is what the prefetcher hides: while the consumer drains batch
+//! N, batch N+1's pages are crossing the wire and being NDP-processed in
+//! the Page Stores. `prefetch_stall_ns` shows the residual wait;
+//! `ndp_batches_in_flight_peak` confirms the overlap actually happened.
+//!
+//! Two workloads, both cold-cache (buffer pool cleared before every
+//! sample) so every page crosses the SAL:
+//!
+//! * **full_scan**: project 4 of 16 lineitem columns, no predicate —
+//!   bandwidth-bound; the wire transfer is what overlaps with compute.
+//! * **selective_scan**: Q6-style pushed predicate — Page Store CPU and
+//!   mostly-empty result pages; storage-side processing overlaps with
+//!   compute-side completion.
+//!
+//! Run with `cargo bench --bench ablation_ndp_prefetch`. The final JSON
+//! block is what `BENCH_ndp_prefetch.json` at the repo root records.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::black_box;
+use taurus_bench::{header, setup, SEED};
+use taurus_common::{ClusterConfig, Dec};
+use taurus_executor::dsl::col;
+use taurus_executor::Session;
+use taurus_ndp::TaurusDb;
+
+const SF: f64 = 0.02;
+const PREFETCH_DEPTHS: [usize; 3] = [1, 2, 4];
+const SAMPLES: usize = 5;
+
+fn prefetch_config(prefetch: usize) -> ClusterConfig {
+    let mut cfg = ClusterConfig::default();
+    cfg.n_page_stores = 4;
+    cfg.replication = 3;
+    cfg.slice_pages = 128;
+    cfg.buffer_pool_pages = 2048;
+    cfg.ndp.enabled = true;
+    cfg.ndp.min_io_pages = 64;
+    cfg.ndp.max_pages_look_ahead = 256;
+    cfg.ndp.prefetch_batches = prefetch;
+    // The paper's shared 25 Gbps NIC, scaled: without a wire model there
+    // is nothing for the prefetcher to hide.
+    cfg.network.bandwidth_bytes_per_sec = Some(250_000_000);
+    cfg.network.latency_us = 100;
+    cfg
+}
+
+/// Full-width-ish scan: NDP projection pushed, every row survives.
+fn drain_full(db: &Arc<TaurusDb>) -> usize {
+    let session = Session::new(db);
+    let stream = session
+        .query("lineitem")
+        .unwrap()
+        .select(["l_orderkey", "l_quantity", "l_extendedprice", "l_shipdate"])
+        .stream()
+        .unwrap();
+    let mut n = 0usize;
+    for row in stream {
+        black_box(row.unwrap());
+        n += 1;
+    }
+    n
+}
+
+/// Q6-style selective scan: predicate pushed to the Page Stores.
+fn drain_selective(db: &Arc<TaurusDb>) -> usize {
+    let session = Session::new(db);
+    let stream = session
+        .query("lineitem")
+        .unwrap()
+        .select(["l_orderkey", "l_extendedprice"])
+        .filter(col("l_quantity").lt(Dec::new(300, 2)))
+        .stream()
+        .unwrap();
+    let mut n = 0usize;
+    for row in stream {
+        black_box(row.unwrap());
+        n += 1;
+    }
+    n
+}
+
+/// Median cold-cache wall time over `SAMPLES` runs; returns
+/// (rows, median ms, stall ms at the median run's metrics delta).
+fn measure(db: &Arc<TaurusDb>, f: impl Fn(&Arc<TaurusDb>) -> usize) -> (usize, f64, f64) {
+    let mut times: Vec<(f64, f64)> = Vec::with_capacity(SAMPLES);
+    let mut rows = 0usize;
+    for _ in 0..SAMPLES {
+        db.buffer_pool().clear();
+        let before = db.metrics().snapshot();
+        let t0 = Instant::now();
+        rows = f(db);
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        let d = db.metrics().snapshot().since(&before);
+        times.push((wall, d.prefetch_stall_ns as f64 / 1e6));
+    }
+    times.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let (median_ms, stall_ms) = times[times.len() / 2];
+    (rows, median_ms, stall_ms)
+}
+
+fn main() {
+    header("Ablation: NDP prefetch depth (NdpConfig::prefetch_batches)");
+    println!(
+        "{:>9} {:>9} {:>12} {:>11} {:>12} {:>11} {:>9}",
+        "prefetch", "rows", "full ms", "stall ms", "sel ms", "stall ms", "peak"
+    );
+    let mut json_rows: Vec<String> = Vec::new();
+    let mut at_depth: Vec<(f64, f64)> = Vec::new();
+    for &prefetch in &PREFETCH_DEPTHS {
+        let db = setup(SF, prefetch_config(prefetch));
+        // Warm the tree internals (not the leaf pages — each sample
+        // clears the pool), then measure.
+        drain_full(&db);
+        let (full_rows, full_ms, full_stall) = measure(&db, drain_full);
+        let (sel_rows, sel_ms, sel_stall) = measure(&db, drain_selective);
+        let peak = db.metrics().snapshot().ndp_batches_in_flight_peak;
+        println!(
+            "{prefetch:>9} {full_rows:>9} {full_ms:>12.1} {full_stall:>11.1} {sel_ms:>12.1} {sel_stall:>11.1} {peak:>9}"
+        );
+        at_depth.push((full_ms, sel_ms));
+        json_rows.push(format!(
+            "    {{\"prefetch_batches\": {prefetch}, \
+             \"full_scan\": {{\"rows_out\": {full_rows}, \"median_ms\": {full_ms:.2}, \"prefetch_stall_ms\": {full_stall:.2}}}, \
+             \"selective_scan\": {{\"rows_out\": {sel_rows}, \"median_ms\": {sel_ms:.2}, \"prefetch_stall_ms\": {sel_stall:.2}}}, \
+             \"ndp_batches_in_flight_peak\": {peak}}}"
+        ));
+    }
+    let (serial_full, serial_sel) = at_depth[0];
+    let (db_full, db_sel) = at_depth[1];
+    println!();
+    println!(
+        "speedup prefetch=2 vs 1: full_scan {:.2}x, selective_scan {:.2}x",
+        serial_full / db_full,
+        serial_sel / db_sel
+    );
+    println!();
+    println!("--- BENCH_ndp_prefetch.json ---");
+    println!("{{");
+    println!("  \"bench\": \"ablation_ndp_prefetch\",");
+    println!("  \"workload\": \"TPC-H lineitem SF {SF} (seed {SEED}), NDP on, cold buffer pool per sample, shared 250 MB/s wire + 100 us request latency\",");
+    println!("  \"samples_per_point\": {SAMPLES},");
+    println!("  \"results\": [");
+    println!("{}", json_rows.join(",\n"));
+    println!("  ],");
+    println!(
+        "  \"speedup_full_scan_prefetch2_vs_1\": {:.2},",
+        serial_full / db_full
+    );
+    println!(
+        "  \"speedup_selective_scan_prefetch2_vs_1\": {:.2}",
+        serial_sel / db_sel
+    );
+    println!("}}");
+}

@@ -43,6 +43,10 @@ pub struct BufferPool {
     capacity: usize,
     inner: Mutex<Inner>,
     metrics: Arc<Metrics>,
+    /// Signaled whenever an NDP frame is released, so a scan waiting in
+    /// [`BufferPool::alloc_ndp_frame_timeout`] wakes immediately (std
+    /// pair — the vendored `parking_lot` has no Condvar).
+    frame_freed: (std::sync::Mutex<()>, std::sync::Condvar),
 }
 
 impl BufferPool {
@@ -57,6 +61,7 @@ impl BufferPool {
                 ndp_allocated: 0,
             }),
             metrics,
+            frame_freed: (std::sync::Mutex::new(()), std::sync::Condvar::new()),
         })
     }
 
@@ -182,6 +187,50 @@ impl BufferPool {
         })
     }
 
+    /// Best-effort variant of [`BufferPool::alloc_ndp_frame`]: `None`
+    /// instead of an error when the NDP area is exhausted. Prefetching
+    /// scans use this while *staging* look-ahead pages — under cross-scan
+    /// contention they degrade to deferred (consume-time) allocation
+    /// rather than failing a query that only needs one frame at a time.
+    pub fn try_alloc_ndp_frame(self: &Arc<Self>, page: Arc<Page>) -> Option<NdpFrameGuard> {
+        self.alloc_ndp_frame(page).ok()
+    }
+
+    /// Allocate an NDP frame, waiting up to `timeout` for one to be
+    /// released if the NDP area is momentarily exhausted by concurrent
+    /// scans. Wakes on every [`NdpFrameGuard`] drop (no polling); on
+    /// timeout the pool-exhausted error surfaces. Callers must hold
+    /// **zero** NDP frames while waiting (the prefetching scan sheds its
+    /// staged accounting first) — that is what makes the wait
+    /// deadlock-free: every held frame belongs to a scan that is making
+    /// progress and will release it.
+    pub fn alloc_ndp_frame_timeout(
+        self: &Arc<Self>,
+        page: Arc<Page>,
+        timeout: std::time::Duration,
+    ) -> Result<NdpFrameGuard> {
+        let deadline = std::time::Instant::now() + timeout;
+        let (lock, cvar) = &self.frame_freed;
+        // Holding `frame_freed` across the failed attempt and the wait
+        // (releasers take it before notifying) prevents lost wakeups.
+        let mut signal = lock.lock().expect("frame_freed poisoned");
+        loop {
+            match self.alloc_ndp_frame(page.clone()) {
+                Ok(f) => return Ok(f),
+                Err(e) => {
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
+                        return Err(e);
+                    }
+                    signal = cvar
+                        .wait_timeout(signal, deadline - now)
+                        .expect("frame_freed poisoned")
+                        .0;
+                }
+            }
+        }
+    }
+
     /// Pages cached for a given space — the counter behind the paper's Q4
     /// buffer-pool experiment (§VII-D: lineitem pages present after Q1–Q3).
     pub fn count_pages_in_space(&self, space: SpaceId) -> usize {
@@ -216,6 +265,16 @@ impl NdpFrameGuard {
 impl Drop for NdpFrameGuard {
     fn drop(&mut self) {
         self.pool.inner.lock().ndp_allocated -= 1;
+        // Take the signal lock before notifying so a waiter that just
+        // failed its attempt cannot miss this release (lost wakeup).
+        drop(
+            self.pool
+                .frame_freed
+                .0
+                .lock()
+                .expect("frame_freed poisoned"),
+        );
+        self.pool.frame_freed.1.notify_all();
     }
 }
 
@@ -300,6 +359,28 @@ mod tests {
         assert!(p.alloc_ndp_frame(page(2, 2)).is_err());
         drop(_g1);
         assert!(p.alloc_ndp_frame(page(2, 3)).is_ok());
+    }
+
+    #[test]
+    fn timeout_alloc_waits_for_a_release() {
+        let p = pool(2);
+        let g1 = p.alloc_ndp_frame(page(2, 0)).unwrap();
+        let _g2 = p.alloc_ndp_frame(page(2, 1)).unwrap();
+        // Full pool + nobody releasing: the timeout path errors.
+        assert!(p
+            .alloc_ndp_frame_timeout(page(2, 2), std::time::Duration::from_millis(20))
+            .is_err());
+        // A concurrent release wakes the waiter well before the deadline.
+        let p2 = p.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            drop(g1);
+        });
+        let got = p.alloc_ndp_frame_timeout(page(2, 3), std::time::Duration::from_secs(5));
+        t.join().unwrap();
+        assert!(got.is_ok());
+        drop(got);
+        assert_eq!(p2.ndp_frames_in_use(), 1);
     }
 
     #[test]

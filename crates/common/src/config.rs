@@ -12,7 +12,15 @@
 /// edge degenerated to a batch boundary — stays a permanently exercised
 /// configuration. Invalid or zero values are ignored.
 fn scan_batch_rows_env_override(default: usize) -> usize {
-    match std::env::var("TAURUS_SCAN_BATCH_ROWS") {
+    env_usize_override("TAURUS_SCAN_BATCH_ROWS", default)
+}
+
+/// Read a positive-`usize` environment override, falling back to `default`
+/// when unset, unparsable or zero. CI uses these to run the whole suite
+/// under alternative cluster shapes (fan-out width, replication, prefetch
+/// depth) without patching every test's config constructor.
+fn env_usize_override(var: &str, default: usize) -> usize {
+    match std::env::var(var) {
         Ok(v) => match v.trim().parse::<usize>() {
             Ok(n) if n >= 1 => n,
             _ => default,
@@ -45,6 +53,15 @@ pub struct NdpConfig {
     pub predicate_max_filter_factor: f64,
     /// Page Store descriptor cache (§IV-D1).
     pub descriptor_cache: bool,
+    /// How many leaf batches the NDP scan keeps in flight: while batch N
+    /// is consumed in logical page order, batches N+1..N+prefetch-1 are
+    /// already extracted and their batch reads dispatched across Page
+    /// Stores. `1` disables the overlap (strictly fetch-then-consume);
+    /// the default double-buffers. The per-scan NDP frame quota
+    /// (`max_pages_look_ahead`, capped at half the buffer pool) is
+    /// *split* across the in-flight batches, so prefetching never grows
+    /// the NDP area footprint.
+    pub prefetch_batches: usize,
 }
 
 impl Default for NdpConfig {
@@ -56,6 +73,7 @@ impl Default for NdpConfig {
             projection_width_threshold: 0.8,
             predicate_max_filter_factor: 1.0,
             descriptor_cache: true,
+            prefetch_batches: env_usize_override("TAURUS_PREFETCH_BATCHES", 2),
         }
     }
 }
@@ -109,8 +127,8 @@ impl Default for ClusterConfig {
         ClusterConfig {
             page_size: 16 * 1024,
             slice_pages: 256,
-            n_page_stores: 4,
-            replication: 3,
+            n_page_stores: env_usize_override("TAURUS_N_PAGE_STORES", 4),
+            replication: env_usize_override("TAURUS_REPLICATION", 3),
             n_log_stores: 3,
             buffer_pool_pages: 2048,
             scan_batch_rows: scan_batch_rows_env_override(crate::batch::DEFAULT_SCAN_BATCH_ROWS),
@@ -131,8 +149,8 @@ impl ClusterConfig {
         ClusterConfig {
             page_size: 4 * 1024,
             slice_pages: 8,
-            n_page_stores: 3,
-            replication: 2,
+            n_page_stores: env_usize_override("TAURUS_N_PAGE_STORES", 3),
+            replication: env_usize_override("TAURUS_REPLICATION", 2),
             n_log_stores: 3,
             buffer_pool_pages: 64,
             // Deliberately tiny and odd: mid-page capacity flushes and
@@ -160,12 +178,33 @@ impl ClusterConfig {
 mod tests {
     use super::*;
 
+    /// Is this override var actually *effective*? Must mirror
+    /// `env_usize_override`: CI sets unused matrix dimensions to empty
+    /// strings, which the parser ignores — so presence alone would
+    /// silently skip the default assertions on every CI leg.
+    fn overridden(var: &str) -> bool {
+        std::env::var(var)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .is_some_and(|n| n >= 1)
+    }
+
     #[test]
     fn defaults_match_paper_scale_map() {
         let c = ClusterConfig::default();
         assert_eq!(c.page_size, 16 * 1024);
-        assert_eq!(c.n_page_stores, 4);
-        assert_eq!(c.replication, 3);
+        // CI runs the suite under alternative cluster shapes via env
+        // overrides; the paper-scale assertions only hold un-overridden.
+        if !overridden("TAURUS_N_PAGE_STORES") {
+            assert_eq!(c.n_page_stores, 4);
+        }
+        if !overridden("TAURUS_REPLICATION") {
+            assert_eq!(c.replication, 3);
+        }
+        if !overridden("TAURUS_PREFETCH_BATCHES") {
+            assert_eq!(c.ndp.prefetch_batches, 2, "double-buffered by default");
+        }
+        assert!(c.ndp.prefetch_batches >= 1);
         assert_eq!(c.ndp.max_pages_look_ahead, 1024);
         assert!(c.ndp.enabled);
     }

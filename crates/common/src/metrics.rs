@@ -91,8 +91,13 @@ metrics_struct! {
     net_bytes_to_storage,
     /// Bytes received storage -> compute (pages, NDP pages, log acks).
     net_bytes_from_storage,
-    /// Read requests issued to Page Stores (batch = 1 request per sub-batch).
+    /// Read requests issued to Page Stores (batch = 1 request per
+    /// sub-batch). Charged per *attempt*: a failed-over read counts once
+    /// per replica tried, so wire accounting stays honest.
     net_read_requests,
+    /// Read attempts beyond the first replica (failover retries, both the
+    /// single-page path and NDP sub-batch dispatch).
+    read_retries,
     /// Raw (unprocessed) pages shipped to the compute node.
     pages_shipped_raw,
     /// NDP-processed pages shipped to the compute node.
@@ -132,6 +137,24 @@ metrics_struct! {
     bp_evictions,
     /// NDP frames currently allocated from the free list (gauge-ish).
     bp_ndp_frames,
+    /// NDP leaf batches currently in flight in prefetching scans (gauge:
+    /// incremented when a batch read is dispatched, decremented when the
+    /// batch is fully consumed or the scan is cancelled). ≥ 2 while a
+    /// double-buffered scan overlaps fetch with consumption.
+    ndp_batches_in_flight,
+    /// High-water mark of `ndp_batches_in_flight` (monotone; the direct
+    /// observable for "batch N+1 was on the wire while batch N drained").
+    ndp_batches_in_flight_peak,
+    /// Nanoseconds NDP scan consumers spent blocked waiting for a
+    /// prefetched page that had not arrived yet (0 = storage fully hid
+    /// behind compute; large = the scan is storage-bound).
+    prefetch_stall_ns,
+    /// NDP batch requests currently being served across all Page Stores
+    /// (gauge) and its high-water mark — the storage-side view of the
+    /// same overlap: > slice-fan-out peak means requests from different
+    /// leaf batches overlapped inside the stores.
+    ps_requests_in_flight,
+    ps_requests_in_flight_peak,
     /// Page Store: pages NDP-processed in storage.
     ps_pages_processed,
     /// Page Store: NDP requests skipped due to resource control (pages).
@@ -158,6 +181,25 @@ impl Metrics {
 
     pub fn add(&self, f: impl Fn(&Metrics) -> &AtomicU64, v: u64) {
         f(self).fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Decrement a gauge-style counter (in-flight counts). Saturating in
+    /// spirit: gauges are only decremented by the guard that incremented
+    /// them, so they never underflow in correct code.
+    pub fn sub(&self, f: impl Fn(&Metrics) -> &AtomicU64, v: u64) {
+        f(self).fetch_sub(v, Ordering::Relaxed);
+    }
+
+    /// Increment a gauge and record its high-water mark in `peak`.
+    /// Returns the gauge value after the increment.
+    pub fn gauge_inc(
+        &self,
+        gauge: impl Fn(&Metrics) -> &AtomicU64,
+        peak: impl Fn(&Metrics) -> &AtomicU64,
+    ) -> u64 {
+        let now = gauge(self).fetch_add(1, Ordering::Relaxed) + 1;
+        peak(self).fetch_max(now, Ordering::Relaxed);
+        now
     }
 }
 
@@ -197,6 +239,26 @@ mod tests {
         assert_eq!(d.net_bytes_from_storage, 250);
         assert_eq!(d.pages_shipped_ndp, 3);
         assert_eq!(d.net_bytes_to_storage, 0);
+    }
+
+    #[test]
+    fn gauge_inc_tracks_peak() {
+        let m = Metrics::default();
+        let inc = |m: &Metrics| {
+            m.gauge_inc(
+                |m| &m.ndp_batches_in_flight,
+                |m| &m.ndp_batches_in_flight_peak,
+            )
+        };
+        assert_eq!(inc(&m), 1);
+        assert_eq!(inc(&m), 2);
+        m.sub(|m| &m.ndp_batches_in_flight, 1);
+        assert_eq!(inc(&m), 2);
+        m.sub(|m| &m.ndp_batches_in_flight, 1);
+        m.sub(|m| &m.ndp_batches_in_flight, 1);
+        let s = m.snapshot();
+        assert_eq!(s.ndp_batches_in_flight, 0, "gauge balanced");
+        assert_eq!(s.ndp_batches_in_flight_peak, 2, "peak sticks");
     }
 
     /// Spin until the thread-CPU clock visibly advances (its resolution can

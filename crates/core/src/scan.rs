@@ -17,6 +17,13 @@
 //!    read-view visibility + undo reconstruction) — the four cases of
 //!    §V-B1.
 //!
+//! Steps 1–3 run as a **prefetch pipeline**: up to
+//! `ndp.prefetch_batches` leaf batches are in flight at once, each with
+//! its own streaming SAL fan-out ([`taurus_sal::Sal::batch_read_streaming`]),
+//! so batch N+1's Page Store work overlaps batch N's consumption. The
+//! per-scan frame quota is split across the in-flight batches — see
+//! [`ndp_scan`] and DESIGN.md's "NDP prefetch pipeline" section.
+//!
 //! Everything above the scan sees only rows and aggregate partials through
 //! [`ScanConsumer`] — "the MySQL query execution layers above the storage
 //! engine are unaware of NDP processing".
@@ -29,17 +36,20 @@
 //! partials force a flush first, keeping them ordered right after their
 //! carrier row.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::Instant;
 
 use taurus_btree::{ScanRange, TreeStore};
-use taurus_common::{Error, PageNo, PageRef, Result, RowBatch, Value};
+use taurus_bufferpool::{BufferPool, NdpFrameGuard};
+use taurus_common::{Error, Metrics, PageNo, PageRef, Result, RowBatch, Value};
 use taurus_expr::agg::{AggSpec, AggState};
 use taurus_expr::ast::Expr;
 use taurus_expr::descriptor::{NdpAggSpec, NdpDescriptor};
 use taurus_mvcc::ReadView;
 use taurus_page::{Page, PageType, RecType, RecordLayout, RecordView};
 use taurus_pagestore::PagePayload;
+use taurus_sal::BatchReadHandle;
 
 use crate::engine::{Table, TableIndex, TaurusDb};
 
@@ -676,83 +686,303 @@ fn regular_scan(
     Ok(())
 }
 
-/// The NDP scan (§IV-C4): batch extraction → BP overlap check → SAL fan-out
-/// → ordered consumption with immediate frame release.
+// --- the prefetching NDP read pipeline --------------------------------------
+
+/// Which path staged a page (drives [`ScanStats`] at consume time).
+enum StagedKind {
+    Cache,
+    Ndp,
+    Raw,
+}
+
+/// A page staged for in-order consumption. Staging allocates its NDP
+/// frame best-effort, so in the common case every staged page — cached
+/// copy or arrived fetch — is charged against the pool's NDP area for
+/// exactly as long as it is held; the frame releases the moment the
+/// consumer drains the page (guard drop), or when a cancelled scan drops
+/// the whole in-flight queue. Under cross-scan contention the NDP area
+/// may be exhausted by *other* scans' look-ahead; then `guard` stays
+/// `None` and allocation is deferred to consume time, where the scan
+/// needs only one frame to make progress — exactly the pre-pipeline
+/// footprint, so concurrent scans never fail on look-ahead they could
+/// have survived one page at a time.
+struct StagedPage {
+    page: Arc<Page>,
+    guard: Option<NdpFrameGuard>,
+    processed_by_storage: bool,
+    kind: StagedKind,
+}
+
+/// RAII leg of the `ndp_batches_in_flight` gauge: counts one issued leaf
+/// batch from dispatch until it is fully consumed *or* dropped by a
+/// cancelled scan, so the gauge stays balanced on every exit path.
+struct InflightGauge {
+    metrics: Arc<Metrics>,
+}
+
+impl InflightGauge {
+    fn new(metrics: Arc<Metrics>) -> InflightGauge {
+        metrics.gauge_inc(
+            |m| &m.ndp_batches_in_flight,
+            |m| &m.ndp_batches_in_flight_peak,
+        );
+        InflightGauge { metrics }
+    }
+}
+
+impl Drop for InflightGauge {
+    fn drop(&mut self) {
+        self.metrics.sub(|m| &m.ndp_batches_in_flight, 1);
+    }
+}
+
+/// One issued leaf batch: its logical page order, the pages staged so far
+/// (cached copies at issue time, fetched pages as their sub-batches
+/// arrive), and the streaming batch read delivering the rest. Dropping an
+/// `InflightBatch` mid-flight releases its staged frames and cancels its
+/// [`BatchReadHandle`] (joining the SAL dispatch threads).
+struct InflightBatch {
+    pages: Vec<PageNo>,
+    staged: HashMap<PageNo, StagedPage>,
+    read: Option<BatchReadHandle>,
+    /// `Some` iff the batch dispatched a storage read — fully-cached
+    /// batches never count as "in flight", so the overlap observable
+    /// (`ndp_batches_in_flight_peak` ≥ 2) cannot be satisfied by
+    /// buffer-pool hits alone.
+    _gauge: Option<InflightGauge>,
+}
+
+/// Cursor over the leaf-batch sequence of one scan range.
+struct PrefetchCursor {
+    resume: Option<Vec<u8>>,
+    exhausted: bool,
+}
+
+/// Extract and dispatch the next leaf batch: descend for up to
+/// `per_batch` leaf page numbers, copy buffer-pool hits straight into the
+/// NDP area, and start the streaming SAL fan-out for the misses. Returns
+/// `None` once the range is exhausted. This is the *issue* half of the
+/// pipeline — it never blocks on storage.
+fn issue_next_batch(
+    ctx: &ScanCtx<'_>,
+    bp: &Arc<BufferPool>,
+    descriptor: &Arc<Vec<u8>>,
+    per_batch: usize,
+    cursor: &mut PrefetchCursor,
+) -> Result<Option<InflightBatch>> {
+    if cursor.exhausted {
+        return Ok(None);
+    }
+    let store = &ctx.index.store;
+    let (pages, lsn, next_resume) = ctx.index.tree.collect_leaf_batch(
+        store.as_ref(),
+        &ctx.spec.range,
+        cursor.resume.as_deref(),
+        per_batch,
+    )?;
+    match next_resume {
+        Some(k) => cursor.resume = Some(k),
+        None => cursor.exhausted = true,
+    }
+    if pages.is_empty() {
+        cursor.exhausted = true;
+        return Ok(None);
+    }
+    let space = ctx.index.tree.def.space;
+    // Buffer-pool overlap: cached pages are copied to the NDP area and
+    // completed by InnoDB; only misses go into the batch read.
+    let mut staged: HashMap<PageNo, StagedPage> = HashMap::with_capacity(pages.len());
+    let mut missing: Vec<PageNo> = Vec::with_capacity(pages.len());
+    for &no in &pages {
+        match bp.get(PageRef::new(space, no)) {
+            Some(p) => {
+                staged.insert(
+                    no,
+                    StagedPage {
+                        guard: bp.try_alloc_ndp_frame(p.clone()),
+                        page: p,
+                        processed_by_storage: false,
+                        kind: StagedKind::Cache,
+                    },
+                );
+            }
+            None => missing.push(no),
+        }
+    }
+    let read = if missing.is_empty() {
+        None
+    } else {
+        Some(
+            store
+                .sal()
+                .batch_read_streaming(space, &missing, lsn, descriptor.clone())?,
+        )
+    };
+    let gauge = read
+        .as_ref()
+        .map(|_| InflightGauge::new(ctx.db.metrics().clone()));
+    Ok(Some(InflightBatch {
+        pages,
+        staged,
+        read,
+        _gauge: gauge,
+    }))
+}
+
+/// Take the staged page `no` out of `batch`, blocking on the streaming
+/// read until its sub-batch arrives if it is still on the wire. Every
+/// arriving sub-batch is staged wholesale (frames allocated
+/// best-effort), so later pages of the batch are consumed without
+/// further waits. Time spent blocked here is the pipeline's stall — 0
+/// when prefetch fully hides storage behind compute.
+fn take_staged(
+    batch: &mut InflightBatch,
+    no: PageNo,
+    bp: &Arc<BufferPool>,
+    metrics: &Arc<Metrics>,
+) -> Result<StagedPage> {
+    if let Some(s) = batch.staged.remove(&no) {
+        return Ok(s);
+    }
+    let t0 = Instant::now();
+    let result = loop {
+        let Some(read) = batch.read.as_mut() else {
+            break Err(Error::Internal(format!("page {no} missing from batch")));
+        };
+        match read.recv() {
+            Some(Ok(sub)) => {
+                for pr in sub {
+                    let (page, processed_by_storage, kind) = match pr.payload {
+                        PagePayload::Ndp(p) => (p, true, StagedKind::Ndp),
+                        PagePayload::Raw(p) => (p, false, StagedKind::Raw),
+                    };
+                    batch.staged.insert(
+                        pr.page_no,
+                        StagedPage {
+                            guard: bp.try_alloc_ndp_frame(page.clone()),
+                            page,
+                            processed_by_storage,
+                            kind,
+                        },
+                    );
+                }
+                if let Some(s) = batch.staged.remove(&no) {
+                    break Ok(s);
+                }
+            }
+            Some(Err(e)) => break Err(e),
+            None => break Err(Error::Internal(format!("page {no} missing from batch"))),
+        }
+    };
+    metrics.add(|m| &m.prefetch_stall_ns, t0.elapsed().as_nanos() as u64);
+    result
+}
+
+/// Drop every NDP frame this scan holds for *staged* (not-yet-consumed)
+/// pages, keeping the pages themselves. Called before a zero-frame wait
+/// so a contended scan never waits while sitting on look-ahead
+/// accounting other scans could use; frames are re-acquired lazily at
+/// each page's consume step.
+fn shed_staged_frames(batch: &mut InflightBatch, inflight: &mut VecDeque<InflightBatch>) {
+    for s in batch.staged.values_mut() {
+        s.guard = None;
+    }
+    for b in inflight.iter_mut() {
+        for s in b.staged.values_mut() {
+            s.guard = None;
+        }
+    }
+}
+
+/// The NDP scan (§IV-C4): a pipelined batch extraction → BP overlap check
+/// → SAL fan-out → ordered consumption loop. Up to
+/// `ndp.prefetch_batches` leaf batches are in flight at once: batch N+1's
+/// storage reads run (and its Page Store NDP work happens) while batch N
+/// is consumed in logical page order — the compute/storage overlap of
+/// §VI-2 — with the per-scan frame quota (`max_pages_look_ahead`, capped
+/// at half the pool) *split* across the in-flight batches so look-ahead
+/// can never exhaust the NDP area. Frames release as each page drains.
+///
+/// Cancellation: when the consumer stops (dropped `RowStream`, satisfied
+/// LIMIT), the in-flight queue drops on return — releasing every staged
+/// frame and joining every SAL sub-batch dispatch thread before the scan
+/// returns to its caller.
 fn ndp_scan(
     ctx: &ScanCtx<'_>,
     state: &mut ScanState,
     choice: &NdpChoice,
     consumer: &mut dyn ScanConsumer,
 ) -> Result<()> {
-    let tree = &ctx.index.tree;
-    let store = ctx.index.store.clone();
-    let bp = store.buffer_pool().clone();
-    let space = tree.def.space;
+    let bp = ctx.index.store.buffer_pool().clone();
     let descriptor = Arc::new(build_descriptor(ctx.index, choice, ctx.watermark)?.encode());
-    let look_ahead = ctx.db.config().ndp.max_pages_look_ahead.max(1);
-    let mut resume: Option<Vec<u8>> = None;
+    let cfg = ctx.db.config();
+    let look_ahead = cfg.ndp.max_pages_look_ahead.max(1);
+    let frame_quota = look_ahead.min((bp.capacity() / 2).max(1));
+    // Clamping the depth to the quota keeps `prefetch * per_batch <=
+    // frame_quota` exact even with floor division — depth beyond one
+    // page per in-flight batch cannot buy overlap anyway.
+    let prefetch = cfg.ndp.prefetch_batches.clamp(1, frame_quota);
+    let per_batch = (frame_quota / prefetch).max(1);
 
+    let mut cursor = PrefetchCursor {
+        resume: None,
+        exhausted: false,
+    };
+    // Set after the scan's first consume-time frame deferral: the NDP
+    // area is contended, so later deferrals skip the grace wait instead
+    // of paying it once per batch for the rest of the scan.
+    let mut contended = false;
+    let mut inflight: VecDeque<InflightBatch> = VecDeque::with_capacity(prefetch);
     loop {
-        let (pages, lsn, next_resume) = tree.collect_leaf_batch(
-            store.as_ref(),
-            &ctx.spec.range,
-            resume.as_deref(),
-            look_ahead,
-        )?;
-        if pages.is_empty() {
+        // Keep the pipeline full: batches N+1.. dispatch here, then the
+        // front batch is drained below while they complete in storage.
+        while !cursor.exhausted && inflight.len() < prefetch {
+            match issue_next_batch(ctx, &bp, &descriptor, per_batch, &mut cursor)? {
+                Some(b) => inflight.push_back(b),
+                None => break,
+            }
+        }
+        let Some(mut batch) = inflight.pop_front() else {
             break;
-        }
-        // Buffer-pool overlap: cached pages are copied to the NDP area and
-        // completed by InnoDB; only misses go into the batch read.
-        let mut cached: HashMap<PageNo, Arc<Page>> = HashMap::new();
-        let mut missing: Vec<PageNo> = Vec::with_capacity(pages.len());
-        for &no in &pages {
-            let pref = PageRef::new(space, no);
-            match bp.get(pref) {
-                Some(p) => {
-                    cached.insert(no, p);
-                }
-                None => missing.push(no),
-            }
-        }
-        let mut fetched: HashMap<PageNo, PagePayload> = HashMap::new();
-        if !missing.is_empty() {
-            for r in store
-                .sal()
-                .batch_read(space, &missing, lsn, descriptor.clone())?
-            {
-                fetched.insert(r.page_no, r.payload);
-            }
-        }
+        };
         // Consume strictly in logical page order.
-        for &no in &pages {
-            let stop = if let Some(p) = cached.remove(&no) {
-                state.stats.pages_from_cache += 1;
-                // Copy into the NDP area (frame released on drop).
-                let guard = bp.alloc_ndp_frame(p)?;
-                !ctx.consume_page(state, guard.page(), false, consumer)?
-            } else {
-                match fetched.remove(&no) {
-                    Some(PagePayload::Ndp(p)) => {
-                        state.stats.pages_ndp += 1;
-                        let guard = bp.alloc_ndp_frame(p)?;
-                        !ctx.consume_page(state, guard.page(), true, consumer)?
-                    }
-                    Some(PagePayload::Raw(p)) => {
-                        state.stats.pages_raw += 1;
-                        let guard = bp.alloc_ndp_frame(p)?;
-                        !ctx.consume_page(state, guard.page(), false, consumer)?
-                    }
-                    None => return Err(Error::Internal(format!("page {no} missing from batch"))),
+        for i in 0..batch.pages.len() {
+            let no = batch.pages[i];
+            let mut staged = take_staged(&mut batch, no, &bp, ctx.db.metrics())?;
+            match staged.kind {
+                StagedKind::Cache => state.stats.pages_from_cache += 1,
+                StagedKind::Ndp => state.stats.pages_ndp += 1,
+                StagedKind::Raw => state.stats.pages_raw += 1,
+            }
+            // Deferred frame allocation: staging found the NDP area full
+            // (concurrent scans' look-ahead). Shed this scan's *own*
+            // staged-frame accounting and try to take the one frame this
+            // page needs, granting a brief zero-frames-held grace wait
+            // (once per batch) for a release. If the area stays full —
+            // e.g. parked streams pinning their look-ahead — consume
+            // **unaccounted**: the page is already resident, the NDP-area
+            // budget is backpressure, and neither correctness nor
+            // availability may depend on frames this scan does not need.
+            let _frame: Option<NdpFrameGuard> = match staged.guard.take() {
+                Some(g) => Some(g),
+                None => {
+                    shed_staged_frames(&mut batch, &mut inflight);
+                    let grace = if contended {
+                        std::time::Duration::ZERO
+                    } else {
+                        std::time::Duration::from_millis(100)
+                    };
+                    contended = true;
+                    bp.alloc_ndp_frame_timeout(staged.page.clone(), grace).ok()
                 }
             };
-            if stop {
+            let keep_going =
+                ctx.consume_page(state, &staged.page, staged.processed_by_storage, consumer)?;
+            // Frame released as soon as its page drains.
+            drop(_frame);
+            if !keep_going {
                 return Ok(());
             }
-        }
-        match next_resume {
-            Some(k) => resume = Some(k),
-            None => break,
         }
     }
     Ok(())

@@ -114,14 +114,24 @@ pub(crate) fn residual_survives(residual: &[Expr], row: &[Value]) -> Result<bool
     Ok(true)
 }
 
-/// Map table-column expressions onto scan-output positions.
-pub(crate) fn remap_to_output(e: &Expr, output: &[usize]) -> Expr {
-    e.remap_columns(&|c| {
+/// Map table-column expressions onto scan-output positions. A column the
+/// scan does not deliver is a malformed plan — reported as
+/// [`Error::Internal`], never a panic (plans can reach the executor from
+/// hand-built trees, not just the vetted builder).
+pub(crate) fn remap_to_output(e: &Expr, output: &[usize]) -> Result<Expr> {
+    for c in e.columns() {
+        if !output.contains(&c) {
+            return Err(Error::Internal(format!(
+                "column {c} not in scan output {output:?}"
+            )));
+        }
+    }
+    Ok(e.remap_columns(&|c| {
         output
             .iter()
             .position(|&o| o == c)
-            .unwrap_or_else(|| panic!("column {c} not in scan output {output:?}"))
-    })
+            .expect("all columns checked against output above")
+    }))
 }
 
 struct RowCollector {
@@ -174,7 +184,7 @@ pub(crate) fn exec_scan(
         .residual_conjuncts()
         .into_iter()
         .map(|e| remap_to_output(e, &node.output))
-        .collect();
+        .collect::<Result<_>>()?;
     let mut c = RowCollector {
         rows: Vec::new(),
         residual,
@@ -438,13 +448,14 @@ pub(crate) fn exec_agg_scan_partials(
         .group_cols
         .iter()
         .map(|c| {
-            node.scan
-                .output
-                .iter()
-                .position(|o| o == c)
-                .unwrap_or_else(|| panic!("group column {c} not in scan output"))
+            node.scan.output.iter().position(|o| o == c).ok_or_else(|| {
+                Error::Internal(format!(
+                    "group column {c} not in scan output {:?}",
+                    node.scan.output
+                ))
+            })
         })
-        .collect();
+        .collect::<Result<_>>()?;
     let inputs: Vec<Option<Expr>> = node
         .aggs
         .iter()
@@ -452,14 +463,15 @@ pub(crate) fn exec_agg_scan_partials(
             a.input
                 .as_ref()
                 .map(|e| remap_to_output(e, &node.scan.output))
+                .transpose()
         })
-        .collect();
+        .collect::<Result<_>>()?;
     let residual: Vec<Expr> = node
         .scan
         .residual_conjuncts()
         .into_iter()
         .map(|e| remap_to_output(e, &node.scan.output))
-        .collect();
+        .collect::<Result<_>>()?;
     let scalar = node.group_cols.is_empty();
     let mut c = StreamAggConsumer {
         group_pos,
@@ -605,7 +617,7 @@ impl<'a> LookupProbe<'a> {
             .inner_predicate
             .iter()
             .map(|e| remap_to_output(e, &fetch))
-            .collect();
+            .collect::<Result<_>>()?;
         let out_pos: Vec<usize> = node
             .inner_output
             .iter()
@@ -747,4 +759,72 @@ pub(crate) fn exec_lookup_join(
         probe.probe(ctx, &orow, &mut |row| out.push(row))?;
     }
     Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use taurus_common::schema::{Column, TableSchema};
+    use taurus_common::{ClusterConfig, DataType};
+
+    fn tiny_db() -> (Arc<TaurusDb>, Arc<taurus_ndp::Table>) {
+        let db = TaurusDb::new(ClusterConfig::small_for_tests());
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                Column::new("a", DataType::BigInt),
+                Column::new("b", DataType::BigInt),
+                Column::new("c", DataType::BigInt),
+            ],
+            vec![0],
+        );
+        let t = db.create_table(schema, &[]).unwrap();
+        db.bulk_load(
+            &t,
+            (0..20i64)
+                .map(|i| vec![Value::Int(i), Value::Int(i * 2), Value::Int(i * 3)])
+                .collect(),
+        )
+        .unwrap();
+        (db, t)
+    }
+
+    /// A plan whose residual predicate references a column the scan does
+    /// not deliver must surface as `Error::Internal`, not a panic
+    /// (executor threads turning malformed plans into aborts would take
+    /// the whole process down).
+    #[test]
+    fn malformed_residual_column_is_an_error_not_a_panic() {
+        let (db, _t) = tiny_db();
+        let ctx = ExecContext::new(&db);
+        let mut node = ScanNode::new("t", vec![0, 1]);
+        node.predicate = vec![Expr::gt(Expr::col(2), Expr::int(5))]; // col 2 not in output
+        let err = execute(&Plan::Scan(node), &ctx).unwrap_err();
+        assert!(
+            matches!(err, Error::Internal(ref m) if m.contains("not in scan output")),
+            "{err:?}"
+        );
+    }
+
+    /// Same contract for an AggScan whose GROUP BY column the scan does
+    /// not deliver.
+    #[test]
+    fn malformed_group_column_is_an_error_not_a_panic() {
+        let (db, _t) = tiny_db();
+        let ctx = ExecContext::new(&db);
+        let node = AggScanNode {
+            scan: ScanNode::new("t", vec![0, 1]),
+            group_cols: vec![2], // not in scan output
+            aggs: Vec::new(),
+        };
+        let err = exec_agg_scan_partials(&node, &ctx, None).unwrap_err();
+        assert!(
+            matches!(err, Error::Internal(ref m) if m.contains("group column")),
+            "{err:?}"
+        );
+        // And through the full pipeline entry point.
+        let err = execute(&Plan::AggScan(node), &ctx).unwrap_err();
+        assert!(matches!(err, Error::Internal(_)), "{err:?}");
+    }
 }

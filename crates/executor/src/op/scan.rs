@@ -124,7 +124,7 @@ pub(crate) fn run_scan_producer(
             .residual_conjuncts()
             .into_iter()
             .map(|e| remap_to_output(e, &node.output))
-            .collect();
+            .collect::<Result<_>>()?;
         let mut consumer = ChannelConsumer {
             tx,
             residual,

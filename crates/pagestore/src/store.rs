@@ -11,7 +11,7 @@
 //! error) is returned **raw** and the compute node finishes the job.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::bounded;
@@ -101,6 +101,40 @@ pub struct PageStore {
     metrics: Arc<Metrics>,
     skip_policy: RwLock<SkipPolicy>,
     skip_counter: AtomicU64,
+    /// Fault injection: a poisoned store fails every read (the SAL's
+    /// failover path must route around it, like a crashed replica).
+    poisoned: AtomicBool,
+    /// Requests currently being served by this store and the high-water
+    /// mark — per-request queue accounting so the compute/storage overlap
+    /// of prefetching scans is observable on the storage side.
+    active_requests: AtomicU64,
+    active_requests_peak: AtomicU64,
+}
+
+/// RAII accounting for one in-flight request on one Page Store: charges
+/// the store-local and cluster-wide in-flight gauges (+ peaks) for
+/// exactly the serving duration, on every exit path.
+struct RequestGuard<'a> {
+    store: &'a PageStore,
+}
+
+impl<'a> RequestGuard<'a> {
+    fn new(store: &'a PageStore) -> RequestGuard<'a> {
+        let now = store.active_requests.fetch_add(1, Ordering::Relaxed) + 1;
+        store.active_requests_peak.fetch_max(now, Ordering::Relaxed);
+        store.metrics.gauge_inc(
+            |m| &m.ps_requests_in_flight,
+            |m| &m.ps_requests_in_flight_peak,
+        );
+        RequestGuard { store }
+    }
+}
+
+impl Drop for RequestGuard<'_> {
+    fn drop(&mut self) {
+        self.store.active_requests.fetch_sub(1, Ordering::Relaxed);
+        self.store.metrics.sub(|m| &m.ps_requests_in_flight, 1);
+    }
 }
 
 impl PageStore {
@@ -115,6 +149,9 @@ impl PageStore {
             metrics,
             skip_policy: RwLock::new(SkipPolicy::None),
             skip_counter: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+            active_requests: AtomicU64::new(0),
+            active_requests_peak: AtomicU64::new(0),
         })
     }
 
@@ -125,6 +162,37 @@ impl PageStore {
     /// Inject a deterministic skip pattern (tests, resource-control bench).
     pub fn set_skip_policy(&self, p: SkipPolicy) {
         *self.skip_policy.write() = p;
+    }
+
+    /// Fault injection: while poisoned, every read on this store fails
+    /// (standing in for a crashed / partitioned replica; writes still
+    /// apply so the store can be revived consistent).
+    pub fn set_poisoned(&self, poisoned: bool) {
+        self.poisoned.store(poisoned, Ordering::SeqCst);
+    }
+
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    fn check_poisoned(&self) -> Result<()> {
+        if self.is_poisoned() {
+            return Err(Error::InvalidState(format!(
+                "page store {} is down (poisoned)",
+                self.id
+            )));
+        }
+        Ok(())
+    }
+
+    /// Requests currently being served by this store.
+    pub fn active_requests(&self) -> u64 {
+        self.active_requests.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of concurrently-served requests since startup.
+    pub fn active_requests_peak(&self) -> u64 {
+        self.active_requests_peak.load(Ordering::Relaxed)
     }
 
     pub fn descriptor_cache_len(&self) -> usize {
@@ -189,6 +257,7 @@ impl PageStore {
         page_no: PageNo,
         at_lsn: Option<Lsn>,
     ) -> Result<Arc<Page>> {
+        self.check_poisoned()?;
         let slices = self.slices.read();
         let s = slices
             .get(&slice)
@@ -213,6 +282,8 @@ impl PageStore {
     /// Serve an NDP batch read (§IV-D). Every page comes back either NDP-
     /// processed or raw; the response preserves request order.
     pub fn serve_ndp_batch(&self, req: &NdpBatchRequest) -> Result<Vec<PageResult>> {
+        self.check_poisoned()?;
+        let _req = RequestGuard::new(self);
         let cd = self.cache.get_or_prepare(&req.descriptor)?;
         // Materialize the requested versions first (regular read path).
         let mut pages: Vec<(PageNo, Arc<Page>)> = Vec::with_capacity(req.pages.len());
@@ -405,6 +476,22 @@ mod tests {
         )
     }
 
+    /// A valid descriptor that requests no NDP work (pure batched read).
+    fn no_work_descriptor() -> Arc<Vec<u8>> {
+        Arc::new(
+            taurus_expr::descriptor::NdpDescriptor {
+                index_id: 7,
+                record_dtypes: vec![taurus_common::DataType::BigInt],
+                key_positions: vec![0],
+                projection: None,
+                predicate_bitcode: None,
+                aggregation: None,
+                low_watermark: 100,
+            }
+            .encode(),
+        )
+    }
+
     fn new_page_redo(space: u32, page_no: PageNo, lsn: Lsn) -> RedoRecord {
         RedoRecord {
             lsn,
@@ -477,6 +564,56 @@ mod tests {
             Err(Error::NotFound(_))
         ));
         assert!(ps.apply_redo(&[new_page_redo(9, 0, 1)]).is_err());
+    }
+
+    #[test]
+    fn poisoned_store_fails_reads_until_revived() {
+        let ps = store();
+        let sid = SliceId::of(SpaceId(1), 0, 8);
+        ps.create_slice(sid);
+        ps.apply_redo(&[new_page_redo(1, 0, 1)]).unwrap();
+        assert!(ps.read_page(sid, 0, None).is_ok());
+        ps.set_poisoned(true);
+        assert!(matches!(
+            ps.read_page(sid, 0, None),
+            Err(Error::InvalidState(_))
+        ));
+        let req = NdpBatchRequest {
+            slice: sid,
+            pages: vec![0],
+            read_lsn: 1,
+            descriptor: no_work_descriptor(),
+        };
+        assert!(ps.serve_ndp_batch(&req).is_err());
+        // Writes still apply while down; a revived store serves them.
+        ps.apply_redo(&[RedoRecord {
+            lsn: 2,
+            space: SpaceId(1),
+            page_no: 0,
+            body: crate::redo::RedoBody::SetNext(9),
+        }])
+        .unwrap();
+        ps.set_poisoned(false);
+        assert_eq!(ps.read_page(sid, 0, None).unwrap().next(), 9);
+    }
+
+    #[test]
+    fn request_accounting_charges_gauge_and_peak() {
+        let ps = store();
+        let sid = SliceId::of(SpaceId(1), 0, 8);
+        ps.create_slice(sid);
+        ps.apply_redo(&[new_page_redo(1, 0, 1)]).unwrap();
+        assert_eq!(ps.active_requests_peak(), 0);
+        // A no-work descriptor: served inline as raw, still accounted.
+        let req = NdpBatchRequest {
+            slice: sid,
+            pages: vec![0],
+            read_lsn: 1,
+            descriptor: no_work_descriptor(),
+        };
+        ps.serve_ndp_batch(&req).unwrap();
+        assert_eq!(ps.active_requests(), 0, "gauge balanced after serving");
+        assert_eq!(ps.active_requests_peak(), 1);
     }
 
     #[test]

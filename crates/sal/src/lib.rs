@@ -45,6 +45,10 @@ pub struct Sal {
     network: Arc<Network>,
     metrics: Arc<Metrics>,
     rr_counter: AtomicU64,
+    /// Rotates the starting replica of batch-read sub-dispatches so read
+    /// load spreads across a slice's replicas instead of pinning
+    /// `replicas[0]`.
+    read_rr: AtomicU64,
 }
 
 impl Sal {
@@ -74,6 +78,7 @@ impl Sal {
             network,
             metrics,
             rr_counter: AtomicU64::new(0),
+            read_rr: AtomicU64::new(0),
         })
     }
 
@@ -118,6 +123,12 @@ impl Sal {
         }
         w.insert(slice, replicas.clone());
         replicas
+    }
+
+    /// Replica placement of a slice (first = preferred replica for
+    /// single-page reads), if it has one.
+    pub fn replicas_of(&self, slice: SliceId) -> Option<Vec<usize>> {
+        self.placement.read().get(&slice).cloned()
     }
 
     fn replicas_for(&self, slice: SliceId) -> Result<Vec<usize>> {
@@ -174,11 +185,14 @@ impl Sal {
     pub fn read_page(&self, pref: PageRef, at_lsn: Option<Lsn>) -> Result<Arc<Page>> {
         let slice = self.slice_of(pref.space, pref.page_no);
         let replicas = self.replicas_for(slice)?;
-        self.metrics.add(|m| &m.net_read_requests, 1);
-        self.network
-            .transfer(Direction::ToStorage, REQ_HEADER_BYTES + PER_PAGE_ID_BYTES);
         let mut last_err = Error::NotFound(format!("page {pref:?}"));
-        for &ps in &replicas {
+        for (attempt, &ps) in replicas.iter().enumerate() {
+            charge_read_attempt(
+                &self.metrics,
+                &self.network,
+                attempt,
+                REQ_HEADER_BYTES + PER_PAGE_ID_BYTES,
+            );
             match self.page_stores[ps].read_page(slice, pref.page_no, at_lsn) {
                 Ok(p) => {
                     self.network.transfer(
@@ -195,7 +209,8 @@ impl Sal {
     }
 
     /// NDP batch read (§IV-C4, §VI-2): split by slice, dispatch sub-batches
-    /// concurrently, reassemble in request order.
+    /// concurrently, reassemble in request order. Convenience join-all
+    /// wrapper over [`Sal::batch_read_streaming`].
     pub fn batch_read(
         &self,
         space: SpaceId,
@@ -203,74 +218,10 @@ impl Sal {
         read_lsn: Lsn,
         descriptor: Arc<Vec<u8>>,
     ) -> Result<Vec<PageResult>> {
-        // Group into per-slice sub-batches, preserving order within each.
-        let mut sub: HashMap<SliceId, Vec<PageNo>> = HashMap::new();
-        for &p in pages {
-            sub.entry(self.slice_of(space, p)).or_default().push(p);
-        }
-        let mut jobs: Vec<(SliceId, Vec<PageNo>, usize)> = Vec::with_capacity(sub.len());
-        for (slice, nos) in sub {
-            let replicas = self.replicas_for(slice)?;
-            jobs.push((slice, nos, replicas[0]));
-        }
-
-        let results: Vec<Result<Vec<PageResult>>> = crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = jobs
-                .iter()
-                .map(|(slice, nos, ps)| {
-                    let descriptor = descriptor.clone();
-                    let network = self.network.clone();
-                    let metrics = self.metrics.clone();
-                    let store = self.page_stores[*ps].clone();
-                    let slice = *slice;
-                    let nos = nos.clone();
-                    s.spawn(move |_| {
-                        metrics.add(|m| &m.net_read_requests, 1);
-                        network.transfer(
-                            Direction::ToStorage,
-                            REQ_HEADER_BYTES
-                                + descriptor.len() as u64
-                                + PER_PAGE_ID_BYTES * nos.len() as u64,
-                        );
-                        let req = NdpBatchRequest {
-                            slice,
-                            pages: nos,
-                            read_lsn,
-                            descriptor,
-                        };
-                        let out = store.serve_ndp_batch(&req)?;
-                        let mut bytes = 0u64;
-                        for r in &out {
-                            bytes += r.payload.byte_len() as u64 + PER_PAGE_RESULT_HEADER;
-                            match &r.payload {
-                                PagePayload::Ndp(p) => {
-                                    if p.page_type() == taurus_page::PageType::NdpEmpty {
-                                        metrics.add(|m| &m.pages_shipped_empty, 1);
-                                    } else {
-                                        metrics.add(|m| &m.pages_shipped_ndp, 1);
-                                    }
-                                }
-                                PagePayload::Raw(_) => {
-                                    metrics.add(|m| &m.pages_shipped_raw, 1);
-                                }
-                            }
-                        }
-                        network.transfer(Direction::FromStorage, bytes);
-                        Ok(out)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("sal dispatch thread"))
-                .collect()
-        })
-        .expect("sal scope");
-
-        // Reassemble in the caller's page order.
+        let mut handle = self.batch_read_streaming(space, pages, read_lsn, descriptor)?;
         let mut by_page: HashMap<PageNo, PageResult> = HashMap::with_capacity(pages.len());
-        for r in results {
-            for pr in r? {
+        while let Some(sub) = handle.recv() {
+            for pr in sub? {
                 by_page.insert(pr.page_no, pr);
             }
         }
@@ -282,6 +233,189 @@ impl Sal {
                     .ok_or_else(|| Error::Internal(format!("page {p} missing from batch")))
             })
             .collect()
+    }
+
+    /// Streaming NDP batch read: split `pages` into per-slice sub-batches
+    /// and dispatch each on its own thread, like [`Sal::batch_read`] — but
+    /// deliver each sub-batch's [`PageResult`]s through a bounded channel
+    /// **as it completes**, so the caller can consume early sub-batches
+    /// (and prefetch further leaf batches) while slower Page Stores are
+    /// still working. The caller enforces logical page order; this layer
+    /// only promises that every requested page eventually arrives in
+    /// exactly one delivered sub-batch (or an error does).
+    ///
+    /// Each sub-batch picks its starting replica round-robin (load
+    /// spread) and fails over to the slice's remaining replicas on error,
+    /// charging request bytes per attempted replica — the batch analogue
+    /// of [`Sal::read_page`]'s failover.
+    ///
+    /// Dropping the returned handle cancels delivery: the channel closes,
+    /// in-flight sub-batch threads finish their current store call, fail
+    /// to send, and are joined before `drop` returns — no dispatch thread
+    /// ever outlives its handle.
+    pub fn batch_read_streaming(
+        &self,
+        space: SpaceId,
+        pages: &[PageNo],
+        read_lsn: Lsn,
+        descriptor: Arc<Vec<u8>>,
+    ) -> Result<BatchReadHandle> {
+        // Group into per-slice sub-batches, preserving order within each.
+        let mut sub: HashMap<SliceId, Vec<PageNo>> = HashMap::new();
+        for &p in pages {
+            sub.entry(self.slice_of(space, p)).or_default().push(p);
+        }
+        // Resolve placements up front: an unknown slice fails the whole
+        // read before any thread is spawned.
+        let mut jobs: Vec<(SliceId, Vec<PageNo>, Vec<Arc<PageStore>>)> =
+            Vec::with_capacity(sub.len());
+        for (slice, nos) in sub {
+            let replicas = self.replicas_for(slice)?;
+            let start = (self.read_rr.fetch_add(1, Ordering::Relaxed) as usize) % replicas.len();
+            let stores: Vec<Arc<PageStore>> = (0..replicas.len())
+                .map(|i| self.page_stores[replicas[(start + i) % replicas.len()]].clone())
+                .collect();
+            jobs.push((slice, nos, stores));
+        }
+        // One slot per sub-batch: dispatch threads never block on send, so
+        // a stalled consumer cannot wedge a Page Store worker; memory is
+        // bounded by the caller's look-ahead quota, which sizes `pages`.
+        let (tx, rx) = crossbeam::channel::bounded::<Result<Vec<PageResult>>>(jobs.len().max(1));
+        let mut threads = Vec::with_capacity(jobs.len());
+        for (slice, nos, stores) in jobs {
+            let descriptor = descriptor.clone();
+            let network = self.network.clone();
+            let metrics = self.metrics.clone();
+            let tx = tx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("sal-subbatch-{}", slice.seq))
+                    .spawn(move || {
+                        // A panic must surface as this sub-batch's error,
+                        // not be swallowed by the handle's join (where it
+                        // would masquerade as "page missing from batch").
+                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            serve_sub_batch(
+                                &stores, slice, nos, read_lsn, descriptor, &network, &metrics,
+                            )
+                        }))
+                        .unwrap_or_else(|panic| {
+                            let msg = panic
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| panic.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "non-string panic payload".into());
+                            Err(Error::Internal(format!(
+                                "sal sub-batch dispatch panicked: {msg}"
+                            )))
+                        });
+                        // A failed send means the handle was dropped
+                        // (cancelled scan); the result is discarded.
+                        let _ = tx.send(out);
+                    })
+                    .expect("spawn sal sub-batch dispatch"),
+            );
+        }
+        Ok(BatchReadHandle {
+            rx: Some(rx),
+            threads,
+        })
+    }
+}
+
+/// Wire accounting for one read attempt against one replica, shared by
+/// the single-page and sub-batch failover loops so they cannot drift:
+/// every attempted replica is a real request (request bytes + a
+/// `net_read_requests` count — a silent retry is not free), and attempts
+/// beyond the first count as `read_retries`.
+fn charge_read_attempt(metrics: &Metrics, network: &Network, attempt: usize, request_bytes: u64) {
+    metrics.add(|m| &m.net_read_requests, 1);
+    if attempt > 0 {
+        metrics.add(|m| &m.read_retries, 1);
+    }
+    network.transfer(Direction::ToStorage, request_bytes);
+}
+
+/// Serve one per-slice sub-batch with replica failover: try each store in
+/// the (rotated) replica order, charging the request per attempt, until
+/// one serves it; meter the result bytes of the successful attempt.
+fn serve_sub_batch(
+    stores: &[Arc<PageStore>],
+    slice: SliceId,
+    nos: Vec<PageNo>,
+    read_lsn: Lsn,
+    descriptor: Arc<Vec<u8>>,
+    network: &Network,
+    metrics: &Metrics,
+) -> Result<Vec<PageResult>> {
+    let req = NdpBatchRequest {
+        slice,
+        pages: nos,
+        read_lsn,
+        descriptor,
+    };
+    let mut last_err = Error::Internal("sub-batch had no replicas".into());
+    for (attempt, store) in stores.iter().enumerate() {
+        charge_read_attempt(
+            metrics,
+            network,
+            attempt,
+            REQ_HEADER_BYTES
+                + req.descriptor.len() as u64
+                + PER_PAGE_ID_BYTES * req.pages.len() as u64,
+        );
+        match store.serve_ndp_batch(&req) {
+            Ok(out) => {
+                let mut bytes = 0u64;
+                for r in &out {
+                    bytes += r.payload.byte_len() as u64 + PER_PAGE_RESULT_HEADER;
+                    match &r.payload {
+                        PagePayload::Ndp(p) => {
+                            if p.page_type() == taurus_page::PageType::NdpEmpty {
+                                metrics.add(|m| &m.pages_shipped_empty, 1);
+                            } else {
+                                metrics.add(|m| &m.pages_shipped_ndp, 1);
+                            }
+                        }
+                        PagePayload::Raw(_) => {
+                            metrics.add(|m| &m.pages_shipped_raw, 1);
+                        }
+                    }
+                }
+                network.transfer(Direction::FromStorage, bytes);
+                return Ok(out);
+            }
+            Err(e) => last_err = e,
+        }
+    }
+    Err(last_err)
+}
+
+/// A streaming batch read in flight: receive completed sub-batches with
+/// [`BatchReadHandle::recv`]; drop to cancel (joins all dispatch
+/// threads). See [`Sal::batch_read_streaming`].
+pub struct BatchReadHandle {
+    rx: Option<crossbeam::channel::Receiver<Result<Vec<PageResult>>>>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl BatchReadHandle {
+    /// The next completed sub-batch, blocking until one finishes; `None`
+    /// once every sub-batch has been delivered.
+    pub fn recv(&mut self) -> Option<Result<Vec<PageResult>>> {
+        self.rx.as_ref()?.recv().ok()
+    }
+}
+
+impl Drop for BatchReadHandle {
+    fn drop(&mut self) {
+        // Close the channel first so any thread blocked in `send` (or
+        // about to send) observes the cancellation, then join: after
+        // `drop` returns, no dispatch thread is still running.
+        self.rx = None;
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
     }
 }
 
@@ -447,5 +581,172 @@ mod tests {
         let sal = Sal::new(test_cfg(), Metrics::shared());
         let r = sal.batch_read(SpaceId(9), &[0, 1], 1, no_work_descriptor());
         assert!(r.is_err());
+    }
+
+    /// Load 12 single-key pages over 3 slices into a fresh cluster.
+    fn populated_sal(space: u32) -> (Arc<Metrics>, Arc<Sal>) {
+        let m = Metrics::shared();
+        let sal = Sal::new(test_cfg(), m.clone());
+        let space = SpaceId(space);
+        let mut recs = Vec::new();
+        for no in 0..12u32 {
+            sal.ensure_slice(SliceId::of(space, no, 4));
+            recs.push(RedoRecord {
+                lsn: 0,
+                space,
+                page_no: no,
+                body: RedoBody::NewPage(leaf_image(space.0, no, &[no as i64])),
+            });
+        }
+        sal.write_log(recs).unwrap();
+        (m, sal)
+    }
+
+    #[test]
+    fn read_page_fails_over_and_charges_per_attempt() {
+        let (m, sal) = populated_sal(5);
+        let space = SpaceId(5);
+        let slice = SliceId::of(space, 0, 4);
+        let replicas = sal.replicas_of(slice).unwrap();
+        assert_eq!(replicas.len(), 2);
+        sal.page_stores()[replicas[0]].set_poisoned(true);
+        let before = m.snapshot();
+        let p = sal.read_page(PageRef::new(space, 0), None).unwrap();
+        assert_eq!(p.n_recs(), 1);
+        let d = m.snapshot().since(&before);
+        assert_eq!(d.read_retries, 1, "one failover hop");
+        assert_eq!(d.net_read_requests, 2, "both attempts are requests");
+        assert_eq!(
+            d.net_bytes_to_storage,
+            2 * (REQ_HEADER_BYTES + PER_PAGE_ID_BYTES),
+            "request bytes charged per attempted replica"
+        );
+        assert_eq!(d.pages_shipped_raw, 1, "result shipped once");
+        sal.page_stores()[replicas[0]].set_poisoned(false);
+    }
+
+    #[test]
+    fn batch_read_fails_over_to_surviving_replicas() {
+        let (m, sal) = populated_sal(6);
+        let space = SpaceId(6);
+        let pages: Vec<PageNo> = (0..12).collect();
+        let clean = sal
+            .batch_read(space, &pages, sal.current_lsn(), no_work_descriptor())
+            .unwrap();
+        // Kill one store: every slice placed on it must fail over.
+        sal.page_stores()[0].set_poisoned(true);
+        let before = m.snapshot();
+        let out = sal
+            .batch_read(space, &pages, sal.current_lsn(), no_work_descriptor())
+            .unwrap();
+        let d = m.snapshot().since(&before);
+        assert_eq!(out.len(), 12);
+        for (i, (a, b)) in clean.iter().zip(&out).enumerate() {
+            assert_eq!(a.page_no, b.page_no, "order preserved at {i}");
+            assert_eq!(a.payload.byte_len(), b.payload.byte_len());
+        }
+        // With replication 2 over 3 stores, at least one of the 3 slices
+        // is placed on store 0; rotation may or may not start there, so
+        // retries are probabilistic per run — but *correctness* is not,
+        // and a poisoned store never serves.
+        assert_eq!(d.pages_shipped_raw, 12);
+        sal.page_stores()[0].set_poisoned(false);
+    }
+
+    #[test]
+    fn batch_read_retries_when_preferred_replica_is_down() {
+        let (m, sal) = populated_sal(7);
+        let space = SpaceId(7);
+        // Poison every replica that any slice's rotation could start on
+        // except one surviving store, so failover must happen for some
+        // sub-batch: kill stores 0 and 1, leaving store 2.
+        // (replication=2: every slice keeps at least one live replica
+        // only if its placement includes store 2 — restrict the batch to
+        // slices that do.)
+        let mut served_by_2: Vec<PageNo> = Vec::new();
+        for no in 0..12u32 {
+            let reps = sal.replicas_of(SliceId::of(space, no, 4)).unwrap();
+            if reps.contains(&2) {
+                served_by_2.push(no);
+            }
+        }
+        assert!(!served_by_2.is_empty(), "rr placement covers store 2");
+        sal.page_stores()[0].set_poisoned(true);
+        sal.page_stores()[1].set_poisoned(true);
+        let before = m.snapshot();
+        let out = sal
+            .batch_read(space, &served_by_2, sal.current_lsn(), no_work_descriptor())
+            .unwrap();
+        let d = m.snapshot().since(&before);
+        assert_eq!(out.len(), served_by_2.len());
+        // Every sub-batch whose rotated start hit a dead store retried;
+        // all requests beyond one per sub-batch are retries.
+        assert_eq!(
+            d.net_read_requests - d.read_retries,
+            served_by_2
+                .iter()
+                .map(|&no| SliceId::of(space, no, 4))
+                .collect::<std::collections::HashSet<_>>()
+                .len() as u64,
+            "exactly one successful attempt per sub-batch"
+        );
+        for ps in sal.page_stores() {
+            ps.set_poisoned(false);
+        }
+    }
+
+    #[test]
+    fn batch_read_fails_when_all_replicas_down() {
+        let (_m, sal) = populated_sal(8);
+        for ps in sal.page_stores() {
+            ps.set_poisoned(true);
+        }
+        let r = sal.batch_read(SpaceId(8), &[0, 1], sal.current_lsn(), no_work_descriptor());
+        assert!(r.is_err(), "no replica left to serve");
+        for ps in sal.page_stores() {
+            ps.set_poisoned(false);
+        }
+    }
+
+    #[test]
+    fn streaming_handle_delivers_all_sub_batches_then_none() {
+        let (m, sal) = populated_sal(10);
+        let space = SpaceId(10);
+        let pages: Vec<PageNo> = (0..12).collect();
+        let before = m.snapshot();
+        let mut handle = sal
+            .batch_read_streaming(space, &pages, sal.current_lsn(), no_work_descriptor())
+            .unwrap();
+        let mut seen = std::collections::HashSet::new();
+        let mut subs = 0;
+        while let Some(sub) = handle.recv() {
+            subs += 1;
+            for pr in sub.unwrap() {
+                assert!(seen.insert(pr.page_no), "page delivered exactly once");
+            }
+        }
+        assert_eq!(subs, 3, "one delivery per slice sub-batch");
+        assert_eq!(seen.len(), 12);
+        let d = m.snapshot().since(&before);
+        assert_eq!(d.pages_shipped_raw, 12);
+    }
+
+    #[test]
+    fn dropping_streaming_handle_joins_dispatch_threads() {
+        let (_m, sal) = populated_sal(11);
+        let space = SpaceId(11);
+        let pages: Vec<PageNo> = (0..12).collect();
+        let mut handle = sal
+            .batch_read_streaming(space, &pages, sal.current_lsn(), no_work_descriptor())
+            .unwrap();
+        // Take one sub-batch, then abandon the read mid-flight.
+        let first = handle.recv().unwrap().unwrap();
+        assert!(!first.is_empty());
+        drop(handle); // must join all dispatch threads, not hang or leak
+                      // A subsequent read on the same SAL works normally.
+        let out = sal
+            .batch_read(space, &pages, sal.current_lsn(), no_work_descriptor())
+            .unwrap();
+        assert_eq!(out.len(), 12);
     }
 }
