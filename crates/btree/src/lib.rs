@@ -58,6 +58,25 @@ pub enum RedoOp {
 pub trait TreeStore: Send + Sync {
     /// Read a page of this tree's space.
     fn read(&self, page_no: PageNo) -> Result<Arc<Page>>;
+
+    /// Read a page *as of* `lsn`. Stores without page versioning (the
+    /// master: its own writes are always newest) serve the live page;
+    /// read replicas serve the exact at-LSN version, so one batch
+    /// extraction's structure walk and page fetches all observe a single
+    /// cut — a split landing mid-batch cannot tear record placement
+    /// across the pages of the batch.
+    fn read_pinned(&self, page_no: PageNo, _lsn: Lsn) -> Result<Arc<Page>> {
+        self.read(page_no)
+    }
+
+    /// Can a failed pinned walk be retried at a fresh cut? `true` on read
+    /// replicas, where a hot page's at-cut version can age out of the
+    /// Page Stores' retention window mid-walk — the whole walk restarts
+    /// at a newer captured LSN (never mixing cuts). `false` on the
+    /// master, whose reads cannot go stale.
+    fn pin_retryable(&self) -> bool {
+        false
+    }
     /// Allocate the next page number in this space.
     fn allocate(&self) -> PageNo;
     /// Apply mutations: buffer pool + redo through the SAL.
@@ -66,6 +85,27 @@ pub trait TreeStore: Send + Sync {
     fn structure_latch(&self) -> &RwLock<()>;
     /// Current durable LSN (stamped on batch reads).
     fn current_lsn(&self) -> Lsn;
+}
+
+/// Run `f` with a freshly captured LSN, restarting — whole walk, fresh
+/// cut — while the store reports the failure class retryable
+/// (`InvalidState`: a trimmed at-cut version on a replica), bounded by
+/// the shared staleness-retry policy. See [`TreeStore::pin_retryable`].
+fn with_pin_retry<T>(store: &dyn TreeStore, mut f: impl FnMut(Lsn) -> Result<T>) -> Result<T> {
+    let t0 = std::time::Instant::now();
+    loop {
+        match f(store.current_lsn()) {
+            Ok(v) => return Ok(v),
+            Err(e @ Error::InvalidState(_))
+                if store.pin_retryable()
+                    && t0.elapsed() < taurus_common::config::STALE_PIN_RETRY =>
+            {
+                let _ = e;
+                std::thread::yield_now();
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 /// Key range for scans; bounds are encoded (possibly prefix) keys.
@@ -195,7 +235,11 @@ impl BTree {
         self.n_leaves.load(Ordering::SeqCst)
     }
 
-    pub(crate) fn set_shape(&self, root: PageNo, height: u32, n_leaves: u32) {
+    /// Install the tree's shape directly: the bulk builder sets it after
+    /// a bottom-up build, and read replicas set it from replicated
+    /// shape/load records (shape lives outside the page substrate, so it
+    /// cannot arrive via page redo).
+    pub fn set_shape(&self, root: PageNo, height: u32, n_leaves: u32) {
         self.root.store(root, Ordering::SeqCst);
         self.height.store(height, Ordering::SeqCst);
         self.n_leaves.store(n_leaves, Ordering::SeqCst);
@@ -255,19 +299,30 @@ impl BTree {
         self.node_child(&rec)
     }
 
-    /// Descend from the root to the leaf that may contain `key`. Returns
-    /// the internal-page path (for splits) and the leaf.
-    fn descend(&self, store: &dyn TreeStore, key: &[u8]) -> Result<(Vec<Arc<Page>>, Arc<Page>)> {
+    /// Descend from the root to the leaf that may contain `key`, with
+    /// every page read pinned at `lsn`. Returns the internal-page path
+    /// (for splits) and the leaf. The pin makes the walk a single cut:
+    /// on a read replica, a split applied by the tailer *between* the
+    /// parent read and the child read would otherwise leave the target
+    /// key in a sibling the stale parent pointer never reaches. (On the
+    /// master `read_pinned` is a plain read, and writers hold the
+    /// structure latch anyway.)
+    fn descend(
+        &self,
+        store: &dyn TreeStore,
+        key: &[u8],
+        lsn: Lsn,
+    ) -> Result<(Vec<Arc<Page>>, Arc<Page>)> {
         let root = self.root();
         if root == NO_PAGE {
             return Err(Error::InvalidState("empty tree".into()));
         }
         let mut path = Vec::new();
-        let mut page = store.read(root)?;
+        let mut page = store.read_pinned(root, lsn)?;
         while !page.is_leaf() {
             let child = self.pick_child(&page, key);
             path.push(page);
-            page = store.read(child)?;
+            page = store.read_pinned(child, lsn)?;
         }
         Ok((path, page))
     }
@@ -277,18 +332,20 @@ impl BTree {
         if self.root() == NO_PAGE {
             return Ok(None);
         }
-        let (_, leaf) = self.descend(store, key)?;
-        let (idx, exact) = leaf.lower_bound(key, self.leaf_key_extractor());
-        if !exact {
-            return Ok(None);
-        }
-        let off = leaf.slot_offsets().nth(idx).unwrap();
-        let view = RecordView::new(leaf.record_at(off), &self.leaf_layout);
-        Ok(Some(RecordLoc {
-            page_no: leaf.page_no(),
-            rec_at: off,
-            bytes: view.raw().to_vec(),
-        }))
+        with_pin_retry(store, |lsn| {
+            let (_, leaf) = self.descend(store, key, lsn)?;
+            let (idx, exact) = leaf.lower_bound(key, self.leaf_key_extractor());
+            if !exact {
+                return Ok(None);
+            }
+            let off = leaf.slot_offsets().nth(idx).unwrap();
+            let view = RecordView::new(leaf.record_at(off), &self.leaf_layout);
+            Ok(Some(RecordLoc {
+                page_no: leaf.page_no(),
+                rec_at: off,
+                bytes: view.raw().to_vec(),
+            }))
+        })
     }
 
     /// Insert a stored row. Duplicate full keys are rejected.
@@ -308,7 +365,7 @@ impl BTree {
                 "insert into un-built tree: bulk_build first (0 rows is fine)".into(),
             ));
         }
-        let (path, leaf) = self.descend(store, &key)?;
+        let (path, leaf) = self.descend(store, &key, store.current_lsn())?;
         let (idx, exact) = leaf.lower_bound(&key, self.leaf_key_extractor());
         if exact {
             return Err(Error::InvalidState(format!(
@@ -547,13 +604,16 @@ impl BTree {
         if self.root() == NO_PAGE {
             return Ok(None);
         }
-        match &range.lower {
+        // Pinned descent (see `descend`); the chain walk that follows is
+        // split-safe without a fixed pin — each page's at-cut `next`
+        // leads to its at-cut successor and keys only move rightward.
+        with_pin_retry(store, |lsn| match &range.lower {
             Some((key, _)) => {
-                let (_, leaf) = self.descend(store, key)?;
+                let (_, leaf) = self.descend(store, key, lsn)?;
                 Ok(Some(leaf))
             }
             None => {
-                let mut page = store.read(self.root())?;
+                let mut page = store.read_pinned(self.root(), lsn)?;
                 while !page.is_leaf() {
                     let off = page
                         .slot_offsets()
@@ -561,11 +621,11 @@ impl BTree {
                         .ok_or_else(|| Error::Corruption("empty internal page".into()))?;
                     let rec = RecordView::new(page.record_at(off), &self.node_layout);
                     let child = self.node_child(&rec);
-                    page = store.read(child)?;
+                    page = store.read_pinned(child, lsn)?;
                 }
                 Ok(Some(page))
             }
-        }
+        })
     }
 
     /// §IV-C4 batch extraction: under the shared structure latch, walk
@@ -574,6 +634,22 @@ impl BTree {
     /// a previous call). The LSN is captured while latched. Returns
     /// `(leaf page numbers, lsn, resume key for the next batch)`.
     pub fn collect_leaf_batch(
+        &self,
+        store: &dyn TreeStore,
+        range: &ScanRange,
+        resume_at: Option<&[u8]>,
+        max_pages: usize,
+    ) -> Result<(Vec<PageNo>, Lsn, Option<Vec<u8>>)> {
+        // The retry wrapper re-runs the whole extraction at a fresh cut
+        // when a replica's pinned walk ages out of version retention; the
+        // LSN itself is captured *under* the latch (writers cannot
+        // interleave between capture and walk on the master).
+        with_pin_retry(store, |_| {
+            self.collect_leaf_batch_once(store, range, resume_at, max_pages)
+        })
+    }
+
+    fn collect_leaf_batch_once(
         &self,
         store: &dyn TreeStore,
         range: &ScanRange,
@@ -599,8 +675,11 @@ impl BTree {
             (None, Some((k, _))) => Some(k.as_slice()),
             (None, None) => None,
         };
-        // Descend to the level-1 page covering the start key.
-        let mut page = store.read(self.root())?;
+        // Descend to the level-1 page covering the start key. The whole
+        // walk is pinned at the captured LSN: the leaf set this batch
+        // enumerates must come from the same cut its pages are fetched
+        // at (see `TreeStore::read_pinned`).
+        let mut page = store.read_pinned(self.root(), lsn)?;
         while page.level() > 1 {
             let child = match start_key {
                 Some(k) => self.pick_child(&page, k),
@@ -609,7 +688,7 @@ impl BTree {
                     self.node_child(&RecordView::new(page.record_at(off), &self.node_layout))
                 }
             };
-            page = store.read(child)?;
+            page = store.read_pinned(child, lsn)?;
         }
         let mut out: Vec<PageNo> = Vec::new();
         let mut resume: Option<Vec<u8>> = None;
@@ -643,7 +722,7 @@ impl BTree {
             }
             match page.next() {
                 NO_PAGE => break,
-                next => page = store.read(next)?,
+                next => page = store.read_pinned(next, lsn)?,
             }
         }
         Ok((out, lsn, resume))

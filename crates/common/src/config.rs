@@ -78,6 +78,45 @@ impl Default for NdpConfig {
     }
 }
 
+/// How long a replica read path retries a pinned access whose at-pin
+/// version aged out of a Page Store's retention window before surfacing
+/// the staleness error — the single policy shared by per-page chain
+/// reads (refreshing pin) and whole-walk restarts (fresh cut). Sized for
+/// a tailer briefly starved by reader threads on a loaded box; the retry
+/// only delays the error path, never a successful read.
+pub const STALE_PIN_RETRY: std::time::Duration = std::time::Duration::from_millis(500);
+
+/// Read-replica behaviour knobs (the log-tailing compute nodes of §II:
+/// Log Stores "serve log records to read replicas", which read the same
+/// shared Page Stores at a replica-consistent LSN).
+#[derive(Clone, Debug)]
+pub struct ReplicaConfig {
+    /// How long the log tailer sleeps when it has fully caught up with
+    /// the Log Stores, in microseconds. Env override
+    /// `TAURUS_REPLICA_POLL_US`.
+    pub poll_interval_us: u64,
+    /// Maximum tolerated staleness, in LSNs, before a replica *refuses to
+    /// serve* new queries (`Session::query` fails until the tailer
+    /// catches back up). `None` = serve at any lag. Env override
+    /// `TAURUS_REPLICA_MAX_LAG_LSN` (0 or unparsable = unlimited).
+    pub max_lag_lsn: Option<u64>,
+    /// Log batches pulled per tailer poll.
+    pub batches_per_poll: usize,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        ReplicaConfig {
+            poll_interval_us: env_usize_override("TAURUS_REPLICA_POLL_US", 200) as u64,
+            max_lag_lsn: match std::env::var("TAURUS_REPLICA_MAX_LAG_LSN") {
+                Ok(v) => v.trim().parse::<u64>().ok().filter(|&n| n > 0),
+                Err(_) => None,
+            },
+            batches_per_poll: 64,
+        }
+    }
+}
+
 /// Simulated network model applied at the SAL boundary.
 #[derive(Clone, Debug, Default)]
 pub struct NetworkConfig {
@@ -120,6 +159,7 @@ pub struct ClusterConfig {
     pub pagestore_versions_retained: usize,
     pub ndp: NdpConfig,
     pub network: NetworkConfig,
+    pub replica: ReplicaConfig,
 }
 
 impl Default for ClusterConfig {
@@ -137,6 +177,7 @@ impl Default for ClusterConfig {
             pagestore_versions_retained: 8,
             ndp: NdpConfig::default(),
             network: NetworkConfig::default(),
+            replica: ReplicaConfig::default(),
         }
     }
 }
@@ -165,6 +206,7 @@ impl ClusterConfig {
                 ..NdpConfig::default()
             },
             network: NetworkConfig::default(),
+            replica: ReplicaConfig::default(),
         }
     }
 

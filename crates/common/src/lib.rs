@@ -16,7 +16,7 @@ pub mod schema;
 pub mod value;
 
 pub use batch::{RowBatch, RowBatchIter};
-pub use config::{ClusterConfig, NdpConfig, NetworkConfig};
+pub use config::{ClusterConfig, NdpConfig, NetworkConfig, ReplicaConfig};
 pub use error::{Error, Result};
 pub use ids::{IndexId, Lsn, PageNo, PageRef, SliceId, SpaceId, TrxId};
 pub use metrics::{Metrics, MetricsSnapshot};

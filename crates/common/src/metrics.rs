@@ -168,6 +168,26 @@ metrics_struct! {
     ps_desc_decode_ns,
     /// Log Store: bytes appended (sum over replicas).
     log_bytes_appended,
+    /// Wall nanoseconds spent flushing redo batches to the Log Stores
+    /// (the triplicate-append fan-out on the commit path); divided by
+    /// `log_flushes`, the commit-latency contribution of log durability.
+    log_flush_ns,
+    /// Number of `write_log` flushes (denominator for `log_flush_ns`).
+    log_flushes,
+    /// Replica: newest transaction-consistent LSN this node serves
+    /// (absolute gauge, written by the log tailer at every boundary).
+    replica_visible_lsn,
+    /// Replica: master LSN minus visible LSN, sampled at every tailer
+    /// pass (absolute gauge — the staleness the `max_lag` contract is
+    /// about).
+    replica_lag_lsn,
+    /// Replica: log-batch bytes decoded and applied by the tailer.
+    replica_apply_bytes,
+    /// Replica: nanoseconds the tailer spent sleeping while *behind* the
+    /// master (log records existed that it had not applied yet — e.g.
+    /// waiting out an LSN gap while a master write_log is mid-append).
+    /// Time spent idle while fully caught up does not count.
+    replica_catchup_stall_ns,
     /// Records filtered out inside Page Stores (never shipped).
     ps_records_filtered,
     /// Records aggregated away inside Page Stores.
@@ -188,6 +208,13 @@ impl Metrics {
     /// them, so they never underflow in correct code.
     pub fn sub(&self, f: impl Fn(&Metrics) -> &AtomicU64, v: u64) {
         f(self).fetch_sub(v, Ordering::Relaxed);
+    }
+
+    /// Overwrite an absolute gauge (e.g. `replica_visible_lsn`): unlike
+    /// the additive counters, these report the *current* value of some
+    /// external quantity.
+    pub fn set(&self, f: impl Fn(&Metrics) -> &AtomicU64, v: u64) {
+        f(self).store(v, Ordering::Relaxed);
     }
 
     /// Increment a gauge and record its high-water mark in `peak`.

@@ -9,10 +9,10 @@
 //! pages, only log records (§II).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use taurus_btree::builder::bulk_build;
 use taurus_btree::{BTree, RedoOp, TreeStore};
 use taurus_bufferpool::BufferPool;
@@ -26,6 +26,125 @@ use taurus_page::{Page, RecordView};
 use taurus_pagestore::{RedoBody, RedoRecord};
 use taurus_sal::Sal;
 
+use crate::replication::{CatalogPayload, IndexMeta, LoadedPayload, TreeShape};
+
+/// Shared read state of a replica compute node, maintained by the log
+/// tailer (`taurus-replica`) and consulted by every read path.
+///
+/// Two cursors with distinct jobs:
+///
+/// * **`applied_lsn`** — everything at or below it has been applied by
+///   the tailer (page deltas *and* write-ahead undo). This is the **read
+///   pin**: pages are served at this LSN, so any transaction id a scan
+///   can encounter already has its undo replicated.
+/// * **`visible_lsn`** — the newest *transaction-consistent boundary*
+///   (commit watermark / load completion). The published read `snapshot`
+///   corresponds to it: writers without a replicated commit ≤ the
+///   boundary are active ⇒ invisible, and their on-page effects are
+///   reconstructed around via the replicated undo.
+///
+/// The invariant every reader relies on: **`snapshot` is never newer
+/// than the read pin** — visibility decisions of a published view can
+/// always be resolved against pages read at `applied_lsn ≥ visible_lsn`.
+/// Pinning at `applied` rather than `visible` also keeps hot pages
+/// inside the Page Stores' version-retention window: the pin trails the
+/// master by actual replication lag, not by commit cadence.
+pub struct ReplicaState {
+    applied_lsn: AtomicU64,
+    visible_lsn: AtomicU64,
+    /// The read view at the `visible_lsn` boundary.
+    snapshot: Mutex<ReadView>,
+    /// Seqlock-style publication marker: odd while a boundary publication
+    /// is in flight (the pin may already cover the boundary but the view
+    /// swap has not happened). "Applied ≥ L with a stable even epoch"
+    /// therefore implies every boundary ≤ L is fully published — what
+    /// `Replica::wait_for_lsn` needs to promise its caller.
+    publish_epoch: AtomicU64,
+    detached: AtomicBool,
+    /// Staleness bound: refuse to serve when `master_lsn - visible_lsn`
+    /// exceeds this ([`TaurusDb::check_serveable`]).
+    max_lag: Option<u64>,
+}
+
+impl ReplicaState {
+    fn new(max_lag: Option<u64>) -> ReplicaState {
+        ReplicaState {
+            applied_lsn: AtomicU64::new(0),
+            visible_lsn: AtomicU64::new(0),
+            publish_epoch: AtomicU64::new(0),
+            // Until the first boundary arrives, nothing is visible except
+            // the bootstrap loader (ids < 2).
+            snapshot: Mutex::new(ReadView {
+                low_limit: 2,
+                up_limit: 2,
+                active: Vec::new(),
+                creator: 0,
+            }),
+            detached: AtomicBool::new(false),
+            max_lag,
+        }
+    }
+
+    /// The LSN replica reads pin pages at (the tailer's applied cursor).
+    pub fn read_pin(&self) -> Lsn {
+        self.applied_lsn.load(Ordering::SeqCst)
+    }
+
+    /// The newest transaction-consistent boundary this replica serves.
+    pub fn visible_lsn(&self) -> Lsn {
+        self.visible_lsn.load(Ordering::SeqCst)
+    }
+
+    /// The read view at the published boundary.
+    pub fn snapshot_view(&self) -> ReadView {
+        self.snapshot.lock().clone()
+    }
+
+    /// Advance the applied cursor (monotone): called by the tailer after
+    /// each *log batch* lands — one batch is one `write_log`, i.e. one
+    /// tree operation, so multi-record ops (splits; delete-mark +
+    /// trx-stamp pairs) are atomic under the pin — and before a
+    /// boundary's tree shapes are installed, so a reader holding a
+    /// freshly-published root finds its pages readable at whatever pin
+    /// it loads afterwards.
+    pub fn advance_applied(&self, lsn: Lsn) {
+        self.applied_lsn.fetch_max(lsn, Ordering::SeqCst);
+    }
+
+    /// Mark a boundary publication in flight (epoch becomes odd). Call
+    /// *before* the pin is advanced to the boundary; [`ReplicaState::publish`]
+    /// closes it.
+    pub fn begin_publish(&self) {
+        self.publish_epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Publication marker; even = no boundary publication in flight.
+    pub fn publish_epoch(&self) -> u64 {
+        self.publish_epoch.load(Ordering::SeqCst)
+    }
+
+    /// Publish a boundary: the pin covers it *before* the view swaps, so
+    /// no reader can pair a new view with an older pin.
+    pub fn publish(&self, lsn: Lsn, view: ReadView) {
+        self.advance_applied(lsn);
+        self.visible_lsn.fetch_max(lsn, Ordering::SeqCst);
+        *self.snapshot.lock() = view;
+        self.publish_epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub fn detach(&self) {
+        self.detached.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_detached(&self) -> bool {
+        self.detached.load(Ordering::SeqCst)
+    }
+
+    pub fn max_lag(&self) -> Option<u64> {
+        self.max_lag
+    }
+}
+
 /// Storage adapter for one space (one B+ tree): implements [`TreeStore`]
 /// over the buffer pool + SAL.
 pub struct SpaceStore {
@@ -36,10 +155,19 @@ pub struct SpaceStore {
     latch: RwLock<()>,
     page_size: usize,
     slice_pages: u32,
+    /// `Some` on a replica compute node: every read is pinned at the
+    /// replica's visible LSN and writes are refused.
+    replica: Option<Arc<ReplicaState>>,
 }
 
 impl SpaceStore {
-    fn new(space: SpaceId, sal: Arc<Sal>, bp: Arc<BufferPool>, cfg: &ClusterConfig) -> SpaceStore {
+    fn new(
+        space: SpaceId,
+        sal: Arc<Sal>,
+        bp: Arc<BufferPool>,
+        cfg: &ClusterConfig,
+        replica: Option<Arc<ReplicaState>>,
+    ) -> SpaceStore {
         SpaceStore {
             space,
             sal,
@@ -48,7 +176,36 @@ impl SpaceStore {
             latch: RwLock::new(()),
             page_size: cfg.page_size,
             slice_pages: cfg.slice_pages,
+            replica,
         }
+    }
+
+    /// Buffer-pool lookup honouring the replica version pin: on a
+    /// replica, a cached page is the *newest tailer-applied* version
+    /// (its `lsn()` is the last redo applied to it), so it equals the
+    /// at-pin version **iff** `lsn() <=` the read pin — a page the
+    /// tailer just touched but whose LSN the pin has not covered yet must
+    /// be re-read from a Page Store version chain instead. On the master
+    /// this is a plain cache probe.
+    pub fn cached_for_read(&self, page_no: PageNo) -> Option<Arc<Page>> {
+        match &self.replica {
+            Some(rs) => self.cached_at(page_no, rs.read_pin()),
+            None => self.bp.get(self.pref(page_no)),
+        }
+    }
+
+    /// Buffer-pool lookup pinned at a *specific* LSN (replica only):
+    /// usable iff the page has not changed past `at` — then the cached
+    /// (newest-applied) state *is* the at-`at` version. NDP batch
+    /// extraction pins its whole batch — structure walk, cache probes,
+    /// fetches — at one captured LSN through this, so a split landing
+    /// mid-batch cannot mix physical cuts across the batch's pages.
+    pub fn cached_at(&self, page_no: PageNo, at: Lsn) -> Option<Arc<Page>> {
+        let p = self.bp.get(self.pref(page_no))?;
+        if self.replica.is_some() && p.lsn() > at {
+            return None;
+        }
+        Some(p)
     }
 
     pub fn page_size(&self) -> usize {
@@ -134,6 +291,42 @@ impl SpaceStore {
 impl TreeStore for SpaceStore {
     fn read(&self, page_no: PageNo) -> Result<Arc<Page>> {
         let pref = self.pref(page_no);
+        if let Some(rs) = &self.replica {
+            // Replica: serve the version at the read pin (the tailer's
+            // applied cursor). The cache holds the tailer's newest
+            // applied state — usable only when the pin already covers the
+            // page's last change; otherwise read the pinned version from
+            // a Page Store chain. Pinned reads are *not* inserted into
+            // the pool: only the tailer populates it, so "cached" always
+            // means "newest applied" and the pin check stays sound.
+            //
+            // A page hotter than the Page Stores' retention window can
+            // have its at-pin version trimmed while the replica trails
+            // (the pin lags by actual replication lag). The pin only
+            // advances, so retry briefly with a refreshed pin — the
+            // tailer usually re-caches the page or catches up within the
+            // window; a replica that stays too far behind surfaces the
+            // trimmed-version error as its staleness signal.
+            if let Some(p) = self.cached_for_read(page_no) {
+                return Ok(p);
+            }
+            let t0 = std::time::Instant::now();
+            loop {
+                match self.sal.read_page(pref, Some(rs.read_pin())) {
+                    Ok(p) => return Ok(p),
+                    Err(e @ Error::InvalidState(_)) => {
+                        if t0.elapsed() > taurus_common::config::STALE_PIN_RETRY {
+                            return Err(e);
+                        }
+                        std::thread::yield_now();
+                        if let Some(p) = self.cached_for_read(page_no) {
+                            return Ok(p);
+                        }
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
         if let Some(p) = self.bp.get(pref) {
             return Ok(p);
         }
@@ -142,14 +335,38 @@ impl TreeStore for SpaceStore {
         Ok(p)
     }
 
+    fn read_pinned(&self, page_no: PageNo, lsn: Lsn) -> Result<Arc<Page>> {
+        if self.replica.is_none() {
+            return self.read(page_no);
+        }
+        // Replica: the exact at-`lsn` version, no pin refresh — the
+        // caller is assembling a single-cut walk and restarts it whole
+        // at a fresh cut on failure (`pin_retryable`).
+        if let Some(p) = self.cached_at(page_no, lsn) {
+            return Ok(p);
+        }
+        self.sal.read_page(self.pref(page_no), Some(lsn))
+    }
+
+    fn pin_retryable(&self) -> bool {
+        self.replica.is_some()
+    }
+
     fn allocate(&self) -> PageNo {
         let no = self.next_page.fetch_add(1, Ordering::SeqCst);
-        self.sal
-            .ensure_slice(SliceId::of(self.space, no, self.slice_pages));
+        if self.replica.is_none() {
+            self.sal
+                .ensure_slice(SliceId::of(self.space, no, self.slice_pages));
+        }
         no
     }
 
     fn write(&self, ops: Vec<RedoOp>) -> Result<()> {
+        if self.replica.is_some() {
+            return Err(Error::InvalidState(
+                "page write on a read replica (replicas are read-only)".into(),
+            ));
+        }
         for op in &ops {
             self.mirror_to_bp(op);
         }
@@ -163,7 +380,12 @@ impl TreeStore for SpaceStore {
     }
 
     fn current_lsn(&self) -> Lsn {
-        self.sal.current_lsn()
+        // Replica scans pin everything — leaf-batch LSN capture included —
+        // at the read pin; the master reports the cluster LSN cursor.
+        match &self.replica {
+            Some(rs) => rs.read_pin(),
+            None => self.sal.current_lsn(),
+        }
     }
 }
 
@@ -222,7 +444,9 @@ impl Table {
     }
 }
 
-/// The database engine.
+/// The database engine: a master compute node, or — when constructed via
+/// [`TaurusDb::attach_replica`] — a read-only replica compute node whose
+/// reads are pinned at the replicated visible LSN.
 pub struct TaurusDb {
     cfg: ClusterConfig,
     sal: Arc<Sal>,
@@ -231,8 +455,19 @@ pub struct TaurusDb {
     pub undo: UndoLog,
     metrics: Arc<Metrics>,
     catalog: RwLock<HashMap<String, Arc<Table>>>,
+    /// Serializes DDL: with creates one-at-a-time, the log order of
+    /// `SysCatalog` records equals catalog insertion order, so replicas
+    /// rebuilding from the log cannot install a same-name loser.
+    ddl: Mutex<()>,
+    /// Serializes boundary emission (commit / rollback / load
+    /// completion): view capture, the record's LSN allocation, and the
+    /// local transaction end happen atomically, so a later-LSN boundary
+    /// can never carry a *staler* active set than an earlier one (which
+    /// would re-hide an already-visible transaction on replicas).
+    boundary: Mutex<()>,
     next_space: AtomicU32,
     next_index_id: AtomicU64,
+    replica: Option<Arc<ReplicaState>>,
 }
 
 impl TaurusDb {
@@ -253,13 +488,107 @@ impl TaurusDb {
             undo: UndoLog::new(),
             metrics,
             catalog: RwLock::new(HashMap::new()),
+            ddl: Mutex::new(()),
+            boundary: Mutex::new(()),
             next_space: AtomicU32::new(1),
             next_index_id: AtomicU64::new(1),
+            replica: None,
+        })
+    }
+
+    /// Attach a **read replica** compute node to an existing cluster's
+    /// storage services (no page copies): a read-only SAL attachment over
+    /// the shared Page/Log Stores, a fresh buffer pool and metrics
+    /// registry, an empty catalog, and a [`ReplicaState`] read pin at LSN
+    /// 0. The returned engine serves nothing until a log tailer
+    /// (`taurus-replica`) replays the master's log into it and publishes
+    /// boundaries; queries are refused while detached or lagging beyond
+    /// `replica.max_lag_lsn` ([`TaurusDb::check_serveable`]).
+    pub fn attach_replica(master_sal: &Arc<Sal>) -> Arc<TaurusDb> {
+        let metrics = Metrics::shared();
+        let cfg = master_sal.config().clone();
+        let sal = master_sal.attach_read_only(metrics.clone());
+        let bp = BufferPool::new(cfg.buffer_pool_pages, metrics.clone());
+        let state = Arc::new(ReplicaState::new(cfg.replica.max_lag_lsn));
+        Arc::new(TaurusDb {
+            cfg,
+            sal,
+            bp,
+            trx: TrxManager::new(),
+            undo: UndoLog::new(),
+            metrics,
+            catalog: RwLock::new(HashMap::new()),
+            ddl: Mutex::new(()),
+            boundary: Mutex::new(()),
+            next_space: AtomicU32::new(1),
+            next_index_id: AtomicU64::new(1),
+            replica: Some(state),
         })
     }
 
     pub fn config(&self) -> &ClusterConfig {
         &self.cfg
+    }
+
+    pub fn is_replica(&self) -> bool {
+        self.replica.is_some()
+    }
+
+    /// The replica read-pin state (`None` on a master).
+    pub fn replica_state(&self) -> Option<&Arc<ReplicaState>> {
+        self.replica.as_ref()
+    }
+
+    /// The newest LSN this node serves reads at: the visible LSN on a
+    /// replica, the cluster LSN cursor on the master.
+    pub fn visible_lsn(&self) -> Lsn {
+        match &self.replica {
+            Some(rs) => rs.visible_lsn(),
+            None => self.sal.current_lsn(),
+        }
+    }
+
+    /// Replication lag in LSNs (0 on a master).
+    pub fn replica_lag(&self) -> u64 {
+        match &self.replica {
+            Some(rs) => self.sal.current_lsn().saturating_sub(rs.visible_lsn()),
+            None => 0,
+        }
+    }
+
+    /// The staleness guardrail: a detached replica, or one lagging beyond
+    /// `replica.max_lag_lsn`, refuses to serve new queries rather than
+    /// hand out snapshots staler than the contract allows. Masters always
+    /// pass.
+    pub fn check_serveable(&self) -> Result<()> {
+        let Some(rs) = &self.replica else {
+            return Ok(());
+        };
+        if rs.is_detached() {
+            return Err(Error::InvalidState(
+                "replica is detached from the log (tailer stopped); re-attach to serve queries"
+                    .into(),
+            ));
+        }
+        if let Some(max) = rs.max_lag() {
+            let lag = self.replica_lag();
+            if lag > max {
+                return Err(Error::InvalidState(format!(
+                    "replica lag {lag} LSNs exceeds replica.max_lag_lsn {max}; \
+                     refusing to serve until the tailer catches up"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn ensure_master(&self, what: &str) -> Result<()> {
+        if self.replica.is_some() {
+            return Err(Error::InvalidState(format!(
+                "{what} on a read replica (replicas are read-only)"
+            )));
+        }
+        Ok(())
     }
 
     pub fn metrics(&self) -> &Arc<Metrics> {
@@ -281,8 +610,14 @@ impl TaurusDb {
         schema: Arc<TableSchema>,
         secondary_indexes: &[(&str, Vec<usize>)],
     ) -> Result<Arc<Table>> {
-        let mut catalog = self.catalog.write();
-        if catalog.contains_key(&schema.name) {
+        self.ensure_master("CREATE TABLE")?;
+        // DDL is serialized (not by the catalog's write lock — holding
+        // that across the log flush would stall every concurrent table
+        // lookup) so that the log order of SysCatalog records equals
+        // catalog insertion order: replicas install first-payload-wins
+        // per name, which must match the master's winner.
+        let _ddl = self.ddl.lock();
+        if self.catalog.read().contains_key(&schema.name) {
             return Err(Error::InvalidState(format!("table {} exists", schema.name)));
         }
         let mk_index = |name: String, key_cols: Vec<usize>, is_primary: bool| {
@@ -301,6 +636,7 @@ impl TaurusDb {
                 self.sal.clone(),
                 self.bp.clone(),
                 &self.cfg,
+                None,
             ));
             TableIndex {
                 tree: BTree::new(def),
@@ -308,17 +644,38 @@ impl TaurusDb {
             }
         };
         let primary = mk_index(format!("{}_pk", schema.name), schema.pk.clone(), true);
-        let secondaries = secondary_indexes
+        let secondaries: Vec<TableIndex> = secondary_indexes
             .iter()
             .map(|(n, cols)| mk_index((*n).to_string(), cols.clone(), false))
             .collect();
+        // DDL travels through the log — the only cross-node channel — so
+        // replicas can rebuild the catalog (a `SysCatalog` record with
+        // every decision this function just made).
+        let meta = std::iter::once(&primary)
+            .chain(&secondaries)
+            .map(|ix| IndexMeta {
+                name: ix.tree.def.name.clone(),
+                index_id: ix.tree.def.index_id.0,
+                space: ix.tree.def.space.0,
+                key_cols: ix.tree.def.key_cols.clone(),
+                is_primary: ix.tree.def.is_primary,
+            })
+            .collect();
+        self.sal.write_log(vec![RedoRecord {
+            lsn: 0,
+            space: SpaceId(0),
+            page_no: 0,
+            body: RedoBody::SysCatalog(CatalogPayload::from_parts(&schema, meta).encode()),
+        }])?;
         let table = Arc::new(Table {
             schema: schema.clone(),
             primary,
             secondaries,
             stats: RwLock::new(TableStats::default()),
         });
-        catalog.insert(schema.name.clone(), table.clone());
+        self.catalog
+            .write()
+            .insert(schema.name.clone(), table.clone());
         Ok(table)
     }
 
@@ -338,6 +695,7 @@ impl TaurusDb {
     /// bootstrap transaction, building all indexes bottom-up and gathering
     /// statistics.
     pub fn bulk_load(&self, table: &Table, mut rows: Vec<Row>) -> Result<u64> {
+        self.ensure_master("bulk load")?;
         let n = rows.len() as u64;
         // Gather stats on the way in.
         let mut stats = TableStats {
@@ -420,6 +778,39 @@ impl TaurusDb {
                 taurus_mvcc::BOOTSTRAP_TRX,
             )?;
         }
+        // Bulk-load completion travels through the log: tree shapes (root /
+        // height / leaf count live outside the page substrate) plus the
+        // optimizer statistics, and the record doubles as a
+        // transaction-consistent boundary replicas advance their visible
+        // LSN to (every leaf image precedes it in the log).
+        let shapes = std::iter::once(&table.primary)
+            .chain(&table.secondaries)
+            .map(|ix| TreeShape {
+                space: ix.tree.def.space.0,
+                root: ix.tree.root(),
+                height: ix.tree.height(),
+                n_leaves: ix.tree.n_leaves(),
+            })
+            .collect();
+        {
+            // Boundary emission: view + LSN captured atomically (see
+            // `TaurusDb::boundary`).
+            let _b = self.boundary.lock();
+            let view = self.trx.read_view(0);
+            let payload = LoadedPayload {
+                table: table.schema.name.clone(),
+                shapes,
+                stats: stats.clone(),
+                active: view.active,
+                low_limit: view.low_limit,
+            };
+            self.sal.write_log(vec![RedoRecord {
+                lsn: 0,
+                space: SpaceId(0),
+                page_no: 0,
+                body: RedoBody::SysLoaded(payload.encode()),
+            }])?;
+        }
         *table.stats.write() = stats;
         Ok(n)
     }
@@ -430,12 +821,50 @@ impl TaurusDb {
         self.trx.begin()
     }
 
+    /// Commit: emit the commit-watermark record (`SysTrxEnd`) *before*
+    /// ending the transaction locally. The record's LSN is a
+    /// transaction-consistent boundary — every write of this transaction
+    /// (and its write-ahead undo) precedes it in the log — so replicas may
+    /// advance their visible LSN to it.
     pub fn commit(&self, trx: TrxId) {
+        if self.replica.is_none() {
+            // View capture + LSN allocation + local end are one atomic
+            // step (`boundary`): a later-LSN watermark can never carry a
+            // staler active set. The append itself is infallible
+            // in-memory (write_log only fails on a read-only
+            // attachment, which this is not).
+            let _b = self.boundary.lock();
+            let _ = self.sal.write_log(vec![self.trx_end_record(trx, false)]);
+        }
         self.trx.end(trx);
     }
 
+    /// Build the commit-watermark record for `trx`: the boundary marker
+    /// plus the master's read-view ingredients at this instant (active
+    /// ids excluding `trx`, and the id allocation cursor), so replicas
+    /// publish an *exact* master view at the boundary.
+    fn trx_end_record(&self, trx: TrxId, aborted: bool) -> RedoRecord {
+        let view = self.trx.read_view(trx);
+        RedoRecord {
+            lsn: 0,
+            space: SpaceId(0),
+            page_no: 0,
+            body: RedoBody::SysTrxEnd {
+                trx,
+                aborted,
+                active: view.active,
+                low_limit: view.low_limit,
+            },
+        }
+    }
+
     /// Roll back: restore previous images from the undo log, then end.
+    /// The compensation writes travel through the log like any other
+    /// redo; the closing `SysTrxEnd { aborted: true }` tells replicas the
+    /// writer is gone for good (it stays invisible forever) and marks the
+    /// post-compensation boundary.
     pub fn rollback(&self, trx: TrxId) -> Result<()> {
+        self.ensure_master("ROLLBACK")?;
         let entries = self.undo.take_for_rollback(trx);
         for (space, key, entry) in entries {
             let table = self
@@ -474,89 +903,220 @@ impl TaurusDb {
                 None => {
                     // The write was an insert: make the row permanently
                     // invisible (delete-marked as the bootstrap writer).
-                    idx.tree
-                        .set_delete_mark(store, &key, taurus_mvcc::BOOTSTRAP_TRX, true)?;
+                    // Undo entries are pushed write-ahead, so compensate
+                    // only an insert this transaction actually performed:
+                    // if the key is absent, or its current image belongs
+                    // to another writer (this transaction's insert lost a
+                    // race and never landed), there is nothing to undo —
+                    // delete-marking someone else's committed row would
+                    // be permanent data loss.
+                    if let Some(loc) = idx.tree.get(store, &key)? {
+                        let v = RecordView::new(&loc.bytes, &idx.tree.leaf_layout);
+                        if v.trx_id() == trx {
+                            idx.tree.set_delete_mark(
+                                store,
+                                &key,
+                                taurus_mvcc::BOOTSTRAP_TRX,
+                                true,
+                            )?;
+                        }
+                    }
                 }
             }
         }
-        self.trx.end(trx);
+        {
+            let _b = self.boundary.lock();
+            self.sal.write_log(vec![self.trx_end_record(trx, true)])?;
+            self.trx.end(trx);
+        }
         Ok(())
     }
 
+    /// A consistent read view. On a replica this is **always** the
+    /// replicated boundary snapshot — never the local [`TrxManager`],
+    /// which knows nothing of the master's transactions (deriving a view
+    /// from it would declare every master write visible and serve torn
+    /// transactions).
     pub fn read_view(&self, trx: TrxId) -> ReadView {
-        self.trx.read_view(trx)
+        match &self.replica {
+            Some(rs) => rs.snapshot_view(),
+            None => self.trx.read_view(trx),
+        }
     }
 
     // --- DML ------------------------------------------------------------------
 
-    /// Insert one row under `trx`.
-    pub fn insert_row(&self, table: &Table, trx: TrxId, row: &Row) -> Result<()> {
-        let pkey = table.primary.tree.key_of_row(row);
-        table
-            .primary
+    /// Ship one undo entry through the log, **write-ahead**: the entry is
+    /// logged *before* the tree write it protects, so any replica that has
+    /// applied a write has always already applied the undo needed to
+    /// reconstruct around it — no boundary can fall between a write and
+    /// its undo. (The local [`UndoLog`] push still happens after the op
+    /// succeeds, so failed ops leave no local entry, exactly as before;
+    /// a logged entry for a failed op is dead weight replicas never
+    /// consult, since the record it would reconstruct never changed.)
+    fn log_undo(
+        &self,
+        space: SpaceId,
+        key: &[u8],
+        writer: TrxId,
+        prev: Option<Vec<u8>>,
+    ) -> Result<()> {
+        self.sal.write_log(vec![RedoRecord {
+            lsn: 0,
+            space,
+            page_no: 0,
+            body: RedoBody::SysUndo {
+                key: key.to_vec(),
+                writer,
+                prev,
+            },
+        }])?;
+        Ok(())
+    }
+
+    fn tree_shape(ix: &TableIndex) -> (PageNo, u32, u32) {
+        (ix.tree.root(), ix.tree.height(), ix.tree.n_leaves())
+    }
+
+    /// Root splits and leaf-count changes live outside the page substrate;
+    /// ship them as a `SysShape` record (after the split's redo, before the
+    /// owning transaction's commit watermark) so replicas publish the new
+    /// shape together with the boundary that makes its pages readable.
+    fn log_shape_if_changed(&self, ix: &TableIndex, before: (PageNo, u32, u32)) -> Result<()> {
+        let after = Self::tree_shape(ix);
+        if after == before {
+            return Ok(());
+        }
+        self.sal.write_log(vec![RedoRecord {
+            lsn: 0,
+            space: ix.tree.def.space,
+            page_no: 0,
+            body: RedoBody::SysShape {
+                root: after.0,
+                height: after.1,
+                n_leaves: after.2,
+            },
+        }])?;
+        Ok(())
+    }
+
+    /// Current record image of `key` in one index (the write-ahead undo
+    /// payload for deletes/updates).
+    fn prev_image(&self, ix: &TableIndex, key: &[u8]) -> Result<Vec<u8>> {
+        Ok(ix
             .tree
-            .insert(table.primary.store.as_ref(), row, trx)?;
-        self.undo
-            .push(table.primary.tree.def.space, &pkey, trx, None);
-        for sec in &table.secondaries {
-            let stored = sec.tree.def.stored_cols();
-            let srow: Row = stored.iter().map(|&c| row[c].clone()).collect();
-            let skey = sec.tree.key_of_row(&srow);
-            sec.tree.insert(sec.store.as_ref(), &srow, trx)?;
-            self.undo.push(sec.tree.def.space, &skey, trx, None);
+            .get(ix.store.as_ref(), key)?
+            .ok_or_else(|| Error::NotFound("row image for undo".into()))?
+            .bytes)
+    }
+
+    /// A write-ahead insertion undo entry (`prev = None`) that never gets
+    /// its insert is poison for replicas: reconstruction walking the
+    /// replicated chain newest-first would hit it and make the row's
+    /// *committed* versions vanish. So the duplicate check runs *before*
+    /// `log_undo` — mirroring the check `BTree::insert` repeats under the
+    /// latch. (Prev-image entries are harmless to over-log: they carry
+    /// the correct previous version.)
+    fn check_no_duplicate(&self, ix: &TableIndex, key: &[u8]) -> Result<()> {
+        if ix.tree.get(ix.store.as_ref(), key)?.is_some() {
+            return Err(Error::InvalidState(format!(
+                "duplicate key in index {}",
+                ix.tree.def.name
+            )));
         }
         Ok(())
     }
 
-    /// Read the newest version of a row by primary key (no MVCC filtering).
-    fn newest_row(&self, table: &Table, pkey: &[u8]) -> Result<Option<Row>> {
-        match table.primary.tree.get(table.primary.store.as_ref(), pkey)? {
-            None => Ok(None),
-            Some(loc) => {
-                let v = RecordView::new(&loc.bytes, &table.primary.tree.leaf_layout);
-                Ok(Some(v.values()))
-            }
+    /// Insert one row under `trx`.
+    pub fn insert_row(&self, table: &Table, trx: TrxId, row: &Row) -> Result<()> {
+        self.ensure_master("INSERT")?;
+        let pkey = table.primary.tree.key_of_row(row);
+        // Validate every index *before* the first write-ahead undo record
+        // leaves this node (see `check_no_duplicate`).
+        self.check_no_duplicate(&table.primary, &pkey)?;
+        let sec_rows: Vec<(Row, Vec<u8>)> = table
+            .secondaries
+            .iter()
+            .map(|sec| {
+                let stored = sec.tree.def.stored_cols();
+                let srow: Row = stored.iter().map(|&c| row[c].clone()).collect();
+                let skey = sec.tree.key_of_row(&srow);
+                (srow, skey)
+            })
+            .collect();
+        for (sec, (_, skey)) in table.secondaries.iter().zip(&sec_rows) {
+            self.check_no_duplicate(sec, skey)?;
         }
+        // Undo is write-ahead *locally* too, not just in the log: a
+        // concurrent master scan that sees this insert's record must
+        // already find its chain entry, or reconstruction around the
+        // still-active writer silently serves a stale version. (The
+        // failure paths this ordering could orphan are pre-validated
+        // above; rollback tolerates a missing row defensively.)
+        self.log_undo(table.primary.tree.def.space, &pkey, trx, None)?;
+        self.undo
+            .push(table.primary.tree.def.space, &pkey, trx, None);
+        let shape = Self::tree_shape(&table.primary);
+        table
+            .primary
+            .tree
+            .insert(table.primary.store.as_ref(), row, trx)?;
+        self.log_shape_if_changed(&table.primary, shape)?;
+        for (sec, (srow, skey)) in table.secondaries.iter().zip(&sec_rows) {
+            self.log_undo(sec.tree.def.space, skey, trx, None)?;
+            self.undo.push(sec.tree.def.space, skey, trx, None);
+            let shape = Self::tree_shape(sec);
+            sec.tree.insert(sec.store.as_ref(), srow, trx)?;
+            self.log_shape_if_changed(sec, shape)?;
+        }
+        Ok(())
     }
 
     /// Delete (mark) a row by primary key values under `trx`.
     pub fn delete_row(&self, table: &Table, trx: TrxId, pk_values: &[Value]) -> Result<()> {
+        self.ensure_master("DELETE")?;
         let pkey = table.primary.tree.encode_search_key(pk_values);
-        let row = self
-            .newest_row(table, &pkey)?
-            .ok_or_else(|| Error::NotFound("row to delete".into()))?;
-        let old =
-            table
-                .primary
-                .tree
-                .set_delete_mark(table.primary.store.as_ref(), &pkey, trx, true)?;
+        // One descent serves both needs: the row values (for secondary
+        // maintenance) and the previous image (write-ahead undo).
+        let prev = self
+            .prev_image(&table.primary, &pkey)
+            .map_err(|_| Error::NotFound("row to delete".into()))?;
+        let row = RecordView::new(&prev, &table.primary.tree.leaf_layout).values();
+        self.log_undo(table.primary.tree.def.space, &pkey, trx, Some(prev.clone()))?;
         self.undo
-            .push(table.primary.tree.def.space, &pkey, trx, Some(old));
+            .push(table.primary.tree.def.space, &pkey, trx, Some(prev));
+        table
+            .primary
+            .tree
+            .set_delete_mark(table.primary.store.as_ref(), &pkey, trx, true)?;
         for sec in &table.secondaries {
             let stored = sec.tree.def.stored_cols();
             let srow: Row = stored.iter().map(|&c| row[c].clone()).collect();
             let skey = sec.tree.key_of_row(&srow);
-            let old = sec
-                .tree
+            let prev = self.prev_image(sec, &skey)?;
+            self.log_undo(sec.tree.def.space, &skey, trx, Some(prev.clone()))?;
+            self.undo.push(sec.tree.def.space, &skey, trx, Some(prev));
+            sec.tree
                 .set_delete_mark(sec.store.as_ref(), &skey, trx, true)?;
-            self.undo.push(sec.tree.def.space, &skey, trx, Some(old));
         }
         Ok(())
     }
 
     /// Update a row (primary key unchanged, fixed-width columns only).
     pub fn update_row(&self, table: &Table, trx: TrxId, new_row: &Row) -> Result<()> {
+        self.ensure_master("UPDATE")?;
         let pkey = table.primary.tree.key_of_row(new_row);
-        let old_row = self
-            .newest_row(table, &pkey)?
-            .ok_or_else(|| Error::NotFound("row to update".into()))?;
-        let old_img =
-            table
-                .primary
-                .tree
-                .update_in_place(table.primary.store.as_ref(), new_row, trx)?;
+        let prev = self
+            .prev_image(&table.primary, &pkey)
+            .map_err(|_| Error::NotFound("row to update".into()))?;
+        let old_row = RecordView::new(&prev, &table.primary.tree.leaf_layout).values();
+        self.log_undo(table.primary.tree.def.space, &pkey, trx, Some(prev.clone()))?;
         self.undo
-            .push(table.primary.tree.def.space, &pkey, trx, Some(old_img));
+            .push(table.primary.tree.def.space, &pkey, trx, Some(prev));
+        table
+            .primary
+            .tree
+            .update_in_place(table.primary.store.as_ref(), new_row, trx)?;
         for sec in &table.secondaries {
             let stored = sec.tree.def.stored_cols();
             let old_s: Row = stored.iter().map(|&c| old_row[c].clone()).collect();
@@ -565,17 +1125,28 @@ impl TaurusDb {
             let new_key = sec.tree.key_of_row(&new_s);
             if old_key == new_key {
                 if old_s != new_s {
-                    let img = sec.tree.update_in_place(sec.store.as_ref(), &new_s, trx)?;
-                    self.undo.push(sec.tree.def.space, &old_key, trx, Some(img));
+                    let prev = self.prev_image(sec, &old_key)?;
+                    self.log_undo(sec.tree.def.space, &old_key, trx, Some(prev.clone()))?;
+                    self.undo
+                        .push(sec.tree.def.space, &old_key, trx, Some(prev));
+                    sec.tree.update_in_place(sec.store.as_ref(), &new_s, trx)?;
                 }
             } else {
-                // Key change: delete-mark old entry, insert new one.
-                let img = sec
-                    .tree
+                // Key change: delete-mark old entry, insert new one. The
+                // insert's duplicate check runs before either write-ahead
+                // undo record ships (see `check_no_duplicate`).
+                self.check_no_duplicate(sec, &new_key)?;
+                let prev = self.prev_image(sec, &old_key)?;
+                self.log_undo(sec.tree.def.space, &old_key, trx, Some(prev.clone()))?;
+                self.undo
+                    .push(sec.tree.def.space, &old_key, trx, Some(prev));
+                sec.tree
                     .set_delete_mark(sec.store.as_ref(), &old_key, trx, true)?;
-                self.undo.push(sec.tree.def.space, &old_key, trx, Some(img));
-                sec.tree.insert(sec.store.as_ref(), &new_s, trx)?;
+                self.log_undo(sec.tree.def.space, &new_key, trx, None)?;
                 self.undo.push(sec.tree.def.space, &new_key, trx, None);
+                let shape = Self::tree_shape(sec);
+                sec.tree.insert(sec.store.as_ref(), &new_s, trx)?;
+                self.log_shape_if_changed(sec, shape)?;
             }
         }
         Ok(())
@@ -607,5 +1178,111 @@ impl TaurusDb {
             return Ok(None);
         }
         Ok(Some(v.values()))
+    }
+
+    // --- replica catalog reconstruction (log-tailer hooks) -------------------
+
+    /// Rebuild a table from a replicated `SysCatalog` payload: the same
+    /// `Table`/`BTree` objects `create_table` builds on the master, over
+    /// read-pinned stores. First payload per name wins (a duplicate can
+    /// only come from a master-side race whose loser never entered the
+    /// master catalog either). Replica engines only.
+    pub fn install_replicated_table(&self, payload: &CatalogPayload) -> Result<()> {
+        let rs = self
+            .replica
+            .as_ref()
+            .ok_or_else(|| Error::InvalidState("catalog replication into a master".into()))?;
+        let schema = TableSchema::new(&payload.name, payload.columns.clone(), payload.pk.clone());
+        let mut primary: Option<TableIndex> = None;
+        let mut secondaries: Vec<TableIndex> = Vec::new();
+        for ix in &payload.indexes {
+            let def = IndexDef {
+                name: ix.name.clone(),
+                index_id: IndexId(ix.index_id),
+                space: SpaceId(ix.space),
+                table: schema.clone(),
+                key_cols: ix.key_cols.clone(),
+                is_primary: ix.is_primary,
+            };
+            let store = Arc::new(SpaceStore::new(
+                def.space,
+                self.sal.clone(),
+                self.bp.clone(),
+                &self.cfg,
+                Some(rs.clone()),
+            ));
+            let t = TableIndex {
+                tree: BTree::new(def),
+                store,
+            };
+            if ix.is_primary {
+                primary = Some(t);
+            } else {
+                secondaries.push(t);
+            }
+        }
+        let primary = primary
+            .ok_or_else(|| Error::Corruption("catalog payload without a primary index".into()))?;
+        let table = Arc::new(Table {
+            schema: schema.clone(),
+            primary,
+            secondaries,
+            stats: RwLock::new(TableStats::default()),
+        });
+        // First-wins: if two racing master creates both logged a payload
+        // for the same name, only the one whose insert won exists on the
+        // master — the earlier-LSN record. Never replace.
+        self.catalog
+            .write()
+            .entry(schema.name.clone())
+            .or_insert(table);
+        Ok(())
+    }
+
+    /// Apply a replicated `SysLoaded` payload: tree shapes + optimizer
+    /// statistics (so replica NDP decisions match the master's).
+    pub fn apply_replicated_load(&self, payload: &LoadedPayload) -> Result<()> {
+        let table = self.table(&payload.table)?;
+        for s in &payload.shapes {
+            self.apply_replicated_shape(SpaceId(s.space), s.root, s.height, s.n_leaves)?;
+        }
+        *table.stats.write() = payload.stats.clone();
+        Ok(())
+    }
+
+    /// Apply a replicated `SysShape` record to the index owning `space`.
+    ///
+    /// Shape records can arrive LSN-inverted: the master reads the shape
+    /// and logs it *after* releasing the tree latch, so two racing
+    /// splitters may log (newer shape, lower LSN) then (older shape,
+    /// higher LSN). Shapes are strictly ordered by leaf count (every
+    /// shape change includes exactly one leaf split; there are no
+    /// merges), so a record whose `n_leaves` does not exceed the
+    /// installed one is stale — or a duplicate — and is skipped.
+    pub fn apply_replicated_shape(
+        &self,
+        space: SpaceId,
+        root: PageNo,
+        height: u32,
+        n_leaves: u32,
+    ) -> Result<()> {
+        let set = |tree: &BTree| {
+            if n_leaves > tree.n_leaves() || tree.root() == taurus_page::NO_PAGE {
+                tree.set_shape(root, height, n_leaves);
+            }
+        };
+        for t in self.tables() {
+            if t.primary.tree.def.space == space {
+                set(&t.primary.tree);
+                return Ok(());
+            }
+            if let Some(s) = t.secondaries.iter().find(|s| s.tree.def.space == space) {
+                set(&s.tree);
+                return Ok(());
+            }
+        }
+        Err(Error::NotFound(format!(
+            "no replicated index owns space {space:?} (shape record before its catalog record?)"
+        )))
     }
 }

@@ -10,6 +10,11 @@
 //!   path (descriptor build, level-1 batch extraction, buffer-pool overlap
 //!   handling, ordered NDP-page consumption, InnoDB-side completion of
 //!   raw/ambiguous work), plus PQ range partitioning.
+//! * [`replication`] — the catalog/statistics payloads read replicas
+//!   rebuild their state from; the replica engine itself
+//!   ([`TaurusDb::attach_replica`], [`engine::ReplicaState`]) pins every
+//!   read at the replicated LSN, and the log tailer lives in
+//!   `taurus-replica`.
 //!
 //! The executor above talks only to [`scan::scan`] through
 //! [`scan::ScanConsumer`] — it cannot tell whether filtering, projection,
@@ -17,9 +22,10 @@
 //! is exactly the paper's encapsulation claim.
 
 pub mod engine;
+pub mod replication;
 pub mod scan;
 
-pub use engine::{ColumnStats, SpaceStore, Table, TableIndex, TableStats, TaurusDb};
+pub use engine::{ColumnStats, ReplicaState, SpaceStore, Table, TableIndex, TableStats, TaurusDb};
 pub use scan::{
     build_descriptor, partition_ranges, scan, NdpChoice, ScanAggregation, ScanConsumer, ScanSpec,
     ScanStats,

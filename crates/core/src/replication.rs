@@ -1,0 +1,430 @@
+//! Catalog replication payload codecs.
+//!
+//! The log is the only cross-node channel (§II: masters write log records,
+//! never pages), so everything a read replica needs beyond page deltas has
+//! to travel *through* it. Two system-record payloads are defined here:
+//!
+//! * [`CatalogPayload`] (`RedoBody::SysCatalog`) — emitted by
+//!   `create_table`: the table schema plus every index definition (name,
+//!   id, space, key columns), enough for a replica to rebuild `Table` /
+//!   `BTree` objects over its own read-pinned stores.
+//! * [`LoadedPayload`] (`RedoBody::SysLoaded`) — emitted when `bulk_load`
+//!   completes: per-index tree shapes (root / height / leaf count — state
+//!   the master mutates outside the page substrate) and the optimizer
+//!   statistics, so a replica makes the *same* NDP decisions the master
+//!   would.
+//!
+//! Encodings are little-endian and length-prefixed, like the redo wire
+//! format one layer down; `Value`s reuse the expression IR codec.
+
+use taurus_common::schema::{Column, TableSchema};
+use taurus_common::{DataType, Error, PageNo, Result, Value};
+use taurus_expr::ir::{decode_value, encode_value};
+
+use crate::engine::{ColumnStats, TableStats};
+
+/// One index of a replicated table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IndexMeta {
+    pub name: String,
+    pub index_id: u64,
+    pub space: u32,
+    /// Positions into the table schema of the declared key, in key order.
+    pub key_cols: Vec<usize>,
+    pub is_primary: bool,
+}
+
+/// `SysCatalog` payload: everything `create_table` decided.
+#[derive(Clone, Debug)]
+pub struct CatalogPayload {
+    pub name: String,
+    pub columns: Vec<Column>,
+    pub pk: Vec<usize>,
+    pub indexes: Vec<IndexMeta>,
+}
+
+/// Shape of one B+ tree at bulk-load completion.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TreeShape {
+    pub space: u32,
+    pub root: PageNo,
+    pub height: u32,
+    pub n_leaves: u32,
+}
+
+/// `SysLoaded` payload: tree shapes + optimizer statistics, plus the
+/// master's read-view ingredients (a load completion is a
+/// transaction-consistent boundary, and replicas publish an exact master
+/// view at every boundary).
+#[derive(Clone, Debug)]
+pub struct LoadedPayload {
+    pub table: String,
+    pub shapes: Vec<TreeShape>,
+    pub stats: TableStats,
+    /// Transaction ids active on the master at load completion (sorted).
+    pub active: Vec<u64>,
+    /// The master's next transaction id at load completion.
+    pub low_limit: u64,
+}
+
+// --- primitive writers/readers ----------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn err() -> Error {
+    Error::Corruption("truncated replication payload".into())
+}
+
+fn take<'a>(buf: &'a [u8], at: &mut usize, n: usize) -> Result<&'a [u8]> {
+    let s = buf.get(*at..*at + n).ok_or_else(err)?;
+    *at += n;
+    Ok(s)
+}
+
+fn get_u32(buf: &[u8], at: &mut usize) -> Result<u32> {
+    Ok(u32::from_le_bytes(take(buf, at, 4)?.try_into().unwrap()))
+}
+
+fn get_u64(buf: &[u8], at: &mut usize) -> Result<u64> {
+    Ok(u64::from_le_bytes(take(buf, at, 8)?.try_into().unwrap()))
+}
+
+fn get_f64(buf: &[u8], at: &mut usize) -> Result<f64> {
+    Ok(f64::from_bits(get_u64(buf, at)?))
+}
+
+fn get_str(buf: &[u8], at: &mut usize) -> Result<String> {
+    let n = get_u32(buf, at)? as usize;
+    String::from_utf8(take(buf, at, n)?.to_vec())
+        .map_err(|_| Error::Corruption("non-utf8 name in replication payload".into()))
+}
+
+fn put_dtype(out: &mut Vec<u8>, dt: DataType) {
+    match dt {
+        DataType::Int => out.push(0),
+        DataType::BigInt => out.push(1),
+        DataType::Decimal { precision, scale } => {
+            out.push(2);
+            out.push(precision);
+            out.push(scale);
+        }
+        DataType::Date => out.push(3),
+        DataType::Char(n) => {
+            out.push(4);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        DataType::Varchar(n) => {
+            out.push(5);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        DataType::Double => out.push(6),
+    }
+}
+
+fn get_dtype(buf: &[u8], at: &mut usize) -> Result<DataType> {
+    Ok(match take(buf, at, 1)?[0] {
+        0 => DataType::Int,
+        1 => DataType::BigInt,
+        2 => {
+            let p = take(buf, at, 2)?;
+            DataType::Decimal {
+                precision: p[0],
+                scale: p[1],
+            }
+        }
+        3 => DataType::Date,
+        4 => DataType::Char(u16::from_le_bytes(take(buf, at, 2)?.try_into().unwrap())),
+        5 => DataType::Varchar(u16::from_le_bytes(take(buf, at, 2)?.try_into().unwrap())),
+        6 => DataType::Double,
+        t => return Err(Error::Corruption(format!("bad dtype tag {t}"))),
+    })
+}
+
+fn put_opt_value(out: &mut Vec<u8>, v: &Option<Value>) {
+    match v {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            encode_value(v, out);
+        }
+    }
+}
+
+fn get_opt_value(buf: &[u8], at: &mut usize) -> Result<Option<Value>> {
+    Ok(match take(buf, at, 1)?[0] {
+        0 => None,
+        _ => Some(decode_value(buf, at)?),
+    })
+}
+
+fn put_usizes(out: &mut Vec<u8>, v: &[usize]) {
+    put_u32(out, v.len() as u32);
+    for &x in v {
+        put_u32(out, x as u32);
+    }
+}
+
+fn get_usizes(buf: &[u8], at: &mut usize) -> Result<Vec<usize>> {
+    let n = get_u32(buf, at)? as usize;
+    (0..n).map(|_| Ok(get_u32(buf, at)? as usize)).collect()
+}
+
+// --- payload codecs ----------------------------------------------------------
+
+impl CatalogPayload {
+    pub fn from_parts(schema: &TableSchema, indexes: Vec<IndexMeta>) -> CatalogPayload {
+        CatalogPayload {
+            name: schema.name.clone(),
+            columns: schema.columns.clone(),
+            pk: schema.pk.clone(),
+            indexes,
+        }
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128);
+        put_str(&mut out, &self.name);
+        put_u32(&mut out, self.columns.len() as u32);
+        for c in &self.columns {
+            put_str(&mut out, &c.name);
+            put_dtype(&mut out, c.dtype);
+            out.push(c.nullable as u8);
+        }
+        put_usizes(&mut out, &self.pk);
+        put_u32(&mut out, self.indexes.len() as u32);
+        for ix in &self.indexes {
+            put_str(&mut out, &ix.name);
+            put_u64(&mut out, ix.index_id);
+            put_u32(&mut out, ix.space);
+            put_usizes(&mut out, &ix.key_cols);
+            out.push(ix.is_primary as u8);
+        }
+        out
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<CatalogPayload> {
+        let at = &mut 0usize;
+        let name = get_str(buf, at)?;
+        let n_cols = get_u32(buf, at)? as usize;
+        let mut columns = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            let cname = get_str(buf, at)?;
+            let dtype = get_dtype(buf, at)?;
+            let nullable = take(buf, at, 1)?[0] != 0;
+            columns.push(Column {
+                name: cname,
+                dtype,
+                nullable,
+            });
+        }
+        let pk = get_usizes(buf, at)?;
+        let n_ix = get_u32(buf, at)? as usize;
+        let mut indexes = Vec::with_capacity(n_ix);
+        for _ in 0..n_ix {
+            indexes.push(IndexMeta {
+                name: get_str(buf, at)?,
+                index_id: get_u64(buf, at)?,
+                space: get_u32(buf, at)?,
+                key_cols: get_usizes(buf, at)?,
+                is_primary: take(buf, at, 1)?[0] != 0,
+            });
+        }
+        Ok(CatalogPayload {
+            name,
+            columns,
+            pk,
+            indexes,
+        })
+    }
+}
+
+impl LoadedPayload {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128);
+        put_str(&mut out, &self.table);
+        put_u32(&mut out, self.shapes.len() as u32);
+        for s in &self.shapes {
+            put_u32(&mut out, s.space);
+            put_u32(&mut out, s.root);
+            put_u32(&mut out, s.height);
+            put_u32(&mut out, s.n_leaves);
+        }
+        put_u64(&mut out, self.stats.row_count);
+        put_u64(&mut out, self.stats.leaf_pages);
+        put_f64(&mut out, self.stats.avg_row_width);
+        put_u32(&mut out, self.stats.columns.len() as u32);
+        for c in &self.stats.columns {
+            put_opt_value(&mut out, &c.min);
+            put_opt_value(&mut out, &c.max);
+            put_u64(&mut out, c.ndv);
+            put_f64(&mut out, c.avg_width);
+        }
+        put_u32(&mut out, self.active.len() as u32);
+        for &a in &self.active {
+            put_u64(&mut out, a);
+        }
+        put_u64(&mut out, self.low_limit);
+        out
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<LoadedPayload> {
+        let at = &mut 0usize;
+        let table = get_str(buf, at)?;
+        let n_shapes = get_u32(buf, at)? as usize;
+        let mut shapes = Vec::with_capacity(n_shapes);
+        for _ in 0..n_shapes {
+            shapes.push(TreeShape {
+                space: get_u32(buf, at)?,
+                root: get_u32(buf, at)?,
+                height: get_u32(buf, at)?,
+                n_leaves: get_u32(buf, at)?,
+            });
+        }
+        let row_count = get_u64(buf, at)?;
+        let leaf_pages = get_u64(buf, at)?;
+        let avg_row_width = get_f64(buf, at)?;
+        let n_cols = get_u32(buf, at)? as usize;
+        let mut columns = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            columns.push(ColumnStats {
+                min: get_opt_value(buf, at)?,
+                max: get_opt_value(buf, at)?,
+                ndv: get_u64(buf, at)?,
+                avg_width: get_f64(buf, at)?,
+            });
+        }
+        let n_active = get_u32(buf, at)? as usize;
+        let active = (0..n_active)
+            .map(|_| get_u64(buf, at))
+            .collect::<Result<_>>()?;
+        let low_limit = get_u64(buf, at)?;
+        Ok(LoadedPayload {
+            table,
+            shapes,
+            stats: TableStats {
+                row_count,
+                leaf_pages,
+                avg_row_width,
+                columns,
+            },
+            active,
+            low_limit,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taurus_common::Dec;
+
+    #[test]
+    fn catalog_payload_roundtrip() {
+        let schema = TableSchema::new(
+            "orders",
+            vec![
+                Column::new("o_id", DataType::BigInt),
+                Column::nullable("o_comment", DataType::Varchar(80)),
+                Column::new(
+                    "o_total",
+                    DataType::Decimal {
+                        precision: 15,
+                        scale: 2,
+                    },
+                ),
+            ],
+            vec![0],
+        );
+        let p = CatalogPayload::from_parts(
+            &schema,
+            vec![
+                IndexMeta {
+                    name: "orders_pk".into(),
+                    index_id: 3,
+                    space: 7,
+                    key_cols: vec![0],
+                    is_primary: true,
+                },
+                IndexMeta {
+                    name: "i_total".into(),
+                    index_id: 4,
+                    space: 8,
+                    key_cols: vec![2],
+                    is_primary: false,
+                },
+            ],
+        );
+        let d = CatalogPayload::decode(&p.encode()).unwrap();
+        assert_eq!(d.name, "orders");
+        assert_eq!(d.columns, schema.columns);
+        assert_eq!(d.pk, vec![0]);
+        assert_eq!(d.indexes, p.indexes);
+    }
+
+    #[test]
+    fn loaded_payload_roundtrip() {
+        let p = LoadedPayload {
+            table: "t".into(),
+            active: vec![4, 9],
+            low_limit: 10,
+            shapes: vec![TreeShape {
+                space: 1,
+                root: 9,
+                height: 2,
+                n_leaves: 8,
+            }],
+            stats: TableStats {
+                row_count: 100,
+                leaf_pages: 8,
+                avg_row_width: 33.5,
+                columns: vec![
+                    ColumnStats {
+                        min: Some(Value::Int(1)),
+                        max: Some(Value::Int(100)),
+                        ndv: 100,
+                        avg_width: 8.0,
+                    },
+                    ColumnStats {
+                        min: Some(Value::Decimal(Dec::new(150, 2))),
+                        max: None,
+                        ndv: 7,
+                        avg_width: 8.0,
+                    },
+                ],
+            },
+        };
+        let d = LoadedPayload::decode(&p.encode()).unwrap();
+        assert_eq!(d.table, "t");
+        assert_eq!(d.shapes, p.shapes);
+        assert_eq!(d.stats.row_count, 100);
+        assert_eq!(d.stats.avg_row_width, 33.5);
+        assert_eq!(d.stats.columns[0].min, Some(Value::Int(1)));
+        assert_eq!(d.stats.columns[1].min, p.stats.columns[1].min);
+        assert_eq!(d.stats.columns[1].max, None);
+    }
+
+    #[test]
+    fn truncated_payload_is_corruption() {
+        let schema = TableSchema::new("t", vec![Column::new("a", DataType::Int)], vec![0]);
+        let enc = CatalogPayload::from_parts(&schema, vec![]).encode();
+        assert!(matches!(
+            CatalogPayload::decode(&enc[..enc.len() - 1]),
+            Err(Error::Corruption(_))
+        ));
+    }
+}

@@ -42,7 +42,7 @@ use std::time::Instant;
 
 use taurus_btree::{ScanRange, TreeStore};
 use taurus_bufferpool::{BufferPool, NdpFrameGuard};
-use taurus_common::{Error, Metrics, PageNo, PageRef, Result, RowBatch, Value};
+use taurus_common::{Error, Metrics, PageNo, Result, RowBatch, Value};
 use taurus_expr::agg::{AggSpec, AggState};
 use taurus_expr::ast::Expr;
 use taurus_expr::descriptor::{NdpAggSpec, NdpDescriptor};
@@ -790,11 +790,15 @@ fn issue_next_batch(
     }
     let space = ctx.index.tree.def.space;
     // Buffer-pool overlap: cached pages are copied to the NDP area and
-    // completed by InnoDB; only misses go into the batch read.
+    // completed by InnoDB; only misses go into the batch read. The probe
+    // is pinned at the *batch's* captured LSN (not the advancing replica
+    // pin): every page of the batch — cached copy or versioned fetch —
+    // must come from the same cut the leaf set was enumerated at, or a
+    // split landing mid-batch could tear record placement across pages.
     let mut staged: HashMap<PageNo, StagedPage> = HashMap::with_capacity(pages.len());
     let mut missing: Vec<PageNo> = Vec::with_capacity(pages.len());
     for &no in &pages {
-        match bp.get(PageRef::new(space, no)) {
+        match store.cached_at(no, lsn) {
             Some(p) => {
                 staged.insert(
                     no,

@@ -84,6 +84,12 @@ impl Session {
     /// Re-snapshot (same transaction identity): subsequent queries see
     /// commits made since the session was opened, and a `for_trx` session
     /// keeps seeing its own transaction's writes.
+    ///
+    /// On a **replica**, the new view is the replicated boundary snapshot
+    /// (commits the log tailer has published), never one derived from the
+    /// replica's local `TrxManager` — a local view would declare every
+    /// master transaction visible and serve torn half-transactions.
+    /// `TaurusDb::read_view` enforces this for every caller.
     pub fn refresh(&mut self) {
         self.view = self.db.read_view(self.trx);
     }
@@ -97,8 +103,12 @@ impl Session {
     }
 
     /// Start a query against `table`. Fails immediately if the table does
-    /// not exist.
+    /// not exist — or, on a replica, if the node may not serve: a
+    /// detached replica (tailer stopped), one lagging beyond
+    /// `replica.max_lag_lsn`, or a transaction-bound session (replicas
+    /// are read-only; only snapshot sessions make sense there).
     pub fn query(&self, table: &str) -> Result<QueryBuilder<'_>> {
+        self.check_replica_session()?;
         let table = self.db.table(table).map_err(|_| {
             Error::NameResolution(format!(
                 "table `{table}` not found (known tables: {})",
@@ -142,8 +152,25 @@ impl Session {
 
     /// MVCC point lookup under this session's read view.
     pub fn lookup(&self, table: &str, pk: &[taurus_common::Value]) -> Result<Option<Row>> {
+        self.check_replica_session()?;
         let t = self.db.table(table)?;
         self.db.lookup_row(&t, &self.view, pk)
+    }
+
+    /// Replica guardrails shared by every serving entry point: the node
+    /// must be serveable (attached, within the lag contract) and the
+    /// session must be a snapshot session (a transaction-bound session on
+    /// a read-only node could never see its transaction's writes).
+    fn check_replica_session(&self) -> Result<()> {
+        self.db.check_serveable()?;
+        if self.db.is_replica() && self.trx != 0 {
+            return Err(Error::Unsupported(
+                "transaction-bound session on a read replica: replicas are read-only; \
+                 use a snapshot session (Session::new)"
+                    .into(),
+            ));
+        }
+        Ok(())
     }
 }
 

@@ -5,25 +5,50 @@
 //! SAL writes every batch to three Log Stores (triplication) and separately
 //! distributes the records to Page Stores for application. Log Stores treat
 //! batches as opaque bytes — the redo format belongs to the Page Store /
-//! engine layer — and additionally serve reads from an offset, which is how
-//! read replicas would catch up (§II: Log Stores "serve log records to read
-//! replicas").
+//! engine layer — and additionally serve reads *by LSN*, which is how read
+//! replicas catch up (§II: Log Stores "serve log records to read
+//! replicas"): a replica's tailer asks for "everything from LSN x" and gets
+//! back whole batches, each tagged with the LSN range it covers.
+//!
+//! Batches are indexed by their first LSN and kept sorted: the SAL
+//! allocates a batch's LSN range *before* appending, so two concurrent
+//! `write_log` calls can reach a Log Store out of LSN order — the sorted
+//! insert puts them back, and [`LogStore::read_from_lsn`] can binary-search
+//! instead of scanning ordinals. All of a store's state lives behind one
+//! mutex, so a reader can never observe `segments` and `bytes` (or the
+//! LSN index) mid-update.
 
 use parking_lot::Mutex;
+use taurus_common::Lsn;
+
+/// One appended batch: the LSN range it covers plus the opaque bytes.
+struct Segment {
+    first_lsn: Lsn,
+    last_lsn: Lsn,
+    data: Vec<u8>,
+}
+
+/// All mutable state of a Log Store, under a single lock: batch index and
+/// byte accounting can never be observed inconsistently.
+#[derive(Default)]
+struct Inner {
+    /// Sorted by `first_lsn`; LSN ranges are disjoint (the SAL allocates
+    /// them from one counter), so `last_lsn` is sorted too.
+    segments: Vec<Segment>,
+    bytes: u64,
+}
 
 /// One durable, append-only log service instance.
 pub struct LogStore {
     id: usize,
-    segments: Mutex<Vec<Vec<u8>>>,
-    bytes: Mutex<u64>,
+    inner: Mutex<Inner>,
 }
 
 impl LogStore {
     pub fn new(id: usize) -> LogStore {
         LogStore {
             id,
-            segments: Mutex::new(Vec::new()),
-            bytes: Mutex::new(0),
+            inner: Mutex::new(Inner::default()),
         }
     }
 
@@ -31,27 +56,65 @@ impl LogStore {
         self.id
     }
 
-    /// Durably append one batch; returns its sequence number (offset).
-    pub fn append(&self, batch: &[u8]) -> u64 {
-        let mut segs = self.segments.lock();
-        *self.bytes.lock() += batch.len() as u64;
-        segs.push(batch.to_vec());
-        (segs.len() - 1) as u64
+    /// Durably append one batch covering `[first_lsn, last_lsn]`; returns
+    /// its position in the store. Inserted sorted by `first_lsn` so that
+    /// a batch whose append raced ahead of an earlier-LSN batch does not
+    /// break the LSN index.
+    pub fn append(&self, batch: &[u8], first_lsn: Lsn, last_lsn: Lsn) -> u64 {
+        debug_assert!(first_lsn <= last_lsn);
+        let mut g = self.inner.lock();
+        g.bytes += batch.len() as u64;
+        let at = g
+            .segments
+            .partition_point(|s| s.first_lsn < first_lsn)
+            .min(g.segments.len());
+        g.segments.insert(
+            at,
+            Segment {
+                first_lsn,
+                last_lsn,
+                data: batch.to_vec(),
+            },
+        );
+        at as u64
     }
 
-    /// Serve batches from `offset` (read-replica catch-up path).
+    /// Serve batches by position (diagnostics; replicas use
+    /// [`LogStore::read_from_lsn`]).
     pub fn read_from(&self, offset: u64, max_batches: usize) -> Vec<Vec<u8>> {
-        let segs = self.segments.lock();
-        segs.iter()
+        let g = self.inner.lock();
+        g.segments
+            .iter()
             .skip(offset as usize)
             .take(max_batches)
-            .cloned()
+            .map(|s| s.data.clone())
             .collect()
+    }
+
+    /// The read-replica catch-up path: every batch containing or following
+    /// `lsn`, as `(first_lsn, bytes)` pairs, up to `max_batches`. Seeks by
+    /// binary search on the LSN index — a tailer resuming at LSN 10⁹ does
+    /// not scan 10⁹ batch ordinals to get there. The caller checks
+    /// contiguity (a gap means an earlier-LSN append is still in flight).
+    pub fn read_from_lsn(&self, lsn: Lsn, max_batches: usize) -> Vec<(Lsn, Vec<u8>)> {
+        let g = self.inner.lock();
+        let start = g.segments.partition_point(|s| s.last_lsn < lsn);
+        g.segments[start..]
+            .iter()
+            .take(max_batches)
+            .map(|s| (s.first_lsn, s.data.clone()))
+            .collect()
+    }
+
+    /// The highest LSN stored (0 when empty). With sorted disjoint
+    /// ranges, that is the last segment's `last_lsn`.
+    pub fn max_lsn(&self) -> Lsn {
+        self.inner.lock().segments.last().map_or(0, |s| s.last_lsn)
     }
 
     /// Number of batches stored.
     pub fn len(&self) -> u64 {
-        self.segments.lock().len() as u64
+        self.inner.lock().segments.len() as u64
     }
 
     pub fn is_empty(&self) -> bool {
@@ -60,7 +123,7 @@ impl LogStore {
 
     /// Total bytes stored on this replica.
     pub fn bytes_stored(&self) -> u64 {
-        *self.bytes.lock()
+        self.inner.lock().bytes
     }
 }
 
@@ -71,17 +134,18 @@ mod tests {
     #[test]
     fn append_assigns_sequential_offsets() {
         let ls = LogStore::new(0);
-        assert_eq!(ls.append(b"aaa"), 0);
-        assert_eq!(ls.append(b"bb"), 1);
+        assert_eq!(ls.append(b"aaa", 1, 1), 0);
+        assert_eq!(ls.append(b"bb", 2, 3), 1);
         assert_eq!(ls.len(), 2);
         assert_eq!(ls.bytes_stored(), 5);
+        assert_eq!(ls.max_lsn(), 3);
     }
 
     #[test]
     fn read_from_serves_replica_catchup() {
         let ls = LogStore::new(1);
         for i in 0..5u8 {
-            ls.append(&[i; 3]);
+            ls.append(&[i; 3], 1 + i as u64, 1 + i as u64);
         }
         let got = ls.read_from(2, 2);
         assert_eq!(got, vec![vec![2u8; 3], vec![3u8; 3]]);
@@ -89,5 +153,61 @@ mod tests {
         assert!(ls.read_from(9, 4).is_empty());
         // Everything.
         assert_eq!(ls.read_from(0, 100).len(), 5);
+    }
+
+    #[test]
+    fn read_from_lsn_seeks_into_covering_batch() {
+        let ls = LogStore::new(2);
+        // Batches covering [1,3], [4,4], [5,9].
+        ls.append(b"a", 1, 3);
+        ls.append(b"b", 4, 4);
+        ls.append(b"c", 5, 9);
+        // LSN 2 is inside the first batch: delivery starts there.
+        let got = ls.read_from_lsn(2, 10);
+        assert_eq!(
+            got.iter().map(|(l, _)| *l).collect::<Vec<_>>(),
+            vec![1, 4, 5]
+        );
+        // LSN 4 skips the first batch entirely.
+        let got = ls.read_from_lsn(4, 1);
+        assert_eq!(got, vec![(4, b"b".to_vec())]);
+        // Beyond the end: nothing.
+        assert!(ls.read_from_lsn(10, 10).is_empty());
+    }
+
+    #[test]
+    fn out_of_order_appends_are_resorted_by_lsn() {
+        let ls = LogStore::new(3);
+        // A later-LSN batch lands first (concurrent write_log race).
+        ls.append(b"late", 5, 6);
+        ls.append(b"early", 1, 4);
+        let got = ls.read_from_lsn(1, 10);
+        assert_eq!(got[0], (1, b"early".to_vec()));
+        assert_eq!(got[1], (5, b"late".to_vec()));
+        assert_eq!(ls.max_lsn(), 6);
+    }
+
+    #[test]
+    fn byte_accounting_consistent_under_concurrent_appends() {
+        use std::sync::Arc;
+        let ls = Arc::new(LogStore::new(4));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let ls = ls.clone();
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        let lsn = t * 50 + i + 1;
+                        ls.append(&[0u8; 10], lsn, lsn);
+                    }
+                });
+            }
+        });
+        assert_eq!(ls.len(), 200);
+        assert_eq!(ls.bytes_stored(), 2000);
+        // Fully sorted by LSN despite interleaved appends.
+        let all = ls.read_from_lsn(1, 1000);
+        for (i, (l, _)) in all.iter().enumerate() {
+            assert_eq!(*l, i as u64 + 1);
+        }
     }
 }

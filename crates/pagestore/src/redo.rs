@@ -6,11 +6,21 @@
 //! NDP batch reads request "page versions matching the LSN value"
 //! (§IV-C4) while the B+ tree keeps changing.
 
-use taurus_common::{Error, Lsn, PageNo, Result, SliceId, SpaceId};
+use taurus_common::{Error, Lsn, PageNo, Result, SliceId, SpaceId, TrxId};
 use taurus_page::Page;
 
 /// Physical redo operations. Record-level bodies keep log volume small;
 /// `NewPage` carries a full image (page creation, bulk load, splits).
+///
+/// The `Sys*` variants are **system records**: they target no page and are
+/// never distributed to Page Stores — they exist because the log is the
+/// only cross-node channel the architecture allows, and read replicas need
+/// more than page deltas to serve queries: the catalog (`SysCatalog`,
+/// `SysLoaded`, `SysShape`), the undo images that make replica MVCC exact
+/// (`SysUndo`), and the transaction boundaries that gate visible-LSN
+/// advancement (`SysTrxEnd`). Payload encodings for the catalog records
+/// live with the engine (`taurus-ndp::replication`); this layer treats
+/// them as bytes.
 #[derive(Clone, Debug, PartialEq)]
 pub enum RedoBody {
     /// Install a complete page image.
@@ -36,6 +46,63 @@ pub enum RedoBody {
     SetPrev(PageNo),
     /// Drop the page (space deallocation).
     FreePage,
+    /// DDL: a table was created (opaque schema + index-definition payload;
+    /// `space`/`page_no` on the record are 0).
+    SysCatalog(Vec<u8>),
+    /// Bulk-load completion: table statistics + per-index tree shapes
+    /// (opaque payload). Doubles as a transaction-consistent boundary.
+    SysLoaded(Vec<u8>),
+    /// Write-ahead undo: the previous image of the row at `key` (record
+    /// `space` = the index's space), pushed *before* the corresponding
+    /// tree redo so a replica that has applied a write has always already
+    /// applied its undo. `prev = None` marks an insertion.
+    SysUndo {
+        key: Vec<u8>,
+        writer: TrxId,
+        prev: Option<Vec<u8>>,
+    },
+    /// Commit watermark: transaction `trx` ended (committed, or rolled
+    /// back with `aborted`). The LSN of this record is a
+    /// transaction-consistent boundary replicas may advance their visible
+    /// LSN to. It carries the master's read-view ingredients at that
+    /// boundary — the still-active transaction ids and the id allocation
+    /// cursor — so a replica's boundary view is an *exact* master view:
+    /// tracking writers only by their replicated undo would miss a
+    /// low-id transaction that begins before a boundary but first writes
+    /// after it (its id would fall below the inferred watermark and its
+    /// uncommitted writes would leak).
+    SysTrxEnd {
+        trx: TrxId,
+        aborted: bool,
+        /// Ids active on the master at this boundary (sorted, `trx`
+        /// itself excluded) — invisible to replica readers.
+        active: Vec<TrxId>,
+        /// The master's next transaction id: everything at or above is
+        /// invisible.
+        low_limit: TrxId,
+    },
+    /// B+ tree shape change (root split / leaf count) for the index owning
+    /// record `space`; replicas publish it at the next boundary.
+    SysShape {
+        root: PageNo,
+        height: u32,
+        n_leaves: u32,
+    },
+}
+
+impl RedoBody {
+    /// System records carry replication state, not page deltas: Log Stores
+    /// persist them, Page Stores never see them.
+    pub fn is_system(&self) -> bool {
+        matches!(
+            self,
+            RedoBody::SysCatalog(_)
+                | RedoBody::SysLoaded(_)
+                | RedoBody::SysUndo { .. }
+                | RedoBody::SysTrxEnd { .. }
+                | RedoBody::SysShape { .. }
+        )
+    }
 }
 
 /// One redo record: target page + operation + LSN.
@@ -53,7 +120,14 @@ impl RedoRecord {
     }
 
     /// Apply to a page image, stamping the LSN. `None` result = page freed.
+    /// System records must be filtered out by the caller.
     pub fn apply(&self, page: &mut Option<Page>) -> Result<()> {
+        if self.body.is_system() {
+            return Err(Error::Internal(format!(
+                "system record {:?} applied to a page",
+                self.body
+            )));
+        }
         match &self.body {
             RedoBody::NewPage(img) => {
                 let mut p = Page::from_bytes(img.clone())?;
@@ -89,7 +163,7 @@ impl RedoRecord {
             }
             RedoBody::SetNext(n) => p.set_next(*n),
             RedoBody::SetPrev(n) => p.set_prev(*n),
-            RedoBody::NewPage(_) | RedoBody::FreePage => unreachable!(),
+            _ => unreachable!("NewPage/FreePage/system handled above"),
         }
         p.set_lsn(self.lsn);
         Ok(())
@@ -133,6 +207,55 @@ impl RedoRecord {
                 out.extend_from_slice(&n.to_le_bytes());
             }
             RedoBody::FreePage => out.push(6),
+            RedoBody::SysCatalog(p) => {
+                out.push(7);
+                out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+                out.extend_from_slice(p);
+            }
+            RedoBody::SysLoaded(p) => {
+                out.push(8);
+                out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+                out.extend_from_slice(p);
+            }
+            RedoBody::SysUndo { key, writer, prev } => {
+                out.push(9);
+                out.extend_from_slice(&writer.to_le_bytes());
+                out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+                out.extend_from_slice(key);
+                match prev {
+                    None => out.push(0),
+                    Some(img) => {
+                        out.push(1);
+                        out.extend_from_slice(&(img.len() as u32).to_le_bytes());
+                        out.extend_from_slice(img);
+                    }
+                }
+            }
+            RedoBody::SysTrxEnd {
+                trx,
+                aborted,
+                active,
+                low_limit,
+            } => {
+                out.push(10);
+                out.extend_from_slice(&trx.to_le_bytes());
+                out.push(*aborted as u8);
+                out.extend_from_slice(&low_limit.to_le_bytes());
+                out.extend_from_slice(&(active.len() as u32).to_le_bytes());
+                for a in active {
+                    out.extend_from_slice(&a.to_le_bytes());
+                }
+            }
+            RedoBody::SysShape {
+                root,
+                height,
+                n_leaves,
+            } => {
+                out.push(11);
+                out.extend_from_slice(&root.to_le_bytes());
+                out.extend_from_slice(&height.to_le_bytes());
+                out.extend_from_slice(&n_leaves.to_le_bytes());
+            }
         }
     }
 
@@ -176,6 +299,52 @@ impl RedoRecord {
             4 => RedoBody::SetNext(u32::from_le_bytes(take(at, 4)?.try_into().unwrap())),
             5 => RedoBody::SetPrev(u32::from_le_bytes(take(at, 4)?.try_into().unwrap())),
             6 => RedoBody::FreePage,
+            7 => {
+                let n = u32::from_le_bytes(take(at, 4)?.try_into().unwrap()) as usize;
+                RedoBody::SysCatalog(take(at, n)?.to_vec())
+            }
+            8 => {
+                let n = u32::from_le_bytes(take(at, 4)?.try_into().unwrap()) as usize;
+                RedoBody::SysLoaded(take(at, n)?.to_vec())
+            }
+            9 => {
+                let writer = u64::from_le_bytes(take(at, 8)?.try_into().unwrap());
+                let kn = u32::from_le_bytes(take(at, 4)?.try_into().unwrap()) as usize;
+                let key = take(at, kn)?.to_vec();
+                let prev = match take(at, 1)?[0] {
+                    0 => None,
+                    _ => {
+                        let pn = u32::from_le_bytes(take(at, 4)?.try_into().unwrap()) as usize;
+                        Some(take(at, pn)?.to_vec())
+                    }
+                };
+                RedoBody::SysUndo { key, writer, prev }
+            }
+            10 => {
+                let trx = u64::from_le_bytes(take(at, 8)?.try_into().unwrap());
+                let aborted = take(at, 1)?[0] != 0;
+                let low_limit = u64::from_le_bytes(take(at, 8)?.try_into().unwrap());
+                let n = u32::from_le_bytes(take(at, 4)?.try_into().unwrap()) as usize;
+                let active = (0..n)
+                    .map(|_| Ok(u64::from_le_bytes(take(at, 8)?.try_into().unwrap())))
+                    .collect::<Result<_>>()?;
+                RedoBody::SysTrxEnd {
+                    trx,
+                    aborted,
+                    active,
+                    low_limit,
+                }
+            }
+            11 => {
+                let root = u32::from_le_bytes(take(at, 4)?.try_into().unwrap());
+                let height = u32::from_le_bytes(take(at, 4)?.try_into().unwrap());
+                let n_leaves = u32::from_le_bytes(take(at, 4)?.try_into().unwrap());
+                RedoBody::SysShape {
+                    root,
+                    height,
+                    n_leaves,
+                }
+            }
             other => return Err(Error::Corruption(format!("bad redo tag {other}"))),
         };
         Ok(RedoRecord {
@@ -262,9 +431,70 @@ mod tests {
                 page_no: 9,
                 body: RedoBody::FreePage,
             },
+            RedoRecord {
+                lsn: 15,
+                space: SpaceId(0),
+                page_no: 0,
+                body: RedoBody::SysCatalog(vec![1, 2, 3]),
+            },
+            RedoRecord {
+                lsn: 16,
+                space: SpaceId(0),
+                page_no: 0,
+                body: RedoBody::SysLoaded(vec![9; 40]),
+            },
+            RedoRecord {
+                lsn: 17,
+                space: SpaceId(1),
+                page_no: 0,
+                body: RedoBody::SysUndo {
+                    key: vec![1, 0, 0, 7],
+                    writer: 42,
+                    prev: Some(rec(3)),
+                },
+            },
+            RedoRecord {
+                lsn: 18,
+                space: SpaceId(1),
+                page_no: 0,
+                body: RedoBody::SysUndo {
+                    key: vec![1],
+                    writer: 43,
+                    prev: None,
+                },
+            },
+            RedoRecord {
+                lsn: 19,
+                space: SpaceId(0),
+                page_no: 0,
+                body: RedoBody::SysTrxEnd {
+                    trx: 42,
+                    aborted: true,
+                    active: vec![40, 44],
+                    low_limit: 45,
+                },
+            },
+            RedoRecord {
+                lsn: 20,
+                space: SpaceId(1),
+                page_no: 0,
+                body: RedoBody::SysShape {
+                    root: 7,
+                    height: 2,
+                    n_leaves: 5,
+                },
+            },
         ];
         let bytes = RedoRecord::encode_batch(&records);
         assert_eq!(RedoRecord::decode_batch(&bytes).unwrap(), records);
+        // System records are replication metadata, never page deltas.
+        for r in &records {
+            assert_eq!(r.body.is_system(), r.lsn >= 15);
+            if r.body.is_system() {
+                let mut page = None;
+                assert!(r.apply(&mut page).is_err());
+            }
+        }
     }
 
     #[test]

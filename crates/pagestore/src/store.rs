@@ -220,9 +220,15 @@ impl PageStore {
 
     /// Apply a batch of redo records addressed to this store's slices.
     /// Records must arrive in LSN order (the SAL guarantees this).
+    /// System records (replication metadata) are not page deltas and are
+    /// skipped — the SAL does not distribute them, but a store fed a raw
+    /// log batch must not corrupt itself on them either.
     pub fn apply_redo(&self, records: &[RedoRecord]) -> Result<()> {
         let mut slices = self.slices.write();
         for r in records {
+            if r.body.is_system() {
+                continue;
+            }
             let sid = r.slice(self.cfg.slice_pages);
             let slice = slices.get_mut(&sid).ok_or_else(|| {
                 Error::NotFound(format!("slice {sid:?} on page store {}", self.id))
@@ -273,10 +279,35 @@ impl PageStore {
         match pick {
             Some((_, Some(p))) => Ok(p.clone()),
             Some((_, None)) => Err(Error::NotFound(format!("page {page_no} freed"))),
-            None => Err(Error::InvalidState(format!(
-                "page {page_no}: no version at or before lsn {at_lsn:?} retained"
-            ))),
+            None => {
+                // Version-pin miss: the chain exists but its oldest
+                // retained version is newer than the pin — a lagging
+                // replica asking for a snapshot this store no longer
+                // holds. Name the retention horizon so the caller can
+                // tell "too stale" from "never existed".
+                let oldest = chain.versions.front().map(|(l, _)| *l).unwrap_or(0);
+                Err(Error::InvalidState(format!(
+                    "page {page_no}: no version at or before lsn {at_lsn:?} retained \
+                     (oldest retained lsn {oldest}; reader pinned below the \
+                     retention horizon)"
+                )))
+            }
         }
+    }
+
+    /// Version-pin check: can this store serve `page_no` exactly as of
+    /// `lsn`? `false` once retention trimmed every version at or below
+    /// the pin. Diagnostic surface for operators/tests probing whether a
+    /// lagging reader's pin is still inside the retention horizon; the
+    /// read path itself signals the same condition through
+    /// [`PageStore::read_page`]'s trimmed-version error.
+    pub fn has_version_at(&self, slice: SliceId, page_no: PageNo, lsn: Lsn) -> bool {
+        let slices = self.slices.read();
+        slices
+            .get(&slice)
+            .and_then(|s| s.pages.get(&page_no))
+            .map(|c| c.versions.iter().any(|(l, _)| *l <= lsn))
+            .unwrap_or(false)
     }
 
     /// Serve an NDP batch read (§IV-D). Every page comes back either NDP-
@@ -553,6 +584,80 @@ mod tests {
         // Old versions gone.
         assert!(ps.read_page(sid, 0, Some(3)).is_err());
         assert!(ps.read_page(sid, 0, Some(9)).is_ok());
+    }
+
+    #[test]
+    fn version_pin_checks_distinguish_trimmed_from_missing() {
+        let ps = PageStore::new(
+            0,
+            PageStoreConfig {
+                versions_retained: 2,
+                slice_pages: 8,
+                ..Default::default()
+            },
+            Metrics::shared(),
+        );
+        let sid = SliceId::of(SpaceId(1), 0, 8);
+        ps.create_slice(sid);
+        ps.apply_redo(&[new_page_redo(1, 0, 10)]).unwrap();
+        for lsn in 11..15 {
+            ps.apply_redo(&[RedoRecord {
+                lsn,
+                space: SpaceId(1),
+                page_no: 0,
+                body: crate::redo::RedoBody::SetNext(lsn as u32),
+            }])
+            .unwrap();
+        }
+        // Retention holds the two newest versions (13, 14).
+        assert!(ps.has_version_at(sid, 0, 14));
+        assert!(ps.has_version_at(sid, 0, 13));
+        assert!(!ps.has_version_at(sid, 0, 12), "trimmed below the horizon");
+        assert!(!ps.has_version_at(sid, 0, 9), "before the page existed");
+        assert!(!ps.has_version_at(sid, 1, 9), "page never existed");
+        // A pinned read below the horizon names the retention boundary.
+        match ps.read_page(sid, 0, Some(11)) {
+            Err(Error::InvalidState(m)) => {
+                assert!(m.contains("oldest retained lsn 13"), "message: {m}")
+            }
+            other => panic!("expected InvalidState, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn system_records_are_skipped_by_apply() {
+        let ps = store();
+        let sid = SliceId::of(SpaceId(1), 0, 8);
+        ps.create_slice(sid);
+        // A raw log batch fed to a store must not corrupt it: system
+        // records apply as no-ops, page records apply normally.
+        ps.apply_redo(&[
+            RedoRecord {
+                lsn: 1,
+                space: SpaceId(0),
+                page_no: 0,
+                body: crate::redo::RedoBody::SysTrxEnd {
+                    trx: 5,
+                    aborted: false,
+                    active: vec![],
+                    low_limit: 6,
+                },
+            },
+            new_page_redo(1, 0, 2),
+            RedoRecord {
+                lsn: 3,
+                space: SpaceId(1),
+                page_no: 0,
+                body: crate::redo::RedoBody::SysUndo {
+                    key: vec![1, 2],
+                    writer: 5,
+                    prev: None,
+                },
+            },
+        ])
+        .unwrap();
+        assert!(ps.read_page(sid, 0, None).is_ok());
+        assert_eq!(ps.applied_lsn(sid), 2, "only the page record applied");
     }
 
     #[test]

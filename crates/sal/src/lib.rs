@@ -40,8 +40,11 @@ pub struct Sal {
     cfg: ClusterConfig,
     page_stores: Vec<Arc<PageStore>>,
     log_stores: Vec<Arc<LogStore>>,
-    placement: RwLock<HashMap<SliceId, Vec<usize>>>,
-    next_lsn: AtomicU64,
+    /// Shared with read-only attachments (replicas see master placements).
+    placement: Arc<RwLock<HashMap<SliceId, Vec<usize>>>>,
+    /// Shared with read-only attachments (replicas compute lag against
+    /// the master's LSN cursor).
+    next_lsn: Arc<AtomicU64>,
     network: Arc<Network>,
     metrics: Arc<Metrics>,
     rr_counter: AtomicU64,
@@ -49,6 +52,10 @@ pub struct Sal {
     /// load spreads across a slice's replicas instead of pinning
     /// `replicas[0]`.
     read_rr: AtomicU64,
+    /// Read-only attachment (replica compute node): `write_log` is
+    /// refused; everything else — page reads, batch reads, log reads —
+    /// works against the same shared storage services.
+    read_only: bool,
 }
 
 impl Sal {
@@ -73,13 +80,38 @@ impl Sal {
             cfg,
             page_stores,
             log_stores,
-            placement: RwLock::new(HashMap::new()),
-            next_lsn: AtomicU64::new(1),
+            placement: Arc::new(RwLock::new(HashMap::new())),
+            next_lsn: Arc::new(AtomicU64::new(1)),
             network,
             metrics,
             rr_counter: AtomicU64::new(0),
             read_rr: AtomicU64::new(0),
+            read_only: false,
         })
+    }
+
+    /// Attach a read-only compute node (a read replica, §II) to this
+    /// cluster's storage services: the attachment shares the Page Stores,
+    /// Log Stores, slice placements and the master's LSN cursor — no page
+    /// data is copied — but gets its own [`Network`] metered into
+    /// `metrics` (per-node traffic accounting) and refuses `write_log`.
+    pub fn attach_read_only(self: &Arc<Self>, metrics: Arc<Metrics>) -> Arc<Sal> {
+        Arc::new(Sal {
+            cfg: self.cfg.clone(),
+            page_stores: self.page_stores.clone(),
+            log_stores: self.log_stores.clone(),
+            placement: self.placement.clone(),
+            next_lsn: self.next_lsn.clone(),
+            network: Network::new(&self.cfg.network, metrics.clone()),
+            metrics,
+            rr_counter: AtomicU64::new(0),
+            read_rr: AtomicU64::new(0),
+            read_only: true,
+        })
+    }
+
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
     }
 
     pub fn config(&self) -> &ClusterConfig {
@@ -141,8 +173,20 @@ impl Sal {
 
     /// Write path (§II): assign LSNs, append to all Log Stores (triplicate
     /// durability), then distribute records to the Page Store replicas of
-    /// each affected slice and apply.
+    /// each affected slice and apply. System records (`RedoBody::Sys*`)
+    /// are durably logged but never distributed — they exist *for* the
+    /// log, which is the only channel read replicas tail.
+    ///
+    /// The triplicate appends dispatch concurrently (one thread per Log
+    /// Store, the PR-4 sub-batch pattern): commit latency pays the
+    /// *slowest* replica once, not all three in sequence. The flush wall
+    /// time lands in `log_flush_ns`/`log_flushes`.
     pub fn write_log(&self, mut records: Vec<RedoRecord>) -> Result<Lsn> {
+        if self.read_only {
+            return Err(Error::InvalidState(
+                "write_log on a read-only SAL attachment (replicas never write)".into(),
+            ));
+        }
         if records.is_empty() {
             return Ok(self.current_lsn());
         }
@@ -152,18 +196,51 @@ impl Sal {
             r.lsn = base + i as u64;
         }
         let batch = RedoRecord::encode_batch(&records);
-        for ls in &self.log_stores {
+        let last = base + n - 1;
+        let t0 = std::time::Instant::now();
+        let append_one = |ls: &LogStore| {
             self.network
                 .transfer(Direction::ToStorage, batch.len() as u64);
-            ls.append(&batch);
+            ls.append(&batch, base, last);
             self.metrics
                 .add(|m| &m.log_bytes_appended, batch.len() as u64);
             // Durability ack.
             self.network.transfer(Direction::FromStorage, 16);
+        };
+        // Concurrent dispatch exists to overlap *wire* time — when the
+        // network model paces transfers, commit latency pays the slowest
+        // replica once instead of all three in sequence. With no wire
+        // model an append is a nanosecond-scale memory write and thread
+        // spawns would dominate the DML hot path, so append serially.
+        let paced =
+            self.cfg.network.latency_us > 0 || self.cfg.network.bandwidth_bytes_per_sec.is_some();
+        if paced && self.log_stores.len() > 1 {
+            std::thread::scope(|s| {
+                // n-1 dispatch threads; the caller serves the last store
+                // itself instead of idling.
+                let (inline, rest) = self
+                    .log_stores
+                    .split_last()
+                    .expect("clusters have log stores");
+                for ls in rest {
+                    s.spawn(|| append_one(ls));
+                }
+                append_one(inline);
+            });
+        } else {
+            for ls in &self.log_stores {
+                append_one(ls);
+            }
         }
+        self.metrics
+            .add(|m| &m.log_flush_ns, t0.elapsed().as_nanos() as u64);
+        self.metrics.add(|m| &m.log_flushes, 1);
         // Distribute to Page Stores by slice.
         let mut by_slice: HashMap<SliceId, Vec<RedoRecord>> = HashMap::new();
         for r in records {
+            if r.body.is_system() {
+                continue;
+            }
             by_slice
                 .entry(r.slice(self.cfg.slice_pages))
                 .or_default()
@@ -488,6 +565,103 @@ mod tests {
             .count();
         assert_eq!(served, 2);
         assert!(m.snapshot().log_bytes_appended > 0);
+    }
+
+    #[test]
+    fn write_log_meters_flush_latency_and_appends_identically() {
+        let m = Metrics::shared();
+        let sal = Sal::new(test_cfg(), m.clone());
+        let space = SpaceId(12);
+        sal.ensure_slice(SliceId::of(space, 0, 4));
+        sal.write_log(vec![RedoRecord {
+            lsn: 0,
+            space,
+            page_no: 0,
+            body: RedoBody::NewPage(leaf_image(12, 0, &[1])),
+        }])
+        .unwrap();
+        for i in 0..3u32 {
+            sal.write_log(vec![RedoRecord {
+                lsn: 0,
+                space,
+                page_no: 0,
+                body: RedoBody::SetNext(i),
+            }])
+            .unwrap();
+        }
+        let d = m.snapshot();
+        assert_eq!(d.log_flushes, 4, "one flush per write_log");
+        assert!(d.log_flush_ns > 0, "flush wall time metered");
+        // The concurrent triplicate dispatch must leave all three stores
+        // byte-identical and LSN-sorted.
+        let ls = sal.log_stores();
+        let a = ls[0].read_from_lsn(1, 100);
+        for other in &ls[1..] {
+            assert_eq!(a, other.read_from_lsn(1, 100));
+        }
+        assert_eq!(ls[0].max_lsn(), sal.current_lsn());
+    }
+
+    #[test]
+    fn system_records_stay_in_the_log() {
+        let m = Metrics::shared();
+        let sal = Sal::new(test_cfg(), m.clone());
+        let space = SpaceId(13);
+        sal.ensure_slice(SliceId::of(space, 0, 4));
+        let lsn = sal
+            .write_log(vec![
+                RedoRecord {
+                    lsn: 0,
+                    space: SpaceId(0),
+                    page_no: 0,
+                    body: RedoBody::SysTrxEnd {
+                        trx: 9,
+                        aborted: false,
+                        active: vec![],
+                        low_limit: 10,
+                    },
+                },
+                RedoRecord {
+                    lsn: 0,
+                    space,
+                    page_no: 0,
+                    body: RedoBody::NewPage(leaf_image(13, 0, &[1])),
+                },
+            ])
+            .unwrap();
+        // Both durably logged…
+        assert_eq!(sal.log_stores()[0].max_lsn(), lsn);
+        // …but only the page record reached Page Stores: space 0 (the
+        // system pseudo-space) got no slice placement.
+        assert!(sal.replicas_of(SliceId::of(SpaceId(0), 0, 4)).is_none());
+        let served = sal
+            .page_stores()
+            .iter()
+            .filter(|ps| ps.read_page(SliceId::of(space, 0, 4), 0, None).is_ok())
+            .count();
+        assert_eq!(served, 2);
+    }
+
+    #[test]
+    fn read_only_attachment_reads_but_never_writes() {
+        let (_m, sal) = populated_sal(14);
+        let replica_metrics = Metrics::shared();
+        let ro = sal.attach_read_only(replica_metrics.clone());
+        assert!(ro.is_read_only() && !sal.is_read_only());
+        // Shares placements + stores: reads work and meter into the
+        // attachment's own metrics.
+        let p = ro.read_page(PageRef::new(SpaceId(14), 0), None).unwrap();
+        assert_eq!(p.n_recs(), 1);
+        assert_eq!(replica_metrics.snapshot().pages_shipped_raw, 1);
+        // Shares the LSN cursor, refuses writes.
+        assert_eq!(ro.current_lsn(), sal.current_lsn());
+        let r = ro.write_log(vec![RedoRecord {
+            lsn: 0,
+            space: SpaceId(14),
+            page_no: 0,
+            body: RedoBody::SetNext(1),
+        }]);
+        assert!(matches!(r, Err(Error::InvalidState(_))));
     }
 
     #[test]

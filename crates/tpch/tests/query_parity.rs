@@ -24,6 +24,21 @@ fn db_with(ndp: bool) -> Arc<TaurusDb> {
     db
 }
 
+/// CI's replica matrix leg: with `TAURUS_REPLICA=1`, attach a log-tailing
+/// read replica to the freshly-loaded cluster and hand back *its* engine —
+/// the whole parity suite then runs against the replica, so every query
+/// shape is exercised over replicated catalog/undo/pages at a pinned LSN.
+fn maybe_replica(db: &Arc<TaurusDb>) -> (Arc<TaurusDb>, Option<Arc<taurus_replica::Replica>>) {
+    if std::env::var("TAURUS_REPLICA").ok().as_deref() != Some("1") {
+        return (db.clone(), None);
+    }
+    let replica = taurus_replica::Replica::attach(db);
+    replica
+        .wait_caught_up(std::time::Duration::from_secs(120))
+        .expect("replica catch-up");
+    (replica.db().clone(), Some(replica))
+}
+
 fn fmt_rows(rows: &[Row]) -> Vec<String> {
     rows.iter()
         .map(|r| {
@@ -42,8 +57,8 @@ fn fmt_rows(rows: &[Row]) -> Vec<String> {
 
 #[test]
 fn all_queries_ndp_on_equals_off() {
-    let off = db_with(false);
-    let on = db_with(true);
+    let (off, _off_replica) = maybe_replica(&db_with(false));
+    let (on, _on_replica) = maybe_replica(&db_with(true));
     let mut empties: Vec<&str> = Vec::new();
     for q in tpch_queries() {
         let a = (q.run)(&off, None).unwrap_or_else(|e| panic!("{} (NDP off): {e}", q.name));

@@ -45,8 +45,29 @@
 //! # Ok(()) }
 //! ```
 //!
+//! ## Read replicas
+//!
+//! Read traffic scales out without copying data: a [`prelude::Replica`]
+//! attaches to a live cluster's Log Stores and Page Stores (§II: Log
+//! Stores "serve log records to read replicas"), tails the redo log in
+//! the background, and serves the same `Session` API at a
+//! transaction-consistent LSN — lag-bounded via `replica.max_lag_lsn`:
+//!
+//! ```no_run
+//! # use taurus::prelude::*;
+//! # fn demo(db: &std::sync::Arc<TaurusDb>) -> Result<()> {
+//! let replica = Replica::attach(db);
+//! replica.wait_caught_up(std::time::Duration::from_secs(5))?;
+//! let rows = Session::new(replica.db())
+//!     .query("worker")?
+//!     .agg(Agg::count_star())
+//!     .collect_rows()?;
+//! # let _ = rows; Ok(()) }
+//! ```
+//!
 //! Start with [`prelude`] and `examples/quickstart.rs`; `DESIGN.md` maps
-//! the crate layout onto the paper's architecture. Hand-built plan trees
+//! the crate layout onto the paper's architecture (see its "Read
+//! replicas" section for the replication design). Hand-built plan trees
 //! (`taurus::optimizer::plan`) and `execute(plan, ctx)` remain available
 //! as the internal lowering target — the TPC-H plan builders and parity
 //! tests use them — but applications should not need them.
@@ -62,6 +83,7 @@ pub use taurus_ndp as ndp;
 pub use taurus_optimizer as optimizer;
 pub use taurus_page as page;
 pub use taurus_pagestore as pagestore;
+pub use taurus_replica as replica;
 pub use taurus_sal as sal;
 pub use taurus_tpch as tpch;
 
@@ -76,4 +98,5 @@ pub mod prelude {
     pub use taurus_executor::dsl::{col, date, dec, lit, nth, QExpr};
     pub use taurus_executor::{Agg, Explained, QueryBuilder, QueryRun, RowStream, Session};
     pub use taurus_ndp::{Table, TaurusDb};
+    pub use taurus_replica::Replica;
 }
