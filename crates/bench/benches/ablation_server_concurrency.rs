@@ -1,0 +1,290 @@
+//! Ablation — serving-layer concurrency: latency percentiles and
+//! aggregate throughput of the TCP front end at 8 / 64 / 256 client
+//! connections, master-only vs master + 2 log-tailing read replicas.
+//!
+//! Two wire workloads per cell:
+//! - **lookup** — MVCC point lookups on `orders` by primary keys
+//!   spread across the whole key range.
+//! - **ndp_scan** — a Q6-style selective NDP scan over `lineitem`
+//!   (selection + projection pushed to the Page Stores, result rows
+//!   streamed back over the node's wire).
+//!
+//! Why routing wins here: NDP result pages live in transient frames
+//! and are *never* inserted into the buffer pool (by design — the NDP
+//! area is invisible to other queries), so the master re-ships the
+//! scan's result bytes over its storage wire on **every** execution,
+//! and that wire is a token-bucket shared medium (`sal::network`) —
+//! a per-node capacity. A log-tailing replica, by contrast, has
+//! materialized every tailer-applied page image in its own pool, so
+//! the same scan runs against local cache. Routing scans across
+//! master+2 replicas therefore multiplies serving capacity even
+//! though all three nodes share the same Page Stores. Point lookups
+//! are the control: cache-served everywhere, they are host-CPU-bound,
+//! and on this single-core bench box routing cannot add CPU — expect
+//! ~parity (minus tailer overhead), not a win.
+//!
+//! Clients are closed-loop threads over real sockets against a real
+//! `Server`; the permit gate (`server.worker_threads = 32`) bounds
+//! concurrently executing queries while connections can pile far
+//! higher. Each cell runs an untimed warm phase (master pulls its hot
+//! leaf/aux pages once) before the measure window. Run with
+//! `cargo bench --bench ablation_server_concurrency`; the final JSON
+//! block is what `BENCH_server_concurrency.json` at the repo root
+//! records.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use taurus_bench::{header, SEED};
+use taurus_common::{ClusterConfig, Dec, Value};
+use taurus_executor::Session;
+use taurus_ndp::TaurusDb;
+use taurus_protocol::{BuilderSpec, ColSel, WireExpr};
+use taurus_replica::Replica;
+use taurus_server::{tpch_registry, Client, Server};
+
+const SF: f64 = 0.01;
+const REPLICA_COUNTS: [usize; 2] = [0, 2];
+const CONNECTIONS: [usize; 3] = [8, 64, 256];
+const WARM: Duration = Duration::from_millis(1500);
+const MEASURE: Duration = Duration::from_secs(2);
+
+fn bench_cfg() -> ClusterConfig {
+    let mut cfg = ClusterConfig::default();
+    cfg.n_page_stores = 4;
+    cfg.replication = 3;
+    cfg.slice_pages = 128;
+    // Large enough that every tailer-applied page image stays resident
+    // on a replica (and the master's hot B-tree pages stay cached) —
+    // what keeps crossing the wire is exactly the master's per-scan NDP
+    // result traffic, which bypasses the pool by design.
+    cfg.buffer_pool_pages = 2048;
+    cfg.ndp.enabled = true;
+    cfg.ndp.min_io_pages = 16;
+    cfg.ndp.max_pages_look_ahead = 256;
+    // Per-node simulated NIC (sleep-based, not CPU): deliberately tight
+    // so the master's NDP shipping — not the shared host core — is the
+    // binding resource for the scan workload.
+    cfg.network.bandwidth_bytes_per_sec = Some(3_000_000);
+    cfg.network.latency_us = 100;
+    // Tailers only idle-poll during the read-only measure windows; a
+    // longer poll keeps their single-core overhead out of the lookup
+    // numbers.
+    cfg.replica.poll_interval_us = 2_000;
+    // Serving knobs: executing queries are wire-sleep-bound, so the
+    // worker pool runs far wider than the core count; sessions must
+    // admit the largest connection sweep.
+    cfg.server.listen_addr = "127.0.0.1:0".into();
+    cfg.server.worker_threads = 32;
+    cfg.server.max_sessions = 512;
+    cfg
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Workload {
+    Lookup,
+    NdpScan,
+}
+
+impl Workload {
+    fn name(self) -> &'static str {
+        match self {
+            Workload::Lookup => "lookup",
+            Workload::NdpScan => "ndp_scan",
+        }
+    }
+}
+
+/// The Q6-style wire request: `SELECT l_orderkey, l_extendedprice FROM
+/// lineitem WHERE l_quantity < 5.00`, NDP on.
+fn scan_spec() -> BuilderSpec {
+    let mut spec = BuilderSpec::table("lineitem");
+    spec.filters.push(WireExpr::Cmp(
+        2, // Lt
+        Box::new(WireExpr::Col("l_quantity".into())),
+        Box::new(WireExpr::Lit(Value::Decimal(Dec::new(500, 2)))),
+    ));
+    spec.select = vec![
+        ColSel::Name("l_orderkey".into()),
+        ColSel::Name("l_extendedprice".into()),
+    ];
+    spec
+}
+
+struct Cell {
+    queries: u64,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// One measured cell: `conns` closed-loop clients hammering `addr`
+/// with one workload — an untimed warm phase, then the measure window.
+fn run_cell(addr: &str, conns: usize, workload: Workload, pks: &Arc<Vec<Value>>) -> Cell {
+    let stop = Arc::new(AtomicBool::new(false));
+    let measuring = Arc::new(AtomicBool::new(false));
+    let start = Arc::new(Barrier::new(conns + 1));
+    let handles: Vec<_> = (0..conns)
+        .map(|c| {
+            let addr = addr.to_string();
+            let stop = stop.clone();
+            let measuring = measuring.clone();
+            let start = start.clone();
+            let pks = pks.clone();
+            std::thread::spawn(move || {
+                let mut client =
+                    Client::connect_retry(&addr, Duration::from_secs(30)).expect("connect");
+                start.wait();
+                let mut lat_us: Vec<u64> = Vec::new();
+                let mut warmed = false;
+                let mut k = c;
+                while !stop.load(Ordering::SeqCst) {
+                    if !warmed && measuring.load(Ordering::SeqCst) {
+                        // Discard warm-phase samples; the window starts now.
+                        warmed = true;
+                        lat_us.clear();
+                    }
+                    let t0 = Instant::now();
+                    match workload {
+                        Workload::Lookup => {
+                            let pk = pks[k % pks.len()].clone();
+                            let (row, _) = client.lookup("orders", vec![pk]).expect("lookup");
+                            assert!(row.is_some(), "known pk must resolve");
+                        }
+                        Workload::NdpScan => {
+                            let reply = client.query_builder(scan_spec()).expect("scan");
+                            assert!(!reply.rows.is_empty());
+                        }
+                    }
+                    lat_us.push(t0.elapsed().as_micros() as u64);
+                    k += 1;
+                }
+                lat_us
+            })
+        })
+        .collect();
+    start.wait();
+    std::thread::sleep(WARM);
+    let t0 = Instant::now();
+    measuring.store(true, Ordering::SeqCst);
+    std::thread::sleep(MEASURE);
+    stop.store(true, Ordering::SeqCst);
+    let mut lat: Vec<u64> = Vec::new();
+    for h in handles {
+        lat.extend(h.join().unwrap());
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    lat.sort_unstable();
+    let pct = |p: usize| -> f64 {
+        if lat.is_empty() {
+            return 0.0;
+        }
+        lat[(lat.len() * p / 100).min(lat.len() - 1)] as f64 / 1e3
+    };
+    Cell {
+        queries: lat.len() as u64,
+        qps: lat.len() as f64 / elapsed,
+        p50_ms: pct(50),
+        p99_ms: pct(99),
+    }
+}
+
+fn main() {
+    header("Ablation: serving-layer concurrency (connections x replica routing)");
+    let db = TaurusDb::new(bench_cfg());
+    taurus_tpch::load(&db, SF, SEED).expect("load tpch");
+
+    // A pool of known order keys for the point-lookup workload, strided
+    // across the whole key range so lookups touch every leaf page (the
+    // first N keys would all sit on a handful of cached leaves).
+    let all_keys: Vec<Value> = Session::new(&db)
+        .query("orders")
+        .unwrap()
+        .select(["o_orderkey"])
+        .collect_rows()
+        .unwrap()
+        .into_iter()
+        .map(|mut r| r.remove(0))
+        .collect();
+    assert!(!all_keys.is_empty());
+    let stride = (all_keys.len() / 512).max(1);
+    let pks: Arc<Vec<Value>> = Arc::new(all_keys.into_iter().step_by(stride).collect());
+
+    println!(
+        "{:>9} {:>9} {:>6} {:>10} {:>11} {:>9} {:>9}",
+        "workload", "replicas", "conns", "queries", "agg q/s", "p50 ms", "p99 ms"
+    );
+    let mut json_rows: Vec<String> = Vec::new();
+    for &n_replicas in &REPLICA_COUNTS {
+        let replicas: Vec<Arc<Replica>> = (0..n_replicas).map(|_| Replica::attach(&db)).collect();
+        for r in &replicas {
+            r.wait_caught_up(Duration::from_secs(60)).expect("catch up");
+        }
+        let handle = Server::start(&db, replicas.clone(), tpch_registry()).expect("start server");
+        let addr = handle.local_addr().to_string();
+        for workload in [Workload::Lookup, Workload::NdpScan] {
+            // Warm each node's cache once through the wire path — every
+            // lookup key (so no measure window pays a cold leaf fetch
+            // over the rate-limited wire) / one scan per node.
+            let mut warm = Client::connect(&addr).expect("warm connect");
+            for _ in 0..(1 + n_replicas) {
+                match workload {
+                    Workload::Lookup => {
+                        for pk in pks.iter() {
+                            drop(warm.lookup("orders", vec![pk.clone()]).unwrap());
+                        }
+                    }
+                    Workload::NdpScan => drop(warm.query_builder(scan_spec()).unwrap()),
+                }
+            }
+            drop(warm);
+            for &conns in &CONNECTIONS {
+                let cell = run_cell(&addr, conns, workload, &pks);
+                println!(
+                    "{:>9} {n_replicas:>9} {conns:>6} {:>10} {:>11.2} {:>9.2} {:>9.2}",
+                    workload.name(),
+                    cell.queries,
+                    cell.qps,
+                    cell.p50_ms,
+                    cell.p99_ms
+                );
+                json_rows.push(format!(
+                    "    {{\"workload\": \"{}\", \"replicas\": {n_replicas}, \
+                     \"connections\": {conns}, \"queries_completed\": {}, \
+                     \"aggregate_qps\": {:.2}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2}}}",
+                    workload.name(),
+                    cell.queries,
+                    cell.qps,
+                    cell.p50_ms,
+                    cell.p99_ms
+                ));
+            }
+        }
+        drop(handle);
+        for r in replicas {
+            r.detach();
+        }
+    }
+
+    println!();
+    println!("--- BENCH_server_concurrency.json ---");
+    println!("{{");
+    println!("  \"bench\": \"ablation_server_concurrency\",");
+    println!(
+        "  \"workload\": \"TPC-H SF {SF} (seed {SEED}) served over TCP; closed-loop client \
+         threads; point lookups on orders (keys strided over the whole range; cache-served \
+         everywhere, so host-CPU-bound: the single-core control, ~parity expected) + \
+         Q6-style selective NDP scan on lineitem (NDP results bypass the buffer pool, so \
+         the master re-ships them over its per-node 3 MB/s token-bucket wire every run, \
+         while replicas serve tailer-materialized pages from cache: routing multiplies \
+         capacity); {}s warm + {}s measure per cell; worker gate 32; lag-aware round-robin \
+         routing across master + replicas\",",
+        WARM.as_secs_f64(),
+        MEASURE.as_secs()
+    );
+    println!("  \"results\": [");
+    println!("{}", json_rows.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}

@@ -180,6 +180,12 @@ impl RowBatchIter {
     pub fn empty() -> RowBatchIter {
         RowBatchIter::default()
     }
+
+    /// Values per row of the consumed batch (a partially-drained
+    /// iterator can be re-batched at the same width).
+    pub fn width(&self) -> usize {
+        self.width
+    }
 }
 
 impl Iterator for RowBatchIter {

@@ -117,6 +117,54 @@ impl Default for ReplicaConfig {
     }
 }
 
+/// Network-serving knobs for the TCP front end (`crates/server`): the
+/// process that turns this library into the paper's client-facing
+/// compute node. Follows the same env-override convention as the rest
+/// of the config: empty/unparsable/zero values fall back to defaults.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// TCP listen address. Port `0` binds an ephemeral port (tests and
+    /// benches read the bound address back from the server handle). Env
+    /// override `TAURUS_LISTEN_ADDR` (non-empty value wins).
+    pub listen_addr: String,
+    /// Worker permits: how many queries may *execute* concurrently
+    /// across all sessions. Excess queries queue at the permit gate;
+    /// sessions themselves are not refused by this knob. Defaults above
+    /// the core count because queries spend much of their time blocked
+    /// on the simulated storage wire, not on CPU. Env override
+    /// `TAURUS_SERVER_WORKER_THREADS`.
+    pub worker_threads: usize,
+    /// Maximum concurrently connected sessions; a connection beyond the
+    /// cap is answered with an error frame and closed. Env override
+    /// `TAURUS_SERVER_MAX_SESSIONS`.
+    pub max_sessions: usize,
+    /// Per-session read timeout in milliseconds: a session idle longer
+    /// than this is closed (frees its slot under `max_sessions`). Env
+    /// override `TAURUS_SERVER_READ_TIMEOUT_MS`.
+    pub session_read_timeout_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            listen_addr: match std::env::var("TAURUS_LISTEN_ADDR") {
+                Ok(v) if !v.trim().is_empty() => v.trim().to_string(),
+                _ => "127.0.0.1:4907".to_string(),
+            },
+            worker_threads: env_usize_override(
+                "TAURUS_SERVER_WORKER_THREADS",
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+                    .max(4),
+            ),
+            max_sessions: env_usize_override("TAURUS_SERVER_MAX_SESSIONS", 1024),
+            session_read_timeout_ms: env_usize_override("TAURUS_SERVER_READ_TIMEOUT_MS", 30_000)
+                as u64,
+        }
+    }
+}
+
 /// Simulated network model applied at the SAL boundary.
 #[derive(Clone, Debug, Default)]
 pub struct NetworkConfig {
@@ -160,6 +208,7 @@ pub struct ClusterConfig {
     pub ndp: NdpConfig,
     pub network: NetworkConfig,
     pub replica: ReplicaConfig,
+    pub server: ServerConfig,
 }
 
 impl Default for ClusterConfig {
@@ -178,6 +227,7 @@ impl Default for ClusterConfig {
             ndp: NdpConfig::default(),
             network: NetworkConfig::default(),
             replica: ReplicaConfig::default(),
+            server: ServerConfig::default(),
         }
     }
 }
@@ -207,6 +257,7 @@ impl ClusterConfig {
             },
             network: NetworkConfig::default(),
             replica: ReplicaConfig::default(),
+            server: ServerConfig::default(),
         }
     }
 
@@ -249,6 +300,30 @@ mod tests {
         assert!(c.ndp.prefetch_batches >= 1);
         assert_eq!(c.ndp.max_pages_look_ahead, 1024);
         assert!(c.ndp.enabled);
+    }
+
+    #[test]
+    fn server_defaults_and_overrides() {
+        let c = ServerConfig::default();
+        if std::env::var("TAURUS_LISTEN_ADDR")
+            .map(|v| v.trim().is_empty())
+            .unwrap_or(true)
+        {
+            assert_eq!(c.listen_addr, "127.0.0.1:4907");
+        }
+        if !overridden("TAURUS_SERVER_MAX_SESSIONS") {
+            assert_eq!(c.max_sessions, 1024);
+        }
+        if !overridden("TAURUS_SERVER_READ_TIMEOUT_MS") {
+            assert_eq!(c.session_read_timeout_ms, 30_000);
+        }
+        // Queries block on the simulated wire, so the permit pool never
+        // collapses to a single-core serializer.
+        assert!(c.worker_threads >= 4);
+        // The cluster config carries the serving knobs like every other
+        // subsystem's.
+        let cc = ClusterConfig::small_for_tests();
+        assert_eq!(cc.server.max_sessions, c.max_sessions);
     }
 
     #[test]

@@ -16,9 +16,9 @@ pub mod schema;
 pub mod value;
 
 pub use batch::{RowBatch, RowBatchIter};
-pub use config::{ClusterConfig, NdpConfig, NetworkConfig, ReplicaConfig};
+pub use config::{ClusterConfig, NdpConfig, NetworkConfig, ReplicaConfig, ServerConfig};
 pub use error::{Error, Result};
 pub use ids::{IndexId, Lsn, PageNo, PageRef, SliceId, SpaceId, TrxId};
 pub use metrics::{Metrics, MetricsSnapshot};
-pub use schema::{Column, IndexDef, KeyComparator, TableSchema};
+pub use schema::{Column, IndexDef, KeyComparator, Row, TableSchema};
 pub use value::{DataType, Date32, Dec, Value};

@@ -75,12 +75,31 @@ macro_rules! metrics_struct {
             }
         }
 
+        impl Metrics {
+            /// Render every counter as one `name value` line, in
+            /// declaration order — a stable scrape format (the network
+            /// server's STATS opcode serves exactly this), so operators
+            /// and load tests read `replica_lag_lsn` or
+            /// `prefetch_stall_ns` without linking the library.
+            pub fn render_text(&self) -> String {
+                self.snapshot().render_text()
+            }
+        }
+
         impl MetricsSnapshot {
             /// Counter-wise `self - earlier` (saturating).
             pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
                 MetricsSnapshot {
                     $($name: self.$name.saturating_sub(earlier.$name),)*
                 }
+            }
+
+            /// See [`Metrics::render_text`].
+            pub fn render_text(&self) -> String {
+                use std::fmt::Write;
+                let mut out = String::new();
+                $(let _ = writeln!(out, "{} {}", stringify!($name), self.$name);)*
+                out
             }
         }
     };
@@ -192,6 +211,32 @@ metrics_struct! {
     ps_records_filtered,
     /// Records aggregated away inside Page Stores.
     ps_records_aggregated,
+    /// Server: sessions currently connected (gauge) and its high-water
+    /// mark.
+    server_sessions,
+    server_sessions_peak,
+    /// Server: connections refused at the `server.max_sessions` cap.
+    server_sessions_refused,
+    /// Server: read queries served over the wire (named plans, builder
+    /// requests and point lookups).
+    server_queries,
+    /// Server: DML statements committed over the wire.
+    server_dml,
+    /// Server: result rows / result-batch frames / frame payload bytes
+    /// sent to clients.
+    server_rows_sent,
+    server_batches_sent,
+    server_bytes_sent,
+    /// Server: error frames sent to clients.
+    server_errors_sent,
+    /// Server: reads routed to the master / to a replica (the routing
+    /// outcome, counted at node selection).
+    server_routed_master,
+    server_routed_replica,
+    /// Server: reads that started on a replica and were transparently
+    /// re-run on the master after the replica refused (detached or past
+    /// its lag bound between routing and execution).
+    server_failovers,
 }
 
 impl Metrics {
@@ -286,6 +331,29 @@ mod tests {
         let s = m.snapshot();
         assert_eq!(s.ndp_batches_in_flight, 0, "gauge balanced");
         assert_eq!(s.ndp_batches_in_flight_peak, 2, "peak sticks");
+    }
+
+    #[test]
+    fn render_text_is_stable_name_value_lines() {
+        let m = Metrics::default();
+        m.net_bytes_to_storage.store(7, Ordering::Relaxed);
+        m.server_sessions.store(3, Ordering::Relaxed);
+        let text = m.render_text();
+        // Declaration order: the first line is the first declared field.
+        assert!(text.starts_with("net_bytes_to_storage 7\n"), "{text}");
+        assert!(text.contains("\nserver_sessions 3\n"));
+        assert!(text.contains("\nndp_batches_in_flight 0\n"));
+        // Every line is exactly `name value`.
+        for line in text.lines() {
+            let mut parts = line.split(' ');
+            assert!(parts.next().is_some_and(|n| !n.is_empty()));
+            assert!(parts.next().is_some_and(|v| v.parse::<u64>().is_ok()));
+            assert_eq!(parts.next(), None, "extra tokens in `{line}`");
+        }
+        assert_eq!(
+            text.lines().count(),
+            Metrics::default().render_text().lines().count()
+        );
     }
 
     /// Spin until the thread-CPU clock visibly advances (its resolution can

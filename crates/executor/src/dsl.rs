@@ -16,7 +16,9 @@
 
 use taurus_common::schema::TableSchema;
 use taurus_common::{Date32, Dec, Error, Result, Value};
-use taurus_expr::ast::{ArithOp, CmpOp, Expr};
+use taurus_expr::ast::Expr;
+// Re-exported: `QExpr` embeds these in its public variants.
+pub use taurus_expr::ast::{ArithOp, CmpOp};
 
 /// An unresolved expression over a table's columns (by name or position).
 #[derive(Clone, Debug)]

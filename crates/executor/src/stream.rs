@@ -161,6 +161,23 @@ impl RowStream {
     pub fn collect_rows(self) -> Result<Vec<Row>> {
         self.collect()
     }
+
+    /// Pull the next whole batch. This is the wire path of the network
+    /// server: result frames encode straight from these batches, no
+    /// per-row rematerialization between the scan pipeline and the
+    /// socket. Rows already popped by `next()` are not repeated — a
+    /// partially-consumed current batch is drained into a fresh batch
+    /// first. `None` means the producer finished cleanly.
+    pub fn next_batch(&mut self) -> Option<Result<RowBatch>> {
+        if self.cur.len() > 0 {
+            let mut b = RowBatch::with_capacity(self.cur.width(), self.cur.len());
+            for row in self.cur.by_ref() {
+                b.push_row(row);
+            }
+            return Some(Ok(b));
+        }
+        self.rx.recv().ok()
+    }
 }
 
 /// Are the projection expressions exactly `col0, col1, ... colN`?

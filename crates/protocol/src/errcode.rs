@@ -1,0 +1,117 @@
+//! The stable error-code table: `taurus_common::Error` ⇄ wire codes.
+//!
+//! One table, one exhaustive `match` per direction — adding an `Error`
+//! variant fails **this crate's build** (non-exhaustive match), never a
+//! deployed client. Only the variant's *inner message* crosses the wire
+//! (the same text `Display` shows); `Debug` renderings, which leak Rust
+//! type structure and are not a stable format, never do.
+
+use taurus_common::Error;
+
+/// The wire code for an error variant. Codes are a published contract:
+/// append-only, never renumbered.
+pub fn error_code(e: &Error) -> u16 {
+    match e {
+        Error::Parse(_) => 1,
+        Error::Type(_) => 2,
+        Error::Arithmetic(_) => 3,
+        Error::Corruption(_) => 4,
+        Error::NotFound(_) => 5,
+        Error::InvalidState(_) => 6,
+        Error::NameResolution(_) => 7,
+        Error::Unsupported(_) => 8,
+        Error::Internal(_) => 9,
+    }
+}
+
+/// Split an error into `(code, client-safe message)` for an error frame.
+pub fn encode_error(e: &Error) -> (u16, String) {
+    let m = match e {
+        Error::Parse(m)
+        | Error::Type(m)
+        | Error::Arithmetic(m)
+        | Error::Corruption(m)
+        | Error::NotFound(m)
+        | Error::InvalidState(m)
+        | Error::NameResolution(m)
+        | Error::Unsupported(m)
+        | Error::Internal(m) => m.clone(),
+    };
+    (error_code(e), m)
+}
+
+/// Rebuild a structured error from a wire `(code, message)` pair, so
+/// client-side `matches!(err, Error::NotFound(_))` works exactly like
+/// in-process. Unknown codes (a newer server) degrade to
+/// [`Error::Internal`] with the code preserved in the message.
+pub fn decode_error(code: u16, message: String) -> Error {
+    match code {
+        1 => Error::Parse(message),
+        2 => Error::Type(message),
+        3 => Error::Arithmetic(message),
+        4 => Error::Corruption(message),
+        5 => Error::NotFound(message),
+        6 => Error::InvalidState(message),
+        7 => Error::NameResolution(message),
+        8 => Error::Unsupported(message),
+        9 => Error::Internal(message),
+        _ => Error::Internal(format!("unknown wire error code {code}: {message}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_variants() -> Vec<Error> {
+        // One instance per variant; `error_code`'s exhaustive match is
+        // what guarantees a new variant cannot be forgotten here without
+        // the compiler flagging the table first.
+        vec![
+            Error::Parse("p".into()),
+            Error::Type("t".into()),
+            Error::Arithmetic("a".into()),
+            Error::Corruption("c".into()),
+            Error::NotFound("n".into()),
+            Error::InvalidState("i".into()),
+            Error::NameResolution("r".into()),
+            Error::Unsupported("u".into()),
+            Error::Internal("x".into()),
+        ]
+    }
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let codes: Vec<u16> = all_variants().iter().map(error_code).collect();
+        // Published contract — these exact numbers, in declaration order.
+        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        for e in all_variants() {
+            let (code, msg) = encode_error(&e);
+            assert_eq!(decode_error(code, msg), e, "{e:?}");
+        }
+    }
+
+    #[test]
+    fn no_debug_leakage() {
+        let e = Error::InvalidState("replica lag 12 exceeds max 4".into());
+        let (_, msg) = encode_error(&e);
+        // The message is the inner text, not `InvalidState("...")`.
+        assert_eq!(msg, "replica lag 12 exceeds max 4");
+        assert!(!msg.contains("InvalidState"));
+        // And the client-side rendering matches in-process Display.
+        let (code, msg) = encode_error(&e);
+        assert_eq!(decode_error(code, msg).to_string(), e.to_string());
+    }
+
+    #[test]
+    fn unknown_code_degrades_to_internal() {
+        match decode_error(999, "future".into()) {
+            Error::Internal(m) => assert!(m.contains("999") && m.contains("future")),
+            other => panic!("{other:?}"),
+        }
+    }
+}

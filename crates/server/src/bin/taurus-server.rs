@@ -1,0 +1,58 @@
+//! Standalone server: load TPC-H, attach replicas, serve until killed.
+//!
+//! Configuration is environment-driven (matching the `TAURUS_*` knob
+//! convention):
+//! - `TAURUS_LISTEN_ADDR` (default `127.0.0.1:4907`; port 0 = ephemeral)
+//! - `TAURUS_SERVER_SF` — TPC-H scale factor to load (default 0.01)
+//! - `TAURUS_SERVER_REPLICAS` — read replicas to attach (default 2)
+//! - plus the serving knobs in `ServerConfig` (worker threads, max
+//!   sessions, read timeout).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use taurus_common::ClusterConfig;
+use taurus_ndp::TaurusDb;
+use taurus_replica::Replica;
+use taurus_server::{tpch_registry, Server};
+
+fn env_f64(var: &str, default: f64) -> f64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_usize(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let sf = env_f64("TAURUS_SERVER_SF", 0.01);
+    let n_replicas = env_usize("TAURUS_SERVER_REPLICAS", 2);
+
+    let db = TaurusDb::new(ClusterConfig::default());
+    eprintln!("taurus-server: loading TPC-H SF {sf} ...");
+    taurus_tpch::load(&db, sf, 42).expect("load TPC-H");
+
+    let replicas: Vec<Arc<Replica>> = (0..n_replicas).map(|_| Replica::attach(&db)).collect();
+    for (i, r) in replicas.iter().enumerate() {
+        r.wait_caught_up(Duration::from_secs(60))
+            .unwrap_or_else(|e| panic!("replica {i} catch-up: {e}"));
+    }
+
+    let handle = Server::start(&db, replicas, tpch_registry()).expect("start server");
+    // The smoke client greps this line for the (possibly ephemeral) port.
+    println!(
+        "taurus-server: listening on {} ({} nodes, SF {sf})",
+        handle.local_addr(),
+        1 + n_replicas
+    );
+
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,93 @@
+//! End-to-end smoke check against a running `taurus-server`.
+//!
+//! Loads the identical deterministic dataset locally (same SF, same
+//! seed 42), runs each named query both over the wire and in-process,
+//! and exits non-zero on any mismatch. Run each query twice so the
+//! round-robin router exercises more than one node when replicas are
+//! attached. Usage:
+//!
+//! ```text
+//! taurus-smoke [--addr HOST:PORT] [--sf F] [--queries Q1,Q6,...]
+//!              [--connect-timeout-secs N]
+//! ```
+
+use std::time::Duration;
+
+use taurus_common::ClusterConfig;
+use taurus_executor::Session;
+use taurus_ndp::TaurusDb;
+use taurus_server::{tpch_registry, Client};
+
+fn main() {
+    let mut addr = "127.0.0.1:4907".to_string();
+    let mut sf = 0.01f64;
+    let mut queries = "Q1,Q3,Q6,Q12,Q14".to_string();
+    let mut timeout = 120u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--addr" => addr = val("--addr"),
+            "--sf" => sf = val("--sf").parse().expect("--sf"),
+            "--queries" => queries = val("--queries"),
+            "--connect-timeout-secs" => timeout = val("--connect-timeout-secs").parse().expect("N"),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    eprintln!("taurus-smoke: connecting to {addr} ...");
+    let mut client =
+        Client::connect_retry(&addr, Duration::from_secs(timeout)).expect("connect to server");
+    eprintln!(
+        "taurus-smoke: connected ({} nodes); building local SF {sf} reference ...",
+        client.nodes()
+    );
+
+    let local = TaurusDb::new(ClusterConfig::default());
+    taurus_tpch::load(&local, sf, 42).expect("load local reference");
+    let session = Session::new(&local);
+    let registry = tpch_registry();
+
+    let mut failures = 0usize;
+    for name in queries.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let plan_fn = registry
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown query {name}"));
+        let plan = plan_fn(&local, None).expect("plan");
+        let want = session.execute_plan(&plan).expect("local run");
+        for round in 0..2 {
+            let got = client.query_named(name, None).expect("wire run");
+            if got.rows == want {
+                println!(
+                    "taurus-smoke: {name} round {round}: {} rows OK (node {})",
+                    want.len(),
+                    got.node
+                );
+            } else {
+                failures += 1;
+                eprintln!(
+                    "taurus-smoke: {name} round {round} MISMATCH: wire {} rows vs local {}",
+                    got.rows.len(),
+                    want.len()
+                );
+            }
+        }
+    }
+
+    let stats = client.stats().expect("stats scrape");
+    let served = stats
+        .lines()
+        .find_map(|l| l.strip_prefix("server_queries "))
+        .and_then(|v| v.parse::<u64>().ok())
+        .expect("server_queries line in stats");
+    assert!(served > 0, "stats should count served queries");
+
+    if failures > 0 {
+        eprintln!("taurus-smoke: FAILED ({failures} mismatches)");
+        std::process::exit(1);
+    }
+    println!("taurus-smoke: all queries match in-process results");
+}

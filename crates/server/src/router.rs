@@ -1,0 +1,139 @@
+//! Lag-aware read routing across the master and its replicas.
+//!
+//! Node numbering is the wire contract: the master is node 0
+//! ([`taurus_protocol::MASTER_NODE`]), replica `i` is node `i + 1`.
+//! A read is routable to a replica only when the replica would accept
+//! it itself (`TaurusDb::check_serveable`, which refuses detached
+//! replicas and replicas lagging past `replica.max_lag_lsn`) **and**
+//! the replica's visible LSN has reached the caller's stickiness bound
+//! (its last commit LSN), so a session never observes a database state
+//! older than its own writes. Eligible nodes are rotated round-robin;
+//! the master is always eligible, so routing can never strand a read.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use taurus_common::{Lsn, Metrics};
+use taurus_ndp::TaurusDb;
+use taurus_protocol::MASTER_NODE;
+use taurus_replica::Replica;
+
+pub struct Router {
+    master: Arc<TaurusDb>,
+    replicas: Vec<Arc<Replica>>,
+    rr: AtomicUsize,
+}
+
+impl Router {
+    pub fn new(master: Arc<TaurusDb>, replicas: Vec<Arc<Replica>>) -> Router {
+        Router {
+            master,
+            replicas,
+            rr: AtomicUsize::new(0),
+        }
+    }
+
+    pub fn master_db(&self) -> Arc<TaurusDb> {
+        self.master.clone()
+    }
+
+    pub(crate) fn master_ref(&self) -> &Arc<TaurusDb> {
+        &self.master
+    }
+
+    pub fn replicas(&self) -> &[Arc<Replica>] {
+        &self.replicas
+    }
+
+    /// Total routable nodes (master + attached replicas), the count
+    /// reported in the Welcome frame.
+    pub fn nodes(&self) -> usize {
+        1 + self.replicas.len()
+    }
+
+    /// Pick a node for a read that must observe at least `min_lsn`.
+    /// Returns the engine to run on and its wire node id.
+    pub fn route_read(&self, min_lsn: Lsn) -> (Arc<TaurusDb>, u32) {
+        let mut candidates: Vec<(u32, &Arc<TaurusDb>)> = Vec::with_capacity(self.nodes());
+        candidates.push((MASTER_NODE, &self.master));
+        for (i, r) in self.replicas.iter().enumerate() {
+            if r.db().check_serveable().is_ok() && r.visible_lsn() >= min_lsn {
+                candidates.push((i as u32 + 1, r.db()));
+            }
+        }
+        let k = self.rr.fetch_add(1, Ordering::Relaxed) % candidates.len();
+        let (node, db) = candidates[k];
+        (db.clone(), node)
+    }
+
+    /// Count one routing decision on the serving metrics.
+    pub(crate) fn count_route(metrics: &Metrics, node: u32) {
+        if node == MASTER_NODE {
+            metrics.add(|m| &m.server_routed_master, 1);
+        } else {
+            metrics.add(|m| &m.server_routed_replica, 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::time::Duration;
+    use taurus_common::ClusterConfig;
+
+    fn master() -> Arc<TaurusDb> {
+        TaurusDb::new(ClusterConfig::small_for_tests())
+    }
+
+    #[test]
+    fn master_only_always_routes_node_zero() {
+        let db = master();
+        let router = Router::new(db, Vec::new());
+        for _ in 0..5 {
+            let (_, node) = router.route_read(0);
+            assert_eq!(node, MASTER_NODE);
+        }
+    }
+
+    #[test]
+    fn caught_up_replicas_share_the_rotation() {
+        let db = master();
+        let r1 = Replica::attach(&db);
+        let r2 = Replica::attach(&db);
+        r1.wait_caught_up(Duration::from_secs(10)).unwrap();
+        r2.wait_caught_up(Duration::from_secs(10)).unwrap();
+        let router = Router::new(db, vec![r1, r2]);
+        let nodes: HashSet<u32> = (0..9).map(|_| router.route_read(0).1).collect();
+        assert_eq!(nodes, HashSet::from([0, 1, 2]));
+    }
+
+    #[test]
+    fn stickiness_bound_excludes_lagging_replicas() {
+        let db = master();
+        let r = Replica::attach(&db);
+        r.wait_caught_up(Duration::from_secs(10)).unwrap();
+        let router = Router::new(db, vec![r]);
+        // A bound beyond anything the replica has applied: master only.
+        let future = router.master_ref().sal().current_lsn() + 1_000_000;
+        for _ in 0..6 {
+            assert_eq!(router.route_read(future).1, MASTER_NODE);
+        }
+        // Relaxing the bound brings the replica back.
+        let nodes: HashSet<u32> = (0..6).map(|_| router.route_read(0).1).collect();
+        assert_eq!(nodes, HashSet::from([0, 1]));
+    }
+
+    #[test]
+    fn detached_replica_drops_out_of_rotation() {
+        let db = master();
+        let r = Replica::attach(&db);
+        r.wait_caught_up(Duration::from_secs(10)).unwrap();
+        let router = Router::new(db, vec![r.clone()]);
+        r.detach();
+        for _ in 0..6 {
+            assert_eq!(router.route_read(0).1, MASTER_NODE);
+        }
+    }
+}

@@ -1,0 +1,550 @@
+//! Per-connection session loop and the query/DML serving paths.
+//!
+//! Error discipline, in order of severity:
+//! - **I/O errors** (disconnect, read timeout, unreadable framing) end
+//!   the session. Any in-flight [`RowStream`] is dropped on the way
+//!   out, which cancels the producing scan and returns its NDP frames —
+//!   a slow or vanished client cannot pin buffer-pool memory.
+//! - **Decode errors** (unknown opcode, corrupt payload) and **engine
+//!   errors** answer with an Error frame and keep the session alive.
+//! - **Replica refusals** after routing (detached, or lag crossed the
+//!   bound between `route_read` and execution) retry once on the
+//!   master, invisibly to the client except for `node` in the
+//!   end-of-stream frame.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use taurus_common::batch::RowBatch;
+use taurus_common::{Error, Lsn, Result};
+use taurus_executor::dsl::{ArithOp, CmpOp, ColRef, QExpr};
+use taurus_executor::{Agg, RowStream, Session};
+use taurus_ndp::TaurusDb;
+use taurus_protocol::{
+    decode_message, encode_error, encode_row_batch, read_frame, write_frame, BuilderSpec, ColSel,
+    DmlRequest, Message, Opcode, QueryRequest, WireAggFunc, WireExpr, MASTER_NODE,
+};
+
+use crate::router::Router;
+use crate::ServerState;
+
+pub(crate) fn serve_connection(stream: TcpStream, state: &Arc<ServerState>) {
+    let _ = stream.set_nodelay(true);
+    if state.cfg.session_read_timeout_ms > 0 {
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(
+            state.cfg.session_read_timeout_ms,
+        )));
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut r = BufReader::new(read_half);
+    let mut w = BufWriter::new(stream);
+
+    // Handshake: anything but a well-formed Hello is a hang-up — this
+    // peer does not speak the protocol, so no frame would reach it.
+    match Message::read(&mut r) {
+        Ok(Message::Hello { .. }) => {
+            let welcome = Message::Welcome {
+                server: format!("taurus-server/{}", env!("CARGO_PKG_VERSION")),
+                nodes: state.router.nodes() as u32,
+            };
+            if write_flush(&mut w, &welcome).is_err() {
+                return;
+            }
+        }
+        _ => return,
+    }
+
+    // Read-your-LSN stickiness bound: monotone over the connection's
+    // committed writes, 0 until the first write.
+    let mut last_commit_lsn: Lsn = 0;
+
+    loop {
+        let (op, payload) = match read_frame(&mut r) {
+            Ok(f) => f,
+            Err(_) => return, // disconnect, idle timeout, or broken framing
+        };
+        let msg = match decode_message(op, &payload) {
+            Ok(m) => m,
+            Err(e) => {
+                if send_error(state, &mut w, &e).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let io = match msg {
+            Message::Query(req) => {
+                state.metrics().add(|m| &m.server_queries, 1);
+                let _permit = state.gate.acquire();
+                let (db, node) = state.router.route_read(last_commit_lsn);
+                serve_query_on(state, &mut w, &req, db, node)
+            }
+            Message::Dml(d) => serve_dml(state, &mut w, d, &mut last_commit_lsn),
+            Message::Stats => write_flush(&mut w, &Message::StatsText(stats_text(state))),
+            other => send_error(
+                state,
+                &mut w,
+                &Error::InvalidState(format!(
+                    "unexpected frame opcode {} from client",
+                    other.opcode() as u8
+                )),
+            ),
+        };
+        if io.is_err() {
+            return;
+        }
+    }
+}
+
+/// Serve one read on a routed node, falling back to the master when a
+/// replica refuses. Split out (and generic over the sink) so failover
+/// is unit-testable without sockets.
+pub(crate) fn serve_query_on<W: Write>(
+    state: &ServerState,
+    w: &mut W,
+    req: &QueryRequest,
+    db: Arc<TaurusDb>,
+    node: u32,
+) -> std::io::Result<()> {
+    match prepare(state, &db, req) {
+        Ok(ready) => send_ready(state, w, ready, node),
+        Err(_) if node != MASTER_NODE => {
+            state.metrics().add(|m| &m.server_failovers, 1);
+            match prepare(state, &state.router.master_db(), req) {
+                Ok(ready) => send_ready(state, w, ready, MASTER_NODE),
+                Err(e) => send_error(state, w, &e),
+            }
+        }
+        Err(e) => send_error(state, w, &e),
+    }
+}
+
+/// A prepared response. The first batch is pulled *before* any frame
+/// is written, so replica-side failures (plan build or first scan
+/// batch) can still fail over to the master cleanly.
+enum Ready {
+    Stream {
+        first: Option<RowBatch>,
+        rest: RowStream,
+    },
+    Row(Option<taurus_common::Row>),
+}
+
+fn prepare(state: &ServerState, db: &Arc<TaurusDb>, req: &QueryRequest) -> Result<Ready> {
+    match req {
+        QueryRequest::Named { name, pq } => {
+            // stream_plan has no serveability gate of its own; refuse
+            // stale replicas here the way Session::query would.
+            db.check_serveable()?;
+            let plan_fn = state.registry.get(name).ok_or_else(|| {
+                Error::NotFound(format!(
+                    "no plan registered under `{name}` (known: {})",
+                    state.registry.names().join(", ")
+                ))
+            })?;
+            let plan = plan_fn(db, pq.map(|d| d as usize))?;
+            let session = Session::new(db);
+            first_batch(session.stream_plan(plan))
+        }
+        QueryRequest::Builder(spec) => {
+            let mut session = Session::new(db);
+            session.set_ndp(spec.ndp);
+            first_batch(builder_stream(&session, spec)?)
+        }
+        QueryRequest::Lookup { table, pk } => {
+            let session = Session::new(db);
+            Ok(Ready::Row(session.lookup(table, pk)?))
+        }
+    }
+}
+
+fn first_batch(mut stream: RowStream) -> Result<Ready> {
+    match stream.next_batch() {
+        Some(Err(e)) => Err(e),
+        Some(Ok(b)) => Ok(Ready::Stream {
+            first: Some(b),
+            rest: stream,
+        }),
+        None => Ok(Ready::Stream {
+            first: None,
+            rest: stream,
+        }),
+    }
+}
+
+/// Rebuild the fluent builder chain from its wire spec and start the
+/// stream. Name resolution and validation run server-side in the
+/// builder itself, exactly as in-process.
+fn builder_stream(session: &Session, spec: &BuilderSpec) -> Result<RowStream> {
+    let mut q = session.query(&spec.table)?;
+    if let Some(ix) = &spec.via_index {
+        q = q.via_index(ix);
+    }
+    for f in &spec.filters {
+        q = q.filter(to_qexpr(f)?);
+    }
+    if !spec.select.is_empty() {
+        q = q.select(spec.select.iter().map(to_colref));
+    }
+    if !spec.group.is_empty() {
+        q = q.group_by(spec.group.iter().map(to_colref));
+    }
+    for (func, input) in &spec.aggs {
+        q = q.agg(to_agg(*func, input.as_ref())?);
+    }
+    for &(pos, desc) in &spec.order {
+        q = q.order_by(pos as usize, desc);
+    }
+    if let Some(n) = spec.limit {
+        q = q.limit(n as usize);
+    }
+    if let Some(d) = spec.parallel {
+        q = q.parallel(d as usize);
+    }
+    q.stream()
+}
+
+fn to_colref(c: &ColSel) -> ColRef {
+    match c {
+        ColSel::Name(n) => ColRef::Name(n.clone()),
+        ColSel::Pos(p) => ColRef::Position(*p as usize),
+    }
+}
+
+fn to_agg(func: WireAggFunc, input: Option<&WireExpr>) -> Result<Agg> {
+    if func == WireAggFunc::CountStar {
+        return Ok(Agg::count_star());
+    }
+    let e = to_qexpr(input.ok_or_else(|| {
+        Error::Corruption(format!(
+            "wire: aggregate {func:?} requires an input expression"
+        ))
+    })?)?;
+    Ok(match func {
+        WireAggFunc::CountStar => unreachable!(),
+        WireAggFunc::Count => Agg::count(e),
+        WireAggFunc::Sum => Agg::sum(e),
+        WireAggFunc::Min => Agg::min(e),
+        WireAggFunc::Max => Agg::max(e),
+        WireAggFunc::Avg => Agg::avg(e),
+    })
+}
+
+fn to_qexpr(e: &WireExpr) -> Result<QExpr> {
+    fn boxed(e: &WireExpr) -> Result<Box<QExpr>> {
+        Ok(Box::new(to_qexpr(e)?))
+    }
+    Ok(match e {
+        WireExpr::Col(name) => QExpr::Col(name.clone()),
+        WireExpr::Nth(i) => QExpr::Nth(*i as usize),
+        WireExpr::Lit(v) => QExpr::Lit(v.clone()),
+        WireExpr::Cmp(op, a, b) => QExpr::Cmp(cmp_op(*op)?, boxed(a)?, boxed(b)?),
+        WireExpr::And(xs) => QExpr::And(xs.iter().map(to_qexpr).collect::<Result<_>>()?),
+        WireExpr::Or(xs) => QExpr::Or(xs.iter().map(to_qexpr).collect::<Result<_>>()?),
+        WireExpr::Not(a) => QExpr::Not(boxed(a)?),
+        WireExpr::Arith(op, a, b) => QExpr::Arith(arith_op(*op)?, boxed(a)?, boxed(b)?),
+        WireExpr::Neg(a) => QExpr::Neg(boxed(a)?),
+        WireExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => QExpr::Like {
+            expr: boxed(expr)?,
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+        WireExpr::InList {
+            expr,
+            list,
+            negated,
+        } => QExpr::InList {
+            expr: boxed(expr)?,
+            list: list.clone(),
+            negated: *negated,
+        },
+        WireExpr::Between { expr, lo, hi } => QExpr::Between {
+            expr: boxed(expr)?,
+            lo: boxed(lo)?,
+            hi: boxed(hi)?,
+        },
+        WireExpr::IsNull { expr, negated } => QExpr::IsNull {
+            expr: boxed(expr)?,
+            negated: *negated,
+        },
+        WireExpr::ExtractYear(a) => QExpr::ExtractYear(boxed(a)?),
+    })
+}
+
+fn cmp_op(b: u8) -> Result<CmpOp> {
+    Ok(match b {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        5 => CmpOp::Ge,
+        t => {
+            return Err(Error::Corruption(format!(
+                "wire: unknown comparison op {t}"
+            )))
+        }
+    })
+}
+
+fn arith_op(b: u8) -> Result<ArithOp> {
+    Ok(match b {
+        0 => ArithOp::Add,
+        1 => ArithOp::Sub,
+        2 => ArithOp::Mul,
+        3 => ArithOp::Div,
+        t => {
+            return Err(Error::Corruption(format!(
+                "wire: unknown arithmetic op {t}"
+            )))
+        }
+    })
+}
+
+/// Stream a prepared response out: RowBatch frames, then EndOfStream —
+/// or an Error frame as the terminator if the scan fails mid-way.
+fn send_ready<W: Write>(
+    state: &ServerState,
+    w: &mut W,
+    ready: Ready,
+    node: u32,
+) -> std::io::Result<()> {
+    Router::count_route(state.metrics(), node);
+    let mut rows = 0u64;
+    let mut batches = 0u64;
+    match ready {
+        Ready::Row(found) => {
+            if let Some(row) = found {
+                let mut b = RowBatch::with_capacity(row.len(), 1);
+                b.push_row(row);
+                write_batch(state, w, &b)?;
+                rows = 1;
+                batches = 1;
+            }
+        }
+        Ready::Stream { first, mut rest } => {
+            let mut next = first;
+            while let Some(b) = next {
+                rows += b.len() as u64;
+                batches += 1;
+                write_batch(state, w, &b)?;
+                next = match rest.next_batch() {
+                    Some(Ok(b)) => Some(b),
+                    Some(Err(e)) => {
+                        // Mid-stream engine error: the Error frame is
+                        // the response terminator (no EndOfStream).
+                        return send_error(state, w, &e);
+                    }
+                    None => None,
+                };
+            }
+        }
+    }
+    write_flush(
+        w,
+        &Message::EndOfStream {
+            rows,
+            batches,
+            node,
+        },
+    )
+}
+
+fn write_batch<W: Write>(state: &ServerState, w: &mut W, b: &RowBatch) -> std::io::Result<()> {
+    let payload = encode_row_batch(b);
+    write_frame(w, Opcode::RowBatch, &payload)?;
+    w.flush()?;
+    let m = state.metrics();
+    m.add(|x| &x.server_rows_sent, b.len() as u64);
+    m.add(|x| &x.server_batches_sent, 1);
+    // +6: u32 length prefix + version + opcode.
+    m.add(|x| &x.server_bytes_sent, payload.len() as u64 + 6);
+    Ok(())
+}
+
+fn serve_dml<W: Write>(
+    state: &ServerState,
+    w: &mut W,
+    d: DmlRequest,
+    last_commit_lsn: &mut Lsn,
+) -> std::io::Result<()> {
+    let _permit = state.gate.acquire();
+    let master = state.router.master_db();
+    let trx = master.begin();
+    let applied = apply_dml(&master, trx, &d);
+    match applied {
+        Ok(()) => {
+            master.commit(trx);
+            // Conservative upper bound on the commit's LSN — sticking
+            // reads to it guarantees read-your-writes.
+            let lsn = master.sal().current_lsn();
+            *last_commit_lsn = (*last_commit_lsn).max(lsn);
+            state.metrics().add(|m| &m.server_dml, 1);
+            write_flush(w, &Message::DmlOk { commit_lsn: lsn })
+        }
+        Err(e) => {
+            let _ = master.rollback(trx);
+            send_error(state, w, &e)
+        }
+    }
+}
+
+fn apply_dml(db: &Arc<TaurusDb>, trx: taurus_common::TrxId, d: &DmlRequest) -> Result<()> {
+    match d {
+        DmlRequest::Insert { table, row } => {
+            let t = db.table(table)?;
+            db.insert_row(&t, trx, row)
+        }
+        DmlRequest::Update { table, row } => {
+            let t = db.table(table)?;
+            db.update_row(&t, trx, row)
+        }
+        DmlRequest::Delete { table, pk } => {
+            let t = db.table(table)?;
+            db.delete_row(&t, trx, pk)
+        }
+    }
+}
+
+/// STATS payload: the master's counters verbatim, then each replica's
+/// engine counters under a `replica{i}.` prefix.
+fn stats_text(state: &ServerState) -> String {
+    use std::fmt::Write as _;
+    let mut out = state.router.master_db().metrics().render_text();
+    for (i, r) in state.router.replicas().iter().enumerate() {
+        for line in r.db().metrics().render_text().lines() {
+            let _ = writeln!(out, "replica{i}.{line}");
+        }
+    }
+    out
+}
+
+fn send_error<W: Write>(state: &ServerState, w: &mut W, e: &Error) -> std::io::Result<()> {
+    state.metrics().add(|m| &m.server_errors_sent, 1);
+    let (code, message) = encode_error(e);
+    write_flush(w, &Message::Error { code, message })
+}
+
+fn write_flush<W: Write>(w: &mut W, m: &Message) -> std::io::Result<()> {
+    m.write(w)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PlanRegistry;
+    use taurus_common::{ClusterConfig, Column, DataType, Row, TableSchema, Value};
+    use taurus_replica::Replica;
+
+    fn seeded_master() -> Arc<TaurusDb> {
+        let db = TaurusDb::new(ClusterConfig::small_for_tests());
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                Column::new("id", DataType::BigInt),
+                Column::new("v", DataType::BigInt),
+            ],
+            vec![0],
+        );
+        let t = db.create_table(schema, &[]).unwrap();
+        let rows: Vec<Row> = (0..10i64)
+            .map(|i| vec![Value::Int(i), Value::Int(i * 10)])
+            .collect();
+        db.bulk_load(&t, rows).unwrap();
+        db
+    }
+
+    /// Decode every frame a serving call wrote into a byte sink.
+    fn decode_frames(bytes: &[u8]) -> Vec<Message> {
+        let mut r = std::io::Cursor::new(bytes);
+        let mut out = Vec::new();
+        while (r.position() as usize) < bytes.len() {
+            out.push(Message::read(&mut r).unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn replica_refusal_fails_over_to_master_transparently() {
+        let master = seeded_master();
+        let replica = Replica::attach(&master);
+        replica.wait_caught_up(Duration::from_secs(10)).unwrap();
+        let replica_db = replica.db().clone();
+        let state = ServerState::new(master.clone(), vec![replica.clone()], PlanRegistry::new());
+
+        // Detach *after* routing would have picked the replica: the
+        // serve path must notice the refusal and re-run on the master.
+        replica.detach();
+        let mut out = Vec::new();
+        let req = QueryRequest::Builder(BuilderSpec::table("t"));
+        serve_query_on(&state, &mut out, &req, replica_db, 1).unwrap();
+
+        let frames = decode_frames(&out);
+        let Some(Message::EndOfStream { rows, node, .. }) = frames.last() else {
+            panic!("expected EndOfStream, got {:?}", frames.last());
+        };
+        assert_eq!(*rows, 10, "failover must still return every row");
+        assert_eq!(*node, MASTER_NODE, "response must report the master");
+        let snap = master.metrics().snapshot();
+        assert_eq!(snap.server_failovers, 1);
+        assert_eq!(snap.server_routed_master, 1);
+        assert_eq!(snap.server_routed_replica, 0);
+    }
+
+    #[test]
+    fn master_side_error_reaches_client_as_error_frame() {
+        let master = seeded_master();
+        let state = ServerState::new(master, Vec::new(), PlanRegistry::new());
+        let mut out = Vec::new();
+        let req = QueryRequest::Builder(BuilderSpec::table("no_such_table"));
+        let (db, node) = state.router.route_read(0);
+        serve_query_on(&state, &mut out, &req, db, node).unwrap();
+        let frames = decode_frames(&out);
+        assert_eq!(frames.len(), 1);
+        let Message::Error { code, message } = &frames[0] else {
+            panic!("expected Error frame, got {:?}", frames[0]);
+        };
+        // NameResolution per the errcode table; message is client-safe.
+        assert_eq!(*code, 7, "{message}");
+        assert!(message.contains("no_such_table"));
+        assert_eq!(state.metrics().snapshot().server_errors_sent, 1);
+    }
+
+    #[test]
+    fn wire_expr_translation_roundtrips_through_the_builder() {
+        let master = seeded_master();
+        let state = ServerState::new(master, Vec::new(), PlanRegistry::new());
+        let mut spec = BuilderSpec::table("t");
+        spec.filters.push(WireExpr::Cmp(
+            4, // Gt
+            Box::new(WireExpr::Col("v".into())),
+            Box::new(WireExpr::Lit(Value::Int(40))),
+        ));
+        spec.select = vec![ColSel::Name("id".into())];
+        spec.order = vec![(0, true)];
+        let mut out = Vec::new();
+        let (db, node) = state.router.route_read(0);
+        serve_query_on(&state, &mut out, &QueryRequest::Builder(spec), db, node).unwrap();
+        let frames = decode_frames(&out);
+        let rows: Vec<_> = frames
+            .iter()
+            .filter_map(|f| match f {
+                Message::RowBatch(b) => Some(b.to_rows()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        // v > 40 → ids 5..9, descending.
+        let want: Vec<_> = (5..10i64).rev().map(|i| vec![Value::Int(i)]).collect();
+        assert_eq!(rows, want);
+    }
+}

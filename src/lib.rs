@@ -65,6 +65,25 @@
 //! # let _ = rows; Ok(()) }
 //! ```
 //!
+//! ## Serving over the network
+//!
+//! [`server`] turns the stack into a network-facing compute node: a TCP
+//! front end speaking the [`protocol`] wire format, with lag-aware
+//! read routing across the master and any attached replicas and
+//! read-your-writes stickiness per connection (see `DESIGN.md`,
+//! "Serving layer"):
+//!
+//! ```no_run
+//! # use taurus::prelude::*;
+//! # fn demo(db: &std::sync::Arc<TaurusDb>) -> Result<()> {
+//! let replica = Replica::attach(db);
+//! let handle = Server::start(db, vec![replica], tpch_registry())?;
+//! let mut client = Client::connect(&handle.local_addr().to_string())?;
+//! let reply = client.query_named("Q6", None)?;
+//! println!("{} rows from node {}", reply.rows.len(), reply.node);
+//! # Ok(()) }
+//! ```
+//!
 //! Start with [`prelude`] and `examples/quickstart.rs`; `DESIGN.md` maps
 //! the crate layout onto the paper's architecture (see its "Read
 //! replicas" section for the replication design). Hand-built plan trees
@@ -83,8 +102,10 @@ pub use taurus_ndp as ndp;
 pub use taurus_optimizer as optimizer;
 pub use taurus_page as page;
 pub use taurus_pagestore as pagestore;
+pub use taurus_protocol as protocol;
 pub use taurus_replica as replica;
 pub use taurus_sal as sal;
+pub use taurus_server as server;
 pub use taurus_tpch as tpch;
 
 /// The commonly-used surface of the whole system: the session/query
@@ -99,4 +120,5 @@ pub mod prelude {
     pub use taurus_executor::{Agg, Explained, QueryBuilder, QueryRun, RowStream, Session};
     pub use taurus_ndp::{Table, TaurusDb};
     pub use taurus_replica::Replica;
+    pub use taurus_server::{tpch_registry, Client, QueryReply, Server, ServerHandle};
 }

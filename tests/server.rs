@@ -1,0 +1,406 @@
+//! Serving-layer integration tests: end-to-end TPC-H parity over a real
+//! socket, lag-aware replica routing under concurrent DML,
+//! read-your-LSN stickiness, disconnect-driven scan cancellation, and
+//! the session cap.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use taurus::prelude::*;
+use taurus::protocol::{
+    BuilderSpec, ColSel, DmlRequest, Message, QueryRequest, WireAggFunc, WireExpr, MASTER_NODE,
+};
+
+const WAIT: Duration = Duration::from_secs(20);
+
+/// A server whose listener uses an ephemeral port, plus its address.
+fn start_server(db: &Arc<TaurusDb>, replicas: Vec<Arc<Replica>>) -> (ServerHandle, String) {
+    let handle = Server::start(db, replicas, tpch_registry()).unwrap();
+    let addr = handle.local_addr().to_string();
+    (handle, addr)
+}
+
+fn ephemeral(mut cfg: ClusterConfig) -> ClusterConfig {
+    cfg.server.listen_addr = "127.0.0.1:0".into();
+    cfg
+}
+
+fn acct_schema() -> Arc<TableSchema> {
+    TableSchema::new(
+        "acct",
+        vec![
+            Column::new("id", DataType::BigInt),
+            Column::new("bal", DataType::BigInt),
+        ],
+        vec![0],
+    )
+}
+
+fn sum_bal_spec() -> BuilderSpec {
+    let mut spec = BuilderSpec::table("acct");
+    spec.aggs = vec![(WireAggFunc::Sum, Some(WireExpr::Col("bal".into())))];
+    spec
+}
+
+/// End-to-end parity: a TPC-H subset served over the socket decodes to
+/// exactly the rows the same plan produces in-process, for named
+/// queries, a serialized builder chain, and a point lookup. Also pins
+/// the STATS scrape format.
+#[test]
+fn tpch_over_socket_matches_in_process() {
+    let mut cfg = ephemeral(ClusterConfig::default());
+    cfg.buffer_pool_pages = 256;
+    cfg.slice_pages = 32;
+    cfg.ndp.min_io_pages = 8;
+    let db = TaurusDb::new(cfg);
+    taurus::tpch::load(&db, 0.005, 7).unwrap();
+    let (_handle, addr) = start_server(&db, Vec::new());
+    let mut client = Client::connect(&addr).unwrap();
+    assert_eq!(client.nodes(), 1);
+
+    let session = Session::new(&db);
+    let registry = tpch_registry();
+    for name in ["Q1", "Q3", "Q6", "Q12", "Q14", "Q18", "Q001", "Q002"] {
+        let plan = (registry.get(name).unwrap())(&db, None).unwrap();
+        let want = session.execute_plan(&plan).unwrap();
+        let got = client.query_named(name, None).unwrap();
+        assert_eq!(got.rows, want, "{name}: wire rows differ from in-process");
+        assert_eq!(got.node, MASTER_NODE);
+    }
+
+    // Serialized builder chain vs the same fluent chain in-process.
+    let want = session
+        .query("orders")
+        .unwrap()
+        .filter(col("o_custkey").lt(50))
+        .select(["o_orderkey", "o_custkey"])
+        .order_by(0, false)
+        .collect_rows()
+        .unwrap();
+    assert!(!want.is_empty());
+    let mut spec = BuilderSpec::table("orders");
+    spec.filters.push(WireExpr::Cmp(
+        2, // Lt
+        Box::new(WireExpr::Col("o_custkey".into())),
+        Box::new(WireExpr::Lit(Value::Int(50))),
+    ));
+    spec.select = vec![
+        ColSel::Name("o_orderkey".into()),
+        ColSel::Name("o_custkey".into()),
+    ];
+    spec.order = vec![(0, false)];
+    let got = client.query_builder(spec).unwrap();
+    assert_eq!(got.rows, want);
+
+    // Point lookup parity: fetch a known pk over the wire.
+    let pk = want[0][0].clone();
+    let in_process = session
+        .lookup("orders", std::slice::from_ref(&pk))
+        .unwrap()
+        .unwrap();
+    let (wire_row, node) = client.lookup("orders", vec![pk]).unwrap();
+    assert_eq!(wire_row.unwrap(), in_process);
+    assert_eq!(node, MASTER_NODE);
+    let (missing, _) = client.lookup("orders", vec![Value::Int(-1)]).unwrap();
+    assert!(missing.is_none());
+
+    // STATS: stable `name value` lines, counting this session's work.
+    let stats = client.stats().unwrap();
+    let served: u64 = stats
+        .lines()
+        .find_map(|l| l.strip_prefix("server_queries "))
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(served >= 10);
+    for line in stats.lines() {
+        let (name, value) = line.split_once(' ').unwrap();
+        assert!(!name.is_empty() && value.parse::<u64>().is_ok(), "{line}");
+    }
+
+    // Unknown names come back as structured NotFound, session intact.
+    match client.query_named("Q99", None) {
+        Err(Error::NotFound(m)) => assert!(m.contains("Q99"), "{m}"),
+        other => panic!("expected NotFound, got {other:?}"),
+    }
+    assert!(client.query_named("Q6", None).is_ok());
+}
+
+/// Replica routing under write load: every wire read must observe a
+/// transaction-consistent snapshot (the transfer invariant holds no
+/// matter which node serves), and once the writer stops, the rotation
+/// spreads reads across master and both replicas.
+#[test]
+fn replica_routing_holds_invariants_under_concurrent_writer() {
+    let mut cfg = ephemeral(ClusterConfig::small_for_tests());
+    cfg.pagestore_versions_retained = 64;
+    let db = TaurusDb::new(cfg);
+    let table = db.create_table(acct_schema(), &[]).unwrap();
+    let rows: Vec<Row> = (0..32)
+        .map(|i| vec![Value::Int(i), Value::Int(100)])
+        .collect();
+    db.bulk_load(&table, rows).unwrap();
+    let total = 3200i64;
+
+    let replicas = vec![Replica::attach(&db), Replica::attach(&db)];
+    for r in &replicas {
+        r.wait_caught_up(WAIT).unwrap();
+    }
+    let (_handle, addr) = start_server(&db, replicas.clone());
+    let mut client = Client::connect(&addr).unwrap();
+    assert_eq!(client.nodes(), 3);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let db = db.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut k = 0i64;
+            while !stop.load(Ordering::SeqCst) {
+                let trx = db.begin();
+                let (i, j) = (k * 7 % 32, (k * 13 + 5) % 32);
+                if i != j {
+                    let get = |id: i64| {
+                        db.lookup_row(&table, &db.read_view(trx), &[Value::Int(id)])
+                            .unwrap()
+                            .unwrap()[1]
+                            .as_int()
+                            .unwrap()
+                    };
+                    let (bi, bj) = (get(i), get(j));
+                    db.update_row(&table, trx, &vec![Value::Int(i), Value::Int(bi - 1)])
+                        .unwrap();
+                    db.update_row(&table, trx, &vec![Value::Int(j), Value::Int(bj + 1)])
+                        .unwrap();
+                }
+                db.commit(trx);
+                k += 1;
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        })
+    };
+
+    for round in 0..25 {
+        let reply = client.query_builder(sum_bal_spec()).unwrap();
+        let sum = reply.rows[0][0].as_int().unwrap();
+        assert_eq!(
+            sum, total,
+            "torn snapshot over the wire (round {round}, node {})",
+            reply.node
+        );
+    }
+    stop.store(true, Ordering::SeqCst);
+    writer.join().unwrap();
+
+    // Quiesced and caught up: the round-robin must reach every node.
+    for r in &replicas {
+        r.wait_caught_up(WAIT).unwrap();
+    }
+    let mut nodes = std::collections::HashSet::new();
+    for _ in 0..12 {
+        let reply = client.query_builder(sum_bal_spec()).unwrap();
+        assert_eq!(reply.rows[0][0].as_int().unwrap(), total);
+        nodes.insert(reply.node);
+    }
+    assert_eq!(nodes, std::collections::HashSet::from([0, 1, 2]));
+
+    // The scrape shows replica engine counters under their prefix.
+    let stats = client.stats().unwrap();
+    assert!(stats.lines().any(|l| l.starts_with("replica0.")));
+    assert!(stats.lines().any(|l| l.starts_with("replica1.")));
+    let snap = db.metrics().snapshot();
+    assert!(snap.server_routed_replica > 0);
+    assert!(snap.server_routed_master > 0);
+}
+
+/// Read-your-LSN stickiness: after a wire write, the same connection's
+/// reads must route around a replica that has not yet applied the
+/// commit — and return to it once it catches up.
+#[test]
+fn reads_after_write_stick_to_caught_up_nodes() {
+    let mut cfg = ephemeral(ClusterConfig::small_for_tests());
+    // A tailer that polls rarely: writes stay invisible on the replica
+    // for ~2 s, which is the window stickiness must cover.
+    cfg.replica.poll_interval_us = 2_000_000;
+    cfg.replica.max_lag_lsn = None;
+    let db = TaurusDb::new(cfg);
+    let table = db.create_table(acct_schema(), &[]).unwrap();
+    let rows: Vec<Row> = (0..8)
+        .map(|i| vec![Value::Int(i), Value::Int(100)])
+        .collect();
+    db.bulk_load(&table, rows).unwrap();
+    let replica = Replica::attach(&db);
+    replica.wait_caught_up(WAIT).unwrap();
+
+    let (_handle, addr) = start_server(&db, vec![replica.clone()]);
+    let mut client = Client::connect(&addr).unwrap();
+
+    // Let the tailer settle into its idle sleep, then write over the
+    // wire: the commit LSN comes back and becomes the session's bound.
+    std::thread::sleep(Duration::from_millis(100));
+    let lsn = client
+        .execute(DmlRequest::Insert {
+            table: "acct".into(),
+            row: vec![Value::Int(1000), Value::Int(7)],
+        })
+        .unwrap();
+    assert!(lsn > 0);
+    assert!(replica.visible_lsn() < lsn, "replica must still lag here");
+
+    // Until the replica applies the commit, every read on this
+    // connection must see the row — which forces node 0.
+    for i in 0..6 {
+        let (row, node) = client.lookup("acct", vec![Value::Int(1000)]).unwrap();
+        assert_eq!(
+            row.expect("read-your-writes violated"),
+            vec![Value::Int(1000), Value::Int(7)],
+            "read {i}"
+        );
+        assert_eq!(node, MASTER_NODE, "read {i} routed to a stale replica");
+    }
+    assert_eq!(db.metrics().snapshot().server_routed_replica, 0);
+
+    // Once caught up, the same connection's rotation includes the
+    // replica again — and it serves the write.
+    replica.wait_caught_up(WAIT).unwrap();
+    let mut nodes = std::collections::HashSet::new();
+    for _ in 0..6 {
+        let (row, node) = client.lookup("acct", vec![Value::Int(1000)]).unwrap();
+        assert_eq!(row.unwrap()[1], Value::Int(7));
+        nodes.insert(node);
+    }
+    assert_eq!(nodes, std::collections::HashSet::from([0, 1]));
+}
+
+/// Dropping the client mid-stream must cancel the producing scan: NDP
+/// in-flight batches and buffer-pool NDP frames drain to zero and the
+/// session gauge returns to zero.
+#[test]
+fn client_drop_mid_stream_cancels_the_scan() {
+    let mut cfg = ephemeral(ClusterConfig::small_for_tests());
+    cfg.ndp.min_io_pages = 1;
+    cfg.ndp.prefetch_batches = 2;
+    let db = TaurusDb::new(cfg);
+    taurus::tpch::load(&db, 0.005, 7).unwrap();
+    let (handle, addr) = start_server(&db, Vec::new());
+
+    let mut client = Client::connect(&addr).unwrap();
+    // A selective-but-passing filter keeps the scan on the NDP path
+    // while producing the full table as result frames.
+    let mut spec = BuilderSpec::table("lineitem");
+    spec.filters.push(WireExpr::Cmp(
+        4, // Gt
+        Box::new(WireExpr::Col("l_orderkey".into())),
+        Box::new(WireExpr::Lit(Value::Int(0))),
+    ));
+    client
+        .send(&Message::Query(QueryRequest::Builder(spec)))
+        .unwrap();
+    // Read exactly one result frame, then vanish.
+    match client.recv().unwrap() {
+        Message::RowBatch(b) => assert!(!b.is_empty()),
+        other => panic!("expected a RowBatch first, got {other:?}"),
+    }
+    drop(client);
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let snap = db.metrics().snapshot();
+        if snap.ndp_batches_in_flight == 0
+            && db.buffer_pool().ndp_frames_in_use() == 0
+            && snap.server_sessions == 0
+            && handle.live_sessions() == 0
+        {
+            assert!(
+                snap.ndp_batches_in_flight_peak > 0,
+                "precondition: the scan must actually have used NDP prefetch"
+            );
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "scan not cancelled: in_flight={} ndp_frames={} sessions={}",
+            snap.ndp_batches_in_flight,
+            db.buffer_pool().ndp_frames_in_use(),
+            snap.server_sessions
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// `server.max_sessions`: connection N+1 is refused with a structured
+/// error naming the limit, and the slot frees once a session ends.
+#[test]
+fn sessions_beyond_the_cap_are_refused_until_one_frees() {
+    let mut cfg = ephemeral(ClusterConfig::small_for_tests());
+    cfg.server.max_sessions = 2;
+    let db = TaurusDb::new(cfg);
+    let table = db.create_table(acct_schema(), &[]).unwrap();
+    db.bulk_load(&table, vec![vec![Value::Int(1), Value::Int(10)]])
+        .unwrap();
+    let (_handle, addr) = start_server(&db, Vec::new());
+
+    let c1 = Client::connect(&addr).unwrap();
+    let mut c2 = Client::connect(&addr).unwrap();
+    match Client::connect(&addr) {
+        Err(Error::InvalidState(m)) => assert!(m.contains("max_sessions"), "{m}"),
+        Err(other) => panic!("expected InvalidState, got {other:?}"),
+        Ok(_) => panic!("third connection must be refused"),
+    }
+    assert!(db.metrics().snapshot().server_sessions_refused >= 1);
+    // Surviving sessions are unaffected.
+    let (row, _) = c2.lookup("acct", vec![Value::Int(1)]).unwrap();
+    assert_eq!(row.unwrap()[1], Value::Int(10));
+
+    // Freeing one slot re-admits new connections (poll: the server
+    // notices the disconnect asynchronously).
+    drop(c1);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut c3 = loop {
+        match Client::connect(&addr) {
+            Ok(c) => break c,
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(50)),
+            Err(e) => panic!("slot never freed: {e}"),
+        }
+    };
+    let (row, _) = c3.lookup("acct", vec![Value::Int(1)]).unwrap();
+    assert_eq!(row.unwrap()[1], Value::Int(10));
+}
+
+/// A replica detached mid-session silently leaves the rotation: later
+/// queries on the same connection all succeed on the master.
+#[test]
+fn detached_replica_leaves_rotation_mid_session() {
+    let mut cfg = ephemeral(ClusterConfig::small_for_tests());
+    cfg.pagestore_versions_retained = 64;
+    let db = TaurusDb::new(cfg);
+    let table = db.create_table(acct_schema(), &[]).unwrap();
+    let rows: Vec<Row> = (0..16)
+        .map(|i| vec![Value::Int(i), Value::Int(100)])
+        .collect();
+    db.bulk_load(&table, rows).unwrap();
+    let replica = Replica::attach(&db);
+    replica.wait_caught_up(WAIT).unwrap();
+    let (_handle, addr) = start_server(&db, vec![replica.clone()]);
+    let mut client = Client::connect(&addr).unwrap();
+
+    // Both nodes serve before the detach.
+    let mut nodes = std::collections::HashSet::new();
+    for _ in 0..6 {
+        let reply = client.query_builder(sum_bal_spec()).unwrap();
+        assert_eq!(reply.rows[0][0].as_int().unwrap(), 1600);
+        nodes.insert(reply.node);
+    }
+    assert_eq!(nodes, std::collections::HashSet::from([0, 1]));
+
+    replica.detach();
+    for round in 0..8 {
+        let reply = client.query_builder(sum_bal_spec()).unwrap();
+        assert_eq!(reply.rows[0][0].as_int().unwrap(), 1600, "round {round}");
+        assert_eq!(
+            reply.node, MASTER_NODE,
+            "round {round} hit a detached replica"
+        );
+    }
+}
