@@ -1,0 +1,308 @@
+//! Ablation — NDP resource governance and degraded-mode serving.
+//!
+//! Two experiments:
+//!
+//! **(a) Tenant isolation under an antagonist.** A latency-sensitive
+//! tenant runs a selective Q6-style NDP scan in a closed loop while an
+//! antagonist tenant floods the same Page Stores with full-table NDP
+//! scans from several threads. Each slice batch fans out to one pool
+//! job per page, each job pays a simulated NDP service time, and the
+//! single pool worker makes the queue a real finite server — the
+//! antagonist's floods back it up, delaying (and at the global cap,
+//! shedding) the victim's own batches onto the rate-limited wire.
+//! Three cells: the victim alone (baseline), contended with no quota,
+//! and contended with a per-tenant quota of three batches' worth of
+//! queued jobs per store — the quota caps how many slots the
+//! antagonist can hold, its overflow degrades to raw reads *billed to
+//! it*, and the victim's p99 must stay within 2x of its uncontended
+//! baseline.
+//!
+//! **(b) Brownout serving.** One of the four stores gets a +50 ms
+//! injected latency fault (`FaultPolicy::Latency`). Every TPC-H query
+//! must still complete — slices replicate across 3 stores, so batch
+//! reads route around the slow store where a healthy preferred replica
+//! exists, and NDP/raw serving both stay correct — and must finish
+//! within the serving deadline (`session_read_timeout_ms`, 30 s).
+//!
+//! Run with `cargo bench --bench ablation_ndp_governance`; the final
+//! JSON block is what `BENCH_ndp_governance.json` at the repo root
+//! records.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use taurus_bench::{header, ms, SEED};
+use taurus_common::{ClusterConfig, Dec, TenantId, Value};
+use taurus_executor::dsl::col;
+use taurus_executor::Session;
+use taurus_ndp::TaurusDb;
+use taurus_pagestore::FaultPolicy;
+use taurus_tpch::tpch_queries;
+
+const SF: f64 = 0.01;
+const VICTIM: TenantId = 1;
+const ANTAGONIST: TenantId = 2;
+const VICTIM_RUNS: usize = 60;
+const ANTAGONIST_THREADS: usize = 2;
+/// One slice batch fans out to `slice_pages` per-page pool jobs and the
+/// scan pipeline keeps up to two batches in flight per store
+/// (double-buffered prefetch), so the per-tenant quota admits three
+/// batches' worth of queued jobs: one closed-loop tenant's pipeline is
+/// never self-throttled (even when prefetch rotation briefly overlaps a
+/// third batch), but a multi-threaded flood (4+ batches in flight per
+/// store) overflows it and degrades to raw reads billed to the flooder.
+const TENANT_QUOTA: usize = 192;
+const BROWNOUT: Duration = Duration::from_millis(50);
+const DEADLINE_MS: u64 = 30_000;
+
+fn bench_cfg() -> ClusterConfig {
+    let mut cfg = ClusterConfig::default();
+    cfg.n_page_stores = 4;
+    cfg.replication = 3;
+    cfg.slice_pages = 64;
+    cfg.buffer_pool_pages = 512; // smaller than the data: scans hit the stores
+    cfg.ndp.enabled = true;
+    cfg.ndp.min_io_pages = 8;
+    cfg.ndp.max_pages_look_ahead = 256;
+    // A small NDP pool per store: 1 worker, 200 us of simulated service
+    // per page (a 64-page batch occupies the worker for ~13 ms), and a
+    // queue of 8 batches' worth of jobs. Two quota-bound tenants (3
+    // batches each) fit with ample headroom; only an ungoverned flood
+    // can drive occupancy to the cap and shed arriving batches.
+    cfg.pagestore_ndp_threads = 1;
+    cfg.pagestore_ndp_queue = 512;
+    cfg.pagestore_ndp_service_us = 200;
+    // A real storage wire: per-request round-trip latency plus a shared
+    // rate limit, so shedding a scan to raw page reads has the paper's
+    // price (pages crossing the NIC) instead of being free.
+    cfg.network.bandwidth_bytes_per_sec = Some(64_000_000);
+    cfg.network.latency_us = 5_000;
+    cfg
+}
+
+/// The victim's latency-sensitive query: selective NDP scan on lineitem.
+/// Admitted, its batches come back as small NDP result pages; shed, the
+/// same scan ships every raw page over the shared wire.
+fn victim_query(session: &Session) -> usize {
+    session
+        .query("lineitem")
+        .unwrap()
+        .filter(col("l_quantity").lt(Value::Decimal(Dec::new(300, 2))))
+        .select(["l_orderkey", "l_extendedprice"])
+        .collect_rows()
+        .expect("victim query")
+        .len()
+}
+
+/// The antagonist's queue-hogging query: a full-table NDP scan whose
+/// predicate matches nothing. Its jobs occupy the stores' NDP queues
+/// for entire batches while shipping almost no result bytes — the
+/// worst neighbor for admission control specifically.
+fn antagonist_query(session: &Session) -> usize {
+    session
+        .query("lineitem")
+        .unwrap()
+        .filter(col("l_quantity").lt(Value::Decimal(Dec::new(-100, 2))))
+        .select(["l_orderkey"])
+        .collect_rows()
+        .expect("antagonist query")
+        .len()
+}
+
+struct Cell {
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn percentile(lat_us: &mut [u64], p: usize) -> f64 {
+    lat_us.sort_unstable();
+    if lat_us.is_empty() {
+        return 0.0;
+    }
+    lat_us[(lat_us.len() * p / 100).min(lat_us.len() - 1)] as f64 / 1e3
+}
+
+/// Measure the victim's closed-loop latency distribution, optionally
+/// against a running antagonist fleet.
+fn run_victim_cell(db: &Arc<TaurusDb>, with_antagonist: bool) -> Cell {
+    let stop = Arc::new(AtomicBool::new(false));
+    let antagonists: Vec<_> = if with_antagonist {
+        (0..ANTAGONIST_THREADS)
+            .map(|_| {
+                let db = db.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let session = Session::new(&db).with_tenant(ANTAGONIST);
+                    while !stop.load(Ordering::SeqCst) {
+                        antagonist_query(&session);
+                    }
+                })
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let session = Session::new(db).with_tenant(VICTIM);
+    // Warm-up runs outside the measure window (the first post-load scans
+    // also warm the buffer pool's hot set and descriptor caches).
+    for _ in 0..10 {
+        victim_query(&session);
+    }
+    let mut lat_us: Vec<u64> = Vec::with_capacity(VICTIM_RUNS);
+    for _ in 0..VICTIM_RUNS {
+        let t0 = Instant::now();
+        victim_query(&session);
+        lat_us.push(t0.elapsed().as_micros() as u64);
+    }
+
+    stop.store(true, Ordering::SeqCst);
+    for h in antagonists {
+        h.join().unwrap();
+    }
+    Cell {
+        p50_ms: percentile(&mut lat_us, 50),
+        p99_ms: percentile(&mut lat_us, 99),
+    }
+}
+
+fn main() {
+    header("Ablation: NDP governance (tenant quotas) and degraded-mode serving (brownout)");
+    let db = TaurusDb::new(bench_cfg());
+    taurus_tpch::load(&db, SF, SEED).expect("load tpch");
+
+    // --- (a) tenant isolation ------------------------------------------------
+    println!("{:>28} {:>9} {:>9}", "victim cell", "p50 ms", "p99 ms");
+    let baseline = run_victim_cell(&db, false);
+    println!(
+        "{:>28} {:>9.2} {:>9.2}",
+        "alone (baseline)", baseline.p50_ms, baseline.p99_ms
+    );
+    let contended = run_victim_cell(&db, true);
+    println!(
+        "{:>28} {:>9.2} {:>9.2}",
+        "antagonist, no quota", contended.p50_ms, contended.p99_ms
+    );
+    for ps in db.sal().page_stores() {
+        ps.set_ndp_tenant_quota(TENANT_QUOTA);
+    }
+    let governed = run_victim_cell(&db, true);
+    println!(
+        "{:>28} {:>9.2} {:>9.2}",
+        "antagonist, quota on", governed.p50_ms, governed.p99_ms
+    );
+    for ps in db.sal().page_stores() {
+        ps.set_ndp_tenant_quota(0);
+    }
+    let snap_a = db.metrics().snapshot();
+    let governed_ratio = governed.p99_ms / baseline.p99_ms.max(0.001);
+    println!(
+        "p99 ratio vs baseline: no-quota {:.2}x, quota {:.2}x (target < 2x) -> {}",
+        contended.p99_ms / baseline.p99_ms.max(0.001),
+        governed_ratio,
+        if governed_ratio < 2.0 { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "quota rejections {} / shed pages {} (antagonist overflow degraded to raw reads)",
+        snap_a.ps_ndp_quota_rejected, snap_a.ps_ndp_shed
+    );
+    for (name, id) in [("victim", VICTIM), ("antagonist", ANTAGONIST)] {
+        let t = db.metrics().tenants.tenant(id);
+        println!(
+            "  tenant {name}: admitted {} quota-rejected {} pages-shed {}",
+            t.ndp_admitted.load(Ordering::SeqCst),
+            t.ndp_quota_rejected.load(Ordering::SeqCst),
+            t.pages_shed.load(Ordering::SeqCst)
+        );
+    }
+
+    // --- (b) brownout serving ------------------------------------------------
+    println!();
+    println!(
+        "brownout: store 0 +{} ms per request; all TPC-H queries, {} ms deadline",
+        BROWNOUT.as_millis(),
+        DEADLINE_MS
+    );
+    db.sal().page_stores()[0].set_fault(FaultPolicy::Latency(BROWNOUT));
+    db.buffer_pool().clear();
+    let mut brownout_rows: Vec<String> = Vec::new();
+    let mut worst_ms = 0f64;
+    let mut errors = 0usize;
+    for q in tpch_queries() {
+        let t0 = Instant::now();
+        let outcome = (q.run)(&db, None);
+        let wall = t0.elapsed();
+        let ok = outcome.is_ok() && wall < Duration::from_millis(DEADLINE_MS);
+        if outcome.is_err() {
+            errors += 1;
+        }
+        worst_ms = worst_ms.max(ms(wall));
+        println!(
+            "{:>4} {:>9.1} ms {}",
+            q.name,
+            ms(wall),
+            if ok { "ok" } else { "LATE/ERR" }
+        );
+        brownout_rows.push(format!(
+            "    {{\"query\": \"{}\", \"wall_ms\": {:.1}, \"within_deadline\": {}}}",
+            q.name,
+            ms(wall),
+            ok
+        ));
+    }
+    db.sal().page_stores()[0].set_fault(FaultPolicy::None);
+    println!(
+        "brownout summary: worst {worst_ms:.1} ms, errors {errors} -> {}",
+        if errors == 0 && worst_ms < DEADLINE_MS as f64 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+
+    // --- JSON ---------------------------------------------------------------
+    println!();
+    println!("--- BENCH_ndp_governance.json ---");
+    println!("{{");
+    println!("  \"bench\": \"ablation_ndp_governance\",");
+    println!(
+        "  \"workload\": \"TPC-H SF {SF} (seed {SEED}); 4 stores, replication 3, NDP pool 1 \
+         worker x 200 us/page / 512 queue slots per store, 64 MB/s + 5 ms storage wire. \
+         (a) closed-loop \
+         selective NDP scan (tenant {VICTIM}) vs {ANTAGONIST_THREADS} antagonist threads of \
+         full-table empty-result NDP scans (tenant {ANTAGONIST}): victim alone, contended \
+         without quota, contended with per-tenant quota {TENANT_QUOTA}. (b) store 0 browned \
+         out (+{} ms per request): every TPC-H query under a {} ms deadline\",",
+        BROWNOUT.as_millis(),
+        DEADLINE_MS
+    );
+    println!("  \"tenant_isolation\": {{");
+    println!(
+        "    \"baseline\": {{\"p50_ms\": {:.2}, \"p99_ms\": {:.2}}},",
+        baseline.p50_ms, baseline.p99_ms
+    );
+    println!(
+        "    \"contended_no_quota\": {{\"p50_ms\": {:.2}, \"p99_ms\": {:.2}}},",
+        contended.p50_ms, contended.p99_ms
+    );
+    println!(
+        "    \"contended_quota\": {{\"p50_ms\": {:.2}, \"p99_ms\": {:.2}}},",
+        governed.p50_ms, governed.p99_ms
+    );
+    println!("    \"governed_p99_over_baseline\": {governed_ratio:.2},");
+    println!(
+        "    \"quota_rejections\": {},",
+        snap_a.ps_ndp_quota_rejected
+    );
+    println!("    \"shed_pages\": {}", snap_a.ps_ndp_shed);
+    println!("  }},");
+    println!("  \"brownout\": [");
+    println!("{}", brownout_rows.join(",\n"));
+    println!("  ],");
+    println!(
+        "  \"brownout_summary\": {{\"worst_ms\": {worst_ms:.1}, \"errors\": {errors}, \
+         \"deadline_ms\": {DEADLINE_MS}}}"
+    );
+    println!("}}");
+}

@@ -139,9 +139,18 @@ pub struct ServerConfig {
     /// `TAURUS_SERVER_MAX_SESSIONS`.
     pub max_sessions: usize,
     /// Per-session read timeout in milliseconds: a session idle longer
-    /// than this is closed (frees its slot under `max_sessions`). Env
-    /// override `TAURUS_SERVER_READ_TIMEOUT_MS`.
+    /// than this is closed (frees its slot under `max_sessions`), and
+    /// the same budget bounds each query's *execution* — the serving
+    /// loop installs it as the query deadline, so a browned-out storage
+    /// path surfaces as a `DeadlineExceeded` error frame instead of a
+    /// silently hung stream. Env override
+    /// `TAURUS_SERVER_READ_TIMEOUT_MS` (0 = no timeout/deadline).
     pub session_read_timeout_ms: u64,
+    /// How many queries may *wait* at the worker-permit gate before new
+    /// queries are refused with the retryable `Overloaded` wire error
+    /// instead of queueing without bound. Env override
+    /// `TAURUS_SERVER_GATE_QUEUE`.
+    pub gate_queue_depth: usize,
 }
 
 impl Default for ServerConfig {
@@ -161,6 +170,100 @@ impl Default for ServerConfig {
             max_sessions: env_usize_override("TAURUS_SERVER_MAX_SESSIONS", 1024),
             session_read_timeout_ms: env_usize_override("TAURUS_SERVER_READ_TIMEOUT_MS", 30_000)
                 as u64,
+            gate_queue_depth: env_usize_override("TAURUS_SERVER_GATE_QUEUE", 256),
+        }
+    }
+}
+
+/// Resource-governance knobs: per-tenant NDP admission on the Page
+/// Stores and the SAL's retry/backoff discipline. Env overrides follow
+/// the workspace convention (empty/unparsable/zero → default):
+///
+/// - `TAURUS_NDP_TENANT_QUOTA` — per-tenant cap on queued NDP jobs at
+///   each Page Store (`ndp_tenant_quota`; 0 = unlimited, the embedded
+///   default). With a quota, one tenant can occupy at most that many
+///   queue slots; its overflow degrades to raw page reads while other
+///   tenants' pushdown is untouched.
+/// - `TAURUS_NDP_FORCE_SHED` — set to `1` to force the store-level
+///   shed-to-compute decision on every batch (`ndp_force_shed`): the
+///   whole slice is served as raw pages, as if the store's queue were
+///   permanently saturated. A chaos/test knob.
+/// - `TAURUS_READ_RETRY_ROUNDS` — how many full passes over a slice's
+///   replica set a SAL read makes before giving up
+///   (`read_retry_rounds`). Round 1 is the normal failover pass; later
+///   rounds re-visit replicas after a jittered backoff, riding out
+///   brownouts shorter than the query's deadline.
+/// - `TAURUS_READ_BACKOFF_US` — base backoff between retry rounds in
+///   microseconds (`read_backoff_us`); doubled per round, ±50 % jitter,
+///   capped at 250 ms (see `govern::backoff_delay`).
+#[derive(Clone, Debug)]
+pub struct GovernConfig {
+    pub ndp_tenant_quota: usize,
+    pub ndp_force_shed: bool,
+    pub read_retry_rounds: u32,
+    pub read_backoff_us: u64,
+}
+
+impl Default for GovernConfig {
+    fn default() -> Self {
+        GovernConfig {
+            ndp_tenant_quota: match std::env::var("TAURUS_NDP_TENANT_QUOTA") {
+                Ok(v) => v.trim().parse::<usize>().unwrap_or(0),
+                Err(_) => 0,
+            },
+            ndp_force_shed: std::env::var("TAURUS_NDP_FORCE_SHED")
+                .map(|v| v.trim() == "1")
+                .unwrap_or(false),
+            read_retry_rounds: env_usize_override("TAURUS_READ_RETRY_ROUNDS", 2) as u32,
+            read_backoff_us: env_usize_override("TAURUS_READ_BACKOFF_US", 500) as u64,
+        }
+    }
+}
+
+/// Brownout fault injection, applied to the Page Stores a `Sal` builds
+/// (never to directly-constructed stores, so unit tests own their fault
+/// state). All knobs target the single store `TAURUS_FAULT_STORE` names;
+/// with that unset, no fault is injected. Env overrides:
+///
+/// - `TAURUS_FAULT_STORE` — index of the Page Store to fault (0-based).
+/// - `TAURUS_FAULT_LATENCY_MS` — added latency per read/NDP request:
+///   the store stays alive but slow (a brownout), exercising failover,
+///   deadline and shed paths without errors.
+/// - `TAURUS_FAULT_ERROR_RATE` — percentage (1–100) of read requests
+///   that fail with a retryable error.
+/// - `TAURUS_FAULT_UNTIL_LSN` — reads fail while the target slice's
+///   applied LSN is below this bound (a store stuck in recovery).
+/// - `TAURUS_NDP_SKIP_EVERY_NTH` — apply `SkipPolicy::EveryNth(n)` to
+///   every store (the chaos leg's page-scoped degradation knob).
+#[derive(Clone, Debug)]
+pub struct FaultConfig {
+    pub store: Option<usize>,
+    pub latency_ms: u64,
+    pub error_rate: u32,
+    pub until_lsn: u64,
+    pub skip_every_nth: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            store: match std::env::var("TAURUS_FAULT_STORE") {
+                Ok(v) => v.trim().parse::<usize>().ok(),
+                Err(_) => None,
+            },
+            latency_ms: env_usize_override("TAURUS_FAULT_LATENCY_MS", 0) as u64,
+            error_rate: match std::env::var("TAURUS_FAULT_ERROR_RATE") {
+                Ok(v) => v.trim().parse::<u32>().unwrap_or(0).min(100),
+                Err(_) => 0,
+            },
+            until_lsn: match std::env::var("TAURUS_FAULT_UNTIL_LSN") {
+                Ok(v) => v.trim().parse::<u64>().unwrap_or(0),
+                Err(_) => 0,
+            },
+            skip_every_nth: match std::env::var("TAURUS_NDP_SKIP_EVERY_NTH") {
+                Ok(v) => v.trim().parse::<u64>().unwrap_or(0),
+                Err(_) => 0,
+            },
         }
     }
 }
@@ -203,12 +306,21 @@ pub struct ClusterConfig {
     /// skip, raw page returned (§IV-D2). Sized to absorb a full batch
     /// (look-ahead) per tenant; shrink it to provoke skips.
     pub pagestore_ndp_queue: usize,
+    /// Simulated NDP service time per page, in microseconds (0 = free).
+    /// Models the storage-side CPU a real store spends filtering and
+    /// projecting one page — at toy scale factors pages are nearly
+    /// empty, which would make the bounded NDP pool an infinitely fast
+    /// server and queue contention unobservable. Sleep-based like the
+    /// network model, so it costs no host CPU.
+    pub pagestore_ndp_service_us: u64,
     /// Page versions retained per page for LSN-versioned batch reads.
     pub pagestore_versions_retained: usize,
     pub ndp: NdpConfig,
     pub network: NetworkConfig,
     pub replica: ReplicaConfig,
     pub server: ServerConfig,
+    pub govern: GovernConfig,
+    pub fault: FaultConfig,
 }
 
 impl Default for ClusterConfig {
@@ -223,11 +335,14 @@ impl Default for ClusterConfig {
             scan_batch_rows: scan_batch_rows_env_override(crate::batch::DEFAULT_SCAN_BATCH_ROWS),
             pagestore_ndp_threads: 4,
             pagestore_ndp_queue: 2048,
+            pagestore_ndp_service_us: 0,
             pagestore_versions_retained: 8,
             ndp: NdpConfig::default(),
             network: NetworkConfig::default(),
             replica: ReplicaConfig::default(),
             server: ServerConfig::default(),
+            govern: GovernConfig::default(),
+            fault: FaultConfig::default(),
         }
     }
 }
@@ -249,6 +364,7 @@ impl ClusterConfig {
             scan_batch_rows: scan_batch_rows_env_override(7),
             pagestore_ndp_threads: 2,
             pagestore_ndp_queue: 16,
+            pagestore_ndp_service_us: 0,
             pagestore_versions_retained: 8,
             ndp: NdpConfig {
                 min_io_pages: 1,
@@ -258,6 +374,8 @@ impl ClusterConfig {
             network: NetworkConfig::default(),
             replica: ReplicaConfig::default(),
             server: ServerConfig::default(),
+            govern: GovernConfig::default(),
+            fault: FaultConfig::default(),
         }
     }
 
@@ -324,6 +442,33 @@ mod tests {
         // subsystem's.
         let cc = ClusterConfig::small_for_tests();
         assert_eq!(cc.server.max_sessions, c.max_sessions);
+    }
+
+    #[test]
+    fn governance_and_fault_defaults_are_inert() {
+        let g = GovernConfig::default();
+        if !overridden("TAURUS_NDP_TENANT_QUOTA") {
+            assert_eq!(g.ndp_tenant_quota, 0, "quotas off by default");
+        }
+        if std::env::var("TAURUS_NDP_FORCE_SHED").is_err() {
+            assert!(!g.ndp_force_shed);
+        }
+        if !overridden("TAURUS_READ_RETRY_ROUNDS") {
+            assert_eq!(g.read_retry_rounds, 2);
+        }
+        assert!(g.read_retry_rounds >= 1);
+        let f = FaultConfig::default();
+        if std::env::var("TAURUS_FAULT_STORE")
+            .map(|v| v.trim().parse::<usize>().is_err())
+            .unwrap_or(true)
+        {
+            assert!(f.store.is_none(), "no fault injected by default");
+        }
+        assert!(f.error_rate <= 100);
+        // The cluster config carries both, like every other subsystem's.
+        let c = ClusterConfig::small_for_tests();
+        assert_eq!(c.govern.ndp_tenant_quota, g.ndp_tenant_quota);
+        assert_eq!(c.fault.latency_ms, f.latency_ms);
     }
 
     #[test]

@@ -32,6 +32,14 @@ pub enum Error {
     Unsupported(String),
     /// Catch-all for internal invariant breaks; always a bug.
     Internal(String),
+    /// The node (or one of its resource pools) is at capacity and shed
+    /// the request instead of queueing it. Always retryable: nothing was
+    /// executed, and capacity frees up as in-flight work drains.
+    Overloaded(String),
+    /// The query's deadline budget expired before the read path could
+    /// complete (browned-out store, exhausted retries). The partial work
+    /// is discarded; retrying with a fresh budget is safe.
+    DeadlineExceeded(String),
 }
 
 impl fmt::Display for Error {
@@ -46,6 +54,8 @@ impl fmt::Display for Error {
             Error::NameResolution(m) => write!(f, "name resolution: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
+            Error::Overloaded(m) => write!(f, "overloaded: {m}"),
+            Error::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
         }
     }
 }

@@ -1,0 +1,171 @@
+//! Resource-governance primitives shared across the read path.
+//!
+//! The paper's resource control (§IV-D2) is *local* to a Page Store: a
+//! bounded NDP pool that sheds work rather than queueing unboundedly.
+//! Multi-tenant operation needs two more things that must travel *with*
+//! the query, not live on any one node: who is asking ([`TenantId`]) and
+//! how long they are willing to wait ([`QueryCtx::deadline`]). This
+//! module defines that context plus the retry/backoff arithmetic the SAL
+//! uses between replica rounds. Everything here is `std`-only — the
+//! common crate deliberately has no external dependencies.
+
+use std::time::{Duration, Instant};
+
+/// A tenant (billing/isolation unit). Sessions carry one; the Page
+/// Stores meter and bound NDP admission per tenant.
+pub type TenantId = u32;
+
+/// The tenant used when nothing was specified: in-process embedded use,
+/// background engine work (redo distribution, replica tailing), and
+/// legacy wire clients that predate the tenant handshake field.
+pub const DEFAULT_TENANT: TenantId = 0;
+
+/// Per-query context threaded from the session (or the network server)
+/// down through the executor, the scan core and the SAL. `Copy` on
+/// purpose: it crosses thread spawns and struct literals constantly and
+/// must never be a reason to hold a lock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueryCtx {
+    pub tenant: TenantId,
+    /// Absolute point in time after which the read path stops retrying
+    /// and the scan loops abort with [`crate::Error::DeadlineExceeded`].
+    /// `None` means no budget (the embedded default).
+    pub deadline: Option<Instant>,
+}
+
+impl QueryCtx {
+    /// The embedded default: anonymous tenant, no deadline.
+    pub fn new() -> QueryCtx {
+        QueryCtx {
+            tenant: DEFAULT_TENANT,
+            deadline: None,
+        }
+    }
+
+    pub fn for_tenant(tenant: TenantId) -> QueryCtx {
+        QueryCtx {
+            tenant,
+            deadline: None,
+        }
+    }
+
+    pub fn with_deadline(mut self, deadline: Instant) -> QueryCtx {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Derive the deadline from a budget starting now. A zero budget
+    /// means "no deadline" (the config's conventional off value).
+    pub fn with_budget_ms(self, budget_ms: u64) -> QueryCtx {
+        if budget_ms == 0 {
+            return self;
+        }
+        self.with_deadline(Instant::now() + Duration::from_millis(budget_ms))
+    }
+
+    /// Has the budget expired?
+    pub fn expired(&self) -> bool {
+        matches!(self.deadline, Some(d) if Instant::now() >= d)
+    }
+
+    /// Error for an expired budget, naming the caller's phase.
+    pub fn check(&self, what: &str) -> crate::Result<()> {
+        if self.expired() {
+            return Err(crate::Error::DeadlineExceeded(format!(
+                "query deadline expired during {what}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Time left before the deadline (`None` = unbounded).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+impl Default for QueryCtx {
+    fn default() -> QueryCtx {
+        QueryCtx::new()
+    }
+}
+
+/// Jittered exponential backoff between retry rounds: base · 2^(round-1),
+/// ±50 % deterministic jitter from a seed, capped. The jitter source is a
+/// tiny xorshift — the workspace is offline and the common crate takes no
+/// dependencies; statistical quality is irrelevant here, de-synchronizing
+/// concurrent retriers is the whole point.
+pub fn backoff_delay(base: Duration, round: u32, seed: u64) -> Duration {
+    const CAP: Duration = Duration::from_millis(250);
+    if base.is_zero() || round == 0 {
+        return Duration::ZERO;
+    }
+    let exp = base.saturating_mul(1u32 << (round - 1).min(8));
+    let exp = exp.min(CAP);
+    // xorshift64 over (seed, round) for a stable-but-spread jitter factor.
+    let mut x = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(u64::from(round));
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    // Map into [0.5, 1.5).
+    let frac = (x % 1000) as f64 / 1000.0; // [0, 1)
+    exp.mul_f64(0.5 + frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ctx_never_expires() {
+        let ctx = QueryCtx::new();
+        assert_eq!(ctx.tenant, DEFAULT_TENANT);
+        assert!(!ctx.expired());
+        assert!(ctx.check("anything").is_ok());
+        assert!(ctx.remaining().is_none());
+    }
+
+    #[test]
+    fn zero_budget_means_no_deadline() {
+        let ctx = QueryCtx::for_tenant(7).with_budget_ms(0);
+        assert_eq!(ctx.tenant, 7);
+        assert!(ctx.deadline.is_none());
+    }
+
+    #[test]
+    fn expired_deadline_is_an_error_naming_the_phase() {
+        let ctx = QueryCtx::new().with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(ctx.expired());
+        let err = ctx.check("page read").unwrap_err();
+        assert!(matches!(err, crate::Error::DeadlineExceeded(_)));
+        assert!(err.to_string().contains("page read"), "{err}");
+        assert_eq!(ctx.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn backoff_grows_with_rounds_and_stays_bounded() {
+        let base = Duration::from_millis(2);
+        let d1 = backoff_delay(base, 1, 42);
+        let d3 = backoff_delay(base, 3, 42);
+        // Jitter is ±50 %: round 1 ∈ [1, 3) ms, round 3 ∈ [4, 12) ms.
+        assert!(d1 >= Duration::from_millis(1) && d1 < Duration::from_millis(3));
+        assert!(d3 >= Duration::from_millis(4) && d3 < Duration::from_millis(12));
+        // Hard cap regardless of round.
+        assert!(backoff_delay(base, 30, 1) <= Duration::from_millis(375));
+        // Degenerate inputs are free.
+        assert_eq!(backoff_delay(Duration::ZERO, 5, 9), Duration::ZERO);
+        assert_eq!(backoff_delay(base, 0, 9), Duration::ZERO);
+    }
+
+    #[test]
+    fn jitter_varies_with_seed() {
+        let base = Duration::from_millis(10);
+        let spread: std::collections::HashSet<u128> = (0..16)
+            .map(|seed| backoff_delay(base, 2, seed).as_nanos())
+            .collect();
+        assert!(spread.len() > 8, "jitter collapsed: {spread:?}");
+    }
+}

@@ -10,14 +10,18 @@
 pub mod batch;
 pub mod config;
 pub mod error;
+pub mod govern;
 pub mod ids;
 pub mod metrics;
 pub mod schema;
 pub mod value;
 
 pub use batch::{RowBatch, RowBatchIter};
-pub use config::{ClusterConfig, NdpConfig, NetworkConfig, ReplicaConfig, ServerConfig};
+pub use config::{
+    ClusterConfig, FaultConfig, GovernConfig, NdpConfig, NetworkConfig, ReplicaConfig, ServerConfig,
+};
 pub use error::{Error, Result};
+pub use govern::{QueryCtx, TenantId, DEFAULT_TENANT};
 pub use ids::{IndexId, Lsn, PageNo, PageRef, SliceId, SpaceId, TrxId};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use schema::{Column, IndexDef, KeyComparator, Row, TableSchema};

@@ -58,6 +58,11 @@ macro_rules! metrics_struct {
         #[derive(Default, Debug)]
         pub struct Metrics {
             $($(#[$doc])* pub $name: AtomicU64,)*
+            /// Per-tenant governance counters, keyed by [`crate::TenantId`]
+            /// and materialized lazily on first touch. Not part of
+            /// [`MetricsSnapshot`] (which stays `Copy`); rendered as
+            /// trailing `tenant{id}.name value` lines by `render_text`.
+            pub tenants: TenantRegistry,
         }
 
         /// A point-in-time copy of [`Metrics`]; supports subtraction to get
@@ -80,9 +85,13 @@ macro_rules! metrics_struct {
             /// declaration order — a stable scrape format (the network
             /// server's STATS opcode serves exactly this), so operators
             /// and load tests read `replica_lag_lsn` or
-            /// `prefetch_stall_ns` without linking the library.
+            /// `prefetch_stall_ns` without linking the library. Tenants
+            /// touched since startup append `tenant{id}.name value`
+            /// lines after the fixed counters (same two-token shape).
             pub fn render_text(&self) -> String {
-                self.snapshot().render_text()
+                let mut out = self.snapshot().render_text();
+                self.tenants.render_into(&mut out);
+                out
             }
         }
 
@@ -237,6 +246,91 @@ metrics_struct! {
     /// re-run on the master after the replica refused (detached or past
     /// its lag bound between routing and execution).
     server_failovers,
+    /// Page Store: pages degraded to raw by the *store-level* shed
+    /// decision (saturated NDP queue or forced shed) — the whole batch
+    /// falls back to compute, distinct from per-page `ps_ndp_skipped`.
+    ps_ndp_shed,
+    /// Page Store: NDP jobs refused because the requesting tenant was at
+    /// its admission quota (the page still ships raw; nothing fails).
+    ps_ndp_quota_rejected,
+    /// SAL: jittered backoff sleeps taken between replica retry rounds.
+    read_backoff_waits,
+    /// Reads/queries aborted because their deadline budget expired.
+    deadline_exceeded,
+    /// Server: queries refused with the retryable `Overloaded` error
+    /// because the worker-permit gate's wait queue was full.
+    server_overload_refused,
+}
+
+/// Per-tenant governance counters: who is consuming NDP admission and
+/// who is being bounded. Tiny and fixed-shape — a registry entry is
+/// created on a tenant's first metered action and lives for the process.
+#[derive(Default, Debug)]
+pub struct TenantCounters {
+    /// Queries attributed to this tenant at the serving layer.
+    pub queries: AtomicU64,
+    /// NDP jobs admitted to a Page Store pool for this tenant.
+    pub ndp_admitted: AtomicU64,
+    /// NDP jobs refused at this tenant's admission quota.
+    pub ndp_quota_rejected: AtomicU64,
+    /// Pages degraded to raw for this tenant by store-level shed.
+    pub pages_shed: AtomicU64,
+}
+
+/// Lazily-populated map of [`TenantCounters`] keyed by tenant id. Lives
+/// inside [`Metrics`] but outside [`MetricsSnapshot`]: the snapshot stays
+/// a flat `Copy` struct, while tenants render as trailing scrape lines.
+#[derive(Default, Debug)]
+pub struct TenantRegistry {
+    inner: std::sync::RwLock<std::collections::BTreeMap<crate::TenantId, Arc<TenantCounters>>>,
+}
+
+impl TenantRegistry {
+    /// The counters for `tenant`, created on first touch.
+    pub fn tenant(&self, tenant: crate::TenantId) -> Arc<TenantCounters> {
+        if let Some(c) = self.inner.read().unwrap().get(&tenant) {
+            return c.clone();
+        }
+        self.inner
+            .write()
+            .unwrap()
+            .entry(tenant)
+            .or_default()
+            .clone()
+    }
+
+    /// Tenant ids seen so far (sorted).
+    pub fn ids(&self) -> Vec<crate::TenantId> {
+        self.inner.read().unwrap().keys().copied().collect()
+    }
+
+    /// Append `tenant{id}.name value` lines (same two-token shape as the
+    /// fixed counters; scrape parsers need no special casing).
+    pub fn render_into(&self, out: &mut String) {
+        use std::fmt::Write;
+        for (id, c) in self.inner.read().unwrap().iter() {
+            let _ = writeln!(
+                out,
+                "tenant{id}.queries {}",
+                c.queries.load(Ordering::Relaxed)
+            );
+            let _ = writeln!(
+                out,
+                "tenant{id}.ndp_admitted {}",
+                c.ndp_admitted.load(Ordering::Relaxed)
+            );
+            let _ = writeln!(
+                out,
+                "tenant{id}.ndp_quota_rejected {}",
+                c.ndp_quota_rejected.load(Ordering::Relaxed)
+            );
+            let _ = writeln!(
+                out,
+                "tenant{id}.pages_shed {}",
+                c.pages_shed.load(Ordering::Relaxed)
+            );
+        }
+    }
 }
 
 impl Metrics {
@@ -354,6 +448,33 @@ mod tests {
             text.lines().count(),
             Metrics::default().render_text().lines().count()
         );
+    }
+
+    #[test]
+    fn tenant_counters_render_as_trailing_two_token_lines() {
+        let m = Metrics::default();
+        // Untouched registry: rendering is identical to the snapshot's.
+        assert_eq!(m.render_text(), m.snapshot().render_text());
+        m.tenants.tenant(7).queries.fetch_add(3, Ordering::Relaxed);
+        m.tenants
+            .tenant(2)
+            .ndp_quota_rejected
+            .fetch_add(1, Ordering::Relaxed);
+        // Same Arc on re-touch, not a fresh counter.
+        m.tenants.tenant(7).queries.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(m.tenants.ids(), vec![2, 7]);
+        let text = m.render_text();
+        assert!(text.contains("\ntenant7.queries 4\n"), "{text}");
+        assert!(text.contains("\ntenant2.ndp_quota_rejected 1\n"));
+        // Tenant lines come after every fixed counter, sorted by id.
+        let t2 = text.find("tenant2.").unwrap();
+        let t7 = text.find("tenant7.").unwrap();
+        assert!(t2 < t7);
+        assert!(text.rfind("server_overload_refused").unwrap() < t2);
+        // Still strictly `name value` per line.
+        for line in text.lines() {
+            assert_eq!(line.split(' ').count(), 2, "`{line}`");
+        }
     }
 
     /// Spin until the thread-CPU clock visibly advances (its resolution can

@@ -27,8 +27,8 @@ pub mod scan;
 
 pub use engine::{ColumnStats, ReplicaState, SpaceStore, Table, TableIndex, TableStats, TaurusDb};
 pub use scan::{
-    build_descriptor, partition_ranges, scan, NdpChoice, ScanAggregation, ScanConsumer, ScanSpec,
-    ScanStats,
+    build_descriptor, partition_ranges, scan, scan_ctx, NdpChoice, ScanAggregation, ScanConsumer,
+    ScanSpec, ScanStats,
 };
 
 // Re-export the vocabulary types users need alongside the engine.

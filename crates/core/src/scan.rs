@@ -42,7 +42,7 @@ use std::time::Instant;
 
 use taurus_btree::{ScanRange, TreeStore};
 use taurus_bufferpool::{BufferPool, NdpFrameGuard};
-use taurus_common::{Error, Metrics, PageNo, Result, RowBatch, Value};
+use taurus_common::{Error, Metrics, PageNo, QueryCtx, Result, RowBatch, Value};
 use taurus_expr::agg::{AggSpec, AggState};
 use taurus_expr::ast::Expr;
 use taurus_expr::descriptor::{NdpAggSpec, NdpDescriptor};
@@ -239,6 +239,9 @@ struct ScanCtx<'a> {
     index: &'a TableIndex,
     spec: &'a ScanSpec,
     view: &'a ReadView,
+    /// Query context: tenant attribution for storage-side admission and
+    /// the deadline that bounds the whole scan.
+    qctx: QueryCtx,
     watermark: u64,
     /// Output columns as record positions (full layout).
     out_pos: Vec<usize>,
@@ -266,6 +269,7 @@ impl<'a> ScanCtx<'a> {
         table: &'a Table,
         spec: &'a ScanSpec,
         view: &'a ReadView,
+        qctx: QueryCtx,
     ) -> Result<ScanCtx<'a>> {
         let index = table.index(spec.index);
         let stored = index.tree.def.stored_cols();
@@ -314,6 +318,7 @@ impl<'a> ScanCtx<'a> {
             index,
             spec,
             view,
+            qctx,
             watermark,
             out_pos,
             proj,
@@ -606,7 +611,8 @@ impl<'a> ScanCtx<'a> {
     }
 }
 
-/// Execute a scan against `table`, delivering into `consumer`.
+/// Execute a scan against `table`, delivering into `consumer`, under the
+/// default query context (anonymous tenant, no deadline).
 pub fn scan(
     db: &TaurusDb,
     table: &Table,
@@ -614,7 +620,23 @@ pub fn scan(
     view: &ReadView,
     consumer: &mut dyn ScanConsumer,
 ) -> Result<ScanStats> {
-    let ctx = ScanCtx::new(db, table, spec, view)?;
+    scan_ctx(db, table, spec, view, QueryCtx::new(), consumer)
+}
+
+/// Execute a scan under a query context: batch reads are billed to the
+/// context's tenant on the Page-Store side, and the context's deadline is
+/// checked at every page boundary — an expired deadline stops the scan
+/// (and its prefetch pipeline) with [`Error::DeadlineExceeded`] instead
+/// of letting a browned-out store stall it indefinitely.
+pub fn scan_ctx(
+    db: &TaurusDb,
+    table: &Table,
+    spec: &ScanSpec,
+    view: &ReadView,
+    qctx: QueryCtx,
+    consumer: &mut dyn ScanConsumer,
+) -> Result<ScanStats> {
+    let ctx = ScanCtx::new(db, table, spec, view, qctx)?;
     let mut state = ctx.fresh_state();
     match &spec.ndp {
         Some(choice) if !choice.is_empty() && db.config().ndp.enabled => {
@@ -632,6 +654,13 @@ pub fn scan(
     Ok(state.stats)
 }
 
+/// Deadline check at a page boundary, metering expiries.
+fn check_deadline(db: &TaurusDb, qctx: &QueryCtx, what: &str) -> Result<()> {
+    qctx.check(what).inspect_err(|_| {
+        db.metrics().add(|m| &m.deadline_exceeded, 1);
+    })
+}
+
 /// The classical InnoDB scan: one page at a time through the buffer pool;
 /// no batch reads (§I), all filtering above.
 fn regular_scan(
@@ -647,6 +676,7 @@ fn regular_scan(
         None => return Ok(()),
     };
     loop {
+        check_deadline(ctx.db, &ctx.qctx, "regular scan page")?;
         state.stats.pages_total += 1;
         let check_range = !ctx.page_fully_in_range(&page, full);
         let mut past_end = false;
@@ -816,11 +846,13 @@ fn issue_next_batch(
     let read = if missing.is_empty() {
         None
     } else {
-        Some(
-            store
-                .sal()
-                .batch_read_streaming(space, &missing, lsn, descriptor.clone())?,
-        )
+        Some(store.sal().batch_read_streaming_ctx(
+            space,
+            &missing,
+            lsn,
+            descriptor.clone(),
+            &ctx.qctx,
+        )?)
     };
     let gauge = read
         .as_ref()
@@ -951,6 +983,10 @@ fn ndp_scan(
         };
         // Consume strictly in logical page order.
         for i in 0..batch.pages.len() {
+            // Page-boundary deadline check: a browned-out or saturated
+            // store cannot stall the scan past its budget (dropping the
+            // in-flight queue on return cancels the remaining reads).
+            check_deadline(ctx.db, &ctx.qctx, "ndp scan page")?;
             let no = batch.pages[i];
             let mut staged = take_staged(&mut batch, no, &bp, ctx.db.metrics())?;
             match staged.kind {

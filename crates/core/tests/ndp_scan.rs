@@ -217,10 +217,16 @@ fn projection_pushdown_matches_and_ships_less() {
         .since(&before_on)
         .net_bytes_from_storage;
     assert_eq!(got.rows, expected.rows);
-    assert!(
-        bytes_on * 2 < bytes_off,
-        "projection should cut network bytes: {bytes_on} vs {bytes_off}"
-    );
+    // CI's chaos leg injects `SkipPolicy::EveryNth` via env, which ships
+    // a fraction of NDP pages raw (full 16 KB) by design — correctness
+    // above must hold regardless, but the byte-reduction ratio only
+    // holds when pushdown is not being deliberately degraded.
+    if taurus_common::ClusterConfig::default().fault.skip_every_nth == 0 {
+        assert!(
+            bytes_on * 2 < bytes_off,
+            "projection should cut network bytes: {bytes_on} vs {bytes_off}"
+        );
+    }
 }
 
 #[test]

@@ -18,13 +18,13 @@
 use std::collections::HashMap;
 
 use taurus_common::schema::Row;
-use taurus_common::{Dec, Error, Result, RowBatch, Value};
+use taurus_common::{Dec, Error, QueryCtx, Result, RowBatch, Value};
 use taurus_expr::agg::{AggSpec, AggState};
 use taurus_expr::ast::Expr;
 use taurus_expr::eval::{eval, eval_pred};
 use taurus_expr::ir::encode_value;
 use taurus_ndp::ReadView;
-use taurus_ndp::{scan, NdpChoice, ScanConsumer, ScanRange, ScanSpec, TaurusDb};
+use taurus_ndp::{scan_ctx, NdpChoice, ScanConsumer, ScanRange, ScanSpec, TaurusDb};
 use taurus_optimizer::plan::{
     AggFuncEx, AggItem, AggScanNode, HashAggNode, JoinType, LookupJoinNode, Plan, ScanNode,
 };
@@ -33,6 +33,10 @@ use taurus_optimizer::plan::{
 pub struct ExecContext<'a> {
     pub db: &'a TaurusDb,
     pub view: ReadView,
+    /// Governance context (tenant identity + deadline) billed and checked
+    /// by every scan this query issues. Defaults to the anonymous tenant
+    /// with no deadline.
+    pub qctx: QueryCtx,
 }
 
 impl<'a> ExecContext<'a> {
@@ -40,6 +44,7 @@ impl<'a> ExecContext<'a> {
         ExecContext {
             db,
             view: db.read_view(0),
+            qctx: QueryCtx::new(),
         }
     }
 }
@@ -189,7 +194,7 @@ pub(crate) fn exec_scan(
         rows: Vec::new(),
         residual,
     };
-    scan(ctx.db, &table, &spec, &ctx.view, &mut c)?;
+    scan_ctx(ctx.db, &table, &spec, &ctx.view, ctx.qctx, &mut c)?;
     Ok(c.rows)
 }
 
@@ -486,7 +491,7 @@ pub(crate) fn exec_agg_scan_partials(
         // Scalar aggregation always has exactly one group.
         c.current = Some((Vec::new(), Vec::new(), c.fresh_states()));
     }
-    scan(ctx.db, &table, &spec, &ctx.view, &mut c)?;
+    scan_ctx(ctx.db, &table, &spec, &ctx.view, ctx.qctx, &mut c)?;
     c.flush();
     Ok(c.done)
 }
@@ -676,7 +681,7 @@ impl<'a> LookupProbe<'a> {
                 rows: Vec::new(),
                 residual: self.inner_preds.clone(),
             };
-            scan(ctx.db, &self.table, &spec, &ctx.view, &mut c)?;
+            scan_ctx(ctx.db, &self.table, &spec, &ctx.view, ctx.qctx, &mut c)?;
             c
         } else {
             // Secondary hit -> primary row fetch, then filter.
@@ -690,7 +695,7 @@ impl<'a> LookupProbe<'a> {
                 rows: Vec::new(),
                 residual: Vec::new(),
             };
-            scan(ctx.db, &self.table, &spec, &ctx.view, &mut keys)?;
+            scan_ctx(ctx.db, &self.table, &spec, &ctx.view, ctx.qctx, &mut keys)?;
             let mut c = RowCollector {
                 rows: Vec::new(),
                 residual: Vec::new(),

@@ -19,10 +19,10 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 
 use crossbeam::thread::{Scope, ScopedJoinHandle};
 use taurus_common::metrics::CpuGuard;
-use taurus_common::{Result, RowBatch, Value};
+use taurus_common::{QueryCtx, Result, RowBatch, Value};
 use taurus_expr::agg::AggState;
 use taurus_expr::ast::Expr;
-use taurus_ndp::{scan, ReadView, ScanConsumer, TaurusDb};
+use taurus_ndp::{scan_ctx, ReadView, ScanConsumer, TaurusDb};
 use taurus_optimizer::plan::{AggScanNode, ScanNode};
 
 use super::{charge_emit, BatchEmitter, Operator};
@@ -110,6 +110,7 @@ pub(crate) fn run_scan_producer(
     db: &TaurusDb,
     node: &ScanNode,
     view: ReadView,
+    qctx: QueryCtx,
     tx: &SyncSender<Result<RowBatch>>,
     project: Option<Vec<usize>>,
 ) {
@@ -118,7 +119,7 @@ pub(crate) fn run_scan_producer(
     let _cpu = CpuGuard::new(&db.metrics().compute_cpu_ns);
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Result<()> {
         let table = db.table(&node.table)?;
-        let ctx = ExecContext { db, view };
+        let ctx = ExecContext { db, view, qctx };
         let spec = scan_spec(node, &ctx, None, None)?;
         let residual: Vec<Expr> = node
             .residual_conjuncts()
@@ -130,7 +131,7 @@ pub(crate) fn run_scan_producer(
             residual,
             project,
         };
-        scan(ctx.db, &table, &spec, &ctx.view, &mut consumer)?;
+        scan_ctx(ctx.db, &table, &spec, &ctx.view, ctx.qctx, &mut consumer)?;
         Ok(())
     }));
     match result {
@@ -157,6 +158,7 @@ pub(crate) struct BatchScanOp<'r, 'scope, 'env> {
     db: &'env TaurusDb,
     node: &'env ScanNode,
     view: ReadView,
+    qctx: QueryCtx,
     scope: &'r Scope<'scope, 'env>,
     rx: Option<Receiver<Result<RowBatch>>>,
     producer: Option<ScopedJoinHandle<'scope, ()>>,
@@ -176,6 +178,7 @@ where
             db: ctx.db,
             node,
             view: ctx.view.clone(),
+            qctx: ctx.qctx,
             scope,
             rx: None,
             producer: None,
@@ -207,9 +210,10 @@ impl Operator for BatchScanOp<'_, '_, '_> {
         let db = self.db;
         let node = self.node;
         let view = self.view.clone();
+        let qctx = self.qctx;
         self.producer = Some(
             self.scope
-                .spawn(move |_| run_scan_producer(db, node, view, &tx, None)),
+                .spawn(move |_| run_scan_producer(db, node, view, qctx, &tx, None)),
         );
         self.rx = Some(rx);
         Ok(())

@@ -83,10 +83,11 @@ pub(crate) fn exec_exchange(node: &ExchangeNode, ctx: &ExecContext<'_>) -> Resul
                 let child = &node.child;
                 let db = ctx.db;
                 let view = ctx.view.clone();
+                let qctx = ctx.qctx;
                 s.spawn(move |_| -> Result<WorkerOut> {
                     // PQ workers are compute threads (SQL-node CPU).
                     let _cpu = CpuGuard::new(&db.metrics().compute_cpu_ns);
-                    let wctx = ExecContext { db, view };
+                    let wctx = ExecContext { db, view, qctx };
                     match &**child {
                         Plan::Scan(sn) => Ok(WorkerOut::Rows(exec_scan(sn, &wctx, Some(range))?)),
                         Plan::AggScan(a) => Ok(WorkerOut::Partials(exec_agg_scan_partials(

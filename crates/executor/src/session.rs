@@ -32,7 +32,7 @@ use std::sync::Arc;
 
 use taurus_common::metrics::CpuGuard;
 use taurus_common::schema::Row;
-use taurus_common::{Error, Result, TrxId};
+use taurus_common::{Error, QueryCtx, Result, TenantId, TrxId};
 use taurus_expr::ast::Expr;
 use taurus_ndp::{ReadView, Table, TaurusDb};
 use taurus_optimizer::ndp_post::{ndp_post_process, NdpReport};
@@ -50,6 +50,12 @@ pub struct Session {
     view: ReadView,
     trx: TrxId,
     ndp: bool,
+    /// Tenant this session's queries are attributed to: Page-Store
+    /// admission control bills NDP work (and quota rejections) to it.
+    tenant: TenantId,
+    /// Optional per-query wall-clock budget: each query stamps its own
+    /// deadline from this when execution starts.
+    budget_ms: Option<u64>,
 }
 
 impl Session {
@@ -65,7 +71,35 @@ impl Session {
             view: db.read_view(trx),
             trx,
             ndp: true,
+            tenant: taurus_common::DEFAULT_TENANT,
+            budget_ms: None,
         }
+    }
+
+    /// Attribute this session's queries to a tenant: Page-Store admission
+    /// control bills NDP work (and quota rejections) to it, and the
+    /// server's per-tenant metrics break out under its id.
+    pub fn with_tenant(mut self, tenant: TenantId) -> Session {
+        self.tenant = tenant;
+        self
+    }
+
+    pub fn set_tenant(&mut self, tenant: TenantId) {
+        self.tenant = tenant;
+    }
+
+    /// Set a wall-clock budget applied to each query individually: the
+    /// deadline is stamped when execution starts, and scans/reads past it
+    /// fail with `Error::DeadlineExceeded` instead of stalling on a
+    /// degraded Page Store. `0` clears the budget.
+    pub fn set_query_budget_ms(&mut self, ms: u64) {
+        self.budget_ms = if ms == 0 { None } else { Some(ms) };
+    }
+
+    /// Stamp the governance context for a query starting *now*: the
+    /// session's tenant plus a fresh deadline from the budget (if any).
+    pub fn query_ctx(&self) -> QueryCtx {
+        QueryCtx::for_tenant(self.tenant).with_budget_ms(self.budget_ms.unwrap_or(0))
     }
 
     /// Session-level NDP switch (the facade's `optimizer_switch`): with
@@ -138,6 +172,7 @@ impl Session {
         let ctx = ExecContext {
             db: &self.db,
             view: self.view.clone(),
+            qctx: self.query_ctx(),
         };
         execute(plan, &ctx)
     }
@@ -147,7 +182,7 @@ impl Session {
     /// breaker inside the pipeline, and dropping the stream cancels the
     /// producing scans.
     pub fn stream_plan(&self, plan: Plan) -> RowStream {
-        RowStream::spawn_plan(self.db.clone(), plan, self.view.clone())
+        RowStream::spawn_plan(self.db.clone(), plan, self.view.clone(), self.query_ctx())
     }
 
     /// MVCC point lookup under this session's read view.
@@ -578,6 +613,7 @@ impl QueryBuilder<'_> {
             self.session.db.clone(),
             plan,
             self.session.view.clone(),
+            self.session.query_ctx(),
         ))
     }
 

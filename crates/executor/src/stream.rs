@@ -26,7 +26,7 @@ use std::thread::JoinHandle;
 use taurus_common::batch::RowBatchIter;
 use taurus_common::metrics::CpuGuard;
 use taurus_common::schema::Row;
-use taurus_common::{Result, RowBatch};
+use taurus_common::{QueryCtx, Result, RowBatch};
 use taurus_expr::ast::Expr;
 use taurus_ndp::{ReadView, TaurusDb};
 use taurus_optimizer::plan::{Plan, ScanNode};
@@ -58,13 +58,18 @@ impl RowStream {
     /// predicate-only columns) take the direct scan-core fast path;
     /// everything else lowers to the operator pipeline on the producer
     /// thread.
-    pub(crate) fn spawn_plan(db: Arc<TaurusDb>, plan: Plan, view: ReadView) -> RowStream {
+    pub(crate) fn spawn_plan(
+        db: Arc<TaurusDb>,
+        plan: Plan,
+        view: ReadView,
+        qctx: QueryCtx,
+    ) -> RowStream {
         match plan {
-            Plan::Scan(node) => RowStream::spawn_scan(db, node, view, None),
+            Plan::Scan(node) => RowStream::spawn_scan(db, node, view, qctx, None),
             Plan::Project(p) if project_is_prefix(&p.exprs) => {
                 let keep: Vec<usize> = (0..p.exprs.len()).collect();
                 match *p.input {
-                    Plan::Scan(node) => RowStream::spawn_scan(db, node, view, Some(keep)),
+                    Plan::Scan(node) => RowStream::spawn_scan(db, node, view, qctx, Some(keep)),
                     other => RowStream::spawn_pipeline(
                         db,
                         Plan::Project(taurus_optimizer::plan::ProjectNode {
@@ -72,16 +77,17 @@ impl RowStream {
                             exprs: p.exprs,
                         }),
                         view,
+                        qctx,
                     ),
                 }
             }
-            other => RowStream::spawn_pipeline(db, other, view),
+            other => RowStream::spawn_pipeline(db, other, view, qctx),
         }
     }
 
     /// The general path: lower the plan on the producer thread and pull
     /// its root operator into the stream channel.
-    fn spawn_pipeline(db: Arc<TaurusDb>, plan: Plan, view: ReadView) -> RowStream {
+    fn spawn_pipeline(db: Arc<TaurusDb>, plan: Plan, view: ReadView, qctx: QueryCtx) -> RowStream {
         let (tx, rx) = sync_channel::<Result<RowBatch>>(STREAM_CHANNEL_BATCHES);
         let producer = std::thread::Builder::new()
             .name("taurus-row-stream".into())
@@ -93,7 +99,11 @@ impl RowStream {
                 // (truncated!) end-of-stream: catch it and send it over.
                 let result =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Result<()> {
-                        let ctx = ExecContext { db: &db, view };
+                        let ctx = ExecContext {
+                            db: &db,
+                            view,
+                            qctx,
+                        };
                         crossbeam::thread::scope(|s| -> Result<()> {
                             let mut root = lower(&plan, &ctx, s)?;
                             root.open()?;
@@ -143,12 +153,13 @@ impl RowStream {
         db: Arc<TaurusDb>,
         node: ScanNode,
         view: ReadView,
+        qctx: QueryCtx,
         project: Option<Vec<usize>>,
     ) -> RowStream {
         let (tx, rx) = sync_channel::<Result<RowBatch>>(STREAM_CHANNEL_BATCHES);
         let producer = std::thread::Builder::new()
             .name("taurus-row-stream".into())
-            .spawn(move || run_scan_producer(&db, &node, view, &tx, project))
+            .spawn(move || run_scan_producer(&db, &node, view, qctx, &tx, project))
             .expect("spawn row-stream producer");
         RowStream {
             rx,

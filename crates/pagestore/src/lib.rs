@@ -21,5 +21,7 @@ pub mod store;
 pub use cache::{CachedDescriptor, DescriptorCache};
 pub use plugin::{InnodbNdpPlugin, NdpPlugin, PluginStats};
 pub use redo::{RedoBody, RedoRecord};
-pub use resource::{NdpPool, SkipPolicy};
-pub use store::{NdpBatchRequest, PagePayload, PageResult, PageStore, PageStoreConfig};
+pub use resource::{Admission, NdpPool, SkipPolicy};
+pub use store::{
+    FaultPolicy, NdpBatchRequest, PagePayload, PageResult, PageStore, PageStoreConfig,
+};

@@ -11,13 +11,28 @@
 //! pluggable [`SkipPolicy`] lets tests and benchmarks inject deterministic
 //! skip patterns (every Nth page, all pages, none) to verify the compute
 //! node completes the work identically.
+//!
+//! ## Multi-tenant admission
+//!
+//! Queued jobs live in **per-tenant FIFO queues** drained round-robin by
+//! the workers: within a tenant, order is preserved; across tenants, a
+//! burst from one tenant cannot push another tenant's single job to the
+//! back of a long line. An optional per-tenant **quota** bounds how many
+//! jobs one tenant may have queued at once
+//! ([`NdpPool::set_tenant_quota`]; 0 = unlimited). A tenant at its quota
+//! is refused ([`Admission::QuotaExceeded`]) and the page ships raw — the
+//! same degrade-to-compute fallback as queue pressure, scoped to the
+//! offender. The global queue bound is unchanged and reported by
+//! [`NdpPool::overloaded`], which the store uses for its batch-level
+//! shed-to-compute decision.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::collections::{BTreeMap, VecDeque};
+use std::ops::Bound::{Excluded, Unbounded};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{bounded, Sender, TrySendError};
-use taurus_common::PageNo;
+use taurus_common::{PageNo, TenantId, DEFAULT_TENANT};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -45,12 +60,92 @@ impl SkipPolicy {
     }
 }
 
-/// The dedicated NDP worker pool with a bounded request queue.
+/// Outcome of a non-blocking admission attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    Admitted,
+    /// The global queue is full (store saturated) — the caller serves the
+    /// raw page; the whole batch may shed via [`NdpPool::overloaded`].
+    QueueFull,
+    /// This tenant is at its admission quota; other tenants' pushdown is
+    /// unaffected.
+    QuotaExceeded,
+}
+
+struct PoolState {
+    /// Per-tenant FIFO queues; entries are removed when drained so the
+    /// map only holds tenants with work queued.
+    queues: BTreeMap<TenantId, VecDeque<Job>>,
+    /// Total queued jobs across tenants (running jobs not included —
+    /// exactly the old bounded-channel occupancy).
+    queued: usize,
+    /// Last tenant a worker served; the next pop scans strictly after it
+    /// (wrapping), which is what makes draining fair round-robin.
+    rr_cursor: TenantId,
+    shutdown: bool,
+}
+
+impl PoolState {
+    fn pop_next(&mut self) -> Option<Job> {
+        let next = self
+            .queues
+            .range((Excluded(self.rr_cursor), Unbounded))
+            .next()
+            .map(|(id, _)| *id)
+            .or_else(|| self.queues.keys().next().copied())?;
+        let q = self.queues.get_mut(&next).expect("queue exists");
+        let job = q.pop_front().expect("non-empty queue");
+        if q.is_empty() {
+            self.queues.remove(&next);
+        }
+        self.rr_cursor = next;
+        self.queued -= 1;
+        Some(job)
+    }
+}
+
+/// State + condvars shared with the worker threads. Workers hold ONLY
+/// this inner `Arc` — never the pool itself — so dropping the last
+/// outside `Arc<NdpPool>` runs the pool's `Drop` and joins them.
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Workers wait here for queued jobs.
+    jobs_cv: Condvar,
+    /// Blocking submitters wait here for queue space.
+    space_cv: Condvar,
+}
+
+impl Shared {
+    fn worker_loop(&self) {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(job) = st.pop_next() {
+                drop(st);
+                self.space_cv.notify_one();
+                job();
+                st = self.state.lock().unwrap();
+                continue;
+            }
+            if st.shutdown {
+                return;
+            }
+            st = self.jobs_cv.wait(st).unwrap();
+        }
+    }
+}
+
+/// The dedicated NDP worker pool: bounded request queue, per-tenant fair
+/// scheduling (see the module docs).
 pub struct NdpPool {
-    tx: Option<Sender<Job>>,
+    shared: Arc<Shared>,
+    cap: usize,
+    /// Per-tenant queued-job quota; 0 = unlimited.
+    tenant_quota: AtomicUsize,
     workers: Vec<JoinHandle<()>>,
     /// Jobs rejected because the queue was full.
     pub rejected: AtomicU64,
+    /// Jobs rejected at a tenant's admission quota.
+    pub quota_rejected: AtomicU64,
     /// Jobs accepted.
     pub accepted: AtomicU64,
 }
@@ -58,62 +153,132 @@ pub struct NdpPool {
 impl NdpPool {
     pub fn new(threads: usize, queue_cap: usize) -> Arc<NdpPool> {
         assert!(threads > 0);
-        let (tx, rx) = bounded::<Job>(queue_cap.max(1));
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                queues: BTreeMap::new(),
+                queued: 0,
+                rr_cursor: 0,
+                shutdown: false,
+            }),
+            jobs_cv: Condvar::new(),
+            space_cv: Condvar::new(),
+        });
         let mut workers = Vec::with_capacity(threads);
         for i in 0..threads {
-            let rx = rx.clone();
+            let sh = shared.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("ndp-worker-{i}"))
-                    .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            job();
-                        }
-                    })
+                    .spawn(move || sh.worker_loop())
                     .expect("spawn ndp worker"),
             );
         }
         Arc::new(NdpPool {
-            tx: Some(tx),
+            shared,
+            cap: queue_cap.max(1),
+            tenant_quota: AtomicUsize::new(0),
             workers,
             rejected: AtomicU64::new(0),
+            quota_rejected: AtomicU64::new(0),
             accepted: AtomicU64::new(0),
         })
     }
 
-    /// Submit without waiting. `false` means the queue is full — the caller
-    /// must fall back to serving the raw page (best-effort semantics; NDP
-    /// work never blocks).
-    pub fn try_submit(&self, job: impl FnOnce() + Send + 'static) -> bool {
-        let tx = self.tx.as_ref().expect("pool alive");
-        match tx.try_send(Box::new(job)) {
-            Ok(()) => {
-                self.accepted.fetch_add(1, Ordering::Relaxed);
-                true
-            }
-            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
-                self.rejected.fetch_add(1, Ordering::Relaxed);
-                false
-            }
+    /// The per-tenant queued-job quota (0 = unlimited).
+    pub fn tenant_quota(&self) -> usize {
+        self.tenant_quota.load(Ordering::Relaxed)
+    }
+
+    pub fn set_tenant_quota(&self, quota: usize) {
+        self.tenant_quota.store(quota, Ordering::Relaxed);
+    }
+
+    /// Jobs currently queued (not counting running jobs).
+    pub fn queue_len(&self) -> usize {
+        self.shared.state.lock().unwrap().queued
+    }
+
+    /// Is the queue saturated? The store-level shed signal: when true, a
+    /// whole incoming batch degrades to raw pages up front instead of
+    /// racing N per-page submissions against a full queue.
+    pub fn overloaded(&self) -> bool {
+        self.shared.state.lock().unwrap().queued >= self.cap
+    }
+
+    /// Submit without waiting, attributed to a tenant. Anything but
+    /// [`Admission::Admitted`] means the caller must fall back to serving
+    /// the raw page (best-effort semantics; NDP work never blocks).
+    pub fn try_submit_for(
+        &self,
+        tenant: TenantId,
+        job: impl FnOnce() + Send + 'static,
+    ) -> Admission {
+        let mut st = self.shared.state.lock().unwrap();
+        if st.shutdown || st.queued >= self.cap {
+            drop(st);
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Admission::QueueFull;
         }
+        let quota = self.tenant_quota.load(Ordering::Relaxed);
+        if quota > 0 && st.queues.get(&tenant).map_or(0, VecDeque::len) >= quota {
+            drop(st);
+            self.quota_rejected.fetch_add(1, Ordering::Relaxed);
+            return Admission::QuotaExceeded;
+        }
+        st.queues
+            .entry(tenant)
+            .or_default()
+            .push_back(Box::new(job));
+        st.queued += 1;
+        drop(st);
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.shared.jobs_cv.notify_one();
+        Admission::Admitted
+    }
+
+    /// Submit without waiting for the anonymous tenant. `false` means the
+    /// queue was full.
+    pub fn try_submit(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        self.try_submit_for(DEFAULT_TENANT, job) == Admission::Admitted
     }
 
     /// Blocking submit — used for the sequential cross-page-aggregation
     /// job, which represents the whole batch and should wait its turn in
-    /// the queue rather than degrade to N raw pages.
-    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> bool {
-        let tx = self.tx.as_ref().expect("pool alive");
-        let ok = tx.send(Box::new(job)).is_ok();
-        if ok {
-            self.accepted.fetch_add(1, Ordering::Relaxed);
+    /// the queue rather than degrade to N raw pages. Exempt from the
+    /// tenant quota (one job per batch is already bounded by the
+    /// caller's batch fan-out).
+    pub fn submit_for(&self, tenant: TenantId, job: impl FnOnce() + Send + 'static) -> bool {
+        let mut st = self.shared.state.lock().unwrap();
+        while st.queued >= self.cap && !st.shutdown {
+            st = self.shared.space_cv.wait(st).unwrap();
         }
-        ok
+        if st.shutdown {
+            return false;
+        }
+        st.queues
+            .entry(tenant)
+            .or_default()
+            .push_back(Box::new(job));
+        st.queued += 1;
+        drop(st);
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.shared.jobs_cv.notify_one();
+        true
+    }
+
+    /// Blocking submit for the anonymous tenant.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        self.submit_for(DEFAULT_TENANT, job)
     }
 }
 
 impl Drop for NdpPool {
     fn drop(&mut self) {
-        drop(self.tx.take());
+        self.shared.state.lock().unwrap().shutdown = true;
+        self.shared.jobs_cv.notify_all();
+        self.shared.space_cv.notify_all();
+        // Workers drain every queued job before exiting (pop-then-check),
+        // preserving the old channel-disconnect semantics.
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -123,6 +288,7 @@ impl Drop for NdpPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crossbeam::channel::bounded;
     use std::sync::atomic::AtomicUsize;
     use std::time::Duration;
 
@@ -168,6 +334,7 @@ mod tests {
         }
         assert!(saw_reject, "expected queue-full rejection");
         assert!(pool.rejected.load(Ordering::Relaxed) >= 1);
+        assert!(pool.overloaded(), "full queue is the overload signal");
         gate_tx.send(()).unwrap();
     }
 
@@ -196,5 +363,82 @@ mod tests {
         }
         drop(pool); // must not hang
         assert_eq!(done.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn tenant_quota_bounds_one_tenant_without_touching_others() {
+        // One worker held busy so queued jobs stay queued.
+        let pool = NdpPool::new(1, 16);
+        let (gate_tx, gate_rx) = bounded::<()>(0);
+        assert!(pool.try_submit(move || {
+            let _ = gate_rx.recv();
+        }));
+        std::thread::sleep(Duration::from_millis(50));
+        pool.set_tenant_quota(2);
+        // Tenant 1 may queue 2 jobs, the 3rd hits its quota…
+        assert_eq!(pool.try_submit_for(1, || {}), Admission::Admitted);
+        assert_eq!(pool.try_submit_for(1, || {}), Admission::Admitted);
+        assert_eq!(pool.try_submit_for(1, || {}), Admission::QuotaExceeded);
+        // …while tenant 2 is unaffected by tenant 1's rejection.
+        assert_eq!(pool.try_submit_for(2, || {}), Admission::Admitted);
+        assert_eq!(pool.quota_rejected.load(Ordering::Relaxed), 1);
+        // Queue-full still wins over quota accounting (global bound).
+        let small = NdpPool::new(1, 1);
+        let (g2_tx, g2_rx) = bounded::<()>(0);
+        assert!(small.try_submit(move || {
+            let _ = g2_rx.recv();
+        }));
+        std::thread::sleep(Duration::from_millis(50));
+        small.set_tenant_quota(10);
+        assert_eq!(small.try_submit_for(3, || {}), Admission::Admitted);
+        assert_eq!(small.try_submit_for(3, || {}), Admission::QueueFull);
+        gate_tx.send(()).unwrap();
+        g2_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn queued_tenants_drain_round_robin() {
+        // One worker held at a gate while two tenants queue: tenant A
+        // floods 4 jobs first, then tenant B adds 2. Fair draining must
+        // interleave B between A's jobs instead of appending B at the end.
+        let pool = NdpPool::new(1, 16);
+        let (gate_tx, gate_rx) = bounded::<()>(0);
+        assert!(pool.try_submit(move || {
+            let _ = gate_rx.recv();
+        }));
+        std::thread::sleep(Duration::from_millis(50));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let push = |who: &'static str, order: &Arc<Mutex<Vec<&'static str>>>| {
+            let order = order.clone();
+            move || order.lock().unwrap().push(who)
+        };
+        for _ in 0..4 {
+            assert_eq!(
+                pool.try_submit_for(1, push("A", &order)),
+                Admission::Admitted
+            );
+        }
+        for _ in 0..2 {
+            assert_eq!(
+                pool.try_submit_for(2, push("B", &order)),
+                Admission::Admitted
+            );
+        }
+        gate_tx.send(()).unwrap();
+        // Wait for the drain.
+        for _ in 0..200 {
+            if order.lock().unwrap().len() == 6 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let got = order.lock().unwrap().clone();
+        assert_eq!(got.len(), 6, "all jobs ran: {got:?}");
+        // B's first job must run before A's flood fully drains.
+        let first_b = got.iter().position(|w| *w == "B").unwrap();
+        assert!(
+            first_b < 2,
+            "tenant B starved behind tenant A's backlog: {got:?}"
+        );
     }
 }

@@ -389,6 +389,7 @@ fn store_end_to_end_batch_with_skip_policy() {
         pages: vec![0, 1, 2, 3],
         read_lsn: 10,
         descriptor: Arc::new(descriptor(None, Some(&pred), None)),
+        tenant: taurus_common::DEFAULT_TENANT,
     };
     let results = ps.serve_ndp_batch(&req).unwrap();
     assert_eq!(results.len(), 4);
@@ -439,6 +440,7 @@ fn batch_without_work_returns_raw_pages() {
         pages: vec![0],
         read_lsn: 5,
         descriptor: Arc::new(descriptor(None, None, None)),
+        tenant: taurus_common::DEFAULT_TENANT,
     };
     let results = ps.serve_ndp_batch(&req).unwrap();
     assert!(matches!(results[0].payload, PagePayload::Raw(_)));

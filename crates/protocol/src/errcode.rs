@@ -21,7 +21,18 @@ pub fn error_code(e: &Error) -> u16 {
         Error::NameResolution(_) => 7,
         Error::Unsupported(_) => 8,
         Error::Internal(_) => 9,
+        Error::Overloaded(_) => 10,
+        Error::DeadlineExceeded(_) => 11,
     }
+}
+
+/// Is a wire code worth an automatic client retry? `Overloaded` (10) and
+/// `DeadlineExceeded` (11) both mean "nothing committed, capacity/time
+/// ran out" — a fresh attempt is safe and often succeeds once load or
+/// the brownout passes. Everything else is deterministic: retrying a
+/// parse error or a missing table yields the same failure.
+pub fn is_retryable(code: u16) -> bool {
+    matches!(code, 10 | 11)
 }
 
 /// Split an error into `(code, client-safe message)` for an error frame.
@@ -35,7 +46,9 @@ pub fn encode_error(e: &Error) -> (u16, String) {
         | Error::InvalidState(m)
         | Error::NameResolution(m)
         | Error::Unsupported(m)
-        | Error::Internal(m) => m.clone(),
+        | Error::Internal(m)
+        | Error::Overloaded(m)
+        | Error::DeadlineExceeded(m) => m.clone(),
     };
     (error_code(e), m)
 }
@@ -55,6 +68,8 @@ pub fn decode_error(code: u16, message: String) -> Error {
         7 => Error::NameResolution(message),
         8 => Error::Unsupported(message),
         9 => Error::Internal(message),
+        10 => Error::Overloaded(message),
+        11 => Error::DeadlineExceeded(message),
         _ => Error::Internal(format!("unknown wire error code {code}: {message}")),
     }
 }
@@ -77,6 +92,8 @@ mod tests {
             Error::NameResolution("r".into()),
             Error::Unsupported("u".into()),
             Error::Internal("x".into()),
+            Error::Overloaded("o".into()),
+            Error::DeadlineExceeded("d".into()),
         ]
     }
 
@@ -84,7 +101,20 @@ mod tests {
     fn codes_are_stable_and_distinct() {
         let codes: Vec<u16> = all_variants().iter().map(error_code).collect();
         // Published contract — these exact numbers, in declaration order.
-        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        // Append-only: codes 1–9 predate the governance variants and must
+        // never shift under them.
+        assert_eq!(codes[..9], [1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn only_governance_codes_are_retryable() {
+        for e in all_variants() {
+            let code = error_code(&e);
+            let expect = matches!(e, Error::Overloaded(_) | Error::DeadlineExceeded(_));
+            assert_eq!(is_retryable(code), expect, "{e:?}");
+        }
+        assert!(!is_retryable(999));
     }
 
     #[test]

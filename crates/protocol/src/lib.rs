@@ -37,7 +37,7 @@ pub mod errcode;
 pub mod message;
 pub mod wire;
 
-pub use errcode::{decode_error, encode_error, error_code};
+pub use errcode::{decode_error, encode_error, error_code, is_retryable};
 pub use message::{
     decode_message, encode_row_batch, read_frame, write_frame, BuilderSpec, ColSel, DmlRequest,
     Message, Opcode, QueryRequest, WireAggFunc, WireExpr, MASTER_NODE, MAX_FRAME, PROTOCOL_VERSION,

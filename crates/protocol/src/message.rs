@@ -32,7 +32,9 @@ pub const MASTER_NODE: u32 = 0;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[repr(u8)]
 pub enum Opcode {
-    /// Client → server, first frame: `client_name: str`.
+    /// Client → server, first frame: `client_name: str, tenant: u32`.
+    /// The tenant id scopes the session's NDP admission quota and
+    /// per-tenant metrics (`0` = the anonymous default tenant).
     Hello = 1,
     /// Server → client handshake reply: `server_name: str, nodes: u32`.
     Welcome = 2,
@@ -439,7 +441,7 @@ pub enum DmlRequest {
 /// A decoded frame.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Message {
-    Hello { client: String },
+    Hello { client: String, tenant: u32 },
     Welcome { server: String, nodes: u32 },
     Query(QueryRequest),
     RowBatch(RowBatch),
@@ -509,7 +511,10 @@ impl Message {
     pub fn encode_payload(&self) -> Vec<u8> {
         let mut buf = Vec::new();
         match self {
-            Message::Hello { client } => put_str(&mut buf, client),
+            Message::Hello { client, tenant } => {
+                put_str(&mut buf, client);
+                put_u32(&mut buf, *tenant);
+            }
             Message::Welcome { server, nodes } => {
                 put_str(&mut buf, server);
                 put_u32(&mut buf, *nodes);
@@ -734,7 +739,10 @@ fn get_dml(cur: &mut Cursor<'_>) -> Result<DmlRequest> {
 pub fn decode_message(op: u8, payload: &[u8]) -> Result<Message> {
     let mut cur = Cursor::new(payload);
     let msg = match Opcode::from_u8(op)? {
-        Opcode::Hello => Message::Hello { client: cur.str()? },
+        Opcode::Hello => Message::Hello {
+            client: cur.str()?,
+            tenant: cur.u32()?,
+        },
         Opcode::Welcome => Message::Welcome {
             server: cur.str()?,
             nodes: cur.u32()?,
@@ -789,7 +797,10 @@ mod tests {
     #[test]
     fn control_messages_roundtrip() {
         for m in [
-            Message::Hello { client: "t".into() },
+            Message::Hello {
+                client: "t".into(),
+                tenant: 12,
+            },
             Message::Welcome {
                 server: "taurus-server/0.1.0".into(),
                 nodes: 3,

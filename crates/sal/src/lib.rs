@@ -15,15 +15,18 @@ pub mod network;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::RwLock;
+use taurus_common::govern::backoff_delay;
 use taurus_common::{
-    ClusterConfig, Error, Lsn, Metrics, PageNo, PageRef, Result, SliceId, SpaceId,
+    ClusterConfig, Error, Lsn, Metrics, PageNo, PageRef, QueryCtx, Result, SliceId, SpaceId,
 };
 use taurus_logstore::LogStore;
 use taurus_page::Page;
 use taurus_pagestore::{
-    NdpBatchRequest, PagePayload, PageResult, PageStore, PageStoreConfig, RedoRecord,
+    FaultPolicy, NdpBatchRequest, PagePayload, PageResult, PageStore, PageStoreConfig, RedoRecord,
+    SkipPolicy,
 };
 
 pub use network::{Direction, Network};
@@ -66,12 +69,41 @@ impl Sal {
             versions_retained: cfg.pagestore_versions_retained,
             ndp_threads: cfg.pagestore_ndp_threads,
             ndp_queue: cfg.pagestore_ndp_queue,
+            ndp_service_us: cfg.pagestore_ndp_service_us,
             descriptor_cache: cfg.ndp.descriptor_cache,
             slice_pages: cfg.slice_pages,
         };
-        let page_stores = (0..cfg.n_page_stores)
+        let page_stores: Vec<Arc<PageStore>> = (0..cfg.n_page_stores)
             .map(|i| PageStore::new(i, ps_cfg.clone(), metrics.clone()))
             .collect();
+        // Governance + fault injection from config/env (`TAURUS_NDP_*`,
+        // `TAURUS_FAULT_*`) applies only to stores the SAL builds —
+        // directly-constructed stores (unit tests) are never faulted.
+        for ps in &page_stores {
+            if cfg.govern.ndp_tenant_quota > 0 {
+                ps.set_ndp_tenant_quota(cfg.govern.ndp_tenant_quota);
+            }
+            if cfg.govern.ndp_force_shed {
+                ps.set_force_shed(true);
+            }
+            if cfg.fault.skip_every_nth > 0 {
+                ps.set_skip_policy(SkipPolicy::EveryNth(cfg.fault.skip_every_nth));
+            }
+        }
+        if let Some(idx) = cfg.fault.store {
+            if let Some(ps) = page_stores.get(idx) {
+                let fault = if cfg.fault.latency_ms > 0 {
+                    FaultPolicy::Latency(Duration::from_millis(cfg.fault.latency_ms))
+                } else if cfg.fault.error_rate > 0 {
+                    FaultPolicy::ErrorRate(cfg.fault.error_rate)
+                } else if cfg.fault.until_lsn > 0 {
+                    FaultPolicy::ErrorUntilLsn(cfg.fault.until_lsn)
+                } else {
+                    FaultPolicy::None
+                };
+                ps.set_fault(fault);
+            }
+        }
         let log_stores = (0..cfg.n_log_stores)
             .map(|i| Arc::new(LogStore::new(i)))
             .collect();
@@ -258,31 +290,79 @@ impl Sal {
     }
 
     /// Regular single-page read (the non-NDP scan path — "a regular InnoDB
-    /// scan does not perform batch reads", §I).
+    /// scan does not perform batch reads", §I). Default query context: the
+    /// anonymous tenant, no deadline.
     pub fn read_page(&self, pref: PageRef, at_lsn: Option<Lsn>) -> Result<Arc<Page>> {
+        self.read_page_ctx(pref, at_lsn, &QueryCtx::new())
+    }
+
+    /// Single-page read under a query context: replica failover inside a
+    /// round, then — for *transient* failures only — up to
+    /// `govern.read_retry_rounds` rounds with jittered exponential backoff
+    /// between them, the whole thing bounded by the context's deadline.
+    /// Every attempted replica is charged identically to the no-retry
+    /// path (request bytes + `net_read_requests`; attempts beyond the
+    /// first count as `read_retries`).
+    pub fn read_page_ctx(
+        &self,
+        pref: PageRef,
+        at_lsn: Option<Lsn>,
+        ctx: &QueryCtx,
+    ) -> Result<Arc<Page>> {
         let slice = self.slice_of(pref.space, pref.page_no);
         let replicas = self.replicas_for(slice)?;
+        let retry = self.retry_policy(*ctx);
         let mut last_err = Error::NotFound(format!("page {pref:?}"));
-        for (attempt, &ps) in replicas.iter().enumerate() {
-            charge_read_attempt(
-                &self.metrics,
-                &self.network,
-                attempt,
-                REQ_HEADER_BYTES + PER_PAGE_ID_BYTES,
-            );
-            match self.page_stores[ps].read_page(slice, pref.page_no, at_lsn) {
-                Ok(p) => {
-                    self.network.transfer(
-                        Direction::FromStorage,
-                        p.byte_len() as u64 + PER_PAGE_RESULT_HEADER,
-                    );
-                    self.metrics.add(|m| &m.pages_shipped_raw, 1);
-                    return Ok(p);
+        let mut attempt = 0usize;
+        for round in 1..=retry.rounds {
+            if round > 1 {
+                check_deadline(&self.metrics, &retry.ctx, "single-page read retry")?;
+                self.backoff_between_rounds(&retry, round, pref.page_no as u64);
+            }
+            for &ps in replicas.iter() {
+                check_deadline(&self.metrics, &retry.ctx, "single-page read")?;
+                charge_read_attempt(
+                    &self.metrics,
+                    &self.network,
+                    attempt,
+                    REQ_HEADER_BYTES + PER_PAGE_ID_BYTES,
+                );
+                attempt += 1;
+                match self.page_stores[ps].read_page(slice, pref.page_no, at_lsn) {
+                    Ok(p) => {
+                        self.network.transfer(
+                            Direction::FromStorage,
+                            p.byte_len() as u64 + PER_PAGE_RESULT_HEADER,
+                        );
+                        self.metrics.add(|m| &m.pages_shipped_raw, 1);
+                        return Ok(p);
+                    }
+                    Err(e) => last_err = e,
                 }
-                Err(e) => last_err = e,
+            }
+            if !is_transient(&last_err) {
+                break;
             }
         }
         Err(last_err)
+    }
+
+    fn retry_policy(&self, ctx: QueryCtx) -> RetryPolicy {
+        RetryPolicy {
+            rounds: self.cfg.govern.read_retry_rounds.max(1),
+            backoff: Duration::from_micros(self.cfg.govern.read_backoff_us),
+            ctx,
+        }
+    }
+
+    /// Jittered exponential backoff before retry round `round` (>= 2),
+    /// metered so starvation under overload is observable.
+    fn backoff_between_rounds(&self, retry: &RetryPolicy, round: u32, seed: u64) {
+        let d = backoff_delay(retry.backoff, round - 1, seed ^ round as u64);
+        if !d.is_zero() {
+            self.metrics.add(|m| &m.read_backoff_waits, 1);
+            std::thread::sleep(d);
+        }
     }
 
     /// NDP batch read (§IV-C4, §VI-2): split by slice, dispatch sub-batches
@@ -295,7 +375,20 @@ impl Sal {
         read_lsn: Lsn,
         descriptor: Arc<Vec<u8>>,
     ) -> Result<Vec<PageResult>> {
-        let mut handle = self.batch_read_streaming(space, pages, read_lsn, descriptor)?;
+        self.batch_read_ctx(space, pages, read_lsn, descriptor, &QueryCtx::new())
+    }
+
+    /// [`Sal::batch_read`] under a query context (tenant attribution,
+    /// deadline, retry rounds).
+    pub fn batch_read_ctx(
+        &self,
+        space: SpaceId,
+        pages: &[PageNo],
+        read_lsn: Lsn,
+        descriptor: Arc<Vec<u8>>,
+        ctx: &QueryCtx,
+    ) -> Result<Vec<PageResult>> {
+        let mut handle = self.batch_read_streaming_ctx(space, pages, read_lsn, descriptor, ctx)?;
         let mut by_page: HashMap<PageNo, PageResult> = HashMap::with_capacity(pages.len());
         while let Some(sub) = handle.recv() {
             for pr in sub? {
@@ -337,6 +430,22 @@ impl Sal {
         read_lsn: Lsn,
         descriptor: Arc<Vec<u8>>,
     ) -> Result<BatchReadHandle> {
+        self.batch_read_streaming_ctx(space, pages, read_lsn, descriptor, &QueryCtx::new())
+    }
+
+    /// [`Sal::batch_read_streaming`] under a query context: sub-batches
+    /// are billed to the context's tenant on the Page-Store side, replica
+    /// failover gains bounded backoff-retry rounds for transient errors,
+    /// and the context's deadline caps the whole dispatch.
+    pub fn batch_read_streaming_ctx(
+        &self,
+        space: SpaceId,
+        pages: &[PageNo],
+        read_lsn: Lsn,
+        descriptor: Arc<Vec<u8>>,
+        ctx: &QueryCtx,
+    ) -> Result<BatchReadHandle> {
+        let retry = self.retry_policy(*ctx);
         // Group into per-slice sub-batches, preserving order within each.
         let mut sub: HashMap<SliceId, Vec<PageNo>> = HashMap::new();
         for &p in pages {
@@ -368,13 +477,18 @@ impl Sal {
                 std::thread::Builder::new()
                     .name(format!("sal-subbatch-{}", slice.seq))
                     .spawn(move || {
+                        let req = NdpBatchRequest {
+                            slice,
+                            pages: nos,
+                            read_lsn,
+                            descriptor,
+                            tenant: retry.ctx.tenant,
+                        };
                         // A panic must surface as this sub-batch's error,
                         // not be swallowed by the handle's join (where it
                         // would masquerade as "page missing from batch").
                         let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            serve_sub_batch(
-                                &stores, slice, nos, read_lsn, descriptor, &network, &metrics,
-                            )
+                            serve_sub_batch(&stores, &req, &network, &metrics, &retry)
                         }))
                         .unwrap_or_else(|panic| {
                             let msg = panic
@@ -413,59 +527,96 @@ fn charge_read_attempt(metrics: &Metrics, network: &Network, attempt: usize, req
     network.transfer(Direction::ToStorage, request_bytes);
 }
 
+/// The read-retry discipline for one query: how many replica-sweep rounds
+/// to run, the base backoff between them, and the query context whose
+/// deadline bounds the whole thing.
+#[derive(Clone, Copy)]
+struct RetryPolicy {
+    rounds: u32,
+    backoff: Duration,
+    ctx: QueryCtx,
+}
+
+/// Is this failure worth another round? Only conditions that can clear on
+/// their own: a down/browned-out store ([`Error::InvalidState`] from
+/// fault injection or a lagging slice) or explicit overload. Everything
+/// else — missing pages, corruption, parse errors — is deterministic and
+/// retrying it just burns the deadline.
+fn is_transient(e: &Error) -> bool {
+    matches!(e, Error::InvalidState(_) | Error::Overloaded(_))
+}
+
 /// Serve one per-slice sub-batch with replica failover: try each store in
 /// the (rotated) replica order, charging the request per attempt, until
-/// one serves it; meter the result bytes of the successful attempt.
+/// one serves it; meter the result bytes of the successful attempt. For
+/// transient failures, sweep the replicas again (up to `retry.rounds`
+/// rounds) after a jittered backoff; the context's deadline cuts the
+/// loop off wherever it stands.
 fn serve_sub_batch(
     stores: &[Arc<PageStore>],
-    slice: SliceId,
-    nos: Vec<PageNo>,
-    read_lsn: Lsn,
-    descriptor: Arc<Vec<u8>>,
+    req: &NdpBatchRequest,
     network: &Network,
     metrics: &Metrics,
+    retry: &RetryPolicy,
 ) -> Result<Vec<PageResult>> {
-    let req = NdpBatchRequest {
-        slice,
-        pages: nos,
-        read_lsn,
-        descriptor,
-    };
+    let request_bytes =
+        REQ_HEADER_BYTES + req.descriptor.len() as u64 + PER_PAGE_ID_BYTES * req.pages.len() as u64;
     let mut last_err = Error::Internal("sub-batch had no replicas".into());
-    for (attempt, store) in stores.iter().enumerate() {
-        charge_read_attempt(
-            metrics,
-            network,
-            attempt,
-            REQ_HEADER_BYTES
-                + req.descriptor.len() as u64
-                + PER_PAGE_ID_BYTES * req.pages.len() as u64,
-        );
-        match store.serve_ndp_batch(&req) {
-            Ok(out) => {
-                let mut bytes = 0u64;
-                for r in &out {
-                    bytes += r.payload.byte_len() as u64 + PER_PAGE_RESULT_HEADER;
-                    match &r.payload {
-                        PagePayload::Ndp(p) => {
-                            if p.page_type() == taurus_page::PageType::NdpEmpty {
-                                metrics.add(|m| &m.pages_shipped_empty, 1);
-                            } else {
-                                metrics.add(|m| &m.pages_shipped_ndp, 1);
+    let mut attempt = 0usize;
+    for round in 1..=retry.rounds.max(1) {
+        if round > 1 {
+            check_deadline(metrics, &retry.ctx, "batch read retry")?;
+            let d = backoff_delay(
+                retry.backoff,
+                round - 1,
+                req.slice.seq as u64 ^ round as u64,
+            );
+            if !d.is_zero() {
+                metrics.add(|m| &m.read_backoff_waits, 1);
+                std::thread::sleep(d);
+            }
+        }
+        for store in stores.iter() {
+            check_deadline(metrics, &retry.ctx, "batch read dispatch")?;
+            charge_read_attempt(metrics, network, attempt, request_bytes);
+            attempt += 1;
+            match store.serve_ndp_batch(req) {
+                Ok(out) => {
+                    let mut bytes = 0u64;
+                    for r in &out {
+                        bytes += r.payload.byte_len() as u64 + PER_PAGE_RESULT_HEADER;
+                        match &r.payload {
+                            PagePayload::Ndp(p) => {
+                                if p.page_type() == taurus_page::PageType::NdpEmpty {
+                                    metrics.add(|m| &m.pages_shipped_empty, 1);
+                                } else {
+                                    metrics.add(|m| &m.pages_shipped_ndp, 1);
+                                }
+                            }
+                            PagePayload::Raw(_) => {
+                                metrics.add(|m| &m.pages_shipped_raw, 1);
                             }
                         }
-                        PagePayload::Raw(_) => {
-                            metrics.add(|m| &m.pages_shipped_raw, 1);
-                        }
                     }
+                    network.transfer(Direction::FromStorage, bytes);
+                    return Ok(out);
                 }
-                network.transfer(Direction::FromStorage, bytes);
-                return Ok(out);
+                Err(e) => last_err = e,
             }
-            Err(e) => last_err = e,
+        }
+        if !is_transient(&last_err) {
+            break;
         }
     }
     Err(last_err)
+}
+
+/// Deadline check that meters expiries (shared by the in-line read path
+/// and the sub-batch dispatch threads).
+fn check_deadline(metrics: &Metrics, ctx: &QueryCtx, what: &str) -> Result<()> {
+    ctx.check(what).inspect_err(|_| {
+        metrics.add(|m| &m.deadline_exceeded, 1);
+    })
 }
 
 /// A streaming batch read in flight: receive completed sub-batches with
@@ -879,6 +1030,98 @@ mod tests {
         assert!(r.is_err(), "no replica left to serve");
         for ps in sal.page_stores() {
             ps.set_poisoned(false);
+        }
+    }
+
+    #[test]
+    fn transient_failures_get_backoff_retry_rounds() {
+        let (m, sal) = populated_sal(20);
+        for ps in sal.page_stores() {
+            ps.set_poisoned(true);
+        }
+        let before = m.snapshot();
+        // Default config: 2 retry rounds. All replicas down with a
+        // transient (InvalidState) error → a second sweep after backoff.
+        let r = sal.read_page(PageRef::new(SpaceId(20), 0), None);
+        assert!(r.is_err());
+        let d = m.snapshot().since(&before);
+        assert_eq!(d.read_backoff_waits, 1, "one backoff between two rounds");
+        assert_eq!(
+            d.net_read_requests, 4,
+            "2 replicas swept twice, every attempt charged"
+        );
+        assert_eq!(d.read_retries, 3, "all attempts after the first");
+        for ps in sal.page_stores() {
+            ps.set_poisoned(false);
+        }
+        // NotFound is deterministic: no second round, no backoff.
+        let before = m.snapshot();
+        let r = sal.read_page(PageRef::new(SpaceId(20), 9999), None);
+        assert!(matches!(r, Err(Error::NotFound(_))));
+        let d = m.snapshot().since(&before);
+        assert_eq!(d.read_backoff_waits, 0, "deterministic errors never retry");
+    }
+
+    #[test]
+    fn expired_deadline_cuts_reads_off_and_is_metered() {
+        let (m, sal) = populated_sal(21);
+        let ctx = QueryCtx::for_tenant(5).with_budget_ms(1);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let r = sal.read_page_ctx(PageRef::new(SpaceId(21), 0), None, &ctx);
+        assert!(matches!(r, Err(Error::DeadlineExceeded(_))), "{r:?}");
+        assert!(m.snapshot().deadline_exceeded >= 1);
+        // The batch path honors the same deadline inside its dispatch.
+        let pages: Vec<PageNo> = (0..12).collect();
+        let r = sal.batch_read_ctx(
+            SpaceId(21),
+            &pages,
+            sal.current_lsn(),
+            no_work_descriptor(),
+            &ctx,
+        );
+        assert!(matches!(r, Err(Error::DeadlineExceeded(_))), "{r:?}");
+        // A fresh unexpired context reads normally.
+        let ctx = QueryCtx::for_tenant(5).with_budget_ms(60_000);
+        assert!(sal
+            .read_page_ctx(PageRef::new(SpaceId(21), 0), None, &ctx)
+            .is_ok());
+    }
+
+    #[test]
+    fn batch_reads_bill_the_context_tenant() {
+        let (m, sal) = populated_sal(22);
+        let ctx = QueryCtx::for_tenant(42);
+        let pages: Vec<PageNo> = (0..12).collect();
+        // Force store-level shed so the tenant's pages_shed counter moves
+        // (a no-work descriptor never submits NDP jobs).
+        for ps in sal.page_stores() {
+            ps.set_force_shed(true);
+        }
+        let desc = Arc::new(
+            NdpDescriptor {
+                index_id: 7,
+                record_dtypes: vec![DataType::BigInt],
+                key_positions: vec![0],
+                projection: Some(vec![0]),
+                predicate_bitcode: None,
+                aggregation: None,
+                low_watermark: 100,
+            }
+            .encode(),
+        );
+        let out = sal
+            .batch_read_ctx(SpaceId(22), &pages, sal.current_lsn(), desc, &ctx)
+            .unwrap();
+        assert_eq!(out.len(), 12);
+        assert!(
+            out.iter().all(|r| matches!(r.payload, PagePayload::Raw(_))),
+            "shed batches ship raw"
+        );
+        let shed = m.tenants.tenant(42).pages_shed.load(Ordering::Relaxed);
+        assert_eq!(shed, 12, "all shed pages billed to tenant 42");
+        assert_eq!(m.snapshot().ps_ndp_shed, 12);
+        for ps in sal.page_stores() {
+            ps.set_force_shed(false);
         }
     }
 

@@ -2,15 +2,15 @@
 //!
 //! All bytes crossing the SAL boundary are metered here — this is the
 //! single source of truth for the paper's "network traffic" axis (Fig. 5,
-//! Fig. 7). Optionally a shared token-bucket bandwidth limiter models the
-//! 25 Gbps NIC of §VII-A: transfers serialize on a shared medium, so a
-//! 32-way parallel raw scan becomes I/O-bound exactly like the paper's
-//! "must each transfer about 950 GB … and bottleneck on I/O".
+//! Fig. 7). Optionally a shared bandwidth limiter models the 25 Gbps NIC
+//! of §VII-A: transfers share a common medium, so a 32-way parallel raw
+//! scan becomes I/O-bound exactly like the paper's "must each transfer
+//! about 950 GB … and bottleneck on I/O".
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use parking_lot::Mutex;
 use taurus_common::{Metrics, NetworkConfig};
 
 /// Transfer direction, for metering.
@@ -20,27 +20,26 @@ pub enum Direction {
     FromStorage,
 }
 
-/// Shared-medium rate limiter: each transfer reserves a slot on the wire
-/// and sleeps until its reservation completes.
+/// Shared-medium rate limiter modelling the NIC as a processor-sharing
+/// queue: every in-flight transfer gets an equal share of the wire, so a
+/// transfer's duration is `bytes / (rate / n)` with `n` the number of
+/// concurrent transfers when it starts. A switched full-duplex NIC
+/// interleaves flows at packet granularity — a FIFO reservation queue
+/// (the previous model) would park a tenant's 4 KB result frame behind
+/// megabytes of another tenant's bulk pages, and that head-of-line
+/// artifact, not real contention, would defeat the admission-control
+/// isolation of §IV-D2.
 struct RateLimiter {
     bytes_per_sec: u64,
-    next_free: Mutex<Instant>,
+    in_flight: AtomicU64,
 }
 
 impl RateLimiter {
     fn acquire(&self, bytes: u64) {
-        let dur = Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec as f64);
-        let end = {
-            let mut nf = self.next_free.lock();
-            let start = (*nf).max(Instant::now());
-            let end = start + dur;
-            *nf = end;
-            end
-        };
-        let now = Instant::now();
-        if end > now {
-            std::thread::sleep(end - now);
-        }
+        let n = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        let dur = Duration::from_secs_f64(bytes as f64 * n as f64 / self.bytes_per_sec as f64);
+        std::thread::sleep(dur);
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -56,7 +55,7 @@ impl Network {
         Arc::new(Network {
             limiter: cfg.bandwidth_bytes_per_sec.map(|b| RateLimiter {
                 bytes_per_sec: b.max(1),
-                next_free: Mutex::new(Instant::now()),
+                in_flight: AtomicU64::new(0),
             }),
             latency: Duration::from_micros(cfg.latency_us),
             metrics,
@@ -81,6 +80,7 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Instant;
 
     #[test]
     fn metering_without_limiter_is_instant() {
@@ -134,5 +134,32 @@ mod tests {
             dt >= Duration::from_millis(150),
             "shared medium not enforced: {dt:?}"
         );
+    }
+
+    #[test]
+    fn small_transfer_is_not_blocked_behind_bulk_stream() {
+        // Processor sharing, not FIFO reservations: while a 500 KB bulk
+        // transfer occupies the 1 MB/s wire (≥500 ms), a concurrent 1 KB
+        // transfer must complete in milliseconds (its fair share), not
+        // wait for the bulk reservation to drain.
+        let m = Metrics::shared();
+        let cfg = NetworkConfig {
+            bandwidth_bytes_per_sec: Some(1_000_000),
+            latency_us: 0,
+        };
+        let net = Network::new(&cfg, m);
+        crossbeam::thread::scope(|s| {
+            s.spawn(|_| net.transfer(Direction::FromStorage, 500_000));
+            // Let the bulk transfer start first.
+            std::thread::sleep(Duration::from_millis(50));
+            let t0 = Instant::now();
+            net.transfer(Direction::FromStorage, 1_000);
+            let dt = t0.elapsed();
+            assert!(
+                dt < Duration::from_millis(100),
+                "small transfer head-of-line blocked behind bulk stream: {dt:?}"
+            );
+        })
+        .unwrap();
     }
 }

@@ -12,7 +12,7 @@ use std::io::{BufReader, BufWriter, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-use taurus_common::{Error, Result, Row, Value};
+use taurus_common::{Error, Result, Row, TenantId, Value, DEFAULT_TENANT};
 use taurus_protocol::{decode_error, BuilderSpec, DmlRequest, Message, QueryRequest};
 
 pub struct Client {
@@ -33,8 +33,15 @@ pub struct QueryReply {
 }
 
 impl Client {
-    /// Connect and handshake.
+    /// Connect and handshake as the anonymous tenant.
     pub fn connect(addr: &str) -> Result<Client> {
+        Client::connect_as(addr, DEFAULT_TENANT)
+    }
+
+    /// Connect and handshake as a named tenant: the server bills this
+    /// session's NDP work (and quota rejections) to `tenant` and breaks
+    /// it out in STATS under `tenant{id}.` lines.
+    pub fn connect_as(addr: &str, tenant: TenantId) -> Result<Client> {
         let stream = TcpStream::connect(addr).map_err(io_err)?;
         let _ = stream.set_nodelay(true);
         let read_half = stream.try_clone().map_err(io_err)?;
@@ -45,6 +52,7 @@ impl Client {
         };
         c.send(&Message::Hello {
             client: format!("taurus-client/{}", env!("CARGO_PKG_VERSION")),
+            tenant,
         })?;
         match c.recv()? {
             Message::Welcome { nodes, .. } => c.nodes = nodes,

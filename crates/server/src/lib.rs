@@ -96,26 +96,64 @@ pub fn tpch_registry() -> PlanRegistry {
 /// connections never mean `max_sessions` concurrent scans.
 pub struct Gate {
     max: usize,
-    held: Mutex<usize>,
+    state: Mutex<GateState>,
     cv: Condvar,
+}
+
+struct GateState {
+    held: usize,
+    waiting: usize,
 }
 
 impl Gate {
     pub fn new(max: usize) -> Gate {
         Gate {
             max: max.max(1),
-            held: Mutex::new(0),
+            state: Mutex::new(GateState {
+                held: 0,
+                waiting: 0,
+            }),
             cv: Condvar::new(),
         }
     }
 
     pub fn acquire(&self) -> GatePermit<'_> {
-        let mut held = self.held.lock().unwrap();
-        while *held >= self.max {
-            held = self.cv.wait(held).unwrap();
+        let mut st = self.state.lock().unwrap();
+        while st.held >= self.max {
+            st = self.cv.wait(st).unwrap();
         }
-        *held += 1;
+        st.held += 1;
         GatePermit { gate: self }
+    }
+
+    /// Queue-depth-aware acquire: block like [`Gate::acquire`], but only
+    /// if fewer than `max_waiting` callers are already parked. Beyond
+    /// that the server is genuinely behind, and queueing deeper only
+    /// converts overload into latency — refuse with the *retryable*
+    /// [`Error::Overloaded`] instead so well-behaved clients back off.
+    pub fn acquire_bounded(&self, max_waiting: usize) -> Result<GatePermit<'_>> {
+        let mut st = self.state.lock().unwrap();
+        if st.held >= self.max {
+            if st.waiting >= max_waiting {
+                return Err(Error::Overloaded(format!(
+                    "query gate saturated: {} executing, {} queued (limit {max_waiting}); \
+                     retry with backoff",
+                    st.held, st.waiting
+                )));
+            }
+            st.waiting += 1;
+            while st.held >= self.max {
+                st = self.cv.wait(st).unwrap();
+            }
+            st.waiting -= 1;
+        }
+        st.held += 1;
+        Ok(GatePermit { gate: self })
+    }
+
+    /// Queued callers right now (for tests and introspection).
+    pub fn waiting(&self) -> usize {
+        self.state.lock().unwrap().waiting
     }
 }
 
@@ -126,9 +164,9 @@ pub struct GatePermit<'a> {
 
 impl Drop for GatePermit<'_> {
     fn drop(&mut self) {
-        let mut held = self.gate.held.lock().unwrap();
-        *held -= 1;
-        drop(held);
+        let mut st = self.gate.state.lock().unwrap();
+        st.held -= 1;
+        drop(st);
         self.gate.cv.notify_one();
     }
 }
@@ -266,10 +304,11 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
     }
 }
 
-/// Answer an over-cap connection with an error frame, then close it.
+/// Answer an over-cap connection with a retryable Overloaded frame,
+/// then close it.
 fn refuse_session(state: &ServerState, stream: TcpStream) {
     state.metrics().add(|m| &m.server_sessions_refused, 1);
-    let e = Error::InvalidState(format!(
+    let e = Error::Overloaded(format!(
         "server at max_sessions ({}); retry later",
         state.cfg.max_sessions
     ));
@@ -305,6 +344,33 @@ mod tests {
             h.join().unwrap();
         }
         assert!(peak.load(Ordering::SeqCst) <= 2, "gate leaked permits");
+    }
+
+    #[test]
+    fn gate_refuses_beyond_queue_depth() {
+        let gate = Arc::new(Gate::new(1));
+        let p1 = gate.acquire();
+        // One caller may park...
+        let waiter = {
+            let gate = gate.clone();
+            std::thread::spawn(move || {
+                let _p = gate
+                    .acquire_bounded(1)
+                    .expect("first waiter fits the queue");
+            })
+        };
+        while gate.waiting() < 1 {
+            std::thread::yield_now();
+        }
+        // ...the next is refused with the retryable Overloaded error.
+        let refused = gate.acquire_bounded(1);
+        assert!(
+            matches!(refused, Err(Error::Overloaded(_))),
+            "expected Overloaded refusal"
+        );
+        drop(refused);
+        drop(p1);
+        waiter.join().unwrap();
     }
 
     #[test]

@@ -14,11 +14,12 @@
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::TcpStream;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use taurus_common::batch::RowBatch;
-use taurus_common::{Error, Lsn, Result};
+use taurus_common::{Error, Lsn, Result, TenantId};
 use taurus_executor::dsl::{ArithOp, CmpOp, ColRef, QExpr};
 use taurus_executor::{Agg, RowStream, Session};
 use taurus_ndp::TaurusDb;
@@ -44,9 +45,11 @@ pub(crate) fn serve_connection(stream: TcpStream, state: &Arc<ServerState>) {
     let mut w = BufWriter::new(stream);
 
     // Handshake: anything but a well-formed Hello is a hang-up — this
-    // peer does not speak the protocol, so no frame would reach it.
-    match Message::read(&mut r) {
-        Ok(Message::Hello { .. }) => {
+    // peer does not speak the protocol, so no frame would reach it. The
+    // Hello's tenant id scopes every query of the session for admission
+    // control and per-tenant accounting.
+    let tenant: TenantId = match Message::read(&mut r) {
+        Ok(Message::Hello { tenant, .. }) => {
             let welcome = Message::Welcome {
                 server: format!("taurus-server/{}", env!("CARGO_PKG_VERSION")),
                 nodes: state.router.nodes() as u32,
@@ -54,9 +57,10 @@ pub(crate) fn serve_connection(stream: TcpStream, state: &Arc<ServerState>) {
             if write_flush(&mut w, &welcome).is_err() {
                 return;
             }
+            tenant
         }
         _ => return,
-    }
+    };
 
     // Read-your-LSN stickiness bound: monotone over the connection's
     // committed writes, 0 until the first write.
@@ -79,9 +83,22 @@ pub(crate) fn serve_connection(stream: TcpStream, state: &Arc<ServerState>) {
         let io = match msg {
             Message::Query(req) => {
                 state.metrics().add(|m| &m.server_queries, 1);
-                let _permit = state.gate.acquire();
-                let (db, node) = state.router.route_read(last_commit_lsn);
-                serve_query_on(state, &mut w, &req, db, node)
+                state
+                    .metrics()
+                    .tenants
+                    .tenant(tenant)
+                    .queries
+                    .fetch_add(1, Ordering::Relaxed);
+                match state.gate.acquire_bounded(state.cfg.gate_queue_depth) {
+                    Ok(_permit) => {
+                        let (db, node) = state.router.route_read(last_commit_lsn);
+                        serve_query_on(state, &mut w, &req, db, node, tenant)
+                    }
+                    Err(e) => {
+                        state.metrics().add(|m| &m.server_overload_refused, 1);
+                        send_error(state, &mut w, &e)
+                    }
+                }
             }
             Message::Dml(d) => serve_dml(state, &mut w, d, &mut last_commit_lsn),
             Message::Stats => write_flush(&mut w, &Message::StatsText(stats_text(state))),
@@ -109,13 +126,22 @@ pub(crate) fn serve_query_on<W: Write>(
     req: &QueryRequest,
     db: Arc<TaurusDb>,
     node: u32,
+    tenant: TenantId,
 ) -> std::io::Result<()> {
-    match prepare(state, &db, req) {
-        Ok(ready) => send_ready(state, w, ready, node),
+    // One execution deadline for the whole response, stamped before plan
+    // build: `session_read_timeout_ms` bounds query execution too, so a
+    // browned-out Page Store cannot stall a session past the same budget
+    // that already bounds socket reads. The session's per-query budget
+    // makes scans fail fast; the send loop double-checks between batches
+    // and cancels the producer (RowStream drop) on expiry.
+    let deadline = (state.cfg.session_read_timeout_ms > 0)
+        .then(|| Instant::now() + Duration::from_millis(state.cfg.session_read_timeout_ms));
+    match prepare(state, &db, req, tenant) {
+        Ok(ready) => send_ready(state, w, ready, node, deadline),
         Err(_) if node != MASTER_NODE => {
             state.metrics().add(|m| &m.server_failovers, 1);
-            match prepare(state, &state.router.master_db(), req) {
-                Ok(ready) => send_ready(state, w, ready, MASTER_NODE),
+            match prepare(state, &state.router.master_db(), req, tenant) {
+                Ok(ready) => send_ready(state, w, ready, MASTER_NODE, deadline),
                 Err(e) => send_error(state, w, &e),
             }
         }
@@ -134,7 +160,20 @@ enum Ready {
     Row(Option<taurus_common::Row>),
 }
 
-fn prepare(state: &ServerState, db: &Arc<TaurusDb>, req: &QueryRequest) -> Result<Ready> {
+fn prepare(
+    state: &ServerState,
+    db: &Arc<TaurusDb>,
+    req: &QueryRequest,
+    tenant: TenantId,
+) -> Result<Ready> {
+    // Every serving session runs under the connection's tenant and the
+    // server's execution budget: scans bill the tenant on the Page-Store
+    // side and stop with DeadlineExceeded instead of stalling.
+    let governed = |db: &Arc<TaurusDb>| {
+        let mut s = Session::new(db).with_tenant(tenant);
+        s.set_query_budget_ms(state.cfg.session_read_timeout_ms);
+        s
+    };
     match req {
         QueryRequest::Named { name, pq } => {
             // stream_plan has no serveability gate of its own; refuse
@@ -147,16 +186,16 @@ fn prepare(state: &ServerState, db: &Arc<TaurusDb>, req: &QueryRequest) -> Resul
                 ))
             })?;
             let plan = plan_fn(db, pq.map(|d| d as usize))?;
-            let session = Session::new(db);
+            let session = governed(db);
             first_batch(session.stream_plan(plan))
         }
         QueryRequest::Builder(spec) => {
-            let mut session = Session::new(db);
+            let mut session = governed(db);
             session.set_ndp(spec.ndp);
             first_batch(builder_stream(&session, spec)?)
         }
         QueryRequest::Lookup { table, pk } => {
-            let session = Session::new(db);
+            let session = governed(db);
             Ok(Ready::Row(session.lookup(table, pk)?))
         }
     }
@@ -310,12 +349,15 @@ fn arith_op(b: u8) -> Result<ArithOp> {
 }
 
 /// Stream a prepared response out: RowBatch frames, then EndOfStream —
-/// or an Error frame as the terminator if the scan fails mid-way.
+/// or an Error frame as the terminator if the scan fails mid-way or the
+/// execution deadline expires between batches (returning early drops
+/// the [`RowStream`], which cancels the producing scan).
 fn send_ready<W: Write>(
     state: &ServerState,
     w: &mut W,
     ready: Ready,
     node: u32,
+    deadline: Option<Instant>,
 ) -> std::io::Result<()> {
     Router::count_route(state.metrics(), node);
     let mut rows = 0u64;
@@ -336,6 +378,20 @@ fn send_ready<W: Write>(
                 rows += b.len() as u64;
                 batches += 1;
                 write_batch(state, w, &b)?;
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    // Budget burned (e.g. by a slow client sink): answer
+                    // with the retryable deadline error and drop `rest`
+                    // on return, cancelling the producing scan.
+                    state.metrics().add(|m| &m.deadline_exceeded, 1);
+                    return send_error(
+                        state,
+                        w,
+                        &Error::DeadlineExceeded(format!(
+                            "query execution exceeded session_read_timeout_ms ({} ms)",
+                            state.cfg.session_read_timeout_ms
+                        )),
+                    );
+                }
                 next = match rest.next_batch() {
                     Some(Ok(b)) => Some(b),
                     Some(Err(e)) => {
@@ -486,7 +542,15 @@ mod tests {
         replica.detach();
         let mut out = Vec::new();
         let req = QueryRequest::Builder(BuilderSpec::table("t"));
-        serve_query_on(&state, &mut out, &req, replica_db, 1).unwrap();
+        serve_query_on(
+            &state,
+            &mut out,
+            &req,
+            replica_db,
+            1,
+            taurus_common::DEFAULT_TENANT,
+        )
+        .unwrap();
 
         let frames = decode_frames(&out);
         let Some(Message::EndOfStream { rows, node, .. }) = frames.last() else {
@@ -507,7 +571,15 @@ mod tests {
         let mut out = Vec::new();
         let req = QueryRequest::Builder(BuilderSpec::table("no_such_table"));
         let (db, node) = state.router.route_read(0);
-        serve_query_on(&state, &mut out, &req, db, node).unwrap();
+        serve_query_on(
+            &state,
+            &mut out,
+            &req,
+            db,
+            node,
+            taurus_common::DEFAULT_TENANT,
+        )
+        .unwrap();
         let frames = decode_frames(&out);
         assert_eq!(frames.len(), 1);
         let Message::Error { code, message } = &frames[0] else {
@@ -533,7 +605,15 @@ mod tests {
         spec.order = vec![(0, true)];
         let mut out = Vec::new();
         let (db, node) = state.router.route_read(0);
-        serve_query_on(&state, &mut out, &QueryRequest::Builder(spec), db, node).unwrap();
+        serve_query_on(
+            &state,
+            &mut out,
+            &QueryRequest::Builder(spec),
+            db,
+            node,
+            taurus_common::DEFAULT_TENANT,
+        )
+        .unwrap();
         let frames = decode_frames(&out);
         let rows: Vec<_> = frames
             .iter()

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use taurus_common::schema::Row;
 use taurus_common::{ClusterConfig, Value};
 use taurus_ndp::TaurusDb;
-use taurus_pagestore::SkipPolicy;
+use taurus_pagestore::{FaultPolicy, SkipPolicy};
 use taurus_tpch::{load, micro_queries, tpch_queries};
 
 const SF: f64 = 0.002;
@@ -121,6 +121,57 @@ fn queries_survive_forced_ndp_skips() {
     }
     for ps in on.sal().page_stores() {
         ps.set_skip_policy(SkipPolicy::None);
+    }
+}
+
+/// The governance PR's correctness gate: results must stay byte-equal
+/// under *compound* degradation — every store skipping NDP for every
+/// other page (`EveryNth(2)`), store-level shed forced on (whole batches
+/// degrade to raw page reads), and one store browned out with injected
+/// latency — at both a pathological (1) and a large (1024) scan batch
+/// size. Degraded modes may only move work, never change answers.
+#[test]
+fn queries_survive_compound_degradation() {
+    for batch_rows in [1usize, 1024] {
+        let mut cfg = ClusterConfig::default();
+        cfg.buffer_pool_pages = 256;
+        cfg.slice_pages = 32;
+        cfg.ndp.enabled = true;
+        cfg.ndp.min_io_pages = 8;
+        cfg.ndp.max_pages_look_ahead = 64;
+        cfg.scan_batch_rows = batch_rows;
+        let db = TaurusDb::new(cfg);
+        load(&db, SF, 7).unwrap();
+
+        let reference: Vec<Vec<String>> = tpch_queries()
+            .iter()
+            .map(|q| fmt_rows(&(q.run)(&db, None).unwrap()))
+            .collect();
+
+        let stores = db.sal().page_stores();
+        for ps in stores {
+            ps.set_skip_policy(SkipPolicy::EveryNth(2));
+            ps.set_force_shed(true);
+        }
+        stores[0].set_fault(FaultPolicy::Latency(std::time::Duration::from_millis(1)));
+        db.buffer_pool().clear();
+
+        for (q, expect) in tpch_queries().iter().zip(&reference) {
+            let got = fmt_rows(
+                &(q.run)(&db, None)
+                    .unwrap_or_else(|e| panic!("{} (batch {batch_rows}, degraded): {e}", q.name)),
+            );
+            assert_eq!(
+                &got, expect,
+                "{}: mismatch under compound degradation (batch {batch_rows})",
+                q.name
+            );
+        }
+        // The degraded modes actually engaged: shed pages were billed.
+        assert!(
+            db.metrics().snapshot().ps_ndp_shed > 0,
+            "forced shed never triggered (batch {batch_rows})"
+        );
     }
 }
 

@@ -329,8 +329,9 @@ fn client_drop_mid_stream_cancels_the_scan() {
     }
 }
 
-/// `server.max_sessions`: connection N+1 is refused with a structured
-/// error naming the limit, and the slot frees once a session ends.
+/// `server.max_sessions`: connection N+1 is refused with the *retryable*
+/// Overloaded error naming the limit, and the slot frees once a session
+/// ends.
 #[test]
 fn sessions_beyond_the_cap_are_refused_until_one_frees() {
     let mut cfg = ephemeral(ClusterConfig::small_for_tests());
@@ -344,8 +345,8 @@ fn sessions_beyond_the_cap_are_refused_until_one_frees() {
     let c1 = Client::connect(&addr).unwrap();
     let mut c2 = Client::connect(&addr).unwrap();
     match Client::connect(&addr) {
-        Err(Error::InvalidState(m)) => assert!(m.contains("max_sessions"), "{m}"),
-        Err(other) => panic!("expected InvalidState, got {other:?}"),
+        Err(Error::Overloaded(m)) => assert!(m.contains("max_sessions"), "{m}"),
+        Err(other) => panic!("expected Overloaded, got {other:?}"),
         Ok(_) => panic!("third connection must be refused"),
     }
     assert!(db.metrics().snapshot().server_sessions_refused >= 1);
