@@ -23,16 +23,34 @@
 //!   the consumer; few rows cross, the per-record work dominates.
 //!
 //! Run with `cargo bench --bench ablation_row_batch`. The final JSON
-//! block is what `BENCH_row_batch.json` at the repo root records.
+//! blocks are what `BENCH_row_batch.json` and `BENCH_columnar.json` at
+//! the repo root record.
+//!
+//! The columnar extension measures two layers:
+//!
+//! * **filter kernel**: one Q6-shaped predicate over an in-memory
+//!   64k-row batch — `eval_pred` per row (row-major) vs one
+//!   `VectorProgram::eval_batch` (column-at-a-time). This isolates the
+//!   expression-evaluation win from pipeline plumbing.
+//! * **pipeline**: the same three workload shapes end-to-end under
+//!   `BatchLayout::Row` vs `BatchLayout::Columnar` — full scan (column
+//!   materialization + boundary conversion, no filter win available),
+//!   selective filter (selection vectors carry the win), and the
+//!   Q1-style aggregation (filter columnar, breaker converts to rows).
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use criterion::{black_box, Criterion};
 use taurus_bench::{header, setup};
-use taurus_common::ClusterConfig;
+use taurus_common::schema::Row;
+use taurus_common::{BatchLayout, ClusterConfig, ColumnBatch, DataType, Date32, Dec, Value};
 use taurus_executor::Session;
+use taurus_expr::ast::Expr;
+use taurus_expr::eval::eval_pred;
+use taurus_expr::vector::VectorProgram;
 use taurus_ndp::TaurusDb;
+use taurus_tpch::tpch_queries;
 
 const SF: f64 = 0.01;
 const BATCH_SIZES: [usize; 5] = [1, 64, 256, 1024, 4096];
@@ -98,6 +116,91 @@ fn measure(db: &Arc<TaurusDb>, f: impl Fn(&Arc<TaurusDb>) -> usize) -> (usize, f
     (rows, times[times.len() / 2])
 }
 
+/// Median wall time (ms) of a free-standing closure over `SAMPLES` runs.
+fn median_ms(mut f: impl FnMut() -> usize) -> (usize, f64) {
+    let mut times: Vec<f64> = Vec::with_capacity(SAMPLES);
+    let mut n = 0usize;
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        n = black_box(f());
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    (n, times[times.len() / 2])
+}
+
+/// Q1's full run (filter → wide aggregation → sort) through the public
+/// query entry point — the aggregation breaker converts columns to rows.
+fn drain_q1(db: &Arc<TaurusDb>) -> usize {
+    let q1 = tpch_queries()
+        .into_iter()
+        .find(|q| q.name == "Q1")
+        .expect("Q1 present");
+    (q1.run)(db, None).unwrap().len()
+}
+
+const KERNEL_ROWS: usize = 64 * 1024;
+
+/// Deterministic Q6-shaped rows: (quantity Dec(2), discount Dec(2),
+/// shipdate Date). Selectivity lands around 4 %, like the real Q6.
+fn kernel_rows() -> Vec<Row> {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..KERNEL_ROWS)
+        .map(|_| {
+            vec![
+                Value::Decimal(Dec::new((next() % 5_000) as i128, 2)),
+                Value::Decimal(Dec::new((next() % 11) as i128, 2)),
+                Value::Date(Date32(8_400 + (next() % 1_200) as i32)),
+            ]
+        })
+        .collect()
+}
+
+fn kernel_predicate() -> Expr {
+    Expr::and(vec![
+        Expr::ge(Expr::col(2), Expr::date("1994-01-01")),
+        Expr::lt(Expr::col(2), Expr::date("1995-01-01")),
+        Expr::between(Expr::col(1), Expr::dec("0.05"), Expr::dec("0.07")),
+        Expr::lt(Expr::col(0), Expr::dec("24.00")),
+    ])
+}
+
+/// (survivors, scalar median ms, vector median ms).
+fn bench_filter_kernel() -> (usize, f64, f64) {
+    let rows = kernel_rows();
+    let pred = kernel_predicate();
+    let dtypes = [
+        DataType::Decimal {
+            precision: 15,
+            scale: 2,
+        },
+        DataType::Decimal {
+            precision: 15,
+            scale: 2,
+        },
+        DataType::Date,
+    ];
+    let mut cb = ColumnBatch::with_capacity(&dtypes, KERNEL_ROWS);
+    for r in &rows {
+        cb.push_row(r.iter().cloned());
+    }
+    let vp = VectorProgram::from_expr(&pred).expect("Q6 shape vectorizes");
+    let (scalar_n, scalar_ms) = median_ms(|| {
+        rows.iter()
+            .filter(|r| eval_pred(&pred, r).unwrap() == Some(true))
+            .count()
+    });
+    let (vector_n, vector_ms) = median_ms(|| vp.eval_batch(&cb).unwrap().count_true());
+    assert_eq!(scalar_n, vector_n, "kernel parity");
+    (vector_n, scalar_ms, vector_ms)
+}
+
 fn main() {
     header("Ablation: scan-result batch size (ClusterConfig::scan_batch_rows)");
     println!(
@@ -157,5 +260,63 @@ fn main() {
         "  \"speedup_selective_scan_1024_vs_1\": {:.2}",
         b_sel / k_sel
     );
+    println!("}}");
+
+    // ------- columnar extension: row-major vs column-at-a-time -------
+    header("Ablation: batch layout (row-major vs columnar, batch = 1024)");
+    let (survivors, scalar_ms, vector_ms) = bench_filter_kernel();
+    println!(
+        "filter kernel ({KERNEL_ROWS} rows, {survivors} survive): scalar {scalar_ms:.2} ms, \
+         vector {vector_ms:.2} ms ({:.2}x)",
+        scalar_ms / vector_ms
+    );
+    println!(
+        "{:>16} {:>12} {:>12} {:>12} {:>10}",
+        "workload", "rows", "row ms", "columnar ms", "speedup"
+    );
+    let mut layout_json: Vec<String> = Vec::new();
+    let workloads: [(&str, fn(&Arc<TaurusDb>) -> usize); 3] = [
+        ("full_scan", drain_full),
+        ("selective_filter", drain_selective),
+        ("q1_agg", drain_q1),
+    ];
+    let mut cfg_row = pipeline_config(1024);
+    cfg_row.batch_layout = BatchLayout::Row;
+    let mut cfg_col = pipeline_config(1024);
+    cfg_col.batch_layout = BatchLayout::Columnar;
+    let row_db = setup(SF, cfg_row);
+    let col_db = setup(SF, cfg_col);
+    for (name, f) in workloads {
+        f(&row_db); // warm both pools
+        f(&col_db);
+        let (row_rows, row_ms) = measure(&row_db, f);
+        let (col_rows, col_ms) = measure(&col_db, f);
+        assert_eq!(row_rows, col_rows, "{name}: layout parity");
+        println!(
+            "{name:>16} {row_rows:>12} {row_ms:>12.1} {col_ms:>12.1} {:>9.2}x",
+            row_ms / col_ms
+        );
+        layout_json.push(format!(
+            "    {{\"workload\": \"{name}\", \"rows_out\": {row_rows}, \"row_median_ms\": {row_ms:.2}, \
+             \"columnar_median_ms\": {col_ms:.2}, \"speedup\": {:.2}}}",
+            row_ms / col_ms
+        ));
+    }
+    println!();
+    println!("--- BENCH_columnar.json ---");
+    println!("{{");
+    println!("  \"bench\": \"ablation_row_batch (columnar extension)\",");
+    println!("  \"workload\": \"TPC-H lineitem SF {SF}, batch 1024, warm buffer pool; kernel: {KERNEL_ROWS}-row Q6-shaped batch\",");
+    println!("  \"samples_per_point\": {SAMPLES},");
+    println!("  \"filter_kernel\": {{");
+    println!("    \"rows\": {KERNEL_ROWS},");
+    println!("    \"survivors\": {survivors},");
+    println!("    \"scalar_median_ms\": {scalar_ms:.3},");
+    println!("    \"vector_median_ms\": {vector_ms:.3},");
+    println!("    \"speedup\": {:.2}", scalar_ms / vector_ms);
+    println!("  }},");
+    println!("  \"pipeline\": [");
+    println!("{}", layout_json.join(",\n"));
+    println!("  ]");
     println!("}}");
 }

@@ -3,11 +3,14 @@
 //! This crate holds everything the rest of the workspace agrees on:
 //! SQL values and data types ([`value`]), table schemas and key encoding
 //! ([`schema`]), the row batches of the vectorized result pipeline
-//! ([`batch`]), error handling ([`error`]), engine/cluster configuration
+//! ([`batch`]) and their column-major counterpart with validity bitmaps
+//! and selection vectors ([`colbatch`]), error handling ([`error`]),
+//! engine/cluster configuration
 //! ([`config`]) and the metrics registry used to reproduce the paper's
 //! network/CPU measurements ([`metrics`]).
 
 pub mod batch;
+pub mod colbatch;
 pub mod config;
 pub mod error;
 pub mod govern;
@@ -17,8 +20,10 @@ pub mod schema;
 pub mod value;
 
 pub use batch::{RowBatch, RowBatchIter};
+pub use colbatch::{Batch, Bitmap, ColumnBatch, ColumnVec};
 pub use config::{
-    ClusterConfig, FaultConfig, GovernConfig, NdpConfig, NetworkConfig, ReplicaConfig, ServerConfig,
+    BatchLayout, ClusterConfig, FaultConfig, GovernConfig, NdpConfig, NetworkConfig, ReplicaConfig,
+    ServerConfig,
 };
 pub use error::{Error, Result};
 pub use govern::{QueryCtx, TenantId, DEFAULT_TENANT};

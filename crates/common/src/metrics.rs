@@ -260,6 +260,14 @@ metrics_struct! {
     /// Server: queries refused with the retryable `Overloaded` error
     /// because the worker-permit gate's wait queue was full.
     server_overload_refused,
+    /// Executor: physical rows evaluated by the column-at-a-time
+    /// (vectorized) predicate path — Filter operators, scan residuals
+    /// and Page-Store NDP pushdown all charge it.
+    vector_eval_rows,
+    /// Executor: selectivity of the most recent vectorized filter, as
+    /// the percentage of a batch's physical rows that survived (set
+    /// absolutely per batch — a gauge, not an accumulating counter).
+    selection_density_pct,
 }
 
 /// Per-tenant governance counters: who is consuming NDP admission and

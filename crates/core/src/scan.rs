@@ -29,12 +29,16 @@
 //! engine are unaware of NDP processing".
 //!
 //! Delivery is **batch-at-a-time**: surviving rows accumulate into one
-//! reusable [`RowBatch`] (`ClusterConfig::scan_batch_rows`, default 1024)
-//! that is flushed to [`ScanConsumer::on_batch`] at capacity and at page
-//! boundaries — so page frames are still released as soon as a page
-//! drains, and nothing downstream pays a per-row hand-off. Aggregate
-//! partials force a flush first, keeping them ordered right after their
-//! carrier row.
+//! reusable batch (`ClusterConfig::scan_batch_rows`, default 1024) that
+//! is flushed to the consumer at capacity and at page boundaries — so
+//! page frames are still released as soon as a page drains, and nothing
+//! downstream pays a per-row hand-off. Under
+//! `ClusterConfig::batch_layout = Columnar` the batch is a column-major
+//! [`ColumnBatch`] (typed vectors + validity bitmaps) flushed through
+//! [`ScanConsumer::on_col_batch`]; otherwise it is the classical
+//! [`RowBatch`] through [`ScanConsumer::on_batch`]. Aggregate partials
+//! force a flush first, keeping them ordered right after their carrier
+//! row.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -42,7 +46,9 @@ use std::time::Instant;
 
 use taurus_btree::{ScanRange, TreeStore};
 use taurus_bufferpool::{BufferPool, NdpFrameGuard};
-use taurus_common::{Error, Metrics, PageNo, QueryCtx, Result, RowBatch, Value};
+use taurus_common::{
+    BatchLayout, ColumnBatch, DataType, Error, Metrics, PageNo, QueryCtx, Result, RowBatch, Value,
+};
 use taurus_expr::agg::{AggSpec, AggState};
 use taurus_expr::ast::Expr;
 use taurus_expr::descriptor::{NdpAggSpec, NdpDescriptor};
@@ -122,6 +128,14 @@ pub trait ScanConsumer {
             }
         }
         Ok(true)
+    }
+
+    /// A column-major batch (`ClusterConfig::batch_layout = Columnar`).
+    /// The default gathers to row-major and delegates, so layout-blind
+    /// consumers keep working unchanged; hot consumers override this to
+    /// evaluate column-at-a-time without materializing rows.
+    fn on_col_batch(&mut self, batch: &ColumnBatch) -> Result<bool> {
+        self.on_batch(&batch.to_row_batch())
     }
 
     /// Partial aggregate states attached to the just-delivered carrier row.
@@ -255,12 +269,57 @@ struct ScanCtx<'a> {
     pred_record: Option<Expr>,
 }
 
+/// The reusable output batch in whichever layout the cluster config
+/// selected. Both variants share the push/flush/clear lifecycle; only
+/// the flush call site dispatches differently.
+enum OutBatch {
+    Row(RowBatch),
+    Col(ColumnBatch),
+}
+
+impl OutBatch {
+    fn push_row(&mut self, row: impl IntoIterator<Item = Value>) {
+        match self {
+            OutBatch::Row(b) => b.push_row(row),
+            OutBatch::Col(b) => b.push_row(row),
+        }
+    }
+
+    fn is_full(&self) -> bool {
+        match self {
+            OutBatch::Row(b) => b.is_full(),
+            OutBatch::Col(b) => b.is_full(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            OutBatch::Row(b) => b.is_empty(),
+            OutBatch::Col(b) => b.is_empty(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            OutBatch::Row(b) => b.len(),
+            OutBatch::Col(b) => b.len(),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            OutBatch::Row(b) => b.clear(),
+            OutBatch::Col(b) => b.clear(),
+        }
+    }
+}
+
 /// The mutable side of a scan: statistics plus the one reusable output
 /// batch. Kept apart from [`ScanCtx`] so delivery can mutate it while
 /// record views still borrow the context's layouts.
 struct ScanState {
     stats: ScanStats,
-    batch: RowBatch,
+    batch: OutBatch,
 }
 
 impl<'a> ScanCtx<'a> {
@@ -328,12 +387,26 @@ impl<'a> ScanCtx<'a> {
     }
 
     fn fresh_state(&self) -> ScanState {
+        let capacity = self.db.config().scan_batch_rows.max(1);
+        let batch = match self.db.config().batch_layout {
+            BatchLayout::Row => {
+                OutBatch::Row(RowBatch::with_capacity(self.out_pos.len(), capacity))
+            }
+            BatchLayout::Columnar => {
+                // Output column types come from the leaf layout at the
+                // delivered positions — NDP-projected rows decode to the
+                // same logical types, so one builder serves both paths.
+                let dtypes: Vec<DataType> = self
+                    .out_pos
+                    .iter()
+                    .map(|&p| self.layout().dtypes[p])
+                    .collect();
+                OutBatch::Col(ColumnBatch::with_capacity(&dtypes, capacity))
+            }
+        };
         ScanState {
             stats: ScanStats::default(),
-            batch: RowBatch::with_capacity(
-                self.out_pos.len(),
-                self.db.config().scan_batch_rows.max(1),
-            ),
+            batch,
         }
     }
 
@@ -380,7 +453,10 @@ impl<'a> ScanCtx<'a> {
             .metrics()
             .add(|m| &m.rows_batched, state.batch.len() as u64);
         self.db.metrics().add(|m| &m.batches_emitted, 1);
-        let keep_going = consumer.on_batch(&state.batch)?;
+        let keep_going = match &state.batch {
+            OutBatch::Row(b) => consumer.on_batch(b)?,
+            OutBatch::Col(b) => consumer.on_col_batch(b)?,
+        };
         state.batch.clear();
         Ok(keep_going)
     }

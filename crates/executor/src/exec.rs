@@ -59,6 +59,7 @@ pub fn execute(plan: &Plan, ctx: &ExecContext<'_>) -> Result<Vec<Row>> {
         root.open()?;
         let mut out: Vec<Row> = Vec::new();
         while let Some(batch) = root.next_batch()? {
+            let batch = batch.into_row_batch();
             out.reserve(batch.len());
             out.extend(batch.into_rows());
         }
@@ -412,12 +413,33 @@ impl StreamAggConsumer<'_> {
 }
 
 impl ScanConsumer for StreamAggConsumer<'_> {
-    // Batches arrive through the trait's default `on_batch`, which
-    // unbatches into `on_row` with static (monomorphized) calls. The scan
-    // flushes its batch before any `on_partial`, so the carrier row is
-    // always in `current` by the time partials arrive.
+    // The scan flushes its batch before any `on_partial`, so the carrier
+    // row is always in `current` by the time partials arrive.
     fn on_row(&mut self, row: &[Value]) -> Result<bool> {
         self.accept(row)?;
+        Ok(true)
+    }
+
+    fn on_batch(&mut self, batch: &RowBatch) -> Result<bool> {
+        for row in batch.rows() {
+            self.accept(row)?;
+        }
+        Ok(true)
+    }
+
+    // Columnar batches aggregate straight off the column vectors —
+    // `value_at` gathers one cell at a time, no RowBatch is ever built.
+    fn on_col_batch(&mut self, batch: &taurus_common::ColumnBatch) -> Result<bool> {
+        let mut row: Row = Vec::with_capacity(batch.width());
+        let indices: Vec<u32> = match batch.selection() {
+            Some(sel) => sel.to_vec(),
+            None => (0..batch.len() as u32).collect(),
+        };
+        for i in indices {
+            row.clear();
+            row.extend((0..batch.width()).map(|c| batch.value_at(c, i as usize)));
+            self.accept(&row)?;
+        }
         Ok(true)
     }
 

@@ -4,7 +4,7 @@
 //! and re-emits in batches. Group output order is the encoded-group-key
 //! order, exactly as the Volcano path always produced.
 
-use taurus_common::{Result, RowBatch};
+use taurus_common::{Batch, Result};
 use taurus_optimizer::plan::HashAggNode;
 
 use super::{charge_emit, BatchEmitter, BoxOp, Operator};
@@ -44,11 +44,14 @@ impl Operator for HashAggOp<'_, '_> {
         }
     }
 
-    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
         if self.out.is_none() {
             let mut acc = HashAggAcc::new(self.node);
             if let Some(child) = &mut self.child {
                 while let Some(b) = child.next_batch()? {
+                    // Pipeline breaker: resolve any selection to dense
+                    // rows at the consumption boundary.
+                    let b = b.into_row_batch();
                     for row in b.rows() {
                         acc.update(row)?;
                     }
@@ -62,6 +65,7 @@ impl Operator for HashAggOp<'_, '_> {
         }
         match self.out.as_mut().and_then(BatchEmitter::next_batch) {
             Some(b) => {
+                let b = Batch::Row(b);
                 charge_emit(self.ctx.db, &b);
                 Ok(Some(b))
             }

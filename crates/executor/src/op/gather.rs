@@ -6,7 +6,7 @@
 //! merge cannot begin until every worker finishes — so the materialized
 //! hand-off here is the same one the worker protocol always had.
 
-use taurus_common::{Result, RowBatch};
+use taurus_common::{Batch, Result};
 use taurus_optimizer::plan::ExchangeNode;
 
 use super::{charge_emit, BatchEmitter, Operator};
@@ -40,9 +40,10 @@ impl Operator for GatherOp<'_> {
         Ok(())
     }
 
-    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
         match self.out.as_mut().and_then(BatchEmitter::next_batch) {
             Some(b) => {
+                let b = Batch::Row(b);
                 charge_emit(self.ctx.db, &b);
                 Ok(Some(b))
             }

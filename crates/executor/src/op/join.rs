@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 
 use taurus_common::schema::Row;
-use taurus_common::{Result, RowBatch, Value};
+use taurus_common::{Batch, Result, RowBatch, Value};
 use taurus_optimizer::plan::{HashJoinNode, JoinType, LookupJoinNode};
 
 use super::{charge_emit, BoxOp, Operator};
@@ -56,6 +56,8 @@ impl<'r, 'env> HashJoinOp<'r, 'env> {
         }
         if let Some(right) = &mut self.right {
             while let Some(b) = right.next_batch()? {
+                // Build side materializes: selections resolve to rows.
+                let b = b.into_row_batch();
                 self.right_rows.reserve(b.len());
                 self.right_rows.extend(b.into_rows());
             }
@@ -95,7 +97,7 @@ impl Operator for HashJoinOp<'_, '_> {
         Ok(())
     }
 
-    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
         self.build_side()?;
         loop {
             let Some(left) = &mut self.left else {
@@ -107,6 +109,7 @@ impl Operator for HashJoinOp<'_, '_> {
                 }
                 return Ok(None);
             };
+            let b = b.into_row_batch();
             let out_width = match self.node.join {
                 JoinType::Inner | JoinType::LeftOuter => b.width() + self.right_width,
                 JoinType::Semi | JoinType::Anti => b.width(),
@@ -160,6 +163,7 @@ impl Operator for HashJoinOp<'_, '_> {
                 }
             }
             if !out.is_empty() {
+                let out = Batch::Row(out);
                 charge_emit(self.ctx.db, &out);
                 return Ok(Some(out));
             }
@@ -215,7 +219,7 @@ impl Operator for LookupJoinOp<'_, '_> {
         }
     }
 
-    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
         let probe = self
             .probe
             .as_ref()
@@ -230,6 +234,7 @@ impl Operator for LookupJoinOp<'_, '_> {
                 }
                 return Ok(None);
             };
+            let b = b.into_row_batch();
             let out_width = match self.node.join {
                 JoinType::Inner | JoinType::LeftOuter => b.width() + self.node.inner_output.len(),
                 JoinType::Semi | JoinType::Anti => b.width(),
@@ -239,6 +244,7 @@ impl Operator for LookupJoinOp<'_, '_> {
                 probe.probe(self.ctx, orow, &mut |row| out.push_row(row))?;
             }
             if !out.is_empty() {
+                let out = Batch::Row(out);
                 charge_emit(self.ctx.db, &out);
                 return Ok(Some(out));
             }

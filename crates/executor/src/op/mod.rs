@@ -6,8 +6,9 @@
 //! * `open()` acquires resources (spawns the scan producer, builds the
 //!   hash table, materializes the sort input) — it is called exactly once,
 //!   before the first `next_batch()`.
-//! * `next_batch()` pulls the next [`RowBatch`] of output, or `None` at
-//!   end of stream. Batches are never empty.
+//! * `next_batch()` pulls the next [`Batch`] of output — row-major or
+//!   column-major with a selection vector — or `None` at end of stream.
+//!   Batches are never empty (selection resolved).
 //! * `close()` releases resources *early* — in particular it cancels any
 //!   producing scan (dropping the scan channel receiver makes the
 //!   producer's next send fail, which [`taurus_ndp::ScanConsumer`]
@@ -39,13 +40,20 @@ pub(crate) use scan::run_scan_producer;
 
 use crossbeam::thread::Scope;
 use taurus_common::schema::Row;
-use taurus_common::{Result, RowBatch};
+use taurus_common::{Batch, Result, RowBatch};
 use taurus_ndp::TaurusDb;
 use taurus_optimizer::plan::Plan;
 
 use crate::exec::ExecContext;
 
 /// A physical operator: batch-at-a-time pull execution.
+///
+/// The interchange format is [`Batch`]: scans produce column-major
+/// batches under the columnar layout, `Filter` narrows them by selection
+/// vector without compaction, and pipeline breakers (sort, aggregation,
+/// join build, gather) resolve to dense row-major form at their input.
+/// Row-major batches flow through unchanged, so the two layouts coexist
+/// in one pipeline.
 pub trait Operator {
     /// Stable operator name. `EXPLAIN`'s physical rendering lives in the
     /// optimizer crate and re-states this mapping; the
@@ -57,7 +65,7 @@ pub trait Operator {
     fn open(&mut self) -> Result<()>;
 
     /// Pull the next non-empty batch, or `None` at end of stream.
-    fn next_batch(&mut self) -> Result<Option<RowBatch>>;
+    fn next_batch(&mut self) -> Result<Option<Batch>>;
 
     /// Release resources and cancel producing scans. Idempotent.
     fn close(&mut self);
@@ -117,8 +125,12 @@ where
 }
 
 /// Charge the pipeline-traffic counters at an operator's emit site.
-pub(crate) fn charge_emit(db: &TaurusDb, batch: &RowBatch) {
-    db.metrics().add(|m| &m.operator_rows, batch.len() as u64);
+/// Columnar batches charge their *selected* row count — the rows a
+/// consumer will actually see — so the counters read the same under
+/// either layout.
+pub(crate) fn charge_emit(db: &TaurusDb, batch: &Batch) {
+    db.metrics()
+        .add(|m| &m.operator_rows, batch.selected_len() as u64);
     db.metrics().add(|m| &m.operator_batches, 1);
 }
 

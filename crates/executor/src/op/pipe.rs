@@ -1,16 +1,23 @@
 //! Streaming (non-breaking) operators: Filter, Project, Limit.
 //!
 //! All three pull one child batch at a time and emit without buffering,
-//! so they add no materialization anywhere in the pipeline. `Limit` is
-//! the early-stop operator: the moment its budget is spent it *closes*
-//! its child subtree, which cancels the producing scans (pull
-//! backpressure all the way into `ScanConsumer` early termination)
-//! instead of truncating a fully materialized input.
+//! so they add no materialization anywhere in the pipeline. On columnar
+//! input they are also *compaction-free*: `Filter` evaluates its
+//! predicate column-at-a-time ([`VectorProgram`]) and narrows the batch
+//! by intersecting selection vectors, `Project` reorders column
+//! references without touching the data, and `Limit` truncates the
+//! selection — dense rows are only gathered at a pipeline breaker or the
+//! stream boundary. `Limit` is the early-stop operator: the moment its
+//! budget is spent it *closes* its child subtree, which cancels the
+//! producing scans (pull backpressure all the way into `ScanConsumer`
+//! early termination) instead of truncating a fully materialized input.
 
+use taurus_common::colbatch::{Batch, ColumnBatch};
 use taurus_common::schema::Row;
 use taurus_common::{Result, RowBatch};
 use taurus_expr::ast::Expr;
 use taurus_expr::eval::{eval, eval_pred};
+use taurus_expr::vector::VectorProgram;
 use taurus_ndp::TaurusDb;
 
 use super::{charge_emit, BoxOp, Operator};
@@ -20,6 +27,13 @@ use crate::exec::ExecContext;
 pub(crate) struct FilterOp<'r, 'env> {
     db: &'env TaurusDb,
     predicate: &'env Expr,
+    /// Column-at-a-time form of the predicate, when it vectorizes.
+    vector: Option<VectorProgram>,
+    /// Poisoned after the first vector-eval error: the scalar path is
+    /// authoritative (it short-circuits past lanes eager evaluation
+    /// cannot), so one failed batch disables the vector path for the
+    /// rest of the query.
+    vector_disabled: bool,
     child: BoxOp<'r>,
 }
 
@@ -32,8 +46,47 @@ impl<'r, 'env> FilterOp<'r, 'env> {
         FilterOp {
             db: ctx.db,
             predicate,
+            vector: VectorProgram::from_expr(predicate).ok(),
+            vector_disabled: false,
             child,
         }
+    }
+
+    /// Vectorized filter: evaluate over all physical rows, then shrink
+    /// the selection (never grow, never compact). `Ok(None)` = nothing
+    /// survived, `Err(cb)` = vector eval failed, caller re-runs the
+    /// batch through the scalar path.
+    fn filter_columnar(
+        &mut self,
+        mut cb: ColumnBatch,
+    ) -> std::result::Result<Option<ColumnBatch>, ColumnBatch> {
+        let vp = self.vector.as_ref().expect("checked by caller");
+        let verdicts = match vp.eval_batch(&cb) {
+            Ok(v) => v,
+            Err(_) => {
+                self.vector_disabled = true;
+                return Err(cb);
+            }
+        };
+        let physical = cb.len();
+        let sel: Vec<u32> = match cb.selection() {
+            Some(old) => old
+                .iter()
+                .copied()
+                .filter(|&i| verdicts.is_true(i as usize))
+                .collect(),
+            None => verdicts.true_indices(),
+        };
+        let m = self.db.metrics();
+        m.add(|x| &x.vector_eval_rows, physical as u64);
+        if let Some(pct) = (sel.len() * 100).checked_div(physical) {
+            m.set(|x| &x.selection_density_pct, pct as u64);
+        }
+        if sel.is_empty() {
+            return Ok(None);
+        }
+        cb.set_selection(sel);
+        Ok(Some(cb))
     }
 }
 
@@ -46,18 +99,33 @@ impl Operator for FilterOp<'_, '_> {
         self.child.open()
     }
 
-    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
         loop {
             let Some(b) = self.child.next_batch()? else {
                 return Ok(None);
             };
-            let mut out = RowBatch::with_capacity(b.width(), b.len());
-            for row in b.rows() {
+            let rb = match b {
+                Batch::Col(cb) if self.vector.is_some() && !self.vector_disabled => {
+                    match self.filter_columnar(cb) {
+                        Ok(None) => continue,
+                        Ok(Some(out)) => {
+                            let out = Batch::Col(out);
+                            charge_emit(self.db, &out);
+                            return Ok(Some(out));
+                        }
+                        Err(cb) => cb.to_row_batch(),
+                    }
+                }
+                other => other.into_row_batch(),
+            };
+            let mut out = RowBatch::with_capacity(rb.width(), rb.len());
+            for row in rb.rows() {
                 if eval_pred(self.predicate, row)? == Some(true) {
                     out.push_row(row.iter().cloned());
                 }
             }
             if !out.is_empty() {
+                let out = Batch::Row(out);
                 charge_emit(self.db, &out);
                 return Ok(Some(out));
             }
@@ -73,6 +141,9 @@ impl Operator for FilterOp<'_, '_> {
 pub(crate) struct ProjectOp<'r, 'env> {
     db: &'env TaurusDb,
     exprs: &'env [Expr],
+    /// `Some(keep)` iff every projection is a bare column reference —
+    /// the case a columnar batch handles by reordering column vectors.
+    cols_only: Option<Vec<usize>>,
     child: BoxOp<'r>,
 }
 
@@ -82,9 +153,17 @@ impl<'r, 'env> ProjectOp<'r, 'env> {
         exprs: &'env [Expr],
         child: BoxOp<'r>,
     ) -> ProjectOp<'r, 'env> {
+        let cols_only = exprs
+            .iter()
+            .map(|e| match e {
+                Expr::Col(i) => Some(*i),
+                _ => None,
+            })
+            .collect();
         ProjectOp {
             db: ctx.db,
             exprs,
+            cols_only,
             child,
         }
     }
@@ -99,12 +178,24 @@ impl Operator for ProjectOp<'_, '_> {
         self.child.open()
     }
 
-    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
         let Some(b) = self.child.next_batch()? else {
             return Ok(None);
         };
-        let mut out = RowBatch::with_capacity(self.exprs.len(), b.len());
-        for row in b.rows() {
+        if let Batch::Col(cb) = &b {
+            if let Some(keep) = &self.cols_only {
+                if keep.iter().all(|&i| i < cb.width()) {
+                    // Pure column selection: move column vectors, keep the
+                    // selection — no per-row work at all.
+                    let out = Batch::Col(cb.project_cols(keep));
+                    charge_emit(self.db, &out);
+                    return Ok(Some(out));
+                }
+            }
+        }
+        let rb = b.into_row_batch();
+        let mut out = RowBatch::with_capacity(self.exprs.len(), rb.len());
+        for row in rb.rows() {
             let vals: Row = self
                 .exprs
                 .iter()
@@ -112,6 +203,7 @@ impl Operator for ProjectOp<'_, '_> {
                 .collect::<Result<_>>()?;
             out.push_row(vals);
         }
+        let out = Batch::Row(out);
         charge_emit(self.db, &out);
         Ok(Some(out))
     }
@@ -168,7 +260,7 @@ impl Operator for LimitOp<'_, '_> {
         }
     }
 
-    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
         if self.remaining == 0 {
             self.release_child();
             return Ok(None);
@@ -180,14 +272,16 @@ impl Operator for LimitOp<'_, '_> {
             self.release_child();
             return Ok(None);
         };
-        if b.len() >= self.remaining {
-            b.truncate_rows(self.remaining);
+        // The budget counts *visible* rows, so a columnar batch is
+        // truncated through its selection vector — still no compaction.
+        if b.selected_len() >= self.remaining {
+            b.truncate_selected(self.remaining);
             self.remaining = 0;
             // Budget spent mid-stream: cancel the producing subtree now,
             // not when the operator tree is eventually dropped.
             self.release_child();
         } else {
-            self.remaining -= b.len();
+            self.remaining -= b.selected_len();
         }
         charge_emit(self.db, &b);
         Ok(Some(b))

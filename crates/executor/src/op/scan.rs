@@ -18,10 +18,12 @@
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 
 use crossbeam::thread::{Scope, ScopedJoinHandle};
+use taurus_common::colbatch::{Batch, ColumnBatch};
 use taurus_common::metrics::CpuGuard;
 use taurus_common::{QueryCtx, Result, RowBatch, Value};
 use taurus_expr::agg::AggState;
 use taurus_expr::ast::Expr;
+use taurus_expr::vector::VectorProgram;
 use taurus_ndp::{scan_ctx, ReadView, ScanConsumer, TaurusDb};
 use taurus_optimizer::plan::{AggScanNode, ScanNode};
 
@@ -37,14 +39,28 @@ use crate::stream::STREAM_CHANNEL_BATCHES;
 /// operator, dropped stream): the consumer returns `false` and the scan
 /// terminates early.
 pub(crate) struct ChannelConsumer<'a> {
-    pub(crate) tx: &'a SyncSender<Result<RowBatch>>,
+    pub(crate) tx: &'a SyncSender<Result<Batch>>,
+    pub(crate) db: &'a TaurusDb,
     /// Residual predicate conjuncts over scan-output positions.
     pub(crate) residual: Vec<Expr>,
+    /// Column-at-a-time form of the conjoined residual. Dropped (poisoned
+    /// to `None`) after the first vector-eval error — the scalar path
+    /// short-circuits past lanes eager evaluation cannot.
+    pub(crate) vector: Option<VectorProgram>,
     /// Narrow delivered rows to these scan-output positions.
     pub(crate) project: Option<Vec<usize>>,
 }
 
 impl ChannelConsumer<'_> {
+    /// Compile the conjoined residual for the vectorized fast path.
+    pub(crate) fn residual_vector(residual: &[Expr]) -> Option<VectorProgram> {
+        if residual.is_empty() {
+            None
+        } else {
+            VectorProgram::from_expr(&Expr::and(residual.to_vec())).ok()
+        }
+    }
+
     fn survives(&self, row: &[Value]) -> Result<bool> {
         residual_survives(&self.residual, row)
     }
@@ -70,14 +86,14 @@ impl ScanConsumer for ChannelConsumer<'_> {
         }
         let mut out = RowBatch::with_capacity(self.out_width(row.len()), 1);
         self.push_projected(&mut out, row);
-        Ok(self.tx.send(Ok(out)).is_ok())
+        Ok(self.tx.send(Ok(Batch::Row(out))).is_ok())
     }
 
     fn on_batch(&mut self, batch: &RowBatch) -> Result<bool> {
         if self.residual.is_empty() && self.project.is_none() {
             // Nothing to filter or narrow: forward the batch as-is (one
             // allocation, one value clone — no per-row rebuild).
-            return Ok(self.tx.send(Ok(batch.clone())).is_ok());
+            return Ok(self.tx.send(Ok(Batch::Row(batch.clone()))).is_ok());
         }
         let mut out = RowBatch::with_capacity(self.out_width(batch.width()), batch.len());
         for row in batch.rows() {
@@ -91,7 +107,55 @@ impl ScanConsumer for ChannelConsumer<'_> {
         }
         // A closed receiver means the consumer stopped pulling (dropped
         // stream, early break): end the scan without error.
-        Ok(self.tx.send(Ok(out)).is_ok())
+        Ok(self.tx.send(Ok(Batch::Row(out))).is_ok())
+    }
+
+    fn on_col_batch(&mut self, batch: &ColumnBatch) -> Result<bool> {
+        if self.residual.is_empty() && self.project.is_none() {
+            // Forward column vectors as-is: the whole scan→filter→stream
+            // spine stays column-major.
+            return Ok(self.tx.send(Ok(Batch::Col(batch.clone()))).is_ok());
+        }
+        if self.residual.is_empty() {
+            let keep = self.project.as_ref().expect("checked above");
+            return Ok(self
+                .tx
+                .send(Ok(Batch::Col(batch.project_cols(keep))))
+                .is_ok());
+        }
+        if let Some(vp) = &self.vector {
+            match vp.eval_batch(batch) {
+                Ok(verdicts) => {
+                    let physical = batch.len();
+                    let sel: Vec<u32> = match batch.selection() {
+                        Some(old) => old
+                            .iter()
+                            .copied()
+                            .filter(|&i| verdicts.is_true(i as usize))
+                            .collect(),
+                        None => verdicts.true_indices(),
+                    };
+                    let m = self.db.metrics();
+                    m.add(|x| &x.vector_eval_rows, physical as u64);
+                    if let Some(pct) = (sel.len() * 100).checked_div(physical) {
+                        m.set(|x| &x.selection_density_pct, pct as u64);
+                    }
+                    if sel.is_empty() {
+                        // Everything filtered: keep scanning.
+                        return Ok(true);
+                    }
+                    let mut out = batch.clone();
+                    out.set_selection(sel);
+                    if let Some(keep) = &self.project {
+                        out = out.project_cols(keep);
+                    }
+                    return Ok(self.tx.send(Ok(Batch::Col(out))).is_ok());
+                }
+                Err(_) => self.vector = None,
+            }
+        }
+        // Residual didn't vectorize (or just failed): scalar row path.
+        self.on_batch(&batch.to_row_batch())
     }
 
     fn on_partial(&mut self, _states: Vec<AggState>) -> Result<bool> {
@@ -111,7 +175,7 @@ pub(crate) fn run_scan_producer(
     node: &ScanNode,
     view: ReadView,
     qctx: QueryCtx,
-    tx: &SyncSender<Result<RowBatch>>,
+    tx: &SyncSender<Result<Batch>>,
     project: Option<Vec<usize>>,
 ) {
     // The producer is a compute-node thread: its CPU lands in
@@ -128,6 +192,8 @@ pub(crate) fn run_scan_producer(
             .collect::<Result<_>>()?;
         let mut consumer = ChannelConsumer {
             tx,
+            db,
+            vector: ChannelConsumer::residual_vector(&residual),
             residual,
             project,
         };
@@ -160,7 +226,7 @@ pub(crate) struct BatchScanOp<'r, 'scope, 'env> {
     view: ReadView,
     qctx: QueryCtx,
     scope: &'r Scope<'scope, 'env>,
-    rx: Option<Receiver<Result<RowBatch>>>,
+    rx: Option<Receiver<Result<Batch>>>,
     producer: Option<ScopedJoinHandle<'scope, ()>>,
     done: bool,
 }
@@ -206,7 +272,7 @@ impl Operator for BatchScanOp<'_, '_, '_> {
         if self.rx.is_some() || self.done {
             return Ok(());
         }
-        let (tx, rx) = sync_channel::<Result<RowBatch>>(STREAM_CHANNEL_BATCHES);
+        let (tx, rx) = sync_channel::<Result<Batch>>(STREAM_CHANNEL_BATCHES);
         let db = self.db;
         let node = self.node;
         let view = self.view.clone();
@@ -219,7 +285,7 @@ impl Operator for BatchScanOp<'_, '_, '_> {
         Ok(())
     }
 
-    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
         let Some(rx) = &self.rx else {
             return Ok(None);
         };
@@ -281,9 +347,10 @@ impl Operator for AggScanOp<'_> {
         Ok(())
     }
 
-    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
         match self.out.as_mut().and_then(BatchEmitter::next_batch) {
             Some(b) => {
+                let b = Batch::Row(b);
                 charge_emit(self.ctx.db, &b);
                 Ok(Some(b))
             }

@@ -4,7 +4,7 @@
 //! re-emits in batches.
 
 use taurus_common::schema::Row;
-use taurus_common::{Result, RowBatch};
+use taurus_common::{Batch, Result};
 use taurus_ndp::TaurusDb;
 use taurus_optimizer::plan::SortNode;
 
@@ -49,11 +49,13 @@ impl Operator for SortOp<'_, '_> {
         }
     }
 
-    fn next_batch(&mut self) -> Result<Option<RowBatch>> {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
         if self.out.is_none() {
             let mut rows: Vec<Row> = Vec::new();
             if let Some(child) = &mut self.child {
                 while let Some(b) = child.next_batch()? {
+                    // Pipeline breaker: selections resolve to dense rows.
+                    let b = b.into_row_batch();
                     rows.reserve(b.len());
                     rows.extend(b.into_rows());
                 }
@@ -78,6 +80,7 @@ impl Operator for SortOp<'_, '_> {
         }
         match self.out.as_mut().and_then(BatchEmitter::next_batch) {
             Some(b) => {
+                let b = Batch::Row(b);
                 charge_emit(self.db, &b);
                 Ok(Some(b))
             }

@@ -26,7 +26,7 @@ use std::thread::JoinHandle;
 use taurus_common::batch::RowBatchIter;
 use taurus_common::metrics::CpuGuard;
 use taurus_common::schema::Row;
-use taurus_common::{QueryCtx, Result, RowBatch};
+use taurus_common::{Batch, QueryCtx, Result, RowBatch};
 use taurus_expr::ast::Expr;
 use taurus_ndp::{ReadView, TaurusDb};
 use taurus_optimizer::plan::{Plan, ScanNode};
@@ -45,7 +45,7 @@ pub(crate) const STREAM_CHANNEL_BATCHES: usize = 2;
 /// stream and where pipeline breakers materialize. Always backed by a
 /// live producer thread behind a bounded batch channel.
 pub struct RowStream {
-    rx: Receiver<Result<RowBatch>>,
+    rx: Receiver<Result<Batch>>,
     /// Rows of the most recently received batch, popped locally.
     cur: RowBatchIter,
     producer: Option<JoinHandle<()>>,
@@ -88,7 +88,7 @@ impl RowStream {
     /// The general path: lower the plan on the producer thread and pull
     /// its root operator into the stream channel.
     fn spawn_pipeline(db: Arc<TaurusDb>, plan: Plan, view: ReadView, qctx: QueryCtx) -> RowStream {
-        let (tx, rx) = sync_channel::<Result<RowBatch>>(STREAM_CHANNEL_BATCHES);
+        let (tx, rx) = sync_channel::<Result<Batch>>(STREAM_CHANNEL_BATCHES);
         let producer = std::thread::Builder::new()
             .name("taurus-row-stream".into())
             .spawn(move || {
@@ -156,7 +156,7 @@ impl RowStream {
         qctx: QueryCtx,
         project: Option<Vec<usize>>,
     ) -> RowStream {
-        let (tx, rx) = sync_channel::<Result<RowBatch>>(STREAM_CHANNEL_BATCHES);
+        let (tx, rx) = sync_channel::<Result<Batch>>(STREAM_CHANNEL_BATCHES);
         let producer = std::thread::Builder::new()
             .name("taurus-row-stream".into())
             .spawn(move || run_scan_producer(&db, &node, view, qctx, &tx, project))
@@ -178,7 +178,9 @@ impl RowStream {
     /// per-row rematerialization between the scan pipeline and the
     /// socket. Rows already popped by `next()` are not repeated — a
     /// partially-consumed current batch is drained into a fresh batch
-    /// first. `None` means the producer finished cleanly.
+    /// first. `None` means the producer finished cleanly. Columnar
+    /// pipeline batches resolve to dense row-major form right here — the
+    /// wire protocol and every caller above this line are layout-blind.
     pub fn next_batch(&mut self) -> Option<Result<RowBatch>> {
         if self.cur.len() > 0 {
             let mut b = RowBatch::with_capacity(self.cur.width(), self.cur.len());
@@ -187,7 +189,7 @@ impl RowStream {
             }
             return Some(Ok(b));
         }
-        self.rx.recv().ok()
+        self.rx.recv().ok().map(|r| r.map(Batch::into_row_batch))
     }
 }
 
@@ -208,7 +210,7 @@ impl Iterator for RowStream {
                 return Some(Ok(row));
             }
             match self.rx.recv() {
-                Ok(Ok(batch)) => self.cur = batch.into_rows(),
+                Ok(Ok(batch)) => self.cur = batch.into_row_batch().into_rows(),
                 Ok(Err(e)) => return Some(Err(e)),
                 Err(_) => return None, // producer finished
             }

@@ -10,6 +10,9 @@
 //!   inside NDP descriptors.
 //! * [`vm`] — the Page Store "JIT": IR × record layout → a program that
 //!   runs over raw record bytes.
+//! * [`vector`] — the column-at-a-time twin of [`vm`]: the same IR
+//!   extracted to straight-line form and run over whole batches with
+//!   word-level three-valued bitmaps (executor Filter + NDP page kernel).
 //! * [`util`] — the pre-compiled utility-function library installed on
 //!   every Page Store (§V-B2).
 //! * [`agg`] — aggregate functions, partial states, payload serialization
@@ -22,6 +25,7 @@ pub mod descriptor;
 pub mod eval;
 pub mod ir;
 pub mod util;
+pub mod vector;
 pub mod vm;
 
 pub use agg::{decode_states, encode_states, AggFunc, AggSpec, AggState};
@@ -30,4 +34,5 @@ pub use compile::lower;
 pub use descriptor::{fnv64, NdpAggSpec, NdpDescriptor};
 pub use eval::{eval, eval_pred};
 pub use ir::{IrInstr, IrProgram};
+pub use vector::{BoolVec, VectorProgram};
 pub use vm::{CompiledPredicate, TriBool};

@@ -34,7 +34,7 @@ pub enum TriBool {
 /// from the record bytes or the program's constant pool — the "no row
 /// materialization" property.
 #[derive(Clone, Copy, Debug)]
-enum Slot<'a> {
+pub(crate) enum Slot<'a> {
     Null,
     Int(i64),
     Dec(Dec),
@@ -45,7 +45,7 @@ enum Slot<'a> {
 
 /// A constant pre-decoded at JIT time.
 #[derive(Clone, Debug)]
-enum ConstSlot {
+pub(crate) enum ConstSlot {
     Null,
     Int(i64),
     Dec(Dec),
@@ -55,7 +55,7 @@ enum ConstSlot {
 }
 
 impl ConstSlot {
-    fn from_value(v: &taurus_common::Value) -> ConstSlot {
+    pub(crate) fn from_value(v: &taurus_common::Value) -> ConstSlot {
         use taurus_common::Value::*;
         match v {
             Null => ConstSlot::Null,
@@ -67,7 +67,7 @@ impl ConstSlot {
         }
     }
 
-    fn as_slot(&self) -> Slot<'_> {
+    pub(crate) fn as_slot(&self) -> Slot<'_> {
         match self {
             ConstSlot::Null => Slot::Null,
             ConstSlot::Int(x) => Slot::Int(*x),
@@ -420,7 +420,7 @@ fn forward_only(at: usize, target: u16) -> Result<()> {
     Ok(())
 }
 
-fn load_field<'a>(bytes: &'a [u8], dtype: DataType) -> Slot<'a> {
+pub(crate) fn load_field<'a>(bytes: &'a [u8], dtype: DataType) -> Slot<'a> {
     match dtype {
         DataType::Int => Slot::Int(i32::from_le_bytes(bytes[..4].try_into().unwrap()) as i64),
         DataType::BigInt => Slot::Int(i64::from_le_bytes(bytes[..8].try_into().unwrap())),
@@ -437,11 +437,11 @@ fn load_field<'a>(bytes: &'a [u8], dtype: DataType) -> Slot<'a> {
     }
 }
 
-fn bool_slot<'a>(b: bool) -> Slot<'a> {
+pub(crate) fn bool_slot<'a>(b: bool) -> Slot<'a> {
     Slot::Int(b as i64)
 }
 
-fn slot_bool(s: &Slot<'_>) -> Result<Option<bool>> {
+pub(crate) fn slot_bool(s: &Slot<'_>) -> Result<Option<bool>> {
     match s {
         Slot::Null => Ok(None),
         Slot::Int(v) => Ok(Some(*v != 0)),
@@ -467,7 +467,7 @@ fn tri_or<'a>(a: Option<bool>, b: Option<bool>) -> Slot<'a> {
     }
 }
 
-fn cmp_holds(op: CmpOp, ord: std::cmp::Ordering) -> bool {
+pub(crate) fn cmp_holds(op: CmpOp, ord: std::cmp::Ordering) -> bool {
     use std::cmp::Ordering::*;
     match op {
         CmpOp::Eq => ord == Equal,
@@ -479,7 +479,7 @@ fn cmp_holds(op: CmpOp, ord: std::cmp::Ordering) -> bool {
     }
 }
 
-fn slot_cmp(a: &Slot<'_>, b: &Slot<'_>) -> Result<Option<std::cmp::Ordering>> {
+pub(crate) fn slot_cmp(a: &Slot<'_>, b: &Slot<'_>) -> Result<Option<std::cmp::Ordering>> {
     use Slot::*;
     Ok(match (a, b) {
         (Null, _) | (_, Null) => None,
@@ -498,7 +498,7 @@ fn slot_cmp(a: &Slot<'_>, b: &Slot<'_>) -> Result<Option<std::cmp::Ordering>> {
     })
 }
 
-fn slot_arith<'a>(op: ArithOp, a: &Slot<'a>, b: &Slot<'a>) -> Result<Slot<'a>> {
+pub(crate) fn slot_arith<'a>(op: ArithOp, a: &Slot<'a>, b: &Slot<'a>) -> Result<Slot<'a>> {
     use Slot::*;
     if matches!(a, Null) || matches!(b, Null) {
         return Ok(Null);

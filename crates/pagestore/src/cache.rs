@@ -19,6 +19,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use taurus_common::{Metrics, Result};
 use taurus_expr::descriptor::{fnv64, NdpDescriptor};
+use taurus_expr::vector::VectorProgram;
 use taurus_expr::vm::CompiledPredicate;
 use taurus_page::RecordLayout;
 
@@ -32,6 +33,10 @@ pub struct CachedDescriptor {
     pub proj_layout: Option<RecordLayout>,
     /// Compiled predicate, if filtering was requested.
     pub predicate: Option<CompiledPredicate>,
+    /// Column-at-a-time form of the same predicate, when its IR
+    /// vectorizes (canonical compiler output always does; hand-built
+    /// descriptors may not). `None` simply means record-at-a-time.
+    pub vector: Option<VectorProgram>,
     /// The raw bytes (collision detection + diagnostics).
     pub bytes: Vec<u8>,
 }
@@ -45,21 +50,26 @@ impl CachedDescriptor {
             .projection
             .as_ref()
             .map(|keep| layout.project(&keep.iter().map(|&k| k as usize).collect::<Vec<_>>()));
-        let predicate = match &desc.predicate_bitcode {
+        let (predicate, vector) = match &desc.predicate_bitcode {
             Some(bc) => {
                 let ir = taurus_expr::ir::IrProgram::decode_bitcode(bc)?;
                 // Descriptor column references are already record
                 // positions: identity map.
                 let identity: Vec<u16> = (0..layout.n_cols() as u16).collect();
-                Some(CompiledPredicate::compile(&ir, &layout, &identity)?)
+                let scalar = CompiledPredicate::compile(&ir, &layout, &identity)?;
+                // Vectorization is best-effort: a descriptor whose IR is
+                // valid but non-canonical still serves, record-at-a-time.
+                let vector = VectorProgram::from_ir(&ir, &layout, &identity).ok();
+                (Some(scalar), vector)
             }
-            None => None,
+            None => (None, None),
         };
         Ok(CachedDescriptor {
             desc,
             layout,
             proj_layout,
             predicate,
+            vector,
             bytes: bytes.to_vec(),
         })
     }
@@ -180,6 +190,8 @@ mod tests {
         let c = DescriptorCache::new(true, Metrics::shared());
         let cd = c.get_or_prepare(&descriptor_bytes(10)).unwrap();
         assert!(cd.predicate.is_some());
+        // Compiler-emitted bitcode is always canonical → vectorizable.
+        assert!(cd.vector.is_some());
         assert!(cd.proj_layout.is_some());
         assert_eq!(cd.layout.n_cols(), 2);
     }

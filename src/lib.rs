@@ -45,6 +45,27 @@
 //! # Ok(()) }
 //! ```
 //!
+//! ## Columnar execution
+//!
+//! Scans can materialize column-major batches instead of rows
+//! (`ClusterConfig::batch_layout`, or `TAURUS_BATCH_LAYOUT=columnar`):
+//! filters then evaluate column-at-a-time over typed vectors and carry
+//! survivors as selection vectors, on the compute node and inside
+//! Page-Store NDP alike. Results are byte-identical in either layout —
+//! the query API above is unchanged (see `DESIGN.md`, "Columnar
+//! execution"):
+//!
+//! ```no_run
+//! use taurus::prelude::*;
+//!
+//! let mut cfg = ClusterConfig::default();
+//! cfg.batch_layout = BatchLayout::Columnar;
+//! let db = TaurusDb::new(cfg);
+//! // Sessions, streams, replicas and the wire protocol all behave
+//! // identically; only the interchange format inside the pipeline
+//! // (and the filter kernels) changed.
+//! ```
+//!
 //! ## Read replicas
 //!
 //! Read traffic scales out without copying data: a [`prelude::Replica`]
@@ -113,8 +134,8 @@ pub use taurus_tpch as tpch;
 pub mod prelude {
     pub use taurus_common::schema::{Column, Row, TableSchema};
     pub use taurus_common::{
-        ClusterConfig, DataType, Date32, Dec, Error, Metrics, MetricsSnapshot, NdpConfig, Result,
-        RowBatch, Value,
+        BatchLayout, ClusterConfig, DataType, Date32, Dec, Error, Metrics, MetricsSnapshot,
+        NdpConfig, Result, RowBatch, Value,
     };
     pub use taurus_executor::dsl::{col, date, dec, lit, nth, QExpr};
     pub use taurus_executor::{Agg, Explained, QueryBuilder, QueryRun, RowStream, Session};
