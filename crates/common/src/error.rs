@@ -40,6 +40,12 @@ pub enum Error {
     /// complete (browned-out store, exhausted retries). The partial work
     /// is discarded; retrying with a fresh budget is safe.
     DeadlineExceeded(String),
+    /// Static verification rejected the plan/program before execution:
+    /// the message carries the verifier's rendered diagnostics (kind,
+    /// plan-path location, detail — one per line). Raised by the
+    /// `taurus-verify` pre-execution gate instead of letting a malformed
+    /// plan surface as an `Internal` invariant break mid-scan.
+    Verify(String),
 }
 
 impl fmt::Display for Error {
@@ -56,6 +62,7 @@ impl fmt::Display for Error {
             Error::Internal(m) => write!(f, "internal error: {m}"),
             Error::Overloaded(m) => write!(f, "overloaded: {m}"),
             Error::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
+            Error::Verify(m) => write!(f, "verification failed: {m}"),
         }
     }
 }

@@ -212,9 +212,34 @@ impl Dec {
         }
     }
 
+    /// Total order across scales, *without* the silent wrap `align` would
+    /// risk: upscaling multiplies the raw value by up to 10^30, which can
+    /// exceed `i128`. If the upscale of one side overflows, that side's
+    /// magnitude provably exceeds any representable value of the other,
+    /// so its sign decides the ordering. The vector kernels' deferral
+    /// path and the scalar VM both land here, keeping the two evaluators
+    /// bit-identical even on extreme operands.
     pub fn cmp_dec(self, o: Dec) -> Ordering {
-        let (a, b, _) = Dec::align(self, o);
-        a.cmp(&b)
+        let scale = self.scale.max(o.scale);
+        let up = |d: Dec| d.raw.checked_mul(POW10[(scale - d.scale) as usize]);
+        match (up(self), up(o)) {
+            (Some(a), Some(b)) => a.cmp(&b),
+            // `self` overflowed: |self| > i128::MAX ≥ |b upscaled|.
+            (None, _) => {
+                if self.raw > 0 {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                }
+            }
+            (_, None) => {
+                if o.raw > 0 {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                }
+            }
+        }
     }
 
     pub fn to_f64(self) -> f64 {

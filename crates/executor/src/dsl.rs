@@ -74,11 +74,13 @@ pub fn lit(v: impl Into<Value>) -> QExpr {
 /// A DATE literal, e.g. `date("1994-01-01")`. Panics on malformed program
 /// text (literals are code, not data).
 pub fn date(s: &str) -> QExpr {
+    // lint:allow(panic): documented contract — literals are code, not data
     QExpr::Lit(Value::Date(Date32::parse(s).expect("literal date")))
 }
 
 /// A DECIMAL literal, e.g. `dec("0.05")`. Panics on malformed program text.
 pub fn dec(s: &str) -> QExpr {
+    // lint:allow(panic): documented contract — literals are code, not data
     QExpr::Lit(Value::Decimal(Dec::parse(s).expect("literal decimal")))
 }
 

@@ -54,6 +54,13 @@ impl<'a> ExecContext<'a> {
 /// producers run on scoped threads and are joined (or cancelled, on
 /// error/limit) before this returns.
 pub fn execute(plan: &Plan, ctx: &ExecContext<'_>) -> Result<Vec<Row>> {
+    // Debug builds verify the plan before any operator lowers: malformed
+    // plans are rejected here with structured diagnostics
+    // (`Error::Verify`) instead of surfacing mid-scan. Release builds
+    // rely on the same checks having run in CI (`taurus-verify --all`)
+    // plus the typed per-site errors below.
+    #[cfg(debug_assertions)]
+    taurus_verify::check_plan(plan, ctx.db)?;
     crossbeam::thread::scope(|s| -> Result<Vec<Row>> {
         let mut root = crate::op::lower(plan, ctx, s)?;
         root.open()?;
@@ -66,6 +73,8 @@ pub fn execute(plan: &Plan, ctx: &ExecContext<'_>) -> Result<Vec<Row>> {
         root.close();
         Ok(out)
     })
+    // lint:allow(panic): a panicking scoped thread already poisoned the scope;
+    // stream/session entry points catch this and surface a stream error
     .expect("executor scope panicked")
 }
 
@@ -120,24 +129,20 @@ pub(crate) fn residual_survives(residual: &[Expr], row: &[Value]) -> Result<bool
     Ok(true)
 }
 
-/// Map table-column expressions onto scan-output positions. A column the
-/// scan does not deliver is a malformed plan — reported as
-/// [`Error::Internal`], never a panic (plans can reach the executor from
-/// hand-built trees, not just the vetted builder).
+/// Map table-column expressions onto scan-output positions, delegating
+/// to the verifier's shared definition ([`taurus_verify::remap_onto`]).
+/// A column the scan does not deliver is a malformed plan — reported as
+/// [`Error::Verify`] with the same structured diagnostic the
+/// pre-execution gate produces, never a panic (plans can reach the
+/// executor from hand-built trees, not just the vetted builder).
 pub(crate) fn remap_to_output(e: &Expr, output: &[usize]) -> Result<Expr> {
-    for c in e.columns() {
-        if !output.contains(&c) {
-            return Err(Error::Internal(format!(
-                "column {c} not in scan output {output:?}"
-            )));
-        }
-    }
-    Ok(e.remap_columns(&|c| {
-        output
-            .iter()
-            .position(|&o| o == c)
-            .expect("all columns checked against output above")
-    }))
+    taurus_verify::remap_onto(
+        e,
+        output,
+        taurus_verify::DiagKind::ResidualNotInOutput,
+        "scan",
+    )
+    .map_err(|d| Error::Verify(d.to_string()))
 }
 
 struct RowCollector {
@@ -223,6 +228,7 @@ impl AggStateEx {
                 count: 0,
             },
             f => {
+                // lint:allow(panic): AVG was decomposed to SUM+COUNT above
                 let func = f.storage_func().expect("non-AVG");
                 AggStateEx::Simple(AggState::new(&AggSpec { func, col: None }, input_dtype))
             }
@@ -295,9 +301,11 @@ impl AggStateEx {
                     Value::Int(v) => Value::Decimal(
                         Dec::from_int(v)
                             .div(Dec::from_int(*count))
+                            // lint:allow(panic): a finalized group saw >= 1 row, count != 0
                             .expect("count>0"),
                     ),
                     Value::Decimal(d) => {
+                        // lint:allow(panic): a finalized group saw >= 1 row, count != 0
                         Value::Decimal(d.div(Dec::from_int(*count)).expect("count>0"))
                     }
                     Value::Double(d) => Value::Double(d / *count as f64),
@@ -343,6 +351,7 @@ pub(crate) fn merge_partial_groups(parts: Vec<AggPartials>) -> Result<AggPartial
     Ok(order
         .into_iter()
         .map(|k| {
+            // lint:allow(panic): iterating keys collected from this very map
             let (g, s) = map.remove(&k).expect("present");
             (k, g, s)
         })
@@ -401,6 +410,7 @@ impl StreamAggConsumer<'_> {
             self.flush();
             self.current = Some((key, gvals, self.fresh_states()));
         }
+        // lint:allow(panic): the branch above just installed current for this key
         let (_, _, states) = self.current.as_mut().expect("set above");
         for (st, input) in states.iter_mut().zip(&self.inputs) {
             match input {
@@ -476,10 +486,14 @@ pub(crate) fn exec_agg_scan_partials(
         .iter()
         .map(|c| {
             node.scan.output.iter().position(|o| o == c).ok_or_else(|| {
-                Error::Internal(format!(
-                    "group column {c} not in scan output {:?}",
-                    node.scan.output
-                ))
+                Error::Verify(
+                    taurus_verify::Diagnostic::error(
+                        taurus_verify::DiagKind::GroupColNotInOutput,
+                        "AggScan",
+                        format!("group column {c} not in scan output {:?}", node.scan.output),
+                    )
+                    .to_string(),
+                )
             })
         })
         .collect::<Result<_>>()?;
@@ -648,6 +662,7 @@ impl<'a> LookupProbe<'a> {
         let out_pos: Vec<usize> = node
             .inner_output
             .iter()
+            // lint:allow(panic): fetch was built as a superset of inner_output above
             .map(|c| fetch.iter().position(|f| f == c).expect("subset"))
             .collect();
         let idx_stored = table.index(node.index).tree.def.stored_cols();
@@ -818,9 +833,11 @@ mod tests {
     }
 
     /// A plan whose residual predicate references a column the scan does
-    /// not deliver must surface as `Error::Internal`, not a panic
-    /// (executor threads turning malformed plans into aborts would take
-    /// the whole process down).
+    /// not deliver must surface as a structured `Error::Verify`, not a
+    /// panic (executor threads turning malformed plans into aborts would
+    /// take the whole process down). In debug builds the pre-execution
+    /// gate rejects it before any operator opens; the per-site remap
+    /// produces the same error in release builds.
     #[test]
     fn malformed_residual_column_is_an_error_not_a_panic() {
         let (db, _t) = tiny_db();
@@ -829,7 +846,7 @@ mod tests {
         node.predicate = vec![Expr::gt(Expr::col(2), Expr::int(5))]; // col 2 not in output
         let err = execute(&Plan::Scan(node), &ctx).unwrap_err();
         assert!(
-            matches!(err, Error::Internal(ref m) if m.contains("not in scan output")),
+            matches!(err, Error::Verify(ref m) if m.contains("not in scan output")),
             "{err:?}"
         );
     }
@@ -847,11 +864,11 @@ mod tests {
         };
         let err = exec_agg_scan_partials(&node, &ctx, None).unwrap_err();
         assert!(
-            matches!(err, Error::Internal(ref m) if m.contains("group column")),
+            matches!(err, Error::Verify(ref m) if m.contains("group column")),
             "{err:?}"
         );
         // And through the full pipeline entry point.
         let err = execute(&Plan::AggScan(node), &ctx).unwrap_err();
-        assert!(matches!(err, Error::Internal(_)), "{err:?}");
+        assert!(matches!(err, Error::Verify(_)), "{err:?}");
     }
 }

@@ -76,7 +76,7 @@ impl<'r, 'env> HashJoinOp<'r, 'env> {
         // side must still NULL-pad LEFT OUTER output to the full right
         // width (the legacy executor got this wrong and emitted unpadded
         // rows, which blew up downstream operators indexing past them).
-        self.right_width = self.node.right.width();
+        self.right_width = taurus_verify::plan_width(&self.node.right);
         self.built = true;
         Ok(())
     }

@@ -111,11 +111,7 @@ where
             &p.exprs,
             lower(&p.input, ctx, scope)?,
         )),
-        Plan::Filter(f) => Box::new(pipe::FilterOp::new(
-            ctx,
-            &f.predicate,
-            lower(&f.input, ctx, scope)?,
-        )),
+        Plan::Filter(f) => Box::new(pipe::FilterOp::new(ctx, f, lower(&f.input, ctx, scope)?)),
         Plan::Sort(s) => Box::new(sort::SortOp::new(ctx, s, lower(&s.input, ctx, scope)?)),
         Plan::Limit { input, n } => {
             Box::new(pipe::LimitOp::new(ctx, *n, lower(input, ctx, scope)?))

@@ -19,6 +19,7 @@ use taurus_expr::ast::Expr;
 use taurus_expr::eval::{eval, eval_pred};
 use taurus_expr::vector::VectorProgram;
 use taurus_ndp::TaurusDb;
+use taurus_optimizer::plan::FilterNode;
 
 use super::{charge_emit, BoxOp, Operator};
 use crate::exec::ExecContext;
@@ -40,13 +41,28 @@ pub(crate) struct FilterOp<'r, 'env> {
 impl<'r, 'env> FilterOp<'r, 'env> {
     pub(crate) fn new(
         ctx: &'env ExecContext<'env>,
-        predicate: &'env Expr,
+        node: &'env FilterNode,
         child: BoxOp<'r>,
     ) -> FilterOp<'r, 'env> {
+        let mut vector = VectorProgram::from_expr(&node.predicate).ok();
+        // When the filter's input columns are storage-backed (scan values
+        // passed through unmodified) and the range analysis proves every
+        // decimal rescale overflow-free, the vector kernels may skip
+        // their per-lane checked-overflow deferral.
+        if let Some(vp) = vector.as_mut() {
+            if taurus_verify::columns_storage_backed(&node.input) {
+                if let Some(schema) = taurus_verify::infer_plan(&node.input, ctx.db).schema {
+                    let dtypes: Vec<_> = schema.iter().map(|c| c.dtype).collect();
+                    if taurus_verify::analyze_predicate(&node.predicate, &dtypes).proven {
+                        vp.mark_proven_safe();
+                    }
+                }
+            }
+        }
         FilterOp {
             db: ctx.db,
-            predicate,
-            vector: VectorProgram::from_expr(predicate).ok(),
+            predicate: &node.predicate,
+            vector,
             vector_disabled: false,
             child,
         }
@@ -60,6 +76,7 @@ impl<'r, 'env> FilterOp<'r, 'env> {
         &mut self,
         mut cb: ColumnBatch,
     ) -> std::result::Result<Option<ColumnBatch>, ColumnBatch> {
+        // lint:allow(panic): next_batch only calls in when vector.is_some()
         let vp = self.vector.as_ref().expect("checked by caller");
         let verdicts = match vp.eval_batch(&cb) {
             Ok(v) => v,

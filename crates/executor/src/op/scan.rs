@@ -53,12 +53,28 @@ pub(crate) struct ChannelConsumer<'a> {
 
 impl ChannelConsumer<'_> {
     /// Compile the conjoined residual for the vectorized fast path.
-    pub(crate) fn residual_vector(residual: &[Expr]) -> Option<VectorProgram> {
+    /// `out_dtypes` are the scan's *output-position* column types (the
+    /// space the residual is remapped into); when the range analysis
+    /// proves every rescale overflow-free over them, the program is
+    /// marked [`VectorProgram::mark_proven_safe`] and the decimal kernels
+    /// skip their per-lane checked-overflow deferral. Scan outputs are
+    /// storage-backed by definition, so the proof's `|raw| <= i64::MAX`
+    /// premise always holds here.
+    pub(crate) fn residual_vector(
+        residual: &[Expr],
+        out_dtypes: Option<&[taurus_common::DataType]>,
+    ) -> Option<VectorProgram> {
         if residual.is_empty() {
-            None
-        } else {
-            VectorProgram::from_expr(&Expr::and(residual.to_vec())).ok()
+            return None;
         }
+        let pred = Expr::and(residual.to_vec());
+        let mut vp = VectorProgram::from_expr(&pred).ok()?;
+        if let Some(dtypes) = out_dtypes {
+            if taurus_verify::analyze_predicate(&pred, dtypes).proven {
+                vp.mark_proven_safe();
+            }
+        }
+        Some(vp)
     }
 
     fn survives(&self, row: &[Value]) -> Result<bool> {
@@ -117,6 +133,7 @@ impl ScanConsumer for ChannelConsumer<'_> {
             return Ok(self.tx.send(Ok(Batch::Col(batch.clone()))).is_ok());
         }
         if self.residual.is_empty() {
+            // lint:allow(panic): branch taken only when project.is_some()
             let keep = self.project.as_ref().expect("checked above");
             return Ok(self
                 .tx
@@ -190,10 +207,18 @@ pub(crate) fn run_scan_producer(
             .into_iter()
             .map(|e| remap_to_output(e, &node.output))
             .collect::<Result<_>>()?;
+        // Output-position dtypes for the range analysis; `None` (and no
+        // overflow proof) if any output position is out of schema range —
+        // such a plan fails in the scan core anyway.
+        let out_dtypes: Option<Vec<taurus_common::DataType>> = node
+            .output
+            .iter()
+            .map(|&c| table.schema.columns.get(c).map(|col| col.dtype))
+            .collect();
         let mut consumer = ChannelConsumer {
             tx,
             db,
-            vector: ChannelConsumer::residual_vector(&residual),
+            vector: ChannelConsumer::residual_vector(&residual, out_dtypes.as_deref()),
             residual,
             project,
         };

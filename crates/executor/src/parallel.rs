@@ -103,6 +103,7 @@ pub(crate) fn exec_exchange(node: &ExchangeNode, ctx: &ExecContext<'_>) -> Resul
                         Plan::LookupJoin(j) => {
                             Ok(WorkerOut::Rows(exec_lookup_join(j, &wctx, Some(range))?))
                         }
+                        // lint:allow(panic): plan shape validated before workers spawn
                         _ => unreachable!("validated above"),
                     }
                 })
@@ -110,9 +111,12 @@ pub(crate) fn exec_exchange(node: &ExchangeNode, ctx: &ExecContext<'_>) -> Resul
             .collect();
         handles
             .into_iter()
+            // lint:allow(panic): re-raise a worker panic on the leader; the stream
+            // producer catch_unwind above turns it into a query error
             .map(|h| h.join().expect("pq worker panicked"))
             .collect()
     })
+    // lint:allow(panic): same re-raise as the worker join above
     .expect("pq scope");
 
     // Leader merge: collect every worker's output first (surfacing the

@@ -587,6 +587,11 @@ impl QueryBuilder<'_> {
         } else {
             Vec::new()
         };
+        // Debug builds verify every built plan — builder bugs (and NDP
+        // post-processing bugs) reject here with structured diagnostics
+        // rather than surfacing downstream.
+        #[cfg(debug_assertions)]
+        taurus_verify::check_plan(&plan, &self.session.db)?;
         Ok((plan, reports))
     }
 

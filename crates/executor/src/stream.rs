@@ -64,6 +64,13 @@ impl RowStream {
         view: ReadView,
         qctx: QueryCtx,
     ) -> RowStream {
+        // Debug builds verify the plan before anything spawns; a
+        // rejected plan surfaces as the stream's first (and only) item,
+        // before any operator opens or scan producer starts.
+        #[cfg(debug_assertions)]
+        if let Err(e) = taurus_verify::check_plan(&plan, &db) {
+            return RowStream::fail(e);
+        }
         match plan {
             Plan::Scan(node) => RowStream::spawn_scan(db, node, view, qctx, None),
             Plan::Project(p) if project_is_prefix(&p.exprs) => {
@@ -82,6 +89,19 @@ impl RowStream {
                 }
             }
             other => RowStream::spawn_pipeline(db, other, view, qctx),
+        }
+    }
+
+    /// A stream that delivers exactly one error: the verification gate's
+    /// rejection, produced before any operator or producer existed.
+    #[cfg(debug_assertions)]
+    fn fail(e: taurus_common::Error) -> RowStream {
+        let (tx, rx) = sync_channel::<Result<Batch>>(1);
+        let _ = tx.send(Err(e));
+        RowStream {
+            rx,
+            cur: RowBatchIter::empty(),
+            producer: None,
         }
     }
 
@@ -118,6 +138,8 @@ impl RowStream {
                             root.close();
                             Ok(())
                         })
+                        // lint:allow(panic): inside catch_unwind; re-raising a child
+                        // panic here surfaces it as a stream error below
                         .expect("stream pipeline scope panicked")
                     }));
                 match result {
@@ -138,6 +160,7 @@ impl RowStream {
                     }
                 }
             })
+            // lint:allow(panic): thread spawn fails only on OS resource exhaustion
             .expect("spawn row-stream producer");
         RowStream {
             rx,
@@ -160,6 +183,7 @@ impl RowStream {
         let producer = std::thread::Builder::new()
             .name("taurus-row-stream".into())
             .spawn(move || run_scan_producer(&db, &node, view, qctx, &tx, project))
+            // lint:allow(panic): thread spawn fails only on OS resource exhaustion
             .expect("spawn row-stream producer");
         RowStream {
             rx,

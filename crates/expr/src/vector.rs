@@ -368,6 +368,87 @@ pub struct VectorProgram {
     consts: Box<[ConstSlot]>,
     n_regs: usize,
     ret: u16,
+    /// Set by the static verifier's range analysis (crates/verify) when
+    /// every decimal rescale this program can perform is proven not to
+    /// overflow `i128`. Proven programs run the raw unchecked multiply
+    /// loops; unproven ones pay a per-lane `checked_mul` and defer the
+    /// batch to the generic slot path on overflow (whose `Dec::cmp_dec`
+    /// is overflow-sound), so results never depend on this flag.
+    proven_safe: bool,
+}
+
+/// A typed, read-only view of one straight-line vector op, exposed for
+/// the static verifier's abstract interpreter (`crates/verify`). Mirrors
+/// the private op list without leaking evaluation internals; register
+/// indices are the same as the source IR's.
+#[derive(Clone, Copy, Debug)]
+pub enum VOpView {
+    /// A column (batch position) or record-field load; `dtype` is known
+    /// only for record-layout loads.
+    Load {
+        dst: u16,
+        col: u16,
+        dtype: Option<DataType>,
+    },
+    LoadConst {
+        dst: u16,
+        idx: u16,
+    },
+    Mov {
+        dst: u16,
+        src: u16,
+    },
+    Cmp {
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    And {
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    Or {
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    Not {
+        dst: u16,
+        a: u16,
+    },
+    Arith {
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    Neg {
+        dst: u16,
+        a: u16,
+    },
+    IsNull {
+        dst: u16,
+        a: u16,
+    },
+    Like {
+        dst: u16,
+        a: u16,
+        pattern: u16,
+    },
+    InList {
+        dst: u16,
+        a: u16,
+        first: u16,
+        count: u16,
+    },
+    ExtractYear {
+        dst: u16,
+        a: u16,
+    },
+    Substr {
+        dst: u16,
+        a: u16,
+    },
 }
 
 impl VectorProgram {
@@ -452,7 +533,96 @@ impl VectorProgram {
             consts: ir.consts.iter().map(ConstSlot::from_value).collect(),
             n_regs: ir.n_regs as usize,
             ret,
+            proven_safe: false,
         })
+    }
+
+    /// Record the verifier's proof that no decimal rescale in this
+    /// program can overflow: comparison kernels then skip the per-lane
+    /// checked-overflow deferral. Only `crates/verify`'s range analysis
+    /// should establish this.
+    pub fn mark_proven_safe(&mut self) {
+        self.proven_safe = true;
+    }
+
+    pub fn is_proven_safe(&self) -> bool {
+        self.proven_safe
+    }
+
+    /// Register count (for the verifier's abstract interpreter).
+    pub fn reg_count(&self) -> usize {
+        self.n_regs
+    }
+
+    /// The register whose value is the program result.
+    pub fn ret_reg(&self) -> u16 {
+        self.ret
+    }
+
+    /// The straight-line op sequence in verifier-view form.
+    pub fn ops_view(&self) -> Vec<VOpView> {
+        self.ops
+            .iter()
+            .map(|op| match *op {
+                VOp::Load { dst, src } => match src {
+                    VLoad::Col { col } => VOpView::Load {
+                        dst,
+                        col,
+                        dtype: None,
+                    },
+                    VLoad::Field { pos, dtype } => VOpView::Load {
+                        dst,
+                        col: pos,
+                        dtype: Some(dtype),
+                    },
+                },
+                VOp::LoadConst { dst, idx } => VOpView::LoadConst { dst, idx },
+                VOp::Mov { dst, src } => VOpView::Mov { dst, src },
+                VOp::Cmp { dst, a, b, .. } => VOpView::Cmp { dst, a, b },
+                VOp::And { dst, a, b } => VOpView::And { dst, a, b },
+                VOp::Or { dst, a, b } => VOpView::Or { dst, a, b },
+                VOp::Not { dst, a } => VOpView::Not { dst, a },
+                VOp::Arith { dst, a, b, .. } => VOpView::Arith { dst, a, b },
+                VOp::Neg { dst, a } => VOpView::Neg { dst, a },
+                VOp::IsNull { dst, a, .. } => VOpView::IsNull { dst, a },
+                VOp::Like {
+                    dst, a, pattern, ..
+                } => VOpView::Like { dst, a, pattern },
+                VOp::InList {
+                    dst,
+                    a,
+                    first,
+                    count,
+                    ..
+                } => VOpView::InList {
+                    dst,
+                    a,
+                    first,
+                    count,
+                },
+                VOp::ExtractYear { dst, a } => VOpView::ExtractYear { dst, a },
+                VOp::Substr { dst, a, .. } => VOpView::Substr { dst, a },
+            })
+            .collect()
+    }
+
+    /// Columns/record positions this program loads (sorted, deduplicated)
+    /// — the vector-side counterpart of [`IrProgram::columns_used`].
+    pub fn columns_used(&self) -> Vec<u16> {
+        let mut cols: Vec<u16> = self
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                VOp::Load { src, .. } => Some(match src {
+                    VLoad::Col { col } => *col,
+                    VLoad::Field { pos, .. } => *pos,
+                }),
+                _ => None,
+            })
+            .collect();
+        cols.sort_unstable();
+        cols.dedup();
+        cols
     }
 
     /// Evaluate over an executor [`ColumnBatch`] (all physical rows; the
@@ -524,7 +694,13 @@ impl VectorProgram {
                 }
                 VOp::Mov { dst, src } => regs[dst as usize] = regs[src as usize].clone(),
                 VOp::Cmp { op, dst, a, b } => {
-                    let r = cmp_vec(op, &regs[a as usize], &regs[b as usize], len)?;
+                    let r = cmp_vec(
+                        op,
+                        &regs[a as usize],
+                        &regs[b as usize],
+                        len,
+                        self.proven_safe,
+                    )?;
                     regs[dst as usize] = VReg::Bool(r);
                 }
                 VOp::And { dst, a, b } => {
@@ -825,24 +1001,31 @@ fn column_slots<'a>(cv: &'a ColumnVec, len: usize) -> Vec<Slot<'a>> {
     }
 }
 
-fn cmp_vec(op: CmpOp, ra: &VReg<'_>, rb: &VReg<'_>, len: usize) -> Result<BoolVec> {
+fn cmp_vec(
+    op: CmpOp,
+    ra: &VReg<'_>,
+    rb: &VReg<'_>,
+    len: usize,
+    proven_safe: bool,
+) -> Result<BoolVec> {
     // Typed fast paths first: raw-vector loops, no per-lane slot dispatch.
-    // `None` means "shape not specialized" — never a semantic difference —
-    // and the generic path below reproduces scalar-VM behavior exactly
-    // (including its type errors).
+    // `None` means "shape not specialized" (or a checked rescale deferred
+    // the batch) — never a semantic difference — and the generic path
+    // below reproduces scalar-VM behavior exactly (including its type
+    // errors; `slot_cmp`'s `Dec::cmp_dec` is overflow-sound).
     match (ra, rb) {
         (VReg::Col(cv), VReg::Splat(s)) => {
-            if let Some(bv) = cmp_col_const(op, cv, s, len) {
+            if let Some(bv) = cmp_col_const(op, cv, s, len, proven_safe) {
                 return Ok(bv);
             }
         }
         (VReg::Splat(s), VReg::Col(cv)) => {
-            if let Some(bv) = cmp_col_const(op.flip(), cv, s, len) {
+            if let Some(bv) = cmp_col_const(op.flip(), cv, s, len, proven_safe) {
                 return Ok(bv);
             }
         }
         (VReg::Col(ca), VReg::Col(cb)) => {
-            if let Some(bv) = cmp_col_col(op, ca, cb) {
+            if let Some(bv) = cmp_col_col(op, ca, cb, proven_safe) {
                 return Ok(bv);
             }
         }
@@ -885,10 +1068,42 @@ fn pow10(scale: u8) -> i128 {
     10i128.pow(scale as u32)
 }
 
+/// Largest upscale exponent for which `i64 as i128 * 10^k` cannot exceed
+/// `i128`: `i64::MAX · 10^19 < i128::MAX` (range analysis soundness
+/// anchor — DESIGN.md "Static verification").
+const MAX_I64_UPSCALE: u8 = 19;
+
+/// Checked variant of [`cmp_tight`]: any lane whose rescale would
+/// overflow aborts the specialization (`None`), deferring the whole batch
+/// to the generic slot path, whose `Dec::cmp_dec` is overflow-sound.
+fn cmp_tight_checked<T: Copy>(
+    vals: &[T],
+    valid: &Bitmap,
+    f: impl Fn(T) -> Option<bool>,
+) -> Option<BoolVec> {
+    let mut out = BoolVec::with_len(vals.len());
+    out.valid.copy_from_slice(valid.words());
+    for (i, &v) in vals.iter().enumerate() {
+        out.truth[i / 64] |= (f(v)? as u64) << (i % 64);
+    }
+    for (t, &w) in out.truth.iter_mut().zip(&out.valid) {
+        *t &= w;
+    }
+    Some(out)
+}
+
 /// Column vs constant, specialized per typed [`ColumnVec`] variant.
 /// Decimal/int mixes pre-align the constant (or fold the per-lane align
 /// multiply into the loop) exactly as `Dec::align` would per lane.
-fn cmp_col_const(op: CmpOp, cv: &ColumnVec, c: &Slot<'_>, len: usize) -> Option<BoolVec> {
+/// `proven_safe` programs skip the per-lane overflow checks; everything
+/// else runs checked and defers on overflow.
+fn cmp_col_const(
+    op: CmpOp,
+    cv: &ColumnVec,
+    c: &Slot<'_>,
+    len: usize,
+    proven_safe: bool,
+) -> Option<BoolVec> {
     if matches!(c, Slot::Null) {
         // NULL compares to NULL on every lane.
         return Some(BoolVec::with_len(len));
@@ -899,6 +1114,11 @@ fn cmp_col_const(op: CmpOp, cv: &ColumnVec, c: &Slot<'_>, len: usize) -> Option<
             Some(cmp_tight(vals, valid, |v| cmp_holds(op, v.cmp(&c))))
         }
         (ColumnVec::Int64 { vals, valid }, Slot::Dec(d)) => {
+            // The lane side is i64 by type, so `v · 10^scale` is statically
+            // safe for any scale ≤ 19 — no flag or per-lane check needed.
+            if d.scale > MAX_I64_UPSCALE {
+                return None;
+            }
             let (p, cr) = (pow10(d.scale), d.raw);
             Some(cmp_tight(vals, valid, |v| {
                 cmp_holds(op, (v as i128 * p).cmp(&cr))
@@ -910,7 +1130,13 @@ fn cmp_col_const(op: CmpOp, cv: &ColumnVec, c: &Slot<'_>, len: usize) -> Option<
                 Some(cmp_tight(raw, valid, |v| cmp_holds(op, v.cmp(&cr))))
             } else {
                 let (p, cr) = (pow10(d.scale - scale), d.raw);
-                Some(cmp_tight(raw, valid, |v| cmp_holds(op, (v * p).cmp(&cr))))
+                if proven_safe {
+                    Some(cmp_tight(raw, valid, |v| cmp_holds(op, (v * p).cmp(&cr))))
+                } else {
+                    cmp_tight_checked(raw, valid, |v| {
+                        Some(cmp_holds(op, v.checked_mul(p)?.cmp(&cr)))
+                    })
+                }
             }
         }
         (ColumnVec::Dec { raw, scale, valid }, Slot::Int(c)) => {
@@ -926,8 +1152,10 @@ fn cmp_col_const(op: CmpOp, cv: &ColumnVec, c: &Slot<'_>, len: usize) -> Option<
 }
 
 /// Column vs column for matching typed variants; validity is the
-/// word-level AND of both bitmaps.
-fn cmp_col_col(op: CmpOp, ca: &ColumnVec, cb: &ColumnVec) -> Option<BoolVec> {
+/// word-level AND of both bitmaps. Decimal pairs of unequal scale
+/// rescale per lane: `proven_safe` programs run the raw multiplies,
+/// unproven ones check and defer on overflow.
+fn cmp_col_col(op: CmpOp, ca: &ColumnVec, cb: &ColumnVec, proven_safe: bool) -> Option<BoolVec> {
     fn zip<T: Copy, U: Copy>(
         op: CmpOp,
         a: &[T],
@@ -968,7 +1196,21 @@ fn cmp_col_col(op: CmpOp, ca: &ColumnVec, cb: &ColumnVec) -> Option<BoolVec> {
             },
         ) => {
             let (pa, pb) = (pow10(sa.max(sb) - sa), pow10(sa.max(sb) - sb));
-            Some(zip(op, a, b, va, vb, |x, y| (x * pa).cmp(&(y * pb))))
+            if proven_safe || (pa == 1 && pb == 1) {
+                return Some(zip(op, a, b, va, vb, |x, y| (x * pa).cmp(&(y * pb))));
+            }
+            let mut out = BoolVec::with_len(a.len());
+            for (o, (&x, &y)) in out.valid.iter_mut().zip(va.words().iter().zip(vb.words())) {
+                *o = x & y;
+            }
+            for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+                let (xs, ys) = (x.checked_mul(pa)?, y.checked_mul(pb)?);
+                out.truth[i / 64] |= (cmp_holds(op, xs.cmp(&ys)) as u64) << (i % 64);
+            }
+            for (t, &w) in out.truth.iter_mut().zip(&out.valid) {
+                *t &= w;
+            }
+            Some(out)
         }
         _ => None,
     }
@@ -1238,6 +1480,84 @@ mod tests {
             assert_eq!(and.get_lane(i), want_and, "AND lane {i}");
             assert_eq!(or.get_lane(i), want_or, "OR lane {i}");
             assert_eq!(not.get_lane(i), x.map(|v| !v), "NOT lane {i}");
+        }
+    }
+
+    /// A decimal comparison whose per-lane rescale overflows `i128` must
+    /// defer to the generic path and still agree with the interpreter —
+    /// and a `proven_safe` program over safe lanes must produce the same
+    /// bits as the default checked program.
+    #[test]
+    fn overflow_lanes_defer_and_proven_safe_agrees() {
+        // col1 has scale 2; compare against a scale-30 constant so every
+        // lane upscales by 10^28 — raws near i64::MAX then overflow i128.
+        let huge = Expr::gt(Expr::col(1), Expr::Lit(Value::Decimal(Dec::new(1, 30))));
+        let dt = dtypes();
+        let mut cb = ColumnBatch::with_capacity(&dt, 2);
+        cb.push_row(vec![
+            Value::Int(1),
+            Value::Decimal(Dec::new(i64::MAX as i128, 2)),
+            Value::Date(Date32(0)),
+            Value::str("A"),
+            Value::str("B"),
+        ]);
+        cb.push_row(vec![
+            Value::Int(1),
+            Value::Decimal(Dec::new(-7, 2)),
+            Value::Date(Date32(0)),
+            Value::str("A"),
+            Value::str("B"),
+        ]);
+        let vp = VectorProgram::from_expr(&huge).unwrap();
+        assert!(!vp.is_proven_safe());
+        let bv = vp.eval_batch(&cb).unwrap();
+        // i64::MAX / 100 > 10^-30  → true; -0.07 > tiny positive → false.
+        assert_eq!(bv.get_lane(0), Some(true));
+        assert_eq!(bv.get_lane(1), Some(false));
+
+        // Safe data: checked and proven-safe programs agree bit-for-bit.
+        let p = Expr::gt(Expr::col(1), Expr::dec("0.0505"));
+        let rows = random_rows(200, 0xAB);
+        let cb = batch_of(&rows);
+        let checked = VectorProgram::from_expr(&p).unwrap();
+        let mut proven = VectorProgram::from_expr(&p).unwrap();
+        proven.mark_proven_safe();
+        assert!(proven.is_proven_safe());
+        let a = checked.eval_batch(&cb).unwrap();
+        let b = proven.eval_batch(&cb).unwrap();
+        for i in 0..rows.len() {
+            assert_eq!(a.get_lane(i), b.get_lane(i), "lane {i}");
+        }
+    }
+
+    /// The verifier-facing views expose the same structure the evaluator
+    /// runs: straight-line ops, the IR's registers, the loaded columns.
+    #[test]
+    fn ops_view_mirrors_program() {
+        let p = Expr::and(vec![
+            Expr::gt(Expr::col(0), Expr::int(1)),
+            Expr::lt(Expr::col(2), Expr::date("1995-01-01")),
+        ]);
+        let vp = VectorProgram::from_expr(&p).unwrap();
+        assert_eq!(vp.columns_used(), vec![0, 2]);
+        assert!((vp.ret_reg() as usize) < vp.reg_count());
+        let view = vp.ops_view();
+        assert!(!view.is_empty());
+        let loads: Vec<u16> = view
+            .iter()
+            .filter_map(|o| match o {
+                VOpView::Load { col, .. } => Some(*col),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(loads, vec![0, 2]);
+        // Every register mentioned is in range.
+        for o in &view {
+            if let VOpView::Cmp { dst, a, b } = o {
+                assert!((*dst as usize) < vp.reg_count());
+                assert!((*a as usize) < vp.reg_count());
+                assert!((*b as usize) < vp.reg_count());
+            }
         }
     }
 

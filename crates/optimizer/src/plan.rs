@@ -292,30 +292,9 @@ impl Plan {
         })
     }
 
-    /// The width (values per row) of this plan's output — statically
-    /// known for every shape. Operators use it where the dynamic width
-    /// is unknowable (e.g. NULL-padding a LEFT OUTER join whose build
-    /// side produced no rows).
-    pub fn width(&self) -> usize {
-        match self {
-            Plan::Scan(s) => s.output.len(),
-            Plan::AggScan(a) => a.group_cols.len() + a.aggs.len(),
-            Plan::LookupJoin(j) => match j.join {
-                JoinType::Inner | JoinType::LeftOuter => j.outer.width() + j.inner_output.len(),
-                JoinType::Semi | JoinType::Anti => j.outer.width(),
-            },
-            Plan::HashJoin(j) => match j.join {
-                JoinType::Inner | JoinType::LeftOuter => j.left.width() + j.right.width(),
-                JoinType::Semi | JoinType::Anti => j.left.width(),
-            },
-            Plan::HashAgg(a) => a.group.len() + a.aggs.len(),
-            Plan::Project(p) => p.exprs.len(),
-            Plan::Filter(f) => f.input.width(),
-            Plan::Sort(s) => s.input.width(),
-            Plan::Limit { input, .. } => input.width(),
-            Plan::Exchange(e) => e.child.width(),
-        }
-    }
+    // The static output width of a plan lives in the verifier
+    // (`taurus_verify::plan_width`), derived from the same structural
+    // walk as the full schema inference — one definition, not two.
 
     /// Visit every scan node mutably (the NDP pass and tests use this).
     pub fn for_each_scan_mut(&mut self, f: &mut impl FnMut(&mut ScanNode, bool)) {

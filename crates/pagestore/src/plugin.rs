@@ -118,6 +118,7 @@ impl InnodbNdpPlugin {
     }
 
     fn new_states(cd: &CachedDescriptor) -> Vec<AggState> {
+        // lint:allow(panic): callers reach here only on descriptors with aggregation
         let agg = cd.desc.aggregation.as_ref().expect("aggregation requested");
         agg.specs
             .iter()
@@ -130,6 +131,7 @@ impl InnodbNdpPlugin {
 
     /// Fold one row's aggregate inputs into the running states.
     fn fold(cd: &CachedDescriptor, states: &mut [AggState], values: &[Value]) {
+        // lint:allow(panic): callers reach here only on descriptors with aggregation
         let agg = cd.desc.aggregation.as_ref().expect("aggregation requested");
         for (st, spec) in states.iter_mut().zip(&agg.specs) {
             match spec.col {
@@ -140,6 +142,7 @@ impl InnodbNdpPlugin {
     }
 
     fn group_key(cd: &CachedDescriptor, view: &RecordView<'_>) -> Vec<Value> {
+        // lint:allow(panic): callers reach here only on descriptors with aggregation
         let agg = cd.desc.aggregation.as_ref().expect("aggregation requested");
         agg.group_cols
             .iter()
@@ -290,6 +293,7 @@ impl NdpPlugin for InnodbNdpPlugin {
             }
             let values = view.values();
             if grouped {
+                // lint:allow(panic): grouped=true implies the descriptor aggregates
                 let agg = cd.desc.aggregation.as_ref().unwrap();
                 let key: Vec<Value> = agg
                     .group_cols
@@ -430,6 +434,7 @@ impl NdpPlugin for InnodbNdpPlugin {
             for (s, b) in p.ambig {
                 out.emit(s, b);
             }
+            // lint:allow(panic): a pending ambiguous page is only parked after a carrier row
             let c = carrier.take().expect("pending page implies a carrier");
             let payload = taurus_expr::agg::encode_states(&states);
             let bytes = Self::encode_survivor(cd, &c.values, c.trx_id, c.heap_no, Some(&payload))?;

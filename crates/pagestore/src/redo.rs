@@ -163,6 +163,7 @@ impl RedoRecord {
             }
             RedoBody::SetNext(n) => p.set_next(*n),
             RedoBody::SetPrev(n) => p.set_prev(*n),
+            // lint:allow(panic): apply() matched those variants before dispatching here
             _ => unreachable!("NewPage/FreePage/system handled above"),
         }
         p.set_lsn(self.lsn);
@@ -266,68 +267,80 @@ impl RedoRecord {
             *at += n;
             Ok(s)
         };
-        let lsn = u64::from_le_bytes(take(at, 8)?.try_into().unwrap());
-        let space = SpaceId(u32::from_le_bytes(take(at, 4)?.try_into().unwrap()));
-        let page_no = u32::from_le_bytes(take(at, 4)?.try_into().unwrap());
+        // Fixed-width readers: `take(n)` sliced exactly n bytes, so the
+        // array conversions below cannot fail.
+        let r_u16 = |at: &mut usize| -> Result<u16> {
+            // lint:allow(panic): take(2) returned exactly 2 bytes
+            Ok(u16::from_le_bytes(take(at, 2)?.try_into().unwrap()))
+        };
+        let r_u32 = |at: &mut usize| -> Result<u32> {
+            // lint:allow(panic): take(4) returned exactly 4 bytes
+            Ok(u32::from_le_bytes(take(at, 4)?.try_into().unwrap()))
+        };
+        let r_u64 = |at: &mut usize| -> Result<u64> {
+            // lint:allow(panic): take(8) returned exactly 8 bytes
+            Ok(u64::from_le_bytes(take(at, 8)?.try_into().unwrap()))
+        };
+        let lsn = r_u64(at)?;
+        let space = SpaceId(r_u32(at)?);
+        let page_no = r_u32(at)?;
         let tag = take(at, 1)?[0];
         let body = match tag {
             0 => {
-                let n = u32::from_le_bytes(take(at, 4)?.try_into().unwrap()) as usize;
+                let n = r_u32(at)? as usize;
                 RedoBody::NewPage(take(at, n)?.to_vec())
             }
             1 => {
-                let slot_idx = u16::from_le_bytes(take(at, 2)?.try_into().unwrap());
-                let n = u32::from_le_bytes(take(at, 4)?.try_into().unwrap()) as usize;
+                let slot_idx = r_u16(at)?;
+                let n = r_u32(at)? as usize;
                 RedoBody::InsertRecord {
                     slot_idx,
                     rec: take(at, n)?.to_vec(),
                 }
             }
             2 => {
-                let rec_at = u16::from_le_bytes(take(at, 2)?.try_into().unwrap());
+                let rec_at = r_u16(at)?;
                 let mark = take(at, 1)?[0] != 0;
                 RedoBody::SetDeleteMark { rec_at, mark }
             }
             3 => {
-                let a = u16::from_le_bytes(take(at, 2)?.try_into().unwrap());
-                let n = u32::from_le_bytes(take(at, 4)?.try_into().unwrap()) as usize;
+                let a = r_u16(at)?;
+                let n = r_u32(at)? as usize;
                 RedoBody::WriteBytes {
                     at: a,
                     bytes: take(at, n)?.to_vec(),
                 }
             }
-            4 => RedoBody::SetNext(u32::from_le_bytes(take(at, 4)?.try_into().unwrap())),
-            5 => RedoBody::SetPrev(u32::from_le_bytes(take(at, 4)?.try_into().unwrap())),
+            4 => RedoBody::SetNext(r_u32(at)?),
+            5 => RedoBody::SetPrev(r_u32(at)?),
             6 => RedoBody::FreePage,
             7 => {
-                let n = u32::from_le_bytes(take(at, 4)?.try_into().unwrap()) as usize;
+                let n = r_u32(at)? as usize;
                 RedoBody::SysCatalog(take(at, n)?.to_vec())
             }
             8 => {
-                let n = u32::from_le_bytes(take(at, 4)?.try_into().unwrap()) as usize;
+                let n = r_u32(at)? as usize;
                 RedoBody::SysLoaded(take(at, n)?.to_vec())
             }
             9 => {
-                let writer = u64::from_le_bytes(take(at, 8)?.try_into().unwrap());
-                let kn = u32::from_le_bytes(take(at, 4)?.try_into().unwrap()) as usize;
+                let writer = r_u64(at)?;
+                let kn = r_u32(at)? as usize;
                 let key = take(at, kn)?.to_vec();
                 let prev = match take(at, 1)?[0] {
                     0 => None,
                     _ => {
-                        let pn = u32::from_le_bytes(take(at, 4)?.try_into().unwrap()) as usize;
+                        let pn = r_u32(at)? as usize;
                         Some(take(at, pn)?.to_vec())
                     }
                 };
                 RedoBody::SysUndo { key, writer, prev }
             }
             10 => {
-                let trx = u64::from_le_bytes(take(at, 8)?.try_into().unwrap());
+                let trx = r_u64(at)?;
                 let aborted = take(at, 1)?[0] != 0;
-                let low_limit = u64::from_le_bytes(take(at, 8)?.try_into().unwrap());
-                let n = u32::from_le_bytes(take(at, 4)?.try_into().unwrap()) as usize;
-                let active = (0..n)
-                    .map(|_| Ok(u64::from_le_bytes(take(at, 8)?.try_into().unwrap())))
-                    .collect::<Result<_>>()?;
+                let low_limit = r_u64(at)?;
+                let n = r_u32(at)? as usize;
+                let active = (0..n).map(|_| r_u64(at)).collect::<Result<_>>()?;
                 RedoBody::SysTrxEnd {
                     trx,
                     aborted,
@@ -336,9 +349,9 @@ impl RedoRecord {
                 }
             }
             11 => {
-                let root = u32::from_le_bytes(take(at, 4)?.try_into().unwrap());
-                let height = u32::from_le_bytes(take(at, 4)?.try_into().unwrap());
-                let n_leaves = u32::from_le_bytes(take(at, 4)?.try_into().unwrap());
+                let root = r_u32(at)?;
+                let height = r_u32(at)?;
+                let n_leaves = r_u32(at)?;
                 RedoBody::SysShape {
                     root,
                     height,
@@ -369,6 +382,7 @@ impl RedoRecord {
         if buf.len() < 4 {
             return Err(Error::Corruption("truncated redo batch".into()));
         }
+        // lint:allow(panic): length >= 4 checked above
         let n = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
         let mut at = 4usize;
         let mut out = Vec::with_capacity(n);

@@ -93,7 +93,9 @@ impl PoolState {
             .next()
             .map(|(id, _)| *id)
             .or_else(|| self.queues.keys().next().copied())?;
+        // lint:allow(panic): `next` was just read from this map's keys
         let q = self.queues.get_mut(&next).expect("queue exists");
+        // lint:allow(panic): emptied queues are removed below, so `q` has a job
         let job = q.pop_front().expect("non-empty queue");
         if q.is_empty() {
             self.queues.remove(&next);
@@ -116,19 +118,27 @@ struct Shared {
 }
 
 impl Shared {
+    /// Lock the pool state. A poisoned mutex means a worker panicked
+    /// while holding the lock; the pool has no recovery path from that.
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolState> {
+        // lint:allow(panic): poisoned pool mutex is unrecoverable
+        self.state.lock().unwrap()
+    }
+
     fn worker_loop(&self) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.lock();
         loop {
             if let Some(job) = st.pop_next() {
                 drop(st);
                 self.space_cv.notify_one();
                 job();
-                st = self.state.lock().unwrap();
+                st = self.lock();
                 continue;
             }
             if st.shutdown {
                 return;
             }
+            // lint:allow(panic): poisoned pool mutex is unrecoverable
             st = self.jobs_cv.wait(st).unwrap();
         }
     }
@@ -170,6 +180,7 @@ impl NdpPool {
                 std::thread::Builder::new()
                     .name(format!("ndp-worker-{i}"))
                     .spawn(move || sh.worker_loop())
+                    // lint:allow(panic): at-startup spawn fails only on OS resource exhaustion
                     .expect("spawn ndp worker"),
             );
         }
@@ -195,14 +206,14 @@ impl NdpPool {
 
     /// Jobs currently queued (not counting running jobs).
     pub fn queue_len(&self) -> usize {
-        self.shared.state.lock().unwrap().queued
+        self.shared.lock().queued
     }
 
     /// Is the queue saturated? The store-level shed signal: when true, a
     /// whole incoming batch degrades to raw pages up front instead of
     /// racing N per-page submissions against a full queue.
     pub fn overloaded(&self) -> bool {
-        self.shared.state.lock().unwrap().queued >= self.cap
+        self.shared.lock().queued >= self.cap
     }
 
     /// Submit without waiting, attributed to a tenant. Anything but
@@ -213,7 +224,7 @@ impl NdpPool {
         tenant: TenantId,
         job: impl FnOnce() + Send + 'static,
     ) -> Admission {
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = self.shared.lock();
         if st.shutdown || st.queued >= self.cap {
             drop(st);
             self.rejected.fetch_add(1, Ordering::Relaxed);
@@ -248,8 +259,9 @@ impl NdpPool {
     /// tenant quota (one job per batch is already bounded by the
     /// caller's batch fan-out).
     pub fn submit_for(&self, tenant: TenantId, job: impl FnOnce() + Send + 'static) -> bool {
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = self.shared.lock();
         while st.queued >= self.cap && !st.shutdown {
+            // lint:allow(panic): poisoned pool mutex is unrecoverable
             st = self.shared.space_cv.wait(st).unwrap();
         }
         if st.shutdown {
@@ -274,7 +286,7 @@ impl NdpPool {
 
 impl Drop for NdpPool {
     fn drop(&mut self) {
-        self.shared.state.lock().unwrap().shutdown = true;
+        self.shared.lock().shutdown = true;
         self.shared.jobs_cv.notify_all();
         self.shared.space_cv.notify_all();
         // Workers drain every queued job before exiting (pop-then-check),

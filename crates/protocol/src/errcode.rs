@@ -23,6 +23,7 @@ pub fn error_code(e: &Error) -> u16 {
         Error::Internal(_) => 9,
         Error::Overloaded(_) => 10,
         Error::DeadlineExceeded(_) => 11,
+        Error::Verify(_) => 12,
     }
 }
 
@@ -48,7 +49,8 @@ pub fn encode_error(e: &Error) -> (u16, String) {
         | Error::Unsupported(m)
         | Error::Internal(m)
         | Error::Overloaded(m)
-        | Error::DeadlineExceeded(m) => m.clone(),
+        | Error::DeadlineExceeded(m)
+        | Error::Verify(m) => m.clone(),
     };
     (error_code(e), m)
 }
@@ -70,6 +72,7 @@ pub fn decode_error(code: u16, message: String) -> Error {
         9 => Error::Internal(message),
         10 => Error::Overloaded(message),
         11 => Error::DeadlineExceeded(message),
+        12 => Error::Verify(message),
         _ => Error::Internal(format!("unknown wire error code {code}: {message}")),
     }
 }
@@ -94,6 +97,7 @@ mod tests {
             Error::Internal("x".into()),
             Error::Overloaded("o".into()),
             Error::DeadlineExceeded("d".into()),
+            Error::Verify("v".into()),
         ]
     }
 
@@ -104,7 +108,7 @@ mod tests {
         // Append-only: codes 1–9 predate the governance variants and must
         // never shift under them.
         assert_eq!(codes[..9], [1, 2, 3, 4, 5, 6, 7, 8, 9]);
-        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]);
     }
 
     #[test]

@@ -115,27 +115,35 @@ impl<'a> Cursor<'a> {
         Ok(self.take(1)?[0])
     }
 
+    // lint:allow(panic) notes: each `try_into().unwrap()` below converts
+    // a slice `take(N)?` just produced with exactly N bytes — infallible.
     pub fn u16(&mut self) -> Result<u16> {
+        // lint:allow(panic): take(2) returned exactly 2 bytes
         Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
     }
 
     pub fn u32(&mut self) -> Result<u32> {
+        // lint:allow(panic): take(4) returned exactly 4 bytes
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
     pub fn u64(&mut self) -> Result<u64> {
+        // lint:allow(panic): take(8) returned exactly 8 bytes
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
     pub fn i32(&mut self) -> Result<i32> {
+        // lint:allow(panic): take(4) returned exactly 4 bytes
         Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
     pub fn i64(&mut self) -> Result<i64> {
+        // lint:allow(panic): take(8) returned exactly 8 bytes
         Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
     pub fn i128(&mut self) -> Result<i128> {
+        // lint:allow(panic): take(16) returned exactly 16 bytes
         Ok(i128::from_le_bytes(self.take(16)?.try_into().unwrap()))
     }
 

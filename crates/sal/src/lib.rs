@@ -253,6 +253,7 @@ impl Sal {
                 let (inline, rest) = self
                     .log_stores
                     .split_last()
+                    // lint:allow(panic): a cluster is constructed with >= 1 log store
                     .expect("clusters have log stores");
                 for ls in rest {
                     s.spawn(|| append_one(ls));
@@ -504,6 +505,7 @@ impl Sal {
                         // (cancelled scan); the result is discarded.
                         let _ = tx.send(out);
                     })
+                    // lint:allow(panic): thread spawn fails only on OS resource exhaustion
                     .expect("spawn sal sub-batch dispatch"),
             );
         }

@@ -118,8 +118,10 @@ impl Gate {
     }
 
     pub fn acquire(&self) -> GatePermit<'_> {
+        // lint:allow(panic): gate mutex poisoned only if a permit holder panicked
         let mut st = self.state.lock().unwrap();
         while st.held >= self.max {
+            // lint:allow(panic): same poisoned-mutex reasoning as the lock above
             st = self.cv.wait(st).unwrap();
         }
         st.held += 1;
@@ -132,6 +134,7 @@ impl Gate {
     /// converts overload into latency — refuse with the *retryable*
     /// [`Error::Overloaded`] instead so well-behaved clients back off.
     pub fn acquire_bounded(&self, max_waiting: usize) -> Result<GatePermit<'_>> {
+        // lint:allow(panic): gate mutex poisoned only if a permit holder panicked
         let mut st = self.state.lock().unwrap();
         if st.held >= self.max {
             if st.waiting >= max_waiting {
@@ -143,6 +146,7 @@ impl Gate {
             }
             st.waiting += 1;
             while st.held >= self.max {
+                // lint:allow(panic): same poisoned-mutex reasoning as the lock above
                 st = self.cv.wait(st).unwrap();
             }
             st.waiting -= 1;
@@ -153,6 +157,7 @@ impl Gate {
 
     /// Queued callers right now (for tests and introspection).
     pub fn waiting(&self) -> usize {
+        // lint:allow(panic): gate mutex poisoned only if a permit holder panicked
         self.state.lock().unwrap().waiting
     }
 }
@@ -164,6 +169,7 @@ pub struct GatePermit<'a> {
 
 impl Drop for GatePermit<'_> {
     fn drop(&mut self) {
+        // lint:allow(panic): drop must rebalance the gate; poisoning is already fatal
         let mut st = self.gate.state.lock().unwrap();
         st.held -= 1;
         drop(st);
@@ -229,7 +235,7 @@ impl Server {
             std::thread::Builder::new()
                 .name("taurus-accept".into())
                 .spawn(move || accept_loop(listener, state))
-                .expect("spawn accept loop")
+                .map_err(|e| Error::InvalidState(format!("spawn accept loop: {e}")))?
         };
         Ok(ServerHandle {
             local_addr,

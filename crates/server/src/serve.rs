@@ -264,6 +264,7 @@ fn to_agg(func: WireAggFunc, input: Option<&WireExpr>) -> Result<Agg> {
         ))
     })?)?;
     Ok(match func {
+        // lint:allow(panic): CountStar early-returned above
         WireAggFunc::CountStar => unreachable!(),
         WireAggFunc::Count => Agg::count(e),
         WireAggFunc::Sum => Agg::sum(e),

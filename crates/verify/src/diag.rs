@@ -1,0 +1,149 @@
+//! Structured verification diagnostics.
+//!
+//! Every check in this crate reports findings as [`Diagnostic`]s rather
+//! than bare strings: a machine-matchable [`DiagKind`], a severity, a
+//! *plan path* locating the offending node (e.g.
+//! `Sort/HashJoin.left/Scan(lineitem)`), and a human-readable detail.
+//! The pre-execution gate turns error-severity diagnostics into
+//! [`taurus_common::Error::Verify`]; warnings are advisory (the engine
+//! will still produce a well-typed runtime error for them).
+
+use std::fmt;
+
+/// What a diagnostic is about. Append-only: tests pin individual kinds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DiagKind {
+    /// A scan references a table the catalog does not have.
+    UnknownTable,
+    /// A scan's index ordinal is out of range for its table.
+    UnknownIndex,
+    /// A column position is out of range for the schema/input it indexes.
+    ColumnOutOfRange,
+    /// A residual predicate conjunct references a column the scan does
+    /// not deliver (the executor cannot remap it onto output positions).
+    ResidualNotInOutput,
+    /// An AggScan GROUP BY column is not delivered by its scan.
+    GroupColNotInOutput,
+    /// An AggScan aggregate input references a column its scan does not
+    /// deliver.
+    AggInputNotInOutput,
+    /// A key prefix (range bound or lookup-join key) is longer than the
+    /// index's effective key.
+    KeyPrefixTooLong,
+    /// A positional key (sort / hash-join / lookup-join outer key) is out
+    /// of range for the input row width.
+    KeyOutOfRange,
+    /// Mismatched arity where two sides must agree (hash-join key lists).
+    ArityMismatch,
+    /// An NDP decision's pushed-conjunct index does not name a predicate
+    /// conjunct.
+    PushedOutOfRange,
+    /// Operand types cannot be compared/combined (advisory: the runtime
+    /// rejects these with a typed `Error::Type`).
+    TypeMismatch,
+    /// A scalar IR program violates the VM's structural contract.
+    IrShape,
+    /// A compiled vector program violates the kernel's contract.
+    VectorShape,
+    /// The scalar IR and its vectorized twin disagree at the type level
+    /// (columns read, register file shape, result register).
+    Equivalence,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Advisory: execution would fail with a typed runtime error, or the
+    /// construct is merely suspicious.
+    Warning,
+    /// The plan/program is malformed; executing it would surface an
+    /// internal invariant break (or worse). The gate rejects these.
+    Error,
+}
+
+/// One verification finding.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    pub kind: DiagKind,
+    pub severity: Severity,
+    /// Plan-path location: `/`-joined node labels from the root, with
+    /// child-edge names where a node has several (`HashJoin.left/...`).
+    pub path: String,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn error(kind: DiagKind, path: &str, message: String) -> Diagnostic {
+        Diagnostic {
+            kind,
+            severity: Severity::Error,
+            path: path.to_string(),
+            message,
+        }
+    }
+
+    pub fn warning(kind: DiagKind, path: &str, message: String) -> Diagnostic {
+        Diagnostic {
+            kind,
+            severity: Severity::Warning,
+            path: path.to_string(),
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(
+            f,
+            "{sev}[{:?}] at {}: {}",
+            self.kind, self.path, self.message
+        )
+    }
+}
+
+/// Render a diagnostic list one-per-line (the `Error::Verify` payload).
+pub fn render(diags: &[Diagnostic]) -> String {
+    diags
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Do any diagnostics reject the plan?
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_kind_path_and_detail() {
+        let d = Diagnostic::error(
+            DiagKind::ResidualNotInOutput,
+            "Sort/Scan(lineitem)",
+            "column 5 not in scan output [0, 1]".into(),
+        );
+        let s = d.to_string();
+        assert!(s.contains("ResidualNotInOutput"), "{s}");
+        assert!(s.contains("Sort/Scan(lineitem)"), "{s}");
+        assert!(s.contains("column 5"), "{s}");
+        assert!(s.starts_with("error"), "{s}");
+    }
+
+    #[test]
+    fn render_joins_lines_and_has_errors_ignores_warnings() {
+        let w = Diagnostic::warning(DiagKind::TypeMismatch, "Scan(t)", "int vs str".into());
+        assert!(!has_errors(std::slice::from_ref(&w)));
+        let e = Diagnostic::error(DiagKind::UnknownTable, "Scan(nope)", "no such table".into());
+        assert!(has_errors(&[w.clone(), e.clone()]));
+        let r = render(&[w, e]);
+        assert_eq!(r.lines().count(), 2);
+    }
+}

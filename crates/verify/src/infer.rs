@@ -1,0 +1,643 @@
+//! Plan schema inference: type, width, and nullability for every
+//! [`Plan`] shape, checked against the live catalog.
+//!
+//! The inference is deliberately *permissive*: error-severity
+//! diagnostics are raised only for structural violations that the
+//! executor could not turn into a well-typed result — column positions
+//! out of range, residual/group/aggregate references the scan does not
+//! deliver (the paths that previously surfaced mid-execution as
+//! `Error::Internal`), key prefixes longer than the index key, and
+//! mismatched join-key arity. Type-level doubts (comparing a string to a
+//! number) are warnings: the runtime rejects those with a typed
+//! `Error::Type` of its own.
+
+use std::sync::Arc;
+
+use taurus_common::{DataType, Value};
+use taurus_expr::ast::Expr;
+use taurus_ndp::{Table, TaurusDb};
+use taurus_optimizer::plan::{AggFuncEx, AggItem, JoinType, Plan, ScanNode};
+
+use crate::diag::{DiagKind, Diagnostic};
+
+/// Inferred type of one output column.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ColType {
+    pub dtype: DataType,
+    pub nullable: bool,
+}
+
+/// The result of inferring a plan: the output schema (when the plan is
+/// well-formed enough to have one) plus all diagnostics found.
+#[derive(Clone, Debug)]
+pub struct Inference {
+    pub schema: Option<Vec<ColType>>,
+    pub diags: Vec<Diagnostic>,
+}
+
+/// The width (values per row) of a plan's output, derived structurally —
+/// no catalog needed. This is the single source of width truth; the
+/// executor's operators use it where the dynamic width is unknowable
+/// (e.g. NULL-padding a LEFT OUTER join whose build side produced no
+/// rows).
+pub fn plan_width(plan: &Plan) -> usize {
+    match plan {
+        Plan::Scan(s) => s.output.len(),
+        Plan::AggScan(a) => a.group_cols.len() + a.aggs.len(),
+        Plan::LookupJoin(j) => match j.join {
+            JoinType::Inner | JoinType::LeftOuter => plan_width(&j.outer) + j.inner_output.len(),
+            JoinType::Semi | JoinType::Anti => plan_width(&j.outer),
+        },
+        Plan::HashJoin(j) => match j.join {
+            JoinType::Inner | JoinType::LeftOuter => plan_width(&j.left) + plan_width(&j.right),
+            JoinType::Semi | JoinType::Anti => plan_width(&j.left),
+        },
+        Plan::HashAgg(a) => a.group.len() + a.aggs.len(),
+        Plan::Project(p) => p.exprs.len(),
+        Plan::Filter(f) => plan_width(&f.input),
+        Plan::Sort(s) => plan_width(&s.input),
+        Plan::Limit { input, .. } => plan_width(input),
+        Plan::Exchange(e) => plan_width(&e.child),
+    }
+}
+
+/// Infer the output schema of `plan` against `db`'s catalog, collecting
+/// diagnostics along the way.
+pub fn infer_plan(plan: &Plan, db: &TaurusDb) -> Inference {
+    let mut diags = Vec::new();
+    let schema = infer(plan, db, "", &mut diags);
+    Inference { schema, diags }
+}
+
+/// Map table-column expressions onto delivered-output positions — the
+/// shared definition used by both the verifier and the executor's scan
+/// remapping. A column the output does not deliver yields a structured
+/// diagnostic instead of an internal error.
+pub fn remap_onto(
+    e: &Expr,
+    output: &[usize],
+    kind: DiagKind,
+    path: &str,
+) -> std::result::Result<Expr, Diagnostic> {
+    for c in e.columns() {
+        if !output.contains(&c) {
+            return Err(Diagnostic::error(
+                kind,
+                path,
+                format!("column {c} not in scan output {output:?}"),
+            ));
+        }
+    }
+    Ok(e.remap_columns(&|c| {
+        output
+            .iter()
+            .position(|&o| o == c)
+            .expect("all columns checked against output above")
+    }))
+}
+
+// --- recursive inference ----------------------------------------------------
+
+fn infer(
+    plan: &Plan,
+    db: &TaurusDb,
+    prefix: &str,
+    diags: &mut Vec<Diagnostic>,
+) -> Option<Vec<ColType>> {
+    match plan {
+        Plan::Scan(s) => infer_scan(s, db, &format!("{prefix}Scan({})", s.table), diags),
+        Plan::AggScan(a) => {
+            let path = format!("{prefix}AggScan({})", a.scan.table);
+            let scan_schema = infer_scan(&a.scan, db, &path, diags)?;
+            let table = db.table(&a.scan.table).ok()?;
+            let dtypes = table.schema.dtypes();
+            let mut ok = true;
+            let mut out: Vec<ColType> = Vec::with_capacity(a.group_cols.len() + a.aggs.len());
+            for &g in &a.group_cols {
+                if !a.scan.output.contains(&g) {
+                    diags.push(Diagnostic::error(
+                        DiagKind::GroupColNotInOutput,
+                        &path,
+                        format!("group column {g} not in scan output {:?}", a.scan.output),
+                    ));
+                    ok = false;
+                } else if g < table.schema.columns.len() {
+                    let c = &table.schema.columns[g];
+                    out.push(ColType {
+                        dtype: c.dtype,
+                        nullable: c.nullable,
+                    });
+                }
+            }
+            for (i, item) in a.aggs.iter().enumerate() {
+                if let Some(e) = &item.input {
+                    for c in e.columns() {
+                        if !a.scan.output.contains(&c) {
+                            diags.push(Diagnostic::error(
+                                DiagKind::AggInputNotInOutput,
+                                &path,
+                                format!(
+                                    "aggregate {i} input references column {c} not in scan output {:?}",
+                                    a.scan.output
+                                ),
+                            ));
+                            ok = false;
+                        }
+                    }
+                }
+                out.push(agg_coltype(item, &dtypes));
+            }
+            let _ = scan_schema;
+            ok.then_some(out)
+        }
+        Plan::LookupJoin(j) => {
+            let path = format!("{prefix}LookupJoin({})", j.table);
+            let outer = infer(&j.outer, db, &format!("{path}.outer/"), diags);
+            let table = lookup_table(db, &j.table, j.index, &path, diags)?;
+            let ncols = table.schema.columns.len();
+            let mut ok = true;
+            if let Some(o) = &outer {
+                for &k in &j.outer_key_cols {
+                    if k >= o.len() {
+                        diags.push(Diagnostic::error(
+                            DiagKind::KeyOutOfRange,
+                            &path,
+                            format!(
+                                "outer key position {k} out of range for outer width {}",
+                                o.len()
+                            ),
+                        ));
+                        ok = false;
+                    }
+                }
+            }
+            let keylen = table.index(j.index).tree.def.effective_key_cols().len();
+            if j.outer_key_cols.len() > keylen {
+                diags.push(Diagnostic::error(
+                    DiagKind::KeyPrefixTooLong,
+                    &path,
+                    format!(
+                        "{} outer key columns exceed the index's {keylen}-column effective key",
+                        j.outer_key_cols.len()
+                    ),
+                ));
+                ok = false;
+            }
+            for &c in &j.inner_output {
+                if c >= ncols {
+                    diags.push(Diagnostic::error(
+                        DiagKind::ColumnOutOfRange,
+                        &path,
+                        format!("inner output column {c} out of range for {ncols}-column table"),
+                    ));
+                    ok = false;
+                }
+            }
+            let inner_dtypes = table.schema.dtypes();
+            for p in &j.inner_predicate {
+                for c in p.columns() {
+                    if c >= ncols {
+                        diags.push(Diagnostic::error(
+                            DiagKind::ColumnOutOfRange,
+                            &path,
+                            format!(
+                                "inner predicate column {c} out of range for {ncols}-column table"
+                            ),
+                        ));
+                        ok = false;
+                    }
+                }
+                warn_predicate_types(p, &inner_dtypes, &path, diags);
+            }
+            if let (Some(on), Some(o)) = (&j.on, &outer) {
+                let w = o.len() + j.inner_output.len();
+                for c in on.columns() {
+                    if c >= w {
+                        diags.push(Diagnostic::error(
+                            DiagKind::ColumnOutOfRange,
+                            &path,
+                            format!("ON column {c} out of range for joined width {w}"),
+                        ));
+                        ok = false;
+                    }
+                }
+            }
+            let outer = outer?;
+            if !ok {
+                return None;
+            }
+            let mut out = outer;
+            if matches!(j.join, JoinType::Inner | JoinType::LeftOuter) {
+                let pad_nullable = j.join == JoinType::LeftOuter;
+                for &c in &j.inner_output {
+                    let col = &table.schema.columns[c];
+                    out.push(ColType {
+                        dtype: col.dtype,
+                        nullable: col.nullable || pad_nullable,
+                    });
+                }
+            }
+            Some(out)
+        }
+        Plan::HashJoin(j) => {
+            let path = format!("{prefix}HashJoin");
+            let left = infer(&j.left, db, &format!("{path}.left/"), diags);
+            let right = infer(&j.right, db, &format!("{path}.right/"), diags);
+            let mut ok = true;
+            if j.left_keys.len() != j.right_keys.len() {
+                diags.push(Diagnostic::error(
+                    DiagKind::ArityMismatch,
+                    &path,
+                    format!(
+                        "{} left keys vs {} right keys",
+                        j.left_keys.len(),
+                        j.right_keys.len()
+                    ),
+                ));
+                ok = false;
+            }
+            for (keys, side, schema) in [
+                (&j.left_keys, "left", &left),
+                (&j.right_keys, "right", &right),
+            ] {
+                if let Some(s) = schema {
+                    for &k in keys.iter() {
+                        if k >= s.len() {
+                            diags.push(Diagnostic::error(
+                                DiagKind::KeyOutOfRange,
+                                &path,
+                                format!(
+                                    "{side} key position {k} out of range for width {}",
+                                    s.len()
+                                ),
+                            ));
+                            ok = false;
+                        }
+                    }
+                }
+            }
+            if let (Some(l), Some(r)) = (&left, &right) {
+                for (&lk, &rk) in j.left_keys.iter().zip(&j.right_keys) {
+                    if let (Some(a), Some(b)) = (l.get(lk), r.get(rk)) {
+                        if family(a.dtype) != family(b.dtype) {
+                            diags.push(Diagnostic::warning(
+                                DiagKind::TypeMismatch,
+                                &path,
+                                format!("join key types differ: {:?} vs {:?}", a.dtype, b.dtype),
+                            ));
+                        }
+                    }
+                }
+            }
+            let (left, right) = (left?, right?);
+            if !ok {
+                return None;
+            }
+            let mut out = left;
+            if matches!(j.join, JoinType::Inner | JoinType::LeftOuter) {
+                let pad_nullable = j.join == JoinType::LeftOuter;
+                out.extend(right.into_iter().map(|c| ColType {
+                    dtype: c.dtype,
+                    nullable: c.nullable || pad_nullable,
+                }));
+            }
+            Some(out)
+        }
+        Plan::HashAgg(a) => {
+            let path = format!("{prefix}HashAgg");
+            let input = infer(&a.input, db, &format!("{path}/"), diags)?;
+            let dtypes: Vec<DataType> = input.iter().map(|c| c.dtype).collect();
+            let mut ok = true;
+            let mut out = Vec::with_capacity(a.group.len() + a.aggs.len());
+            for (i, g) in a.group.iter().enumerate() {
+                ok &= check_expr_cols(g, input.len(), &path, &format!("group expr {i}"), diags);
+                out.push(expr_coltype(g, &input));
+            }
+            for (i, item) in a.aggs.iter().enumerate() {
+                if let Some(e) = &item.input {
+                    ok &= check_expr_cols(
+                        e,
+                        input.len(),
+                        &path,
+                        &format!("aggregate {i} input"),
+                        diags,
+                    );
+                }
+                out.push(agg_coltype(item, &dtypes));
+            }
+            ok.then_some(out)
+        }
+        Plan::Project(p) => {
+            let path = format!("{prefix}Project");
+            let input = infer(&p.input, db, &format!("{path}/"), diags)?;
+            let mut ok = true;
+            let mut out = Vec::with_capacity(p.exprs.len());
+            for (i, e) in p.exprs.iter().enumerate() {
+                ok &= check_expr_cols(e, input.len(), &path, &format!("expr {i}"), diags);
+                out.push(expr_coltype(e, &input));
+            }
+            ok.then_some(out)
+        }
+        Plan::Filter(f) => {
+            let path = format!("{prefix}Filter");
+            let input = infer(&f.input, db, &format!("{path}/"), diags)?;
+            let ok = check_expr_cols(&f.predicate, input.len(), &path, "predicate", diags);
+            let dtypes: Vec<DataType> = input.iter().map(|c| c.dtype).collect();
+            warn_predicate_types(&f.predicate, &dtypes, &path, diags);
+            ok.then_some(input)
+        }
+        Plan::Sort(s) => {
+            let path = format!("{prefix}Sort");
+            let input = infer(&s.input, db, &format!("{path}/"), diags)?;
+            let mut ok = true;
+            for &(k, _) in &s.keys {
+                if k >= input.len() {
+                    diags.push(Diagnostic::error(
+                        DiagKind::KeyOutOfRange,
+                        &path,
+                        format!(
+                            "sort key position {k} out of range for width {}",
+                            input.len()
+                        ),
+                    ));
+                    ok = false;
+                }
+            }
+            ok.then_some(input)
+        }
+        Plan::Limit { input, .. } => infer(input, db, &format!("{prefix}Limit/"), diags),
+        Plan::Exchange(e) => infer(&e.child, db, &format!("{prefix}Exchange/"), diags),
+    }
+}
+
+fn lookup_table(
+    db: &TaurusDb,
+    name: &str,
+    index: usize,
+    path: &str,
+    diags: &mut Vec<Diagnostic>,
+) -> Option<Arc<Table>> {
+    let table = match db.table(name) {
+        Ok(t) => t,
+        Err(_) => {
+            diags.push(Diagnostic::error(
+                DiagKind::UnknownTable,
+                path,
+                format!("no table named {name:?} in the catalog"),
+            ));
+            return None;
+        }
+    };
+    if index > table.secondaries.len() {
+        diags.push(Diagnostic::error(
+            DiagKind::UnknownIndex,
+            path,
+            format!(
+                "index ordinal {index} out of range (table has {} secondaries)",
+                table.secondaries.len()
+            ),
+        ));
+        return None;
+    }
+    Some(table)
+}
+
+fn infer_scan(
+    s: &ScanNode,
+    db: &TaurusDb,
+    path: &str,
+    diags: &mut Vec<Diagnostic>,
+) -> Option<Vec<ColType>> {
+    let table = lookup_table(db, &s.table, s.index, path, diags)?;
+    let ncols = table.schema.columns.len();
+    let mut ok = true;
+    for &c in &s.output {
+        if c >= ncols {
+            diags.push(Diagnostic::error(
+                DiagKind::ColumnOutOfRange,
+                path,
+                format!("output column {c} out of range for {ncols}-column table"),
+            ));
+            ok = false;
+        }
+    }
+    let dtypes = table.schema.dtypes();
+    for (i, p) in s.predicate.iter().enumerate() {
+        for c in p.columns() {
+            if c >= ncols {
+                diags.push(Diagnostic::error(
+                    DiagKind::ColumnOutOfRange,
+                    path,
+                    format!(
+                        "predicate conjunct {i} column {c} out of range for {ncols}-column table"
+                    ),
+                ));
+                ok = false;
+            }
+        }
+        warn_predicate_types(p, &dtypes, path, diags);
+    }
+    if let Some(d) = &s.ndp {
+        for &i in &d.pushed {
+            if i >= s.predicate.len() {
+                diags.push(Diagnostic::error(
+                    DiagKind::PushedOutOfRange,
+                    path,
+                    format!(
+                        "NDP decision pushes conjunct {i}, but the predicate has {}",
+                        s.predicate.len()
+                    ),
+                ));
+                ok = false;
+            }
+        }
+    }
+    // The executor remaps residual conjuncts onto output positions; a
+    // residual column the scan does not deliver used to surface as
+    // `Error::Internal` mid-scan. Reject it here instead.
+    for p in s.residual_conjuncts() {
+        for c in p.columns() {
+            if c < ncols && !s.output.contains(&c) {
+                diags.push(Diagnostic::error(
+                    DiagKind::ResidualNotInOutput,
+                    path,
+                    format!("residual column {c} not in scan output {:?}", s.output),
+                ));
+                ok = false;
+            }
+        }
+    }
+    let keylen = table.index(s.index).tree.def.effective_key_cols().len();
+    for (bound, which) in [(&s.range.lower, "lower"), (&s.range.upper, "upper")] {
+        if let Some((vals, _)) = bound {
+            if vals.len() > keylen {
+                diags.push(Diagnostic::error(
+                    DiagKind::KeyPrefixTooLong,
+                    path,
+                    format!(
+                        "{which} bound has {} values, index key has {keylen} columns",
+                        vals.len()
+                    ),
+                ));
+                ok = false;
+            }
+        }
+    }
+    if !ok {
+        return None;
+    }
+    Some(
+        s.output
+            .iter()
+            .map(|&c| {
+                let col = &table.schema.columns[c];
+                ColType {
+                    dtype: col.dtype,
+                    nullable: col.nullable,
+                }
+            })
+            .collect(),
+    )
+}
+
+// --- typing helpers ----------------------------------------------------------
+
+fn check_expr_cols(
+    e: &Expr,
+    width: usize,
+    path: &str,
+    what: &str,
+    diags: &mut Vec<Diagnostic>,
+) -> bool {
+    let mut ok = true;
+    for c in e.columns() {
+        if c >= width {
+            diags.push(Diagnostic::error(
+                DiagKind::ColumnOutOfRange,
+                path,
+                format!("{what} references column {c}, input width is {width}"),
+            ));
+            ok = false;
+        }
+    }
+    ok
+}
+
+fn expr_coltype(e: &Expr, input: &[ColType]) -> ColType {
+    let dtypes: Vec<DataType> = input.iter().map(|c| c.dtype).collect();
+    let dtype = e.dtype(&dtypes).unwrap_or(DataType::BigInt);
+    let nullable = match e {
+        Expr::Col(i) => input.get(*i).is_none_or(|c| c.nullable),
+        Expr::Lit(v) => v.is_null(),
+        _ => true,
+    };
+    ColType { dtype, nullable }
+}
+
+fn agg_coltype(item: &AggItem, input: &[DataType]) -> ColType {
+    let in_dt = item.input.as_ref().and_then(|e| e.dtype(input).ok());
+    let dtype = match item.func {
+        AggFuncEx::CountStar | AggFuncEx::Count => DataType::BigInt,
+        AggFuncEx::Sum => match in_dt {
+            Some(DataType::Decimal { scale, .. }) => DataType::Decimal {
+                precision: 30,
+                scale,
+            },
+            Some(DataType::Double) => DataType::Double,
+            _ => DataType::BigInt,
+        },
+        AggFuncEx::Min | AggFuncEx::Max => in_dt.unwrap_or(DataType::BigInt),
+        AggFuncEx::Avg => match in_dt {
+            Some(DataType::Double) => DataType::Double,
+            Some(DataType::Decimal { scale, .. }) => DataType::Decimal {
+                precision: 30,
+                scale: scale.saturating_add(4),
+            },
+            _ => DataType::Decimal {
+                precision: 30,
+                scale: 4,
+            },
+        },
+    };
+    ColType {
+        dtype,
+        nullable: !matches!(item.func, AggFuncEx::CountStar | AggFuncEx::Count),
+    }
+}
+
+/// Comparability families: within a family the runtime can compare;
+/// across families it raises `Error::Type`.
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+enum Family {
+    Num,
+    Date,
+    Str,
+}
+
+fn family(d: DataType) -> Family {
+    match d {
+        DataType::Int | DataType::BigInt | DataType::Decimal { .. } | DataType::Double => {
+            Family::Num
+        }
+        DataType::Date => Family::Date,
+        DataType::Char(_) | DataType::Varchar(_) => Family::Str,
+    }
+}
+
+fn value_family(v: &Value) -> Option<Family> {
+    match v {
+        Value::Null => None,
+        Value::Int(_) | Value::Decimal(_) | Value::Double(_) => Some(Family::Num),
+        Value::Date(_) => Some(Family::Date),
+        Value::Str(_) => Some(Family::Str),
+    }
+}
+
+/// Advisory type check over a predicate: flags comparisons whose sides
+/// belong to different comparability families.
+fn warn_predicate_types(p: &Expr, input: &[DataType], path: &str, diags: &mut Vec<Diagnostic>) {
+    p.walk(&mut |e| {
+        let pair = |a: &Expr, b: &Expr| -> Option<(Family, Family)> {
+            Some((family(a.dtype(input).ok()?), family(b.dtype(input).ok()?)))
+        };
+        match e {
+            Expr::Cmp(_, a, b) => {
+                if let Some((fa, fb)) = pair(a, b) {
+                    if fa != fb {
+                        diags.push(Diagnostic::warning(
+                            DiagKind::TypeMismatch,
+                            path,
+                            format!("comparison mixes {fa:?} and {fb:?}: {e}"),
+                        ));
+                    }
+                }
+            }
+            Expr::Between { expr, lo, hi } => {
+                for side in [lo, hi] {
+                    if let Some((fa, fb)) = pair(expr, side) {
+                        if fa != fb {
+                            diags.push(Diagnostic::warning(
+                                DiagKind::TypeMismatch,
+                                path,
+                                format!("BETWEEN mixes {fa:?} and {fb:?}: {e}"),
+                            ));
+                        }
+                    }
+                }
+            }
+            Expr::InList { expr, list, .. } => {
+                if let Ok(dt) = expr.dtype(input) {
+                    let fe = family(dt);
+                    if list.iter().filter_map(value_family).any(|fv| fv != fe) {
+                        diags.push(Diagnostic::warning(
+                            DiagKind::TypeMismatch,
+                            path,
+                            format!("IN list mixes families: {e}"),
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    });
+}

@@ -1,0 +1,106 @@
+//! Static pre-execution verification (`taurus-verify`).
+//!
+//! Three analyses over plans and predicate programs, run *before* any
+//! operator opens:
+//!
+//! * [`infer`] — type / width / nullability inference over every
+//!   [`Plan`] shape against the live catalog. Structural violations
+//!   (residual or GROUP BY columns the scan does not deliver, positions
+//!   out of range, key prefixes longer than the index key) are rejected
+//!   with structured [`Diagnostic`]s carrying plan-path locations —
+//!   the same defects that previously surfaced mid-scan as
+//!   `Error::Internal`.
+//! * [`absint`] — an abstract interpreter over the scalar register IR
+//!   and the compiled straight-line [`VectorProgram`]: write-before-read
+//!   register discipline, Kleene boolean shape for `AND`/`OR`/`NOT`,
+//!   forward-only branches, and scalar↔vector type-level equivalence
+//!   (same columns, same register file, same result register).
+//! * [`range`] — interval analysis over `Int64`/`Dec` columns proving
+//!   predicates rescale-overflow-free (module docs carry the soundness
+//!   argument), which lets the vector kernels skip their per-lane
+//!   checked-overflow deferral via `VectorProgram::mark_proven_safe`.
+//!
+//! The executor wires [`check_plan`] as a debug-build gate in front of
+//! plan lowering; the `taurus-verify` binary runs the same checks over
+//! every registry plan and NDP descriptor program in CI.
+
+pub mod absint;
+pub mod diag;
+pub mod infer;
+pub mod range;
+
+use taurus_common::{Error, Result};
+use taurus_optimizer::plan::Plan;
+
+pub use absint::{check_equivalence, check_ir, check_predicate_programs, check_vector};
+pub use diag::{has_errors, render, DiagKind, Diagnostic, Severity};
+pub use infer::{infer_plan, plan_width, remap_onto, ColType, Inference};
+pub use range::{analyze_predicate, columns_storage_backed, RangeVerdict, MAX_SAFE_UPSCALE};
+
+use taurus_expr::ast::Expr;
+use taurus_ndp::TaurusDb;
+use taurus_optimizer::plan::ScanNode;
+
+/// Run every static check over a plan: schema inference plus abstract
+/// interpretation of each predicate that will be compiled (scan
+/// residuals and `Filter` predicates). Returns all diagnostics,
+/// warnings included.
+pub fn verify_plan(plan: &Plan, db: &TaurusDb) -> Vec<Diagnostic> {
+    let mut inf = infer_plan(plan, db);
+    collect_predicates(plan, &mut |e, where_| {
+        inf.diags
+            .extend(absint::check_predicate_programs(e, where_));
+    });
+    inf.diags
+}
+
+/// The pre-execution gate: reject a plan whose verification produced
+/// error-severity diagnostics, rendering them into [`Error::Verify`].
+pub fn check_plan(plan: &Plan, db: &TaurusDb) -> Result<()> {
+    let diags = verify_plan(plan, db);
+    let errors: Vec<Diagnostic> = diags
+        .into_iter()
+        .filter(|d| d.severity == Severity::Error)
+        .collect();
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(Error::Verify(render(&errors)))
+    }
+}
+
+/// Visit every predicate expression a plan will compile, with a coarse
+/// location label.
+fn collect_predicates(plan: &Plan, f: &mut impl FnMut(&Expr, &str)) {
+    let scan = |s: &ScanNode, f: &mut dyn FnMut(&Expr, &str)| {
+        for p in &s.predicate {
+            f(p, "scan predicate");
+        }
+    };
+    match plan {
+        Plan::Scan(s) => scan(s, f),
+        Plan::AggScan(a) => scan(&a.scan, f),
+        Plan::LookupJoin(j) => {
+            collect_predicates(&j.outer, f);
+            for p in &j.inner_predicate {
+                f(p, "lookup inner predicate");
+            }
+            if let Some(on) = &j.on {
+                f(on, "lookup ON");
+            }
+        }
+        Plan::HashJoin(j) => {
+            collect_predicates(&j.left, f);
+            collect_predicates(&j.right, f);
+        }
+        Plan::HashAgg(a) => collect_predicates(&a.input, f),
+        Plan::Project(p) => collect_predicates(&p.input, f),
+        Plan::Filter(fl) => {
+            f(&fl.predicate, "filter predicate");
+            collect_predicates(&fl.input, f);
+        }
+        Plan::Sort(s) => collect_predicates(&s.input, f),
+        Plan::Limit { input, .. } => collect_predicates(input, f),
+        Plan::Exchange(e) => collect_predicates(&e.child, f),
+    }
+}

@@ -1,0 +1,205 @@
+//! Interval (range) analysis over `Int64`/`Dec` columns: proving that a
+//! predicate's decimal rescales cannot overflow, so the vector kernels
+//! may skip their per-lane checked-overflow deferral.
+//!
+//! ## Soundness argument
+//!
+//! Decimal columns are stored as *scaled `i64`* (the page encoder
+//! narrows `Dec::raw` through `i64::try_from`), so any decimal value a
+//! scan materializes satisfies `|raw| <= i64::MAX ≈ 9.22e18`. Aligning
+//! two decimals of scales `s₁ < s₂` multiplies the smaller-scale raw by
+//! `10^(s₂-s₁)` in `i128`. Since `i128::MAX / i64::MAX ≈ 1.84e19`, the
+//! product is representable whenever `10^(s₂-s₁) <= 1.8e19`, i.e.
+//! whenever the scale gap is at most [`MAX_SAFE_UPSCALE`] = 19. The
+//! same bound covers `Int64` columns (`|v| <= i64::MAX` trivially).
+//!
+//! The proof only applies to **storage-backed** columns — batches whose
+//! columns came straight from a scan (possibly through Filter / Sort /
+//! Limit / Exchange, which never recompute values). A projection can
+//! manufacture decimals whose raw magnitude exceeds `i64::MAX`
+//! (`Dec * Dec` multiplies raws), so predicates over projected inputs
+//! are never proven; they keep the checked kernels.
+//!
+//! Only comparison shapes that reach the *unchecked* fast kernels need
+//! proving: `column vs literal` and `column vs column`. Every other
+//! shape (arithmetic operands, `IN` lists, CASE fallbacks) already runs
+//! through per-lane slot comparison, whose `Dec::cmp_dec` is
+//! overflow-sound by construction.
+
+use taurus_common::{DataType, Value};
+use taurus_expr::ast::Expr;
+use taurus_optimizer::plan::Plan;
+
+/// Largest decimal scale gap whose rescale of an `i64`-bounded raw value
+/// provably fits `i128` (see module docs).
+pub const MAX_SAFE_UPSCALE: u8 = 19;
+
+/// Outcome of analyzing one predicate.
+#[derive(Clone, Debug)]
+pub struct RangeVerdict {
+    /// Every rescale the vector kernels could perform for this predicate
+    /// is proven overflow-free.
+    pub proven: bool,
+    /// Human-readable reasons for each comparison site that could not be
+    /// proven (these keep the checked per-lane kernels).
+    pub deferring: Vec<String>,
+}
+
+/// Are all of `plan`'s output columns storage-backed (scan values passed
+/// through unmodified)? Filter/Sort/Limit/Exchange forward their input
+/// columns; projections and aggregations manufacture new values, which
+/// voids the `|raw| <= i64::MAX` storage bound.
+pub fn columns_storage_backed(plan: &Plan) -> bool {
+    match plan {
+        Plan::Scan(_) => true,
+        Plan::Filter(f) => columns_storage_backed(&f.input),
+        Plan::Sort(s) => columns_storage_backed(&s.input),
+        Plan::Limit { input, .. } => columns_storage_backed(input),
+        Plan::Exchange(e) => columns_storage_backed(&e.child),
+        _ => false,
+    }
+}
+
+/// Analyze one predicate over storage-backed input columns with the
+/// given dtypes. `proven` holds only if every `column vs literal` /
+/// `column vs column` comparison the vector kernels would fast-path has
+/// a scale gap of at most [`MAX_SAFE_UPSCALE`].
+pub fn analyze_predicate(pred: &Expr, dtypes: &[DataType]) -> RangeVerdict {
+    let mut deferring = Vec::new();
+    pred.walk(&mut |e| match e {
+        Expr::Cmp(_, a, b) => check_pair(a, b, dtypes, &mut deferring),
+        Expr::Between { expr, lo, hi } => {
+            check_pair(expr, lo, dtypes, &mut deferring);
+            check_pair(expr, hi, dtypes, &mut deferring);
+        }
+        _ => {}
+    });
+    RangeVerdict {
+        proven: deferring.is_empty(),
+        deferring,
+    }
+}
+
+/// Scale of a side as the kernels see it: a decimal column's declared
+/// scale, an integer column/literal's scale 0, a decimal literal's own
+/// scale. `None` = not a decimal-comparable leaf (the pair takes the
+/// always-sound generic path).
+enum Side {
+    Col(DecKind),
+    Lit(DecKind),
+    Other,
+}
+
+enum DecKind {
+    /// Integer-valued: scale 0, `i64`-bounded.
+    Int,
+    /// Decimal with this scale; columns are `i64`-bounded by storage.
+    Dec(u8),
+}
+
+fn classify(e: &Expr, dtypes: &[DataType]) -> Side {
+    match e {
+        Expr::Col(i) => match dtypes.get(*i) {
+            Some(DataType::Int | DataType::BigInt) => Side::Col(DecKind::Int),
+            Some(DataType::Decimal { scale, .. }) => Side::Col(DecKind::Dec(*scale)),
+            _ => Side::Other,
+        },
+        Expr::Lit(Value::Int(_)) => Side::Lit(DecKind::Int),
+        Expr::Lit(Value::Decimal(d)) => Side::Lit(DecKind::Dec(d.scale)),
+        _ => Side::Other,
+    }
+}
+
+fn check_pair(a: &Expr, b: &Expr, dtypes: &[DataType], deferring: &mut Vec<String>) {
+    let (sa, sb) = (classify(a, dtypes), classify(b, dtypes));
+    let unproven = match (&sa, &sb) {
+        // Column vs literal (either order): the kernel upscales the
+        // column side per lane when the literal's scale is higher.
+        // Literal-side alignment is checked once at kernel setup, which
+        // is free — only the per-lane column upscale needs the proof.
+        (Side::Col(c), Side::Lit(l)) | (Side::Lit(l), Side::Col(c)) => {
+            let (cs, ls) = (kind_scale(c), kind_scale(l));
+            ls > cs && ls - cs > MAX_SAFE_UPSCALE
+        }
+        // Column vs column: the lower-scale side upscales per lane.
+        (Side::Col(x), Side::Col(y)) => {
+            let (xs, ys) = (kind_scale(x), kind_scale(y));
+            xs.abs_diff(ys) > MAX_SAFE_UPSCALE
+        }
+        // Anything else runs the generic slot path (overflow-sound).
+        _ => false,
+    };
+    if unproven {
+        deferring.push(format!(
+            "({a} vs {b}): scale gap exceeds {MAX_SAFE_UPSCALE}"
+        ));
+    }
+}
+
+fn kind_scale(k: &DecKind) -> u8 {
+    match k {
+        DecKind::Int => 0,
+        DecKind::Dec(s) => *s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taurus_common::Dec;
+
+    const DTS: &[DataType] = &[
+        DataType::BigInt,
+        DataType::Decimal {
+            precision: 15,
+            scale: 2,
+        },
+        DataType::Decimal {
+            precision: 15,
+            scale: 4,
+        },
+    ];
+
+    #[test]
+    fn typical_tpch_predicates_are_proven() {
+        // l_quantity < 24 and l_discount between 0.05 and 0.07 shapes.
+        let p = Expr::and(vec![
+            Expr::lt(Expr::col(0), Expr::int(24)),
+            Expr::between(Expr::col(1), Expr::dec("0.05"), Expr::dec("0.07")),
+            Expr::ge(Expr::col(1), Expr::col(2)),
+        ]);
+        let v = analyze_predicate(&p, DTS);
+        assert!(v.proven, "{:?}", v.deferring);
+    }
+
+    #[test]
+    fn huge_literal_scale_defers() {
+        let p = Expr::gt(Expr::col(1), Expr::lit(Value::Decimal(Dec::new(1, 30))));
+        let v = analyze_predicate(&p, DTS);
+        assert!(!v.proven);
+        assert_eq!(v.deferring.len(), 1);
+        // The gap 30-2=28 > 19 is reported, with the site named.
+        assert!(v.deferring[0].contains("scale gap"), "{:?}", v.deferring);
+    }
+
+    #[test]
+    fn non_leaf_comparisons_do_not_defer() {
+        // Arithmetic operands take the generic slot path; no proof needed.
+        let p = Expr::gt(
+            Expr::mul(Expr::col(1), Expr::col(2)),
+            Expr::lit(Value::Decimal(Dec::new(1, 30))),
+        );
+        assert!(analyze_predicate(&p, DTS).proven);
+    }
+
+    #[test]
+    fn storage_backed_chains_only() {
+        use taurus_optimizer::plan::ScanNode;
+        let scan = Plan::Scan(ScanNode::new("t", vec![0, 1]));
+        assert!(columns_storage_backed(&scan));
+        let filtered = scan.clone().filter(Expr::int(1)).limit(5);
+        assert!(columns_storage_backed(&filtered));
+        let projected = scan.project(vec![Expr::col(0)]);
+        assert!(!columns_storage_backed(&projected));
+    }
+}

@@ -1,0 +1,565 @@
+//! `taurus-xtask` — offline, dependency-free workspace lints.
+//!
+//! `cargo run -p taurus-xtask -- lint` runs four source-level rules the
+//! compiler cannot express, against the workspace this binary lives in:
+//!
+//! 1. **Panic discipline** — no `unwrap()` / `expect()` / `panic!` /
+//!    `unreachable!` / `todo!` in the hot-path crates (executor,
+//!    pagestore, sal, server, protocol). A panic on a serving thread
+//!    takes the whole node down, so every residual site must carry a
+//!    `// lint:allow(panic): <reason>` annotation on its own line or the
+//!    line above. Test modules (`#[cfg(test)]`) are exempt.
+//! 2. **Append-only wire tables** — the NDP bitcode opcodes, the wire
+//!    frame opcodes, and the wire error codes are published contracts.
+//!    Each is parsed out of its source of truth and compared against a
+//!    pinned manifest under `crates/xtask/manifests/`; renumbering or
+//!    removing an entry fails, and adding one forces a deliberate
+//!    manifest update in the same commit.
+//! 3. **Metrics-name registry** — the `metrics_struct!` declaration list
+//!    (the STATS scrape format) must match `manifests/metrics.txt` in
+//!    order, with unique snake_case names.
+//! 4. **Config-knob documentation** — every `TAURUS_*` environment
+//!    variable referenced by non-test source must be documented in
+//!    `DESIGN.md`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("lint");
+    match cmd {
+        "lint" => lint(),
+        other => {
+            eprintln!("unknown command {other:?}; usage: taurus-xtask lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask/ -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let mut violations: Vec<String> = Vec::new();
+
+    panic_discipline(&root, &mut violations);
+    append_only_tables(&root, &mut violations);
+    metrics_registry(&root, &mut violations);
+    knob_docs(&root, &mut violations);
+
+    if violations.is_empty() {
+        println!("taurus-xtask lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("taurus-xtask lint: {} violation(s)", violations.len());
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+// --- shared helpers ----------------------------------------------------------
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .display()
+        .to_string()
+}
+
+/// Remove double-quoted string literals from a line (handling `\"`
+/// escapes) so text inside messages never matches a code pattern.
+fn strip_strings(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars();
+    let mut in_str = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' if in_str => {
+                chars.next(); // skip the escaped char
+            }
+            '"' => in_str = !in_str,
+            _ if in_str => {}
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+// --- rule 1: panic discipline ------------------------------------------------
+
+const HOT_PATH_CRATES: &[&str] = &[
+    "crates/executor",
+    "crates/pagestore",
+    "crates/sal",
+    "crates/server",
+    "crates/protocol",
+];
+
+const PANIC_PATTERNS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+const ALLOW_MARKER: &str = "lint:allow(panic):";
+
+fn panic_discipline(root: &Path, violations: &mut Vec<String>) {
+    for krate in HOT_PATH_CRATES {
+        let mut files = Vec::new();
+        rust_files(&root.join(krate).join("src"), &mut files);
+        // Binary entry points (`src/bin/`) abort on startup failure by
+        // design — the panic rule protects library serving code.
+        files.retain(|f| !f.components().any(|c| c.as_os_str() == "bin"));
+        files.sort();
+        for file in files {
+            let Ok(text) = fs::read_to_string(&file) else {
+                violations.push(format!("{}: unreadable", rel(root, &file)));
+                continue;
+            };
+            scan_panics(&text, &rel(root, &file), violations);
+        }
+    }
+}
+
+/// Scan one file. `#[cfg(test)]` items (modules or single functions) are
+/// skipped by brace tracking: from the attribute, everything up to the
+/// end of the item it covers is test-only code.
+fn scan_panics(text: &str, file: &str, violations: &mut Vec<String>) {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut skip_depth: i32 = 0; // brace depth inside a #[cfg(test)] item
+    let mut skipping = false;
+    let mut pending_cfg_test = false;
+    let mut prev_allow = false;
+    for (idx, raw) in lines.iter().enumerate() {
+        let trimmed = raw.trim_start();
+        if !skipping && !pending_cfg_test && trimmed.starts_with("#[cfg(test)]") {
+            pending_cfg_test = true;
+            continue;
+        }
+        if pending_cfg_test || skipping {
+            let code = strip_strings(raw);
+            let code = code.split("//").next().unwrap_or("");
+            let opens = code.matches('{').count() as i32;
+            let closes = code.matches('}').count() as i32;
+            if pending_cfg_test {
+                if opens > 0 {
+                    pending_cfg_test = false;
+                    skipping = true;
+                    skip_depth = opens - closes;
+                    if skip_depth <= 0 {
+                        skipping = false;
+                    }
+                } else if code.contains(';') {
+                    // An attribute over a brace-less item (`mod tests;`,
+                    // a use): ends at the semicolon.
+                    pending_cfg_test = false;
+                }
+            } else {
+                skip_depth += opens - closes;
+                if skip_depth <= 0 {
+                    skipping = false;
+                }
+            }
+            continue;
+        }
+        // Doc and plain comments cannot panic. An allow marker stays in
+        // effect through the rest of a contiguous comment block, so the
+        // reason may continue onto following `//` lines.
+        if trimmed.starts_with("//") {
+            if trimmed.contains(ALLOW_MARKER) && has_reason(trimmed) {
+                prev_allow = true;
+            }
+            continue;
+        }
+        let stripped = strip_strings(raw);
+        let (code, comment) = match stripped.find("//") {
+            Some(p) => stripped.split_at(p),
+            None => (stripped.as_str(), ""),
+        };
+        let allowed = prev_allow || (comment.contains(ALLOW_MARKER) && has_reason(comment));
+        prev_allow = false;
+        for pat in PANIC_PATTERNS {
+            if code.contains(pat) {
+                if allowed {
+                    break;
+                }
+                violations.push(format!(
+                    "{file}:{}: `{pat}` in hot-path crate without `// {ALLOW_MARKER} <reason>`",
+                    idx + 1
+                ));
+                break;
+            }
+        }
+    }
+}
+
+fn has_reason(comment: &str) -> bool {
+    comment
+        .split(ALLOW_MARKER)
+        .nth(1)
+        .is_some_and(|r| !r.trim().is_empty())
+}
+
+// --- rule 2: append-only tables ---------------------------------------------
+
+fn append_only_tables(root: &Path, violations: &mut Vec<String>) {
+    // Wire error codes: `N => Error::Name(` arms of decode_error.
+    let errcode_src = root.join("crates/protocol/src/errcode.rs");
+    let parsed = parse_code_arms(&errcode_src, "=> Error::", violations);
+    check_table(root, "errcodes.txt", "wire error code", &parsed, violations);
+
+    // Wire frame opcodes: `N => Opcode::Name,` arms of Opcode::from_u8.
+    let message_src = root.join("crates/protocol/src/message.rs");
+    let parsed = parse_code_arms(&message_src, "=> Opcode::", violations);
+    check_table(root, "wire_opcodes.txt", "wire opcode", &parsed, violations);
+
+    // NDP bitcode opcodes: `IrInstr::Name ... => { out.push(N);` pairs
+    // in encode_instr.
+    let ir_src = root.join("crates/expr/src/ir.rs");
+    let parsed = parse_ir_opcodes(&ir_src, violations);
+    check_table(
+        root,
+        "ir_opcodes.txt",
+        "bitcode opcode",
+        &parsed,
+        violations,
+    );
+}
+
+/// Parse `<integer> <arrow-prefix><Name><non-ident>` arms anywhere in a
+/// file, e.g. `4 => Error::Corruption(message),`.
+fn parse_code_arms(path: &Path, arrow: &str, violations: &mut Vec<String>) -> Vec<(u32, String)> {
+    let Ok(text) = fs::read_to_string(path) else {
+        violations.push(format!("{}: unreadable", path.display()));
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let trimmed = line.trim();
+        let Some(pos) = trimmed.find(arrow) else {
+            continue;
+        };
+        let Ok(code) = trimmed[..pos].trim().parse::<u32>() else {
+            continue; // `_ =>` fallback or a reverse-direction arm
+        };
+        let name: String = trimmed[pos + arrow.len()..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !name.is_empty() {
+            out.push((code, name));
+        }
+    }
+    out
+}
+
+/// Parse the (variant, opcode byte) pairs out of `encode_instr`: the
+/// variant is the last `IrInstr::Name` match arm seen, the opcode the
+/// next integer-literal `out.push(N)`.
+fn parse_ir_opcodes(path: &Path, violations: &mut Vec<String>) -> Vec<(u32, String)> {
+    let Ok(text) = fs::read_to_string(path) else {
+        violations.push(format!("{}: unreadable", path.display()));
+        return Vec::new();
+    };
+    let Some(start) = text.find("fn encode_instr") else {
+        violations.push(format!("{}: no encode_instr found", path.display()));
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut pending: Option<String> = None;
+    let mut depth = 0i32;
+    let mut entered = false;
+    for line in text[start..].lines() {
+        depth += line.matches('{').count() as i32 - line.matches('}').count() as i32;
+        if depth > 0 {
+            entered = true;
+        } else if entered {
+            break; // end of encode_instr
+        }
+        if let Some(pos) = line.find("IrInstr::") {
+            let name: String = line[pos + "IrInstr::".len()..]
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                pending = Some(name);
+            }
+        }
+        if let Some(pos) = line.find("out.push(") {
+            let arg: String = line[pos + "out.push(".len()..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect();
+            if let (Ok(code), Some(name)) = (arg.parse::<u32>(), pending.take()) {
+                out.push((code, name));
+            }
+        }
+    }
+    out
+}
+
+/// Compare a parsed (code, name) table against its pinned manifest.
+fn check_table(
+    root: &Path,
+    manifest: &str,
+    what: &str,
+    parsed: &[(u32, String)],
+    violations: &mut Vec<String>,
+) {
+    let path = root.join("crates/xtask/manifests").join(manifest);
+    let Ok(text) = fs::read_to_string(&path) else {
+        violations.push(format!("{}: unreadable manifest", path.display()));
+        return;
+    };
+    let mut pinned: Vec<(u32, String)> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.splitn(2, ' ');
+        match (
+            it.next().and_then(|c| c.parse::<u32>().ok()),
+            it.next().map(str::trim),
+        ) {
+            (Some(code), Some(name)) if !name.is_empty() => pinned.push((code, name.to_string())),
+            _ => violations.push(format!("{manifest}: malformed line {line:?}")),
+        }
+    }
+    if parsed.is_empty() {
+        violations.push(format!(
+            "{manifest}: parsed no {what}s from source — parser broken?"
+        ));
+        return;
+    }
+    for (code, name) in &pinned {
+        match parsed.iter().find(|(_, n)| n == name) {
+            None => violations.push(format!(
+                "{manifest}: pinned {what} {code} {name} removed from source (append-only table)"
+            )),
+            Some((c, _)) if c != code => violations.push(format!(
+                "{manifest}: {what} {name} renumbered {code} -> {c} (append-only table)"
+            )),
+            _ => {}
+        }
+    }
+    for (code, name) in parsed {
+        if !pinned.iter().any(|(_, n)| n == name) {
+            violations.push(format!(
+                "{manifest}: source {what} {code} {name} not pinned — append it to the manifest"
+            ));
+        }
+    }
+    // Appended entries must extend the numbering, never recycle it.
+    let mut sorted = parsed.to_vec();
+    sorted.sort();
+    for w in sorted.windows(2) {
+        if w[0].0 == w[1].0 {
+            violations.push(format!(
+                "{what} {} assigned twice: {} and {}",
+                w[0].0, w[0].1, w[1].1
+            ));
+        }
+    }
+}
+
+// --- rule 3: metrics registry ------------------------------------------------
+
+fn metrics_registry(root: &Path, violations: &mut Vec<String>) {
+    let src = root.join("crates/common/src/metrics.rs");
+    let Ok(text) = fs::read_to_string(&src) else {
+        violations.push(format!("{}: unreadable", src.display()));
+        return;
+    };
+    let Some(start) = text.find("metrics_struct! {") else {
+        violations.push("metrics.rs: no metrics_struct! invocation found".into());
+        return;
+    };
+    let mut names: Vec<String> = Vec::new();
+    for line in text[start..].lines().skip(1) {
+        let line = line.trim();
+        if line == "}" {
+            break;
+        }
+        if line.starts_with("//") || line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let name = line.trim_end_matches(',');
+        if !name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        {
+            violations.push(format!(
+                "metrics.rs: metric name {name:?} is not snake_case"
+            ));
+            continue;
+        }
+        names.push(name.to_string());
+    }
+    for (i, n) in names.iter().enumerate() {
+        if names[..i].contains(n) {
+            violations.push(format!("metrics.rs: duplicate metric name {n}"));
+        }
+    }
+    let path = root.join("crates/xtask/manifests/metrics.txt");
+    let Ok(manifest) = fs::read_to_string(&path) else {
+        violations.push(format!("{}: unreadable manifest", path.display()));
+        return;
+    };
+    let pinned: Vec<&str> = manifest
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    // The scrape format is positional: the pinned list must be a prefix
+    // of the declaration order (append-only), and every declared name
+    // must be pinned (forcing a deliberate manifest update).
+    for (i, pin) in pinned.iter().enumerate() {
+        match names.get(i) {
+            Some(n) if n == pin => {}
+            Some(n) => violations.push(format!(
+                "metrics.txt: position {i} pinned {pin} but source declares {n} (append-only, order is the scrape format)"
+            )),
+            None => violations.push(format!("metrics.txt: pinned metric {pin} removed from source")),
+        }
+    }
+    for n in names.iter().skip(pinned.len()) {
+        violations.push(format!(
+            "metrics.rs: new metric {n} not pinned — append it to manifests/metrics.txt"
+        ));
+    }
+}
+
+// --- rule 4: knob documentation ---------------------------------------------
+
+fn knob_docs(root: &Path, violations: &mut Vec<String>) {
+    let Ok(design) = fs::read_to_string(root.join("DESIGN.md")) else {
+        violations.push("DESIGN.md: unreadable".into());
+        return;
+    };
+    let mut files = Vec::new();
+    let Ok(entries) = fs::read_dir(root.join("crates")) else {
+        violations.push("crates/: unreadable".into());
+        return;
+    };
+    for entry in entries.flatten() {
+        let dir = entry.path();
+        if dir.file_name().is_some_and(|n| n == "xtask") {
+            continue; // the linter itself mentions the pattern
+        }
+        rust_files(&dir.join("src"), &mut files);
+    }
+    rust_files(&root.join("src"), &mut files);
+    files.sort();
+    let mut vars: Vec<(String, String)> = Vec::new();
+    for file in &files {
+        let Ok(text) = fs::read_to_string(file) else {
+            continue;
+        };
+        let mut rest = text.as_str();
+        while let Some(pos) = rest.find("\"TAURUS_") {
+            let tail = &rest[pos + 1..];
+            let name: String = tail
+                .chars()
+                .take_while(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || *c == '_')
+                .collect();
+            if name.len() > "TAURUS_".len() && !vars.iter().any(|(v, _)| *v == name) {
+                vars.push((name, rel(root, file)));
+            }
+            rest = &rest[pos + 1..];
+        }
+    }
+    for (var, file) in &vars {
+        if !design.contains(var.as_str()) {
+            violations.push(format!(
+                "{var} (referenced in {file}) is not documented in DESIGN.md"
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_stripper_removes_literal_content() {
+        assert_eq!(strip_strings(r#"let x = "panic!"; y"#), "let x = ; y");
+        assert_eq!(strip_strings(r#"f("a\"b.unwrap()"); g"#), "f(); g");
+    }
+
+    #[test]
+    fn cfg_test_modules_are_skipped() {
+        let text = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn b() { y.unwrap(); }\n}\nfn c() { z.unwrap(); }\n";
+        let mut v = Vec::new();
+        scan_panics(text, "f.rs", &mut v);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains("f.rs:1"));
+        assert!(v[1].contains("f.rs:6"));
+    }
+
+    #[test]
+    fn allow_annotation_needs_a_reason() {
+        let mut v = Vec::new();
+        scan_panics(
+            "let a = b.unwrap(); // lint:allow(panic): checked above\n",
+            "f.rs",
+            &mut v,
+        );
+        assert!(v.is_empty(), "{v:?}");
+        scan_panics(
+            "let a = b.unwrap(); // lint:allow(panic):\n",
+            "f.rs",
+            &mut v,
+        );
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn preceding_line_annotation_counts() {
+        let text =
+            "// lint:allow(panic): poisoned lock is unrecoverable\nlet g = m.lock().unwrap();\n";
+        let mut v = Vec::new();
+        scan_panics(text, "f.rs", &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn the_workspace_is_lint_clean() {
+        let root = workspace_root();
+        let mut v = Vec::new();
+        panic_discipline(&root, &mut v);
+        append_only_tables(&root, &mut v);
+        metrics_registry(&root, &mut v);
+        knob_docs(&root, &mut v);
+        assert!(v.is_empty(), "workspace lint violations:\n{}", v.join("\n"));
+    }
+}

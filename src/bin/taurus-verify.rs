@@ -1,0 +1,252 @@
+//! `taurus-verify` — the workspace's static-verification driver.
+//!
+//! Loads a small TPC-H catalog and runs every check in `taurus-verify`
+//! (the crate) over every plan the repo can produce:
+//!
+//! * all TPC-H and micro registry plans, plus the PQ (fan-out) variant
+//!   of every PQ-capable query — schema/width/nullability inference and
+//!   scalar↔vector program checks (`verify_plan`);
+//! * every NDP descriptor those plans push: the descriptor must build,
+//!   and its wire-encoded predicate program must decode and pass the
+//!   abstract interpreter — the same bytes a Page Store would execute;
+//! * the range analysis, reported per query: how many residual/filter
+//!   predicates are statically proven rescale-overflow-free (vector
+//!   kernels skip their checked-overflow deferral) vs. deferring.
+//!
+//! CI runs `taurus-verify --all`; any error-severity diagnostic makes
+//! the process exit non-zero. This is the release-build counterpart of
+//! the `#[cfg(debug_assertions)]` gate in the executor.
+
+use std::process::ExitCode;
+
+use taurus_common::DataType;
+use taurus_expr::ir::IrProgram;
+use taurus_ndp::{build_descriptor, TaurusDb};
+use taurus_optimizer::plan::{Plan, ScanNode};
+use taurus_verify::{verify_plan, Diagnostic, Severity};
+
+/// Per-query tally of what the static analyses concluded.
+#[derive(Default)]
+struct Tally {
+    errors: usize,
+    warnings: usize,
+    descriptors: usize,
+    predicates: usize,
+    proven: usize,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if !(args.is_empty() || (args.len() == 1 && args[0] == "--all")) {
+        eprintln!("usage: taurus-verify [--all]");
+        return ExitCode::from(2);
+    }
+
+    let db = TaurusDb::new(taurus_common::config::ClusterConfig::default());
+    if let Err(e) = taurus::tpch::load(&db, 0.01, 42) {
+        eprintln!("taurus-verify: TPC-H load failed: {e}");
+        return ExitCode::from(2);
+    }
+
+    let mut queries = taurus::tpch::tpch_queries();
+    queries.extend(taurus::tpch::micro_queries());
+
+    let mut total = Tally::default();
+    let mut failed = 0usize;
+    for q in &queries {
+        // The main-stage plan, with NDP decisions applied; PQ-capable
+        // queries are verified again in their fanned-out (Exchange) form.
+        let variants: Vec<(String, Option<usize>)> = if q.pq_capable {
+            vec![
+                (q.name.to_string(), None),
+                (format!("{}[pq]", q.name), Some(4)),
+            ]
+        } else {
+            vec![(q.name.to_string(), None)]
+        };
+        for (label, pq) in variants {
+            let plan = match (q.plan)(&db, pq) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{label}: plan construction failed: {e}");
+                    failed += 1;
+                    continue;
+                }
+            };
+            let mut t = Tally::default();
+            let mut diags = verify_plan(&plan, &db);
+            check_descriptors(&plan, &db, &mut diags, &mut t);
+            range_report(&plan, &db, &mut t);
+            for d in &diags {
+                match d.severity {
+                    Severity::Error => t.errors += 1,
+                    Severity::Warning => t.warnings += 1,
+                }
+            }
+            if t.errors > 0 {
+                failed += 1;
+                eprintln!("{label}: FAILED");
+                for d in diags.iter().filter(|d| d.severity == Severity::Error) {
+                    eprintln!("  {d}");
+                }
+            } else {
+                println!(
+                    "{label}: ok ({} descriptor(s), {}/{} predicate(s) proven overflow-safe{})",
+                    t.descriptors,
+                    t.proven,
+                    t.predicates,
+                    if t.warnings > 0 {
+                        format!(", {} warning(s)", t.warnings)
+                    } else {
+                        String::new()
+                    }
+                );
+            }
+            total.errors += t.errors;
+            total.warnings += t.warnings;
+            total.descriptors += t.descriptors;
+            total.predicates += t.predicates;
+            total.proven += t.proven;
+        }
+    }
+
+    println!(
+        "taurus-verify: {} plan variant(s), {} NDP descriptor(s), {}/{} predicate(s) proven, {} error(s), {} warning(s)",
+        queries.iter().map(|q| if q.pq_capable { 2 } else { 1 }).sum::<usize>(),
+        total.descriptors,
+        total.proven,
+        total.predicates,
+        total.errors,
+        total.warnings,
+    );
+    if failed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Walk every scan in the plan and verify the NDP descriptor it would
+/// ship: build it against the live catalog, then decode and abstractly
+/// interpret its predicate program — exactly the bytes a Page Store's
+/// plugin would cache.
+fn check_descriptors(plan: &Plan, db: &TaurusDb, diags: &mut Vec<Diagnostic>, t: &mut Tally) {
+    for_each_scan(plan, &mut |node, path| {
+        let Some(decision) = &node.ndp else { return };
+        let table = match db.table(&node.table) {
+            Ok(tb) => tb,
+            Err(e) => {
+                diags.push(Diagnostic::error(
+                    taurus_verify::DiagKind::UnknownTable,
+                    path,
+                    format!("table {}: {e}", node.table),
+                ));
+                return;
+            }
+        };
+        let desc = match build_descriptor(table.index(node.index), &decision.choice, 0) {
+            Ok(d) => d,
+            Err(e) => {
+                diags.push(Diagnostic::error(
+                    taurus_verify::DiagKind::IrShape,
+                    path,
+                    format!("NDP descriptor build failed: {e}"),
+                ));
+                return;
+            }
+        };
+        t.descriptors += 1;
+        if let Some(bitcode) = &desc.predicate_bitcode {
+            match IrProgram::decode_bitcode(bitcode) {
+                Ok(ir) => diags.extend(taurus_verify::check_ir(&ir, path)),
+                Err(e) => diags.push(Diagnostic::error(
+                    taurus_verify::DiagKind::IrShape,
+                    path,
+                    format!("descriptor predicate bitcode does not decode: {e}"),
+                )),
+            }
+        }
+    });
+}
+
+/// Mirror the executor's proven-safe decisions: scan residuals analyzed
+/// in output-position dtype space, `Filter` predicates analyzed over the
+/// inferred schema of a storage-backed input.
+fn range_report(plan: &Plan, db: &TaurusDb, t: &mut Tally) {
+    for_each_scan(plan, &mut |node, _| {
+        let Ok(table) = db.table(&node.table) else {
+            return;
+        };
+        let dtypes: Option<Vec<DataType>> = node
+            .output
+            .iter()
+            .map(|&c| table.schema.columns.get(c).map(|col| col.dtype))
+            .collect();
+        let Some(dtypes) = dtypes else { return };
+        for e in node.residual_conjuncts() {
+            let Ok(remapped) = taurus_verify::remap_onto(
+                e,
+                &node.output,
+                taurus_verify::DiagKind::ResidualNotInOutput,
+                "scan",
+            ) else {
+                continue;
+            };
+            t.predicates += 1;
+            if taurus_verify::analyze_predicate(&remapped, &dtypes).proven {
+                t.proven += 1;
+            }
+        }
+    });
+    for_each_filter(plan, &mut |node| {
+        if !taurus_verify::columns_storage_backed(&node.input) {
+            return;
+        }
+        let Some(schema) = taurus_verify::infer_plan(&node.input, db).schema else {
+            return;
+        };
+        let dtypes: Vec<DataType> = schema.iter().map(|c| c.dtype).collect();
+        t.predicates += 1;
+        if taurus_verify::analyze_predicate(&node.predicate, &dtypes).proven {
+            t.proven += 1;
+        }
+    });
+}
+
+fn for_each_scan(plan: &Plan, f: &mut impl FnMut(&ScanNode, &str)) {
+    match plan {
+        Plan::Scan(s) => f(s, "Scan"),
+        Plan::AggScan(a) => f(&a.scan, "AggScan"),
+        Plan::LookupJoin(j) => for_each_scan(&j.outer, f),
+        Plan::HashJoin(j) => {
+            for_each_scan(&j.left, f);
+            for_each_scan(&j.right, f);
+        }
+        Plan::HashAgg(a) => for_each_scan(&a.input, f),
+        Plan::Project(p) => for_each_scan(&p.input, f),
+        Plan::Filter(fl) => for_each_scan(&fl.input, f),
+        Plan::Sort(s) => for_each_scan(&s.input, f),
+        Plan::Limit { input, .. } => for_each_scan(input, f),
+        Plan::Exchange(e) => for_each_scan(&e.child, f),
+    }
+}
+
+fn for_each_filter(plan: &Plan, f: &mut impl FnMut(&taurus_optimizer::plan::FilterNode)) {
+    match plan {
+        Plan::Scan(_) | Plan::AggScan(_) => {}
+        Plan::LookupJoin(j) => for_each_filter(&j.outer, f),
+        Plan::HashJoin(j) => {
+            for_each_filter(&j.left, f);
+            for_each_filter(&j.right, f);
+        }
+        Plan::HashAgg(a) => for_each_filter(&a.input, f),
+        Plan::Project(p) => for_each_filter(&p.input, f),
+        Plan::Filter(fl) => {
+            f(fl);
+            for_each_filter(&fl.input, f);
+        }
+        Plan::Sort(s) => for_each_filter(&s.input, f),
+        Plan::Limit { input, .. } => for_each_filter(input, f),
+        Plan::Exchange(e) => for_each_filter(&e.child, f),
+    }
+}

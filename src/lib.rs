@@ -105,6 +105,21 @@
 //! # Ok(()) }
 //! ```
 //!
+//! ## Static verification
+//!
+//! Every plan is checkable *before* it runs: [`verify::verify_plan`]
+//! infers the full output schema (types, widths, nullability) against
+//! the live catalog, abstractly interprets every predicate program the
+//! plan would compile (scalar IR and its vectorized twin), and returns
+//! structured [`verify::Diagnostic`]s with plan-path locations instead
+//! of letting a malformed tree surface as an internal error mid-scan.
+//! Debug builds run [`verify::check_plan`] as a gate in front of every
+//! execution entry point; CI runs the `taurus-verify` binary over every
+//! registry plan and NDP descriptor program. The companion range
+//! analysis proves TPC-H-style decimal predicates rescale-overflow-free
+//! so the columnar kernels skip their per-lane checked-overflow
+//! deferral (see `DESIGN.md`, "Static verification").
+//!
 //! Start with [`prelude`] and `examples/quickstart.rs`; `DESIGN.md` maps
 //! the crate layout onto the paper's architecture (see its "Read
 //! replicas" section for the replication design). Hand-built plan trees
@@ -128,6 +143,7 @@ pub use taurus_replica as replica;
 pub use taurus_sal as sal;
 pub use taurus_server as server;
 pub use taurus_tpch as tpch;
+pub use taurus_verify as verify;
 
 /// The commonly-used surface of the whole system: the session/query
 /// facade, schema DDL types, and values.
@@ -142,4 +158,5 @@ pub mod prelude {
     pub use taurus_ndp::{Table, TaurusDb};
     pub use taurus_replica::Replica;
     pub use taurus_server::{tpch_registry, Client, QueryReply, Server, ServerHandle};
+    pub use taurus_verify::{check_plan, verify_plan, Diagnostic};
 }

@@ -165,7 +165,7 @@ fn left_outer_join_with_empty_build_side_null_pads() {
         join: JoinType::LeftOuter,
     });
     ndp_post_process(&mut plan, &db).unwrap();
-    assert_eq!(plan.width(), 4);
+    assert_eq!(taurus::verify::plan_width(&plan), 4);
     let rows = execute(&plan.clone().limit(20), &ExecContext::new(&db)).unwrap();
     assert_eq!(rows.len(), 20);
     for r in &rows {

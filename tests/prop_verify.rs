@@ -1,0 +1,127 @@
+//! Property tests for the static verifier's gate contract (PR 9):
+//!
+//! * a plan the verifier **accepts** executes without `Error::Internal`
+//!   — under the row and the columnar batch layout, with NDP off and
+//!   with NDP decisions applied (typed runtime errors like `Error::Type`
+//!   are allowed; internal invariant breaks are not) — and when both
+//!   layouts succeed their results are identical;
+//! * a plan the verifier **rejects** fails *before any operator opens*:
+//!   the collect path returns `Error::Verify`, and the stream path
+//!   delivers it as the first and only item.
+
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
+use taurus::common::config::ClusterConfig;
+use taurus::common::{BatchLayout, Error, Value};
+use taurus::expr::ast::Expr;
+use taurus::ndp::TaurusDb;
+use taurus::optimizer::ndp_post::ndp_post_process;
+use taurus::optimizer::plan::{Plan, ScanNode, SortNode};
+use taurus::prelude::Session;
+
+fn db_with(layout: BatchLayout) -> Arc<TaurusDb> {
+    let mut cfg = ClusterConfig::default();
+    cfg.batch_layout = layout;
+    let db = TaurusDb::new(cfg);
+    taurus::tpch::load(&db, 0.01, 42).unwrap();
+    db
+}
+
+fn row_db() -> &'static Arc<TaurusDb> {
+    static DB: OnceLock<Arc<TaurusDb>> = OnceLock::new();
+    DB.get_or_init(|| db_with(BatchLayout::Row))
+}
+
+fn col_db() -> &'static Arc<TaurusDb> {
+    static DB: OnceLock<Arc<TaurusDb>> = OnceLock::new();
+    DB.get_or_init(|| db_with(BatchLayout::Columnar))
+}
+
+/// A random (often malformed) comparison conjunct: column indices range
+/// past lineitem's 16 columns, so some plans reference columns that do
+/// not exist or that the scan does not deliver.
+fn conjunct() -> impl Strategy<Value = Expr> {
+    (0usize..20, -5i64..40).prop_map(|(c, v)| Expr::le(Expr::col(c), Expr::lit(Value::Int(v))))
+}
+
+/// A random plan over lineitem: scan with random output/predicate,
+/// optionally wrapped in Sort and/or Limit (with sometimes-out-of-range
+/// sort keys).
+fn plan() -> impl Strategy<Value = Plan> {
+    (
+        proptest::collection::vec(0usize..18, 1..5),
+        proptest::collection::vec(conjunct(), 0..3),
+        0usize..8,
+        0usize..3,
+    )
+        .prop_map(|(output, preds, sort_key, shape)| {
+            let scan = Plan::Scan(ScanNode::new("lineitem", output).with_predicate(preds));
+            match shape {
+                0 => scan,
+                1 => Plan::Sort(SortNode {
+                    input: Box::new(scan),
+                    keys: vec![(sort_key, false)],
+                    limit: None,
+                }),
+                _ => Plan::Limit {
+                    input: Box::new(scan),
+                    n: 10,
+                },
+            }
+        })
+}
+
+/// Execute on one db; `Ok(None)` = typed runtime rejection (allowed),
+/// `Ok(Some(rows))` = success. Panics the test on `Error::Internal`.
+fn run_checked(db: &Arc<TaurusDb>, plan: &Plan, what: &str) -> Option<Vec<Vec<Value>>> {
+    match Session::new(db).execute_plan(plan) {
+        Ok(rows) => Some(rows),
+        Err(Error::Internal(msg)) => {
+            panic!("verifier-accepted plan hit Error::Internal ({what}): {msg}")
+        }
+        Err(_) => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn accepted_executes_rejected_fails_closed(plan in plan()) {
+        // NDP off, and (where the post-process finds anything to push)
+        // NDP on: the gate contract must hold for both.
+        let mut variants = vec![plan.clone()];
+        {
+            let mut p = plan.clone();
+            if ndp_post_process(&mut p, row_db()).is_ok() {
+                variants.push(p);
+            }
+        }
+        for p in &variants {
+            if taurus::verify::check_plan(p, row_db()).is_ok() {
+                let a = run_checked(row_db(), p, "row layout");
+                let b = run_checked(col_db(), p, "columnar layout");
+                if let (Some(mut a), Some(mut b)) = (a, b) {
+                    a.sort_by(|x, y| format!("{x:?}").cmp(&format!("{y:?}")));
+                    b.sort_by(|x, y| format!("{x:?}").cmp(&format!("{y:?}")));
+                    prop_assert_eq!(a, b);
+                }
+            } else {
+                // Collect path: rejected before lowering.
+                match Session::new(row_db()).execute_plan(p) {
+                    Err(Error::Verify(_)) => {}
+                    other => panic!("expected Err(Verify), got {other:?}"),
+                }
+                // Stream path: the rejection is the one and only item,
+                // delivered before any producer thread spawned.
+                let mut stream = Session::new(row_db()).stream_plan(p.clone());
+                match stream.next() {
+                    Some(Err(Error::Verify(_))) => {}
+                    other => panic!("expected first stream item Err(Verify), got {other:?}"),
+                }
+                prop_assert!(stream.next().is_none());
+            }
+        }
+    }
+}
