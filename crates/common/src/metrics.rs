@@ -268,6 +268,12 @@ metrics_struct! {
     /// the percentage of a batch's physical rows that survived (set
     /// absolutely per batch — a gauge, not an accumulating counter).
     selection_density_pct,
+    /// Server: SQL-text queries received over the wire (tag-4 payloads,
+    /// including EXPLAIN).
+    sql_queries,
+    /// Server: SQL-text queries refused with a positioned parse/bind
+    /// diagnostic (wire error code 1) before any operator opened.
+    sql_parse_errors,
 }
 
 /// Per-tenant governance counters: who is consuming NDP admission and

@@ -115,6 +115,11 @@ impl Session {
         self.ndp = enabled;
     }
 
+    /// Whether NDP post-processing applies to plans built in this session.
+    pub fn ndp(&self) -> bool {
+        self.ndp
+    }
+
     /// Re-snapshot (same transaction identity): subsequent queries see
     /// commits made since the session was opened, and a `for_trx` session
     /// keeps seeing its own transaction's writes.

@@ -426,6 +426,11 @@ pub enum QueryRequest {
     Builder(BuilderSpec),
     /// MVCC point lookup by primary key.
     Lookup { table: String, pk: Vec<Value> },
+    /// SQL text, parsed and bound on the serving node (`taurus-sql`).
+    /// `ndp` mirrors `BuilderSpec::ndp`: whether the binder may apply
+    /// NDP pushdown decisions. Parse/bind failures come back as wire
+    /// error code 1 (Parse) with the positioned diagnostic.
+    Sql { text: String, ndp: bool },
 }
 
 /// A write request. Always routed to the master; one request = one
@@ -623,6 +628,11 @@ fn put_query(buf: &mut Vec<u8>, q: &QueryRequest) {
             put_u32(buf, pk.len() as u32);
             pk.iter().for_each(|v| put_value(buf, v));
         }
+        QueryRequest::Sql { text, ndp } => {
+            put_u8(buf, 4);
+            put_str(buf, text);
+            put_u8(buf, *ndp as u8);
+        }
     }
 }
 
@@ -635,6 +645,64 @@ fn get_values(cur: &mut Cursor<'_>) -> Result<Vec<Value>> {
     Ok(vs)
 }
 
+/// Decode the tag-2 builder-chain payload (`QueryRequest::Builder`).
+fn get_builder(cur: &mut Cursor<'_>) -> Result<BuilderSpec> {
+    let table = cur.str()?;
+    let via_index = match cur.u8()? {
+        0 => None,
+        _ => Some(cur.str()?),
+    };
+    let filters = {
+        let n = cur.u32()?;
+        get_expr_vec(cur, n, 0)?
+    };
+    let mut select = Vec::new();
+    for _ in 0..cur.u32()? {
+        select.push(get_colsel(cur)?);
+    }
+    let mut group = Vec::new();
+    for _ in 0..cur.u32()? {
+        group.push(get_colsel(cur)?);
+    }
+    let mut aggs = Vec::new();
+    for _ in 0..cur.u32()? {
+        let f = WireAggFunc::from_u8(cur.u8()?)?;
+        let input = match cur.u8()? {
+            0 => None,
+            _ => Some(get_expr(cur, 0)?),
+        };
+        aggs.push((f, input));
+    }
+    let mut order = Vec::new();
+    for _ in 0..cur.u32()? {
+        let pos = cur.u32()?;
+        order.push((pos, cur.u8()? != 0));
+    }
+    let limit = match cur.u8()? {
+        0 => None,
+        _ => Some(cur.u64()?),
+    };
+    let parallel = match cur.u8()? {
+        0 => None,
+        _ => Some(cur.u32()?),
+    };
+    let ndp = cur.u8()? != 0;
+    Ok(BuilderSpec {
+        table,
+        via_index,
+        filters,
+        select,
+        group,
+        aggs,
+        order,
+        limit,
+        parallel,
+        ndp,
+    })
+}
+
+/// Decode a [`QueryRequest`] payload. The leading tag byte is an
+/// append-only published table (`crates/xtask/manifests/query_tags.txt`).
 fn get_query(cur: &mut Cursor<'_>) -> Result<QueryRequest> {
     Ok(match cur.u8()? {
         1 => QueryRequest::Named {
@@ -644,63 +712,14 @@ fn get_query(cur: &mut Cursor<'_>) -> Result<QueryRequest> {
                 _ => Some(cur.u32()?),
             },
         },
-        2 => {
-            let table = cur.str()?;
-            let via_index = match cur.u8()? {
-                0 => None,
-                _ => Some(cur.str()?),
-            };
-            let filters = {
-                let n = cur.u32()?;
-                get_expr_vec(cur, n, 0)?
-            };
-            let mut select = Vec::new();
-            for _ in 0..cur.u32()? {
-                select.push(get_colsel(cur)?);
-            }
-            let mut group = Vec::new();
-            for _ in 0..cur.u32()? {
-                group.push(get_colsel(cur)?);
-            }
-            let mut aggs = Vec::new();
-            for _ in 0..cur.u32()? {
-                let f = WireAggFunc::from_u8(cur.u8()?)?;
-                let input = match cur.u8()? {
-                    0 => None,
-                    _ => Some(get_expr(cur, 0)?),
-                };
-                aggs.push((f, input));
-            }
-            let mut order = Vec::new();
-            for _ in 0..cur.u32()? {
-                let pos = cur.u32()?;
-                order.push((pos, cur.u8()? != 0));
-            }
-            let limit = match cur.u8()? {
-                0 => None,
-                _ => Some(cur.u64()?),
-            };
-            let parallel = match cur.u8()? {
-                0 => None,
-                _ => Some(cur.u32()?),
-            };
-            let ndp = cur.u8()? != 0;
-            QueryRequest::Builder(BuilderSpec {
-                table,
-                via_index,
-                filters,
-                select,
-                group,
-                aggs,
-                order,
-                limit,
-                parallel,
-                ndp,
-            })
-        }
+        2 => QueryRequest::Builder(get_builder(cur)?),
         3 => QueryRequest::Lookup {
             table: cur.str()?,
             pk: get_values(cur)?,
+        },
+        4 => QueryRequest::Sql {
+            text: cur.str()?,
+            ndp: cur.u8()? != 0,
         },
         t => {
             return Err(Error::Corruption(format!(
@@ -915,6 +934,14 @@ mod tests {
             QueryRequest::Lookup {
                 table: "orders".into(),
                 pk: vec![Value::Int(42)],
+            },
+            QueryRequest::Sql {
+                text: "select count(*) from lineitem where l_quantity < 24".into(),
+                ndp: true,
+            },
+            QueryRequest::Sql {
+                text: String::new(),
+                ndp: false,
             },
         ] {
             let m = Message::Query(q);

@@ -4,11 +4,13 @@
 //! seed 42), runs each named query both over the wire and in-process,
 //! and exits non-zero on any mismatch. Run each query twice so the
 //! round-robin router exercises more than one node when replicas are
-//! attached. Usage:
+//! attached. With `--sql`, each query additionally runs as SQL text
+//! (tag-4 payload, NDP off and on) and must match the same in-process
+//! registry-plan rows byte-for-byte. Usage:
 //!
 //! ```text
 //! taurus-smoke [--addr HOST:PORT] [--sf F] [--queries Q1,Q6,...]
-//!              [--connect-timeout-secs N]
+//!              [--connect-timeout-secs N] [--sql]
 //! ```
 
 use std::time::Duration;
@@ -23,6 +25,7 @@ fn main() {
     let mut sf = 0.01f64;
     let mut queries = "Q1,Q3,Q6,Q12,Q14".to_string();
     let mut timeout = 120u64;
+    let mut sql = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut val = |name: &str| {
@@ -34,6 +37,7 @@ fn main() {
             "--sf" => sf = val("--sf").parse().expect("--sf"),
             "--queries" => queries = val("--queries"),
             "--connect-timeout-secs" => timeout = val("--connect-timeout-secs").parse().expect("N"),
+            "--sql" => sql = true,
             other => panic!("unknown argument {other}"),
         }
     }
@@ -73,6 +77,46 @@ fn main() {
                     got.rows.len(),
                     want.len()
                 );
+            }
+        }
+        if sql {
+            // The same query as SQL text must stream back the identical
+            // rows — the server parses and binds against its own live
+            // catalog, so this exercises the whole tag-4 path.
+            let Some(text) = taurus_sql::tpch_sql::sql_for(name) else {
+                eprintln!("taurus-smoke: {name}: no SQL text, skipping --sql leg");
+                continue;
+            };
+            for ndp in [false, true] {
+                let got = client.query_sql(text, ndp).expect("wire SQL run");
+                if got.rows == want {
+                    println!(
+                        "taurus-smoke: {name} sql ndp={ndp}: {} rows OK (node {})",
+                        want.len(),
+                        got.node
+                    );
+                } else {
+                    failures += 1;
+                    eprintln!(
+                        "taurus-smoke: {name} sql ndp={ndp} MISMATCH: wire {} rows vs local {}",
+                        got.rows.len(),
+                        want.len()
+                    );
+                }
+            }
+        }
+    }
+
+    if sql {
+        // Fail-closed check: malformed SQL must come back as the
+        // positioned Parse diagnostic, leaving the session usable.
+        match client.query_sql("selec * from lineitem", false) {
+            Err(taurus_common::Error::Parse(m)) if m.starts_with("line ") => {
+                println!("taurus-smoke: malformed SQL refused: {m}");
+            }
+            other => {
+                failures += 1;
+                eprintln!("taurus-smoke: malformed SQL not refused as Parse: {other:?}");
             }
         }
     }

@@ -93,6 +93,18 @@ impl Client {
         self.query(QueryRequest::Builder(spec))
     }
 
+    /// Run a SQL text statement server-side. The server parses, binds
+    /// against its live catalog, and streams the result exactly like a
+    /// registered plan; `EXPLAIN` comes back as one single-column string
+    /// row per plan line. Malformed SQL returns the server's positioned
+    /// [`Error::Parse`] (wire error code 1).
+    pub fn query_sql(&mut self, text: &str, ndp: bool) -> Result<QueryReply> {
+        self.query(QueryRequest::Sql {
+            text: text.to_string(),
+            ndp,
+        })
+    }
+
     /// MVCC point lookup; returns the row (if any) and the serving node.
     pub fn lookup(&mut self, table: &str, pk: Vec<Value>) -> Result<(Option<Row>, u32)> {
         let mut reply = self.query(QueryRequest::Lookup {

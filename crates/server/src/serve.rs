@@ -19,7 +19,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use taurus_common::batch::RowBatch;
-use taurus_common::{Error, Lsn, Result, TenantId};
+use taurus_common::{Error, Lsn, Result, TenantId, Value};
 use taurus_executor::dsl::{ArithOp, CmpOp, ColRef, QExpr};
 use taurus_executor::{Agg, RowStream, Session};
 use taurus_ndp::TaurusDb;
@@ -136,16 +136,27 @@ pub(crate) fn serve_query_on<W: Write>(
     // and cancels the producer (RowStream drop) on expiry.
     let deadline = (state.cfg.session_read_timeout_ms > 0)
         .then(|| Instant::now() + Duration::from_millis(state.cfg.session_read_timeout_ms));
+    if matches!(req, QueryRequest::Sql { .. }) {
+        state.metrics().add(|m| &m.sql_queries, 1);
+    }
+    // SQL diagnostics are counted where the request finally fails (after
+    // any failover), so one refused statement is one `sql_parse_errors`.
+    let refuse = |state: &ServerState, w: &mut W, e: &Error| {
+        if matches!(req, QueryRequest::Sql { .. }) && matches!(e, Error::Parse(_)) {
+            state.metrics().add(|m| &m.sql_parse_errors, 1);
+        }
+        send_error(state, w, e)
+    };
     match prepare(state, &db, req, tenant) {
         Ok(ready) => send_ready(state, w, ready, node, deadline),
         Err(_) if node != MASTER_NODE => {
             state.metrics().add(|m| &m.server_failovers, 1);
             match prepare(state, &state.router.master_db(), req, tenant) {
                 Ok(ready) => send_ready(state, w, ready, MASTER_NODE, deadline),
-                Err(e) => send_error(state, w, &e),
+                Err(e) => refuse(state, w, &e),
             }
         }
-        Err(e) => send_error(state, w, &e),
+        Err(e) => refuse(state, w, &e),
     }
 }
 
@@ -158,6 +169,8 @@ enum Ready {
         rest: RowStream,
     },
     Row(Option<taurus_common::Row>),
+    /// Small fully-materialized response (EXPLAIN text), one batch.
+    Batch(RowBatch),
 }
 
 fn prepare(
@@ -197,6 +210,30 @@ fn prepare(
         QueryRequest::Lookup { table, pk } => {
             let session = governed(db);
             Ok(Ready::Row(session.lookup(table, pk)?))
+        }
+        QueryRequest::Sql { text, ndp } => {
+            // Same gate as Named: binding resolves names against this
+            // node's catalog and execution scans it, so a stale replica
+            // refuses before any work (then fails over to the master).
+            db.check_serveable()?;
+            let mut session = governed(db);
+            session.set_ndp(*ndp);
+            match taurus_sql::parse(text)? {
+                taurus_sql::Statement::Select(s) => {
+                    let plan = taurus_sql::bind(&session, &s)?;
+                    first_batch(session.stream_plan(plan))
+                }
+                taurus_sql::Statement::Explain(s) => {
+                    let plan = taurus_sql::bind(&session, &s)?;
+                    let text = taurus_optimizer::explain_physical(&plan, session.db());
+                    let lines: Vec<&str> = text.lines().collect();
+                    let mut b = RowBatch::with_capacity(1, lines.len());
+                    for line in lines {
+                        b.push_row(vec![Value::str(line)]);
+                    }
+                    Ok(Ready::Batch(b))
+                }
+            }
         }
     }
 }
@@ -371,6 +408,13 @@ fn send_ready<W: Write>(
                 write_batch(state, w, &b)?;
                 rows = 1;
                 batches = 1;
+            }
+        }
+        Ready::Batch(b) => {
+            if !b.is_empty() {
+                rows = b.len() as u64;
+                batches = 1;
+                write_batch(state, w, &b)?;
             }
         }
         Ready::Stream { first, mut rest } => {

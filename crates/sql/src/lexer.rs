@@ -1,0 +1,289 @@
+//! The SQL lexer: text → positioned tokens.
+//!
+//! Every token carries the 1-based line/column where it starts; the
+//! parser and binder thread those positions into every diagnostic, so a
+//! bad query fails with `line L, col C: ...` instead of a bare message.
+//! All failures are [`Error::Parse`] — the lexer never panics on any
+//! input byte sequence (the fuzz leg in `tests/` holds it to that).
+
+use taurus_common::{Error, Result};
+
+/// A 1-based source position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pos {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Pos {
+    pub fn start() -> Pos {
+        Pos { line: 1, col: 1 }
+    }
+}
+
+impl std::fmt::Display for Pos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}, col {}", self.line, self.col)
+    }
+}
+
+/// Build the standard positioned parse error.
+pub fn parse_err(pos: Pos, msg: impl std::fmt::Display) -> Error {
+    Error::Parse(format!("{pos}: {msg}"))
+}
+
+/// One lexed token. Keywords are not distinguished here: the parser
+/// matches [`Tok::Ident`] case-insensitively, and identifiers are
+/// carried lowercased (SQL names are case-insensitive; the catalog is
+/// lowercase).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword, lowercased.
+    Ident(String),
+    /// Integer literal (digits only).
+    Int(i64),
+    /// Decimal literal, original digits preserved (e.g. `0.05`).
+    Dec(String),
+    /// String literal with `''` unescaped.
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semi,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Tok {
+    /// Human-readable rendering for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("`{s}`"),
+            Tok::Int(v) => format!("`{v}`"),
+            Tok::Dec(s) => format!("`{s}`"),
+            Tok::Str(s) => format!("'{s}'"),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Dot => "`.`".into(),
+            Tok::Semi => "`;`".into(),
+            Tok::Star => "`*`".into(),
+            Tok::Plus => "`+`".into(),
+            Tok::Minus => "`-`".into(),
+            Tok::Slash => "`/`".into(),
+            Tok::Eq => "`=`".into(),
+            Tok::Ne => "`<>`".into(),
+            Tok::Lt => "`<`".into(),
+            Tok::Le => "`<=`".into(),
+            Tok::Gt => "`>`".into(),
+            Tok::Ge => "`>=`".into(),
+        }
+    }
+}
+
+/// A token plus where it started.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub pos: Pos,
+}
+
+/// Lex a whole statement. `--` comments run to end of line.
+pub fn lex(text: &str) -> Result<Vec<Token>> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut pos = Pos::start();
+
+    // Advance over one byte, maintaining line/col.
+    fn step(pos: &mut Pos, b: u8) {
+        if b == b'\n' {
+            pos.line += 1;
+            pos.col = 1;
+        } else {
+            pos.col += 1;
+        }
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        let start = pos;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                step(&mut pos, b);
+                i += 1;
+            }
+            b'-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    step(&mut pos, bytes[i]);
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                step(&mut pos, b);
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(parse_err(start, "unterminated string literal")),
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            step(&mut pos, b'\'');
+                            step(&mut pos, b'\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            step(&mut pos, b'\'');
+                            i += 1;
+                            break;
+                        }
+                        Some(&c) => {
+                            // Strings are treated as byte text; multi-byte
+                            // UTF-8 advances col per byte, which keeps the
+                            // lexer total and positions monotone.
+                            s.push(c as char);
+                            step(&mut pos, c);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    pos: start,
+                });
+            }
+            b'0'..=b'9' => {
+                let begin = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    step(&mut pos, bytes[i]);
+                    i += 1;
+                }
+                let is_dec = bytes.get(i) == Some(&b'.')
+                    && bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit());
+                if is_dec {
+                    step(&mut pos, b'.');
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        step(&mut pos, bytes[i]);
+                        i += 1;
+                    }
+                    let s = std::str::from_utf8(&bytes[begin..i])
+                        .map_err(|_| parse_err(start, "malformed numeric literal"))?;
+                    out.push(Token {
+                        tok: Tok::Dec(s.to_string()),
+                        pos: start,
+                    });
+                } else {
+                    let s = std::str::from_utf8(&bytes[begin..i])
+                        .map_err(|_| parse_err(start, "malformed numeric literal"))?;
+                    let v: i64 = s.parse().map_err(|_| {
+                        parse_err(start, format!("integer literal `{s}` overflows"))
+                    })?;
+                    out.push(Token {
+                        tok: Tok::Int(v),
+                        pos: start,
+                    });
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let begin = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    step(&mut pos, bytes[i]);
+                    i += 1;
+                }
+                let s = std::str::from_utf8(&bytes[begin..i])
+                    .map_err(|_| parse_err(start, "malformed identifier"))?;
+                out.push(Token {
+                    tok: Tok::Ident(s.to_ascii_lowercase()),
+                    pos: start,
+                });
+            }
+            _ => {
+                let (tok, len) = match (b, bytes.get(i + 1)) {
+                    (b'<', Some(b'=')) => (Tok::Le, 2),
+                    (b'<', Some(b'>')) => (Tok::Ne, 2),
+                    (b'>', Some(b'=')) => (Tok::Ge, 2),
+                    (b'!', Some(b'=')) => (Tok::Ne, 2),
+                    (b'<', _) => (Tok::Lt, 1),
+                    (b'>', _) => (Tok::Gt, 1),
+                    (b'=', _) => (Tok::Eq, 1),
+                    (b'(', _) => (Tok::LParen, 1),
+                    (b')', _) => (Tok::RParen, 1),
+                    (b',', _) => (Tok::Comma, 1),
+                    (b'.', _) => (Tok::Dot, 1),
+                    (b';', _) => (Tok::Semi, 1),
+                    (b'*', _) => (Tok::Star, 1),
+                    (b'+', _) => (Tok::Plus, 1),
+                    (b'-', _) => (Tok::Minus, 1),
+                    (b'/', _) => (Tok::Slash, 1),
+                    _ => {
+                        return Err(parse_err(
+                            start,
+                            format!("unexpected character `{}`", b as char),
+                        ))
+                    }
+                };
+                for _ in 0..len {
+                    step(&mut pos, bytes[i]);
+                    i += 1;
+                }
+                out.push(Token { tok, pos: start });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_are_one_based_and_line_aware() {
+        let ts = lex("select a\n from t").unwrap();
+        assert_eq!(ts[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(ts[1].pos, Pos { line: 1, col: 8 });
+        assert_eq!(ts[2].pos, Pos { line: 2, col: 2 });
+        assert_eq!(ts[3].pos, Pos { line: 2, col: 7 });
+    }
+
+    #[test]
+    fn keywords_and_idents_lowercase() {
+        let ts = lex("SELECT L_ShipDate").unwrap();
+        assert_eq!(ts[0].tok, Tok::Ident("select".into()));
+        assert_eq!(ts[1].tok, Tok::Ident("l_shipdate".into()));
+    }
+
+    #[test]
+    fn string_escapes_and_numbers() {
+        let ts = lex("'it''s' 0.05 42").unwrap();
+        assert_eq!(ts[0].tok, Tok::Str("it's".into()));
+        assert_eq!(ts[1].tok, Tok::Dec("0.05".into()));
+        assert_eq!(ts[2].tok, Tok::Int(42));
+    }
+
+    #[test]
+    fn unterminated_string_is_positioned_parse_error() {
+        let err = lex("select 'oops").unwrap_err();
+        match err {
+            Error::Parse(m) => assert!(m.contains("line 1, col 8"), "{m}"),
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ts = lex("select -- everything\n1").unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[1].tok, Tok::Int(1));
+    }
+}

@@ -10,7 +10,8 @@
 //!    `// lint:allow(panic): <reason>` annotation on its own line or the
 //!    line above. Test modules (`#[cfg(test)]`) are exempt.
 //! 2. **Append-only wire tables** — the NDP bitcode opcodes, the wire
-//!    frame opcodes, and the wire error codes are published contracts.
+//!    frame opcodes, the query-request payload tags, and the wire error
+//!    codes are published contracts.
 //!    Each is parsed out of its source of truth and compared against a
 //!    pinned manifest under `crates/xtask/manifests/`; renumbering or
 //!    removing an entry fails, and adding one forces a deliberate
@@ -240,6 +241,17 @@ fn append_only_tables(root: &Path, violations: &mut Vec<String>) {
     let message_src = root.join("crates/protocol/src/message.rs");
     let parsed = parse_code_arms(&message_src, "=> Opcode::", violations);
     check_table(root, "wire_opcodes.txt", "wire opcode", &parsed, violations);
+
+    // Query-request payload tags: `N => QueryRequest::Name` arms of
+    // get_query (the Query frame's leading tag byte).
+    let parsed = parse_code_arms(&message_src, "=> QueryRequest::", violations);
+    check_table(
+        root,
+        "query_tags.txt",
+        "query request tag",
+        &parsed,
+        violations,
+    );
 
     // NDP bitcode opcodes: `IrInstr::Name ... => { out.push(N);` pairs
     // in encode_instr.

@@ -45,6 +45,30 @@
 //! # Ok(()) }
 //! ```
 //!
+//! ## SQL text
+//!
+//! The same sessions also take SQL directly: [`sql`] is a hand-written
+//! lexer + recursive-descent parser and a catalog-aware binder that
+//! lowers onto the very same plan layer, so NDP pushdown, columnar
+//! execution, and the static plan gate apply to SQL text unchanged. All
+//! 22 TPC-H queries are expressible ([`sql::tpch_sql`]) and
+//! byte-reproduce the hand-built registry plans; malformed text fails
+//! closed with a positioned `Error::Parse`:
+//!
+//! ```no_run
+//! use taurus::prelude::*;
+//!
+//! # fn demo(db: &std::sync::Arc<TaurusDb>) -> Result<()> {
+//! let session = Session::new(db);
+//! let rows = session.sql(
+//!     "select n_name, count(*) from customer \
+//!      join nation on c_nationkey = n_nationkey \
+//!      group by n_name order by n_name",
+//! )?;
+//! // `explain select ...` returns the physical plan, one line per row.
+//! # let _ = rows; Ok(()) }
+//! ```
+//!
 //! ## Columnar execution
 //!
 //! Scans can materialize column-major batches instead of rows
@@ -142,6 +166,7 @@ pub use taurus_protocol as protocol;
 pub use taurus_replica as replica;
 pub use taurus_sal as sal;
 pub use taurus_server as server;
+pub use taurus_sql as sql;
 pub use taurus_tpch as tpch;
 pub use taurus_verify as verify;
 
@@ -158,5 +183,6 @@ pub mod prelude {
     pub use taurus_ndp::{Table, TaurusDb};
     pub use taurus_replica::Replica;
     pub use taurus_server::{tpch_registry, Client, QueryReply, Server, ServerHandle};
+    pub use taurus_sql::{SessionSqlExt, SqlOutput};
     pub use taurus_verify::{check_plan, verify_plan, Diagnostic};
 }

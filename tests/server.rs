@@ -127,6 +127,78 @@ fn tpch_over_socket_matches_in_process() {
     assert!(client.query_named("Q6", None).is_ok());
 }
 
+/// SQL text over the wire: parity with the in-process facade, EXPLAIN
+/// as single-column string rows, fail-closed positioned parse errors
+/// (wire error code 1), and the `sql_queries` / `sql_parse_errors`
+/// counters.
+#[test]
+fn sql_over_socket_matches_in_process_and_fails_closed() {
+    let mut cfg = ephemeral(ClusterConfig::default());
+    cfg.buffer_pool_pages = 256;
+    cfg.slice_pages = 32;
+    cfg.ndp.min_io_pages = 8;
+    let db = TaurusDb::new(cfg);
+    taurus::tpch::load(&db, 0.005, 7).unwrap();
+    let (_handle, addr) = start_server(&db, Vec::new());
+    let mut client = Client::connect(&addr).unwrap();
+
+    // A TPC-H subset, both NDP modes, against the in-process facade.
+    for ndp in [false, true] {
+        for name in ["Q1", "Q3", "Q6", "Q14"] {
+            let text = taurus::sql::tpch_sql::sql_for(name).unwrap();
+            let mut session = Session::new(&db);
+            session.set_ndp(ndp);
+            let want = session.sql(text).unwrap();
+            let got = client.query_sql(text, ndp).unwrap();
+            assert_eq!(got.rows, want, "{name} (ndp={ndp}): wire rows differ");
+            assert_eq!(got.node, MASTER_NODE);
+        }
+    }
+
+    // Ad-hoc SQL with no registry entry works the same way.
+    let adhoc = "select o_orderpriority, count(*) as n from orders \
+                 where o_custkey < 100 group by o_orderpriority \
+                 order by o_orderpriority";
+    let want = Session::new(&db).sql(adhoc).unwrap();
+    assert!(!want.is_empty());
+    let got = client.query_sql(adhoc, false).unwrap();
+    assert_eq!(got.rows, want);
+
+    // EXPLAIN: one single-column string row per plan line.
+    let got = client
+        .query_sql(
+            "explain select count(*) from lineitem where l_quantity < 10",
+            true,
+        )
+        .unwrap();
+    assert!(!got.rows.is_empty());
+    assert!(got
+        .rows
+        .iter()
+        .all(|r| r.len() == 1 && matches!(r[0], Value::Str(_))));
+
+    // Malformed SQL fails closed with the positioned diagnostic and the
+    // session stays usable.
+    for bad in [
+        "selec 1",
+        "select * from nope",
+        "select l_orderkey from lineitem where",
+    ] {
+        match client.query_sql(bad, false) {
+            Err(Error::Parse(m)) => assert!(m.starts_with("line "), "{bad:?}: {m}"),
+            other => panic!("expected Parse for {bad:?}, got {other:?}"),
+        }
+    }
+    let ok = client
+        .query_sql("select n_name from nation order by n_name limit 1", false)
+        .unwrap();
+    assert_eq!(ok.rows.len(), 1);
+
+    let snap = db.metrics().snapshot();
+    assert!(snap.sql_queries >= 14, "sql_queries = {}", snap.sql_queries);
+    assert_eq!(snap.sql_parse_errors, 3);
+}
+
 /// Replica routing under write load: every wire read must observe a
 /// transaction-consistent snapshot (the transfer invariant holds no
 /// matter which node serves), and once the writer stops, the rotation
